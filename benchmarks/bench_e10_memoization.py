@@ -1,0 +1,26 @@
+"""E10 (ablation): memoized vs nested-loop view evaluation.
+
+The memoizing evaluator shares tag-query executions between contexts
+whose parameter values coincide (e.g. metro_available repeated per
+hotel_available with the same startdate).
+"""
+
+from repro.schema_tree.evaluator import ViewEvaluator
+
+
+def test_e10_nested_loop(benchmark, dense_hotel_db, ):
+    from repro.workloads.paper import figure1_view
+
+    view = figure1_view(dense_hotel_db.catalog)
+    benchmark.group = "E10 evaluation memoization"
+    benchmark(lambda: ViewEvaluator(dense_hotel_db).materialize(view))
+
+
+def test_e10_memoized(benchmark, dense_hotel_db):
+    from repro.workloads.paper import figure1_view
+
+    view = figure1_view(dense_hotel_db.catalog)
+    benchmark.group = "E10 evaluation memoization"
+    benchmark(
+        lambda: ViewEvaluator(dense_hotel_db, memoize=True).materialize(view)
+    )

@@ -1,0 +1,51 @@
+"""E1: end-to-end latency — Composed vs Naive vs QTree.
+
+Regenerates the E1 table of EXPERIMENTS.md at scale factor 4. The
+expected shape: composed beats naive by several x; QTree is fast but
+produces the wrong (leaf-only) output.
+"""
+
+import pytest
+
+from repro.baseline.materialize import NaivePipeline
+from repro.baseline.qtree import QTreeTranslator
+from repro.core.compose import compose
+from repro.schema_tree.evaluator import ViewEvaluator
+from repro.workloads.paper import qtree_compatible_stylesheet
+
+
+@pytest.fixture(scope="module")
+def stylesheet():
+    return qtree_compatible_stylesheet()
+
+
+def test_e1_naive(benchmark, hotel_db, paper_view, stylesheet):
+    pipeline = NaivePipeline(paper_view, stylesheet)
+    benchmark.group = "E1 end-to-end"
+    benchmark(pipeline.run, hotel_db)
+
+
+def test_e1_composed(benchmark, hotel_db, paper_view, stylesheet):
+    composed = compose(paper_view, stylesheet, hotel_db.catalog)
+    benchmark.group = "E1 end-to-end"
+
+    def run():
+        return ViewEvaluator(hotel_db).materialize(composed)
+
+    benchmark(run)
+
+
+def test_e1_composed_including_composition(benchmark, hotel_db, paper_view, stylesheet):
+    benchmark.group = "E1 end-to-end"
+
+    def run():
+        composed = compose(paper_view, stylesheet, hotel_db.catalog)
+        return ViewEvaluator(hotel_db).materialize(composed)
+
+    benchmark(run)
+
+
+def test_e1_qtree(benchmark, hotel_db, paper_view, stylesheet):
+    translator = QTreeTranslator(paper_view, stylesheet, hotel_db.catalog)
+    benchmark.group = "E1 end-to-end"
+    benchmark(translator.run, hotel_db)

@@ -1,0 +1,61 @@
+"""E3: selectivity — a stylesheet touching 1 of 16 branches.
+
+The composed view only queries the touched branch; the naive pipeline
+materializes all 16 regardless. Expected shape: composed wins by roughly
+the untouched fraction.
+"""
+
+import pytest
+
+from repro.baseline.materialize import NaivePipeline
+from repro.core.compose import compose
+from repro.relational.engine import Database
+from repro.schema_tree.evaluator import ViewEvaluator
+from repro.workloads.synthetic import (
+    fanout_catalog,
+    fanout_stylesheet,
+    fanout_view,
+    populate_fanout,
+)
+
+BRANCHES = 16
+
+
+@pytest.fixture(scope="module")
+def fanout_db():
+    catalog = fanout_catalog(BRANCHES)
+    db = Database(catalog)
+    populate_fanout(db, BRANCHES, roots=5, rows_per_branch=50)
+    yield db
+    db.close()
+
+
+@pytest.fixture(scope="module")
+def view(fanout_db):
+    return fanout_view(BRANCHES, fanout_db.catalog)
+
+
+def test_e3_naive_touch_one(benchmark, fanout_db, view):
+    stylesheet = fanout_stylesheet(BRANCHES, touched=1)
+    benchmark.group = "E3 selectivity (1/16 branches)"
+    benchmark(NaivePipeline(view, stylesheet).run, fanout_db)
+
+
+def test_e3_composed_touch_one(benchmark, fanout_db, view):
+    stylesheet = fanout_stylesheet(BRANCHES, touched=1)
+    composed = compose(view, stylesheet, fanout_db.catalog)
+    benchmark.group = "E3 selectivity (1/16 branches)"
+    benchmark(lambda: ViewEvaluator(fanout_db).materialize(composed))
+
+
+def test_e3_naive_touch_all(benchmark, fanout_db, view):
+    stylesheet = fanout_stylesheet(BRANCHES, touched=BRANCHES)
+    benchmark.group = "E3 selectivity (16/16 branches)"
+    benchmark(NaivePipeline(view, stylesheet).run, fanout_db)
+
+
+def test_e3_composed_touch_all(benchmark, fanout_db, view):
+    stylesheet = fanout_stylesheet(BRANCHES, touched=BRANCHES)
+    composed = compose(view, stylesheet, fanout_db.catalog)
+    benchmark.group = "E3 selectivity (16/16 branches)"
+    benchmark(lambda: ViewEvaluator(fanout_db).materialize(composed))

@@ -1,0 +1,17 @@
+"""E4: composition time vs view size (the polynomial claim of §4.5)."""
+
+import pytest
+
+from repro.core.compose import compose
+from repro.workloads.synthetic import chain_catalog, chain_stylesheet, chain_view
+
+
+@pytest.mark.parametrize("levels", [4, 8, 16, 32])
+def test_e4_compose_chain(benchmark, levels):
+    catalog = chain_catalog(levels)
+    view = chain_view(levels, catalog)
+    stylesheet = chain_stylesheet(levels)
+    benchmark.group = "E4 composition vs view size"
+    benchmark.extra_info["view_nodes"] = view.size()
+    composed = benchmark(compose, view, stylesheet, catalog)
+    assert composed.size() >= levels

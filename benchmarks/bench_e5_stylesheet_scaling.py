@@ -1,0 +1,23 @@
+"""E5: composition time vs stylesheet size on a fixed 24-level view."""
+
+import pytest
+
+from repro.core.compose import compose
+from repro.workloads.synthetic import chain_catalog, chain_stylesheet, chain_view
+
+LEVELS = 24
+
+
+@pytest.fixture(scope="module")
+def fixed():
+    catalog = chain_catalog(LEVELS)
+    return catalog, chain_view(LEVELS, catalog)
+
+
+@pytest.mark.parametrize("depth", [4, 12, 24])
+def test_e5_compose_stylesheet_depth(benchmark, fixed, depth):
+    catalog, view = fixed
+    stylesheet = chain_stylesheet(LEVELS, selected_levels=depth)
+    benchmark.group = "E5 composition vs stylesheet size"
+    benchmark.extra_info["rules"] = stylesheet.size()
+    benchmark(compose, view, stylesheet, catalog)

@@ -1,0 +1,19 @@
+"""E6: the multi-incoming-edge blowup (§4.2.2) — TVQ size doubles per level."""
+
+import pytest
+
+from repro.core.ctg import build_ctg
+from repro.core.tvq import build_tvq
+from repro.workloads.synthetic import blowup_stylesheet, chain_catalog, chain_view
+
+
+@pytest.mark.parametrize("levels", [4, 8, 12])
+def test_e6_blowup_unfolding(benchmark, levels):
+    catalog = chain_catalog(levels)
+    view = chain_view(levels, catalog)
+    stylesheet = blowup_stylesheet(levels)
+    ctg = build_ctg(view, stylesheet)
+    benchmark.group = "E6 TVQ blowup"
+    benchmark.extra_info["expected_tvq_nodes"] = 2 ** (levels + 1) - 1
+    tvq = benchmark(build_tvq, ctg, catalog, 1_000_000)
+    assert tvq.size() == 2 ** (levels + 1) - 1

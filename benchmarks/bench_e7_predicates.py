@@ -1,0 +1,17 @@
+"""E7: predicate pushdown (§5.1) — the Figure 17 stylesheet."""
+
+from repro.baseline.materialize import NaivePipeline
+from repro.core.compose import compose
+from repro.schema_tree.evaluator import ViewEvaluator
+from repro.workloads.paper import figure17_stylesheet
+
+
+def test_e7_naive_figure17(benchmark, hotel_db, paper_view):
+    benchmark.group = "E7 predicate pushdown"
+    benchmark(NaivePipeline(paper_view, figure17_stylesheet()).run, hotel_db)
+
+
+def test_e7_composed_figure17(benchmark, hotel_db, paper_view):
+    composed = compose(paper_view, figure17_stylesheet(), hotel_db.catalog)
+    benchmark.group = "E7 predicate pushdown"
+    benchmark(lambda: ViewEvaluator(hotel_db).materialize(composed))

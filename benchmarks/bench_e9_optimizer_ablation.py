@@ -1,0 +1,33 @@
+"""E9 (ablation): dead-column elimination on composed views.
+
+Compares evaluating the raw composed view (carrying every ancestor
+column, the paper's TEMP.* shape) against the pruned view.
+"""
+
+import pytest
+
+from repro.core.compose import compose
+from repro.core.optimize import prune_stylesheet_view
+from repro.schema_tree.evaluator import ViewEvaluator
+from repro.workloads.paper import figure4_stylesheet
+
+
+@pytest.fixture(scope="module")
+def composed_views(hotel_db, paper_view):
+    raw = compose(paper_view, figure4_stylesheet(), hotel_db.catalog)
+    pruned = compose(paper_view, figure4_stylesheet(), hotel_db.catalog)
+    report = prune_stylesheet_view(pruned, hotel_db.catalog)
+    assert report.columns_removed > 0
+    return raw, pruned
+
+
+def test_e9_composed_raw(benchmark, hotel_db, composed_views):
+    raw, _pruned = composed_views
+    benchmark.group = "E9 dead-column elimination"
+    benchmark(lambda: ViewEvaluator(hotel_db).materialize(raw))
+
+
+def test_e9_composed_pruned(benchmark, hotel_db, composed_views):
+    _raw, pruned = composed_views
+    benchmark.group = "E9 dead-column elimination"
+    benchmark(lambda: ViewEvaluator(hotel_db).materialize(pruned))

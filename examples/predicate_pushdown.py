@@ -1,0 +1,47 @@
+"""Section 5.1 in action: XPath predicates become WHERE/HAVING clauses.
+
+Shows the Figure 17 stylesheet composing into the Figure 20 query, then
+verifies the pushed-down predicates filter inside the database.
+
+Run:  python examples/predicate_pushdown.py
+"""
+
+from repro.baseline.materialize import NaivePipeline
+from repro.core import compose
+from repro.schema_tree.evaluator import ViewEvaluator
+from repro.sql.printer import print_select
+from repro.workloads.hotel import HotelDataSpec, build_hotel_database
+from repro.workloads.paper import figure1_view, figure17_stylesheet
+from repro.xmlcore import canonical_form, serialize_pretty
+
+db = build_hotel_database(HotelDataSpec(metros=4, hotels_per_metro=5))
+view = figure1_view(db.catalog)
+stylesheet = figure17_stylesheet()
+
+print("== The predicate select of Figure 17 (R3) ==")
+print(stylesheet.rules[2].apply_templates_nodes()[0].select.to_text())
+print()
+
+stylesheet_view = compose(view, stylesheet, db.catalog)
+confroom = next(
+    n for n in stylesheet_view.nodes(include_root=False) if n.tag == "confroom"
+)
+print("== The composed tag query (Figure 20) ==")
+print(print_select(confroom.tag_query))
+print()
+
+naive = NaivePipeline(view, stylesheet).run(db)
+evaluator = ViewEvaluator(db)
+composed_doc = evaluator.materialize(stylesheet_view)
+
+assert canonical_form(naive.document, ordered=False) == canonical_form(
+    composed_doc, ordered=False
+)
+print("== Equivalent outputs; the work tells the story ==")
+print(f"naive materialized   {naive.elements_materialized} elements "
+      "(then filtered most away in XSLT)")
+print(f"composed materialized {evaluator.stats.elements_created} elements "
+      "(the engine filtered)")
+print()
+print(serialize_pretty(composed_doc)[:800])
+db.close()

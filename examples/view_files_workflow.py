@@ -1,0 +1,59 @@
+"""File-based workflow: views as versionable artifacts.
+
+Saves a catalog + view + stylesheet to disk, composes offline, and
+materializes the composed view file against a sqlite database — the same
+flow the ``python -m repro`` CLI automates.
+
+Run:  python examples/view_files_workflow.py
+"""
+
+import os
+import tempfile
+
+from repro.core import compose
+from repro.relational.engine import Database
+from repro.schema_tree.evaluator import ViewEvaluator
+from repro.schema_tree.io import (
+    load_catalog,
+    load_view,
+    save_catalog,
+    save_view,
+)
+from repro.workloads.hotel import (
+    HotelDataSpec,
+    hotel_catalog,
+    populate_hotel_database,
+)
+from repro.workloads.paper import figure1_view, figure4_stylesheet
+from repro.xmlcore import serialize_pretty
+
+with tempfile.TemporaryDirectory() as workdir:
+    catalog_path = os.path.join(workdir, "catalog.xml")
+    view_path = os.path.join(workdir, "view.xml")
+    composed_path = os.path.join(workdir, "composed.xml")
+    db_path = os.path.join(workdir, "hotel.sqlite")
+
+    # Producer side: publish the artifacts.
+    catalog = hotel_catalog()
+    save_catalog(catalog, catalog_path)
+    save_view(figure1_view(catalog), view_path)
+    db = Database(catalog, path=db_path)
+    populate_hotel_database(db, HotelDataSpec(metros=2))
+    db.close()
+    print(f"published catalog, view and database under {workdir}")
+
+    # Consumer side: load, compose, save the stylesheet view.
+    catalog = load_catalog(catalog_path)
+    view = load_view(view_path, catalog)
+    composed = compose(view, figure4_stylesheet(), catalog)
+    save_view(composed, composed_path)
+    print(f"composed stylesheet view written to {composed_path}")
+    with open(composed_path) as handle:
+        print("".join(handle.readlines()[:8]), "...")
+
+    # Execution side: materialize the composed view file.
+    runtime_view = load_view(composed_path, catalog)
+    db = Database.open(catalog, db_path)
+    document = ViewEvaluator(db).materialize(runtime_view)
+    print(serialize_pretty(document)[:600])
+    db.close()

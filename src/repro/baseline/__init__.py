@@ -1,0 +1,17 @@
+"""Baselines the paper compares against (Section 6).
+
+* :mod:`~repro.baseline.materialize` — the naive pipeline: materialize
+  the full XML view, then run the XSLT interpreter over it. Always
+  correct; does all the work composition avoids.
+* :mod:`~repro.baseline.qtree` — a reimplementation of the approach of
+  Jain, Mahajan and Suciu (WWW 2002, [7] in the paper): split the
+  stylesheet into root-to-leaf rule paths, generate one SQL query per
+  path, union the results. It reproduces the deficiencies the paper
+  criticizes: only leaf rules contribute output, and parent-axis
+  navigation is rejected.
+"""
+
+from repro.baseline.materialize import NaivePipeline, NaiveRunResult
+from repro.baseline.qtree import QTreeTranslator
+
+__all__ = ["NaivePipeline", "NaiveRunResult", "QTreeTranslator"]

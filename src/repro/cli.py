@@ -1,0 +1,266 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Workflows:
+
+.. code-block:: bash
+
+    # Create demo artifacts (catalog, view, stylesheet, sqlite database).
+    python -m repro demo --out demo/ --scale 2
+
+    # Compose a stylesheet with a view into a stylesheet view.
+    python -m repro compose --catalog demo/catalog.xml \\
+        --view demo/view.xml --stylesheet demo/stylesheet.xsl \\
+        --out demo/composed.xml [--paper-mode] [--prune]
+
+    # Show the intermediate structures (CTG, TVQ, plan notes).
+    python -m repro explain --catalog ... --view ... --stylesheet ...
+
+    # Materialize a (possibly composed) view against a database.
+    python -m repro materialize --catalog ... --view demo/composed.xml \\
+        --db demo/hotel.sqlite [--memoize] [--pretty]
+
+    # One-shot: plan + execute a stylesheet over a view (hybrid executor).
+    python -m repro run --catalog ... --view demo/view.xml \\
+        --stylesheet demo/stylesheet.xsl --db demo/hotel.sqlite
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Optional
+
+from repro.core.compose import compose
+from repro.core.ctg import build_ctg
+from repro.core.hybrid import HybridExecutor
+from repro.core.optimize import prune_stylesheet_view
+from repro.core.tvq import build_tvq
+from repro.errors import ReproError
+from repro.relational.engine import Database
+from repro.schema_tree.evaluator import ViewEvaluator
+from repro.schema_tree.io import (
+    load_catalog,
+    load_view,
+    save_catalog,
+    save_view,
+)
+from repro.xmlcore.serializer import serialize, serialize_pretty
+from repro.xslt.parser import parse_stylesheet
+
+
+def _read_stylesheet(path: str):
+    with open(path) as handle:
+        return parse_stylesheet(handle.read())
+
+
+def _write_output(text: str, out: Optional[str]) -> None:
+    if out:
+        with open(out, "w") as handle:
+            handle.write(text)
+        print(f"wrote {out}")
+    else:
+        sys.stdout.write(text)
+        if not text.endswith("\n"):
+            sys.stdout.write("\n")
+
+
+def cmd_compose(args: argparse.Namespace) -> int:
+    """``repro compose``: compose a stylesheet with a view file."""
+    catalog = load_catalog(args.catalog)
+    view = load_view(args.view, catalog)
+    stylesheet = _read_stylesheet(args.stylesheet)
+    composed = compose(view, stylesheet, catalog, paper_mode=args.paper_mode)
+    if args.prune:
+        report = prune_stylesheet_view(composed, catalog)
+        print(
+            f"pruned {report.columns_removed} dead columns from "
+            f"{report.nodes_pruned} nodes",
+            file=sys.stderr,
+        )
+    from repro.schema_tree.io import view_to_xml
+
+    _write_output(view_to_xml(composed), args.out)
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """``repro explain``: print the plan and intermediate structures."""
+    catalog = load_catalog(args.catalog)
+    view = load_view(args.view, catalog)
+    stylesheet = _read_stylesheet(args.stylesheet)
+    executor = HybridExecutor(view, stylesheet, catalog)
+    print(f"plan: {executor.plan.kind}")
+    for note in executor.plan.notes:
+        print(f"  note: {note}")
+    print()
+    if executor.plan.kind == "composed":
+        from repro.core.rewrites.pipeline import rewrite_to_basic
+
+        lowered = rewrite_to_basic(stylesheet)
+        ctg = build_ctg(view, lowered)
+        tvq = build_tvq(ctg, catalog)
+        if args.dot:
+            from repro.core.visualize import ctg_to_dot, tvq_to_dot, view_to_dot
+
+            print(ctg_to_dot(ctg))
+            print()
+            print(tvq_to_dot(tvq))
+            print()
+            print(view_to_dot(executor.plan.view, title="stylesheet_view"))
+            return 0
+        print("== Context Transition Graph ==")
+        print(ctg.describe())
+        print()
+        print("== Traverse View Query ==")
+        print(tvq.describe())
+        print()
+    print("== Output view ==")
+    print(executor.plan.view.describe())
+    if executor.plan.stylesheet is not None:
+        print()
+        print("== Residual stylesheet rules ==")
+        for rule in executor.plan.stylesheet.rules:
+            print(f"  match={rule.match.to_text()!r} mode={rule.mode!r}")
+    return 0
+
+
+def cmd_materialize(args: argparse.Namespace) -> int:
+    """``repro materialize``: evaluate a view file against a database."""
+    catalog = load_catalog(args.catalog)
+    view = load_view(args.view, catalog)
+    db = Database.open(catalog, args.db)
+    try:
+        evaluator = ViewEvaluator(db, memoize=args.memoize)
+        document = evaluator.materialize(view)
+        text = serialize_pretty(document) if args.pretty else serialize(document)
+        _write_output(text, args.out)
+        print(
+            f"{evaluator.stats.elements_created} elements, "
+            f"{db.stats.queries_executed} queries",
+            file=sys.stderr,
+        )
+    finally:
+        db.close()
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """``repro run``: plan and execute a stylesheet (hybrid executor)."""
+    catalog = load_catalog(args.catalog)
+    view = load_view(args.view, catalog)
+    stylesheet = _read_stylesheet(args.stylesheet)
+    executor = HybridExecutor(
+        view, stylesheet, catalog,
+        fallback_builtin_rules=args.builtin_rules,
+    )
+    print(f"plan: {executor.plan.kind}", file=sys.stderr)
+    db = Database.open(catalog, args.db)
+    try:
+        document = executor.execute(db)
+        text = serialize_pretty(document) if args.pretty else serialize(document)
+        _write_output(text, args.out)
+    finally:
+        db.close()
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    """``repro demo``: write demo catalog/view/stylesheet/database files."""
+    from repro.workloads.hotel import (
+        HotelDataSpec,
+        hotel_catalog,
+        populate_hotel_database,
+    )
+    from repro.workloads.paper import figure1_view, _FIGURE4
+
+    os.makedirs(args.out, exist_ok=True)
+    catalog = hotel_catalog()
+    catalog_path = os.path.join(args.out, "catalog.xml")
+    view_path = os.path.join(args.out, "view.xml")
+    stylesheet_path = os.path.join(args.out, "stylesheet.xsl")
+    db_path = os.path.join(args.out, "hotel.sqlite")
+    save_catalog(catalog, catalog_path)
+    save_view(figure1_view(catalog), view_path)
+    with open(stylesheet_path, "w") as handle:
+        handle.write(_FIGURE4.strip() + "\n")
+    if os.path.exists(db_path):
+        os.remove(db_path)
+    db = Database(catalog, path=db_path)
+    populate_hotel_database(db, HotelDataSpec().scaled(args.scale))
+    db.close()
+    for path in (catalog_path, view_path, stylesheet_path, db_path):
+        print(f"wrote {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse parser for the repro CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Compose XSL transformations with XML publishing views "
+        "(SIGMOD 2003 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compose_parser = sub.add_parser("compose", help="compose a stylesheet with a view")
+    compose_parser.add_argument("--catalog", required=True)
+    compose_parser.add_argument("--view", required=True)
+    compose_parser.add_argument("--stylesheet", required=True)
+    compose_parser.add_argument("--out", "-o")
+    compose_parser.add_argument("--paper-mode", action="store_true",
+                                help="reproduce the paper's exact query shapes")
+    compose_parser.add_argument("--prune", action="store_true",
+                                help="run dead-column elimination")
+    compose_parser.set_defaults(func=cmd_compose)
+
+    explain_parser = sub.add_parser("explain", help="show CTG/TVQ/plan")
+    explain_parser.add_argument("--catalog", required=True)
+    explain_parser.add_argument("--view", required=True)
+    explain_parser.add_argument("--stylesheet", required=True)
+    explain_parser.add_argument("--dot", action="store_true",
+                                help="emit Graphviz DOT instead of text")
+    explain_parser.set_defaults(func=cmd_explain)
+
+    materialize_parser = sub.add_parser(
+        "materialize", help="evaluate a view against a database"
+    )
+    materialize_parser.add_argument("--catalog", required=True)
+    materialize_parser.add_argument("--view", required=True)
+    materialize_parser.add_argument("--db", required=True)
+    materialize_parser.add_argument("--out", "-o")
+    materialize_parser.add_argument("--memoize", action="store_true")
+    materialize_parser.add_argument("--pretty", action="store_true")
+    materialize_parser.set_defaults(func=cmd_materialize)
+
+    run_parser = sub.add_parser("run", help="plan and execute a stylesheet")
+    run_parser.add_argument("--catalog", required=True)
+    run_parser.add_argument("--view", required=True)
+    run_parser.add_argument("--stylesheet", required=True)
+    run_parser.add_argument("--db", required=True)
+    run_parser.add_argument("--out", "-o")
+    run_parser.add_argument("--pretty", action="store_true")
+    run_parser.add_argument("--builtin-rules", default="empty",
+                            choices=["empty", "standard"])
+    run_parser.set_defaults(func=cmd_run)
+
+    demo_parser = sub.add_parser("demo", help="write demo artifacts")
+    demo_parser.add_argument("--out", default="repro-demo")
+    demo_parser.add_argument("--scale", type=int, default=1)
+    demo_parser.set_defaults(func=cmd_demo)
+
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1

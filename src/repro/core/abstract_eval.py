@@ -1,0 +1,430 @@
+"""Schema-level pattern evaluation: MATCHQ and SELECTQ (Section 3.5).
+
+Both functions mirror their instance-level counterparts but operate on
+schema-tree nodes, returning tree patterns:
+
+* ``MATCHQ(n, r)`` — does ``match(r)`` match some suffix of the path from
+  the schema root to ``n``? Returns the corresponding chain tree pattern
+  (its deepest node is the *query context node*), or ``None``.
+* ``SELECTQ(n1, a, n2)`` — can ``select(a)``, abstractly applied at
+  ``n1``, reach ``n2``? Returns a tree pattern containing every node the
+  walk visits (``n1`` is the *query context node*, ``n2`` the *new query
+  context node*), or ``None``.
+
+Step predicates are folded into the pattern: attribute comparisons attach
+to the TPNode for the step; relative-path predicates expand into existence
+branches (Figure 18); ``not(path)`` expands into a negated branch (needed
+to compose the Figure 24 conflict rewrite).
+
+Descendant (``//``) steps and ambiguous walks (a step that can reach the
+target along several distinct schema paths) raise
+:class:`~repro.errors.UnsupportedFeatureError` — the former is
+``XSLT_basic`` restriction (9), the latter keeps COMBINE's "result will be
+a tree / will be unique" precondition honest.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import UnsupportedFeatureError
+from repro.core.tree_pattern import CrossNodeCondition, TPNode, TreePattern
+from repro.schema_tree.model import SchemaNode
+from repro.xpath.ast import (
+    AttributeRef,
+    Axis,
+    BinaryOp,
+    Expr,
+    FunctionCall,
+    Literal,
+    LocationPath,
+    NumberLiteral,
+    PathExpr,
+    Step,
+    VariableRef,
+)
+from repro.xslt.model import ApplyTemplates, TemplateRule
+
+# One abstract move: ("self" | "up" | "down", schema node, step predicates).
+_Move = tuple[str, SchemaNode, tuple[Expr, ...]]
+
+
+def matchq(node: SchemaNode, rule: TemplateRule) -> Optional[TreePattern]:
+    """MATCHQ(n, r): the match tree pattern, or ``None`` (Section 3.5)."""
+    pattern = rule.match
+    if pattern.is_root:
+        if node.is_root:
+            tp = TPNode(node)
+            return TreePattern(root=tp, context=tp)
+        return None
+    if node.is_root:
+        return None
+    if pattern.uses_descendant_axis():
+        raise UnsupportedFeatureError(
+            "descendant-axis", f"pattern {pattern.to_text()!r}"
+        )
+    steps = [s for s in pattern.path.steps]
+    for step in steps:
+        if step.axis is not Axis.CHILD:
+            raise UnsupportedFeatureError(
+                f"{step.axis.value}-axis in match pattern", pattern.to_text()
+            )
+    # The incoming schema path, excluding the synthetic root.
+    path = [n for n in node.path_from_root() if not n.is_root]
+    if len(steps) > len(path):
+        return None
+    if pattern.path.absolute and len(steps) != len(path):
+        return None
+    suffix = path[len(path) - len(steps):]
+    for step, schema_node in zip(steps, suffix):
+        if step.node_test != "*" and step.node_test != schema_node.tag:
+            return None
+    # Build the chain pattern, attaching step predicates.
+    root_tp: Optional[TPNode] = None
+    current: Optional[TPNode] = None
+    for step, schema_node in zip(steps, suffix):
+        tp = TPNode(schema_node)
+        if current is None:
+            root_tp = tp
+        else:
+            current.add_child(tp)
+        current = tp
+        _attach_predicates(tp, step.predicates)
+    assert root_tp is not None and current is not None
+    return TreePattern(root=_topmost(root_tp), context=current)
+
+
+def selectq(
+    source: SchemaNode, apply: ApplyTemplates, target: SchemaNode
+) -> Optional[TreePattern]:
+    """SELECTQ(n1, a, n2): the select tree pattern, or ``None``."""
+    path = apply.select
+    moves = _walk_path(source, path, target)
+    if moves is None:
+        return None
+    return _build_pattern(source, moves, target)
+
+
+def abstract_targets(source: SchemaNode, path: LocationPath) -> list[SchemaNode]:
+    """All schema nodes reachable from ``source`` along ``path``.
+
+    Used by the CTG builder to enumerate candidate (n2, r2) pairs without
+    trying every node in the view.
+    """
+    states = _initial_states(source, path)
+    for step in path.steps:
+        next_states: list[list[_Move]] = []
+        for trace in states:
+            next_states.extend(_apply_step(trace, step))
+        states = next_states
+    targets: list[SchemaNode] = []
+    for trace in states:
+        end = trace[-1][1] if trace else source
+        if end not in targets:
+            targets.append(end)
+    return targets
+
+
+# ---------------------------------------------------------------------------
+# Abstract walking
+# ---------------------------------------------------------------------------
+
+
+def _initial_states(source: SchemaNode, path: LocationPath) -> list[list[_Move]]:
+    if path.absolute:
+        root = source.path_from_root()[0]
+        return [[("jump-root", root, ())]]
+    return [[("self", source, ())]]
+
+
+def _walk_path(
+    source: SchemaNode, path: LocationPath, target: SchemaNode
+) -> Optional[list[_Move]]:
+    """Enumerate traces of ``path`` from ``source``; return the unique trace
+    ending at ``target``, ``None`` if there is none."""
+    states = _initial_states(source, path)
+    if not path.steps:
+        # A bare "/" or "." select.
+        matching = [t for t in states if (t[-1][1] if t else source) is target]
+        return matching[0] if matching else None
+    for step in path.steps:
+        next_states: list[list[_Move]] = []
+        for trace in states:
+            next_states.extend(_apply_step(trace, step))
+        states = next_states
+    matching = [t for t in states if t[-1][1] is target]
+    if not matching:
+        return None
+    if len(matching) > 1:
+        raise UnsupportedFeatureError(
+            "ambiguous-path",
+            f"select {path.to_text()!r} reaches <{target.tag}> along "
+            f"{len(matching)} distinct schema paths",
+        )
+    return matching[0]
+
+
+def _apply_step(trace: list[_Move], step: Step) -> list[list[_Move]]:
+    current = trace[-1][1]
+    if step.axis is Axis.DESCENDANT_OR_SELF:
+        raise UnsupportedFeatureError(
+            "descendant-axis", "'//' in a select expression"
+        )
+    if step.axis is Axis.ATTRIBUTE:
+        raise UnsupportedFeatureError(
+            "attribute-axis", "attribute steps cannot select context nodes"
+        )
+    if step.axis is Axis.SELF:
+        if step.node_test not in ("*", current.tag):
+            return []
+        return [trace + [("self", current, step.predicates)]]
+    if step.axis is Axis.PARENT:
+        parent = current.parent
+        if parent is None:
+            return []
+        if step.node_test not in ("*", parent.tag) and not parent.is_root:
+            return []
+        return [trace + [("up", parent, step.predicates)]]
+    # CHILD axis: one branch per matching child.
+    branches: list[list[_Move]] = []
+    for child in current.children:
+        if step.node_test in ("*", child.tag):
+            branches.append(trace + [("down", child, step.predicates)])
+    return branches
+
+
+def _build_pattern(
+    source: SchemaNode, moves: list[_Move], target: SchemaNode
+) -> TreePattern:
+    """Turn a unique trace into a tree pattern (Figure 8's shapes)."""
+    context_tp = TPNode(source)
+    root_tp = context_tp
+    current = context_tp
+    for kind, schema_node, predicates in moves:
+        if kind == "jump-root":
+            # Absolute select: re-anchor at the schema root. Link the
+            # context chain below it only if the source is under the root
+            # (it always is); the root becomes the pattern root.
+            if schema_node is source:
+                current = context_tp
+            else:
+                chain = source.path_from_root()
+                tp_chain = [TPNode(n) for n in chain]
+                for parent_tp, child_tp in zip(tp_chain, tp_chain[1:]):
+                    parent_tp.add_child(child_tp)
+                # Reuse the already-created context node at the bottom.
+                if len(tp_chain) >= 2:
+                    tp_chain[-2].children.remove(tp_chain[-1])
+                    tp_chain[-2].add_child(context_tp)
+                else:
+                    context_tp = tp_chain[0]
+                root_tp = tp_chain[0]
+                current = tp_chain[0]
+        elif kind == "self":
+            if current.schema_node is not schema_node:  # pragma: no cover
+                raise AssertionError("trace out of sync with pattern")
+            _attach_predicates(current, predicates)
+        elif kind == "up":
+            if current.parent is not None:
+                current = current.parent
+            else:
+                parent_tp = TPNode(schema_node)
+                parent_tp.add_child(root_tp)
+                root_tp = parent_tp
+                current = parent_tp
+            _attach_predicates(current, predicates)
+        elif kind == "down":
+            child_tp = TPNode(schema_node)
+            current.add_child(child_tp)
+            current = child_tp
+            _attach_predicates(current, predicates)
+        else:  # pragma: no cover - defensive
+            raise AssertionError(f"unknown move {kind!r}")
+    return TreePattern(root=_topmost(root_tp), context=context_tp, new_context=current)
+
+
+def _topmost(tp: TPNode) -> TPNode:
+    """The root of the pattern ``tp`` belongs to (predicate branches may
+    have extended the pattern above the chain that was built first)."""
+    while tp.parent is not None:
+        tp = tp.parent
+    return tp
+
+
+# ---------------------------------------------------------------------------
+# Predicate folding
+# ---------------------------------------------------------------------------
+
+
+def _attach_predicates(tp: TPNode, predicates: tuple[Expr, ...]) -> None:
+    for predicate in predicates:
+        _attach_one(tp, predicate)
+
+
+def _attach_one(tp: TPNode, predicate: Expr) -> None:
+    """Fold one predicate into the pattern node.
+
+    Conjunctions split; path expressions become existence branches;
+    ``not(path)`` becomes a negated branch; comparisons and other scalar
+    expressions attach to the node.
+    """
+    if isinstance(predicate, BinaryOp) and predicate.op == "and":
+        _attach_one(tp, predicate.left)
+        _attach_one(tp, predicate.right)
+        return
+    if isinstance(predicate, PathExpr):
+        _attach_branch(tp, predicate.path, negated=False)
+        return
+    if (
+        isinstance(predicate, FunctionCall)
+        and predicate.name == "not"
+        and len(predicate.args) == 1
+        and isinstance(predicate.args[0], PathExpr)
+    ):
+        _attach_branch(tp, predicate.args[0].path, negated=True)
+        return
+    _check_scalar_predicate(predicate)
+    tp.predicates.append(predicate)
+
+
+def _flatten_conjunction(expr: Expr) -> list[Expr]:
+    """Split a predicate into its top-level 'and' conjuncts."""
+    if isinstance(expr, BinaryOp) and expr.op == "and":
+        return _flatten_conjunction(expr.left) + _flatten_conjunction(expr.right)
+    return [expr]
+
+
+def _check_scalar_predicate(predicate: Expr) -> None:
+    """Verify a predicate only uses composable scalar forms."""
+    if isinstance(predicate, (AttributeRef, Literal, NumberLiteral, VariableRef)):
+        return
+    if isinstance(predicate, BinaryOp):
+        if predicate.op == "or":
+            _check_scalar_predicate(predicate.left)
+            _check_scalar_predicate(predicate.right)
+            return
+        if predicate.op in ("=", "!=", "<", "<=", ">", ">=", "+", "-"):
+            _check_scalar_predicate(predicate.left)
+            _check_scalar_predicate(predicate.right)
+            return
+        raise UnsupportedFeatureError(
+            "predicate", f"operator {predicate.op!r} in a composable predicate"
+        )
+    if isinstance(predicate, FunctionCall):
+        if predicate.name in ("true", "false"):
+            return
+        if predicate.name == "not" and len(predicate.args) == 1:
+            _check_scalar_predicate(predicate.args[0])
+            return
+        raise UnsupportedFeatureError(
+            "predicate", f"function {predicate.name}() in a composable predicate"
+        )
+    raise UnsupportedFeatureError(
+        "predicate", f"{type(predicate).__name__} in a composable predicate"
+    )
+
+
+def _attach_branch(tp: TPNode, path: LocationPath, negated: bool) -> None:
+    """Expand a path-existence predicate into branch TPNodes."""
+    if path.absolute:
+        raise UnsupportedFeatureError(
+            "predicate", "absolute paths in predicates are not composable"
+        )
+    states: list[list[_Move]] = [[("self", tp.schema_node, ())]]
+    for step in path.steps:
+        next_states: list[list[_Move]] = []
+        for trace in states:
+            next_states.extend(_apply_step(trace, step))
+        states = next_states
+    if not states:
+        # The branch can never exist: the predicate is statically false.
+        # Mark it with an always-empty negated/positive branch by attaching
+        # an impossible scalar predicate instead.
+        if negated:
+            return  # not(nothing) is always true - no condition needed.
+        tp.predicates.append(
+            BinaryOp("=", NumberLiteral(0.0), NumberLiteral(1.0))
+        )
+        return
+    if len(states) > 1:
+        raise UnsupportedFeatureError(
+            "ambiguous-path",
+            f"predicate path {path.to_text()!r} is ambiguous over the schema tree",
+        )
+    moves = states[0]
+    if negated and not any(kind == "down" for kind, _, _ in moves):
+        # The path only climbs (the reversed patterns of Figure 24): the
+        # chain exists statically, so the negation reduces to a cross-node
+        # negated conjunction of the scalar predicates along the walk.
+        terms: list[tuple] = []
+        for _kind, schema_node, predicates in moves:
+            for predicate in predicates:
+                for scalar in _flatten_conjunction(predicate):
+                    _check_scalar_predicate(scalar)
+                    terms.append((schema_node, scalar))
+        if not terms:
+            # not(<statically existing chain>) is statically false.
+            tp.predicates.append(BinaryOp("=", NumberLiteral(0.0), NumberLiteral(1.0)))
+            return
+        tp.cross_conditions.append(CrossNodeCondition(tuple(terms)))
+        return
+    if negated and any(
+        predicates and kind in ("up", "self")
+        for kind, _, predicates in moves
+    ):
+        raise UnsupportedFeatureError(
+            "predicate",
+            "negated predicate paths mixing ancestor conditions with "
+            "descendant steps are not composable",
+        )
+    # Build the branch: leading '..' steps re-anchor at existing ancestors
+    # of tp in the pattern; 'down' steps create new branch nodes.
+    current = tp
+    first_created: Optional[TPNode] = None
+    for kind, schema_node, predicates in moves:
+        if kind == "up":
+            if first_created is not None:
+                # Once new branch nodes exist, climbing back up stays
+                # inside the branch.
+                if current.parent is None:  # pragma: no cover - defensive
+                    raise UnsupportedFeatureError(
+                        "predicate", "predicate path escapes its branch"
+                    )
+                current = current.parent
+            else:
+                anchor = _find_ancestor(current, schema_node)
+                if anchor is None:
+                    # The predicate climbs above the chain built so far
+                    # (e.g. the reversed patterns of the Figure 24
+                    # conflict rewrite): extend the pattern upward. The
+                    # caller re-derives the pattern root from parent
+                    # links afterwards.
+                    top = current
+                    while top.parent is not None:
+                        top = top.parent
+                    anchor = TPNode(schema_node)
+                    anchor.add_child(top)
+                current = anchor
+        elif kind == "down":
+            child_tp = TPNode(schema_node)
+            current.add_child(child_tp)
+            if first_created is None:
+                first_created = child_tp
+            current = child_tp
+        # "self" moves only carry predicates.
+        _attach_predicates(current, predicates)
+    if negated:
+        if first_created is None:
+            raise UnsupportedFeatureError(
+                "predicate", "cannot negate a predicate that only climbs upward"
+            )
+        first_created.negated = True
+
+
+def _find_ancestor(tp: TPNode, schema_node: SchemaNode) -> Optional[TPNode]:
+    node: Optional[TPNode] = tp.parent
+    while node is not None:
+        if node.schema_node is schema_node:
+            return node
+        node = node.parent
+    return None

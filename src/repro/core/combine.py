@@ -1,0 +1,63 @@
+"""The COMBINE function (Section 3.5, Figure 8; predicates per Section 5.1).
+
+Given the select tree pattern ``t`` (from SELECTQ) and the match tree
+pattern ``p`` (from MATCHQ), COMBINE unifies ``t``'s new query context
+node with ``p``'s query context node — they reference the same schema
+node by construction — and keeps unifying parents as long as both exist.
+Match-chain nodes above ``t``'s root extend the pattern upward. When two
+nodes unify, their predicate lists concatenate (the ``[p1 and p2]`` rule
+of Section 5.1) and predicate branches hanging off the match chain are
+grafted onto the unified node.
+
+The result is the *select-match subtree* ``smt`` annotated on a CTG edge.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import UnificationError
+from repro.core.tree_pattern import TPNode, TreePattern
+
+
+def combine(select_pattern: TreePattern, match_pattern: TreePattern) -> TreePattern:
+    """COMBINE(t, p): the unified select-match subtree.
+
+    Neither input is mutated; the result is a fresh pattern whose
+    ``context``/``new_context`` markers come from the select pattern.
+
+    Raises:
+        UnificationError: if the two context nodes (or any unified
+            ancestor pair) reference different schema nodes.
+    """
+    if select_pattern.new_context is None:
+        raise UnificationError("select pattern has no new query context node")
+    if match_pattern.context is None:
+        raise UnificationError("match pattern has no query context node")
+
+    smt = select_pattern.clone()
+    u_t: Optional[TPNode] = smt.new_context
+    u_p: Optional[TPNode] = match_pattern.context
+    match_chain = set(id(n) for n in match_pattern.context.path_from_root())
+
+    while u_p is not None:
+        if u_t is None:
+            # The match chain extends above the select pattern's root:
+            # grow the pattern upward (Figure 8's metro node).
+            new_root = TPNode(u_p.schema_node)
+            new_root.add_child(smt.root)
+            smt.root = new_root
+            u_t = new_root
+        if u_t.schema_node.id != u_p.schema_node.id:
+            raise UnificationError(
+                f"cannot unify <{u_t.tag}> (id {u_t.schema_id}) with "
+                f"<{u_p.tag}> (id {u_p.schema_id})"
+            )
+        u_t.predicates.extend(u_p.predicates)
+        u_t.cross_conditions.extend(u_p.cross_conditions)
+        for branch in u_p.children:
+            if id(branch) not in match_chain:
+                u_t.add_child(branch.clone_subtree())
+        u_p = u_p.parent
+        u_t = u_t.parent
+    return smt

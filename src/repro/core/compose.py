@@ -1,0 +1,86 @@
+"""Top-level drivers for the composition algorithm (Figure 9).
+
+* :func:`compose_basic` — the four steps verbatim; the stylesheet must
+  already be in the composable dialect (``XSLT_basic`` plus predicates).
+* :func:`compose` — applies the Section 5.2 source-to-source rewrites
+  first (flow control, general value-of, conflict resolution), then runs
+  :func:`compose_basic`.
+"""
+
+from __future__ import annotations
+
+from repro.core.ctg import build_ctg
+from repro.core.ott import connect_otts, generate_ott
+from repro.core.stylesheet_view import (
+    attach_queries,
+    eliminate_pseudo_roots,
+    to_schema_tree,
+)
+from repro.core.tvq import build_tvq
+from repro.relational.schema import Catalog
+from repro.schema_tree.model import SchemaTreeQuery
+from repro.xslt.model import Stylesheet
+
+
+def compose_basic(
+    view: SchemaTreeQuery,
+    stylesheet: Stylesheet,
+    catalog: Catalog,
+    max_nodes: int = 10_000,
+    paper_mode: bool = False,
+) -> SchemaTreeQuery:
+    """Compose(v, x): produce the stylesheet view ``v'`` (Figure 9).
+
+    For every database instance ``I``, evaluating the returned view gives
+    the same document as running ``stylesheet`` over ``view(I)``.
+
+    Raises:
+        UnsupportedFeatureError: when the stylesheet is outside the
+            composable dialect (use :func:`compose`, or
+            :class:`~repro.core.hybrid.HybridExecutor` for recursion).
+        CompositionError: on malformed inputs or TVQ blowup past
+            ``max_nodes``.
+    """
+    ctg = build_ctg(view, stylesheet)
+    tvq = build_tvq(ctg, catalog, max_nodes=max_nodes, paper_mode=paper_mode)
+    otts = {id(node): generate_ott(node, catalog) for node in tvq.root.walk()}
+    root_ott = connect_otts(tvq.root, otts)
+    attach_queries(tvq, otts)
+    top_level = eliminate_pseudo_roots(root_ott, catalog, paper_mode=paper_mode)
+    return to_schema_tree(top_level)
+
+
+def compose(
+    view: SchemaTreeQuery,
+    stylesheet: Stylesheet,
+    catalog: Catalog,
+    max_nodes: int = 10_000,
+    apply_rewrites: bool = True,
+    paper_mode: bool = False,
+) -> SchemaTreeQuery:
+    """Rewrite to the composable dialect, then compose.
+
+    The rewrite pipeline lowers ``xsl:if``/``xsl:choose``/``xsl:for-each``
+    (Figures 21-22), general ``xsl:value-of`` (Figure 23), and resolves
+    rule conflicts by priority (Figure 24).
+    """
+    if not apply_rewrites:
+        return compose_basic(
+            view, stylesheet, catalog, max_nodes=max_nodes, paper_mode=paper_mode
+        )
+    from repro.errors import UnsupportedFeatureError
+    from repro.core.rewrites.pipeline import rewrite_to_basic
+
+    lowered = rewrite_to_basic(stylesheet)
+    try:
+        return compose_basic(
+            view, lowered, catalog, max_nodes=max_nodes, paper_mode=paper_mode
+        )
+    except UnsupportedFeatureError as exc:
+        if exc.feature != "conflicting-rules":
+            raise
+    # Dynamic conflicts: apply the Figure 24 rewrite and retry.
+    lowered = rewrite_to_basic(stylesheet, with_conflict_resolution=True)
+    return compose_basic(
+        view, lowered, catalog, max_nodes=max_nodes, paper_mode=paper_mode
+    )

@@ -1,0 +1,103 @@
+"""The hybrid executor: compose what is composable, interpret the rest.
+
+Planning ladder (cheapest execution first):
+
+1. **composed** — full composition succeeded; evaluating the stylesheet
+   view alone produces the answer (no XSLT processing at runtime).
+2. **recursive** — the Section 5.3 partial pushdown applies: evaluate the
+   (small) composed view, then run the rewritten stylesheet over it.
+3. **fallback** — materialize the original view and run the original
+   stylesheet; always correct.
+
+The chosen plan records why the better plans were rejected, which the
+benchmark harness reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import CompositionError, UnsupportedFeatureError
+from repro.core.compose import compose
+from repro.core.recursion import RecursivePlan, compose_recursive_pair
+from repro.relational.engine import Database
+from repro.relational.schema import Catalog
+from repro.schema_tree.evaluator import ViewEvaluator
+from repro.schema_tree.model import SchemaTreeQuery
+from repro.xmlcore.nodes import Document
+from repro.xslt.model import Stylesheet
+from repro.xslt.processor import XSLTProcessor
+
+
+@dataclass
+class HybridPlan:
+    """A chosen execution strategy."""
+
+    kind: str  # "composed" | "recursive" | "fallback"
+    view: SchemaTreeQuery
+    stylesheet: Optional[Stylesheet] = None
+    builtin_rules: str = "empty"
+    notes: list[str] = field(default_factory=list)
+
+
+class HybridExecutor:
+    """Plans and executes a stylesheet over a publishing view."""
+
+    def __init__(
+        self,
+        view: SchemaTreeQuery,
+        stylesheet: Stylesheet,
+        catalog: Catalog,
+        max_nodes: int = 10_000,
+        fallback_builtin_rules: str = "empty",
+    ):
+        self.view = view
+        self.stylesheet = stylesheet
+        self.catalog = catalog
+        self.fallback_builtin_rules = fallback_builtin_rules
+        self.plan = self._plan(max_nodes)
+
+    def _plan(self, max_nodes: int) -> HybridPlan:
+        notes: list[str] = []
+        try:
+            composed = compose(
+                self.view, self.stylesheet, self.catalog, max_nodes=max_nodes
+            )
+            return HybridPlan(kind="composed", view=composed, notes=notes)
+        except (UnsupportedFeatureError, CompositionError) as exc:
+            notes.append(f"full composition rejected: {exc}")
+        # Recursive stylesheets fail full composition in several ways (a
+        # cyclic CTG, variables in predicates, or no root rule at all when
+        # the entry rule matches an element), so the partial pushdown is
+        # attempted on any failure; it rejects cleanly when the shape does
+        # not fit.
+        try:
+            plan = compose_recursive_pair(self.view, self.stylesheet, self.catalog)
+            return HybridPlan(
+                kind="recursive",
+                view=plan.view,
+                stylesheet=plan.stylesheet,
+                builtin_rules="standard",
+                notes=notes,
+            )
+        except (UnsupportedFeatureError, CompositionError) as exc:
+            notes.append(f"recursive pushdown rejected: {exc}")
+        return HybridPlan(
+            kind="fallback",
+            view=self.view,
+            stylesheet=self.stylesheet,
+            builtin_rules=self.fallback_builtin_rules,
+            notes=notes,
+        )
+
+    def execute(self, db: Database) -> Document:
+        """Run the chosen plan against a database."""
+        evaluator = ViewEvaluator(db)
+        document = evaluator.materialize(self.plan.view)
+        if self.plan.stylesheet is None:
+            return document
+        processor = XSLTProcessor(
+            self.plan.stylesheet, builtin_rules=self.plan.builtin_rules
+        )
+        return processor.process_document(document)

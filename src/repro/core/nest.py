@@ -1,0 +1,117 @@
+"""NEST (Figure 11, with the Figure 19 predicate changes).
+
+``nest(tp, catalog)`` builds the *nested tag query* Θ for a tree-pattern
+node: a clone of the schema node's tag query with
+
+* the TPNode's own predicates folded into WHERE/HAVING,
+* one ``EXISTS`` (or ``NOT EXISTS`` for negated branches — our extension)
+  subquery per tree-pattern child, recursively.
+
+The result still references ancestor binding variables as parameters;
+UNBIND later inlines or renames them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import CompositionError, UnsupportedFeatureError
+from repro.core.predicates import (
+    OwnQueryResolver,
+    ParamResolver,
+    apply_cross_conditions,
+    apply_predicates,
+)
+from repro.core.tree_pattern import TPNode
+from repro.sql.analysis import TableColumns, from_item_columns, output_columns
+from repro.sql.ast import ColumnRef, ExistsExpr, ParamRef, Select, UnaryOp
+from repro.sql.params import map_exprs
+
+
+def nest(
+    tp: TPNode,
+    catalog: TableColumns,
+    exclude_child: Optional[TPNode] = None,
+) -> Select:
+    """Θ(tp): the nested tag query for a tree-pattern node.
+
+    Args:
+        tp: the tree-pattern node; its schema node must carry a tag query.
+        catalog: column resolution for predicate translation.
+        exclude_child: the on-path child to skip (the ``p'`` argument of
+            Figure 11's ``NEST(p, p')``) — its query is inlined by UNBIND
+            instead of nested under EXISTS.
+
+    Raises:
+        CompositionError: if the schema node has no tag query (only the
+            synthetic root lacks one, and NEST is never called on it).
+    """
+    if tp.schema_node.tag_query is None:
+        raise CompositionError(
+            f"schema node {tp.schema_node.id} <{tp.tag}> has no tag query"
+        )
+    query = tp.schema_node.tag_query.clone()
+    if tp.predicates:
+        apply_predicates(query, tp.predicates, OwnQueryResolver(query, catalog))
+    if tp.cross_conditions:
+        own = OwnQueryResolver(query, catalog)
+
+        def resolver_for(schema_node):
+            if schema_node is tp.schema_node:
+                return own
+            columns = (
+                output_columns(schema_node.tag_query, catalog)
+                if schema_node.tag_query is not None
+                else []
+            )
+            return ParamResolver(schema_node.bv, columns)
+
+        apply_cross_conditions(query, tp.cross_conditions, resolver_for)
+    own_bv = tp.schema_node.bv
+    for child in tp.children:
+        if child is exclude_child:
+            continue
+        subquery = nest(child, catalog)
+        if own_bv is not None:
+            # The child's query references this node's binding variable;
+            # inside the EXISTS the reference becomes a correlated column
+            # of this query's FROM tables.
+            _correlate_self_params(subquery, own_bv, query, catalog)
+        condition = ExistsExpr(subquery)
+        if child.negated:
+            query.add_where(UnaryOp("NOT", condition))
+        else:
+            query.add_where(condition)
+    return query
+
+
+def _correlate_self_params(
+    subquery: Select, bv: str, owner: Select, catalog: TableColumns
+) -> None:
+    """Rewrite ``$bv.col`` inside an EXISTS body into correlated column
+    references against the owning query's FROM items."""
+
+    def fn(expr):
+        if isinstance(expr, ParamRef) and expr.var == bv:
+            return resolve_source_column(owner, expr.column, catalog)
+        return None
+
+    map_exprs(subquery, fn)
+
+
+def resolve_source_column(query: Select, column: str, catalog: TableColumns) -> ColumnRef:
+    """A qualified reference to ``column`` among ``query``'s FROM items.
+
+    Raises:
+        UnsupportedFeatureError: if no FROM item supplies the column (it
+            is a computed/aggregate output, which a correlated subquery
+            cannot reference).
+    """
+    for from_item in query.from_items:
+        if column in from_item_columns(from_item, catalog):
+            return ColumnRef(column, table=from_item.binding_name)
+    raise UnsupportedFeatureError(
+        "correlated-computed-column",
+        f"column {column!r} is computed by the query and cannot be "
+        "referenced from a correlated subquery",
+    )

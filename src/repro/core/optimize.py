@@ -1,0 +1,109 @@
+"""Post-composition optimization of stylesheet views.
+
+The paper defers "optimization of ... the resulting queries" to future
+work (Section 1) and points at classic nested-query optimization [8].
+This module implements the most profitable and safely-checkable pass for
+the queries UNBIND produces: **dead column elimination**.
+
+Unbinding carries *every* ancestor column through each composed query
+(Figure 7(a)'s ``TEMP.*``), but a node's row only needs:
+
+* the columns it surfaces as XML attributes (``attr_columns``),
+* the columns referenced as ``$bv.column`` by descendant tag queries or
+  by descendant nodes' ``attr_columns`` (through ``attr_source_bv``).
+
+Everything else can be dropped from the SELECT list. GROUP BY lists are
+left untouched — grouping by an unprojected column is valid SQL and
+preserves the aggregation semantics exactly, so the pass cannot change
+results (the equivalence tests in ``tests/core/test_optimize.py`` verify
+this, and an ablation benchmark measures the payoff).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.schema_tree.model import SchemaNode, SchemaTreeQuery
+from repro.sql.analysis import TableColumns
+from repro.sql.ast import ParamRef, SelectItem
+from repro.sql.params import walk_exprs
+from repro.sql.transform import expand_stars
+
+
+@dataclass
+class PruneReport:
+    """What dead-column elimination removed."""
+
+    nodes_pruned: int = 0
+    columns_removed: int = 0
+    columns_kept: int = 0
+
+
+def required_columns(node: SchemaNode) -> set[str]:
+    """The output columns a node's row must expose."""
+    needed: set[str] = set()
+    if node.attr_columns is None:
+        # The publishing default surfaces every column; nothing to prune.
+        return set()
+    needed.update(node.attr_columns)
+    needed.update(node.data_attributes.values())
+    if node.bv is None:
+        return needed
+    for descendant in node.walk():
+        if descendant is node:
+            continue
+        if descendant.tag_query is not None:
+            for expr in walk_exprs(descendant.tag_query):
+                if isinstance(expr, ParamRef) and expr.var == node.bv:
+                    needed.add(expr.column)
+        if descendant.attr_source_bv == node.bv:
+            if descendant.attr_columns:
+                needed.update(descendant.attr_columns)
+            needed.update(descendant.data_attributes.values())
+    return needed
+
+
+def prune_node_query(node: SchemaNode, catalog: TableColumns) -> tuple[int, int]:
+    """Drop unneeded SELECT items from one node's tag query.
+
+    Returns ``(removed, kept)`` column counts. No-ops when the node keeps
+    the surface-everything default (``attr_columns is None``).
+    """
+    query = node.tag_query
+    if query is None or node.attr_columns is None:
+        return (0, 0)
+    if query.distinct:
+        # Projecting fewer columns under DISTINCT changes the row count.
+        return (0, 0)
+    needed = required_columns(node)
+    expand_stars(query, catalog)
+    kept: list[SelectItem] = []
+    removed = 0
+    for item in query.items:
+        name = item.output_name()
+        if name is not None and name in needed:
+            kept.append(item)
+        else:
+            removed += 1
+    if not kept:
+        # The element must still be produced with the same cardinality;
+        # keeping the first original item preserves the one-row semantics
+        # of ungrouped aggregates (a constant would not).
+        kept = [query.items[0]]
+        removed -= 1
+    query.items = kept
+    return (removed, len(kept))
+
+
+def prune_stylesheet_view(
+    view: SchemaTreeQuery, catalog: TableColumns
+) -> PruneReport:
+    """Dead-column elimination over a whole (composed) view, in place."""
+    report = PruneReport()
+    for node in view.nodes(include_root=False):
+        removed, kept = prune_node_query(node, catalog)
+        if removed:
+            report.nodes_pruned += 1
+        report.columns_removed += removed
+        report.columns_kept += kept
+    return report

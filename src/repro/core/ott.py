@@ -1,0 +1,238 @@
+"""Step 3: Output Tag Trees (Sections 3.3, 4.3; Figure 14).
+
+For each TVQ node ``(n, r)``, ``generate_ott`` builds the tree form of
+rule ``r``'s output fragment under a *pseudo-root*:
+
+* literal result elements become ``element`` nodes (their literal XML
+  attributes are kept; ``<xsl:value-of select="@a"/>`` children turn into
+  *data attributes* pulled from the context row, per Section 4.3.1),
+* ``<xsl:value-of select="."/>`` becomes a ``context`` node carrying the
+  schema node's tag and original output columns,
+* ``<xsl:apply-templates>`` becomes an ``apply`` placeholder,
+
+and ``connect_otts`` splices the trees along TVQ edges (Section 4.3.2):
+each placeholder is replaced by the pseudo-roots of the TVQ children
+hanging off that apply-templates (zero children simply drop the
+placeholder — the select can never produce a composable context, so it
+contributes nothing).
+
+Features outside the composable output model raise
+:class:`~repro.errors.UnsupportedFeatureError`: literal text, flow
+control (lower it with :mod:`repro.core.rewrites` first), general
+``value-of`` selects, ``copy-of``, and parameterized apply-templates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import UnsupportedFeatureError
+from repro.core.tvq import TVQNode
+from repro.sql.analysis import TableColumns, output_columns
+from repro.sql.ast import Select
+from repro.xpath.ast import AttributeRef, ContextRef
+from repro.xslt.model import (
+    ApplyTemplates,
+    Choose,
+    CopyOf,
+    ForEach,
+    IfInstruction,
+    LiteralElement,
+    OutputNode,
+    TextOutput,
+    ValueOf,
+)
+
+PSEUDO = "pseudo"
+ELEMENT = "element"
+CONTEXT = "context"
+APPLY = "apply"
+
+
+@dataclass(eq=False)
+class OTTNode:
+    """One node of an output tag tree."""
+
+    kind: str
+    tag: str = ""
+    literal_attributes: dict[str, str] = field(default_factory=dict)
+    #: (XML attribute name, source column) pairs pulled from the context row.
+    data_attrs: list[tuple[str, str]] = field(default_factory=list)
+    context_columns: list[str] = field(default_factory=list)
+    apply: Optional[ApplyTemplates] = None
+    children: list["OTTNode"] = field(default_factory=list)
+    parent: Optional["OTTNode"] = None
+    # Filled by Step 4 (query copying / pushdown):
+    bv: Optional[str] = None
+    tag_query: Optional[Select] = None
+
+    def add_child(self, child: "OTTNode") -> "OTTNode":
+        """Attach ``child`` and return it."""
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def replace_child(self, old: "OTTNode", new_children: list["OTTNode"]) -> None:
+        """Splice ``new_children`` in place of ``old``."""
+        index = self.children.index(old)
+        for child in new_children:
+            child.parent = self
+        self.children[index:index + 1] = new_children
+        old.parent = None
+
+    def walk(self):
+        """Yield this node and its descendants, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def describe(self, depth: int = 0) -> str:
+        """Readable outline (tests compare against Figures 7(b)/14)."""
+        from repro.sql.printer import print_select
+
+        indent = "  " * depth
+        if self.kind == PSEUDO:
+            head = f"{indent}pseudo-root"
+        elif self.kind == APPLY:
+            head = f"{indent}apply-templates[{self.apply.select.to_text()}]"
+        elif self.kind == CONTEXT:
+            head = f"{indent}<{self.tag}> (value-of .)"
+        else:
+            attrs = "".join(f' {k}="{v}"' for k, v in self.literal_attributes.items())
+            data = "".join(f" {n}<-@{c}" for n, c in self.data_attrs)
+            head = f"{indent}<{self.tag}{attrs}>{data}"
+        if self.bv:
+            head += f" ${self.bv}"
+        if self.tag_query is not None:
+            head += f" := {print_select(self.tag_query)}"
+        lines = [head]
+        lines.extend(child.describe(depth + 1) for child in self.children)
+        return "\n".join(lines)
+
+
+def _context_columns(tvq_node: TVQNode, catalog: TableColumns) -> list[str]:
+    """The XML attributes a context node of this rule can carry."""
+    schema_node = tvq_node.schema_node
+    if schema_node.tag_query is None:
+        return []
+    if schema_node.attr_columns is not None:
+        return schema_node.attr_columns
+    return output_columns(schema_node.tag_query, catalog)
+
+
+def generate_ott(tvq_node: TVQNode, catalog: TableColumns) -> OTTNode:
+    """GENERATE_OTT(n, r): the output tag tree for one TVQ node."""
+    pseudo = OTTNode(PSEUDO)
+    for node in tvq_node.rule.output:
+        for built in _build(node, tvq_node, catalog):
+            pseudo.add_child(built)
+    return pseudo
+
+
+def _build(node: OutputNode, tvq_node: TVQNode, catalog: TableColumns) -> list[OTTNode]:
+    if isinstance(node, LiteralElement):
+        element = OTTNode(ELEMENT, tag=node.tag,
+                          literal_attributes=dict(node.attributes))
+        available = _context_columns(tvq_node, catalog)
+        for name, template in node.avt_attributes.items():
+            # The Section 4.4 formatting extension: attr="{@col}" renames a
+            # context column into an output attribute. Only the pure
+            # single-expression form is composable.
+            single = template.single_expression
+            if not isinstance(single, AttributeRef):
+                raise UnsupportedFeatureError(
+                    "avt",
+                    f"attribute value template {name!r} mixes text and "
+                    "expressions; only a single '{@attr}' composes",
+                )
+            if single.name in available:
+                element.data_attrs.append((name, single.name))
+        for child in node.children:
+            if isinstance(child, ValueOf) and isinstance(child.select, AttributeRef):
+                # Publishing model: value-of @a attaches an attribute to
+                # the enclosing element (Section 4.3.1). An attribute the
+                # context node can never carry is statically absent.
+                if child.select.name in available:
+                    element.data_attrs.append(
+                        (child.select.name, child.select.name)
+                    )
+                continue
+            for built in _build(child, tvq_node, catalog):
+                element.add_child(built)
+        return [element]
+    if isinstance(node, ApplyTemplates):
+        if node.with_params:
+            raise UnsupportedFeatureError(
+                "with-param", "parameterized apply-templates cannot be composed"
+            )
+        return [OTTNode(APPLY, apply=node)]
+    if isinstance(node, ValueOf):
+        if isinstance(node.select, ContextRef):
+            schema_node = tvq_node.schema_node
+            if schema_node.is_root:
+                raise UnsupportedFeatureError(
+                    "value-of", "value-of '.' in a rule matching the root"
+                )
+            if schema_node.tag_query is None:
+                # A query-less context element copies as a bare tag.
+                columns: list[str] = []
+            elif schema_node.attr_columns is not None:
+                columns = schema_node.attr_columns
+            else:
+                columns = output_columns(schema_node.tag_query, catalog)
+            return [
+                OTTNode(CONTEXT, tag=schema_node.tag, context_columns=list(columns))
+            ]
+        if isinstance(node.select, AttributeRef):
+            raise UnsupportedFeatureError(
+                "value-of",
+                "value-of '@attr' outside a literal element has no place "
+                "to attach the attribute",
+            )
+        raise UnsupportedFeatureError(
+            "value-of",
+            f"select {node.select.to_text()!r}: only '.' and '@attr' are "
+            "composable (restriction 10); apply the value-of rewrite first",
+        )
+    if isinstance(node, CopyOf):
+        raise UnsupportedFeatureError(
+            "copy-of", "copy-of cannot be composed (deep copies of view subtrees)"
+        )
+    if isinstance(node, TextOutput):
+        raise UnsupportedFeatureError(
+            "text-output",
+            "literal text in rule bodies is outside the publishing output model",
+        )
+    if isinstance(node, (IfInstruction, Choose, ForEach)):
+        raise UnsupportedFeatureError(
+            "flow-control",
+            f"<xsl:{type(node).__name__.lower()}>: apply the flow-control "
+            "rewrites first (Section 5.2.1)",
+        )
+    raise UnsupportedFeatureError("output", type(node).__name__)
+
+
+def connect_otts(
+    tvq_root: TVQNode,
+    otts: dict[int, OTTNode],
+) -> OTTNode:
+    """Connect per-node OTTs along TVQ edges (Figure 9 lines 26-28).
+
+    ``otts`` maps ``id(tvq_node)`` to its generated tree. Returns the root
+    tree (the root rule's), with every apply placeholder replaced by the
+    pseudo-roots of the TVQ children created for it.
+    """
+    for tvq_node in tvq_root.walk():
+        tree = otts[id(tvq_node)]
+        by_apply: dict[int, list[TVQNode]] = {}
+        for child in tvq_node.children:
+            by_apply.setdefault(id(child.apply), []).append(child)
+        for ott_node in list(tree.walk()):
+            if ott_node.kind != APPLY:
+                continue
+            children = by_apply.get(id(ott_node.apply), [])
+            replacements = [otts[id(c)] for c in children]
+            assert ott_node.parent is not None
+            ott_node.parent.replace_child(ott_node, replacements)
+    return otts[id(tvq_root)]

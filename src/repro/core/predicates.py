@@ -1,0 +1,267 @@
+"""Translation of XPath predicates into SQL conditions (Section 5.1).
+
+Two resolution contexts:
+
+* :class:`OwnQueryResolver` — the predicate applies to the node whose tag
+  query is being built: ``@attr`` resolves to that query's output column
+  (for aggregate outputs, the aggregate expression — the condition then
+  belongs in HAVING, as in Figure 20's ``HAVING SUM(capacity)>100``),
+* :class:`ParamResolver` — the predicate applies to an already-bound
+  context-path node: ``@attr`` resolves to a ``$bv.attr`` parameter
+  (Figure 20's ``$s_new.SUM_capacity<200``).
+
+Semantics notes (matching the instance-level XPath evaluator):
+
+* a reference to an attribute the node can never have is statically
+  *false* (missing attribute ⇒ comparison false, existence false) — the
+  translation folds the enclosing boolean accordingly, so ``not(@ghost)``
+  correctly becomes TRUE;
+* a bare ``@attr`` in boolean position means "attribute exists", i.e.
+  the column is non-NULL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import UnsupportedFeatureError
+from repro.sql import analysis
+from repro.sql.ast import (
+    BinOp,
+    ColumnRef,
+    Expr as SqlExpr,
+    FuncCall,
+    LiteralValue,
+    ParamRef,
+    Select,
+    UnaryOp,
+)
+from repro.xpath.ast import (
+    AttributeRef,
+    BinaryOp,
+    Expr as XPathExpr,
+    FunctionCall,
+    Literal,
+    NumberLiteral,
+    VariableRef,
+)
+
+#: SQL constants for statically-known truth values.
+TRUE_CONDITION = BinOp("=", LiteralValue(1), LiteralValue(1))
+FALSE_CONDITION = BinOp("=", LiteralValue(0), LiteralValue(1))
+
+_COMPARISON_MAP = {"=": "=", "!=": "<>", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+
+class _MissingAttribute(Exception):
+    """Internal signal: the referenced attribute cannot exist."""
+
+
+@dataclass
+class Resolved:
+    """A resolved attribute reference."""
+
+    expr: SqlExpr
+    is_aggregate: bool = False
+
+
+class OwnQueryResolver:
+    """Resolves ``@attr`` against the output columns of a query."""
+
+    def __init__(self, query: Select, catalog: analysis.TableColumns):
+        self._query = query
+        self._catalog = catalog
+
+    def resolve(self, name: str) -> Resolved:
+        """Resolve ``@name`` to a select-item expression of the query."""
+        from repro.sql.ast import Star
+
+        for item in self._query.items:
+            if isinstance(item.expr, Star):
+                for ref in analysis.expand_star_refs(
+                    item.expr, self._query, self._catalog
+                ):
+                    if ref.column == name:
+                        return Resolved(ref)
+            elif item.output_name() == name:
+                if isinstance(item.expr, FuncCall) and item.expr.is_aggregate:
+                    return Resolved(item.expr, is_aggregate=True)
+                return Resolved(item.expr)
+        raise _MissingAttribute(name)
+
+
+class ParamResolver:
+    """Resolves ``@attr`` against a bound binding variable's tuple."""
+
+    def __init__(self, bv: str, columns: Optional[list[str]] = None):
+        self._bv = bv
+        self._columns = columns
+
+    def resolve(self, name: str) -> Resolved:
+        """Resolve ``@name`` to a ``$bv.name`` parameter reference."""
+        if self._columns is not None and name not in self._columns:
+            raise _MissingAttribute(name)
+        return Resolved(ParamRef(self._bv, name))
+
+
+@dataclass
+class TranslatedPredicate:
+    """A translated predicate and where it belongs."""
+
+    condition: SqlExpr
+    needs_having: bool
+
+
+def translate_predicate(predicate: XPathExpr, resolver) -> TranslatedPredicate:
+    """Translate one XPath predicate to a SQL condition.
+
+    Raises:
+        UnsupportedFeatureError: for forms outside the composable dialect
+            (variables, unknown functions, path expressions — the latter
+            are extracted into pattern branches before translation).
+    """
+    state = _State()
+    condition = _bool(predicate, resolver, state)
+    return TranslatedPredicate(condition, state.uses_aggregate)
+
+
+class _State:
+    def __init__(self) -> None:
+        self.uses_aggregate = False
+
+
+def _bool(expr: XPathExpr, resolver, state: _State) -> SqlExpr:
+    if isinstance(expr, BinaryOp):
+        if expr.op in ("and", "or"):
+            left = _bool(expr.left, resolver, state)
+            right = _bool(expr.right, resolver, state)
+            return BinOp(expr.op.upper(), left, right)
+        if expr.op in _COMPARISON_MAP:
+            try:
+                left = _value(expr.left, resolver, state)
+                right = _value(expr.right, resolver, state)
+            except _MissingAttribute:
+                return FALSE_CONDITION
+            return BinOp(_COMPARISON_MAP[expr.op], left, right)
+        raise UnsupportedFeatureError(
+            "predicate", f"operator {expr.op!r} in boolean position"
+        )
+    if isinstance(expr, FunctionCall):
+        if expr.name == "not" and len(expr.args) == 1:
+            # XPath truth is two-valued: a comparison over a missing/NULL
+            # attribute is *false*, so its negation is *true*. SQL's
+            # three-valued NOT(NULL)=NULL would drop the row instead;
+            # COALESCE the operand to false first.
+            inner = _bool(expr.args[0], resolver, state)
+            return UnaryOp(
+                "NOT", FuncCall("COALESCE", (inner, LiteralValue(0)))
+            )
+        if expr.name == "true" and not expr.args:
+            return TRUE_CONDITION
+        if expr.name == "false" and not expr.args:
+            return FALSE_CONDITION
+        raise UnsupportedFeatureError("predicate", f"function {expr.name}()")
+    if isinstance(expr, AttributeRef):
+        # Existence test: the column is non-NULL.
+        try:
+            resolved = _resolve(expr, resolver, state)
+        except _MissingAttribute:
+            return FALSE_CONDITION
+        return UnaryOp("NOT", BinOp("IS", resolved, LiteralValue(None)))
+    if isinstance(expr, NumberLiteral):
+        return TRUE_CONDITION if expr.value != 0 else FALSE_CONDITION
+    if isinstance(expr, Literal):
+        return TRUE_CONDITION if expr.value else FALSE_CONDITION
+    if isinstance(expr, VariableRef):
+        raise UnsupportedFeatureError(
+            "variables", f"${expr.name} in a composable predicate"
+        )
+    raise UnsupportedFeatureError(
+        "predicate", f"{type(expr).__name__} in boolean position"
+    )
+
+
+def _value(expr: XPathExpr, resolver, state: _State) -> SqlExpr:
+    if isinstance(expr, AttributeRef):
+        return _resolve(expr, resolver, state)
+    if isinstance(expr, NumberLiteral):
+        value = expr.value
+        if value == int(value):
+            return LiteralValue(int(value))
+        return LiteralValue(value)
+    if isinstance(expr, Literal):
+        return LiteralValue(expr.value)
+    if isinstance(expr, BinaryOp) and expr.op in ("+", "-"):
+        left = _value(expr.left, resolver, state)
+        right = _value(expr.right, resolver, state)
+        return BinOp(expr.op, left, right)
+    if isinstance(expr, VariableRef):
+        raise UnsupportedFeatureError(
+            "variables", f"${expr.name} in a composable predicate"
+        )
+    raise UnsupportedFeatureError(
+        "predicate", f"{type(expr).__name__} in value position"
+    )
+
+
+def _resolve(ref: AttributeRef, resolver, state: _State) -> SqlExpr:
+    resolved = resolver.resolve(ref.name)
+    if resolved.is_aggregate:
+        state.uses_aggregate = True
+    return resolved.expr
+
+
+def apply_predicates(query: Select, predicates, resolver) -> None:
+    """Translate and attach predicates to a query's WHERE/HAVING.
+
+    XPath predicates filter the node's *output tuples*, so on a query
+    that aggregates at the top level every predicate belongs in HAVING —
+    even a constant or one referencing a grouping column — otherwise it
+    would filter the input rows feeding the aggregate instead.
+    """
+    from repro.sql.analysis import has_top_level_aggregate
+
+    aggregated = has_top_level_aggregate(query)
+    for predicate in predicates:
+        translated = translate_predicate(predicate, resolver)
+        if translated.needs_having or aggregated:
+            query.add_having(translated.condition)
+        else:
+            query.add_where(translated.condition)
+
+
+def translate_cross_condition(condition, resolver_for) -> TranslatedPredicate:
+    """Translate a :class:`~repro.core.tree_pattern.CrossNodeCondition`.
+
+    ``resolver_for(schema_node)`` supplies the attribute resolver for each
+    term's node. The result is ``NOT (term1 AND term2 AND ...)``.
+    """
+    state = _State()
+    combined: Optional[SqlExpr] = None
+    for schema_node, expr in condition.terms:
+        translated = _bool(expr, resolver_for(schema_node), state)
+        combined = translated if combined is None else BinOp("AND", combined, translated)
+    assert combined is not None
+    # Two-valued negation (see the not() case in _bool).
+    return TranslatedPredicate(
+        UnaryOp("NOT", FuncCall("COALESCE", (combined, LiteralValue(0)))),
+        state.uses_aggregate,
+    )
+
+
+def apply_cross_conditions(query: Select, conditions, resolver_for) -> None:
+    """Translate and attach cross-node negations to WHERE/HAVING.
+
+    Same output-tuple rule as :func:`apply_predicates`: aggregated
+    queries take every condition in HAVING.
+    """
+    from repro.sql.analysis import has_top_level_aggregate
+
+    aggregated = has_top_level_aggregate(query)
+    for condition in conditions:
+        translated = translate_cross_condition(condition, resolver_for)
+        if translated.needs_having or aggregated:
+            query.add_having(translated.condition)
+        else:
+            query.add_where(translated.condition)

@@ -1,0 +1,18 @@
+"""Section 5.2 source-to-source rewrites: lower XSLT supersets to the
+composable dialect (``XSLT_basic`` plus predicates).
+
+* :mod:`~repro.core.rewrites.flow_control` — ``xsl:if``, ``xsl:choose``,
+  ``xsl:for-each`` (Figures 21-22),
+* :mod:`~repro.core.rewrites.value_of` — general ``value-of`` selects
+  (Figure 23),
+* :mod:`~repro.core.rewrites.conflict` — priority-based conflict
+  resolution (Figure 24, corrected — see the module docstring),
+* :mod:`~repro.core.rewrites.pipeline` — the composition-ready pipeline.
+
+Every rewrite is semantics-preserving under the interpreter; the
+property-based tests in ``tests/rewrites`` check exactly that.
+"""
+
+from repro.core.rewrites.pipeline import rewrite_to_basic
+
+__all__ = ["rewrite_to_basic"]

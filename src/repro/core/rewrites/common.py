@@ -1,0 +1,91 @@
+"""Shared helpers for stylesheet rewrites."""
+
+from __future__ import annotations
+
+from repro.xslt.model import (
+    ApplyTemplates,
+    Choose,
+    ChooseWhen,
+    ForEach,
+    IfInstruction,
+    LiteralElement,
+    OutputNode,
+    Stylesheet,
+    TemplateRule,
+)
+
+
+class ModeAllocator:
+    """Generates fresh mode names that cannot collide with user modes."""
+
+    def __init__(self, stylesheet: Stylesheet, prefix: str = "__m"):
+        self._taken = set(stylesheet.modes())
+        self._prefix = prefix
+        self._counter = 0
+
+    def fresh(self) -> str:
+        """Return a new mode name unused so far."""
+        while True:
+            self._counter += 1
+            candidate = f"{self._prefix}{self._counter}"
+            if candidate not in self._taken:
+                self._taken.add(candidate)
+                return candidate
+
+
+def copy_output(nodes: list[OutputNode]) -> list[OutputNode]:
+    """Deep copy a rule body (rewrites must not alias the source)."""
+    return [_copy_node(n) for n in nodes]
+
+
+def _copy_node(node: OutputNode) -> OutputNode:
+    if isinstance(node, LiteralElement):
+        copy = LiteralElement(node.tag, dict(node.attributes))
+        copy.avt_attributes = dict(node.avt_attributes)
+        copy.children = copy_output(node.children)
+        return copy
+    if isinstance(node, ApplyTemplates):
+        return ApplyTemplates(
+            node.select, node.mode, list(node.with_params), list(node.sorts)
+        )
+    if isinstance(node, IfInstruction):
+        copy = IfInstruction(node.test)
+        copy.children = copy_output(node.children)
+        return copy
+    if isinstance(node, Choose):
+        copy = Choose()
+        for when in node.whens:
+            new_when = ChooseWhen(when.test)
+            new_when.children = copy_output(when.children)
+            copy.whens.append(new_when)
+        copy.otherwise = copy_output(node.otherwise)
+        return copy
+    if isinstance(node, ForEach):
+        copy = ForEach(node.select)
+        copy.sorts = list(node.sorts)
+        copy.children = copy_output(node.children)
+        return copy
+    # TextOutput, ValueOf, CopyOf hold immutable payloads; a shallow
+    # dataclass copy suffices.
+    import copy as _copylib
+
+    return _copylib.copy(node)
+
+
+def copy_rule(rule: TemplateRule) -> TemplateRule:
+    """Deep copy a template rule, preserving its stylesheet position.
+
+    Position matters: it is XSLT's tie-break between equal-priority rules,
+    and the conflict rewrite orders its dispatcher by it. Adding the copy
+    to a new Stylesheet reassigns the position anyway, but rewrites sort
+    copies *before* adding them.
+    """
+    copy = TemplateRule(
+        match=rule.match,
+        mode=rule.mode,
+        priority=rule.priority,
+        output=copy_output(rule.output),
+        params=list(rule.params),
+    )
+    copy.position = rule.position
+    return copy

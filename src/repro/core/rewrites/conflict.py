@@ -1,0 +1,137 @@
+"""Conflict resolution for template rules (Section 5.2.3, Figure 24).
+
+Potentially-conflicting rules — same mode, same name in the last location
+step (or a ``*`` step, which conflicts with everything) — are replaced by
+a **dispatcher**: one rule matching the common name whose body is an
+``xsl:choose`` testing, in priority order, the *reversed* pattern of each
+original rule, and dispatching to that rule under a fresh mode:
+
+.. code-block:: text
+
+    pattern_i = name1[p1]/name2[p2]/.../namen[pn]
+    expression_i = .[pn]/parent::name_{n-1}[p_{n-1}]/.../parent::name1[p1]
+
+This corrects a subtle issue in the paper's Figure 24, which moves rule 1
+out of mode ``m`` entirely — a node matched *only* by pattern 1 would
+then never be processed. The dispatcher keeps every original pattern
+reachable while still applying exactly the highest-priority matching
+rule.
+
+The dispatcher's ``choose`` is then lowered by the flow-control rewrite,
+so the full pipeline yields plain ``XSLT_basic`` + predicates.
+"""
+
+from __future__ import annotations
+
+from repro.errors import UnsupportedFeatureError
+from repro.core.rewrites.common import ModeAllocator, copy_rule
+from repro.xpath.ast import Axis, Expr, LocationPath, PathExpr, Step
+from repro.xpath.parser import parse_pattern
+from repro.xpath.patterns import Pattern
+from repro.xslt.model import (
+    ApplyTemplates,
+    Choose,
+    ChooseWhen,
+    Stylesheet,
+    TemplateRule,
+)
+
+
+def resolve_conflicts(stylesheet: Stylesheet) -> Stylesheet:
+    """Return an equivalent stylesheet with at most one same-mode rule
+    able to match any node."""
+    result = Stylesheet()
+    modes = ModeAllocator(stylesheet)
+    for mode in stylesheet.modes():
+        rules = [copy_rule(r) for r in stylesheet.rules_for_mode(mode)]
+        _emit_mode(rules, mode, modes, result)
+    return result
+
+
+def _emit_mode(
+    rules: list[TemplateRule],
+    mode: str,
+    modes: ModeAllocator,
+    result: Stylesheet,
+) -> None:
+    root_rules = [r for r in rules if r.match.is_root]
+    element_rules = [r for r in rules if not r.match.is_root]
+    for rule in root_rules:
+        # Root patterns only match the document root; more than one is a
+        # hard conflict with no data-dependent component.
+        result.add(rule)
+    if len(root_rules) > 1:
+        raise UnsupportedFeatureError(
+            "conflicting-rules", f"multiple '/' rules in mode {mode!r}"
+        )
+
+    has_star = any(r.match.last_name == "*" for r in element_rules)
+    groups: dict[str, list[TemplateRule]]
+    if has_star:
+        groups = {"*": element_rules}
+    else:
+        groups = {}
+        for rule in element_rules:
+            name = rule.match.last_name or "*"
+            groups.setdefault(name, []).append(rule)
+
+    for name, members in groups.items():
+        if len(members) < 2:
+            for rule in members:
+                result.add(rule)
+            continue
+        _emit_dispatcher(name, members, mode, modes, result)
+
+
+def _emit_dispatcher(
+    name: str,
+    members: list[TemplateRule],
+    mode: str,
+    modes: ModeAllocator,
+    result: Stylesheet,
+) -> None:
+    # Priority order: higher priority first; stylesheet position breaks
+    # ties (XSLT's recoverable behaviour picks the later rule).
+    members = sorted(
+        members,
+        key=lambda r: (r.effective_priority(), r.position),
+        reverse=True,
+    )
+    choose = Choose()
+    for rule in members:
+        fresh_mode = modes.fresh()
+        when = ChooseWhen(_reverse_pattern(rule.match))
+        when.children = [
+            ApplyTemplates(
+                LocationPath((Step(Axis.SELF, "*"),)), fresh_mode
+            )
+        ]
+        choose.whens.append(when)
+        result.add(
+            TemplateRule(match=rule.match, mode=fresh_mode, output=rule.output)
+        )
+    dispatcher = TemplateRule(
+        match=parse_pattern(name),
+        mode=mode,
+        output=[choose],
+    )
+    result.add(dispatcher)
+
+
+def _reverse_pattern(pattern: Pattern) -> Expr:
+    """``expression_i`` of Figure 24: the self-anchored reversal of a
+    match pattern, used as an existence test."""
+    if pattern.path.absolute:
+        raise UnsupportedFeatureError(
+            "conflicting-rules",
+            f"cannot reverse the anchored pattern {pattern.to_text()!r}",
+        )
+    if pattern.uses_descendant_axis():
+        raise UnsupportedFeatureError(
+            "descendant-axis", f"pattern {pattern.to_text()!r}"
+        )
+    steps = list(pattern.path.steps)
+    reversed_steps: list[Step] = [Step(Axis.SELF, steps[-1].node_test, steps[-1].predicates)]
+    for step in reversed(steps[:-1]):
+        reversed_steps.append(Step(Axis.PARENT, step.node_test, step.predicates))
+    return PathExpr(LocationPath(tuple(reversed_steps)))

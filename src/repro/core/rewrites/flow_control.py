@@ -1,0 +1,162 @@
+"""Flow-control lowering: xsl:if / xsl:choose / xsl:for-each (Figs 21-22).
+
+Each instruction becomes an ``apply-templates`` that re-selects the
+current context through a predicate (``.[test]``) in a **fresh mode**,
+plus a new template rule in that mode holding the instruction's body:
+
+* ``<xsl:if test="e">B</xsl:if>``  →  ``apply .[e] mode=m'`` + rule(B),
+* ``<xsl:choose>`` with whens ``e1..ek`` and otherwise  →  the guarded
+  chain ``.[e1]``, ``.[not(e1) and e2]``, …, ``.[not(e1) and … and
+  not(ek)]`` (Figure 22),
+* ``<xsl:for-each select="p">B</xsl:for-each>``  →  ``apply p mode=m'`` +
+  a rule matching ``p``'s last step name.
+
+The rewrite iterates to a fixpoint, so nested flow control lowers fully.
+"""
+
+from __future__ import annotations
+
+from repro.errors import UnsupportedFeatureError
+from repro.core.rewrites.common import ModeAllocator, copy_output, copy_rule
+from repro.xpath.ast import AttributeRef
+from repro.xslt.model import ValueOf
+from repro.xpath.ast import (
+    Axis,
+    BinaryOp,
+    Expr,
+    FunctionCall,
+    LocationPath,
+    PathExpr,
+    Step,
+)
+from repro.xpath.parser import parse_pattern
+from repro.xslt.model import (
+    ApplyTemplates,
+    Choose,
+    ForEach,
+    IfInstruction,
+    LiteralElement,
+    OutputNode,
+    Stylesheet,
+    TemplateRule,
+)
+
+
+def lower_flow_control(stylesheet: Stylesheet) -> Stylesheet:
+    """Return an equivalent stylesheet without if/choose/for-each."""
+    result = Stylesheet()
+    modes = ModeAllocator(stylesheet)
+    worklist = [copy_rule(rule) for rule in stylesheet.rules]
+    index = 0
+    while index < len(worklist):
+        rule = worklist[index]
+        index += 1
+        rule.output = _lower_nodes(rule.output, rule, modes, worklist)
+        result.add(rule)
+    return result
+
+
+def _guard_conditional_attributes(body: list[OutputNode]) -> None:
+    """Reject bodies whose direct children set attributes via value-of @a.
+
+    An attribute attaches to the *enclosing literal element*; pulling the
+    body into a separate rule would detach it, silently changing the
+    output. The publishing model cannot express conditional attributes,
+    so this is rejected loudly.
+    """
+    for node in body:
+        if isinstance(node, ValueOf) and isinstance(node.select, AttributeRef):
+            raise UnsupportedFeatureError(
+                "conditional-attribute",
+                "value-of '@attr' directly under flow control would detach "
+                "from its enclosing element",
+            )
+
+
+def _lower_nodes(
+    nodes: list[OutputNode],
+    rule: TemplateRule,
+    modes: ModeAllocator,
+    worklist: list[TemplateRule],
+) -> list[OutputNode]:
+    lowered: list[OutputNode] = []
+    for node in nodes:
+        if isinstance(node, IfInstruction):
+            _guard_conditional_attributes(node.children)
+            mode = modes.fresh()
+            lowered.append(ApplyTemplates(_self_select(node.test), mode))
+            worklist.append(
+                TemplateRule(
+                    match=rule.match,
+                    mode=mode,
+                    output=copy_output(node.children),
+                )
+            )
+        elif isinstance(node, Choose):
+            negated: list[Expr] = []
+            for when in node.whens:
+                _guard_conditional_attributes(when.children)
+                guard = _conjoin(negated + [when.test])
+                mode = modes.fresh()
+                lowered.append(ApplyTemplates(_self_select(guard), mode))
+                worklist.append(
+                    TemplateRule(
+                        match=rule.match,
+                        mode=mode,
+                        output=copy_output(when.children),
+                    )
+                )
+                negated.append(FunctionCall("not", (when.test,)))
+            if node.otherwise:
+                _guard_conditional_attributes(node.otherwise)
+                guard = _conjoin(negated)
+                mode = modes.fresh()
+                lowered.append(ApplyTemplates(_self_select(guard), mode))
+                worklist.append(
+                    TemplateRule(
+                        match=rule.match,
+                        mode=mode,
+                        output=copy_output(node.otherwise),
+                    )
+                )
+        elif isinstance(node, ForEach):
+            _guard_conditional_attributes(node.children)
+            mode = modes.fresh()
+            apply = ApplyTemplates(node.select, mode)
+            apply.sorts = list(node.sorts)
+            lowered.append(apply)
+            worklist.append(
+                TemplateRule(
+                    match=_match_for_select(node.select),
+                    mode=mode,
+                    output=copy_output(node.children),
+                )
+            )
+        elif isinstance(node, LiteralElement):
+            node.children = _lower_nodes(node.children, rule, modes, worklist)
+            lowered.append(node)
+        else:
+            lowered.append(node)
+    return lowered
+
+
+def _self_select(test: Expr) -> LocationPath:
+    """The ``.[test]`` select of Figures 21-22."""
+    return LocationPath((Step(Axis.SELF, "*", (test,)),))
+
+
+def _conjoin(exprs: list[Expr]) -> Expr:
+    result = exprs[0]
+    for expr in exprs[1:]:
+        result = BinaryOp("and", result, expr)
+    return result
+
+
+def _match_for_select(select: LocationPath):
+    """A pattern matching whatever a for-each select can produce."""
+    if not select.steps:
+        return parse_pattern("*")
+    last = select.steps[-1]
+    if last.axis is Axis.CHILD and last.node_test != "*":
+        return parse_pattern(last.node_test)
+    return parse_pattern("*")

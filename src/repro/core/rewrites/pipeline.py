@@ -1,0 +1,32 @@
+"""The rewrite pipeline: lower a stylesheet to the composable dialect.
+
+Order matters:
+
+1. general ``value-of`` lowering (may introduce new rules),
+2. flow-control lowering to a fixpoint (new rules may carry bodies with
+   further flow control; the worklist inside handles that),
+3. optionally, conflict resolution (introduces ``choose`` dispatchers),
+   followed by another flow-control pass to lower them.
+
+:func:`repro.core.compose.compose` runs steps 1-2 eagerly and retries
+with step 3 when the CTG reports a dynamic conflict.
+"""
+
+from __future__ import annotations
+
+from repro.core.rewrites.conflict import resolve_conflicts
+from repro.core.rewrites.flow_control import lower_flow_control
+from repro.core.rewrites.value_of import lower_value_of
+from repro.xslt.model import Stylesheet
+
+
+def rewrite_to_basic(
+    stylesheet: Stylesheet, with_conflict_resolution: bool = False
+) -> Stylesheet:
+    """Lower a stylesheet toward ``XSLT_basic`` + predicates."""
+    lowered = lower_value_of(stylesheet)
+    lowered = lower_flow_control(lowered)
+    if with_conflict_resolution:
+        lowered = resolve_conflicts(lowered)
+        lowered = lower_flow_control(lowered)
+    return lowered

@@ -1,0 +1,111 @@
+"""General ``xsl:value-of`` lowering (Section 5.2.2, Figure 23).
+
+``<xsl:value-of select="path"/>`` — with a multi-step path select, which
+``XSLT_basic`` restriction (10) forbids — becomes
+``<xsl:apply-templates select="path" mode="m'"/>`` plus a new rule in
+mode ``m'`` whose body is ``<xsl:value-of select="."/>`` (or
+``select="@a"`` when the path ends on an attribute step).
+"""
+
+from __future__ import annotations
+
+from repro.core.rewrites.common import ModeAllocator, copy_rule
+from repro.xpath.ast import (
+    AttributeRef,
+    Axis,
+    ContextRef,
+    LocationPath,
+    PathExpr,
+)
+from repro.xpath.parser import parse_pattern
+from repro.xslt.model import (
+    ApplyTemplates,
+    LiteralElement,
+    OutputNode,
+    Stylesheet,
+    TemplateRule,
+    ValueOf,
+)
+
+
+def lower_value_of(stylesheet: Stylesheet) -> Stylesheet:
+    """Return an equivalent stylesheet whose value-of selects are only
+    ``.`` or ``@attr``."""
+    result = Stylesheet()
+    modes = ModeAllocator(stylesheet)
+    new_rules: list[TemplateRule] = []
+    for original in stylesheet.rules:
+        rule = copy_rule(original)
+        rule.output = _lower_nodes(rule.output, modes, new_rules)
+        result.add(rule)
+    for rule in new_rules:
+        result.add(rule)
+    return result
+
+
+def _lower_nodes(
+    nodes: list[OutputNode],
+    modes: ModeAllocator,
+    new_rules: list[TemplateRule],
+) -> list[OutputNode]:
+    from repro.xslt.model import Choose, ForEach, IfInstruction
+
+    lowered: list[OutputNode] = []
+    for node in nodes:
+        if isinstance(node, LiteralElement):
+            node.children = _lower_nodes(node.children, modes, new_rules)
+            lowered.append(node)
+            continue
+        if isinstance(node, (IfInstruction, ForEach)):
+            # Descend into flow-control bodies: this pass runs before the
+            # flow-control lowering, which moves these bodies into fresh
+            # rules verbatim.
+            node.children = _lower_nodes(node.children, modes, new_rules)
+            lowered.append(node)
+            continue
+        if isinstance(node, Choose):
+            for when in node.whens:
+                when.children = _lower_nodes(when.children, modes, new_rules)
+            node.otherwise = _lower_nodes(node.otherwise, modes, new_rules)
+            lowered.append(node)
+            continue
+        if not isinstance(node, ValueOf):
+            lowered.append(node)
+            continue
+        select = node.select
+        if isinstance(select, (ContextRef, AttributeRef)):
+            lowered.append(node)
+            continue
+        if not isinstance(select, PathExpr):
+            # Computed values (arithmetic, variables) stay as-is; the
+            # composer reports them if they survive to composition.
+            lowered.append(node)
+            continue
+        path = select.path
+        mode = modes.fresh()
+        if path.steps and path.steps[-1].axis is Axis.ATTRIBUTE:
+            prefix = LocationPath(path.steps[:-1], absolute=path.absolute)
+            attr = path.steps[-1].node_test
+            body: list[OutputNode] = [ValueOf(AttributeRef(attr))]
+            target = prefix
+        else:
+            body = [ValueOf(ContextRef())]
+            target = path
+        lowered.append(ApplyTemplates(target, mode))
+        new_rules.append(
+            TemplateRule(
+                match=_match_for_path(target),
+                mode=mode,
+                output=body,
+            )
+        )
+    return lowered
+
+
+def _match_for_path(path: LocationPath):
+    if not path.steps:
+        return parse_pattern("*")
+    last = path.steps[-1]
+    if last.axis is Axis.CHILD and last.node_test != "*":
+        return parse_pattern(last.node_test)
+    return parse_pattern("*")

@@ -1,0 +1,394 @@
+"""UNBIND for a CTG edge (Figures 10, 12, 13; predicates per Figure 19).
+
+``unbind_edge`` turns the select-match subtree of one edge into the
+parameterized tag query of the corresponding TVQ node, together with the
+updated binding-variable map and the *exposure* map recording under which
+column names the involved schema nodes' tuples surface in the new node's
+rows.
+
+Let ``m``/``n`` be the smt's query context / new query context nodes and
+``nj`` their lowest common ancestor in the schema tree. Three concerns:
+
+1. **Main chain** (``childn(nj) … n``): the nested tag queries Θ of the
+   chain nodes are inlined bottom-up as derived tables
+   (:func:`repro.sql.transform.inline_parameter_deep`), their columns
+   carried to the output and GROUP BY extended at aggregated levels —
+   this produces exactly the ``SELECT SUM(capacity), TEMP.* … GROUP BY
+   TEMP.*`` shape of Figure 7(a).
+2. **Context path** (``root(smt) … m``): predicates become conditions on
+   the already-bound binding variables; off-path branches become
+   (NOT) EXISTS subqueries — the existence/sibling conditions of
+   Section 4.2.1.
+3. **Upward selects** (``n = nj``, e.g. a trailing ``..`` or the ``.``
+   selects produced by the flow-control rewrites): no chain exists; the
+   new query re-derives the ancestor tuple by correlating every output
+   column of ``Q_bv(n)`` with the value already carried by the bound
+   ancestor (null-safe ``IS``). This extends the paper, whose UNBIND
+   assumes ``n`` strictly below ``nj``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CompositionError, UnsupportedFeatureError
+from repro.core.nest import nest
+from repro.core.predicates import (
+    OwnQueryResolver,
+    ParamResolver,
+    apply_cross_conditions,
+    apply_predicates,
+    translate_predicate,
+)
+from repro.core.tree_pattern import TPNode, TreePattern
+from repro.schema_tree.model import SchemaNode, SchemaTreeQuery
+from repro.sql.analysis import TableColumns, output_columns
+from repro.sql.ast import BinOp, DerivedTable, ExistsExpr, ParamRef, Select, UnaryOp
+from repro.sql.params import map_exprs, referenced_vars
+from repro.sql.transform import attach_parent_query
+
+#: exposure: schema binding variable -> {original column -> exposed column}.
+Exposure = dict[str, dict[str, str]]
+
+
+@dataclass
+class UnbindResult:
+    """The outputs of unbinding one edge."""
+
+    query: Select
+    bvmap: dict[str, str]
+    exposure: Exposure = field(default_factory=dict)
+
+
+def unbind_edge(
+    smt: TreePattern,
+    new_bv: str,
+    parent_bvmap: dict[str, str],
+    ancestor_exposures: dict[str, Exposure],
+    catalog: TableColumns,
+    paper_mode: bool = False,
+) -> UnbindResult:
+    """UNBIND(smt, m, n, bv', bvmap) — Figure 13 with our extensions.
+
+    Args:
+        smt: the edge's select-match subtree.
+        new_bv: the fresh binding variable of the new TVQ node.
+        parent_bvmap: the parent TVQ node's binding-variable map.
+        ancestor_exposures: per TVQ binding variable, the exposure map of
+            the TVQ node that owns it (used to rename ``$var.col`` into
+            the column name actually carried by the mapped variable).
+        catalog: column resolution.
+    """
+    if smt.context is None or smt.new_context is None:
+        raise CompositionError("smt lacks context markers")
+    m_tp, n_tp = smt.context, smt.new_context
+    m, n = m_tp.schema_node, n_tp.schema_node
+    nj = SchemaTreeQuery.lowest_common_ancestor(m, n)
+    if n.is_root:
+        raise UnsupportedFeatureError(
+            "select-to-root", "apply-templates selecting the document root"
+        )
+
+    exposure: Exposure = {}
+    context_path = m_tp.path_from_root()
+
+    if n.tag_query is None:
+        # A query-less (literal) target — these occur when composing over
+        # an already-composed view, whose wrapper elements carry no query.
+        # Such a node emits exactly once per parent context, which only
+        # stays correct for plain navigation (no predicates or branches).
+        return _unbind_queryless(smt, nj, parent_bvmap)
+    if n is nj:
+        query = _unbind_upward(
+            n_tp, m_tp, parent_bvmap, ancestor_exposures, catalog
+        )
+    else:
+        query = _unbind_chain(n_tp, nj, exposure, catalog, paper_mode)
+    if n.bv is not None and n.bv not in exposure:
+        exposure[n.bv] = {c: c for c in output_columns(n.tag_query, catalog)}
+
+    _apply_context_conditions(query, context_path, n_tp, nj, catalog)
+
+    # Binding-variable bookkeeping (Figure 13, lines 12-18). Renaming uses
+    # the map *before* the S-path removals: an existence condition on a
+    # sibling of m may still reference m's (or its ancestors') bindings,
+    # which are valid in the parent's scope; the removals only govern what
+    # descendants of the new node may reference.
+    additions: dict[str, str] = {}
+    for schema_node in SchemaTreeQuery.path_between(nj, n):
+        if schema_node is nj and n is not nj:
+            continue
+        if schema_node.bv is not None:
+            additions[schema_node.bv] = new_bv
+    rename_map = dict(parent_bvmap)
+    rename_map.update(additions)
+    bvmap = dict(rename_map)
+    if m is not nj:
+        for schema_node in SchemaTreeQuery.path_between(nj, m):
+            if schema_node is nj:
+                continue
+            if schema_node.bv is not None and bvmap.get(schema_node.bv) != new_bv:
+                bvmap.pop(schema_node.bv, None)
+
+    _rename_parameters(query, rename_map, ancestor_exposures, new_bv, exposure)
+    return UnbindResult(query=query, bvmap=bvmap, exposure=exposure)
+
+
+def _unbind_queryless(
+    smt: TreePattern,
+    nj: SchemaNode,
+    parent_bvmap: dict[str, str],
+) -> UnbindResult:
+    """Transition to a query-less target: no SQL, bindings pass through.
+
+    Supported only for plain navigation: the select-match subtree must be
+    predicate- and branch-free, and every node strictly between the LCA
+    and the target must itself be query-less (a query-bearing interior
+    node would multiply the element count, which needs a query to
+    express).
+    """
+    assert smt.new_context is not None and smt.context is not None
+    for tp in smt.nodes():
+        if tp.predicates or tp.cross_conditions:
+            raise UnsupportedFeatureError(
+                "queryless-target",
+                f"predicates on the transition to query-less "
+                f"<{smt.new_context.tag}> cannot be expressed without a query",
+            )
+    main_path = smt.new_context.path_from_root()
+    context_path = smt.context.path_from_root()
+    chain_tp = smt.new_context.parent
+    while chain_tp is not None and chain_tp.schema_node is not nj:
+        if chain_tp.schema_node.tag_query is not None:
+            raise UnsupportedFeatureError(
+                "queryless-target",
+                f"query-bearing <{chain_tp.tag}> between the context and "
+                f"the query-less target <{smt.new_context.tag}>",
+            )
+        chain_tp = chain_tp.parent
+    allowed = set(id(t) for t in main_path) | set(id(t) for t in context_path)
+    for tp in smt.nodes():
+        if id(tp) not in allowed:
+            raise UnsupportedFeatureError(
+                "queryless-target",
+                "existence branches on a query-less transition",
+            )
+    return UnbindResult(query=None, bvmap=dict(parent_bvmap), exposure={})
+
+
+# ---------------------------------------------------------------------------
+# Main chain (n strictly below nj)
+# ---------------------------------------------------------------------------
+
+
+def _unbind_chain(
+    n_tp: TPNode,
+    nj: SchemaNode,
+    exposure: Exposure,
+    catalog: TableColumns,
+    paper_mode: bool = False,
+) -> Select:
+    """Inline the nested tag queries of childn(nj)..parent(n) into Θ(n)."""
+    # TP nodes from n up to (excluding) nj.
+    chain: list[TPNode] = []
+    current = n_tp
+    while current is not None and current.schema_node is not nj:
+        chain.append(current)
+        current = current.parent
+    if current is None:
+        raise CompositionError(
+            f"select-match subtree does not contain the LCA <{nj.tag}>"
+        )
+    query = nest(n_tp, catalog)
+    previous = n_tp
+    for p_tp in chain[1:]:
+        if p_tp.schema_node.tag_query is None:
+            # A query-less wrapper (composing over a composed view): it
+            # contributes exactly one element per parent, so it does not
+            # change multiplicities; only its side branches matter.
+            if p_tp.predicates or p_tp.cross_conditions:
+                raise UnsupportedFeatureError(
+                    "queryless-target",
+                    f"predicates on query-less <{p_tp.tag}> in a select chain",
+                )
+            for child in p_tp.children:
+                if child is previous:
+                    continue
+                condition = ExistsExpr(nest(child, catalog))
+                if child.negated:
+                    query.add_where(UnaryOp("NOT", condition))
+                else:
+                    query.add_where(condition)
+            previous = p_tp
+            continue
+        theta = nest(p_tp, catalog, exclude_child=previous)
+        var = p_tp.schema_node.bv
+        if var is None:
+            raise CompositionError(
+                f"chain node <{p_tp.tag}> has no binding variable"
+            )
+        exposed = attach_parent_query(
+            query, var, theta, catalog, scalar_aggregates=not paper_mode
+        )
+        exposure[var] = exposed
+        previous = p_tp
+    return query
+
+
+# ---------------------------------------------------------------------------
+# Upward selects (n == nj)
+# ---------------------------------------------------------------------------
+
+
+def _unbind_upward(
+    n_tp: TPNode,
+    m_tp: TPNode,
+    parent_bvmap: dict[str, str],
+    ancestor_exposures: dict[str, Exposure],
+    catalog: TableColumns,
+) -> Select:
+    """Re-derive an ancestor-or-self tuple by correlating on its columns."""
+    n = n_tp.schema_node
+    if n.tag_query is None or n.bv is None:
+        raise UnsupportedFeatureError(
+            "select-to-root", "upward select reaching a queryless node"
+        )
+    if n.bv not in parent_bvmap:
+        raise CompositionError(
+            f"upward select: ${n.bv} is not bound on the current TVQ branch"
+        )
+    bound_to = parent_bvmap[n.bv]
+    carried = ancestor_exposures.get(bound_to, {}).get(n.bv, {})
+    toward_m = _child_toward(n_tp, m_tp)
+    query = nest(n_tp, catalog, exclude_child=toward_m)
+    resolver = OwnQueryResolver(query, catalog)
+    for column in output_columns(n.tag_query, catalog):
+        exposed = carried.get(column, column)
+        resolved = resolver.resolve(column)
+        condition = BinOp("IS", resolved.expr, ParamRef(bound_to, exposed))
+        if resolved.is_aggregate:
+            query.add_having(condition)
+        else:
+            query.add_where(condition)
+    return query
+
+
+def _child_toward(ancestor_tp: TPNode, descendant_tp: TPNode):
+    """The TP child of ``ancestor_tp`` on the path to ``descendant_tp``."""
+    node = descendant_tp
+    while node is not None and node.parent is not ancestor_tp:
+        node = node.parent
+    return node  # None when ancestor_tp is descendant_tp
+
+
+# ---------------------------------------------------------------------------
+# Context path conditions (Figure 13 lines 7-11, Figure 19)
+# ---------------------------------------------------------------------------
+
+
+def _apply_context_conditions(
+    query: Select,
+    context_path: list[TPNode],
+    n_tp: TPNode,
+    nj: SchemaNode,
+    catalog: TableColumns,
+) -> None:
+    main_chain_top = _top_of_chain(n_tp, nj)
+    on_path = set(id(tp) for tp in context_path)
+    for p_tp in context_path:
+        if p_tp is n_tp:
+            # Upward selects put n on the context path; nest() already
+            # translated its predicates, cross conditions and branches.
+            continue
+        schema_node = p_tp.schema_node
+        if schema_node.tag_query is None and not schema_node.is_root:
+            # Query-less context nodes carry no attributes: any attribute
+            # predicate is statically decided (missing => false).
+            if p_tp.predicates:
+                apply_predicates(
+                    query, p_tp.predicates, ParamResolver("__never", [])
+                )
+            for child in p_tp.children:
+                if id(child) in on_path or child is main_chain_top:
+                    continue
+                condition = ExistsExpr(nest(child, catalog))
+                if child.negated:
+                    query.add_where(UnaryOp("NOT", condition))
+                else:
+                    query.add_where(condition)
+            continue
+        if p_tp.cross_conditions:
+            def resolver_for(term_node):
+                columns = (
+                    output_columns(term_node.tag_query, catalog)
+                    if term_node.tag_query is not None
+                    else []
+                )
+                return ParamResolver(term_node.bv, columns)
+
+            apply_cross_conditions(query, p_tp.cross_conditions, resolver_for)
+        if p_tp.predicates:
+            if schema_node.bv is None:
+                raise CompositionError(
+                    f"predicate on queryless node <{schema_node.tag}>"
+                )
+            columns = (
+                output_columns(schema_node.tag_query, catalog)
+                if schema_node.tag_query is not None
+                else []
+            )
+            apply_predicates(
+                query,
+                p_tp.predicates,
+                ParamResolver(schema_node.bv, columns),
+            )
+        for child in p_tp.children:
+            if id(child) in on_path or child is main_chain_top:
+                continue
+            subquery = nest(child, catalog)
+            condition = ExistsExpr(subquery)
+            if child.negated:
+                query.add_where(UnaryOp("NOT", condition))
+            else:
+                query.add_where(condition)
+
+
+def _top_of_chain(n_tp: TPNode, nj: SchemaNode):
+    """The topmost main-chain TP node (the child of nj's TP node)."""
+    node = n_tp
+    while node.parent is not None and node.parent.schema_node is not nj:
+        node = node.parent
+    return node
+
+
+# ---------------------------------------------------------------------------
+# Parameter renaming (Figure 9, lines 21-22)
+# ---------------------------------------------------------------------------
+
+
+def _rename_parameters(
+    query: Select,
+    bvmap: dict[str, str],
+    ancestor_exposures: dict[str, Exposure],
+    new_bv: str,
+    own_exposure: Exposure,
+) -> None:
+    def fn(expr):
+        if not isinstance(expr, ParamRef):
+            return None
+        if expr.var in bvmap:
+            target = bvmap[expr.var]
+            if target == new_bv:
+                carried = own_exposure.get(expr.var, {})
+            else:
+                carried = ancestor_exposures.get(target, {}).get(expr.var, {})
+            return ParamRef(target, carried.get(expr.column, expr.column))
+        # Already-renamed parameters (from the upward correlation or a
+        # prior pass) reference TVQ binding variables directly.
+        if expr.var in ancestor_exposures:
+            return None
+        raise CompositionError(
+            f"unresolvable binding variable ${expr.var} in composed query"
+        )
+
+    map_exprs(query, fn)

@@ -1,0 +1,75 @@
+"""Graphviz (DOT) rendering of views, CTGs and TVQs.
+
+Purely textual — no graphviz dependency; paste the output into any DOT
+viewer. The CLI exposes it as ``repro explain --dot``.
+"""
+
+from __future__ import annotations
+
+from repro.core.ctg import ContextTransitionGraph
+from repro.core.tvq import TraverseViewQuery
+from repro.schema_tree.model import SchemaTreeQuery
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace('"', '\\"') + '"'
+
+
+def view_to_dot(view: SchemaTreeQuery, title: str = "view") -> str:
+    """Render a schema-tree query as a DOT digraph."""
+    lines = [f"digraph {title} {{", "  rankdir=TB;", "  node [shape=box];"]
+    for node in view.nodes(include_root=True):
+        if node.is_root:
+            label = "/"
+        else:
+            label = f"({node.id}) <{node.tag}>"
+            if node.bv:
+                label += f" ${node.bv}"
+        lines.append(f"  n{node.id} [label={_quote(label)}];")
+    for node in view.nodes(include_root=True):
+        for child in node.children:
+            lines.append(f"  n{node.id} -> n{child.id};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def ctg_to_dot(ctg: ContextTransitionGraph, title: str = "ctg") -> str:
+    """Render a context transition graph as a DOT digraph.
+
+    Nodes are the (schema node, rule) pairs; edge labels carry the
+    apply-templates select expressions (Figure 6's annotations).
+    """
+    lines = [f"digraph {title} {{", "  rankdir=LR;", "  node [shape=ellipse];"]
+    ids = {id(n): f"c{i}" for i, n in enumerate(ctg.nodes)}
+    for node in ctg.nodes:
+        label = (
+            f"(({node.schema_node.id}, {node.schema_node.tag or 'root'}), "
+            f"R{node.rule.position + 1})"
+        )
+        lines.append(f"  {ids[id(node)]} [label={_quote(label)}];")
+    for edge in ctg.edges:
+        lines.append(
+            f"  {ids[id(edge.source)]} -> {ids[id(edge.target)]} "
+            f"[label={_quote(edge.apply.select.to_text())}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def tvq_to_dot(tvq: TraverseViewQuery, title: str = "tvq") -> str:
+    """Render a traverse view query as a DOT digraph."""
+    lines = [f"digraph {title} {{", "  rankdir=TB;", "  node [shape=box];"]
+    ids = {id(n): f"t{i}" for i, n in enumerate(tvq.nodes())}
+    for node in tvq.nodes():
+        label = (
+            f"(({node.schema_node.id}, {node.schema_node.tag or 'root'}), "
+            f"R{node.rule.position + 1})"
+        )
+        if node.bv:
+            label += f"\\n${node.bv}"
+        lines.append(f"  {ids[id(node)]} [label={_quote(label)}];")
+    for node in tvq.nodes():
+        for child in node.children:
+            lines.append(f"  {ids[id(node)]} -> {ids[id(child)]};")
+    lines.append("}")
+    return "\n".join(lines)

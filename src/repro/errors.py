@@ -1,0 +1,131 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+applications can catch a single base class. Sub-hierarchies mirror the
+package layout: XML parsing, XPath, SQL, schema-tree views, XSLT, and the
+view-composition algorithm itself.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class XMLError(ReproError):
+    """Base class for XML substrate errors."""
+
+
+class XMLParseError(XMLError):
+    """Raised when XML input is not well-formed.
+
+    Attributes:
+        line: 1-based line of the offending input position.
+        column: 1-based column of the offending input position.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class XPathError(ReproError):
+    """Base class for XPath substrate errors."""
+
+
+class XPathSyntaxError(XPathError):
+    """Raised when an XPath expression or pattern cannot be parsed."""
+
+    def __init__(self, message: str, expression: str = "", position: int = -1):
+        self.expression = expression
+        self.position = position
+        if expression:
+            message = f"{message} in {expression!r}"
+            if position >= 0:
+                message = f"{message} at offset {position}"
+        super().__init__(message)
+
+
+class XPathEvaluationError(XPathError):
+    """Raised when an XPath expression fails during evaluation."""
+
+
+class SQLError(ReproError):
+    """Base class for SQL substrate errors."""
+
+
+class SQLSyntaxError(SQLError):
+    """Raised when a tag query cannot be parsed by the SQL-subset parser."""
+
+    def __init__(self, message: str, sql: str = "", position: int = -1):
+        self.sql = sql
+        self.position = position
+        if sql:
+            snippet = sql if len(sql) <= 80 else sql[:77] + "..."
+            message = f"{message} in {snippet!r}"
+            if position >= 0:
+                message = f"{message} at offset {position}"
+        super().__init__(message)
+
+
+class SQLTransformError(SQLError):
+    """Raised when an AST transformation (unbinding, inlining) fails."""
+
+
+class SchemaError(ReproError):
+    """Raised for relational catalog problems (unknown table/column, ...)."""
+
+
+class ViewError(ReproError):
+    """Base class for schema-tree view errors."""
+
+
+class ViewDefinitionError(ViewError):
+    """Raised when a schema-tree query definition is malformed."""
+
+
+class ViewEvaluationError(ViewError):
+    """Raised when materializing a view against a database fails."""
+
+
+class XSLTError(ReproError):
+    """Base class for XSLT substrate errors."""
+
+
+class StylesheetParseError(XSLTError):
+    """Raised when a stylesheet document does not describe a valid stylesheet."""
+
+
+class XSLTRuntimeError(XSLTError):
+    """Raised when the XSLT interpreter fails while processing a document."""
+
+
+class ConflictError(XSLTError):
+    """Raised when conflicting template rules cannot be resolved."""
+
+
+class CompositionError(ReproError):
+    """Base class for failures of the view-composition algorithm."""
+
+
+class UnsupportedFeatureError(CompositionError):
+    """Raised when a stylesheet uses a feature outside the composable dialect.
+
+    The offending feature name is recorded so callers (for example the
+    hybrid executor) can decide how to fall back.
+    """
+
+    def __init__(self, feature: str, detail: str = ""):
+        self.feature = feature
+        message = f"unsupported feature for composition: {feature}"
+        if detail:
+            message = f"{message} ({detail})"
+        super().__init__(message)
+
+
+class UnificationError(CompositionError):
+    """Raised when COMBINE cannot unify select and match tree patterns."""

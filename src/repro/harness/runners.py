@@ -1,0 +1,141 @@
+"""Measured execution of the three strategies, with work counters."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.baseline.materialize import NaivePipeline
+from repro.baseline.qtree import QTreeTranslator
+from repro.core.compose import compose
+from repro.core.hybrid import HybridExecutor
+from repro.relational.engine import Database
+from repro.relational.schema import Catalog
+from repro.schema_tree.evaluator import ViewEvaluator
+from repro.schema_tree.model import SchemaTreeQuery
+from repro.xmlcore.canonical import canonical_form
+from repro.xmlcore.nodes import Document
+from repro.xslt.model import Stylesheet
+
+
+@dataclass
+class StrategyRun:
+    """One measured execution."""
+
+    strategy: str
+    seconds: float
+    queries: int
+    elements_materialized: int
+    document: Document
+    compose_seconds: float = 0.0
+    notes: list[str] = field(default_factory=list)
+
+    def matches(self, other: "StrategyRun") -> bool:
+        """Unordered structural equality of the two outputs."""
+        return canonical_form(self.document, ordered=False) == canonical_form(
+            other.document, ordered=False
+        )
+
+
+def run_naive(
+    view: SchemaTreeQuery,
+    stylesheet: Stylesheet,
+    db: Database,
+    builtin_rules: str = "empty",
+) -> StrategyRun:
+    """Materialize the full view, then interpret the stylesheet."""
+    pipeline = NaivePipeline(view, stylesheet, builtin_rules=builtin_rules)
+    start = time.perf_counter()
+    result = pipeline.run(db)
+    elapsed = time.perf_counter() - start
+    return StrategyRun(
+        strategy="naive",
+        seconds=elapsed,
+        queries=result.queries_executed,
+        elements_materialized=result.elements_materialized,
+        document=result.document,
+    )
+
+
+def run_composed(
+    view: SchemaTreeQuery,
+    stylesheet: Stylesheet,
+    catalog: Catalog,
+    db: Database,
+    precomposed: Optional[SchemaTreeQuery] = None,
+) -> StrategyRun:
+    """Compose, then evaluate the stylesheet view.
+
+    Composition time is reported separately (it is a one-time cost per
+    view/stylesheet pair, amortized over every database instance).
+    """
+    compose_start = time.perf_counter()
+    composed = precomposed or compose(view, stylesheet, catalog)
+    compose_seconds = time.perf_counter() - compose_start
+    queries_before = db.stats.queries_executed
+    evaluator = ViewEvaluator(db)
+    start = time.perf_counter()
+    document = evaluator.materialize(composed)
+    elapsed = time.perf_counter() - start
+    return StrategyRun(
+        strategy="composed",
+        seconds=elapsed,
+        queries=db.stats.queries_executed - queries_before,
+        elements_materialized=evaluator.stats.elements_created,
+        document=document,
+        compose_seconds=compose_seconds,
+    )
+
+
+def run_qtree(
+    view: SchemaTreeQuery,
+    stylesheet: Stylesheet,
+    catalog: Catalog,
+    db: Database,
+) -> StrategyRun:
+    """The [7]-style path-translation baseline."""
+    compose_start = time.perf_counter()
+    translator = QTreeTranslator(view, stylesheet, catalog)
+    compose_seconds = time.perf_counter() - compose_start
+    start = time.perf_counter()
+    result = translator.run(db)
+    elapsed = time.perf_counter() - start
+    return StrategyRun(
+        strategy="qtree",
+        seconds=elapsed,
+        queries=result.queries_executed,
+        elements_materialized=result.elements_materialized,
+        document=result.document,
+        compose_seconds=compose_seconds,
+        notes=[f"{result.paths} path queries"],
+    )
+
+
+def run_hybrid(
+    view: SchemaTreeQuery,
+    stylesheet: Stylesheet,
+    catalog: Catalog,
+    db: Database,
+    fallback_builtin_rules: str = "standard",
+) -> StrategyRun:
+    """The hybrid executor (used for recursive stylesheets)."""
+    compose_start = time.perf_counter()
+    executor = HybridExecutor(
+        view, stylesheet, catalog,
+        fallback_builtin_rules=fallback_builtin_rules,
+    )
+    compose_seconds = time.perf_counter() - compose_start
+    queries_before = db.stats.queries_executed
+    start = time.perf_counter()
+    document = executor.execute(db)
+    elapsed = time.perf_counter() - start
+    return StrategyRun(
+        strategy=f"hybrid/{executor.plan.kind}",
+        seconds=elapsed,
+        queries=db.stats.queries_executed - queries_before,
+        elements_materialized=0,
+        document=document,
+        compose_seconds=compose_seconds,
+        notes=list(executor.plan.notes),
+    )

@@ -1,0 +1,14 @@
+"""Relational engine layer: catalog plus a sqlite-backed execution engine.
+
+The paper pushes XSLT processing into SQL run by a relational engine; this
+package is that engine. :class:`~repro.relational.schema.Catalog` declares
+tables/columns (and generates DDL); :class:`~repro.relational.engine.Database`
+wraps an in-memory sqlite connection, executes parameterized tag queries
+against binding environments, and counts the work done (queries, rows) for
+the benchmark harness.
+"""
+
+from repro.relational.schema import Catalog, Column, Table
+from repro.relational.engine import Database, QueryStats
+
+__all__ = ["Catalog", "Column", "Table", "Database", "QueryStats"]

@@ -1,0 +1,178 @@
+"""sqlite-backed execution engine for tag queries.
+
+:class:`Database` owns a sqlite connection created from a
+:class:`~repro.relational.schema.Catalog`. Tag queries (SQL ASTs with
+``$var.column`` parameters) execute through :meth:`Database.run_query`
+against a *binding environment*: a mapping from binding-variable name to
+the parent tuple (a ``dict``) it currently ranges over — exactly the
+evaluation model of schema-tree queries in Section 2.1.
+
+The engine counts queries and rows so benchmarks can report the work each
+execution strategy performs.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Optional
+
+from repro.errors import ViewEvaluationError
+from repro.relational.schema import Catalog
+from repro.sql.ast import Select
+from repro.sql.params import collect_params, placeholder_name
+from repro.sql.printer import print_select
+
+Row = dict[str, Any]
+
+
+@dataclass
+class QueryStats:
+    """Work counters for one engine (reset between measured runs)."""
+
+    queries_executed: int = 0
+    rows_fetched: int = 0
+    sql_texts: list[str] = field(default_factory=list)
+    keep_sql: bool = False
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.queries_executed = 0
+        self.rows_fetched = 0
+        self.sql_texts.clear()
+
+
+class Database:
+    """A sqlite database (in-memory by default) described by a catalog."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        create: bool = True,
+        path: Optional[str] = None,
+    ):
+        self.catalog = catalog
+        self.connection = sqlite3.connect(path or ":memory:")
+        self.connection.row_factory = sqlite3.Row
+        self.stats = QueryStats()
+        self._sql_cache: dict[int, tuple[str, list]] = {}
+        if create:
+            self.create_all()
+
+    @classmethod
+    def open(cls, catalog: Catalog, path: str) -> "Database":
+        """Open an existing database file without creating tables."""
+        return cls(catalog, create=False, path=path)
+
+    # -- schema / data -------------------------------------------------------
+
+    def create_all(self) -> None:
+        """Create every table in the catalog."""
+        cursor = self.connection.cursor()
+        for ddl in self.catalog.ddl_statements():
+            cursor.execute(ddl)
+        self.connection.commit()
+
+    def insert_rows(self, table: str, rows: Iterable[Mapping[str, Any]]) -> int:
+        """Insert dict rows into ``table``; returns the number inserted."""
+        declared = self.catalog.table(table)
+        columns = declared.column_names()
+        placeholders = ", ".join(f":{c}" for c in columns)
+        sql = f"INSERT INTO {table} ({', '.join(columns)}) VALUES ({placeholders})"
+        cursor = self.connection.cursor()
+        count = 0
+        for row in rows:
+            missing = [c for c in columns if c not in row]
+            if missing:
+                raise ViewEvaluationError(
+                    f"insert into {table}: row missing columns {missing}"
+                )
+            cursor.execute(sql, dict(row))
+            count += 1
+        self.connection.commit()
+        return count
+
+    def table_count(self, table: str) -> int:
+        """Row count of a base table."""
+        cursor = self.connection.execute(f"SELECT COUNT(*) FROM {table}")
+        return int(cursor.fetchone()[0])
+
+    # -- query execution ----------------------------------------------------------
+
+    def run_query(self, query: Select, env: Optional[Mapping[str, Row]] = None) -> list[Row]:
+        """Execute a tag query under a binding environment.
+
+        Args:
+            query: the SQL AST; parameters ``$var.column`` are looked up as
+                ``env[var][column]``.
+            env: binding environment; may be ``None`` for closed queries.
+
+        Returns:
+            Result rows as dicts. When the result contains duplicate column
+            names (possible after ``*`` plus carried columns), later
+            occurrences are exposed with a ``__2``-style suffix so no value
+            is silently lost.
+        """
+        # Cache the rendered SQL per query object. The cache entry keeps a
+        # reference to the query so id() values cannot be recycled.
+        key = id(query)
+        cached = self._sql_cache.get(key)
+        if cached is None or cached[2] is not query:
+            sql = print_select(query, placeholders=True)
+            params = collect_params(query)
+            self._sql_cache[key] = (sql, params, query)
+        else:
+            sql, params, _ = cached
+        bindings: dict[str, Any] = {}
+        for param in params:
+            if env is None or param.var not in env:
+                raise ViewEvaluationError(
+                    f"unbound binding variable ${param.var} for query: {sql}"
+                )
+            parent_row = env[param.var]
+            if param.column not in parent_row:
+                raise ViewEvaluationError(
+                    f"binding variable ${param.var} has no column "
+                    f"{param.column!r} (has: {sorted(parent_row)})"
+                )
+            bindings[placeholder_name(param)] = parent_row[param.column]
+        try:
+            cursor = self.connection.execute(sql, bindings)
+        except sqlite3.Error as exc:
+            raise ViewEvaluationError(f"sqlite error: {exc}; SQL: {sql}") from exc
+        names = [d[0] for d in cursor.description]
+        rows: list[Row] = []
+        for raw in cursor.fetchall():
+            row: Row = {}
+            for index, name in enumerate(names):
+                if name in row:
+                    suffix = 2
+                    while f"{name}__{suffix}" in row:
+                        suffix += 1
+                    name = f"{name}__{suffix}"
+                row[name] = raw[index]
+            rows.append(row)
+        self.stats.queries_executed += 1
+        self.stats.rows_fetched += len(rows)
+        if self.stats.keep_sql:
+            self.stats.sql_texts.append(sql)
+        return rows
+
+    def run_sql(self, sql: str, bindings: Optional[Mapping[str, Any]] = None) -> list[Row]:
+        """Execute raw SQL (used by tests and the harness)."""
+        cursor = self.connection.execute(sql, dict(bindings or {}))
+        if cursor.description is None:
+            self.connection.commit()
+            return []
+        names = [d[0] for d in cursor.description]
+        return [dict(zip(names, raw)) for raw in cursor.fetchall()]
+
+    def close(self) -> None:
+        """Close the underlying sqlite connection."""
+        self.connection.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -1,0 +1,28 @@
+"""XML-publishing views: schema-tree queries (Definition 1, ROLEX-style).
+
+A schema-tree query is a tree of nodes, each carrying an XML tag and a
+parameterized SQL *tag query*; materializing the view runs tag queries
+top-down, each tuple generating one element whose attributes are the
+tuple's columns, with the tuple bound to the node's *binding variable*
+for use by descendant tag queries.
+
+This package provides the model (:mod:`~repro.schema_tree.model`), a
+fluent builder (:mod:`~repro.schema_tree.builder`), static validation
+(:mod:`~repro.schema_tree.validate`), and the evaluator that materializes
+``v(I)`` as an XML document (:mod:`~repro.schema_tree.evaluator`).
+"""
+
+from repro.schema_tree.model import SchemaNode, SchemaTreeQuery
+from repro.schema_tree.builder import ViewBuilder
+from repro.schema_tree.evaluator import MaterializeStats, ViewEvaluator, materialize
+from repro.schema_tree.validate import validate_view
+
+__all__ = [
+    "SchemaNode",
+    "SchemaTreeQuery",
+    "ViewBuilder",
+    "MaterializeStats",
+    "ViewEvaluator",
+    "materialize",
+    "validate_view",
+]

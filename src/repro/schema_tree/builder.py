@@ -1,0 +1,109 @@
+"""Fluent construction of schema-tree view queries.
+
+Example (the first two levels of the paper's Figure 1):
+
+.. code-block:: python
+
+    builder = ViewBuilder(catalog)
+    metro = builder.node("metro", "SELECT metroid, metroname FROM metroarea", bv="m")
+    metro.child(
+        "hotel",
+        "SELECT * FROM hotel WHERE metro_id=$m.metroid AND starrating > 4",
+        bv="h",
+    )
+    view = builder.build()
+
+Tag queries are parsed and normalized on entry: unaliased aggregates get
+canonical ``FUNC_column`` aliases so the XML attribute names they produce
+are deterministic (see DESIGN.md, semantics decision 4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.errors import ViewDefinitionError
+from repro.relational.schema import Catalog
+from repro.schema_tree.model import ROOT_ID, SchemaNode, SchemaTreeQuery
+from repro.schema_tree.validate import validate_view
+from repro.sql.analysis import canonicalize_aggregate_aliases
+from repro.sql.ast import Select
+from repro.sql.parser import parse_select
+
+
+class NodeBuilder:
+    """Handle onto one node under construction; spawns children."""
+
+    def __init__(self, builder: "ViewBuilder", node: SchemaNode):
+        self._builder = builder
+        self.node = node
+
+    def child(
+        self,
+        tag: str,
+        query: Union[str, Select, None] = None,
+        bv: Optional[str] = None,
+        attr_columns: Optional[list[str]] = None,
+    ) -> "NodeBuilder":
+        """Add a child node and return its builder handle."""
+        return self._builder._add(self.node, tag, query, bv, attr_columns)
+
+
+class ViewBuilder:
+    """Builds a :class:`SchemaTreeQuery` with auto-assigned node ids."""
+
+    def __init__(self, catalog: Optional[Catalog] = None):
+        self.catalog = catalog
+        self._view = SchemaTreeQuery()
+        self._next_id = ROOT_ID + 1
+        self._bvs: set[str] = set()
+
+    def node(
+        self,
+        tag: str,
+        query: Union[str, Select, None] = None,
+        bv: Optional[str] = None,
+        attr_columns: Optional[list[str]] = None,
+    ) -> NodeBuilder:
+        """Add a top-level node (child of the synthetic root)."""
+        return self._add(self._view.root, tag, query, bv, attr_columns)
+
+    def _add(
+        self,
+        parent: SchemaNode,
+        tag: str,
+        query: Union[str, Select, None],
+        bv: Optional[str],
+        attr_columns: Optional[list[str]],
+    ) -> NodeBuilder:
+        if not tag:
+            raise ViewDefinitionError("node tag must be non-empty")
+        parsed: Optional[Select]
+        if isinstance(query, str):
+            parsed = parse_select(query)
+        else:
+            parsed = query
+        if parsed is not None:
+            canonicalize_aggregate_aliases(parsed)
+            if bv is None:
+                bv = f"v{self._next_id}"
+        if bv is not None:
+            if bv in self._bvs:
+                raise ViewDefinitionError(f"duplicate binding variable ${bv}")
+            self._bvs.add(bv)
+        node = SchemaNode(
+            id=self._next_id,
+            tag=tag,
+            bv=bv,
+            tag_query=parsed,
+            attr_columns=list(attr_columns) if attr_columns is not None else None,
+        )
+        self._next_id += 1
+        parent.add_child(node)
+        return NodeBuilder(self, node)
+
+    def build(self, validate: bool = True) -> SchemaTreeQuery:
+        """Finish construction; validates against the catalog by default."""
+        if validate:
+            validate_view(self._view, self.catalog)
+        return self._view

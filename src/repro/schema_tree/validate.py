@@ -1,0 +1,85 @@
+"""Static validation of schema-tree view queries.
+
+Checks performed (each violation raises
+:class:`~repro.errors.ViewDefinitionError`):
+
+* node ids are unique and the root has id 0,
+* binding variables are unique across the tree,
+* every tag query's parameters reference binding variables of strict
+  ancestors (the scoping rule of Definition 1),
+* with a catalog: referenced tables exist, and declared ``attr_columns``
+  are a subset of the query's output columns.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SchemaError, ViewDefinitionError
+from repro.relational.schema import Catalog
+from repro.schema_tree.model import SchemaNode, SchemaTreeQuery
+from repro.sql.analysis import output_columns, referenced_tables
+
+
+def validate_view(view: SchemaTreeQuery, catalog: Optional[Catalog] = None) -> None:
+    """Validate ``view``; optionally resolve against ``catalog``."""
+    seen_ids: set[int] = set()
+    seen_bvs: set[str] = set()
+    for node in view.nodes():
+        if node.id in seen_ids:
+            raise ViewDefinitionError(f"duplicate node id {node.id}")
+        seen_ids.add(node.id)
+        if node.bv is not None:
+            if node.bv in seen_bvs:
+                raise ViewDefinitionError(f"duplicate binding variable ${node.bv}")
+            seen_bvs.add(node.bv)
+    for node in view.nodes(include_root=False):
+        _validate_node(node, catalog)
+
+
+def _validate_node(node: SchemaNode, catalog: Optional[Catalog]) -> None:
+    if not node.tag:
+        raise ViewDefinitionError(f"node {node.id} has an empty tag")
+    if node.tag_query is None:
+        return
+    ancestor_bvs = {a.bv for a in node.ancestors() if a.bv is not None}
+    for var in node.parameters:
+        if var == node.bv:
+            raise ViewDefinitionError(
+                f"node {node.id} <{node.tag}>: tag query references its own "
+                f"binding variable ${var}"
+            )
+        if var not in ancestor_bvs:
+            raise ViewDefinitionError(
+                f"node {node.id} <{node.tag}>: tag query references ${var}, "
+                "which is not bound by an ancestor"
+            )
+    if catalog is None:
+        return
+    for table in referenced_tables(node.tag_query):
+        if table not in catalog:
+            raise ViewDefinitionError(
+                f"node {node.id} <{node.tag}>: unknown table {table!r}"
+            )
+    try:
+        columns = output_columns(node.tag_query, catalog)
+    except SchemaError as exc:
+        raise ViewDefinitionError(
+            f"node {node.id} <{node.tag}>: {exc}"
+        ) from exc
+    if node.attr_columns is not None:
+        missing = [c for c in node.attr_columns if c not in columns]
+        if missing:
+            raise ViewDefinitionError(
+                f"node {node.id} <{node.tag}>: attr_columns {missing} are not "
+                f"output columns of the tag query (outputs: {columns})"
+            )
+    if node.data_attributes and node.attr_source_bv is None:
+        missing = [
+            c for c in node.data_attributes.values() if c not in columns
+        ]
+        if missing:
+            raise ViewDefinitionError(
+                f"node {node.id} <{node.tag}>: data attributes reference "
+                f"columns {missing} the tag query does not output"
+            )

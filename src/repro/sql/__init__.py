@@ -1,0 +1,57 @@
+"""SQL substrate: AST, parser, printer, and the transforms UNBIND needs.
+
+Tag queries of schema-tree views are parameterized SQL (Definition 1 of the
+paper): parameters are written ``$var.column`` and range over tuples bound
+by ancestor view nodes. This package provides:
+
+* a structured AST (:mod:`repro.sql.ast`) with deep cloning,
+* a parser for the SQL subset tag queries use (:mod:`repro.sql.parser`),
+* a deterministic printer in the sqlite dialect (:mod:`repro.sql.printer`),
+* parameter utilities — collection, renaming, placeholder substitution
+  (:mod:`repro.sql.params`),
+* the structural transforms behind UNBIND and NEST: derived-table
+  inlining, select-list/GROUP BY augmentation, EXISTS injection, alias
+  management (:mod:`repro.sql.transform`),
+* result-column analysis with catalog-aware ``*`` expansion
+  (:mod:`repro.sql.analysis`).
+"""
+
+from repro.sql.ast import (
+    BinOp,
+    ColumnRef,
+    DerivedTable,
+    ExistsExpr,
+    FuncCall,
+    LiteralValue,
+    OrderItem,
+    ParamRef,
+    Select,
+    SelectItem,
+    Star,
+    TableRef,
+    UnaryOp,
+)
+from repro.sql.parser import parse_select
+from repro.sql.printer import print_select
+from repro.sql.params import collect_params, rename_param_vars, to_placeholders
+
+__all__ = [
+    "BinOp",
+    "ColumnRef",
+    "DerivedTable",
+    "ExistsExpr",
+    "FuncCall",
+    "LiteralValue",
+    "OrderItem",
+    "ParamRef",
+    "Select",
+    "SelectItem",
+    "Star",
+    "TableRef",
+    "UnaryOp",
+    "parse_select",
+    "print_select",
+    "collect_params",
+    "rename_param_vars",
+    "to_placeholders",
+]

@@ -1,0 +1,184 @@
+"""Result-column analysis for the SQL subset.
+
+The composition algorithm needs to know, statically, which columns a tag
+query produces: to expand ``TEMP.*`` into explicit GROUP BY lists
+(Figure 7(a)), to compute the attributes a ``value-of "."`` output node
+emits, and to detect column-name collisions when ancestor columns are
+carried through unbinding.
+
+Analysis is catalog-driven: base tables resolve through a mapping of
+table name to ordered column list (see
+:class:`repro.relational.schema.Catalog`, whose instances satisfy the
+:class:`TableColumns` protocol used here).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.errors import SchemaError
+from repro.sql.ast import (
+    ColumnRef,
+    DerivedTable,
+    FromItem,
+    FuncCall,
+    ParamRef,
+    Select,
+    Star,
+    TableRef,
+)
+
+
+class TableColumns(Protocol):
+    """Anything that can list the columns of a base table."""
+
+    def columns_of(self, table: str) -> list[str]:
+        """Ordered column names of ``table``; raises SchemaError if unknown."""
+        ...  # pragma: no cover
+
+
+class DictCatalog:
+    """A minimal TableColumns over a plain dict (used in tests)."""
+
+    def __init__(self, tables: dict[str, list[str]]):
+        self._tables = dict(tables)
+
+    def columns_of(self, table: str) -> list[str]:
+        """Ordered column names of ``table``."""
+        if table not in self._tables:
+            raise SchemaError(f"unknown table {table!r}")
+        return list(self._tables[table])
+
+
+def from_item_columns(item: FromItem, catalog: TableColumns) -> list[str]:
+    """Ordered output columns contributed by one FROM item."""
+    if isinstance(item, TableRef):
+        return catalog.columns_of(item.name)
+    if isinstance(item, DerivedTable):
+        return output_columns(item.select, catalog)
+    raise TypeError(f"unknown FROM item {type(item).__name__}")
+
+
+def output_columns(select: Select, catalog: TableColumns) -> list[str]:
+    """Ordered result-column names of a query, with ``*`` expanded.
+
+    Raises:
+        SchemaError: if a ``table.*`` references an unknown FROM item or an
+            expression has no derivable name (unaliased computed column).
+    """
+    names: list[str] = []
+    for item in select.items:
+        if isinstance(item.expr, Star):
+            names.extend(_star_columns(item.expr, select, catalog))
+            continue
+        name = item.output_name()
+        if name is None:
+            raise SchemaError(
+                "select item has no derivable column name; add an alias: "
+                f"{item.expr!r}"
+            )
+        names.append(name)
+    return names
+
+
+def _star_columns(star: Star, select: Select, catalog: TableColumns) -> list[str]:
+    if star.table is None:
+        names: list[str] = []
+        for from_item in select.from_items:
+            names.extend(from_item_columns(from_item, catalog))
+        return names
+    for from_item in select.from_items:
+        if from_item.binding_name == star.table:
+            return from_item_columns(from_item, catalog)
+    raise SchemaError(f"{star.table}.* does not match any FROM item")
+
+
+def expand_star_refs(star: Star, select: Select, catalog: TableColumns) -> list[ColumnRef]:
+    """Expand a star into explicit qualified column references.
+
+    Used to materialize GROUP BY lists over a derived table's columns.
+    """
+    if star.table is not None:
+        return [ColumnRef(c, table=star.table) for c in _star_columns(star, select, catalog)]
+    refs: list[ColumnRef] = []
+    for from_item in select.from_items:
+        refs.extend(
+            ColumnRef(c, table=from_item.binding_name)
+            for c in from_item_columns(from_item, catalog)
+        )
+    return refs
+
+
+def has_top_level_aggregate(select: Select) -> bool:
+    """Whether the select list computes an aggregate at the top level.
+
+    Subqueries do not count; GROUP BY semantics only depend on the top
+    level of this query.
+    """
+
+    def expr_has_aggregate(expr) -> bool:
+        if isinstance(expr, FuncCall):
+            if expr.is_aggregate:
+                return True
+            return any(expr_has_aggregate(a) for a in expr.args)
+        left = getattr(expr, "left", None)
+        right = getattr(expr, "right", None)
+        operand = getattr(expr, "operand", None)
+        for child in (left, right, operand):
+            if child is not None and expr_has_aggregate(child):
+                return True
+        return False
+
+    return any(expr_has_aggregate(item.expr) for item in select.items)
+
+
+def canonicalize_aggregate_aliases(select: Select) -> None:
+    """Give unaliased aggregate select items their canonical alias.
+
+    ``SUM(capacity)`` becomes ``SUM(capacity) AS SUM_capacity`` so that the
+    result column has a deterministic, XML-attribute-safe name (the paper
+    references ``$s_new.SUM_capacity`` in Figure 20). Operates in place; a
+    numeric suffix disambiguates repeated aggregates of the same column.
+    """
+    used: set[str] = set()
+    for item in select.items:
+        if item.alias:
+            used.add(item.alias)
+        elif isinstance(item.expr, ColumnRef):
+            used.add(item.expr.column)
+    for item in select.items:
+        if item.alias is None and isinstance(item.expr, FuncCall):
+            base = item.expr.default_alias()
+            alias = base
+            suffix = 2
+            while alias in used:
+                alias = f"{base}_{suffix}"
+                suffix += 1
+            item.alias = alias
+            used.add(alias)
+
+
+def referenced_tables(select: Select) -> list[str]:
+    """Base-table names referenced anywhere in the query, subqueries included."""
+    from repro.sql.ast import ExistsExpr, InExpr, ScalarSubquery
+    from repro.sql.params import walk_exprs
+
+    names: list[str] = []
+
+    def visit(query: Select) -> None:
+        for from_item in query.from_items:
+            if isinstance(from_item, TableRef):
+                if from_item.name not in names:
+                    names.append(from_item.name)
+            else:
+                visit(from_item.select)
+        for expr in walk_exprs(query):
+            if isinstance(expr, ExistsExpr):
+                visit(expr.select)
+            elif isinstance(expr, ScalarSubquery):
+                visit(expr.select)
+            elif isinstance(expr, InExpr) and expr.select is not None:
+                visit(expr.select)
+
+    visit(select)
+    return names

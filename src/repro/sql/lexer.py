@@ -1,0 +1,141 @@
+"""Tokenizer for the SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SQLSyntaxError
+
+NAME = "NAME"       # identifiers and keywords (value preserved as written)
+NUMBER = "NUMBER"
+STRING = "STRING"
+PARAM = "PARAM"     # $var.column — value is "var.column"
+SYMBOL = "SYMBOL"
+EOF = "EOF"
+
+_KEYWORDS = frozenset(
+    {
+        "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING",
+        "ORDER", "ASC", "DESC", "AS", "AND", "OR", "NOT", "EXISTS", "IN",
+        "NULL", "IS", "BETWEEN", "LIKE",
+    }
+)
+
+_TWO_CHAR = ("<>", "<=", ">=", "!=", "||")
+_ONE_CHAR = set("(),*.=<>+-/%")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        """Whether this token is the given keyword (case-insensitive)."""
+        return self.kind == NAME and self.value.upper() == word
+
+    def is_symbol(self, value: str) -> bool:
+        """Whether this token is the given symbol."""
+        return self.kind == SYMBOL and self.value == value
+
+    @property
+    def upper(self) -> str:
+        return self.value.upper()
+
+
+def is_keyword_name(value: str) -> bool:
+    """Whether an identifier collides with a reserved keyword."""
+    return value.upper() in _KEYWORDS
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize a SQL string; appends a trailing EOF token.
+
+    Raises:
+        SQLSyntaxError: on unterminated strings or unexpected characters.
+    """
+    tokens: list[Token] = []
+    pos = 0
+    length = len(sql)
+    while pos < length:
+        ch = sql[pos]
+        if ch.isspace():
+            pos += 1
+            continue
+        if ch == "'":
+            start = pos
+            pos += 1
+            parts: list[str] = []
+            while True:
+                if pos >= length:
+                    raise SQLSyntaxError("unterminated string literal", sql, start)
+                if sql[pos] == "'":
+                    if pos + 1 < length and sql[pos + 1] == "'":
+                        parts.append("'")  # doubled quote escape
+                        pos += 2
+                        continue
+                    pos += 1
+                    break
+                parts.append(sql[pos])
+                pos += 1
+            tokens.append(Token(STRING, "".join(parts), start))
+            continue
+        if ch == '"':
+            # Double-quoted identifier.
+            start = pos
+            end = sql.find('"', pos + 1)
+            if end < 0:
+                raise SQLSyntaxError("unterminated quoted identifier", sql, start)
+            tokens.append(Token(NAME, sql[pos + 1:end], start))
+            pos = end + 1
+            continue
+        if ch.isdigit():
+            start = pos
+            while pos < length and sql[pos].isdigit():
+                pos += 1
+            if pos + 1 < length and sql[pos] == "." and sql[pos + 1].isdigit():
+                pos += 1
+                while pos < length and sql[pos].isdigit():
+                    pos += 1
+            tokens.append(Token(NUMBER, sql[start:pos], start))
+            continue
+        if ch == "$":
+            start = pos
+            pos += 1
+            name_start = pos
+            while pos < length and (sql[pos].isalnum() or sql[pos] == "_"):
+                pos += 1
+            if pos == name_start:
+                raise SQLSyntaxError("expected name after '$'", sql, start)
+            var = sql[name_start:pos]
+            if pos >= length or sql[pos] != ".":
+                raise SQLSyntaxError(
+                    f"parameter ${var} must be qualified as ${var}.column", sql, start
+                )
+            pos += 1
+            col_start = pos
+            while pos < length and (sql[pos].isalnum() or sql[pos] == "_"):
+                pos += 1
+            if pos == col_start:
+                raise SQLSyntaxError(f"expected column after ${var}.", sql, start)
+            tokens.append(Token(PARAM, f"{var}.{sql[col_start:pos]}", start))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = pos
+            while pos < length and (sql[pos].isalnum() or sql[pos] == "_"):
+                pos += 1
+            tokens.append(Token(NAME, sql[start:pos], start))
+            continue
+        two = sql[pos:pos + 2]
+        if two in _TWO_CHAR:
+            tokens.append(Token(SYMBOL, two, pos))
+            pos += 2
+            continue
+        if ch in _ONE_CHAR:
+            tokens.append(Token(SYMBOL, ch, pos))
+            pos += 1
+            continue
+        raise SQLSyntaxError(f"unexpected character {ch!r}", sql, pos)
+    tokens.append(Token(EOF, "", length))
+    return tokens

@@ -1,0 +1,248 @@
+"""Parameter ($var.column) utilities for tag queries.
+
+Tag queries reference ancestor binding variables as ``$var.column``
+(Definition 1). The composition algorithm renames variables (Figure 9,
+lines 18/21-22) and the view evaluator substitutes concrete values from
+parent tuples at execution time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sql.ast import (
+    BinOp,
+    DerivedTable,
+    ExistsExpr,
+    Expr,
+    FuncCall,
+    InExpr,
+    OrderItem,
+    ParamRef,
+    ScalarSubquery,
+    Select,
+    SelectItem,
+    UnaryOp,
+)
+
+
+def walk_exprs(select: Select):
+    """Yield every expression reachable from ``select``, descending into
+    subqueries (derived tables, EXISTS, IN)."""
+
+    def from_expr(expr: Expr):
+        yield expr
+        if isinstance(expr, BinOp):
+            yield from from_expr(expr.left)
+            yield from from_expr(expr.right)
+        elif isinstance(expr, UnaryOp):
+            yield from from_expr(expr.operand)
+        elif isinstance(expr, FuncCall):
+            for arg in expr.args:
+                yield from from_expr(arg)
+        elif isinstance(expr, ExistsExpr):
+            yield from walk_exprs(expr.select)
+        elif isinstance(expr, ScalarSubquery):
+            yield from walk_exprs(expr.select)
+        elif isinstance(expr, InExpr):
+            yield from from_expr(expr.needle)
+            for value in expr.values:
+                yield from from_expr(value)
+            if expr.select is not None:
+                yield from walk_exprs(expr.select)
+
+    for item in select.items:
+        yield from from_expr(item.expr)
+    for from_item in select.from_items:
+        if isinstance(from_item, DerivedTable):
+            yield from walk_exprs(from_item.select)
+    if select.where is not None:
+        yield from from_expr(select.where)
+    for expr in select.group_by:
+        yield from from_expr(expr)
+    if select.having is not None:
+        yield from from_expr(select.having)
+    for order in select.order_by:
+        yield from from_expr(order.expr)
+
+
+def collect_params(select: Select) -> list[ParamRef]:
+    """Return the distinct parameters of a query, in first-use order."""
+    seen: set[tuple[str, str]] = set()
+    params: list[ParamRef] = []
+    for expr in walk_exprs(select):
+        if isinstance(expr, ParamRef):
+            key = (expr.var, expr.column)
+            if key not in seen:
+                seen.add(key)
+                params.append(expr)
+    return params
+
+
+def referenced_vars(select: Select) -> list[str]:
+    """Return the distinct binding-variable names referenced by a query."""
+    seen: set[str] = set()
+    names: list[str] = []
+    for param in collect_params(select):
+        if param.var not in seen:
+            seen.add(param.var)
+            names.append(param.var)
+    return names
+
+
+def map_exprs(select: Select, fn: Callable[[Expr], Optional[Expr]]) -> None:
+    """Rewrite expressions in place, bottom-up, across the whole query.
+
+    ``fn`` receives each expression node and returns a replacement or
+    ``None`` to keep the node. Subqueries are rewritten too.
+    """
+
+    def rewrite(expr: Expr) -> Expr:
+        if isinstance(expr, BinOp):
+            expr = BinOp(expr.op, rewrite(expr.left), rewrite(expr.right))
+        elif isinstance(expr, UnaryOp):
+            expr = UnaryOp(expr.op, rewrite(expr.operand))
+        elif isinstance(expr, FuncCall):
+            expr = FuncCall(expr.name, tuple(rewrite(a) for a in expr.args), expr.star)
+        elif isinstance(expr, ExistsExpr):
+            map_exprs(expr.select, fn)
+        elif isinstance(expr, ScalarSubquery):
+            map_exprs(expr.select, fn)
+        elif isinstance(expr, InExpr):
+            if expr.select is not None:
+                map_exprs(expr.select, fn)
+            expr = InExpr(
+                rewrite(expr.needle),
+                tuple(rewrite(v) for v in expr.values),
+                expr.select,
+            )
+        replacement = fn(expr)
+        return expr if replacement is None else replacement
+
+    for item in select.items:
+        item.expr = rewrite(item.expr)
+    for from_item in select.from_items:
+        if isinstance(from_item, DerivedTable):
+            map_exprs(from_item.select, fn)
+    if select.where is not None:
+        select.where = rewrite(select.where)
+    select.group_by = [rewrite(e) for e in select.group_by]
+    if select.having is not None:
+        select.having = rewrite(select.having)
+    for order in select.order_by:
+        order.expr = rewrite(order.expr)
+
+
+def walk_exprs_scoped(select: Select):
+    """Like :func:`walk_exprs` but respecting SQL scoping: descends into
+    EXISTS/IN subqueries (which may correlate with this query's FROM
+    aliases) but **not** into derived tables (which cannot)."""
+
+    def from_expr(expr: Expr):
+        yield expr
+        if isinstance(expr, BinOp):
+            yield from from_expr(expr.left)
+            yield from from_expr(expr.right)
+        elif isinstance(expr, UnaryOp):
+            yield from from_expr(expr.operand)
+        elif isinstance(expr, FuncCall):
+            for arg in expr.args:
+                yield from from_expr(arg)
+        elif isinstance(expr, ExistsExpr):
+            yield from walk_exprs_scoped(expr.select)
+        elif isinstance(expr, ScalarSubquery):
+            yield from walk_exprs_scoped(expr.select)
+        elif isinstance(expr, InExpr):
+            yield from from_expr(expr.needle)
+            for value in expr.values:
+                yield from from_expr(value)
+            if expr.select is not None:
+                yield from walk_exprs_scoped(expr.select)
+
+    for item in select.items:
+        yield from from_expr(item.expr)
+    if select.where is not None:
+        yield from from_expr(select.where)
+    for expr in select.group_by:
+        yield from from_expr(expr)
+    if select.having is not None:
+        yield from from_expr(select.having)
+    for order in select.order_by:
+        yield from from_expr(order.expr)
+
+
+def referenced_vars_scoped(select: Select) -> list[str]:
+    """Binding variables referenced in this query's own scope (EXISTS/IN
+    bodies included, derived tables excluded)."""
+    seen: set[str] = set()
+    names: list[str] = []
+    for expr in walk_exprs_scoped(select):
+        if isinstance(expr, ParamRef) and expr.var not in seen:
+            seen.add(expr.var)
+            names.append(expr.var)
+    return names
+
+
+def map_exprs_scoped(select: Select, fn: Callable[[Expr], Optional[Expr]]) -> None:
+    """Like :func:`map_exprs` but scoped: rewrites this query's own
+    expressions and EXISTS/IN bodies, leaving derived tables untouched."""
+
+    def rewrite(expr: Expr) -> Expr:
+        if isinstance(expr, BinOp):
+            expr = BinOp(expr.op, rewrite(expr.left), rewrite(expr.right))
+        elif isinstance(expr, UnaryOp):
+            expr = UnaryOp(expr.op, rewrite(expr.operand))
+        elif isinstance(expr, FuncCall):
+            expr = FuncCall(expr.name, tuple(rewrite(a) for a in expr.args), expr.star)
+        elif isinstance(expr, ExistsExpr):
+            map_exprs_scoped(expr.select, fn)
+        elif isinstance(expr, ScalarSubquery):
+            map_exprs_scoped(expr.select, fn)
+        elif isinstance(expr, InExpr):
+            if expr.select is not None:
+                map_exprs_scoped(expr.select, fn)
+            expr = InExpr(
+                rewrite(expr.needle),
+                tuple(rewrite(v) for v in expr.values),
+                expr.select,
+            )
+        replacement = fn(expr)
+        return expr if replacement is None else replacement
+
+    for item in select.items:
+        item.expr = rewrite(item.expr)
+    if select.where is not None:
+        select.where = rewrite(select.where)
+    select.group_by = [rewrite(e) for e in select.group_by]
+    if select.having is not None:
+        select.having = rewrite(select.having)
+    for order in select.order_by:
+        order.expr = rewrite(order.expr)
+
+
+def rename_param_vars(select: Select, mapping: dict[str, str]) -> None:
+    """Rename binding variables in place: ``$old.c`` becomes ``$new.c``."""
+
+    def fn(expr: Expr) -> Optional[Expr]:
+        if isinstance(expr, ParamRef) and expr.var in mapping:
+            return ParamRef(mapping[expr.var], expr.column)
+        return None
+
+    map_exprs(select, fn)
+
+
+def to_placeholders(select: Select) -> tuple[str, list[ParamRef]]:
+    """Render a query with named placeholders and list the parameters.
+
+    The returned SQL uses ``:var__column`` placeholders; callers bind a
+    dictionary built from parent-tuple values (see
+    :func:`placeholder_name`).
+    """
+    from repro.sql.printer import print_select
+
+    return print_select(select, placeholders=True), collect_params(select)
+
+
+def placeholder_name(param: ParamRef) -> str:
+    """The sqlite named-placeholder key for a parameter."""
+    return f"{param.var}__{param.column}"

@@ -1,0 +1,335 @@
+"""Recursive-descent parser for the SQL subset.
+
+Grammar (keywords case-insensitive):
+
+.. code-block:: text
+
+    select      := SELECT [DISTINCT] items FROM from_items
+                   [WHERE expr] [GROUP BY exprs] [HAVING expr]
+                   [ORDER BY order_items]
+    items       := item (',' item)*
+    item        := '*' | name '.' '*' | expr [[AS] name]
+    from_items  := from_item (',' from_item)*
+    from_item   := name [[AS] name] | '(' select ')' [AS] name
+    expr        := or_expr
+    or_expr     := and_expr (OR and_expr)*
+    and_expr    := not_expr (AND not_expr)*
+    not_expr    := NOT not_expr | cmp_expr
+    cmp_expr    := add_expr [cmp_op add_expr]
+                 | add_expr IS [NOT] NULL
+                 | add_expr [NOT] IN '(' (select | expr_list) ')'
+    add_expr    := mul_expr (('+'|'-') mul_expr)*
+    mul_expr    := primary (('*'|'/'|'%') primary)*
+    primary     := NUMBER | STRING | NULL | PARAM | EXISTS '(' select ')'
+                 | name '(' ('*' | expr_list) ')'     -- function call
+                 | name ['.' name]                    -- column ref
+                 | '(' (select | expr) ')'
+                 | '-' primary
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SQLSyntaxError
+from repro.sql.ast import (
+    BinOp,
+    ColumnRef,
+    DerivedTable,
+    ExistsExpr,
+    Expr,
+    FromItem,
+    FuncCall,
+    InExpr,
+    LiteralValue,
+    OrderItem,
+    ParamRef,
+    ScalarSubquery,
+    Select,
+    SelectItem,
+    Star,
+    TableRef,
+    UnaryOp,
+)
+from repro.sql.lexer import (
+    EOF,
+    NAME,
+    NUMBER,
+    PARAM,
+    STRING,
+    SYMBOL,
+    Token,
+    is_keyword_name,
+    tokenize,
+)
+
+_COMPARISONS = ("=", "<>", "!=", "<=", ">=", "<", ">")
+
+
+class _Parser:
+    def __init__(self, sql: str):
+        self.sql = sql
+        self.tokens = tokenize(sql)
+        self.index = 0
+
+    # -- helpers --------------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def _peek(self, offset: int = 1) -> Token:
+        index = min(self.index + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind != EOF:
+            self.index += 1
+        return token
+
+    def _error(self, message: str) -> SQLSyntaxError:
+        return SQLSyntaxError(message, self.sql, self.current.position)
+
+    def _accept_keyword(self, word: str) -> bool:
+        if self.current.is_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    def _expect_keyword(self, word: str) -> None:
+        if not self._accept_keyword(word):
+            raise self._error(f"expected {word}")
+
+    def _accept_symbol(self, value: str) -> bool:
+        if self.current.is_symbol(value):
+            self._advance()
+            return True
+        return False
+
+    def _expect_symbol(self, value: str) -> None:
+        if not self._accept_symbol(value):
+            raise self._error(f"expected {value!r}")
+
+    def _expect_identifier(self) -> str:
+        token = self.current
+        if token.kind != NAME or is_keyword_name(token.value):
+            raise self._error(f"expected an identifier, found {token.value!r}")
+        self._advance()
+        return token.value
+
+    # -- select ---------------------------------------------------------------
+
+    def parse(self) -> Select:
+        select = self._select()
+        if self.current.kind != EOF:
+            raise self._error(f"unexpected trailing input {self.current.value!r}")
+        return select
+
+    def _select(self) -> Select:
+        self._expect_keyword("SELECT")
+        query = Select()
+        query.distinct = self._accept_keyword("DISTINCT")
+        query.items.append(self._select_item())
+        while self._accept_symbol(","):
+            query.items.append(self._select_item())
+        self._expect_keyword("FROM")
+        query.from_items.append(self._from_item())
+        while self._accept_symbol(","):
+            query.from_items.append(self._from_item())
+        if self._accept_keyword("WHERE"):
+            query.where = self._expr()
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            query.group_by.append(self._expr())
+            while self._accept_symbol(","):
+                query.group_by.append(self._expr())
+        if self._accept_keyword("HAVING"):
+            query.having = self._expr()
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            query.order_by.append(self._order_item())
+            while self._accept_symbol(","):
+                query.order_by.append(self._order_item())
+        return query
+
+    def _select_item(self) -> SelectItem:
+        if self.current.is_symbol("*"):
+            self._advance()
+            return SelectItem(Star())
+        if (
+            self.current.kind == NAME
+            and not is_keyword_name(self.current.value)
+            and self._peek().is_symbol(".")
+            and self._peek(2).is_symbol("*")
+        ):
+            table = self._advance().value
+            self._advance()  # '.'
+            self._advance()  # '*'
+            return SelectItem(Star(table))
+        expr = self._expr()
+        alias: Optional[str] = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_identifier()
+        elif self.current.kind == NAME and not is_keyword_name(self.current.value):
+            alias = self._advance().value
+        return SelectItem(expr, alias)
+
+    def _from_item(self) -> FromItem:
+        if self._accept_symbol("("):
+            select = self._select()
+            self._expect_symbol(")")
+            self._accept_keyword("AS")
+            alias = self._expect_identifier()
+            return DerivedTable(select, alias)
+        name = self._expect_identifier()
+        alias: Optional[str] = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_identifier()
+        elif self.current.kind == NAME and not is_keyword_name(self.current.value):
+            alias = self._advance().value
+        return TableRef(name, alias)
+
+    def _order_item(self) -> OrderItem:
+        expr = self._expr()
+        ascending = True
+        if self._accept_keyword("DESC"):
+            ascending = False
+        else:
+            self._accept_keyword("ASC")
+        return OrderItem(expr, ascending)
+
+    # -- expressions -------------------------------------------------------------
+
+    def _expr(self) -> Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> Expr:
+        left = self._and_expr()
+        while self._accept_keyword("OR"):
+            left = BinOp("OR", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> Expr:
+        left = self._not_expr()
+        while self._accept_keyword("AND"):
+            left = BinOp("AND", left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> Expr:
+        if self._accept_keyword("NOT"):
+            return UnaryOp("NOT", self._not_expr())
+        return self._cmp_expr()
+
+    def _cmp_expr(self) -> Expr:
+        left = self._add_expr()
+        if self._accept_keyword("IS"):
+            negated = self._accept_keyword("NOT")
+            # sqlite's IS is general null-safe equality; `IS NULL` is the
+            # common special case.
+            if self._accept_keyword("NULL"):
+                right: Expr = LiteralValue(None)
+            else:
+                right = self._add_expr()
+            check: Expr = BinOp("IS", left, right)
+            return UnaryOp("NOT", check) if negated else check
+        negated = False
+        if self.current.is_keyword("NOT") and self._peek().is_keyword("IN"):
+            self._advance()
+            negated = True
+        if self._accept_keyword("IN"):
+            self._expect_symbol("(")
+            if self.current.is_keyword("SELECT"):
+                sub = self._select()
+                self._expect_symbol(")")
+                result: Expr = InExpr(left, select=sub)
+            else:
+                values = [self._expr()]
+                while self._accept_symbol(","):
+                    values.append(self._expr())
+                self._expect_symbol(")")
+                result = InExpr(left, tuple(values))
+            return UnaryOp("NOT", result) if negated else result
+        for op in _COMPARISONS:
+            if self.current.is_symbol(op):
+                self._advance()
+                normalized = "<>" if op == "!=" else op
+                return BinOp(normalized, left, self._add_expr())
+        return left
+
+    def _add_expr(self) -> Expr:
+        left = self._mul_expr()
+        while self.current.kind == SYMBOL and self.current.value in ("+", "-", "||"):
+            op = self._advance().value
+            left = BinOp(op, left, self._mul_expr())
+        return left
+
+    def _mul_expr(self) -> Expr:
+        left = self._primary()
+        while self.current.kind == SYMBOL and self.current.value in ("*", "/", "%"):
+            op = self._advance().value
+            left = BinOp(op, left, self._primary())
+        return left
+
+    def _primary(self) -> Expr:
+        token = self.current
+        if token.kind == NUMBER:
+            self._advance()
+            if "." in token.value:
+                return LiteralValue(float(token.value))
+            return LiteralValue(int(token.value))
+        if token.kind == STRING:
+            self._advance()
+            return LiteralValue(token.value)
+        if token.kind == PARAM:
+            self._advance()
+            var, column = token.value.split(".", 1)
+            return ParamRef(var, column)
+        if token.is_keyword("NULL"):
+            self._advance()
+            return LiteralValue(None)
+        if token.is_keyword("EXISTS"):
+            self._advance()
+            self._expect_symbol("(")
+            sub = self._select()
+            self._expect_symbol(")")
+            return ExistsExpr(sub)
+        if token.is_symbol("-"):
+            self._advance()
+            return UnaryOp("-", self._primary())
+        if token.is_symbol("("):
+            self._advance()
+            if self.current.is_keyword("SELECT"):
+                sub = self._select()
+                self._expect_symbol(")")
+                return ScalarSubquery(sub)
+            inner = self._expr()
+            self._expect_symbol(")")
+            return inner
+        if token.kind == NAME and not is_keyword_name(token.value):
+            if self._peek().is_symbol("("):
+                name = self._advance().value.upper()
+                self._advance()  # '('
+                if self._accept_symbol("*"):
+                    self._expect_symbol(")")
+                    return FuncCall(name, star=True)
+                args = [self._expr()]
+                while self._accept_symbol(","):
+                    args.append(self._expr())
+                self._expect_symbol(")")
+                return FuncCall(name, tuple(args))
+            first = self._advance().value
+            if self._accept_symbol("."):
+                column = self._expect_identifier()
+                return ColumnRef(column, table=first)
+            return ColumnRef(first)
+        raise self._error(f"expected an expression, found {token.value!r}")
+
+
+def parse_select(sql: str) -> Select:
+    """Parse a SELECT statement in the tag-query dialect.
+
+    Raises:
+        SQLSyntaxError: when the input is outside the dialect.
+    """
+    return _Parser(sql).parse()

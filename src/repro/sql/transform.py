@@ -1,0 +1,544 @@
+"""Structural query transforms backing UNBIND and NEST (Figures 10-13).
+
+The central operation is :func:`inline_parameter`: given a query ``q``
+parameterized by ``$var`` and the tag query ``parent`` that defines
+``var``, rewrite ``q`` so ``parent`` appears as a derived table and every
+``$var.c`` reference becomes ``ALIAS.c``. Together with
+:func:`carry_parent_columns` (add the parent's columns to the select list,
+extending GROUP BY when the query aggregates) this implements one
+unbinding step of Figure 10/12; :mod:`repro.core.unbind` iterates it up
+the schema tree.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.errors import SQLTransformError
+from repro.sql.analysis import (
+    TableColumns,
+    from_item_columns,
+    has_top_level_aggregate,
+    output_columns,
+)
+from repro.sql.ast import (
+    ColumnRef,
+    DerivedTable,
+    Expr,
+    ParamRef,
+    Select,
+    SelectItem,
+    Star,
+)
+from repro.sql.params import map_exprs, referenced_vars
+
+
+def used_aliases(select: Select) -> set[str]:
+    """All FROM binding names used in this query and its subqueries
+    (derived tables and EXISTS/IN bodies alike)."""
+    from repro.sql.ast import ExistsExpr, InExpr
+    from repro.sql.params import walk_exprs
+
+    names: set[str] = set()
+
+    def visit(query: Select) -> None:
+        for from_item in query.from_items:
+            names.add(from_item.binding_name)
+            if isinstance(from_item, DerivedTable):
+                visit(from_item.select)
+        for expr in walk_exprs(query):
+            if isinstance(expr, ExistsExpr):
+                visit(expr.select)
+            elif isinstance(expr, InExpr) and expr.select is not None:
+                visit(expr.select)
+            else:
+                from repro.sql.ast import ScalarSubquery
+
+                if isinstance(expr, ScalarSubquery):
+                    visit(expr.select)
+
+    visit(select)
+    return names
+
+
+def fresh_alias(select: Select, base: str = "TEMP") -> str:
+    """A derived-table alias not colliding with any name in ``select``.
+
+    Follows the paper's TEMP/TEMP1/TEMP2 convention (Figures 7, 16, 26).
+    """
+    taken = used_aliases(select)
+    if base not in taken:
+        return base
+    counter = 1
+    while f"{base}{counter}" in taken:
+        counter += 1
+    return f"{base}{counter}"
+
+
+def qualify_bare_stars(query: Select) -> None:
+    """Rewrite an unqualified ``*`` select item into per-FROM-item stars.
+
+    Must run before new FROM items are appended, so that the original
+    ``*`` does not silently widen to cover the new tables.
+    """
+    new_items: list[SelectItem] = []
+    for item in query.items:
+        if isinstance(item.expr, Star) and item.expr.table is None:
+            for from_item in query.from_items:
+                new_items.append(SelectItem(Star(from_item.binding_name)))
+        else:
+            new_items.append(item)
+    query.items = new_items
+
+
+def qualify_unqualified_columns(
+    query: Select, catalog: TableColumns, outer: tuple["FromItem", ...] = ()
+) -> None:
+    """Qualify unqualified column references with their source FROM item.
+
+    SQL scoping is respected: a name inside an EXISTS/IN body resolves
+    against that body's own FROM items first, then correlates outward;
+    derived tables see only their own scope. Names that no FROM item
+    provides (select-list aliases referenced in GROUP BY/HAVING) are left
+    untouched.
+
+    Inlining a parent query as a derived table can make previously-unique
+    names ambiguous (the paper's Figure 26 has this latent bug:
+    ``WHERE rhotel_id = hotelid`` once ``TEMP`` also exposes ``hotelid``);
+    running this before appending the new FROM item pins every name to
+    its original source.
+    """
+    from repro.sql.ast import BinOp, ExistsExpr, FuncCall, InExpr, UnaryOp
+
+    scope = tuple(query.from_items)
+
+    def find(column: str) -> Optional[str]:
+        for from_item in scope:
+            if column in from_item_columns(from_item, catalog):
+                return from_item.binding_name
+        for from_item in outer:
+            if column in from_item_columns(from_item, catalog):
+                return from_item.binding_name
+        return None
+
+    def rewrite(expr):
+        if isinstance(expr, ColumnRef) and expr.table is None:
+            table = find(expr.column)
+            if table is not None:
+                return ColumnRef(expr.column, table=table)
+            return expr
+        if isinstance(expr, BinOp):
+            return BinOp(expr.op, rewrite(expr.left), rewrite(expr.right))
+        if isinstance(expr, UnaryOp):
+            return UnaryOp(expr.op, rewrite(expr.operand))
+        if isinstance(expr, FuncCall):
+            return FuncCall(expr.name, tuple(rewrite(a) for a in expr.args), expr.star)
+        if isinstance(expr, ExistsExpr):
+            qualify_unqualified_columns(expr.select, catalog, scope + outer)
+            return expr
+        from repro.sql.ast import ScalarSubquery
+
+        if isinstance(expr, ScalarSubquery):
+            qualify_unqualified_columns(expr.select, catalog, scope + outer)
+            return expr
+        if isinstance(expr, InExpr):
+            if expr.select is not None:
+                qualify_unqualified_columns(expr.select, catalog, scope + outer)
+            return InExpr(
+                rewrite(expr.needle), tuple(rewrite(v) for v in expr.values), expr.select
+            )
+        return expr
+
+    for item in query.items:
+        item.expr = rewrite(item.expr)
+    if query.where is not None:
+        query.where = rewrite(query.where)
+    query.group_by = [rewrite(e) for e in query.group_by]
+    if query.having is not None:
+        query.having = rewrite(query.having)
+    for order in query.order_by:
+        order.expr = rewrite(order.expr)
+    for from_item in query.from_items:
+        if isinstance(from_item, DerivedTable):
+            qualify_unqualified_columns(from_item.select, catalog)
+
+
+def propagate_order(query: Select, parent: Select, exposure: dict[str, str]) -> None:
+    """Prepend the parent's ORDER BY keys to ``query``'s, via exposure.
+
+    Document order in a publishing view is parent-major: the parent's
+    tuples order the blocks, the child's keys order within a block. When
+    a parent query is folded into a child during unbinding, its order
+    keys (those that are plain output columns carried into ``query``'s
+    result) must therefore come *first*. Keys that are not carried output
+    columns are silently dropped — ordering is best-effort, matching the
+    paper's "document order is future work" stance; see
+    docs/ALGORITHM.md.
+    """
+    from repro.sql.ast import OrderItem
+
+    inherited: list[OrderItem] = []
+    for item in parent.order_by:
+        if not isinstance(item.expr, ColumnRef):
+            continue
+        exposed = exposure.get(item.expr.column)
+        if exposed is not None:
+            # Reference the output alias; sqlite resolves ORDER BY against
+            # the select list first.
+            inherited.append(OrderItem(ColumnRef(exposed), item.ascending))
+    query.order_by = inherited + query.order_by
+
+
+def inline_parameter(query: Select, var: str, parent: Select, alias: Optional[str] = None) -> str:
+    """Inline ``parent`` as a derived table replacing parameter ``$var``.
+
+    Scope-correct: only references in ``query``'s own scope (its clauses
+    and EXISTS/IN bodies) are rewritten to ``alias.c``, because a derived
+    table cannot correlate to a sibling FROM item. References hiding
+    inside nested derived tables are the caller's problem — use
+    :func:`inline_parameter_deep` for the general case.
+
+    Returns the alias used.
+    """
+    from repro.sql.params import map_exprs_scoped
+
+    chosen = alias or fresh_alias(query)
+    qualify_bare_stars(query)
+    query.from_items.append(DerivedTable(parent.clone(), chosen))
+
+    def fn(expr: Expr) -> Optional[Expr]:
+        if isinstance(expr, ParamRef) and expr.var == var:
+            return ColumnRef(expr.column, table=chosen)
+        return None
+
+    map_exprs_scoped(query, fn)
+    return chosen
+
+
+def scalar_aggregate_restructure(
+    query: Select, catalog: TableColumns
+) -> None:
+    """Rewrite an ungrouped aggregate query into scalar-subquery form.
+
+    ``SELECT SUM(x) AS s FROM t WHERE c`` becomes
+    ``SELECT (SELECT SUM(x) FROM t WHERE c) AS s`` with an *empty* FROM
+    list — the caller then installs the parent derived table as the sole
+    FROM item. This preserves the one-row-per-parent semantics that an
+    inner join + GROUP BY would lose on empty groups (a hotel with no
+    conference rooms still publishes its ``<confstat>``; see
+    tests/core/test_empty_groups.py).
+
+    Any HAVING condition moves to the outer WHERE with its aggregate
+    subexpressions replaced by their own correlated scalars.
+    """
+    from repro.sql.ast import FuncCall, ScalarSubquery, clone_expr
+
+    if query.group_by:
+        raise SQLTransformError("scalar restructuring requires no GROUP BY")
+    inner_from = query.from_items
+    inner_where = query.where
+
+    def make_scalar(expr: Expr) -> ScalarSubquery:
+        inner = Select(
+            items=[SelectItem(clone_expr(expr))],
+            from_items=[fi.clone() for fi in inner_from],
+            where=clone_expr(inner_where) if inner_where is not None else None,
+        )
+        return ScalarSubquery(inner)
+
+    new_items: list[SelectItem] = []
+    for item in query.items:
+        alias = item.alias or item.output_name()
+        if alias is None:
+            raise SQLTransformError(
+                "scalar restructuring needs a derivable column name for "
+                f"{item.expr!r}"
+            )
+        new_items.append(SelectItem(make_scalar(item.expr), alias))
+    query.items = new_items
+
+    if query.having is not None:
+        def replace_aggregates(expr: Expr) -> Expr:
+            if isinstance(expr, FuncCall) and expr.is_aggregate:
+                return make_scalar(expr)
+            from repro.sql.ast import BinOp, UnaryOp
+
+            if isinstance(expr, BinOp):
+                return BinOp(
+                    expr.op, replace_aggregates(expr.left), replace_aggregates(expr.right)
+                )
+            if isinstance(expr, UnaryOp):
+                return UnaryOp(expr.op, replace_aggregates(expr.operand))
+            if isinstance(expr, FuncCall):
+                return FuncCall(
+                    expr.name,
+                    tuple(replace_aggregates(a) for a in expr.args),
+                    expr.star,
+                )
+            return expr
+
+        query.where = replace_aggregates(query.having)
+        query.having = None
+    else:
+        query.where = None
+    query.from_items = []
+
+
+def _attach_parent_scalar(
+    query: Select, var: Optional[str], parent: Select, catalog: TableColumns
+) -> dict[str, str]:
+    """Scalar-form attachment of a parent to an ungrouped aggregate query."""
+    scalar_aggregate_restructure(query, catalog)
+    alias = fresh_alias(query)
+    query.from_items = [DerivedTable(parent.clone(), alias)]
+    if var is not None:
+        from repro.sql.params import map_exprs
+
+        def fn(expr: Expr) -> Optional[Expr]:
+            if isinstance(expr, ParamRef) and expr.var == var:
+                return ColumnRef(expr.column, table=alias)
+            return None
+
+        map_exprs(query, fn)
+    exposure = carry_parent_columns(query, alias, catalog)
+    propagate_order(query, parent, exposure)
+    return exposure
+
+
+def attach_parent_query(
+    query: Select,
+    var: Optional[str],
+    parent: Select,
+    catalog: TableColumns,
+    scalar_aggregates: bool = True,
+) -> dict[str, str]:
+    """Attach a parent query to a child tag query, however is correct.
+
+    This is the single entry point the composition algorithm uses for one
+    unbinding step: it picks between deep inlining (``$var`` referenced),
+    plain cross join (no reference — multiplicities/existence still
+    require the parent), and the scalar-subquery form for ungrouped
+    aggregates (empty groups must survive). Returns the exposure map of
+    the parent's columns in ``query``'s output.
+    """
+    if var is not None and var in referenced_vars(query):
+        return inline_parameter_deep(
+            query, var, parent, catalog, scalar_aggregates=scalar_aggregates
+        )
+    if (
+        scalar_aggregates
+        and has_top_level_aggregate(query)
+        and not query.group_by
+    ):
+        return _attach_parent_scalar(query, None, parent, catalog)
+    qualify_unqualified_columns(query, catalog)
+    qualify_bare_stars(query)
+    alias = fresh_alias(query)
+    query.from_items.append(DerivedTable(parent.clone(), alias))
+    exposure = carry_parent_columns(query, alias, catalog)
+    propagate_order(query, parent, exposure)
+    return exposure
+
+
+def inline_parameter_deep(
+    query: Select,
+    var: str,
+    parent: Select,
+    catalog: TableColumns,
+    scalar_aggregates: bool = True,
+) -> dict[str, str]:
+    """Inline ``parent`` wherever ``$var`` is referenced, at any depth.
+
+    This is the full unbinding step (Figures 10/12 for chains, Figure 16
+    for forced unbinding): references in nested derived tables are handled
+    by recursing *into* those subqueries — SQL forbids a derived table
+    correlating with a sibling — and the parent's columns are carried up
+    through every intermediate level so they remain addressable from
+    ``query``'s output (with GROUP BY extended at aggregated levels).
+
+    When several scopes reference ``$var`` independently, each gets its
+    own copy of ``parent`` and the copies are equated column-by-column
+    (with the null-safe ``IS``) so no cross-product inflation occurs.
+
+    Returns:
+        Mapping from ``parent``'s output columns to the names under which
+        they are exposed in ``query``'s result.
+
+    Raises:
+        SQLTransformError: if ``query`` does not reference ``$var`` anywhere.
+    """
+    from repro.sql.ast import BinOp
+    from repro.sql.params import referenced_vars_scoped
+
+    if var not in referenced_vars(query):
+        raise SQLTransformError(f"query does not reference ${var}")
+
+    qualify_unqualified_columns(query, catalog)
+    own_refs = var in referenced_vars_scoped(query)
+    referencing_derived = [
+        item
+        for item in query.from_items
+        if isinstance(item, DerivedTable) and var in referenced_vars(item.select)
+    ]
+
+    if (
+        scalar_aggregates
+        and not referencing_derived
+        and has_top_level_aggregate(query)
+        and not query.group_by
+    ):
+        # An ungrouped aggregate returns exactly one row per parent
+        # binding — even over an empty group. Joining + grouping would
+        # drop empty groups, so restructure into correlated scalar
+        # subqueries over the parent instead.
+        return _attach_parent_scalar(query, var, parent, catalog)
+
+    # First resolve references inside derived tables, bottom-up; each
+    # returns where the parent's columns surface in that subquery's output.
+    derived_exposures: list[tuple[DerivedTable, dict[str, str]]] = []
+    for derived in referencing_derived:
+        exposure = inline_parameter_deep(
+            derived.select, var, parent, catalog,
+            scalar_aggregates=scalar_aggregates,
+        )
+        derived_exposures.append((derived, exposure))
+
+    parent_columns = output_columns(parent, catalog)
+
+    if own_refs or not derived_exposures:
+        alias = inline_parameter(query, var, parent)
+        top_exposure = carry_parent_columns(query, alias, catalog)
+        propagate_order(query, parent, top_exposure)
+        for derived, exposure in derived_exposures:
+            for column in parent_columns:
+                query.add_where(
+                    BinOp(
+                        "IS",
+                        ColumnRef(exposure[column], table=derived.alias),
+                        ColumnRef(column, table=alias),
+                    )
+                )
+        return top_exposure
+
+    # Only derived tables reference the variable: surface the first copy's
+    # columns at this level and equate any further copies with it.
+    primary, primary_exposure = derived_exposures[0]
+    qualify_bare_stars(query)
+    existing = set(output_columns(query, catalog))
+    aggregated = has_top_level_aggregate(query)
+    lifted: dict[str, str] = {}
+    for column in parent_columns:
+        inner_name = primary_exposure[column]
+        exposed = inner_name
+        if exposed in existing:
+            exposed = f"{primary.alias}_{inner_name}"
+            counter = 2
+            while exposed in existing:
+                exposed = f"{primary.alias}_{inner_name}_{counter}"
+                counter += 1
+        ref = ColumnRef(inner_name, table=primary.alias)
+        query.items.append(
+            SelectItem(ref, None if exposed == inner_name else exposed)
+        )
+        existing.add(exposed)
+        lifted[column] = exposed
+        if aggregated:
+            query.group_by.append(ref)
+    for derived, exposure in derived_exposures[1:]:
+        for column in parent_columns:
+            query.add_where(
+                BinOp(
+                    "IS",
+                    ColumnRef(exposure[column], table=derived.alias),
+                    ColumnRef(primary_exposure[column], table=primary.alias),
+                )
+            )
+    propagate_order(query, parent, lifted)
+    return lifted
+
+
+def carry_parent_columns(query: Select, alias: str, catalog: TableColumns) -> dict[str, str]:
+    """Expose a derived table's columns through ``query``'s select list.
+
+    Implements lines 5-6 of Figure 13 ("add the SELECT columns of
+    Q_bv(p) to q") plus the GROUP BY rule that preserves aggregation
+    semantics (the paper's ``GROUP BY TEMP.hotelid, ..., TEMP.gym``).
+
+    Columns whose names collide with existing output columns are exposed
+    under a disambiguated alias ``<alias>_<column>``.
+
+    Returns:
+        A mapping from the parent's column name to the name under which it
+        is exposed in ``query``'s result.
+    """
+    derived = None
+    for from_item in query.from_items:
+        if from_item.binding_name == alias:
+            derived = from_item
+            break
+    if derived is None:
+        raise SQLTransformError(f"no FROM item with alias {alias!r}")
+
+    existing = set(output_columns(query, catalog))
+    parent_columns = from_item_columns(derived, catalog)
+    exposure: dict[str, str] = {}
+    aggregated = has_top_level_aggregate(query)
+    for column in parent_columns:
+        exposed = column
+        if column in existing:
+            exposed = f"{alias}_{column}"
+            counter = 2
+            while exposed in existing:
+                exposed = f"{alias}_{column}_{counter}"
+                counter += 1
+        ref = ColumnRef(column, table=alias)
+        query.items.append(SelectItem(ref, None if exposed == column else exposed))
+        existing.add(exposed)
+        exposure[column] = exposed
+        if aggregated:
+            query.group_by.append(ref)
+    return exposure
+
+
+def expand_stars(query: Select, catalog: TableColumns) -> None:
+    """Replace ``*`` / ``t.*`` select items with explicit column references.
+
+    Composed queries carry ancestor columns; expanding stars first makes
+    collision handling and attribute projection deterministic. Operates on
+    the top level only (derived tables keep their own stars).
+    """
+    new_items: list[SelectItem] = []
+    for item in query.items:
+        if not isinstance(item.expr, Star):
+            new_items.append(item)
+            continue
+        star = item.expr
+        if star.table is not None:
+            sources = [fi for fi in query.from_items if fi.binding_name == star.table]
+            if not sources:
+                raise SQLTransformError(f"{star.table}.* matches no FROM item")
+        else:
+            sources = list(query.from_items)
+        for from_item in sources:
+            for column in from_item_columns(from_item, catalog):
+                new_items.append(SelectItem(ColumnRef(column, table=from_item.binding_name)))
+    query.items = new_items
+
+
+def project_columns(query: Select, names: Iterable[str], catalog: TableColumns) -> None:
+    """Restrict the select list to the named output columns, in given order.
+
+    Stars are expanded first. Unknown names raise.
+    """
+    expand_stars(query, catalog)
+    by_name: dict[str, SelectItem] = {}
+    for item in query.items:
+        name = item.output_name()
+        if name is not None and name not in by_name:
+            by_name[name] = item
+    new_items: list[SelectItem] = []
+    for name in names:
+        if name not in by_name:
+            raise SQLTransformError(f"query has no output column {name!r}")
+        new_items.append(by_name[name])
+    query.items = new_items

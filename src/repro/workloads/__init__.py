@@ -1,0 +1,27 @@
+"""Workloads: the paper's hotel-reservation schema, its worked examples as
+code, a deterministic data generator, and synthetic view/stylesheet
+generators for the scaling experiments."""
+
+from repro.workloads.hotel import (
+    HotelDataSpec,
+    hotel_catalog,
+    populate_hotel_database,
+)
+from repro.workloads.paper import (
+    figure1_view,
+    figure4_stylesheet,
+    figure15_stylesheet,
+    figure17_stylesheet,
+    figure25_stylesheet,
+)
+
+__all__ = [
+    "HotelDataSpec",
+    "hotel_catalog",
+    "populate_hotel_database",
+    "figure1_view",
+    "figure4_stylesheet",
+    "figure15_stylesheet",
+    "figure17_stylesheet",
+    "figure25_stylesheet",
+]

@@ -1,0 +1,248 @@
+"""A second workload domain: order management / invoicing.
+
+The paper's intro motivates XML publishing for business data exchange;
+this workload models the classic case — customers, orders, line items
+and products published as XML, rendered by stylesheets into invoices and
+summaries. It exists to show the composer generalizes beyond the paper's
+hotel example, and it feeds a set of equivalence tests and the
+``examples/invoice_rendering.py`` walkthrough.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.relational.engine import Database
+from repro.relational.schema import Catalog, table
+from repro.schema_tree.builder import ViewBuilder
+from repro.schema_tree.model import SchemaTreeQuery
+from repro.xslt.model import Stylesheet
+from repro.xslt.parser import parse_stylesheet
+
+_REGIONS = ("north", "south", "east", "west")
+_STATUSES = ("open", "shipped", "billed")
+
+
+def orders_catalog() -> Catalog:
+    """The relational catalog of the orders workload."""
+    return Catalog(
+        [
+            table(
+                "customer",
+                ("custid", "INTEGER"),
+                ("custname", "TEXT"),
+                ("region", "TEXT"),
+                ("credit", "REAL"),
+                primary_key="custid",
+            ),
+            table(
+                "orders",
+                ("orderid", "INTEGER"),
+                ("o_custid", "INTEGER"),
+                ("orderdate", "TEXT"),
+                ("status", "TEXT"),
+                primary_key="orderid",
+            ),
+            table(
+                "lineitem",
+                ("lineid", "INTEGER"),
+                ("l_orderid", "INTEGER"),
+                ("l_prodid", "INTEGER"),
+                ("quantity", "INTEGER"),
+                ("price", "REAL"),
+                primary_key="lineid",
+            ),
+            table(
+                "product",
+                ("prodid", "INTEGER"),
+                ("prodname", "TEXT"),
+                ("category", "TEXT"),
+                primary_key="prodid",
+            ),
+        ]
+    )
+
+
+@dataclass(frozen=True)
+class OrdersDataSpec:
+    """Scale parameters for the generated order data."""
+
+    customers: int = 6
+    orders_per_customer: int = 3
+    lines_per_order: int = 4
+    products: int = 12
+    seed: int = 42
+
+
+def populate_orders_database(db: Database, spec: OrdersDataSpec) -> None:
+    """Fill ``db`` deterministically per ``spec``."""
+    rng = random.Random(spec.seed)
+    db.insert_rows(
+        "product",
+        (
+            {
+                "prodid": i + 1,
+                "prodname": f"product{i + 1}",
+                "category": rng.choice(("widget", "gadget", "gizmo")),
+            }
+            for i in range(spec.products)
+        ),
+    )
+    db.insert_rows(
+        "customer",
+        (
+            {
+                "custid": i + 1,
+                "custname": f"customer{i + 1}",
+                "region": _REGIONS[i % len(_REGIONS)],
+                "credit": round(rng.uniform(100, 10_000), 2),
+            }
+            for i in range(spec.customers)
+        ),
+    )
+    order_rows = []
+    line_rows = []
+    order_id = 0
+    line_id = 0
+    for customer in range(1, spec.customers + 1):
+        for _ in range(spec.orders_per_customer):
+            order_id += 1
+            order_rows.append(
+                {
+                    "orderid": order_id,
+                    "o_custid": customer,
+                    "orderdate": f"2003-0{rng.randint(1, 6)}-1{rng.randint(0, 9)}",
+                    "status": rng.choice(_STATUSES),
+                }
+            )
+            for _ in range(rng.randint(1, spec.lines_per_order)):
+                line_id += 1
+                line_rows.append(
+                    {
+                        "lineid": line_id,
+                        "l_orderid": order_id,
+                        "l_prodid": rng.randint(1, spec.products),
+                        "quantity": rng.randint(1, 9),
+                        "price": round(rng.uniform(5, 500), 2),
+                    }
+                )
+    db.insert_rows("orders", order_rows)
+    db.insert_rows("lineitem", line_rows)
+
+
+def build_orders_database(spec: OrdersDataSpec | None = None) -> Database:
+    """Create and populate an orders database in one call."""
+    db = Database(orders_catalog())
+    populate_orders_database(db, spec or OrdersDataSpec())
+    return db
+
+
+def orders_view(catalog: Catalog | None = None) -> SchemaTreeQuery:
+    """customers > orders > (order_total, lineitems > product_info)."""
+    builder = ViewBuilder(catalog or orders_catalog())
+    customer = builder.node(
+        "customer",
+        "SELECT * FROM customer ORDER BY custid",
+        bv="cu",
+    )
+    order = customer.child(
+        "order",
+        "SELECT * FROM orders WHERE o_custid = $cu.custid ORDER BY orderid",
+        bv="o",
+    )
+    order.child(
+        "order_total",
+        "SELECT SUM(quantity * price) AS total, COUNT(lineid) AS lines "
+        "FROM lineitem WHERE l_orderid = $o.orderid",
+        bv="t",
+    )
+    line = order.child(
+        "line",
+        "SELECT * FROM lineitem WHERE l_orderid = $o.orderid ORDER BY lineid",
+        bv="l",
+    )
+    line.child(
+        "product",
+        "SELECT * FROM product WHERE prodid = $l.l_prodid",
+        bv="p",
+    )
+    return builder.build()
+
+
+INVOICE_STYLESHEET = """
+<xsl:template match="/">
+  <invoices><xsl:apply-templates select="customer"/></invoices>
+</xsl:template>
+
+<xsl:template match="customer">
+  <invoice for="{@custname}" region="{@region}">
+    <xsl:apply-templates select="order[@status='billed']"/>
+  </invoice>
+</xsl:template>
+
+<xsl:template match="order">
+  <bill order="{@orderid}" date="{@orderdate}">
+    <xsl:apply-templates select="order_total"/>
+  </bill>
+</xsl:template>
+
+<xsl:template match="order_total">
+  <amount due="{@total}" items="{@lines}"/>
+</xsl:template>
+"""
+
+
+SUMMARY_STYLESHEET = """
+<xsl:template match="/">
+  <report><xsl:apply-templates select="customer[@credit &gt; 1000]"/></report>
+</xsl:template>
+
+<xsl:template match="customer">
+  <big_customer name="{@custname}">
+    <xsl:apply-templates select="order/order_total[@total &gt; 500]"/>
+  </big_customer>
+</xsl:template>
+
+<xsl:template match="order_total">
+  <big_order total="{@total}"/>
+</xsl:template>
+"""
+
+
+LARGE_LINES_STYLESHEET = """
+<xsl:template match="/">
+  <audit><xsl:apply-templates select="customer"/></audit>
+</xsl:template>
+
+<xsl:template match="customer">
+  <c name="{@custname}">
+    <xsl:apply-templates select="order/line[@quantity &gt; 5][product]"/>
+  </c>
+</xsl:template>
+
+<xsl:template match="line">
+  <flagged qty="{@quantity}" price="{@price}">
+    <xsl:apply-templates select="product"/>
+  </flagged>
+</xsl:template>
+
+<xsl:template match="product">
+  <xsl:value-of select="."/>
+</xsl:template>
+"""
+
+
+def invoice_stylesheet() -> Stylesheet:
+    """Render billed orders as invoices (filters + aggregates + AVTs)."""
+    return parse_stylesheet(INVOICE_STYLESHEET)
+
+
+def summary_stylesheet() -> Stylesheet:
+    """High-credit customers' large orders (predicates at two levels)."""
+    return parse_stylesheet(SUMMARY_STYLESHEET)
+
+
+def large_lines_stylesheet() -> Stylesheet:
+    """Audit large line items, requiring the product to exist."""
+    return parse_stylesheet(LARGE_LINES_STYLESHEET)

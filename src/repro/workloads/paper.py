@@ -1,0 +1,249 @@
+"""The paper's worked examples, verbatim as code.
+
+* :func:`figure1_view` — the schema-tree view query of Figure 1 (node ids
+  match the paper's numbering),
+* :func:`figure4_stylesheet` — the four-rule stylesheet of Figure 4,
+* :func:`figure15_stylesheet` — Figure 4 with R2's output removed (the
+  forced-unbinding example of Figures 15/16),
+* :func:`figure17_stylesheet` — the predicate stylesheet of Figure 17,
+* :func:`figure25_stylesheet` — the recursive stylesheet of Figure 25.
+"""
+
+from __future__ import annotations
+
+from repro.relational.schema import Catalog
+from repro.schema_tree.builder import ViewBuilder
+from repro.schema_tree.model import SchemaTreeQuery
+from repro.workloads.hotel import hotel_catalog
+from repro.xslt.model import Stylesheet
+from repro.xslt.parser import parse_stylesheet
+
+
+def figure1_view(catalog: Catalog | None = None) -> SchemaTreeQuery:
+    """The conference-planning view of Figure 1.
+
+    Node ids match the paper: (1) metro, (2) confstat under metro,
+    (3) hotel, (4) confstat under hotel, (5) confroom,
+    (6) hotel_available, (7) metro_available.
+    """
+    builder = ViewBuilder(catalog or hotel_catalog())
+    metro = builder.node(
+        "metro",
+        "SELECT metroid, metroname FROM metroarea",
+        bv="m",
+    )
+    metro.child(
+        "confstat",
+        "SELECT SUM(capacity) FROM confroom, hotel "
+        "WHERE chotel_id = hotelid AND metro_id = $m.metroid",
+        bv="cs",
+    )
+    hotel = metro.child(
+        "hotel",
+        "SELECT * FROM hotel WHERE metro_id = $m.metroid AND starrating > 4",
+        bv="h",
+    )
+    hotel.child(
+        "confstat",
+        "SELECT SUM(capacity) FROM confroom WHERE chotel_id = $h.hotelid",
+        bv="s",
+    )
+    hotel.child(
+        "confroom",
+        "SELECT * FROM confroom WHERE chotel_id = $h.hotelid",
+        bv="c",
+    )
+    hotel_available = hotel.child(
+        "hotel_available",
+        "SELECT COUNT(a_id), startdate FROM availability, guestroom "
+        "WHERE rhotel_id = $h.hotelid AND a_r_id = r_id GROUP BY startdate",
+        bv="a",
+    )
+    hotel_available.child(
+        "metro_available",
+        "SELECT COUNT(a_id) FROM availability, guestroom, hotel "
+        "WHERE rhotel_id = hotelid AND a_r_id = r_id "
+        "AND metro_id = $m.metroid AND startdate = $a.startdate",
+        bv="v",
+    )
+    return builder.build()
+
+
+_FIGURE4 = """
+<xsl:template match="/">
+  <HTML>
+    <HEAD></HEAD>
+    <BODY>
+      <xsl:apply-templates select="metro"/>
+    </BODY>
+  </HTML>
+</xsl:template>
+
+<xsl:template match="metro">
+  <result_metro>
+    <A></A>
+    <xsl:apply-templates select="hotel/confstat"/>
+  </result_metro>
+</xsl:template>
+
+<xsl:template match="confstat">
+  <result_confstat>
+    <B></B>
+    <xsl:apply-templates select="../hotel_available/../confroom"/>
+  </result_confstat>
+</xsl:template>
+
+<xsl:template match="metro/hotel/confroom">
+  <xsl:value-of select="."/>
+</xsl:template>
+"""
+
+
+def figure4_stylesheet() -> Stylesheet:
+    """The example stylesheet of Figure 4 (rules R1-R4)."""
+    return parse_stylesheet(_FIGURE4)
+
+
+_FIGURE15 = """
+<xsl:template match="/">
+  <HTML>
+    <HEAD></HEAD>
+    <BODY>
+      <xsl:apply-templates select="metro"/>
+    </BODY>
+  </HTML>
+</xsl:template>
+
+<xsl:template match="metro">
+  <xsl:apply-templates select="hotel/confstat"/>
+</xsl:template>
+
+<xsl:template match="confstat">
+  <result_confstat>
+    <B></B>
+    <xsl:apply-templates select="../hotel_available/../confroom"/>
+  </result_confstat>
+</xsl:template>
+
+<xsl:template match="metro/hotel/confroom">
+  <xsl:value-of select="."/>
+</xsl:template>
+"""
+
+
+def figure15_stylesheet() -> Stylesheet:
+    """Figure 15: like Figure 4 but R2 has a bare apply-templates body,
+    triggering forced unbinding (Figure 16)."""
+    return parse_stylesheet(_FIGURE15)
+
+
+_FIGURE17 = """
+<xsl:template match="/">
+  <HTML>
+    <HEAD></HEAD>
+    <BODY>
+      <xsl:apply-templates select="metro"/>
+    </BODY>
+  </HTML>
+</xsl:template>
+
+<xsl:template match="metro">
+  <result_metro>
+    <A></A>
+    <xsl:apply-templates select="hotel/confstat"/>
+  </result_metro>
+</xsl:template>
+
+<xsl:template match="confstat">
+  <result_confstat>
+    <B/>
+    <xsl:apply-templates select=".[@SUM_capacity&lt;200]/../hotel_available/../confroom[../confstat[@SUM_capacity&gt;100]][@capacity&gt;250]"/>
+  </result_confstat>
+</xsl:template>
+
+<xsl:template match="metro[@metroname='chicago']/hotel/confroom">
+  <xsl:value-of select="."/>
+</xsl:template>
+"""
+
+
+def figure17_stylesheet() -> Stylesheet:
+    """The predicate stylesheet of Figure 17.
+
+    The paper writes the conference-capacity attribute as ``@sum``; the
+    canonical attribute name our views produce for ``SUM(capacity)`` is
+    ``SUM_capacity`` (DESIGN.md decision 4), so the predicates here use
+    that name.
+    """
+    return parse_stylesheet(_FIGURE17)
+
+
+_FIGURE25 = """
+<xsl:template match="/metro">
+  <xsl:param name="idx" select="10"/>
+  <result_metro>
+    <xsl:apply-templates
+        select="hotel/hotel_available[@COUNT_a_id&gt;10]/metro_available[@COUNT_a_id&lt;$idx]">
+      <xsl:with-param name="idx" select="$idx"/>
+    </xsl:apply-templates>
+  </result_metro>
+</xsl:template>
+
+<xsl:template match="metro_available">
+  <xsl:param name="idx"/>
+  <xsl:choose>
+    <xsl:when test="$idx&lt;=1">
+      <xsl:value-of select="."/>
+    </xsl:when>
+    <xsl:otherwise>
+      <result_metroavail>
+        <xsl:apply-templates select="self::[@COUNT_a_id&gt;50]/../../..">
+          <xsl:with-param name="idx" select="$idx - 1"/>
+        </xsl:apply-templates>
+      </result_metroavail>
+    </xsl:otherwise>
+  </xsl:choose>
+</xsl:template>
+"""
+
+
+def figure25_stylesheet() -> Stylesheet:
+    """The recursive stylesheet of Figure 25 (rules R1-R2).
+
+    As with Figure 17, attribute names follow the canonical aggregate
+    naming (``COUNT_a_id`` where the paper writes ``@count``). The paper's
+    ``/metro`` match anchors at the document root.
+    """
+    return parse_stylesheet(_FIGURE25)
+
+
+_QTREE_COMPATIBLE = """
+<xsl:template match="/">
+  <HTML>
+    <BODY>
+      <xsl:apply-templates select="metro"/>
+    </BODY>
+  </HTML>
+</xsl:template>
+
+<xsl:template match="metro">
+  <result_metro>
+    <xsl:apply-templates select="hotel/confroom"/>
+  </result_metro>
+</xsl:template>
+
+<xsl:template match="metro/hotel/confroom">
+  <xsl:value-of select="."/>
+</xsl:template>
+"""
+
+
+def qtree_compatible_stylesheet() -> Stylesheet:
+    """A Figure 4 variant without parent-axis navigation.
+
+    The QTree baseline of [7] rejects ``..`` steps (Section 6, point 3 of
+    the paper's comparison), so the three-way benchmark E1 uses this
+    stylesheet; the interior ``<result_metro>`` output still exposes
+    [7]'s leaf-only-output deficiency.
+    """
+    return parse_stylesheet(_QTREE_COMPATIBLE)

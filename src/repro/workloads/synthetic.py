@@ -1,0 +1,237 @@
+"""Synthetic views, stylesheets and data for the scaling experiments.
+
+Three families:
+
+* **chain** — a k-level view ``t1 -> t2 -> ... -> tk`` over k tables, with
+  a matching stylesheet that walks the chain. Sweeping k measures
+  composition time against view/stylesheet size (experiments E4/E5, the
+  polynomial-complexity claim of Section 4.5).
+* **fanout** — a root with b child branches, for breadth scaling and for
+  selectivity sweeps (a stylesheet touching only p% of branches).
+* **blowup** — a chain view with a stylesheet whose every rule contains
+  two apply-templates to the same child, forcing the multi-incoming-edge
+  duplication of Section 4.2.2: the TVQ has 2^k nodes for a k-level
+  chain (experiment E6).
+
+All generators are deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.relational.engine import Database
+from repro.relational.schema import Catalog, table
+from repro.schema_tree.builder import ViewBuilder
+from repro.schema_tree.model import SchemaTreeQuery
+from repro.xslt.model import Stylesheet
+from repro.xslt.parser import parse_stylesheet
+
+
+# ---------------------------------------------------------------------------
+# Chain family
+# ---------------------------------------------------------------------------
+
+
+def chain_catalog(levels: int) -> Catalog:
+    """k tables ``t1..tk``; each row of ``ti`` links to a ``t(i-1)`` row."""
+    tables = []
+    for level in range(1, levels + 1):
+        tables.append(
+            table(
+                f"t{level}",
+                ("id", "INTEGER"),
+                ("parent_id", "INTEGER"),
+                ("val", "INTEGER"),
+                ("label", "TEXT"),
+                primary_key="id",
+            )
+        )
+    return Catalog(tables)
+
+
+def chain_view(levels: int, catalog: Catalog | None = None) -> SchemaTreeQuery:
+    """The k-level chain view ``<n1><n2>...<nk>``."""
+    builder = ViewBuilder(catalog or chain_catalog(levels))
+    node = builder.node("n1", "SELECT * FROM t1", bv="b1")
+    for level in range(2, levels + 1):
+        node = node.child(
+            f"n{level}",
+            f"SELECT * FROM t{level} WHERE parent_id = $b{level - 1}.id",
+            bv=f"b{level}",
+        )
+    return builder.build()
+
+
+def chain_stylesheet(levels: int, selected_levels: int | None = None) -> Stylesheet:
+    """A stylesheet walking the first ``selected_levels`` of the chain.
+
+    Each rule wraps its matches in ``<r_i>`` and recurses one level down;
+    the deepest selected rule emits the context element.
+    """
+    depth = selected_levels if selected_levels is not None else levels
+    depth = max(1, min(depth, levels))
+    parts = [
+        '<xsl:template match="/">'
+        '<out><xsl:apply-templates select="n1"/></out>'
+        "</xsl:template>"
+    ]
+    for level in range(1, depth):
+        parts.append(
+            f'<xsl:template match="n{level}">'
+            f'<r{level}><xsl:apply-templates select="n{level + 1}"/></r{level}>'
+            "</xsl:template>"
+        )
+    parts.append(
+        f'<xsl:template match="n{depth}">'
+        '<leaf><xsl:value-of select="."/></leaf>'
+        "</xsl:template>"
+    )
+    return parse_stylesheet("".join(parts))
+
+
+def populate_chain(
+    db: Database, levels: int, fanout: int = 2, roots: int = 4, seed: int = 7
+) -> None:
+    """Fill a chain database: each ``ti`` row has ``fanout`` children."""
+    rng = random.Random(seed)
+    parent_ids: list[int] = []
+    next_id = 0
+    rows = []
+    for _ in range(roots):
+        next_id += 1
+        rows.append(
+            {"id": next_id, "parent_id": 0, "val": rng.randint(0, 100),
+             "label": f"l{next_id}"}
+        )
+    db.insert_rows("t1", rows)
+    parent_ids = [r["id"] for r in rows]
+    for level in range(2, levels + 1):
+        rows = []
+        for parent in parent_ids:
+            for _ in range(fanout):
+                next_id += 1
+                rows.append(
+                    {
+                        "id": next_id,
+                        "parent_id": parent,
+                        "val": rng.randint(0, 100),
+                        "label": f"l{next_id}",
+                    }
+                )
+        db.insert_rows(f"t{level}", rows)
+        parent_ids = [r["id"] for r in rows]
+
+
+# ---------------------------------------------------------------------------
+# Fanout family
+# ---------------------------------------------------------------------------
+
+
+def fanout_catalog(branches: int) -> Catalog:
+    """A root table plus one table per branch."""
+    tables = [
+        table("root_t", ("id", "INTEGER"), ("name", "TEXT"), primary_key="id")
+    ]
+    for branch in range(1, branches + 1):
+        tables.append(
+            table(
+                f"branch{branch}",
+                ("id", "INTEGER"),
+                ("root_id", "INTEGER"),
+                ("val", "INTEGER"),
+                primary_key="id",
+            )
+        )
+    return Catalog(tables)
+
+
+def fanout_view(branches: int, catalog: Catalog | None = None) -> SchemaTreeQuery:
+    """A root node with ``branches`` child node types."""
+    builder = ViewBuilder(catalog or fanout_catalog(branches))
+    root = builder.node("doc", "SELECT * FROM root_t", bv="r")
+    for branch in range(1, branches + 1):
+        root.child(
+            f"b{branch}",
+            f"SELECT * FROM branch{branch} WHERE root_id = $r.id",
+            bv=f"v{branch}",
+        )
+    return builder.build()
+
+
+def fanout_stylesheet(branches: int, touched: int) -> Stylesheet:
+    """A stylesheet that processes only the first ``touched`` branches."""
+    touched = max(1, min(touched, branches))
+    selects = "".join(
+        f'<xsl:apply-templates select="b{i}"/>' for i in range(1, touched + 1)
+    )
+    parts = [
+        '<xsl:template match="/">'
+        f"<out><xsl:apply-templates select=\"doc\"/></out>"
+        "</xsl:template>",
+        f'<xsl:template match="doc"><d>{selects}</d></xsl:template>',
+    ]
+    for i in range(1, touched + 1):
+        parts.append(
+            f'<xsl:template match="b{i}">'
+            '<hit><xsl:value-of select="."/></hit>'
+            "</xsl:template>"
+        )
+    return parse_stylesheet("".join(parts))
+
+
+def populate_fanout(
+    db: Database, branches: int, roots: int = 3, rows_per_branch: int = 10,
+    seed: int = 11,
+) -> None:
+    """Fill a fanout database deterministically."""
+    rng = random.Random(seed)
+    db.insert_rows(
+        "root_t", ({"id": i + 1, "name": f"r{i + 1}"} for i in range(roots))
+    )
+    next_id = 0
+    for branch in range(1, branches + 1):
+        rows = []
+        for root_id in range(1, roots + 1):
+            for _ in range(rows_per_branch):
+                next_id += 1
+                rows.append(
+                    {"id": next_id, "root_id": root_id,
+                     "val": rng.randint(0, 1000)}
+                )
+        db.insert_rows(f"branch{branch}", rows)
+
+
+# ---------------------------------------------------------------------------
+# Blowup family (Section 4.2.2)
+# ---------------------------------------------------------------------------
+
+
+def blowup_stylesheet(levels: int) -> Stylesheet:
+    """Every rule applies templates TWICE to the next level.
+
+    The CTG stays linear but each node has two incoming edges, so the TVQ
+    unfolds to 2^k nodes — the worst case of Section 4.2.2/4.5.
+    """
+    parts = [
+        '<xsl:template match="/">'
+        '<out>'
+        '<xsl:apply-templates select="n1"/>'
+        '<xsl:apply-templates select="n1"/>'
+        "</out></xsl:template>"
+    ]
+    for level in range(1, levels):
+        parts.append(
+            f'<xsl:template match="n{level}">'
+            f"<r{level}>"
+            f'<xsl:apply-templates select="n{level + 1}"/>'
+            f'<xsl:apply-templates select="n{level + 1}"/>'
+            f"</r{level}></xsl:template>"
+        )
+    parts.append(
+        f'<xsl:template match="n{levels}">'
+        '<leaf><xsl:value-of select="."/></leaf>'
+        "</xsl:template>"
+    )
+    return parse_stylesheet("".join(parts))

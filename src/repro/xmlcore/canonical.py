@@ -1,0 +1,84 @@
+"""Canonical forms and structural equality for XML trees.
+
+The equivalence theorem of the paper — ``v'(I) = x(v(I))`` — is checked by
+comparing XML results. Two notions of equality are provided:
+
+* **ordered**: children must appear in the same order (the default),
+* **unordered**: sibling subtrees may be permuted; used where the paper
+  explicitly disclaims document order (Section 2.2.2: "We do not consider
+  document order in this paper").
+
+Canonical forms are strings, so failed assertions produce readable diffs.
+"""
+
+from __future__ import annotations
+
+from repro.xmlcore.nodes import Comment, Document, Element, Node, Text
+from repro.xmlcore.serializer import escape_attribute, escape_text
+
+
+def canonical_form(node: Node, ordered: bool = True) -> str:
+    """Return a canonical string for a node subtree.
+
+    Attributes are sorted by name; whitespace-only text nodes and comments
+    are dropped; adjacent text nodes merge. With ``ordered=False`` sibling
+    subtrees are sorted by their canonical form, making the result
+    insensitive to sibling permutations.
+    """
+    if isinstance(node, Document):
+        parts = _canonical_children(node.children, ordered)
+        return "".join(parts)
+    if isinstance(node, Element):
+        return _canonical_element(node, ordered)
+    if isinstance(node, Text):
+        return escape_text(node.value)
+    if isinstance(node, Comment):
+        return ""
+    raise TypeError(f"cannot canonicalize {type(node).__name__}")
+
+
+def _canonical_element(element: Element, ordered: bool) -> str:
+    attrs = "".join(
+        f' {name}="{escape_attribute(element.attributes[name])}"'
+        for name in sorted(element.attributes)
+    )
+    children = _canonical_children(element.children, ordered)
+    body = "".join(children)
+    return f"<{element.tag}{attrs}>{body}</{element.tag}>"
+
+
+def _canonical_children(children: list[Node], ordered: bool) -> list[str]:
+    parts: list[str] = []
+    text_buffer: list[str] = []
+
+    def flush() -> None:
+        if text_buffer:
+            merged = "".join(text_buffer)
+            text_buffer.clear()
+            if merged.strip():
+                parts.append(escape_text(merged))
+
+    for child in children:
+        if isinstance(child, Text):
+            text_buffer.append(child.value)
+        elif isinstance(child, Element):
+            flush()
+            parts.append(_canonical_element(child, ordered))
+        elif isinstance(child, Comment):
+            continue
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"cannot canonicalize {type(child).__name__}")
+    flush()
+    if not ordered:
+        parts.sort()
+    return parts
+
+
+def elements_equal(a: Element, b: Element, ordered: bool = True) -> bool:
+    """Structural equality of two element subtrees."""
+    return canonical_form(a, ordered) == canonical_form(b, ordered)
+
+
+def documents_equal(a: Document, b: Document, ordered: bool = True) -> bool:
+    """Structural equality of two documents."""
+    return canonical_form(a, ordered) == canonical_form(b, ordered)

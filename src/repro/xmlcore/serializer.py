@@ -1,0 +1,106 @@
+"""Serialization of :mod:`repro.xmlcore` trees back to XML text."""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.xmlcore.nodes import Comment, Document, Element, Node, Text
+
+
+def escape_text(value: str) -> str:
+    """Escape character data for element content."""
+    return value.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def escape_attribute(value: str) -> str:
+    """Escape character data for a double-quoted attribute value."""
+    return (
+        value.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace('"', "&quot;")
+        .replace("\n", "&#10;")
+        .replace("\t", "&#9;")
+    )
+
+
+def _write_node(node: Node, parts: list[str]) -> None:
+    if isinstance(node, Element):
+        parts.append(f"<{node.tag}")
+        for name, value in node.attributes.items():
+            parts.append(f' {name}="{escape_attribute(value)}"')
+        if node.children:
+            parts.append(">")
+            for child in node.children:
+                _write_node(child, parts)
+            parts.append(f"</{node.tag}>")
+        else:
+            parts.append("/>")
+    elif isinstance(node, Text):
+        parts.append(escape_text(node.value))
+    elif isinstance(node, Comment):
+        parts.append(f"<!--{node.value}-->")
+    elif isinstance(node, Document):
+        for child in node.children:
+            _write_node(child, parts)
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"cannot serialize {type(node).__name__}")
+
+
+def serialize(node: Union[Node, list[Node]]) -> str:
+    """Serialize a node (or list of nodes) to compact XML text.
+
+    Documents serialize as their children; no XML declaration is emitted.
+    """
+    parts: list[str] = []
+    if isinstance(node, list):
+        for item in node:
+            _write_node(item, parts)
+    else:
+        _write_node(node, parts)
+    return "".join(parts)
+
+
+def _write_pretty(node: Node, parts: list[str], indent: str, depth: int) -> None:
+    pad = indent * depth
+    if isinstance(node, Element):
+        parts.append(f"{pad}<{node.tag}")
+        for name, value in node.attributes.items():
+            parts.append(f' {name}="{escape_attribute(value)}"')
+        element_children = [c for c in node.children if isinstance(c, (Element, Comment))]
+        text_children = [c for c in node.children if isinstance(c, Text)]
+        if not node.children:
+            parts.append("/>\n")
+        elif element_children and not any(t.value.strip() for t in text_children):
+            parts.append(">\n")
+            for child in element_children:
+                _write_pretty(child, parts, indent, depth + 1)
+            parts.append(f"{pad}</{node.tag}>\n")
+        else:
+            # Mixed or text-only content: keep on one line to preserve text.
+            parts.append(">")
+            for child in node.children:
+                _write_node(child, parts)
+            parts.append(f"</{node.tag}>\n")
+    elif isinstance(node, Comment):
+        parts.append(f"{pad}<!--{node.value}-->\n")
+    elif isinstance(node, Text):
+        if node.value.strip():
+            parts.append(f"{pad}{escape_text(node.value)}\n")
+    elif isinstance(node, Document):
+        for child in node.children:
+            _write_pretty(child, parts, indent, depth)
+
+
+def serialize_pretty(node: Union[Node, list[Node]], indent: str = "  ") -> str:
+    """Serialize with indentation, for human-readable output.
+
+    Whitespace-only text nodes are dropped; elements with significant text
+    content keep their children inline so the text is not distorted.
+    """
+    parts: list[str] = []
+    if isinstance(node, list):
+        for item in node:
+            _write_pretty(item, parts, indent, 0)
+    else:
+        _write_pretty(node, parts, indent, 0)
+    return "".join(parts)

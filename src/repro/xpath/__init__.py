@@ -1,0 +1,56 @@
+"""XPath-subset substrate: parsing and evaluation of paths and patterns.
+
+The dialect covers what the paper's ``XSLT_basic`` and its Section-5
+extensions need:
+
+* location paths over the ``child``, ``parent``, ``self``, ``attribute``
+  and ``descendant-or-self`` (``//``) axes, with the usual abbreviations
+  (``.``, ``..``, ``@name``),
+* step predicates: attribute comparisons, path-existence tests, boolean
+  connectives, ``not()``, literals, numbers, and variable references,
+* match patterns (suffix semantics) with XSLT default priorities.
+
+Instance-level evaluation runs over :mod:`repro.xmlcore` trees. The
+schema-level (abstract) evaluation used by the composition algorithm lives
+in :mod:`repro.core.abstract_eval` and reuses these ASTs.
+"""
+
+from repro.xpath.ast import (
+    Axis,
+    AttributeRef,
+    BinaryOp,
+    ContextRef,
+    FunctionCall,
+    LocationPath,
+    Literal,
+    NumberLiteral,
+    PathExpr,
+    Step,
+    VariableRef,
+)
+from repro.xpath.parser import parse_expression, parse_path, parse_pattern
+from repro.xpath.evaluator import XPathEvaluator, evaluate_path, evaluate_predicate
+from repro.xpath.patterns import Pattern, default_priority, pattern_matches
+
+__all__ = [
+    "Axis",
+    "AttributeRef",
+    "BinaryOp",
+    "ContextRef",
+    "FunctionCall",
+    "LocationPath",
+    "Literal",
+    "NumberLiteral",
+    "PathExpr",
+    "Step",
+    "VariableRef",
+    "parse_expression",
+    "parse_path",
+    "parse_pattern",
+    "XPathEvaluator",
+    "evaluate_path",
+    "evaluate_predicate",
+    "Pattern",
+    "default_priority",
+    "pattern_matches",
+]

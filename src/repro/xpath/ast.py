@@ -1,0 +1,217 @@
+"""AST node definitions for the XPath subset.
+
+All nodes are immutable dataclasses with structural equality, so tests can
+assert directly against expected trees and the composer can use them as
+dictionary keys where needed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Union
+
+
+class Axis(enum.Enum):
+    """The navigation axes supported by the dialect."""
+
+    CHILD = "child"
+    PARENT = "parent"
+    SELF = "self"
+    ATTRIBUTE = "attribute"
+    DESCENDANT_OR_SELF = "descendant-or-self"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+# A predicate expression is one of the classes below.
+Expr = Union[
+    "BinaryOp",
+    "FunctionCall",
+    "Literal",
+    "NumberLiteral",
+    "AttributeRef",
+    "VariableRef",
+    "PathExpr",
+    "ContextRef",
+]
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A quoted string literal."""
+
+    value: str
+
+    def to_text(self) -> str:
+        """Render as XPath source text."""
+        return f'"{self.value}"'
+
+
+@dataclass(frozen=True)
+class NumberLiteral:
+    """A numeric literal. Stored as float; prints as int when integral."""
+
+    value: float
+
+    def to_text(self) -> str:
+        """Render as XPath source text."""
+        if self.value == int(self.value):
+            return str(int(self.value))
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class AttributeRef:
+    """``@name`` — an attribute of the predicate's context node."""
+
+    name: str
+
+    def to_text(self) -> str:
+        """Render as XPath source text."""
+        return f"@{self.name}"
+
+
+@dataclass(frozen=True)
+class VariableRef:
+    """``$name`` — an XSLT variable or parameter reference."""
+
+    name: str
+
+    def to_text(self) -> str:
+        """Render as XPath source text."""
+        return f"${self.name}"
+
+
+@dataclass(frozen=True)
+class ContextRef:
+    """``.`` used as an expression (string-value of the context node)."""
+
+    def to_text(self) -> str:
+        """Render as XPath source text."""
+        return "."
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    """A binary operation: comparisons, arithmetic, ``and``/``or``."""
+
+    op: str  # one of =, !=, <, <=, >, >=, and, or, +, -, *, div, mod
+    left: Expr
+    right: Expr
+
+    def to_text(self) -> str:
+        """Render as XPath source text."""
+        return f"{_wrap(self.left)} {self.op} {_wrap(self.right)}"
+
+
+@dataclass(frozen=True)
+class FunctionCall:
+    """A function call. The dialect supports not/true/false/count."""
+
+    name: str
+    args: tuple[Expr, ...] = ()
+
+    def to_text(self) -> str:
+        """Render as XPath source text."""
+        return f"{self.name}({', '.join(_expr_text(a) for a in self.args)})"
+
+
+@dataclass(frozen=True)
+class Step:
+    """One location step: ``axis::node_test[predicates]``.
+
+    ``node_test`` is an element name, ``"*"`` for any element, or an
+    attribute name when the axis is ``ATTRIBUTE``.
+    """
+
+    axis: Axis
+    node_test: str
+    predicates: tuple[Expr, ...] = ()
+
+    def with_predicates(self, predicates: tuple[Expr, ...]) -> "Step":
+        """Return a copy of this step carrying ``predicates``."""
+        return Step(self.axis, self.node_test, predicates)
+
+    def to_text(self) -> str:
+        """Render as XPath source text (using abbreviations)."""
+        if self.axis is Axis.SELF and self.node_test == "*" and not self.predicates:
+            return "."
+        if self.axis is Axis.PARENT and self.node_test == "*" and not self.predicates:
+            return ".."
+        preds = "".join(f"[{_expr_text(p)}]" for p in self.predicates)
+        if self.axis is Axis.CHILD:
+            return f"{self.node_test}{preds}"
+        if self.axis is Axis.ATTRIBUTE:
+            return f"@{self.node_test}{preds}"
+        if self.axis is Axis.SELF:
+            base = "." if self.node_test == "*" else f"self::{self.node_test}"
+            return f"{base}{preds}"
+        if self.axis is Axis.PARENT:
+            base = ".." if self.node_test == "*" else f"parent::{self.node_test}"
+            return f"{base}{preds}"
+        return f"{self.axis.value}::{self.node_test}{preds}"
+
+
+@dataclass(frozen=True)
+class LocationPath:
+    """A location path: optional leading ``/`` plus a sequence of steps."""
+
+    steps: tuple[Step, ...]
+    absolute: bool = False
+
+    def to_text(self) -> str:
+        """Render as XPath source text (using abbreviations)."""
+        parts: list[str] = []
+        for step in self.steps:
+            if (
+                step.axis is Axis.DESCENDANT_OR_SELF
+                and step.node_test == "*"
+                and not step.predicates
+            ):
+                # Render the descendant step together with the next '/' as
+                # the '//' abbreviation.
+                parts.append("")
+                continue
+            parts.append(step.to_text())
+        body = "/".join(parts)
+        if self.absolute:
+            return "/" + body
+        return body
+
+    @property
+    def last_step(self) -> Step:
+        if not self.steps:
+            raise ValueError("empty location path has no last step")
+        return self.steps[-1]
+
+    def uses_axis(self, axis: Axis) -> bool:
+        """Whether any step (not descending into predicates) uses ``axis``."""
+        return any(step.axis is axis for step in self.steps)
+
+    def has_predicates(self) -> bool:
+        """Whether any step carries a predicate."""
+        return any(step.predicates for step in self.steps)
+
+
+@dataclass(frozen=True)
+class PathExpr:
+    """A location path used in expression position (existence test)."""
+
+    path: LocationPath
+
+    def to_text(self) -> str:
+        """Render as XPath source text."""
+        return self.path.to_text()
+
+
+def _expr_text(expr: Expr) -> str:
+    return expr.to_text()
+
+
+def _wrap(expr: Expr) -> str:
+    """Parenthesize nested boolean operations for unambiguous output."""
+    if isinstance(expr, BinaryOp) and expr.op in ("and", "or"):
+        return f"({expr.to_text()})"
+    return expr.to_text()

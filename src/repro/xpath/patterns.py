@@ -1,0 +1,175 @@
+"""Match-pattern semantics (Section 2.2.1 of the paper, after [Wadler 1999]).
+
+A pattern like ``metro/hotel/confroom`` matches a document node when the
+pattern matches **some suffix** of the incoming path from the document root
+to the node. An absolute pattern (leading ``/``) must match the entire
+incoming path; the bare pattern ``/`` matches only the document root.
+
+Patterns reuse the location-path AST restricted to the ``child``,
+``descendant-or-self`` and ``attribute`` axes, with optional predicates on
+each step (Section 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+from repro.errors import XPathSyntaxError
+from repro.xpath.ast import Axis, Expr, LocationPath, Step
+from repro.xmlcore.nodes import Document, Element, Node
+
+# Callable used to evaluate a predicate against a candidate element. The
+# instance evaluator supplies this; pattern matching itself is purely
+# structural.
+PredicateChecker = Callable[[Expr, Element], bool]
+
+
+def _always_true(_expr: Expr, _node: Element) -> bool:
+    return True
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """A parsed match pattern."""
+
+    path: LocationPath
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        for step in self.path.steps:
+            if step.axis not in (Axis.CHILD, Axis.DESCENDANT_OR_SELF, Axis.ATTRIBUTE):
+                raise XPathSyntaxError(
+                    f"axis {step.axis.value!r} not allowed in a match pattern",
+                    self.source,
+                )
+
+    @property
+    def is_root(self) -> bool:
+        """Whether this is the root pattern ``/``."""
+        return self.path.absolute and not self.path.steps
+
+    @property
+    def step_names(self) -> tuple[str, ...]:
+        """The node-test names of the child steps, in order."""
+        return tuple(s.node_test for s in self.path.steps if s.axis is Axis.CHILD)
+
+    @property
+    def last_name(self) -> Optional[str]:
+        """The node-test of the last step, or ``None`` for the root pattern."""
+        if not self.path.steps:
+            return None
+        return self.path.steps[-1].node_test
+
+    def uses_descendant_axis(self) -> bool:
+        """Whether any step uses '//'."""
+        return self.path.uses_axis(Axis.DESCENDANT_OR_SELF)
+
+    def has_predicates(self) -> bool:
+        """Whether any step carries a predicate."""
+        return self.path.has_predicates()
+
+    def to_text(self) -> str:
+        """Render the pattern as source text."""
+        if self.is_root:
+            return "/"
+        return self.path.to_text()
+
+    def matches(
+        self,
+        node: Union[Element, Document],
+        check_predicate: PredicateChecker = _always_true,
+    ) -> bool:
+        """Test this pattern against a document node.
+
+        Args:
+            node: the candidate context node.
+            check_predicate: evaluates a step predicate on an element;
+                defaults to ignoring predicates (pure structural match).
+        """
+        if self.is_root:
+            return isinstance(node, Document)
+        if not isinstance(node, Element):
+            return False
+        return _match_steps(list(self.path.steps), node, self.path.absolute, check_predicate)
+
+
+def _match_steps(
+    steps: list[Step],
+    node: Node,
+    absolute: bool,
+    check_predicate: PredicateChecker,
+) -> bool:
+    """Match ``steps`` ending at ``node``, walking ancestors backwards."""
+    index = len(steps) - 1
+    return _match_from(steps, index, node, absolute, check_predicate)
+
+
+def _match_from(
+    steps: list[Step],
+    index: int,
+    node: Node,
+    absolute: bool,
+    check_predicate: PredicateChecker,
+) -> bool:
+    if index < 0:
+        # All steps consumed. Anchored patterns require the document root here.
+        if absolute:
+            return isinstance(node, Document) or node is None
+        return True
+    step = steps[index]
+    if step.axis is Axis.DESCENDANT_OR_SELF:
+        # '//' matches any number of intervening ancestors (including zero).
+        current: Optional[Node] = node
+        while current is not None:
+            if _match_from(steps, index - 1, current, absolute, check_predicate):
+                return True
+            current = current.parent
+        return _match_from(steps, index - 1, None, absolute, check_predicate)
+    if step.axis is Axis.CHILD:
+        if not isinstance(node, Element):
+            return False
+        if step.node_test != "*" and node.tag != step.node_test:
+            return False
+        for predicate in step.predicates:
+            if not check_predicate(predicate, node):
+                return False
+        return _match_from(steps, index - 1, node.parent, absolute, check_predicate)
+    if step.axis is Axis.ATTRIBUTE:
+        # Attribute patterns are outside the composable dialect, but the
+        # structural semantics are easy: the node must be an element that
+        # has the attribute. Only valid as the last step.
+        if index != len(steps) - 1 or not isinstance(node, Element):
+            return False
+        if step.node_test != "*" and step.node_test not in node.attributes:
+            return False
+        return _match_from(steps, index - 1, node.parent, absolute, check_predicate)
+    return False
+
+
+def default_priority(pattern: Pattern) -> float:
+    """XSLT default priority for a pattern (spec section 5.5).
+
+    * a bare name test — priority ``0``;
+    * a bare ``*`` — priority ``-0.5``;
+    * anything more specific (multiple steps, predicates, ``/``) — ``0.5``.
+    """
+    if pattern.is_root:
+        return 0.5
+    steps = pattern.path.steps
+    if len(steps) == 1 and not pattern.path.absolute:
+        step = steps[0]
+        if step.axis is Axis.CHILD and not step.predicates:
+            return -0.5 if step.node_test == "*" else 0.0
+    return 0.5
+
+
+def pattern_matches(
+    pattern_text: str,
+    node: Union[Element, Document],
+    check_predicate: PredicateChecker = _always_true,
+) -> bool:
+    """Convenience: parse ``pattern_text`` and test it against ``node``."""
+    from repro.xpath.parser import parse_pattern
+
+    return parse_pattern(pattern_text).matches(node, check_predicate)

@@ -1,0 +1,370 @@
+"""The XSLT interpreter: function PROCESS of Figure 5.
+
+Processing starts at the document root in the default mode and recursively
+performs context transitions: find the highest-priority matching rule for
+the context node and mode, instantiate its output fragment, and replace
+each ``apply-templates`` with the concatenated results of processing the
+selected nodes.
+
+Semantics knobs:
+
+* ``string_value_mode`` — ``False`` (default) uses the paper's publishing
+  model for ``value-of`` (see DESIGN.md decision 1); ``True`` uses
+  standard XPath string values.
+* ``builtin_rules`` — what happens when no rule matches: ``"empty"``
+  (default; the paper assumes built-ins are overridden, i.e. produce
+  nothing) or ``"standard"`` (XSLT 1.0 built-ins: recurse into children,
+  copy text).
+* ``conflict_policy`` — ``"latest"`` (XSLT's recoverable behaviour: pick
+  the last highest-priority rule) or ``"error"`` (raise
+  :class:`~repro.errors.ConflictError`; ``XSLT_basic`` restriction 6
+  forbids conflicts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.errors import ConflictError, XSLTRuntimeError
+from repro.xmlcore.nodes import Document, Element, Node, Text
+from repro.xpath.ast import AttributeRef, ContextRef, Expr, PathExpr
+from repro.xpath.evaluator import Value, XPathEvaluator
+from repro.xslt.model import (
+    ApplyTemplates,
+    Choose,
+    CopyOf,
+    DEFAULT_MODE,
+    ForEach,
+    IfInstruction,
+    LiteralElement,
+    OutputNode,
+    Stylesheet,
+    TemplateRule,
+    TextOutput,
+    ValueOf,
+)
+
+
+@dataclass
+class ProcessStats:
+    """Work counters for one stylesheet run."""
+
+    contexts_processed: int = 0
+    rules_fired: int = 0
+    elements_output: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.contexts_processed = 0
+        self.rules_fired = 0
+        self.elements_output = 0
+
+
+class XSLTProcessor:
+    """Evaluates a stylesheet over xmlcore documents."""
+
+    def __init__(
+        self,
+        stylesheet: Stylesheet,
+        string_value_mode: bool = False,
+        builtin_rules: str = "empty",
+        conflict_policy: str = "latest",
+        max_depth: int = 500,
+    ):
+        if builtin_rules not in ("empty", "standard"):
+            raise ValueError(f"unknown builtin_rules {builtin_rules!r}")
+        if conflict_policy not in ("latest", "error"):
+            raise ValueError(f"unknown conflict_policy {conflict_policy!r}")
+        self.stylesheet = stylesheet
+        self.string_value_mode = string_value_mode
+        self.builtin_rules = builtin_rules
+        self.conflict_policy = conflict_policy
+        self.max_depth = max_depth
+        self.stats = ProcessStats()
+
+    # -- public API -----------------------------------------------------------
+
+    def process_document(self, document: Document) -> Document:
+        """Run the stylesheet; PROCESS(x, root, default-mode) of Figure 5."""
+        result = Document()
+        fragments = self._process(document, DEFAULT_MODE, {}, depth=0)
+        result.extend(fragments)
+        return result
+
+    # -- PROCESS ---------------------------------------------------------------
+
+    def _process(
+        self,
+        context: Union[Document, Element],
+        mode: str,
+        params: dict[str, Value],
+        depth: int,
+    ) -> list[Node]:
+        if depth > self.max_depth:
+            raise XSLTRuntimeError(
+                f"maximum template recursion depth ({self.max_depth}) exceeded"
+            )
+        self.stats.contexts_processed += 1
+        rule = self._find_rule(context, mode, params)
+        if rule is None:
+            return self._builtin(context, mode, depth)
+        self.stats.rules_fired += 1
+        env = dict(params)
+        evaluator = XPathEvaluator(env)
+        for param in rule.params:
+            if param.name not in env:
+                if param.default is not None:
+                    env[param.name] = evaluator.evaluate(param.default, context)
+                else:
+                    env[param.name] = ""
+        return self._instantiate(rule.output, context, env, depth)
+
+    def _find_rule(
+        self,
+        context: Union[Document, Element],
+        mode: str,
+        params: dict[str, Value],
+    ) -> Optional[TemplateRule]:
+        evaluator = XPathEvaluator(params)
+
+        def check(expr: Expr, node: Element) -> bool:
+            return evaluator.check_predicate(expr, node)
+
+        candidates = [
+            rule
+            for rule in self.stylesheet.rules_for_mode(mode)
+            if rule.match.matches(context, check)
+        ]
+        if not candidates:
+            return None
+        best = max(r.effective_priority() for r in candidates)
+        top = [r for r in candidates if r.effective_priority() == best]
+        if len(top) > 1 and self.conflict_policy == "error":
+            patterns = ", ".join(r.match.to_text() for r in top)
+            raise ConflictError(
+                f"conflicting template rules at priority {best}: {patterns}"
+            )
+        return max(top, key=lambda r: r.position)
+
+    def _builtin(
+        self, context: Union[Document, Element], mode: str, depth: int
+    ) -> list[Node]:
+        if self.builtin_rules == "empty":
+            return []
+        # Standard built-ins: recurse into element children in the same
+        # mode; text nodes copy through.
+        results: list[Node] = []
+        for child in context.children:
+            if isinstance(child, Element):
+                results.extend(self._process(child, mode, {}, depth + 1))
+            elif isinstance(child, Text):
+                results.append(Text(child.value))
+        return results
+
+    # -- output instantiation ------------------------------------------------------
+
+    def _instantiate(
+        self,
+        nodes: list[OutputNode],
+        context: Union[Document, Element],
+        env: dict[str, Value],
+        depth: int,
+    ) -> list[Node]:
+        results: list[Node] = []
+        for node in nodes:
+            results.extend(self._instantiate_one(node, context, env, depth))
+        return results
+
+    def _instantiate_one(
+        self,
+        node: OutputNode,
+        context: Union[Document, Element],
+        env: dict[str, Value],
+        depth: int,
+    ) -> list[Node]:
+        evaluator = XPathEvaluator(env)
+        if isinstance(node, TextOutput):
+            return [Text(node.text)]
+        if isinstance(node, LiteralElement):
+            element = Element(node.tag, dict(node.attributes))
+            for name, template in node.avt_attributes.items():
+                value = self._evaluate_avt(template, context, evaluator)
+                if value is not None:
+                    element.set(name, value)
+            self.stats.elements_output += 1
+            for child in node.children:
+                if (
+                    not self.string_value_mode
+                    and isinstance(child, ValueOf)
+                    and isinstance(child.select, AttributeRef)
+                ):
+                    # Publishing model (Section 4.3.1): value-of @a as a
+                    # direct child attaches an attribute to this element.
+                    if isinstance(context, Element):
+                        value = context.attributes.get(child.select.name)
+                        if value is not None:
+                            element.set(child.select.name, value)
+                    continue
+                for produced in self._instantiate_one(child, context, env, depth):
+                    element.append(produced)
+            return [element]
+        if isinstance(node, ApplyTemplates):
+            selected = evaluator.select(node.select, context)
+            if node.sorts:
+                selected = _sort_selected(selected, node.sorts, evaluator)
+            child_params: dict[str, Value] = {}
+            for with_param in node.with_params:
+                child_params[with_param.name] = evaluator.evaluate(
+                    with_param.select, context
+                )
+            results: list[Node] = []
+            for new_context in selected:
+                if isinstance(new_context, (Element, Document)):
+                    results.extend(
+                        self._process(new_context, node.mode, child_params, depth + 1)
+                    )
+            return results
+        if isinstance(node, (ValueOf, CopyOf)):
+            return self._value_of(node, context, evaluator)
+        if isinstance(node, IfInstruction):
+            if evaluator.truth(evaluator.evaluate(node.test, context)):
+                return self._instantiate(node.children, context, env, depth)
+            return []
+        if isinstance(node, Choose):
+            for when in node.whens:
+                if evaluator.truth(evaluator.evaluate(when.test, context)):
+                    return self._instantiate(when.children, context, env, depth)
+            return self._instantiate(node.otherwise, context, env, depth)
+        if isinstance(node, ForEach):
+            results = []
+            targets = evaluator.select(node.select, context)
+            if node.sorts:
+                targets = _sort_selected(targets, node.sorts, evaluator)
+            for selected in targets:
+                if isinstance(selected, (Element, Document)):
+                    results.extend(
+                        self._instantiate(node.children, selected, env, depth)
+                    )
+            return results
+        raise XSLTRuntimeError(f"cannot instantiate {type(node).__name__}")
+
+    def _evaluate_avt(
+        self, template, context, evaluator: XPathEvaluator
+    ) -> Optional[str]:
+        """Evaluate an attribute value template.
+
+        Publishing model: a pure ``{@attr}`` template mirrors the data
+        model — the attribute is *omitted* when the source attribute is
+        absent (matching how the composed view omits NULL columns).
+        Standard semantics (and any mixed template) always produce a
+        string, with absent values contributing "".
+        """
+        from repro.xpath.ast import AttributeRef
+        from repro.xslt.model import AttributeValueTemplate
+
+        assert isinstance(template, AttributeValueTemplate)
+        single = template.single_expression
+        if (
+            not self.string_value_mode
+            and isinstance(single, AttributeRef)
+        ):
+            if isinstance(context, Element):
+                return context.attributes.get(single.name)
+            return None
+        parts: list[str] = []
+        for segment in template.segments:
+            if isinstance(segment, str):
+                parts.append(segment)
+            else:
+                parts.append(
+                    evaluator.to_string(evaluator.evaluate(segment, context))
+                )
+        return "".join(parts)
+
+    def _value_of(
+        self,
+        node: Union[ValueOf, CopyOf],
+        context: Union[Document, Element],
+        evaluator: XPathEvaluator,
+    ) -> list[Node]:
+        select = node.select
+        if isinstance(select, ContextRef):
+            if not isinstance(context, Element):
+                return []
+            if self.string_value_mode:
+                return [Text(context.text_content())]
+            # Publishing model: emit the context element itself. value-of
+            # is shallow (tag + attributes); copy-of is deep.
+            if isinstance(node, CopyOf):
+                copy: Element = context.deep_copy()
+            else:
+                copy = context.shallow_copy()
+            self.stats.elements_output += 1
+            return [copy]
+        if isinstance(select, AttributeRef):
+            if isinstance(context, Element):
+                value = context.attributes.get(select.name)
+                if value is not None:
+                    return [Text(value)]
+            return []
+        if isinstance(select, PathExpr):
+            targets = evaluator.select_values(select.path, context)
+            out: list[Node] = []
+            for target in targets:
+                if isinstance(target, Element):
+                    if self.string_value_mode:
+                        out.append(Text(target.text_content()))
+                    elif isinstance(node, CopyOf):
+                        out.append(target.deep_copy())
+                        self.stats.elements_output += 1
+                    else:
+                        out.append(target.shallow_copy())
+                        self.stats.elements_output += 1
+                elif isinstance(target, str):
+                    out.append(Text(target))
+                if self.string_value_mode and out:
+                    # Standard XSLT: value-of takes the first node only.
+                    # The publishing model emits every selected element,
+                    # matching the Figure 23 rewrite.
+                    return out[:1]
+            return out
+        value = evaluator.evaluate(select, context)
+        text = evaluator.to_string(value)
+        return [Text(text)] if text else []
+
+
+def _sort_selected(selected, sorts, evaluator: XPathEvaluator):
+    """Apply xsl:sort keys to a selected node set (stable, multi-key)."""
+    result = list(selected)
+    # Later keys are minor: apply in reverse, relying on sort stability.
+    for sort in reversed(sorts):
+        def key(node, _sort=sort):
+            value = evaluator.evaluate(_sort.select, node)
+            if _sort.data_type == "number":
+                number = evaluator.to_number(
+                    evaluator.to_string(value)
+                    if isinstance(value, list)
+                    else value
+                )
+                # NaN/absent sorts first, per XSLT.
+                return (0, 0.0) if number is None else (1, number)
+            return evaluator.to_string(value)
+
+        result.sort(key=key, reverse=not sort.ascending)
+    return result
+
+
+def apply_stylesheet(
+    stylesheet: Stylesheet,
+    document: Document,
+    string_value_mode: bool = False,
+    builtin_rules: str = "empty",
+) -> Document:
+    """One-shot convenience wrapper around :class:`XSLTProcessor`."""
+    processor = XSLTProcessor(
+        stylesheet,
+        string_value_mode=string_value_mode,
+        builtin_rules=builtin_rules,
+    )
+    return processor.process_document(document)

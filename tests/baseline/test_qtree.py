@@ -1,0 +1,92 @@
+"""Tests for the QTree baseline of Jain/Mahajan/Suciu [7]."""
+
+import pytest
+
+from repro.errors import UnsupportedFeatureError
+from repro.baseline.qtree import QTreeTranslator
+from repro.sql.params import referenced_vars
+from repro.workloads.paper import (
+    figure1_view,
+    figure4_stylesheet,
+    qtree_compatible_stylesheet,
+)
+from repro.xslt.parser import parse_stylesheet
+
+
+def test_rejects_parent_axis(hotel_db):
+    """Section 6: QTree cannot handle '../hotel_available/../confroom'."""
+    view = figure1_view(hotel_db.catalog)
+    with pytest.raises(UnsupportedFeatureError) as exc:
+        QTreeTranslator(view, figure4_stylesheet(), hotel_db.catalog)
+    assert exc.value.feature == "parent-axis"
+
+
+def test_one_sql_query_per_path(hotel_db):
+    view = figure1_view(hotel_db.catalog)
+    translator = QTreeTranslator(
+        view, qtree_compatible_stylesheet(), hotel_db.catalog
+    )
+    assert len(translator.paths) == 1
+    path = translator.paths[0]
+    assert path.tags == ["/", "metro", "confroom"]
+    # The flattened query is closed: no remaining binding parameters.
+    assert referenced_vars(path.query) == []
+
+
+def test_leaf_only_output_deficiency(hotel_db):
+    """Interior rules' output is lost — the paper's critique, point (1)."""
+    view = figure1_view(hotel_db.catalog)
+    translator = QTreeTranslator(
+        view, qtree_compatible_stylesheet(), hotel_db.catalog
+    )
+    result = translator.run(hotel_db)
+    text_tags = {e.tag for e in result.document.iter_elements()}
+    # Leaf confrooms are present; the interior result_metro wrappers are
+    # NOT reproduced per metro (only path grouping exists).
+    assert "confroom" in text_tags
+    assert "result_metro" not in text_tags
+
+
+def test_row_counts_match_correct_answer(hotel_db):
+    """The leaf tuples themselves are right — only the structure is lost."""
+    from repro.baseline.materialize import NaivePipeline
+
+    view = figure1_view(hotel_db.catalog)
+    stylesheet = qtree_compatible_stylesheet()
+    naive = NaivePipeline(view, stylesheet).run(hotel_db)
+    qtree = QTreeTranslator(view, stylesheet, hotel_db.catalog).run(hotel_db)
+    naive_confrooms = [
+        e for e in naive.document.iter_elements() if e.tag == "confroom"
+    ]
+    qtree_confrooms = [
+        e for e in qtree.document.iter_elements() if e.tag == "confroom"
+    ]
+    assert len(naive_confrooms) == len(qtree_confrooms)
+
+
+def test_multiple_paths_union(hotel_db):
+    view = figure1_view(hotel_db.catalog)
+    stylesheet = parse_stylesheet(
+        '<xsl:template match="/"><out><xsl:apply-templates select="metro"/></out></xsl:template>'
+        '<xsl:template match="metro"><m>'
+        '<xsl:apply-templates select="hotel/confroom"/>'
+        '<xsl:apply-templates select="hotel/confstat"/>'
+        "</m></xsl:template>"
+        '<xsl:template match="confroom"><xsl:value-of select="."/></xsl:template>'
+        '<xsl:template match="hotel/confstat"><xsl:value-of select="."/></xsl:template>'
+    )
+    translator = QTreeTranslator(view, stylesheet, hotel_db.catalog)
+    assert len(translator.paths) == 2
+    result = translator.run(hotel_db)
+    assert result.queries_executed == 2
+    assert result.paths == 2
+
+
+def test_sql_property(hotel_db):
+    view = figure1_view(hotel_db.catalog)
+    translator = QTreeTranslator(
+        view, qtree_compatible_stylesheet(), hotel_db.catalog
+    )
+    sql = translator.paths[0].sql()
+    assert sql.startswith("SELECT")
+    assert "metroarea" in sql

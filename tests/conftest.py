@@ -1,0 +1,52 @@
+"""Shared fixtures: the paper's workload at small scale."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational.engine import Database
+from repro.workloads.hotel import (
+    HotelDataSpec,
+    build_hotel_database,
+    hotel_catalog,
+)
+from repro.workloads.paper import figure1_view
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    return hotel_catalog()
+
+
+@pytest.fixture()
+def hotel_db():
+    db = build_hotel_database(HotelDataSpec(metros=3, hotels_per_metro=4))
+    yield db
+    db.close()
+
+
+@pytest.fixture()
+def dense_hotel_db():
+    """Data dense enough for the recursion predicates to be satisfiable."""
+    db = build_hotel_database(
+        HotelDataSpec(
+            metros=2,
+            hotels_per_metro=4,
+            guestrooms_per_hotel=10,
+            availability_per_room=6,
+        )
+    )
+    yield db
+    db.close()
+
+
+@pytest.fixture()
+def paper_view(catalog):
+    return figure1_view(catalog)
+
+
+@pytest.fixture()
+def empty_db(catalog):
+    db = Database(catalog)
+    yield db
+    db.close()

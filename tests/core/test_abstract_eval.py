@@ -1,0 +1,168 @@
+"""Unit tests for MATCHQ and SELECTQ (Section 3.5)."""
+
+import pytest
+
+from repro.errors import UnsupportedFeatureError
+from repro.core.abstract_eval import abstract_targets, matchq, selectq
+from repro.workloads.hotel import hotel_catalog
+from repro.workloads.paper import figure1_view
+from repro.xpath.parser import parse_path
+from repro.xslt.model import ApplyTemplates, TemplateRule
+from repro.xslt.parser import parse_stylesheet
+from repro.xpath.parser import parse_pattern
+
+
+@pytest.fixture(scope="module")
+def view():
+    return figure1_view(hotel_catalog())
+
+
+def rule(match):
+    return TemplateRule(match=parse_pattern(match))
+
+
+def apply(select):
+    return ApplyTemplates(parse_path(select))
+
+
+def test_matchq_root(view):
+    assert matchq(view.root, rule("/")) is not None
+    assert matchq(view.node_by_id(1), rule("/")) is None
+
+
+def test_matchq_single_name(view):
+    pattern = matchq(view.node_by_id(4), rule("confstat"))
+    assert pattern is not None
+    assert pattern.context.schema_id == 4
+    assert pattern.size() == 1
+    # Both confstat nodes match the bare name.
+    assert matchq(view.node_by_id(2), rule("confstat")) is not None
+
+
+def test_matchq_multi_step_suffix(view):
+    pattern = matchq(view.node_by_id(5), rule("metro/hotel/confroom"))
+    assert pattern is not None
+    assert [n.schema_id for n in pattern.nodes()] == [1, 3, 5]
+    assert pattern.context.schema_id == 5
+
+
+def test_matchq_wrong_path_returns_none(view):
+    assert matchq(view.node_by_id(2), rule("hotel/confstat")) is None
+    assert matchq(view.node_by_id(5), rule("metro/confroom")) is None
+
+
+def test_matchq_absolute_pattern(view):
+    assert matchq(view.node_by_id(1), rule("/metro")) is not None
+    assert matchq(view.node_by_id(3), rule("/metro")) is None
+    assert matchq(view.node_by_id(3), rule("/metro/hotel")) is not None
+
+
+def test_matchq_wildcard(view):
+    assert matchq(view.node_by_id(5), rule("hotel/*")) is not None
+
+
+def test_matchq_predicates_attach(view):
+    pattern = matchq(
+        view.node_by_id(5), rule("metro[@metroname='chicago']/hotel/confroom")
+    )
+    assert pattern is not None
+    metro_tp = pattern.nodes()[0]
+    assert metro_tp.schema_id == 1
+    assert len(metro_tp.predicates) == 1
+
+
+def test_matchq_rejects_descendant_axis(view):
+    with pytest.raises(UnsupportedFeatureError):
+        matchq(view.node_by_id(5), rule("metro//confroom"))
+
+
+def test_selectq_simple_child(view):
+    pattern = selectq(view.node_by_id(1), apply("hotel/confstat"), view.node_by_id(4))
+    assert pattern is not None
+    assert pattern.context.schema_id == 1
+    assert pattern.new_context.schema_id == 4
+    assert [n.schema_id for n in pattern.nodes()] == [1, 3, 4]
+
+
+def test_selectq_wrong_target_none(view):
+    # hotel/confstat cannot reach the metro-level confstat (id 2).
+    assert selectq(view.node_by_id(1), apply("hotel/confstat"), view.node_by_id(2)) is None
+
+
+def test_selectq_parent_navigation_figure8(view):
+    pattern = selectq(
+        view.node_by_id(4),
+        apply("../hotel_available/../confroom"),
+        view.node_by_id(5),
+    )
+    assert pattern is not None
+    # Figure 8's left pattern: hotel with three children.
+    assert pattern.root.schema_id == 3
+    child_ids = sorted(c.schema_id for c in pattern.root.children)
+    assert child_ids == [4, 5, 6]
+    assert pattern.context.schema_id == 4
+    assert pattern.new_context.schema_id == 5
+
+
+def test_selectq_self_step(view):
+    pattern = selectq(view.node_by_id(4), apply("."), view.node_by_id(4))
+    assert pattern is not None
+    assert pattern.context is pattern.new_context
+
+
+def test_selectq_trailing_parent(view):
+    pattern = selectq(view.node_by_id(4), apply(".."), view.node_by_id(3))
+    assert pattern is not None
+    assert pattern.new_context.schema_id == 3
+
+
+def test_selectq_from_root(view):
+    pattern = selectq(view.root, apply("metro"), view.node_by_id(1))
+    assert pattern is not None
+    assert pattern.root.schema_node.is_root
+
+
+def test_selectq_predicates_expand_branches(view):
+    pattern = selectq(
+        view.node_by_id(4),
+        apply(
+            ".[@SUM_capacity<200]/../hotel_available/../"
+            "confroom[../confstat[@SUM_capacity>100]][@capacity>250]"
+        ),
+        view.node_by_id(5),
+    )
+    assert pattern is not None
+    # Figure 18: TWO distinct confstat TPNodes under hotel.
+    confstats = [n for n in pattern.nodes() if n.schema_id == 4]
+    assert len(confstats) == 2
+    confroom = pattern.new_context
+    assert len(confroom.predicates) == 1  # @capacity>250
+
+
+def test_selectq_negated_predicate(view):
+    pattern = selectq(
+        view.node_by_id(1),
+        apply("hotel[not(confroom)]/confstat"),
+        view.node_by_id(4),
+    )
+    assert pattern is not None
+    negated = [n for n in pattern.nodes() if n.negated]
+    assert [n.schema_id for n in negated] == [5]
+
+
+def test_selectq_rejects_descendant(view):
+    with pytest.raises(UnsupportedFeatureError):
+        selectq(view.node_by_id(1), apply("hotel//confroom"), view.node_by_id(5))
+
+
+def test_abstract_targets(view):
+    targets = abstract_targets(view.node_by_id(1), parse_path("hotel/confstat"))
+    assert [t.id for t in targets] == [4]
+    targets = abstract_targets(view.node_by_id(1), parse_path("*"))
+    assert sorted(t.id for t in targets) == [2, 3]
+    targets = abstract_targets(view.root, parse_path("metro"))
+    assert [t.id for t in targets] == [1]
+
+
+def test_abstract_targets_dead_path(view):
+    assert abstract_targets(view.node_by_id(1), parse_path("ghost/x")) == []

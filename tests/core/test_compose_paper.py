@@ -1,0 +1,141 @@
+"""Golden tests: the stylesheet views of Figures 7(c) and 16, plus the
+central equivalence theorem on the paper's workload."""
+
+import pytest
+
+from repro.core import compose
+from repro.schema_tree import materialize
+from repro.sql.printer import print_select
+from repro.workloads.hotel import HotelDataSpec, build_hotel_database
+from repro.workloads.paper import (
+    figure1_view,
+    figure4_stylesheet,
+    figure15_stylesheet,
+)
+from repro.xmlcore import canonical_form
+from repro.xslt import apply_stylesheet
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = build_hotel_database(HotelDataSpec(metros=3, hotels_per_metro=4))
+    yield database
+    database.close()
+
+
+@pytest.fixture(scope="module")
+def view(db):
+    return figure1_view(db.catalog)
+
+
+@pytest.fixture(scope="module")
+def figure7c(view, db):
+    return compose(view, figure4_stylesheet(), db.catalog, paper_mode=True)
+
+
+def tags_by_depth(view):
+    out = []
+
+    def visit(node, depth):
+        out.append((depth, node.tag))
+        for child in node.children:
+            visit(child, depth + 1)
+
+    for top in view.root.children:
+        visit(top, 0)
+    return out
+
+
+def test_figure7c_structure(figure7c):
+    assert tags_by_depth(figure7c) == [
+        (0, "HTML"),
+        (1, "HEAD"),
+        (1, "BODY"),
+        (2, "result_metro"),
+        (3, "A"),
+        (3, "result_confstat"),
+        (4, "B"),
+        (4, "confroom"),
+    ]
+
+
+def test_figure7c_queries_attach_to_the_right_nodes(figure7c):
+    nodes = {n.tag: n for n in figure7c.nodes(include_root=False)}
+    assert nodes["HTML"].tag_query is None
+    assert nodes["A"].tag_query is None
+    assert print_select(nodes["result_metro"].tag_query) == (
+        "SELECT metroid, metroname FROM metroarea"
+    )
+    assert nodes["result_metro"].bv == "m_new"
+    assert nodes["result_confstat"].bv == "s_new"
+    assert "$s_new.hotelid" in print_select(nodes["confroom"].tag_query)
+
+
+def test_figure7c_literal_elements_carry_no_data(figure7c):
+    nodes = {n.tag: n for n in figure7c.nodes(include_root=False)}
+    for tag in ["HTML", "HEAD", "BODY", "A", "B", "result_metro", "result_confstat"]:
+        assert nodes[tag].attr_columns == []
+
+
+def test_figure7c_context_element_carries_original_columns(figure7c):
+    nodes = {n.tag: n for n in figure7c.nodes(include_root=False)}
+    assert nodes["confroom"].attr_columns == [
+        "c_id", "chotel_id", "croomnumber", "capacity", "rackrate",
+    ]
+
+
+def test_equivalence_theorem_figure4(view, db):
+    """v'(I) = x(v(I)) — the paper's correctness property."""
+    naive = apply_stylesheet(figure4_stylesheet(), materialize(view, db))
+    composed = materialize(compose(view, figure4_stylesheet(), db.catalog), db)
+    assert canonical_form(naive, ordered=False) == canonical_form(
+        composed, ordered=False
+    )
+
+
+def test_figure16_forced_unbinding(view, db):
+    composed = compose(view, figure15_stylesheet(), db.catalog, paper_mode=True)
+    nodes = {n.tag: n for n in composed.nodes(include_root=False)}
+    # R2 vanished: result_confstat hangs directly under BODY.
+    assert [n.tag for n in nodes["BODY"].children] == ["result_confstat"]
+    sql = print_select(nodes["result_confstat"].tag_query)
+    # Figure 16's nesting: metroarea inlined INSIDE the hotel subquery.
+    assert "(SELECT metroid, metroname FROM metroarea) AS TEMP" in sql
+    assert "metro_id = TEMP.metroid" in sql
+    # The metro columns are carried up and grouped.
+    assert "TEMP.metroname" in sql or "metroname" in sql
+    assert "GROUP BY" in sql
+
+
+def test_equivalence_theorem_figure15(view, db):
+    naive = apply_stylesheet(figure15_stylesheet(), materialize(view, db))
+    composed = materialize(compose(view, figure15_stylesheet(), db.catalog), db)
+    assert canonical_form(naive, ordered=False) == canonical_form(
+        composed, ordered=False
+    )
+
+
+def test_composed_view_revalidates(figure7c, db):
+    from repro.schema_tree.validate import validate_view
+
+    validate_view(figure7c, db.catalog)
+
+
+def test_composition_reduces_queries(view, db):
+    db.stats.reset()
+    materialize(view, db)
+    naive_queries = db.stats.queries_executed
+    composed = compose(view, figure4_stylesheet(), db.catalog)
+    db.stats.reset()
+    materialize(composed, db)
+    composed_queries = db.stats.queries_executed
+    assert composed_queries < naive_queries
+
+
+def test_composition_skips_unreferenced_nodes(view, db):
+    """Nodes the stylesheet never touches are never materialized."""
+    composed = compose(view, figure4_stylesheet(), db.catalog)
+    tags = {n.tag for n in composed.nodes(include_root=False)}
+    assert "hotel_available" not in tags
+    assert "metro_available" not in tags
+    assert "metro" not in tags  # replaced by result_metro

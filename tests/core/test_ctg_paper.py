@@ -1,0 +1,134 @@
+"""Golden tests: the CTG of Figure 6 and its construction rules."""
+
+import pytest
+
+from repro.errors import UnsupportedFeatureError
+from repro.core.ctg import build_ctg
+from repro.workloads.hotel import hotel_catalog
+from repro.workloads.paper import figure1_view, figure4_stylesheet
+from repro.xslt.parser import parse_stylesheet
+
+
+@pytest.fixture(scope="module")
+def view():
+    return figure1_view(hotel_catalog())
+
+
+@pytest.fixture(scope="module")
+def ctg(view):
+    return build_ctg(view, figure4_stylesheet())
+
+
+def node_keys(ctg):
+    return sorted(
+        (n.schema_node.id, n.rule.position + 1) for n in ctg.nodes
+    )
+
+
+def test_figure6_nodes(ctg):
+    # ((0, root), R1), ((1, metro), R2), ((4, confstat), R3), ((5, confroom), R4)
+    assert node_keys(ctg) == [(0, 1), (1, 2), (4, 3), (5, 4)]
+
+
+def test_figure6_edges(ctg):
+    edges = [
+        (e.source.schema_node.id, e.target.schema_node.id, e.apply.select.to_text())
+        for e in ctg.edges
+    ]
+    assert edges == [
+        (0, 1, "metro"),
+        (1, 4, "hotel/confstat"),
+        (4, 5, "../hotel_available/../confroom"),
+    ]
+
+
+def test_metro_confstat_pruned(ctg, view):
+    # (2, confstat) matches R3 but is unreachable, so pruning removes it.
+    assert all(n.schema_node.id != 2 for n in ctg.nodes)
+
+
+def test_edge_smts_match_figure6(ctg):
+    smt_e2 = ctg.edges[1].smt
+    assert [n.schema_id for n in smt_e2.nodes()] == [1, 3, 4]
+    smt_e3 = ctg.edges[2].smt
+    assert smt_e3.root.schema_id == 1
+
+
+def test_ctg_is_acyclic(ctg):
+    assert not ctg.has_cycle()
+    assert ctg.multi_incoming_nodes() == []
+
+
+def test_describe_output(ctg):
+    text = ctg.describe()
+    assert "((0, root), R1)" in text
+    assert "((4, confstat), R3)" in text
+
+
+def test_mode_mismatch_suppresses_edges(view):
+    stylesheet = parse_stylesheet(
+        '<xsl:template match="/"><xsl:apply-templates select="metro" mode="x"/></xsl:template>'
+        '<xsl:template match="metro"><m/></xsl:template>'
+    )
+    ctg = build_ctg(view, stylesheet)
+    # metro's rule is in the default mode but the apply asks for mode x:
+    # no edge, so the metro node is pruned.
+    assert node_keys(ctg) == [(0, 1)]
+
+
+def test_static_conflict_resolution_drops_losers(view):
+    stylesheet = parse_stylesheet(
+        '<xsl:template match="/"><xsl:apply-templates select="metro/hotel"/></xsl:template>'
+        '<xsl:template match="hotel"><low/></xsl:template>'
+        '<xsl:template match="metro/hotel"><high/></xsl:template>'
+    )
+    ctg = build_ctg(view, stylesheet)
+    hotel_nodes = [n for n in ctg.nodes if n.schema_node.id == 3]
+    assert len(hotel_nodes) == 1
+    assert hotel_nodes[0].rule.match.to_text() == "metro/hotel"
+
+
+def test_dynamic_conflict_raises(view):
+    stylesheet = parse_stylesheet(
+        '<xsl:template match="/"><xsl:apply-templates select="metro/hotel"/></xsl:template>'
+        '<xsl:template match="hotel"><low/></xsl:template>'
+        '<xsl:template match="metro/hotel[@starrating&gt;4]"><high/></xsl:template>'
+    )
+    with pytest.raises(UnsupportedFeatureError) as exc:
+        build_ctg(view, stylesheet)
+    assert exc.value.feature == "conflicting-rules"
+
+
+def test_allow_conflicts_flag(view):
+    stylesheet = parse_stylesheet(
+        '<xsl:template match="/"><xsl:apply-templates select="metro/hotel"/></xsl:template>'
+        '<xsl:template match="hotel"><a/></xsl:template>'
+        '<xsl:template match="metro/hotel[@starrating&gt;4]"><b/></xsl:template>'
+    )
+    ctg = build_ctg(view, stylesheet, allow_conflicts=True)
+    hotel_nodes = [n for n in ctg.nodes if n.schema_node.id == 3]
+    assert len(hotel_nodes) == 2
+
+
+def test_wildcard_select_reaches_all_children(view):
+    stylesheet = parse_stylesheet(
+        '<xsl:template match="/"><xsl:apply-templates select="metro"/></xsl:template>'
+        '<xsl:template match="metro"><xsl:apply-templates select="*"/></xsl:template>'
+        '<xsl:template match="confstat"><cs/></xsl:template>'
+        '<xsl:template match="hotel"><h/></xsl:template>'
+    )
+    ctg = build_ctg(view, stylesheet)
+    targets = sorted(
+        e.target.schema_node.id for e in ctg.edges if e.apply.select.to_text() == "*"
+    )
+    assert targets == [2, 3]
+
+
+def test_recursive_stylesheet_has_cycle(view):
+    stylesheet = parse_stylesheet(
+        '<xsl:template match="/"><xsl:apply-templates select="metro"/></xsl:template>'
+        '<xsl:template match="metro"><xsl:apply-templates select="hotel"/></xsl:template>'
+        '<xsl:template match="hotel"><xsl:apply-templates select=".."/></xsl:template>'
+    )
+    ctg = build_ctg(view, stylesheet)
+    assert ctg.has_cycle()

@@ -1,0 +1,202 @@
+"""Equivalence on deep/skipping chains — the nested-inline UNBIND paths.
+
+These shapes exercise ``inline_parameter_deep``'s recursion: a leaf
+query that references its grandparent (skipping the parent), chains of
+length 4+ where every inline nests inside the previous derived table,
+and aggregates at interior levels.
+"""
+
+import pytest
+
+from repro.core import compose
+from repro.relational.engine import Database
+from repro.relational.schema import Catalog, table
+from repro.schema_tree import ViewBuilder, materialize
+from repro.xmlcore import canonical_form
+from repro.xslt import apply_stylesheet, parse_stylesheet
+
+CATALOG = Catalog(
+    [
+        table("ta", ("aid", "INTEGER"), ("ax", "INTEGER")),
+        table("tb", ("bid", "INTEGER"), ("b_aid", "INTEGER"), ("bx", "INTEGER")),
+        table("tc", ("cid", "INTEGER"), ("c_bid", "INTEGER"),
+              ("c_aid", "INTEGER"), ("cx", "INTEGER")),
+        table("td", ("did", "INTEGER"), ("d_cid", "INTEGER"), ("dx", "INTEGER")),
+    ]
+)
+
+
+@pytest.fixture()
+def db():
+    database = Database(CATALOG)
+    database.insert_rows(
+        "ta", [{"aid": 1, "ax": 10}, {"aid": 2, "ax": 20}]
+    )
+    database.insert_rows(
+        "tb",
+        [
+            {"bid": 10, "b_aid": 1, "bx": 1},
+            {"bid": 11, "b_aid": 1, "bx": 2},
+            {"bid": 20, "b_aid": 2, "bx": 3},
+        ],
+    )
+    database.insert_rows(
+        "tc",
+        [
+            {"cid": 100, "c_bid": 10, "c_aid": 1, "cx": 5},
+            {"cid": 101, "c_bid": 10, "c_aid": 1, "cx": 6},
+            {"cid": 102, "c_bid": 11, "c_aid": 1, "cx": 7},
+            {"cid": 200, "c_bid": 20, "c_aid": 2, "cx": 8},
+        ],
+    )
+    database.insert_rows(
+        "td",
+        [
+            {"did": 1000, "d_cid": 100, "dx": 1},
+            {"did": 1001, "d_cid": 100, "dx": 2},
+            {"did": 1002, "d_cid": 102, "dx": 3},
+            {"did": 2000, "d_cid": 200, "dx": 4},
+        ],
+    )
+    yield database
+    database.close()
+
+
+def straight_chain_view():
+    builder = ViewBuilder(CATALOG)
+    a = builder.node("a", "SELECT * FROM ta", bv="a")
+    b = a.child("b", "SELECT * FROM tb WHERE b_aid = $a.aid", bv="b")
+    c = b.child("c", "SELECT * FROM tc WHERE c_bid = $b.bid", bv="c")
+    c.child("d", "SELECT * FROM td WHERE d_cid = $c.cid", bv="d")
+    return builder.build()
+
+
+def grandparent_skip_view():
+    """The c level references $a directly, skipping $b."""
+    builder = ViewBuilder(CATALOG)
+    a = builder.node("a", "SELECT * FROM ta", bv="a")
+    b = a.child("b", "SELECT * FROM tb WHERE b_aid = $a.aid", bv="b")
+    b.child("c", "SELECT * FROM tc WHERE c_aid = $a.aid", bv="c")
+    return builder.build()
+
+
+def aggregate_interior_view():
+    """An aggregate at an interior level with a child below it."""
+    builder = ViewBuilder(CATALOG)
+    a = builder.node("a", "SELECT * FROM ta", bv="a")
+    summary = a.child(
+        "bsum",
+        "SELECT COUNT(bid) AS n, MAX(bx) AS top FROM tb WHERE b_aid = $a.aid",
+        bv="s",
+    )
+    summary.child(
+        "c", "SELECT * FROM tc WHERE c_aid = $a.aid AND cx > $s.n", bv="c"
+    )
+    return builder.build()
+
+
+def assert_equivalent(view, stylesheet_text, db):
+    stylesheet = parse_stylesheet(stylesheet_text)
+    naive = apply_stylesheet(stylesheet, materialize(view, db))
+    composed = materialize(compose(view, stylesheet, CATALOG), db)
+    assert canonical_form(naive, ordered=False) == canonical_form(
+        composed, ordered=False
+    )
+
+
+def test_four_level_single_hop_chain(db):
+    """Chain a->d collapsed one rule at a time: three nested inlines."""
+    assert_equivalent(
+        straight_chain_view(),
+        '<xsl:template match="/"><out><xsl:apply-templates select="a/b/c/d"/></out></xsl:template>'
+        '<xsl:template match="d"><hit><xsl:value-of select="."/></hit></xsl:template>',
+        db,
+    )
+
+
+def test_four_level_two_hop_chain(db):
+    assert_equivalent(
+        straight_chain_view(),
+        '<xsl:template match="/"><out><xsl:apply-templates select="a/b"/></out></xsl:template>'
+        '<xsl:template match="b"><bb><xsl:apply-templates select="c/d"/></bb></xsl:template>'
+        '<xsl:template match="d"><xsl:value-of select="."/></xsl:template>',
+        db,
+    )
+
+
+def test_grandparent_skip_multiplicity(db):
+    """Skipping levels must preserve per-parent multiplicities: each b
+    under a=1 repeats the same c rows."""
+    assert_equivalent(
+        grandparent_skip_view(),
+        '<xsl:template match="/"><out><xsl:apply-templates select="a/b/c"/></out></xsl:template>'
+        '<xsl:template match="c"><xsl:value-of select="."/></xsl:template>',
+        db,
+    )
+
+
+def test_grandparent_skip_with_predicates(db):
+    assert_equivalent(
+        grandparent_skip_view(),
+        '<xsl:template match="/"><out><xsl:apply-templates select="a[@ax&gt;15]/b/c[@cx&gt;7]"/></out></xsl:template>'
+        '<xsl:template match="c"><xsl:value-of select="."/></xsl:template>',
+        db,
+    )
+
+
+def test_aggregate_interior_level(db):
+    """The interior aggregate feeds its child's parameter."""
+    assert_equivalent(
+        aggregate_interior_view(),
+        '<xsl:template match="/"><out><xsl:apply-templates select="a/bsum/c"/></out></xsl:template>'
+        '<xsl:template match="c"><xsl:value-of select="."/></xsl:template>',
+        db,
+    )
+
+
+def test_aggregate_interior_attribute_output(db):
+    assert_equivalent(
+        aggregate_interior_view(),
+        '<xsl:template match="/"><out><xsl:apply-templates select="a/bsum"/></out></xsl:template>'
+        '<xsl:template match="bsum"><s n="{@n}" top="{@top}"/></xsl:template>',
+        db,
+    )
+
+
+def test_deep_forced_unbind_cascade(db):
+    """Three bare apply-templates rules in a row: forced unbinding must
+    cascade, nesting three derived tables."""
+    assert_equivalent(
+        straight_chain_view(),
+        '<xsl:template match="/"><out><xsl:apply-templates select="a"/></out></xsl:template>'
+        '<xsl:template match="a"><xsl:apply-templates select="b"/></xsl:template>'
+        '<xsl:template match="b"><xsl:apply-templates select="c"/></xsl:template>'
+        '<xsl:template match="c"><xsl:apply-templates select="d"/></xsl:template>'
+        '<xsl:template match="d"><xsl:value-of select="."/></xsl:template>',
+        db,
+    )
+
+
+def test_sibling_existence_on_deep_chain(db):
+    assert_equivalent(
+        straight_chain_view(),
+        '<xsl:template match="/"><out><xsl:apply-templates select="a/b"/></out></xsl:template>'
+        '<xsl:template match="b"><bb>'
+        '<xsl:apply-templates select="c[d]/../c/d"/>'
+        "</bb></xsl:template>"
+        '<xsl:template match="d"><xsl:value-of select="."/></xsl:template>',
+        db,
+    )
+
+
+def test_empty_database_deep_chain():
+    db = Database(CATALOG)
+    try:
+        assert_equivalent(
+            straight_chain_view(),
+            '<xsl:template match="/"><out><xsl:apply-templates select="a/b/c/d"/></out></xsl:template>'
+            '<xsl:template match="d"><hit/></xsl:template>',
+            db,
+        )
+    finally:
+        db.close()

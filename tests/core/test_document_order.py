@@ -1,0 +1,134 @@
+"""Document-order determinism (the paper's acknowledged future work).
+
+When a view's tag queries carry ORDER BY, materialization order is
+deterministic and parent-major. Unbinding propagates the order keys
+(``repro.sql.transform.propagate_order``), so for stylesheets with at
+most one apply-templates per rule the composed output is **ordered**
+equal to the naive pipeline — not just equal as a multiset.
+
+Rules with several apply-templates still group rather than interleave
+(Section 4.4's note), so those compare unordered as before.
+"""
+
+import pytest
+
+from repro.core import compose
+from repro.schema_tree import ViewBuilder, materialize
+from repro.workloads.hotel import HotelDataSpec, build_hotel_database
+from repro.xmlcore import canonical_form
+from repro.xslt import apply_stylesheet, parse_stylesheet
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = build_hotel_database(
+        HotelDataSpec(metros=3, hotels_per_metro=4, confrooms_per_hotel=3)
+    )
+    yield database
+    database.close()
+
+
+@pytest.fixture(scope="module")
+def ordered_view(db):
+    """Figure 1's first branches with explicit ORDER BY keys."""
+    builder = ViewBuilder(db.catalog)
+    metro = builder.node(
+        "metro",
+        "SELECT metroid, metroname FROM metroarea ORDER BY metroname DESC",
+        bv="m",
+    )
+    hotel = metro.child(
+        "hotel",
+        "SELECT * FROM hotel WHERE metro_id = $m.metroid AND starrating > 4 "
+        "ORDER BY hotelname",
+        bv="h",
+    )
+    hotel.child(
+        "confroom",
+        "SELECT * FROM confroom WHERE chotel_id = $h.hotelid "
+        "ORDER BY capacity DESC, c_id",
+        bv="c",
+    )
+    return builder.build()
+
+
+def assert_ordered_equivalent(view, stylesheet_text, db):
+    stylesheet = parse_stylesheet(stylesheet_text)
+    naive = apply_stylesheet(stylesheet, materialize(view, db))
+    composed = materialize(compose(view, stylesheet, db.catalog), db)
+    assert canonical_form(naive, ordered=True) == canonical_form(
+        composed, ordered=True
+    )
+
+
+def test_materialization_respects_order_by(ordered_view, db):
+    doc = materialize(ordered_view, db)
+    names = [m.get("metroname") for m in doc.child_elements()]
+    assert names == sorted(names, reverse=True)
+    for metro in doc.child_elements():
+        for hotel in metro.find_children("hotel"):
+            capacities = [
+                int(c.get("capacity")) for c in hotel.find_children("confroom")
+            ]
+            assert capacities == sorted(capacities, reverse=True)
+
+
+def test_single_hop_ordered_equivalence(ordered_view, db):
+    assert_ordered_equivalent(
+        ordered_view,
+        '<xsl:template match="/"><out><xsl:apply-templates select="metro"/></out></xsl:template>'
+        '<xsl:template match="metro"><m name="{@metroname}"><xsl:apply-templates select="hotel"/></m></xsl:template>'
+        '<xsl:template match="hotel"><xsl:value-of select="."/></xsl:template>',
+        db,
+    )
+
+
+def test_chain_collapse_preserves_order(ordered_view, db):
+    """hotel/confroom collapses hotel into confroom's query; the composed
+    rows must still come out metro-major, hotel-next, capacity-desc."""
+    assert_ordered_equivalent(
+        ordered_view,
+        '<xsl:template match="/"><out><xsl:apply-templates select="metro"/></out></xsl:template>'
+        '<xsl:template match="metro"><m><xsl:apply-templates select="hotel/confroom"/></m></xsl:template>'
+        '<xsl:template match="confroom"><xsl:value-of select="."/></xsl:template>',
+        db,
+    )
+
+
+def test_forced_unbind_preserves_order(ordered_view, db):
+    assert_ordered_equivalent(
+        ordered_view,
+        '<xsl:template match="/"><out><xsl:apply-templates select="metro"/></out></xsl:template>'
+        '<xsl:template match="metro"><xsl:apply-templates select="hotel"/></xsl:template>'
+        '<xsl:template match="hotel"><h><xsl:apply-templates select="confroom"/></h></xsl:template>'
+        '<xsl:template match="confroom"><xsl:value-of select="."/></xsl:template>',
+        db,
+    )
+
+
+def test_predicates_preserve_order(ordered_view, db):
+    assert_ordered_equivalent(
+        ordered_view,
+        '<xsl:template match="/"><out><xsl:apply-templates select="metro"/></out></xsl:template>'
+        '<xsl:template match="metro"><m><xsl:apply-templates select="hotel/confroom[@capacity&gt;100]"/></m></xsl:template>'
+        '<xsl:template match="confroom"><xsl:value-of select="."/></xsl:template>',
+        db,
+    )
+
+
+def test_composed_query_carries_order_keys(ordered_view, db):
+    from repro.sql.printer import print_select
+
+    stylesheet = parse_stylesheet(
+        '<xsl:template match="/"><out><xsl:apply-templates select="metro"/></out></xsl:template>'
+        '<xsl:template match="metro"><m><xsl:apply-templates select="hotel/confroom"/></m></xsl:template>'
+        '<xsl:template match="confroom"><xsl:value-of select="."/></xsl:template>'
+    )
+    composed = compose(ordered_view, stylesheet, db.catalog)
+    confroom = next(
+        n for n in composed.nodes(include_root=False) if n.tag == "confroom"
+    )
+    sql = print_select(confroom.tag_query)
+    # hotel's key precedes confroom's own keys.
+    assert "ORDER BY hotelname" in sql
+    assert sql.index("hotelname") < sql.index("capacity DESC")

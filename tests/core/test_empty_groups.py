@@ -1,0 +1,113 @@
+"""Regression tests: empty aggregate groups must survive composition.
+
+An ungrouped aggregate tag query (``SELECT SUM(capacity) FROM confroom
+WHERE chotel_id = $h.hotelid``) produces exactly one tuple per parent
+binding — even when the group is empty (SUM is then NULL and the
+attribute is simply omitted). The paper's UNBIND (Figures 10/12) joins
+the parent in and GROUPs BY its columns, which silently *drops* empty
+groups: a hotel without conference rooms loses its ``<confstat>`` — and
+with it the whole ``<result_confstat>`` subtree of Figure 4's output.
+
+Discovered by the property test
+``tests/sql/test_unbind_soundness_property.py``. The default composition
+mode unbinds ungrouped aggregates as correlated scalar subqueries
+instead; ``paper_mode=True`` reproduces the paper's (buggy on this edge)
+join+GROUP BY shape for figure-level comparison.
+"""
+
+import pytest
+
+from repro.core import compose
+from repro.relational.engine import Database
+from repro.schema_tree import materialize
+from repro.workloads.hotel import hotel_catalog
+from repro.workloads.paper import figure1_view, figure4_stylesheet
+from repro.xmlcore import canonical_form, serialize
+from repro.xslt import apply_stylesheet
+
+
+@pytest.fixture()
+def db_with_empty_groups():
+    """One qualifying hotel with NO conference rooms or availability."""
+    db = Database(hotel_catalog())
+    db.insert_rows("metroarea", [{"metroid": 1, "metroname": "chicago"}])
+    db.insert_rows(
+        "hotel",
+        [
+            {
+                "hotelid": 1, "hotelname": "h1", "starrating": 5,
+                "chain_id": 1, "metro_id": 1, "state_id": 1,
+                "city": "c", "pool": 1, "gym": 0,
+            }
+        ],
+    )
+    yield db
+    db.close()
+
+
+def test_naive_pipeline_keeps_empty_confstat(db_with_empty_groups):
+    db = db_with_empty_groups
+    view = figure1_view(db.catalog)
+    doc = materialize(view, db)
+    hotel = doc.root_element.find_children("hotel")[0]
+    confstat = hotel.find_children("confstat")[0]
+    # SUM over the empty group is NULL: the element exists, attribute-less.
+    assert "SUM_capacity" not in confstat.attributes
+
+
+def test_composed_view_keeps_empty_confstat(db_with_empty_groups):
+    db = db_with_empty_groups
+    view = figure1_view(db.catalog)
+    stylesheet = figure4_stylesheet()
+    naive = apply_stylesheet(stylesheet, materialize(view, db))
+    composed = materialize(compose(view, stylesheet, db.catalog), db)
+    assert "<result_confstat>" in serialize(naive)
+    assert canonical_form(naive, ordered=False) == canonical_form(
+        composed, ordered=False
+    )
+
+
+def test_paper_mode_reproduces_the_papers_gap(db_with_empty_groups):
+    """paper_mode keeps the figures' shape — and their empty-group loss."""
+    db = db_with_empty_groups
+    view = figure1_view(db.catalog)
+    stylesheet = figure4_stylesheet()
+    naive = apply_stylesheet(stylesheet, materialize(view, db))
+    paper = materialize(
+        compose(view, stylesheet, db.catalog, paper_mode=True), db
+    )
+    assert "<result_confstat>" in serialize(naive)
+    assert "<result_confstat>" not in serialize(paper)
+
+
+def test_scalar_unbinding_sql_shape(db_with_empty_groups):
+    db = db_with_empty_groups
+    view = figure1_view(db.catalog)
+    composed = compose(view, figure4_stylesheet(), db.catalog)
+    from repro.sql.printer import print_select
+
+    nodes = {n.tag: n for n in composed.nodes(include_root=False)}
+    sql = print_select(nodes["result_confstat"].tag_query)
+    assert "(SELECT SUM(" in sql
+    assert "GROUP BY" not in sql
+
+
+def test_not_predicate_on_missing_aggregate(db_with_empty_groups):
+    """not(@SUM_capacity > 100) is TRUE when the attribute is absent."""
+    from repro.xslt.parser import parse_stylesheet
+
+    db = db_with_empty_groups
+    view = figure1_view(db.catalog)
+    stylesheet = parse_stylesheet(
+        '<xsl:template match="/"><out><xsl:apply-templates select="metro"/></out></xsl:template>'
+        '<xsl:template match="metro"><m>'
+        '<xsl:apply-templates select="hotel/confstat[not(@SUM_capacity&gt;100)]"/>'
+        "</m></xsl:template>"
+        '<xsl:template match="confstat"><hit/></xsl:template>'
+    )
+    naive = apply_stylesheet(stylesheet, materialize(view, db))
+    composed = materialize(compose(view, stylesheet, db.catalog), db)
+    assert "<hit/>" in serialize(naive)
+    assert canonical_form(naive, ordered=False) == canonical_form(
+        composed, ordered=False
+    )

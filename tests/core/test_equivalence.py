@@ -1,0 +1,316 @@
+"""Scenario-based equivalence tests: v'(I) = x(v(I)) across stylesheet
+shapes the paper's algorithm must handle."""
+
+import pytest
+
+from repro.core import compose
+from repro.schema_tree import materialize
+from repro.workloads.hotel import HotelDataSpec, build_hotel_database
+from repro.workloads.paper import figure1_view
+from repro.workloads.synthetic import (
+    chain_catalog,
+    chain_stylesheet,
+    chain_view,
+    populate_chain,
+)
+from repro.relational.engine import Database
+from repro.xmlcore import canonical_form
+from repro.xslt import apply_stylesheet
+from repro.xslt.parser import parse_stylesheet
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = build_hotel_database(
+        HotelDataSpec(metros=3, hotels_per_metro=4, guestrooms_per_hotel=4)
+    )
+    yield database
+    database.close()
+
+
+@pytest.fixture(scope="module")
+def view(db):
+    return figure1_view(db.catalog)
+
+
+def assert_equivalent(view, stylesheet_text, db):
+    stylesheet = parse_stylesheet(stylesheet_text)
+    naive = apply_stylesheet(stylesheet, materialize(view, db))
+    composed_view = compose(view, stylesheet, db.catalog)
+    composed = materialize(composed_view, db)
+    assert canonical_form(naive, ordered=False) == canonical_form(
+        composed, ordered=False
+    ), f"naive != composed for:\n{stylesheet_text}"
+    return composed_view
+
+
+ROOT = '<xsl:template match="/"><out><xsl:apply-templates select="metro"/></out></xsl:template>'
+
+
+def test_single_rule_root_only(view, db):
+    assert_equivalent(view, '<xsl:template match="/"><out/></xsl:template>', db)
+
+
+def test_shallow_selection(view, db):
+    assert_equivalent(
+        view,
+        ROOT + '<xsl:template match="metro"><m><xsl:value-of select="."/></m></xsl:template>',
+        db,
+    )
+
+
+def test_two_level_chain(view, db):
+    assert_equivalent(
+        view,
+        ROOT
+        + '<xsl:template match="metro"><m><xsl:apply-templates select="hotel"/></m></xsl:template>'
+        + '<xsl:template match="hotel"><xsl:value-of select="."/></xsl:template>',
+        db,
+    )
+
+
+def test_multi_step_select(view, db):
+    assert_equivalent(
+        view,
+        ROOT
+        + '<xsl:template match="metro"><m><xsl:apply-templates select="hotel/confroom"/></m></xsl:template>'
+        + '<xsl:template match="confroom"><xsl:value-of select="."/></xsl:template>',
+        db,
+    )
+
+
+def test_deep_chain_to_metro_available(view, db):
+    assert_equivalent(
+        view,
+        ROOT
+        + '<xsl:template match="metro"><m><xsl:apply-templates select="hotel/hotel_available/metro_available"/></m></xsl:template>'
+        + '<xsl:template match="metro_available"><v><xsl:value-of select="."/></v></xsl:template>',
+        db,
+    )
+
+
+def test_sibling_branches_both_processed(view, db):
+    assert_equivalent(
+        view,
+        ROOT
+        + '<xsl:template match="metro"><m>'
+        '<xsl:apply-templates select="confstat"/>'
+        '<xsl:apply-templates select="hotel"/>'
+        "</m></xsl:template>"
+        + '<xsl:template match="metro/confstat"><cs><xsl:value-of select="."/></cs></xsl:template>'
+        + '<xsl:template match="hotel"><h/></xsl:template>',
+        db,
+    )
+
+
+def test_same_tag_different_contexts(view, db):
+    """The two confstat nodes (ids 2 and 4) are distinguished by path."""
+    assert_equivalent(
+        view,
+        ROOT
+        + '<xsl:template match="metro"><m>'
+        '<xsl:apply-templates select="confstat"/>'
+        '<xsl:apply-templates select="hotel/confstat"/>'
+        "</m></xsl:template>"
+        + '<xsl:template match="metro/confstat"><metro_cs><xsl:value-of select="."/></metro_cs></xsl:template>'
+        + '<xsl:template match="hotel/confstat"><hotel_cs><xsl:value-of select="."/></hotel_cs></xsl:template>',
+        db,
+    )
+
+
+def test_parent_axis_sibling_condition(view, db):
+    """Figure 4's '../hotel_available/../confroom' shape."""
+    assert_equivalent(
+        view,
+        ROOT
+        + '<xsl:template match="metro"><m><xsl:apply-templates select="hotel/confstat"/></m></xsl:template>'
+        + '<xsl:template match="confstat"><cs>'
+        '<xsl:apply-templates select="../hotel_available/../confroom"/>'
+        "</cs></xsl:template>"
+        + '<xsl:template match="confroom"><xsl:value-of select="."/></xsl:template>',
+        db,
+    )
+
+
+def test_terminal_parent_axis(view, db):
+    """An apply-templates ending on '..' (upward re-derivation)."""
+    assert_equivalent(
+        view,
+        ROOT
+        + '<xsl:template match="metro"><m><xsl:apply-templates select="hotel/confroom"/></m></xsl:template>'
+        + '<xsl:template match="confroom"><c><xsl:apply-templates select=".." mode="up"/></c></xsl:template>'
+        + '<xsl:template match="hotel" mode="up"><xsl:value-of select="."/></xsl:template>',
+        db,
+    )
+
+
+def test_self_select_with_mode(view, db):
+    assert_equivalent(
+        view,
+        ROOT
+        + '<xsl:template match="metro"><m><xsl:apply-templates select="." mode="again"/></m></xsl:template>'
+        + '<xsl:template match="metro" mode="again"><xsl:value-of select="."/></xsl:template>',
+        db,
+    )
+
+
+def test_select_predicates(view, db):
+    assert_equivalent(
+        view,
+        ROOT
+        + '<xsl:template match="metro"><m><xsl:apply-templates select="hotel[@pool=1]/confroom[@capacity&gt;100]"/></m></xsl:template>'
+        + '<xsl:template match="confroom"><xsl:value-of select="."/></xsl:template>',
+        db,
+    )
+
+
+def test_match_predicates(view, db):
+    assert_equivalent(
+        view,
+        ROOT
+        + '<xsl:template match="metro"><m><xsl:apply-templates select="hotel"/></m></xsl:template>'
+        + '<xsl:template match="hotel[@gym=1]"><g><xsl:value-of select="."/></g></xsl:template>',
+        db,
+    )
+
+
+def test_path_existence_predicate(view, db):
+    assert_equivalent(
+        view,
+        ROOT
+        + '<xsl:template match="metro"><m><xsl:apply-templates select="hotel[confroom]"/></m></xsl:template>'
+        + '<xsl:template match="hotel"><h><xsl:value-of select="."/></h></xsl:template>',
+        db,
+    )
+
+
+def test_negated_path_predicate(view, db):
+    assert_equivalent(
+        view,
+        ROOT
+        + '<xsl:template match="metro"><m><xsl:apply-templates select="hotel[not(confroom[@capacity&gt;200])]"/></m></xsl:template>'
+        + '<xsl:template match="hotel"><h/></xsl:template>',
+        db,
+    )
+
+
+def test_aggregate_predicate_on_bound_context(view, db):
+    assert_equivalent(
+        view,
+        ROOT
+        + '<xsl:template match="metro"><m><xsl:apply-templates select="hotel/confstat"/></m></xsl:template>'
+        + '<xsl:template match="confstat"><cs>'
+        '<xsl:apply-templates select=".[@SUM_capacity&gt;100]/../confroom"/>'
+        "</cs></xsl:template>"
+        + '<xsl:template match="confroom"><xsl:value-of select="."/></xsl:template>',
+        db,
+    )
+
+
+def test_value_of_attribute_in_output(view, db):
+    assert_equivalent(
+        view,
+        ROOT
+        + '<xsl:template match="metro"><m><xsl:value-of select="@metroname"/>'
+        '<xsl:apply-templates select="hotel"/></m></xsl:template>'
+        + '<xsl:template match="hotel"><h><xsl:value-of select="@hotelname"/>'
+        '<xsl:value-of select="@starrating"/></h></xsl:template>',
+        db,
+    )
+
+
+def test_bare_apply_templates_forced_unbind(view, db):
+    assert_equivalent(
+        view,
+        ROOT
+        + '<xsl:template match="metro"><xsl:apply-templates select="hotel"/></xsl:template>'
+        + '<xsl:template match="hotel"><xsl:apply-templates select="confroom"/></xsl:template>'
+        + '<xsl:template match="confroom"><xsl:value-of select="."/></xsl:template>',
+        db,
+    )
+
+
+def test_multiple_top_level_elements_grouped(view, db):
+    """Section 4.4: separate pushdown groups rather than interleaves —
+    with a single apply this is still exactly equivalent."""
+    assert_equivalent(
+        view,
+        ROOT
+        + '<xsl:template match="metro"><first/><second><xsl:value-of select="."/></second></xsl:template>',
+        db,
+    )
+
+
+def test_empty_rule_body(view, db):
+    assert_equivalent(
+        view,
+        ROOT + '<xsl:template match="metro"></xsl:template>',
+        db,
+    )
+
+
+def test_wildcard_select(view, db):
+    assert_equivalent(
+        view,
+        ROOT
+        + '<xsl:template match="metro"><m><xsl:apply-templates select="*"/></m></xsl:template>'
+        + '<xsl:template match="confstat"><cs/></xsl:template>'
+        + '<xsl:template match="hotel"><h/></xsl:template>',
+        db,
+    )
+
+
+def test_modes_partition_processing(view, db):
+    assert_equivalent(
+        view,
+        ROOT
+        + '<xsl:template match="metro"><m>'
+        '<xsl:apply-templates select="hotel" mode="one"/>'
+        '<xsl:apply-templates select="hotel" mode="two"/>'
+        "</m></xsl:template>"
+        + '<xsl:template match="hotel" mode="one"><h1/></xsl:template>'
+        + '<xsl:template match="hotel" mode="two"><h2><xsl:value-of select="."/></h2></xsl:template>',
+        db,
+    )
+
+
+def test_duplicated_apply_same_target(view, db):
+    """Two applies of the same rule duplicate the TVQ node (4.2.2)."""
+    assert_equivalent(
+        view,
+        ROOT
+        + '<xsl:template match="metro"><m>'
+        '<xsl:apply-templates select="hotel"/>'
+        '<xsl:apply-templates select="hotel"/>'
+        "</m></xsl:template>"
+        + '<xsl:template match="hotel"><h><xsl:value-of select="."/></h></xsl:template>',
+        db,
+    )
+
+
+def test_chain_workload_equivalence():
+    levels = 5
+    catalog = chain_catalog(levels)
+    db = Database(catalog)
+    populate_chain(db, levels, fanout=2, roots=3)
+    view = chain_view(levels, catalog)
+    stylesheet = chain_stylesheet(levels)
+    naive = apply_stylesheet(stylesheet, materialize(view, db))
+    composed = materialize(compose(view, stylesheet, catalog), db)
+    assert canonical_form(naive, ordered=False) == canonical_form(
+        composed, ordered=False
+    )
+    db.close()
+
+
+def test_empty_database_equivalence(view):
+    from repro.workloads.hotel import hotel_catalog
+
+    db = Database(hotel_catalog())
+    stylesheet_text = (
+        ROOT
+        + '<xsl:template match="metro"><m><xsl:apply-templates select="hotel"/></m></xsl:template>'
+        + '<xsl:template match="hotel"><xsl:value-of select="."/></xsl:template>'
+    )
+    assert_equivalent(figure1_view(db.catalog), stylesheet_text, db)
+    db.close()

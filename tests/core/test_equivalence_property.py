@@ -1,0 +1,260 @@
+"""Property-based equivalence: Compose(v,x)(I) == x(v(I)) on random inputs.
+
+The strategy space: random tree-shaped views over a small linked-table
+catalog, random composable stylesheets (suffix match patterns, optional
+attribute predicates, child-chain and parent-hopping selects, value-of
+output), and random database instances including NULLs. Each example
+checks the paper's central theorem end-to-end.
+"""
+
+from __future__ import annotations
+
+import random as stdlib_random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import compose
+from repro.errors import UnsupportedFeatureError
+from repro.relational.engine import Database
+from repro.relational.schema import Catalog, table
+from repro.schema_tree import materialize
+from repro.schema_tree.builder import ViewBuilder
+from repro.xmlcore import canonical_form
+from repro.xslt import apply_stylesheet
+from repro.xslt.parser import parse_stylesheet
+
+MAX_DEPTH = 3
+
+
+def make_catalog() -> Catalog:
+    return Catalog(
+        [
+            table(
+                f"t{level}",
+                ("id", "INTEGER"),
+                ("parent_id", "INTEGER"),
+                ("a", "INTEGER"),
+                ("b", "INTEGER"),
+                primary_key="id",
+            )
+            for level in range(MAX_DEPTH + 1)
+        ]
+    )
+
+
+CATALOG = make_catalog()
+
+
+@st.composite
+def view_shapes(draw):
+    """A random tree shape: list of (tag, parent_index, depth)."""
+    nodes = [("n0", None, 0)]
+    count = draw(st.integers(1, 4))
+    for index in range(1, count + 1):
+        parent_index = draw(st.integers(0, len(nodes) - 1))
+        while nodes[parent_index][2] >= MAX_DEPTH:
+            parent_index -= 1
+        depth = nodes[parent_index][2] + 1
+        nodes.append((f"n{index}", parent_index, depth))
+    return nodes
+
+
+def build_view(shape, filters, aggregate_leaves=False):
+    builder = ViewBuilder(CATALOG)
+    handles = []
+    children_seen = {i for _, i, _ in shape if i is not None}
+    for index, (tag, parent_index, depth) in enumerate(shape):
+        condition = ""
+        if filters[index % len(filters)]:
+            condition = " AND a > 25"
+        if parent_index is None:
+            handle = builder.node(
+                tag, f"SELECT * FROM t{depth} WHERE parent_id = 0{condition}",
+                bv=f"v{index}",
+            )
+        else:
+            parent = handles[parent_index]
+            if aggregate_leaves and index not in children_seen and index % 2 == 1:
+                # Ungrouped aggregate leaf: one summary tuple per parent,
+                # present even over empty groups (the scalar-unbinding
+                # path must preserve this).
+                query = (
+                    f"SELECT SUM(b) AS total, COUNT(id) AS cnt FROM t{depth} "
+                    f"WHERE parent_id = $v{parent_index}.id{condition}"
+                )
+            else:
+                query = (
+                    f"SELECT * FROM t{depth} WHERE parent_id = "
+                    f"$v{parent_index}.id{condition}"
+                )
+            handle = parent.child(tag, query, bv=f"v{index}")
+        handles.append(handle)
+    return builder.build()
+
+
+def populate(db, seed):
+    rng = stdlib_random.Random(seed)
+    next_id = 0
+    parents = {0: [0]}  # level -> candidate parent ids (0 = roots)
+    for level in range(MAX_DEPTH + 1):
+        rows = []
+        ids = []
+        for parent in parents.get(level, []):
+            for _ in range(rng.randint(0, 3)):
+                next_id += 1
+                ids.append(next_id)
+                rows.append(
+                    {
+                        "id": next_id,
+                        "parent_id": parent,
+                        "a": rng.choice([None, 10, 30, 50, 70]),
+                        "b": rng.randint(0, 100),
+                    }
+                )
+        db.insert_rows(f"t{level}", rows)
+        parents[level + 1] = ids
+
+
+@st.composite
+def stylesheets_for(draw, shape):
+    """A random composable stylesheet against the given view shape."""
+    children_of = {}
+    for index, (tag, parent_index, _depth) in enumerate(shape):
+        if parent_index is not None:
+            children_of.setdefault(parent_index, []).append(index)
+
+    rules = []
+    top_level = [i for i, (_t, p, _d) in enumerate(shape) if p is None]
+    start = draw(st.sampled_from(top_level))
+    rules.append(
+        '<xsl:template match="/"><out>'
+        f'<xsl:apply-templates select="{shape[start][0]}"/>'
+        "</out></xsl:template>"
+    )
+    # Walk the view emitting a rule per reached node.
+    frontier = [start]
+    seen = set()
+    while frontier:
+        index = frontier.pop()
+        if index in seen:
+            continue
+        seen.add(index)
+        tag = shape[index][0]
+        opening = f"<r{tag}>"
+        if draw(st.booleans()):
+            opening = f'<r{tag} av="{{@b}}">'
+        body_parts = [opening]
+        if draw(st.booleans()):
+            body_parts.append('<xsl:value-of select="@a"/>')
+        if draw(st.booleans()):
+            body_parts.append('<xsl:value-of select="."/>')
+        for child_index in children_of.get(index, []):
+            if draw(st.booleans()):
+                child_tag = shape[child_index][0]
+                predicate = draw(
+                    st.sampled_from(["", "[@a>20]", "[@b&lt;50]", "[not(@a)]"])
+                )
+                sort = draw(
+                    st.sampled_from(
+                        [
+                            "",
+                            '<xsl:sort select="@b" data-type="number"/>',
+                            '<xsl:sort select="@a" order="descending" data-type="number"/>'
+                            '<xsl:sort select="@id" data-type="number"/>',
+                        ]
+                    )
+                )
+                if sort:
+                    body_parts.append(
+                        f'<xsl:apply-templates select="{child_tag}{predicate}">'
+                        f"{sort}</xsl:apply-templates>"
+                    )
+                else:
+                    body_parts.append(
+                        f'<xsl:apply-templates select="{child_tag}{predicate}"/>'
+                    )
+                frontier.append(child_index)
+        body_parts.append(f"</r{tag}>")
+        match = tag
+        if draw(st.booleans()):
+            match = f"{tag}[@b>10]"
+        rules.append(
+            f'<xsl:template match="{match}">{"".join(body_parts)}</xsl:template>'
+        )
+    return "".join(rules)
+
+
+@st.composite
+def scenarios(draw):
+    shape = draw(view_shapes())
+    filters = draw(st.lists(st.booleans(), min_size=2, max_size=2))
+    stylesheet_text = draw(stylesheets_for(shape))
+    seed = draw(st.integers(0, 10_000))
+    aggregates = draw(st.booleans())
+    return shape, filters, stylesheet_text, seed, aggregates
+
+
+@given(scenarios())
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_composition_equivalence(scenario):
+    shape, filters, stylesheet_text, seed, aggregates = scenario
+    view = build_view(shape, filters, aggregate_leaves=aggregates)
+    stylesheet = parse_stylesheet(stylesheet_text)
+    db = Database(CATALOG)
+    try:
+        populate(db, seed)
+        try:
+            composed_view = compose(view, stylesheet, CATALOG)
+        except UnsupportedFeatureError:
+            # Random stylesheets may stray outside the dialect; that must
+            # be an explicit rejection, never a wrong answer.
+            return
+        naive = apply_stylesheet(stylesheet, materialize(view, db))
+        composed = materialize(composed_view, db)
+        assert canonical_form(naive, ordered=False) == canonical_form(
+            composed, ordered=False
+        ), f"\nstylesheet: {stylesheet_text}\nview:\n{view.describe()}"
+    finally:
+        db.close()
+
+
+@given(scenarios())
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_composition_is_deterministic(scenario):
+    shape, filters, stylesheet_text, _seed, aggregates = scenario
+    view = build_view(shape, filters, aggregate_leaves=aggregates)
+    stylesheet = parse_stylesheet(stylesheet_text)
+    try:
+        first = compose(view, stylesheet, CATALOG)
+        second = compose(view, stylesheet, CATALOG)
+    except UnsupportedFeatureError:
+        return
+    assert first.describe() == second.describe()
+
+
+@given(scenarios())
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_composed_views_validate(scenario):
+    from repro.schema_tree.validate import validate_view
+
+    shape, filters, stylesheet_text, _seed, aggregates = scenario
+    view = build_view(shape, filters, aggregate_leaves=aggregates)
+    stylesheet = parse_stylesheet(stylesheet_text)
+    try:
+        composed = compose(view, stylesheet, CATALOG)
+    except UnsupportedFeatureError:
+        return
+    validate_view(composed, CATALOG)

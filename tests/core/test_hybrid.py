@@ -1,0 +1,123 @@
+"""Tests for the hybrid executor's planning ladder."""
+
+import pytest
+
+from repro.core.hybrid import HybridExecutor
+from repro.schema_tree import materialize
+from repro.workloads.hotel import HotelDataSpec, build_hotel_database
+from repro.workloads.paper import (
+    figure1_view,
+    figure4_stylesheet,
+    figure25_stylesheet,
+)
+from repro.xmlcore import canonical_form
+from repro.xslt import apply_stylesheet
+from repro.xslt.parser import parse_stylesheet
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = build_hotel_database(HotelDataSpec(metros=2, hotels_per_metro=4))
+    yield database
+    database.close()
+
+
+@pytest.fixture(scope="module")
+def view(db):
+    return figure1_view(db.catalog)
+
+
+def test_composable_stylesheet_plans_composed(view, db):
+    executor = HybridExecutor(view, figure4_stylesheet(), db.catalog)
+    assert executor.plan.kind == "composed"
+    assert executor.plan.stylesheet is None
+    result = executor.execute(db)
+    naive = apply_stylesheet(figure4_stylesheet(), materialize(view, db))
+    assert canonical_form(result, ordered=False) == canonical_form(
+        naive, ordered=False
+    )
+
+
+def test_recursive_stylesheet_plans_recursive(view, db):
+    executor = HybridExecutor(view, figure25_stylesheet(), db.catalog)
+    assert executor.plan.kind == "recursive"
+    assert executor.plan.builtin_rules == "standard"
+    assert executor.plan.notes  # records why full composition failed
+    executor.execute(db)  # runs without error
+
+
+def test_uncomposable_falls_back(view, db):
+    # '//' is outside every composable dialect.
+    stylesheet = parse_stylesheet(
+        '<xsl:template match="/"><out><xsl:apply-templates select="metro"/></out></xsl:template>'
+        '<xsl:template match="metro"><m><xsl:apply-templates select="hotel//confroom"/></m></xsl:template>'
+        '<xsl:template match="confroom"><c/></xsl:template>'
+    )
+    executor = HybridExecutor(view, stylesheet, db.catalog)
+    assert executor.plan.kind == "fallback"
+    result = executor.execute(db)
+    naive = apply_stylesheet(stylesheet, materialize(view, db))
+    assert canonical_form(result, ordered=False) == canonical_form(
+        naive, ordered=False
+    )
+
+
+def test_fallback_respects_builtin_setting(view, db):
+    stylesheet = parse_stylesheet(
+        # No root rule at all: needs standard builtins to do anything,
+        # and // keeps it out of the composable dialect.
+        '<xsl:template match="metro"><m><xsl:apply-templates select="hotel//confroom"/></m></xsl:template>'
+    )
+    silent = HybridExecutor(view, stylesheet, db.catalog)
+    assert silent.plan.kind == "fallback"
+    assert serialize_empty(silent.execute(db))
+    noisy = HybridExecutor(
+        view, stylesheet, db.catalog, fallback_builtin_rules="standard"
+    )
+    assert not serialize_empty(noisy.execute(db))
+
+
+def serialize_empty(document) -> bool:
+    from repro.xmlcore.serializer import serialize
+
+    return serialize(document) == ""
+
+
+def test_plan_notes_explain_rejections(view, db):
+    stylesheet = parse_stylesheet(
+        '<xsl:template match="/"><out><xsl:apply-templates select="metro"/></out></xsl:template>'
+        '<xsl:template match="metro"><m>text-content</m></xsl:template>'
+    )
+    executor = HybridExecutor(view, stylesheet, db.catalog)
+    assert executor.plan.kind == "fallback"
+    assert any("text" in note for note in executor.plan.notes)
+
+
+def test_blowup_falls_back_to_interpretation(db):
+    """When TVQ unfolding exceeds the bound, the hybrid plan degrades to
+    interpretation rather than failing."""
+    from repro.workloads.synthetic import (
+        blowup_stylesheet,
+        chain_catalog,
+        chain_view,
+        populate_chain,
+    )
+    from repro.relational.engine import Database
+
+    catalog = chain_catalog(12)
+    chain_db = Database(catalog)
+    populate_chain(chain_db, 12, fanout=1, roots=1)
+    view = chain_view(12, catalog)
+    executor = HybridExecutor(
+        view, blowup_stylesheet(12), catalog, max_nodes=100
+    )
+    assert executor.plan.kind == "fallback"
+    assert any("blowup" in note for note in executor.plan.notes)
+    result = executor.execute(chain_db)
+    naive = apply_stylesheet(
+        blowup_stylesheet(12), materialize(view, chain_db)
+    )
+    assert canonical_form(result, ordered=False) == canonical_form(
+        naive, ordered=False
+    )
+    chain_db.close()

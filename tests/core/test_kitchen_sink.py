@@ -1,0 +1,130 @@
+"""Kitchen-sink integration: every composable feature in one stylesheet.
+
+One stylesheet combining modes, flow control, general value-of, AVTs,
+predicates (attribute, path-existence, negation, aggregates), dynamic
+conflicts, parent navigation, and forced unbinding — composed end to end
+and checked against the interpreter.
+"""
+
+import pytest
+
+from repro.core import compose
+from repro.core.optimize import prune_stylesheet_view
+from repro.schema_tree import materialize
+from repro.schema_tree.io import view_from_xml, view_to_xml
+from repro.workloads.hotel import HotelDataSpec, build_hotel_database
+from repro.workloads.paper import figure1_view
+from repro.xmlcore import canonical_form
+from repro.xslt import apply_stylesheet, parse_stylesheet
+
+KITCHEN_SINK = """
+<xsl:template match="/">
+  <report>
+    <xsl:apply-templates select="metro"/>
+  </report>
+</xsl:template>
+
+<xsl:template match="metro">
+  <city name="{@metroname}">
+    <xsl:if test="hotel">
+      <has_hotels/>
+    </xsl:if>
+    <xsl:apply-templates select="confstat" mode="summary"/>
+    <xsl:apply-templates select="hotel[not(confroom[@capacity&gt;500])]"/>
+  </city>
+</xsl:template>
+
+<xsl:template match="metro/confstat" mode="summary">
+  <citywide cap="{@SUM_capacity}"/>
+</xsl:template>
+
+<xsl:template match="hotel[@pool=1]" priority="3">
+  <pool_hotel stars="{@starrating}">
+    <xsl:apply-templates select="confstat"/>
+  </pool_hotel>
+</xsl:template>
+
+<xsl:template match="hotel">
+  <xsl:choose>
+    <xsl:when test="@gym = 1">
+      <gym_hotel><xsl:value-of select="confroom"/></gym_hotel>
+    </xsl:when>
+    <xsl:otherwise>
+      <plain_hotel id="{@hotelid}"/>
+    </xsl:otherwise>
+  </xsl:choose>
+</xsl:template>
+
+<xsl:template match="hotel/confstat">
+  <stats total="{@SUM_capacity}">
+    <xsl:apply-templates select="../confroom[@capacity&gt;100]"/>
+  </stats>
+</xsl:template>
+
+<xsl:template match="confroom">
+  <xsl:value-of select="."/>
+</xsl:template>
+"""
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = build_hotel_database(
+        HotelDataSpec(metros=4, hotels_per_metro=5, confrooms_per_hotel=3)
+    )
+    yield database
+    database.close()
+
+
+@pytest.fixture(scope="module")
+def view(db):
+    return figure1_view(db.catalog)
+
+
+@pytest.fixture(scope="module")
+def stylesheet():
+    return parse_stylesheet(KITCHEN_SINK)
+
+
+def test_kitchen_sink_composes(view, db, stylesheet):
+    composed = compose(view, stylesheet, db.catalog)
+    naive = apply_stylesheet(stylesheet, materialize(view, db))
+    assert canonical_form(naive, ordered=False) == canonical_form(
+        materialize(composed, db), ordered=False
+    )
+
+
+def test_kitchen_sink_output_is_nontrivial(view, db, stylesheet):
+    naive = apply_stylesheet(stylesheet, materialize(view, db))
+    tags = {e.tag for e in naive.iter_elements()}
+    # Every feature path must actually fire on the test data.
+    assert {"city", "has_hotels", "citywide", "stats"} <= tags
+    assert ("pool_hotel" in tags) or ("gym_hotel" in tags) or ("plain_hotel" in tags)
+
+
+def test_kitchen_sink_survives_pruning(view, db, stylesheet):
+    composed = compose(view, stylesheet, db.catalog)
+    before = canonical_form(materialize(composed, db), ordered=False)
+    prune_stylesheet_view(composed, db.catalog)
+    after = canonical_form(materialize(composed, db), ordered=False)
+    assert before == after
+
+
+def test_kitchen_sink_view_roundtrips_through_xml(view, db, stylesheet):
+    composed = compose(view, stylesheet, db.catalog)
+    restored = view_from_xml(view_to_xml(composed), db.catalog)
+    assert canonical_form(materialize(composed, db)) == canonical_form(
+        materialize(restored, db)
+    )
+
+
+def test_kitchen_sink_composed_never_touches_availability(view, db, stylesheet):
+    from repro.sql.analysis import referenced_tables
+
+    composed = compose(view, stylesheet, db.catalog)
+    tables = set()
+    for node in composed.nodes(include_root=False):
+        if node.tag_query is not None:
+            tables.update(referenced_tables(node.tag_query))
+    assert "availability" not in tables
+    assert "guestroom" not in tables

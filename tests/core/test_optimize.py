@@ -1,0 +1,103 @@
+"""Tests for dead-column elimination on composed views."""
+
+import pytest
+
+from repro.core import compose
+from repro.core.optimize import prune_stylesheet_view, required_columns
+from repro.schema_tree import materialize
+from repro.sql.printer import print_select
+from repro.workloads.hotel import HotelDataSpec, build_hotel_database
+from repro.workloads.paper import (
+    figure1_view,
+    figure4_stylesheet,
+    figure15_stylesheet,
+    figure17_stylesheet,
+)
+from repro.xmlcore import canonical_form
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = build_hotel_database(HotelDataSpec(metros=3, hotels_per_metro=4))
+    yield database
+    database.close()
+
+
+@pytest.fixture(scope="module")
+def view(db):
+    return figure1_view(db.catalog)
+
+
+@pytest.mark.parametrize(
+    "stylesheet_factory",
+    [figure4_stylesheet, figure15_stylesheet, figure17_stylesheet],
+)
+def test_pruning_preserves_output(view, db, stylesheet_factory):
+    stylesheet = stylesheet_factory()
+    composed = compose(view, stylesheet, db.catalog)
+    before = canonical_form(materialize(composed, db), ordered=False)
+    report = prune_stylesheet_view(composed, db.catalog)
+    after = canonical_form(materialize(composed, db), ordered=False)
+    assert before == after
+    assert report.columns_removed > 0
+
+
+def test_pruning_keeps_descendant_parameters(view, db):
+    composed = compose(view, figure4_stylesheet(), db.catalog)
+    prune_stylesheet_view(composed, db.catalog)
+    nodes = {n.tag: n for n in composed.nodes(include_root=False)}
+    # result_confstat carries no attributes but its confroom child
+    # references $s_new.hotelid — that column must survive.
+    sql = print_select(nodes["result_confstat"].tag_query)
+    assert "hotelid" in sql
+    # The nine other carried hotel columns are gone.
+    assert "TEMP.gym" not in sql.split("GROUP BY")[0]
+
+
+def test_pruning_keeps_attr_columns(view, db):
+    composed = compose(view, figure4_stylesheet(), db.catalog)
+    prune_stylesheet_view(composed, db.catalog)
+    nodes = {n.tag: n for n in composed.nodes(include_root=False)}
+    sql = print_select(nodes["confroom"].tag_query)
+    for column in ["c_id", "chotel_id", "croomnumber", "capacity", "rackrate"]:
+        assert column in sql
+
+
+def test_group_by_untouched(view, db):
+    composed = compose(view, figure4_stylesheet(), db.catalog)
+    nodes = {n.tag: n for n in composed.nodes(include_root=False)}
+    group_before = len(nodes["result_confstat"].tag_query.group_by)
+    prune_stylesheet_view(composed, db.catalog)
+    assert len(nodes["result_confstat"].tag_query.group_by) == group_before
+
+
+def test_required_columns_computation(view, db):
+    composed = compose(view, figure4_stylesheet(), db.catalog)
+    nodes = {n.tag: n for n in composed.nodes(include_root=False)}
+    assert required_columns(nodes["result_confstat"]) == {"hotelid"}
+    assert required_columns(nodes["confroom"]) == {
+        "c_id", "chotel_id", "croomnumber", "capacity", "rackrate",
+    }
+
+
+def test_publishing_views_not_pruned(view, db):
+    """attr_columns=None (surface everything) disables pruning."""
+    report = prune_stylesheet_view(view, db.catalog)
+    assert report.columns_removed == 0
+
+
+def test_aggregate_cardinality_preserved(db):
+    """Pruning an ungrouped aggregate must not change its 1-row output."""
+    from repro.schema_tree.builder import ViewBuilder
+
+    builder = ViewBuilder(db.catalog)
+    builder.node(
+        "summary",
+        "SELECT SUM(capacity) FROM confroom",
+        bv="s",
+        attr_columns=[],
+    )
+    view = builder.build()
+    prune_stylesheet_view(view, db.catalog)
+    doc = materialize(view, db)
+    assert len(doc.child_elements()) == 1

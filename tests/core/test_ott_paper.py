@@ -1,0 +1,121 @@
+"""Golden tests: Output Tag Trees (Figures 7(b) and 14) and their limits."""
+
+import pytest
+
+from repro.errors import UnsupportedFeatureError
+from repro.core.ctg import build_ctg
+from repro.core.ott import APPLY, CONTEXT, ELEMENT, PSEUDO, connect_otts, generate_ott
+from repro.core.tvq import build_tvq
+from repro.workloads.hotel import hotel_catalog
+from repro.workloads.paper import figure1_view, figure4_stylesheet
+from repro.xslt.parser import parse_stylesheet
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return hotel_catalog()
+
+
+@pytest.fixture(scope="module")
+def view(catalog):
+    return figure1_view(catalog)
+
+
+@pytest.fixture()
+def tvq(view, catalog):
+    return build_tvq(build_ctg(view, figure4_stylesheet()), catalog)
+
+
+def test_figure14_root_rule_ott(tvq, catalog):
+    tree = generate_ott(tvq.root, catalog)
+    assert tree.kind == PSEUDO
+    html = tree.children[0]
+    assert (html.kind, html.tag) == (ELEMENT, "HTML")
+    head, body = html.children
+    assert head.tag == "HEAD"
+    assert body.tag == "BODY"
+    assert body.children[0].kind == APPLY
+
+
+def test_figure14_confroom_rule_ott(tvq, catalog):
+    confroom_node = tvq.root.children[0].children[0].children[0]
+    tree = generate_ott(confroom_node, catalog)
+    context = tree.children[0]
+    assert context.kind == CONTEXT
+    assert context.tag == "confroom"
+    assert context.context_columns == [
+        "c_id", "chotel_id", "croomnumber", "capacity", "rackrate",
+    ]
+
+
+def test_connect_replaces_apply_placeholders(tvq, catalog):
+    otts = {id(n): generate_ott(n, catalog) for n in tvq.root.walk()}
+    root = connect_otts(tvq.root, otts)
+    kinds = [n.kind for n in root.walk()]
+    assert APPLY not in kinds
+    # Figure 7(b): HTML > BODY > pseudo(result_metro) > ... chain.
+    body = root.children[0].children[1]
+    assert body.children[0].kind == PSEUDO
+    result_metro = body.children[0].children[0]
+    assert result_metro.tag == "result_metro"
+
+
+def test_apply_selecting_nothing_drops_placeholder(view, catalog):
+    stylesheet = parse_stylesheet(
+        '<xsl:template match="/"><r><xsl:apply-templates select="ghost"/></r></xsl:template>'
+    )
+    tvq = build_tvq(build_ctg(view, stylesheet), catalog)
+    otts = {id(n): generate_ott(n, catalog) for n in tvq.root.walk()}
+    root = connect_otts(tvq.root, otts)
+    r = root.children[0]
+    assert r.children == []
+
+
+def test_value_of_attribute_becomes_data_attr(view, catalog):
+    stylesheet = parse_stylesheet(
+        '<xsl:template match="/"><xsl:apply-templates select="metro"/></xsl:template>'
+        '<xsl:template match="metro"><m><xsl:value-of select="@metroname"/></m></xsl:template>'
+    )
+    tvq = build_tvq(build_ctg(view, stylesheet), catalog)
+    metro_node = tvq.root.children[0]
+    tree = generate_ott(metro_node, catalog)
+    m = tree.children[0]
+    assert m.data_attrs == [("metroname", "metroname")]
+
+
+def unsupported_body(body):
+    return (
+        '<xsl:template match="/"><xsl:apply-templates select="metro"/></xsl:template>'
+        f'<xsl:template match="metro">{body}</xsl:template>'
+    )
+
+
+@pytest.mark.parametrize(
+    "body,feature",
+    [
+        ("<m>text</m>", "text-output"),
+        ('<xsl:copy-of select="."/>', "copy-of"),
+        ('<xsl:value-of select="hotel/confstat"/>', "value-of"),
+        ('<xsl:value-of select="@metroname"/>', "value-of"),
+        (
+            '<xsl:apply-templates select="hotel">'
+            '<xsl:with-param name="x" select="1"/></xsl:apply-templates>',
+            "with-param",
+        ),
+    ],
+)
+def test_unsupported_output_features_raise(view, catalog, body, feature):
+    stylesheet = parse_stylesheet(unsupported_body(body))
+    tvq = build_tvq(build_ctg(view, stylesheet), catalog)
+    metro_node = tvq.root.children[0]
+    with pytest.raises(UnsupportedFeatureError) as exc:
+        generate_ott(metro_node, catalog)
+    assert exc.value.feature == feature
+
+
+def test_describe_renders_tree(tvq, catalog):
+    tree = generate_ott(tvq.root, catalog)
+    text = tree.describe()
+    assert "pseudo-root" in text
+    assert "<HTML>" in text
+    assert "apply-templates[metro]" in text

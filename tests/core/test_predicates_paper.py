@@ -1,0 +1,152 @@
+"""Golden tests for Section 5.1: predicate composition (Figures 17/18/20)."""
+
+import pytest
+
+from repro.core import compose
+from repro.core.predicates import (
+    FALSE_CONDITION,
+    OwnQueryResolver,
+    ParamResolver,
+    translate_predicate,
+)
+from repro.schema_tree import materialize
+from repro.sql.analysis import DictCatalog
+from repro.sql.parser import parse_select
+from repro.sql.printer import print_expr, print_select
+from repro.workloads.hotel import HotelDataSpec, build_hotel_database
+from repro.workloads.paper import figure1_view, figure17_stylesheet
+from repro.xmlcore import canonical_form
+from repro.xpath.parser import parse_expression
+from repro.xslt import apply_stylesheet
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = build_hotel_database(HotelDataSpec(metros=3, hotels_per_metro=4))
+    yield database
+    database.close()
+
+
+@pytest.fixture(scope="module")
+def view(db):
+    return figure1_view(db.catalog)
+
+
+def test_figure20_unbound_query(view, db):
+    composed = compose(view, figure17_stylesheet(), db.catalog)
+    nodes = {n.tag: n for n in composed.nodes(include_root=False)}
+    sql = print_select(nodes["confroom"].tag_query)
+    # Every condition of Figure 20, modulo canonical attribute naming and
+    # the semantically-correct $m_new for the metro predicate:
+    assert "chotel_id = $s_new.hotelid" in sql
+    assert "capacity > 250" in sql
+    assert "$s_new.SUM_capacity < 200" in sql
+    assert "$m_new.metroname = 'chicago'" in sql
+    assert "HAVING SUM(confroom.capacity) > 100" in sql.replace(
+        "SUM(capacity)", "SUM(confroom.capacity)"
+    )
+    assert sql.count("EXISTS") == 2
+
+
+def test_equivalence_theorem_figure17(view, db):
+    naive = apply_stylesheet(figure17_stylesheet(), materialize(view, db))
+    composed = materialize(compose(view, figure17_stylesheet(), db.catalog), db)
+    assert canonical_form(naive, ordered=False) == canonical_form(
+        composed, ordered=False
+    )
+
+
+# -- translate_predicate unit coverage ---------------------------------------
+
+CATALOG = DictCatalog({"confroom": ["c_id", "capacity"]})
+
+
+def own_resolver(sql="SELECT SUM(capacity) AS SUM_capacity, c_id FROM confroom"):
+    return OwnQueryResolver(parse_select(sql), CATALOG)
+
+
+def test_plain_comparison_goes_to_where():
+    translated = translate_predicate(parse_expression("@c_id > 5"), own_resolver())
+    assert not translated.needs_having
+    assert print_expr(translated.condition) == "c_id > 5"
+
+
+def test_aggregate_comparison_goes_to_having():
+    translated = translate_predicate(
+        parse_expression("@SUM_capacity > 100"), own_resolver()
+    )
+    assert translated.needs_having
+    assert print_expr(translated.condition) == "SUM(capacity) > 100"
+
+
+def test_star_columns_resolvable():
+    resolver = OwnQueryResolver(parse_select("SELECT * FROM confroom"), CATALOG)
+    translated = translate_predicate(parse_expression("@capacity = 1"), resolver)
+    assert print_expr(translated.condition) == "confroom.capacity = 1"
+
+
+def test_missing_attribute_is_statically_false():
+    translated = translate_predicate(parse_expression("@ghost = 1"), own_resolver())
+    assert translated.condition == FALSE_CONDITION
+
+
+def test_not_of_missing_attribute_is_true():
+    translated = translate_predicate(
+        parse_expression("not(@ghost = 1)"), own_resolver()
+    )
+    # Two-valued negation: NULL-valued comparisons coalesce to false
+    # before the NOT, so the result is statically true.
+    assert print_expr(translated.condition) == "NOT COALESCE(0 = 1, 0)"
+
+
+def test_bare_attribute_is_existence():
+    translated = translate_predicate(parse_expression("@c_id"), own_resolver())
+    assert "IS NULL" in print_expr(translated.condition)
+
+
+def test_boolean_connectives():
+    translated = translate_predicate(
+        parse_expression("@c_id = 1 or @capacity > 2 and @c_id != 3"),
+        own_resolver(),
+    )
+    text = print_expr(translated.condition)
+    assert "OR" in text and "AND" in text and "<>" in text
+
+
+def test_param_resolver_produces_parameters():
+    translated = translate_predicate(
+        parse_expression("@metroname = 'chicago'"),
+        ParamResolver("m_new", ["metroid", "metroname"]),
+    )
+    assert print_expr(translated.condition) == "$m_new.metroname = 'chicago'"
+
+
+def test_param_resolver_missing_column_false():
+    translated = translate_predicate(
+        parse_expression("@ghost = 1"), ParamResolver("m", ["metroid"])
+    )
+    assert translated.condition == FALSE_CONDITION
+
+
+def test_variables_rejected():
+    from repro.errors import UnsupportedFeatureError
+
+    with pytest.raises(UnsupportedFeatureError):
+        translate_predicate(parse_expression("@c_id < $idx"), own_resolver())
+
+
+def test_arithmetic_in_values():
+    resolver = OwnQueryResolver(parse_select("SELECT * FROM confroom"), CATALOG)
+    translated = translate_predicate(
+        parse_expression("@capacity - 100 > 50"), resolver
+    )
+    assert "- 100 > 50" in print_expr(translated.condition)
+
+
+def test_predicate_selectivity_observed(view, db):
+    """The chicago-only predicate of Figure 17 restricts output to one metro."""
+    composed = compose(view, figure17_stylesheet(), db.catalog)
+    doc = materialize(composed, db)
+    confrooms = [e for e in doc.iter_elements() if e.tag == "confroom"]
+    for confroom in confrooms:
+        assert int(confroom.get("capacity")) > 250

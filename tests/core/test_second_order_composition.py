@@ -1,0 +1,104 @@
+"""Closure: composed views are themselves composable.
+
+``compose(v, x1)`` returns an ordinary schema-tree query, so a second
+stylesheet can compose over it: ``compose(compose(v, x1), x2)(I)``
+must equal ``x2(x1(v(I)))``. The second composition exercises the
+query-less wrapper nodes composed views contain.
+"""
+
+import pytest
+
+from repro.core import compose
+from repro.errors import UnsupportedFeatureError
+from repro.schema_tree import materialize
+from repro.workloads.hotel import HotelDataSpec, build_hotel_database
+from repro.workloads.paper import figure1_view, figure4_stylesheet
+from repro.xmlcore import canonical_form
+from repro.xslt import apply_stylesheet, parse_stylesheet
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = build_hotel_database(HotelDataSpec(metros=3, hotels_per_metro=4))
+    yield database
+    database.close()
+
+
+@pytest.fixture(scope="module")
+def first_composed(db):
+    view = figure1_view(db.catalog)
+    return compose(view, figure4_stylesheet(), db.catalog)
+
+
+SECOND = (
+    '<xsl:template match="/"><page><xsl:apply-templates select="HTML/BODY/result_metro"/></page></xsl:template>'
+    '<xsl:template match="result_metro"><section>'
+    '<xsl:apply-templates select="result_confstat/confroom"/>'
+    "</section></xsl:template>"
+    '<xsl:template match="confroom"><room cap="{@capacity}"/></xsl:template>'
+)
+
+
+def test_second_order_equivalence(db, first_composed):
+    second = parse_stylesheet(SECOND)
+    twice_composed = compose(first_composed, second, db.catalog)
+    # Reference: interpret x2 over the materialized first composition.
+    intermediate = materialize(first_composed, db)
+    expected = apply_stylesheet(second, intermediate)
+    actual = materialize(twice_composed, db)
+    assert canonical_form(expected, ordered=False) == canonical_form(
+        actual, ordered=False
+    )
+
+
+def test_second_order_equals_sequential_interpretation(db, first_composed):
+    """compose(compose(v,x1),x2)(I) == x2(x1(v(I)))."""
+    view = figure1_view(db.catalog)
+    second = parse_stylesheet(SECOND)
+    x1_result = apply_stylesheet(figure4_stylesheet(), materialize(view, db))
+    expected = apply_stylesheet(second, x1_result)
+    twice_composed = compose(first_composed, second, db.catalog)
+    actual = materialize(twice_composed, db)
+    assert canonical_form(expected, ordered=False) == canonical_form(
+        actual, ordered=False
+    )
+
+
+def test_queryless_navigation_through_wrappers(db, first_composed):
+    """Selecting the literal HTML/BODY wrappers themselves."""
+    second = parse_stylesheet(
+        '<xsl:template match="/"><xsl:apply-templates select="HTML/BODY"/></xsl:template>'
+        '<xsl:template match="BODY"><body_found><xsl:apply-templates select="result_metro"/></body_found></xsl:template>'
+        '<xsl:template match="result_metro"><m/></xsl:template>'
+    )
+    twice = compose(first_composed, second, db.catalog)
+    intermediate = materialize(first_composed, db)
+    expected = apply_stylesheet(second, intermediate)
+    actual = materialize(twice, db)
+    assert canonical_form(expected, ordered=False) == canonical_form(
+        actual, ordered=False
+    )
+
+
+def test_predicate_on_queryless_wrapper_rejected(db, first_composed):
+    second = parse_stylesheet(
+        '<xsl:template match="/"><xsl:apply-templates select="HTML/BODY[@class=1]"/></xsl:template>'
+        '<xsl:template match="BODY"><b/></xsl:template>'
+    )
+    with pytest.raises(UnsupportedFeatureError) as exc:
+        compose(first_composed, second, db.catalog)
+    assert exc.value.feature == "queryless-target"
+
+
+def test_value_of_on_queryless_wrapper(db, first_composed):
+    second = parse_stylesheet(
+        '<xsl:template match="/"><xsl:apply-templates select="HTML/HEAD"/></xsl:template>'
+        '<xsl:template match="HEAD"><xsl:value-of select="."/></xsl:template>'
+    )
+    twice = compose(first_composed, second, db.catalog)
+    intermediate = materialize(first_composed, db)
+    expected = apply_stylesheet(second, intermediate)
+    actual = materialize(twice, db)
+    assert canonical_form(expected, ordered=False) == canonical_form(
+        actual, ordered=False
+    )

@@ -1,0 +1,204 @@
+"""xsl:sort: interpreter semantics and composition into ORDER BY."""
+
+import pytest
+
+from repro.core import compose
+from repro.errors import StylesheetParseError, UnsupportedFeatureError
+from repro.schema_tree import materialize
+from repro.sql.printer import print_select
+from repro.workloads.hotel import HotelDataSpec, build_hotel_database
+from repro.workloads.paper import figure1_view
+from repro.xmlcore import canonical_form, serialize
+from repro.xmlcore.parser import parse_document
+from repro.xslt import apply_stylesheet, parse_stylesheet
+
+DOC = parse_document(
+    """
+<metro>
+  <hotel hotelid="1" starrating="3" hotelname="bravo"/>
+  <hotel hotelid="2" starrating="5" hotelname="alpha"/>
+  <hotel hotelid="3" starrating="4" hotelname="alpha"/>
+</metro>
+"""
+)
+
+
+def run(stylesheet_text, doc=DOC):
+    return serialize(apply_stylesheet(parse_stylesheet(stylesheet_text), doc))
+
+
+def test_interpreter_sort_text_ascending():
+    out = run(
+        '<xsl:template match="/"><xsl:apply-templates select="metro"/></xsl:template>'
+        '<xsl:template match="metro">'
+        '<xsl:apply-templates select="hotel"><xsl:sort select="@hotelname"/></xsl:apply-templates>'
+        "</xsl:template>"
+        '<xsl:template match="hotel"><h id="{@hotelid}"/></xsl:template>'
+    )
+    # alpha(2), alpha(3) keep document order (stable), then bravo(1).
+    assert out == '<h id="2"/><h id="3"/><h id="1"/>'
+
+
+def test_interpreter_sort_number_descending():
+    out = run(
+        '<xsl:template match="/"><xsl:apply-templates select="metro"/></xsl:template>'
+        '<xsl:template match="metro">'
+        '<xsl:apply-templates select="hotel">'
+        '<xsl:sort select="@starrating" data-type="number" order="descending"/>'
+        "</xsl:apply-templates></xsl:template>"
+        '<xsl:template match="hotel"><h id="{@hotelid}"/></xsl:template>'
+    )
+    assert out == '<h id="2"/><h id="3"/><h id="1"/>'
+
+
+def test_interpreter_multi_key_sort():
+    out = run(
+        '<xsl:template match="/"><xsl:apply-templates select="metro"/></xsl:template>'
+        '<xsl:template match="metro">'
+        '<xsl:apply-templates select="hotel">'
+        '<xsl:sort select="@hotelname"/>'
+        '<xsl:sort select="@starrating" data-type="number"/>'
+        "</xsl:apply-templates></xsl:template>"
+        '<xsl:template match="hotel"><h id="{@hotelid}"/></xsl:template>'
+    )
+    # alpha/4 (id 3) before alpha/5 (id 2), then bravo.
+    assert out == '<h id="3"/><h id="2"/><h id="1"/>'
+
+
+def test_text_sort_of_numbers_is_lexicographic():
+    doc = parse_document(
+        '<metro><hotel hotelid="1" starrating="10"/><hotel hotelid="2" starrating="9"/></metro>'
+    )
+    out = run(
+        '<xsl:template match="/"><xsl:apply-templates select="metro"/></xsl:template>'
+        '<xsl:template match="metro">'
+        '<xsl:apply-templates select="hotel"><xsl:sort select="@starrating"/></xsl:apply-templates>'
+        "</xsl:template>"
+        '<xsl:template match="hotel"><h id="{@hotelid}"/></xsl:template>',
+        doc=doc,
+    )
+    # "10" < "9" as text.
+    assert out == '<h id="1"/><h id="2"/>'
+
+
+@pytest.mark.parametrize("bad", ['order="sideways"', 'data-type="date"'])
+def test_bad_sort_attributes_rejected(bad):
+    with pytest.raises(StylesheetParseError):
+        parse_stylesheet(
+            '<xsl:template match="a">'
+            f'<xsl:apply-templates select="b"><xsl:sort select="@x" {bad}/></xsl:apply-templates>'
+            "</xsl:template>"
+        )
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = build_hotel_database(HotelDataSpec(metros=2, hotels_per_metro=6))
+    yield database
+    database.close()
+
+
+SORTED_SHEET = (
+    '<xsl:template match="/"><out><xsl:apply-templates select="metro"/></out></xsl:template>'
+    '<xsl:template match="metro"><m>'
+    '<xsl:apply-templates select="hotel">'
+    '<xsl:sort select="@starrating" data-type="number" order="descending"/>'
+    '<xsl:sort select="@hotelid" data-type="number"/>'
+    "</xsl:apply-templates></m></xsl:template>"
+    '<xsl:template match="hotel"><h id="{@hotelid}" stars="{@starrating}"/></xsl:template>'
+)
+
+
+def test_sort_composes_to_order_by(db):
+    view = figure1_view(db.catalog)
+    composed = compose(view, parse_stylesheet(SORTED_SHEET), db.catalog)
+    h = next(n for n in composed.nodes(include_root=False) if n.tag == "h")
+    sql = print_select(h.tag_query)
+    assert "ORDER BY" in sql
+    assert "starrating DESC" in sql.replace("hotel.starrating", "starrating")
+
+
+def test_sorted_composition_ordered_equivalence(db):
+    view = figure1_view(db.catalog)
+    stylesheet = parse_stylesheet(SORTED_SHEET)
+    naive = apply_stylesheet(stylesheet, materialize(view, db))
+    composed = materialize(compose(view, stylesheet, db.catalog), db)
+    assert canonical_form(naive, ordered=True) == canonical_form(
+        composed, ordered=True
+    )
+
+
+def test_sort_on_collapsed_chain(db):
+    """Sorting confrooms selected through hotel/confroom: the global (per
+    metro) ordering the interpreter produces must match the composed
+    ORDER BY, which replaces the hotel-major chain order."""
+    view = figure1_view(db.catalog)
+    stylesheet = parse_stylesheet(
+        '<xsl:template match="/"><out><xsl:apply-templates select="metro"/></out></xsl:template>'
+        '<xsl:template match="metro"><m>'
+        '<xsl:apply-templates select="hotel/confroom">'
+        '<xsl:sort select="@capacity" data-type="number"/>'
+        '<xsl:sort select="@c_id" data-type="number"/>'
+        "</xsl:apply-templates></m></xsl:template>"
+        '<xsl:template match="confroom"><c cap="{@capacity}" id="{@c_id}"/></xsl:template>'
+    )
+    naive = apply_stylesheet(stylesheet, materialize(view, db))
+    composed = materialize(compose(view, stylesheet, db.catalog), db)
+    assert canonical_form(naive, ordered=True) == canonical_form(
+        composed, ordered=True
+    )
+
+
+def test_non_attribute_sort_key_rejected(db):
+    view = figure1_view(db.catalog)
+    stylesheet = parse_stylesheet(
+        '<xsl:template match="/"><out><xsl:apply-templates select="metro"/></out></xsl:template>'
+        '<xsl:template match="metro"><m>'
+        '<xsl:apply-templates select="hotel"><xsl:sort select="."/></xsl:apply-templates>'
+        "</m></xsl:template>"
+        '<xsl:template match="hotel"><h/></xsl:template>'
+    )
+    with pytest.raises(UnsupportedFeatureError) as exc:
+        compose(view, stylesheet, db.catalog)
+    assert exc.value.feature == "sort"
+
+
+def test_text_sort_of_numeric_column_composes_lexicographically(db):
+    """data-type="text" on a numeric column must sort as strings on both
+    sides (the composed ORDER BY coerces with || '')."""
+    view = figure1_view(db.catalog)
+    stylesheet = parse_stylesheet(
+        '<xsl:template match="/"><out><xsl:apply-templates select="metro"/></out></xsl:template>'
+        '<xsl:template match="metro"><m>'
+        '<xsl:apply-templates select="hotel/confroom">'
+        '<xsl:sort select="@rackrate"/>'
+        '<xsl:sort select="@c_id" data-type="number"/>'
+        "</xsl:apply-templates></m></xsl:template>"
+        '<xsl:template match="confroom"><c rate="{@rackrate}" id="{@c_id}"/></xsl:template>'
+    )
+    naive = apply_stylesheet(stylesheet, materialize(view, db))
+    composed = materialize(compose(view, stylesheet, db.catalog), db)
+    assert canonical_form(naive, ordered=True) == canonical_form(
+        composed, ordered=True
+    )
+
+
+def test_for_each_with_sort_interprets_and_composes(db):
+    view = figure1_view(db.catalog)
+    stylesheet = parse_stylesheet(
+        '<xsl:template match="/"><out><xsl:apply-templates select="metro"/></out></xsl:template>'
+        '<xsl:template match="metro"><m>'
+        '<xsl:for-each select="hotel">'
+        '<xsl:sort select="@starrating" data-type="number" order="descending"/>'
+        '<h stars="{@starrating}" id="{@hotelid}"/>'
+        "</xsl:for-each></m></xsl:template>"
+    )
+    naive = apply_stylesheet(stylesheet, materialize(view, db))
+    # The interpreter sorts within each metro.
+    for m in naive.child_elements()[0].child_elements():
+        stars = [int(h.get("stars")) for h in m.child_elements()]
+        assert stars == sorted(stars, reverse=True)
+    composed = materialize(compose(view, stylesheet, db.catalog), db)
+    assert canonical_form(naive, ordered=True) == canonical_form(
+        composed, ordered=True
+    )

@@ -1,0 +1,115 @@
+"""Direct unit tests for Step 4 edge cases (pseudo-root elimination)."""
+
+import pytest
+
+from repro.core import compose
+from repro.schema_tree import materialize
+from repro.sql.printer import print_select
+from repro.workloads.hotel import HotelDataSpec, build_hotel_database
+from repro.workloads.paper import figure1_view
+from repro.xmlcore import canonical_form
+from repro.xslt import apply_stylesheet, parse_stylesheet
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = build_hotel_database(HotelDataSpec(metros=2, hotels_per_metro=4))
+    yield database
+    database.close()
+
+
+@pytest.fixture(scope="module")
+def view(db):
+    return figure1_view(db.catalog)
+
+
+def compose_and_check(view, stylesheet_text, db):
+    stylesheet = parse_stylesheet(stylesheet_text)
+    composed = compose(view, stylesheet, db.catalog)
+    naive = apply_stylesheet(stylesheet, materialize(view, db))
+    assert canonical_form(naive, ordered=False) == canonical_form(
+        materialize(composed, db), ordered=False
+    )
+    return composed
+
+
+def test_multiple_siblings_share_query_with_distinct_bvs(view, db):
+    """A rule with two top-level elements: both get query copies with
+    renamed binding variables (Figure 9 line 41)."""
+    composed = compose_and_check(
+        view,
+        '<xsl:template match="/"><out><xsl:apply-templates select="metro"/></out></xsl:template>'
+        '<xsl:template match="metro">'
+        '<first name="{@metroname}"/>'
+        '<second><xsl:apply-templates select="hotel"/></second>'
+        "</xsl:template>"
+        '<xsl:template match="hotel"><h/></xsl:template>',
+        db,
+    )
+    nodes = {n.tag: n for n in composed.nodes(include_root=False)}
+    assert nodes["first"].bv != nodes["second"].bv
+    assert print_select(nodes["first"].tag_query) == print_select(
+        nodes["second"].tag_query
+    )
+    # The hotel child under "second" references second's bv, not first's.
+    h = nodes["h"]
+    from repro.sql.params import referenced_vars
+
+    assert referenced_vars(h.tag_query) == [nodes["second"].bv]
+
+
+def test_root_rule_with_bare_apply(view, db):
+    """Root body is nothing but apply-templates: the child rule's nodes
+    become top-level."""
+    composed = compose_and_check(
+        view,
+        '<xsl:template match="/"><xsl:apply-templates select="metro"/></xsl:template>'
+        '<xsl:template match="metro"><m><xsl:value-of select="."/></m></xsl:template>',
+        db,
+    )
+    assert [n.tag for n in composed.root.children] == ["m"]
+    assert composed.root.children[0].tag_query is not None
+
+
+def test_fully_bare_chain_to_top_level(view, db):
+    """Every rule is a bare apply: the deepest rule's output surfaces at
+    top level with all queries merged."""
+    composed = compose_and_check(
+        view,
+        '<xsl:template match="/"><xsl:apply-templates select="metro"/></xsl:template>'
+        '<xsl:template match="metro"><xsl:apply-templates select="hotel"/></xsl:template>'
+        '<xsl:template match="hotel"><deep><xsl:value-of select="."/></deep></xsl:template>',
+        db,
+    )
+    assert [n.tag for n in composed.root.children] == ["deep"]
+    sql = print_select(composed.root.children[0].tag_query)
+    assert "metroarea" in sql and "hotel" in sql
+
+
+def test_nested_literal_structure_preserved(view, db):
+    composed = compose_and_check(
+        view,
+        '<xsl:template match="/"><a><b><c><xsl:apply-templates select="metro"/></c></b></a></xsl:template>'
+        '<xsl:template match="metro"><m/></xsl:template>',
+        db,
+    )
+    a = composed.root.children[0]
+    assert a.tag == "a" and a.tag_query is None
+    c = a.children[0].children[0]
+    assert c.tag == "c"
+    assert c.children[0].tag == "m"
+    assert c.children[0].tag_query is not None
+
+
+def test_two_value_of_context_elements(view, db):
+    """Two value-of '.' in one rule: two context elements per tuple."""
+    composed = compose_and_check(
+        view,
+        '<xsl:template match="/"><out><xsl:apply-templates select="metro"/></out></xsl:template>'
+        '<xsl:template match="metro"><w><xsl:value-of select="."/>'
+        '<xsl:value-of select="."/></w></xsl:template>',
+        db,
+    )
+    w = composed.root.children[0].children[0]
+    metros = [c for c in w.children if c.tag == "metro"]
+    assert len(metros) == 2

@@ -1,0 +1,42 @@
+"""Tests for DOT rendering of composition structures."""
+
+from repro.core.ctg import build_ctg
+from repro.core.tvq import build_tvq
+from repro.core.visualize import ctg_to_dot, tvq_to_dot, view_to_dot
+from repro.workloads.hotel import hotel_catalog
+from repro.workloads.paper import figure1_view, figure4_stylesheet
+
+
+def test_view_to_dot():
+    view = figure1_view(hotel_catalog())
+    dot = view_to_dot(view)
+    assert dot.startswith("digraph view {")
+    assert '"(1) <metro> $m"' in dot
+    assert "n1 -> n3;" in dot  # metro -> hotel
+    assert dot.rstrip().endswith("}")
+
+
+def test_ctg_to_dot():
+    view = figure1_view(hotel_catalog())
+    ctg = build_ctg(view, figure4_stylesheet())
+    dot = ctg_to_dot(ctg)
+    assert '"((0, root), R1)"' in dot
+    assert 'label="hotel/confstat"' in dot
+    assert dot.count("->") == len(ctg.edges)
+
+
+def test_tvq_to_dot():
+    catalog = hotel_catalog()
+    view = figure1_view(catalog)
+    tvq = build_tvq(build_ctg(view, figure4_stylesheet()), catalog)
+    dot = tvq_to_dot(tvq)
+    assert "$m_new" in dot
+    assert dot.count("->") == tvq.size() - 1
+
+
+def test_quotes_escaped():
+    view = figure1_view(hotel_catalog())
+    dot = view_to_dot(view)
+    # every label is quoted and parse-safe (no stray unescaped quotes)
+    for line in dot.splitlines():
+        assert line.count('"') % 2 == 0

@@ -1,0 +1,62 @@
+"""Unit tests for the strategy runners used by experiments/benchmarks."""
+
+import pytest
+
+from repro.harness.runners import run_composed, run_hybrid, run_naive, run_qtree
+from repro.workloads.hotel import HotelDataSpec, build_hotel_database
+from repro.workloads.paper import (
+    figure1_view,
+    figure4_stylesheet,
+    qtree_compatible_stylesheet,
+)
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = build_hotel_database(HotelDataSpec(metros=2))
+    yield database
+    database.close()
+
+
+@pytest.fixture(scope="module")
+def view(db):
+    return figure1_view(db.catalog)
+
+
+def test_run_naive_counters(db, view):
+    run = run_naive(view, figure4_stylesheet(), db)
+    assert run.strategy == "naive"
+    assert run.seconds > 0
+    assert run.queries > 0
+    assert run.elements_materialized > 0
+
+
+def test_run_composed_matches_and_reports_compose_time(db, view):
+    naive = run_naive(view, figure4_stylesheet(), db)
+    composed = run_composed(view, figure4_stylesheet(), db.catalog, db)
+    assert composed.matches(naive)
+    assert composed.compose_seconds > 0
+    assert composed.queries < naive.queries
+
+
+def test_run_composed_with_precomposed_view(db, view):
+    from repro.core import compose
+
+    precomposed = compose(view, figure4_stylesheet(), db.catalog)
+    run = run_composed(
+        view, figure4_stylesheet(), db.catalog, db, precomposed=precomposed
+    )
+    assert run.elements_materialized > 0
+
+
+def test_run_qtree_notes_paths(db, view):
+    run = run_qtree(view, qtree_compatible_stylesheet(), db.catalog, db)
+    assert run.strategy == "qtree"
+    assert any("path queries" in note for note in run.notes)
+
+
+def test_run_hybrid_reports_plan_kind(db, view):
+    run = run_hybrid(view, figure4_stylesheet(), db.catalog, db)
+    assert run.strategy == "hybrid/composed"
+    naive = run_naive(view, figure4_stylesheet(), db)
+    assert run.matches(naive)

@@ -1,0 +1,113 @@
+"""Unit tests for the sqlite engine wrapper."""
+
+import pytest
+
+from repro.errors import ViewEvaluationError
+from repro.relational.engine import Database
+from repro.relational.schema import Catalog, table
+from repro.sql.parser import parse_select
+
+
+@pytest.fixture()
+def db():
+    catalog = Catalog(
+        [
+            table("parent", ("id", "INTEGER"), ("name", "TEXT"), primary_key="id"),
+            table(
+                "child",
+                ("id", "INTEGER"),
+                ("parent_id", "INTEGER"),
+                ("val", "REAL"),
+                primary_key="id",
+            ),
+        ]
+    )
+    database = Database(catalog)
+    database.insert_rows(
+        "parent", [{"id": 1, "name": "a"}, {"id": 2, "name": "b"}]
+    )
+    database.insert_rows(
+        "child",
+        [
+            {"id": 10, "parent_id": 1, "val": 1.5},
+            {"id": 11, "parent_id": 1, "val": 2.5},
+            {"id": 12, "parent_id": 2, "val": None},
+        ],
+    )
+    yield database
+    database.close()
+
+
+def test_table_count(db):
+    assert db.table_count("parent") == 2
+    assert db.table_count("child") == 3
+
+
+def test_insert_missing_column_raises(db):
+    with pytest.raises(ViewEvaluationError):
+        db.insert_rows("parent", [{"id": 3}])
+
+
+def test_closed_query(db):
+    rows = db.run_query(parse_select("SELECT * FROM parent"))
+    assert [r["name"] for r in rows] == ["a", "b"]
+
+
+def test_parameterized_query_binds_env(db):
+    query = parse_select("SELECT * FROM child WHERE parent_id = $p.id")
+    rows = db.run_query(query, {"p": {"id": 1}})
+    assert [r["id"] for r in rows] == [10, 11]
+
+
+def test_unbound_variable_raises(db):
+    query = parse_select("SELECT * FROM child WHERE parent_id = $p.id")
+    with pytest.raises(ViewEvaluationError):
+        db.run_query(query, {})
+
+
+def test_missing_column_in_binding_raises(db):
+    query = parse_select("SELECT * FROM child WHERE parent_id = $p.id")
+    with pytest.raises(ViewEvaluationError):
+        db.run_query(query, {"p": {"other": 1}})
+
+
+def test_null_values_surface_as_none(db):
+    rows = db.run_query(parse_select("SELECT * FROM child WHERE id = 12"))
+    assert rows[0]["val"] is None
+
+
+def test_duplicate_result_columns_suffixed(db):
+    rows = db.run_sql("SELECT id, id FROM parent WHERE id = 1")
+    # run_sql uses plain zip; run_query disambiguates:
+    query = parse_select("SELECT id, id FROM parent WHERE id = 1")
+    rows = db.run_query(query)
+    assert set(rows[0]) == {"id", "id__2"}
+
+
+def test_stats_accumulate(db):
+    db.stats.reset()
+    db.run_query(parse_select("SELECT * FROM parent"))
+    db.run_query(parse_select("SELECT * FROM child"))
+    assert db.stats.queries_executed == 2
+    assert db.stats.rows_fetched == 5
+
+
+def test_sql_error_wrapped(db):
+    query = parse_select("SELECT ghost FROM parent")
+    with pytest.raises(ViewEvaluationError):
+        db.run_query(query)
+
+
+def test_sql_cache_not_confused_by_new_objects(db):
+    first = parse_select("SELECT * FROM parent")
+    second = parse_select("SELECT * FROM child")
+    assert len(db.run_query(first)) == 2
+    assert len(db.run_query(second)) == 3
+    assert len(db.run_query(first)) == 2
+
+
+def test_context_manager():
+    catalog = Catalog([table("t", ("x", "INTEGER"))])
+    with Database(catalog) as database:
+        database.insert_rows("t", [{"x": 1}])
+        assert database.table_count("t") == 1

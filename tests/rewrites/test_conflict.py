@@ -1,0 +1,148 @@
+"""Unit + behaviour tests for conflict resolution (Figure 24, corrected)."""
+
+import pytest
+
+from repro.errors import UnsupportedFeatureError
+from repro.core.rewrites.conflict import resolve_conflicts
+from repro.core.rewrites.pipeline import rewrite_to_basic
+from repro.xmlcore.canonical import documents_equal
+from repro.xmlcore.parser import parse_document
+from repro.xslt.parser import parse_stylesheet
+from repro.xslt.processor import apply_stylesheet
+
+DOC = parse_document(
+    """
+<metro>
+  <hotel starrating="5"><confroom capacity="300"/></hotel>
+  <hotel starrating="3"><confroom capacity="100"/></hotel>
+</metro>
+"""
+)
+
+
+def assert_rewrite_preserves(stylesheet_text, doc=DOC):
+    original = parse_stylesheet(stylesheet_text)
+    resolved = resolve_conflicts(original)
+    before = apply_stylesheet(original, doc)
+    after = apply_stylesheet(resolved, doc)
+    assert documents_equal(before, after, ordered=True)
+    return resolved
+
+
+ROOT = '<xsl:template match="/"><out><xsl:apply-templates select="metro/hotel/confroom"/></out></xsl:template>'
+
+
+def test_non_conflicting_rules_pass_through():
+    stylesheet = parse_stylesheet(
+        ROOT + '<xsl:template match="confroom"><c/></xsl:template>'
+    )
+    resolved = resolve_conflicts(stylesheet)
+    assert resolved.size() == stylesheet.size()
+
+
+def test_dispatcher_prefers_higher_priority():
+    resolved = assert_rewrite_preserves(
+        ROOT
+        + '<xsl:template match="confroom"><generic/></xsl:template>'
+        + '<xsl:template match="hotel/confroom"><specific/></xsl:template>'
+    )
+    # One dispatcher in the default mode, two branch rules in fresh modes.
+    default_rules = [
+        r for r in resolved.rules
+        if r.mode == "" and r.match.last_name == "confroom"
+    ]
+    assert len(default_rules) == 1
+
+
+def test_dispatcher_output_matches_priorities():
+    out = apply_stylesheet(
+        rewrite_to_basic(
+            parse_stylesheet(
+                ROOT
+                + '<xsl:template match="confroom"><generic/></xsl:template>'
+                + '<xsl:template match="hotel/confroom"><specific/></xsl:template>'
+            ),
+            with_conflict_resolution=True,
+        ),
+        DOC,
+    )
+    from repro.xmlcore.serializer import serialize
+
+    assert serialize(out) == "<out><specific/><specific/></out>"
+
+
+def test_predicate_patterns_dispatch_dynamically():
+    assert_rewrite_preserves(
+        '<xsl:template match="/"><out><xsl:apply-templates select="metro/hotel"/></out></xsl:template>'
+        + '<xsl:template match="hotel[@starrating&gt;4]" priority="2"><lux/></xsl:template>'
+        + '<xsl:template match="hotel"><plain/></xsl:template>'
+    )
+
+
+def test_node_matching_only_lower_priority_rule_still_fires():
+    """The corrected Figure 24: a node matched only by the low-priority
+    pattern must still be processed (see conflict.py docstring)."""
+    assert_rewrite_preserves(
+        '<xsl:template match="/"><out>'
+        '<xsl:apply-templates select="metro/hotel"/>'
+        "</out></xsl:template>"
+        # High priority only matches 5-star hotels; plain matches all.
+        + '<xsl:template match="hotel[@starrating&gt;4]" priority="5"><lux/></xsl:template>'
+        + '<xsl:template match="hotel"><plain/></xsl:template>'
+    )
+
+
+def test_explicit_priorities_respected():
+    assert_rewrite_preserves(
+        ROOT
+        + '<xsl:template match="confroom" priority="9"><winner/></xsl:template>'
+        + '<xsl:template match="hotel/confroom"><loser/></xsl:template>'
+    )
+
+
+def test_star_pattern_groups_whole_mode():
+    resolved = assert_rewrite_preserves(
+        '<xsl:template match="/"><out><xsl:apply-templates select="metro/hotel"/></out></xsl:template>'
+        + '<xsl:template match="*"><any/></xsl:template>'
+        + '<xsl:template match="hotel"><h/></xsl:template>'
+    )
+    dispatchers = [r for r in resolved.rules if r.match.to_text() == "*" and r.mode == ""]
+    assert len(dispatchers) == 1
+
+
+def test_multiple_root_rules_rejected():
+    stylesheet = parse_stylesheet(
+        '<xsl:template match="/"><a/></xsl:template>'
+        '<xsl:template match="/"><b/></xsl:template>'
+    )
+    with pytest.raises(UnsupportedFeatureError):
+        resolve_conflicts(stylesheet)
+
+
+def test_reversed_patterns_check_ancestry():
+    """A 'metro/confroom' rule must NOT fire for hotel/confroom nodes."""
+    assert_rewrite_preserves(
+        ROOT
+        + '<xsl:template match="metro/confroom" priority="3"><wrong_parent/></xsl:template>'
+        + '<xsl:template match="confroom"><right/></xsl:template>'
+    )
+
+
+def test_composition_after_conflict_rewrite(hotel_db):
+    """End-to-end: dynamic conflicts compose through compose()."""
+    from repro.core import compose
+    from repro.schema_tree import materialize
+    from repro.workloads.paper import figure1_view
+    from repro.xmlcore import canonical_form
+
+    view = figure1_view(hotel_db.catalog)
+    stylesheet = parse_stylesheet(
+        '<xsl:template match="/"><out><xsl:apply-templates select="metro/hotel"/></out></xsl:template>'
+        '<xsl:template match="hotel[@pool=1]" priority="2"><pool_hotel/></xsl:template>'
+        '<xsl:template match="hotel"><plain_hotel/></xsl:template>'
+    )
+    naive = apply_stylesheet(stylesheet, materialize(view, hotel_db))
+    composed = materialize(compose(view, stylesheet, hotel_db.catalog), hotel_db)
+    assert canonical_form(naive, ordered=False) == canonical_form(
+        composed, ordered=False
+    )

@@ -1,0 +1,165 @@
+"""Unit + behaviour tests for the flow-control rewrites (Figures 21-22)."""
+
+import pytest
+
+from repro.errors import UnsupportedFeatureError
+from repro.core.rewrites.flow_control import lower_flow_control
+from repro.xmlcore.canonical import documents_equal
+from repro.xmlcore.parser import parse_document
+from repro.xslt.model import ApplyTemplates, Choose, ForEach, IfInstruction
+from repro.xslt.parser import parse_stylesheet
+from repro.xslt.processor import apply_stylesheet
+
+DOC = parse_document(
+    """
+<metro>
+  <hotel starrating="5" hotelid="1"><confroom capacity="300"/></hotel>
+  <hotel starrating="3" hotelid="2"><confroom capacity="100"/></hotel>
+</metro>
+"""
+)
+
+
+def has_flow_control(stylesheet):
+    def check(nodes):
+        for node in nodes:
+            if isinstance(node, (IfInstruction, Choose, ForEach)):
+                return True
+            children = getattr(node, "children", None)
+            if children and check(children):
+                return True
+        return False
+
+    return any(check(rule.output) for rule in stylesheet.rules)
+
+
+def assert_rewrite_preserves(stylesheet_text, doc=DOC):
+    original = parse_stylesheet(stylesheet_text)
+    lowered = lower_flow_control(original)
+    assert not has_flow_control(lowered)
+    before = apply_stylesheet(original, doc)
+    after = apply_stylesheet(lowered, doc)
+    assert documents_equal(before, after, ordered=True)
+    return lowered
+
+
+ROOT = '<xsl:template match="/"><out><xsl:apply-templates select="metro/hotel"/></out></xsl:template>'
+
+
+def test_if_figure21():
+    lowered = assert_rewrite_preserves(
+        ROOT
+        + '<xsl:template match="hotel">'
+        '<xsl:if test="@starrating &gt; 4"><lux/></xsl:if>'
+        "</xsl:template>"
+    )
+    # Figure 21(b): the if became an apply-templates with a .[test] select.
+    rule = lowered.rules[1]
+    apply = rule.output[0]
+    assert isinstance(apply, ApplyTemplates)
+    assert apply.select.to_text().startswith(".[")
+    assert apply.mode.startswith("__m")
+    new_rule = lowered.rules[-1]
+    assert new_rule.mode == apply.mode
+
+
+def test_if_false_branch_produces_nothing():
+    assert_rewrite_preserves(
+        ROOT
+        + '<xsl:template match="hotel">'
+        '<xsl:if test="@starrating &gt; 9"><never/></xsl:if><always/>'
+        "</xsl:template>"
+    )
+
+
+def test_if_with_path_test():
+    assert_rewrite_preserves(
+        ROOT
+        + '<xsl:template match="hotel">'
+        '<xsl:if test="confroom"><has/></xsl:if>'
+        "</xsl:template>"
+    )
+
+
+def test_choose_figure22():
+    lowered = assert_rewrite_preserves(
+        ROOT
+        + '<xsl:template match="hotel"><xsl:choose>'
+        '<xsl:when test="@starrating &gt; 4"><lux/></xsl:when>'
+        '<xsl:when test="@starrating &gt; 2"><mid/></xsl:when>'
+        "<xsl:otherwise><low/></xsl:otherwise>"
+        "</xsl:choose></xsl:template>"
+    )
+    rule = lowered.rules[1]
+    selects = [n.select.to_text() for n in rule.output]
+    # Figure 22(b): guards accumulate not(e1) and ... conditions.
+    assert len(selects) == 3
+    assert "not" in selects[1]
+    assert selects[2].count("not") == 2
+
+
+def test_choose_without_otherwise():
+    assert_rewrite_preserves(
+        ROOT
+        + '<xsl:template match="hotel"><xsl:choose>'
+        '<xsl:when test="@starrating &gt; 4"><lux/></xsl:when>'
+        "</xsl:choose></xsl:template>"
+    )
+
+
+def test_for_each():
+    assert_rewrite_preserves(
+        ROOT
+        + '<xsl:template match="hotel">'
+        '<h><xsl:for-each select="confroom"><c><xsl:value-of select="@capacity"/></c></xsl:for-each></h>'
+        "</xsl:template>"
+    )
+
+
+def test_nested_flow_control():
+    assert_rewrite_preserves(
+        ROOT
+        + '<xsl:template match="hotel">'
+        '<xsl:if test="@starrating &gt; 2">'
+        "<xsl:choose>"
+        '<xsl:when test="@starrating &gt; 4"><lux/></xsl:when>'
+        "<xsl:otherwise><mid/></xsl:otherwise>"
+        "</xsl:choose>"
+        "</xsl:if>"
+        "</xsl:template>"
+    )
+
+
+def test_flow_control_inside_literal_element():
+    assert_rewrite_preserves(
+        ROOT
+        + '<xsl:template match="hotel">'
+        '<h><xsl:if test="@starrating &gt; 4"><lux/></xsl:if></h>'
+        "</xsl:template>"
+    )
+
+
+def test_fresh_modes_do_not_collide():
+    stylesheet = parse_stylesheet(
+        ROOT
+        + '<xsl:template match="hotel" mode="__m1"><x/></xsl:template>'
+        + '<xsl:template match="hotel">'
+        '<xsl:if test="@starrating &gt; 4"><y/></xsl:if>'
+        "</xsl:template>"
+    )
+    lowered = lower_flow_control(stylesheet)
+    modes = [r.mode for r in lowered.rules]
+    assert len(modes) == len(set((r.match.to_text(), r.mode) for r in lowered.rules))
+    assert "__m2" in modes  # skipped the taken __m1
+
+
+def test_conditional_attribute_rejected():
+    stylesheet = parse_stylesheet(
+        ROOT
+        + '<xsl:template match="hotel">'
+        '<h><xsl:if test="@starrating &gt; 4"><xsl:value-of select="@hotelid"/></xsl:if></h>'
+        "</xsl:template>"
+    )
+    with pytest.raises(UnsupportedFeatureError) as exc:
+        lower_flow_control(stylesheet)
+    assert exc.value.feature == "conditional-attribute"

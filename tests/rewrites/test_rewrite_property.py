@@ -1,0 +1,162 @@
+"""Property: the Section 5.2 rewrites preserve interpreter semantics.
+
+Random stylesheets with nested flow control, general value-of selects,
+and (separately) conflicting rules are lowered and re-run over a fixed
+document; outputs must match exactly (ordered comparison — rewrites may
+not even reorder siblings).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rewrites.conflict import resolve_conflicts
+from repro.core.rewrites.flow_control import lower_flow_control
+from repro.core.rewrites.pipeline import rewrite_to_basic
+from repro.core.rewrites.value_of import lower_value_of
+from repro.xmlcore.canonical import canonical_form
+from repro.xmlcore.parser import parse_document
+from repro.xslt.parser import parse_stylesheet
+from repro.xslt.processor import apply_stylesheet
+
+DOC = parse_document(
+    """
+<metro metroname="chicago">
+  <hotel starrating="5" hotelid="1" pool="1">
+    <confstat SUM_capacity="150"/>
+    <confroom capacity="300"/>
+    <confroom capacity="90"/>
+  </hotel>
+  <hotel starrating="3" hotelid="2" pool="0">
+    <confstat SUM_capacity="80"/>
+    <confroom capacity="120"/>
+  </hotel>
+  <hotel starrating="4" hotelid="3" pool="1"/>
+</metro>
+"""
+)
+
+TESTS = st.sampled_from(
+    [
+        "@starrating > 3",
+        "@pool = 1",
+        "confroom",
+        "not(confroom)",
+        "@starrating > 2 and @pool = 1",
+        "confstat/@SUM_capacity > 100",
+        "false()",
+        "true()",
+    ]
+)
+
+LEAF_BODIES = st.sampled_from(
+    [
+        "<x/>",
+        '<x><xsl:value-of select="@hotelid"/></x>',
+        '<x><xsl:value-of select="."/></x>',
+        '<x><xsl:value-of select="confroom"/></x>',
+        '<x><xsl:value-of select="confstat/@SUM_capacity"/></x>',
+    ]
+)
+
+
+@st.composite
+def bodies(draw, depth=2):
+    kind = draw(st.sampled_from(["leaf", "if", "choose", "for-each", "mix"]))
+    if depth == 0 or kind == "leaf":
+        return draw(LEAF_BODIES)
+    if kind == "if":
+        inner = draw(bodies(depth=depth - 1))
+        test = draw(TESTS)
+        return f'<xsl:if test="{_esc(test)}">{inner}</xsl:if>'
+    if kind == "choose":
+        when_count = draw(st.integers(1, 2))
+        parts = ["<xsl:choose>"]
+        for _ in range(when_count):
+            test = draw(TESTS)
+            inner = draw(bodies(depth=depth - 1))
+            parts.append(f'<xsl:when test="{_esc(test)}">{inner}</xsl:when>')
+        if draw(st.booleans()):
+            inner = draw(bodies(depth=depth - 1))
+            parts.append(f"<xsl:otherwise>{inner}</xsl:otherwise>")
+        parts.append("</xsl:choose>")
+        return "".join(parts)
+    if kind == "for-each":
+        inner = draw(LEAF_BODIES)
+        return f'<xsl:for-each select="confroom">{inner}</xsl:for-each>'
+    left = draw(bodies(depth=depth - 1))
+    right = draw(bodies(depth=depth - 1))
+    return f"<wrap>{left}{right}</wrap>"
+
+
+def _esc(text: str) -> str:
+    return text.replace("<", "&lt;").replace(">", "&gt;")
+
+
+@st.composite
+def flow_stylesheets(draw):
+    body = draw(bodies())
+    return (
+        '<xsl:template match="/"><out><xsl:apply-templates select="metro/hotel"/></out></xsl:template>'
+        f'<xsl:template match="hotel">{body}</xsl:template>'
+    )
+
+
+@given(flow_stylesheets())
+@settings(max_examples=120, deadline=None)
+def test_flow_control_lowering_preserves_output(stylesheet_text):
+    from repro.errors import UnsupportedFeatureError
+
+    original = parse_stylesheet(stylesheet_text)
+    try:
+        lowered = lower_flow_control(lower_value_of(original))
+    except UnsupportedFeatureError:
+        return  # conditional attributes are rejected loudly, never wrong
+    before = apply_stylesheet(original, DOC)
+    after = apply_stylesheet(lowered, DOC)
+    assert canonical_form(before) == canonical_form(after), stylesheet_text
+
+
+PATTERNS = st.sampled_from(
+    [
+        "hotel",
+        "metro/hotel",
+        "hotel[@pool=1]",
+        "hotel[@starrating&gt;4]",
+        "hotel[confroom]",
+    ]
+)
+
+
+@st.composite
+def conflicting_stylesheets(draw):
+    rule_count = draw(st.integers(2, 4))
+    rules = [
+        '<xsl:template match="/"><out><xsl:apply-templates select="metro/hotel"/></out></xsl:template>'
+    ]
+    for index in range(rule_count):
+        pattern = draw(PATTERNS)
+        priority = draw(st.sampled_from(["", ' priority="2"', ' priority="5"']))
+        rules.append(
+            f'<xsl:template match="{pattern}"{priority}><r{index}/></xsl:template>'
+        )
+    return "".join(rules)
+
+
+@given(conflicting_stylesheets())
+@settings(max_examples=120, deadline=None)
+def test_conflict_resolution_preserves_output(stylesheet_text):
+    original = parse_stylesheet(stylesheet_text)
+    resolved = resolve_conflicts(original)
+    before = apply_stylesheet(original, DOC)
+    after = apply_stylesheet(resolved, DOC)
+    assert canonical_form(before) == canonical_form(after), stylesheet_text
+
+
+@given(conflicting_stylesheets())
+@settings(max_examples=60, deadline=None)
+def test_full_pipeline_preserves_output(stylesheet_text):
+    original = parse_stylesheet(stylesheet_text)
+    lowered = rewrite_to_basic(original, with_conflict_resolution=True)
+    before = apply_stylesheet(original, DOC)
+    after = apply_stylesheet(lowered, DOC)
+    assert canonical_form(before) == canonical_form(after), stylesheet_text

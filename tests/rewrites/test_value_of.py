@@ -1,0 +1,88 @@
+"""Unit + behaviour tests for general value-of lowering (Figure 23)."""
+
+from repro.core.rewrites.value_of import lower_value_of
+from repro.xmlcore.canonical import documents_equal
+from repro.xmlcore.parser import parse_document
+from repro.xpath.ast import AttributeRef, ContextRef
+from repro.xslt.model import ApplyTemplates, ValueOf
+from repro.xslt.parser import parse_stylesheet
+from repro.xslt.processor import apply_stylesheet
+
+DOC = parse_document(
+    """
+<metro metroname="chicago">
+  <hotel hotelid="1"><confstat SUM_capacity="150"/></hotel>
+  <hotel hotelid="2"><confstat SUM_capacity="80"/></hotel>
+</metro>
+"""
+)
+
+
+def only_basic_value_of(stylesheet):
+    def check(nodes):
+        for node in nodes:
+            if isinstance(node, ValueOf):
+                if not isinstance(node.select, (ContextRef, AttributeRef)):
+                    return False
+            children = getattr(node, "children", None)
+            if children and not check(children):
+                return False
+        return True
+
+    return all(check(rule.output) for rule in stylesheet.rules)
+
+
+def assert_rewrite_preserves(stylesheet_text):
+    original = parse_stylesheet(stylesheet_text)
+    lowered = lower_value_of(original)
+    assert only_basic_value_of(lowered)
+    before = apply_stylesheet(original, DOC)
+    after = apply_stylesheet(lowered, DOC)
+    assert documents_equal(before, after, ordered=True)
+    return lowered
+
+
+ROOT = '<xsl:template match="/"><out><xsl:apply-templates select="metro"/></out></xsl:template>'
+
+
+def test_path_value_of_becomes_apply(DOC=DOC):
+    lowered = assert_rewrite_preserves(
+        ROOT
+        + '<xsl:template match="metro"><m><xsl:value-of select="hotel/confstat"/></m></xsl:template>'
+    )
+    rule = lowered.rules[1]
+    apply = rule.output[0].children[0]
+    assert isinstance(apply, ApplyTemplates)
+    assert apply.select.to_text() == "hotel/confstat"
+    new_rule = lowered.rules[-1]
+    assert new_rule.match.to_text() == "confstat"
+    assert isinstance(new_rule.output[0].select, ContextRef)
+
+
+def test_dot_and_attr_selects_untouched():
+    stylesheet = parse_stylesheet(
+        ROOT
+        + '<xsl:template match="metro"><m><xsl:value-of select="."/>'
+        '<xsl:value-of select="@metroname"/></m></xsl:template>'
+    )
+    lowered = lower_value_of(stylesheet)
+    assert lowered.size() == stylesheet.size()
+
+
+def test_value_of_inside_nested_elements():
+    assert_rewrite_preserves(
+        ROOT
+        + '<xsl:template match="metro"><a><b><xsl:value-of select="hotel"/></b></a></xsl:template>'
+    )
+
+
+def test_multiple_value_ofs_get_distinct_modes():
+    lowered = assert_rewrite_preserves(
+        ROOT
+        + '<xsl:template match="metro"><m>'
+        '<xsl:value-of select="hotel"/>'
+        '<xsl:value-of select="hotel/confstat"/>'
+        "</m></xsl:template>"
+    )
+    modes = [r.mode for r in lowered.rules if r.mode.startswith("__m")]
+    assert len(set(modes)) == 2

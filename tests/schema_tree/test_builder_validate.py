@@ -1,0 +1,97 @@
+"""Unit tests for the view builder and static validation."""
+
+import pytest
+
+from repro.errors import ViewDefinitionError
+from repro.relational.schema import Catalog, table
+from repro.schema_tree.builder import ViewBuilder
+from repro.schema_tree.validate import validate_view
+
+CATALOG = Catalog(
+    [
+        table("parent", ("id", "INTEGER"), ("name", "TEXT")),
+        table("child", ("id", "INTEGER"), ("parent_id", "INTEGER")),
+    ]
+)
+
+
+def test_builder_assigns_sequential_ids():
+    builder = ViewBuilder(CATALOG)
+    a = builder.node("a", "SELECT * FROM parent", bv="p")
+    b = a.child("b", "SELECT * FROM child WHERE parent_id = $p.id", bv="c")
+    view = builder.build()
+    assert a.node.id == 1
+    assert b.node.id == 2
+
+
+def test_builder_auto_binding_variable():
+    builder = ViewBuilder(CATALOG)
+    node = builder.node("a", "SELECT * FROM parent")
+    assert node.node.bv is not None
+
+
+def test_builder_canonicalizes_aggregates():
+    builder = ViewBuilder(CATALOG)
+    node = builder.node("a", "SELECT COUNT(id) FROM parent")
+    builder.build()
+    assert node.node.tag_query.items[0].alias == "COUNT_id"
+
+
+def test_builder_rejects_duplicate_bv():
+    builder = ViewBuilder(CATALOG)
+    builder.node("a", "SELECT * FROM parent", bv="p")
+    with pytest.raises(ViewDefinitionError):
+        builder.node("b", "SELECT * FROM parent", bv="p")
+
+
+def test_builder_rejects_empty_tag():
+    builder = ViewBuilder(CATALOG)
+    with pytest.raises(ViewDefinitionError):
+        builder.node("", "SELECT * FROM parent")
+
+
+def test_validate_rejects_unknown_table():
+    builder = ViewBuilder(CATALOG)
+    builder.node("a", "SELECT * FROM ghost")
+    with pytest.raises(ViewDefinitionError):
+        builder.build()
+
+
+def test_validate_rejects_unbound_parameter():
+    builder = ViewBuilder(CATALOG)
+    builder.node("a", "SELECT * FROM child WHERE parent_id = $nope.id")
+    with pytest.raises(ViewDefinitionError):
+        builder.build()
+
+
+def test_validate_rejects_self_reference():
+    builder = ViewBuilder(CATALOG)
+    builder.node("a", "SELECT * FROM parent WHERE id = $p.id", bv="p")
+    with pytest.raises(ViewDefinitionError):
+        builder.build()
+
+
+def test_validate_rejects_sibling_parameter():
+    builder = ViewBuilder(CATALOG)
+    builder.node("a", "SELECT * FROM parent", bv="p")
+    builder.node("b", "SELECT * FROM child WHERE parent_id = $p.id", bv="c")
+    # $p is bound by a *sibling*, not an ancestor.
+    with pytest.raises(ViewDefinitionError):
+        builder.build()
+
+
+def test_validate_attr_columns_subset():
+    builder = ViewBuilder(CATALOG)
+    builder.node("a", "SELECT id, name FROM parent", attr_columns=["name"])
+    builder.build()
+    builder2 = ViewBuilder(CATALOG)
+    builder2.node("a", "SELECT id FROM parent", attr_columns=["ghost"])
+    with pytest.raises(ViewDefinitionError):
+        builder2.build()
+
+
+def test_validate_without_catalog_checks_structure_only():
+    builder = ViewBuilder(None)
+    builder.node("a", "SELECT * FROM whatever")
+    view = builder.build()
+    validate_view(view, None)

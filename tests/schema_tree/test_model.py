@@ -1,0 +1,92 @@
+"""Unit tests for the schema-tree model."""
+
+import pytest
+
+from repro.errors import ViewDefinitionError
+from repro.schema_tree.builder import ViewBuilder
+from repro.schema_tree.model import SchemaNode, SchemaTreeQuery
+from repro.workloads.hotel import hotel_catalog
+from repro.workloads.paper import figure1_view
+
+
+@pytest.fixture()
+def view():
+    return figure1_view(hotel_catalog())
+
+
+def test_paper_node_ids(view):
+    # Figure 1's numbering is preserved.
+    assert view.node_by_id(1).tag == "metro"
+    assert view.node_by_id(2).tag == "confstat"
+    assert view.node_by_id(3).tag == "hotel"
+    assert view.node_by_id(4).tag == "confstat"
+    assert view.node_by_id(5).tag == "confroom"
+    assert view.node_by_id(6).tag == "hotel_available"
+    assert view.node_by_id(7).tag == "metro_available"
+
+
+def test_size_excludes_synthetic_root(view):
+    assert view.size() == 7
+    assert len(view.nodes(include_root=True)) == 8
+
+
+def test_parameters_derived_from_query(view):
+    hotel = view.node_by_id(3)
+    assert hotel.parameters == ["m"]
+    metro_available = view.node_by_id(7)
+    assert metro_available.parameters == ["m", "a"]
+
+
+def test_path_from_root(view):
+    confroom = view.node_by_id(5)
+    tags = [n.tag for n in confroom.path_from_root()]
+    assert tags == ["", "metro", "hotel", "confroom"]
+
+
+def test_lowest_common_ancestor(view):
+    confstat = view.node_by_id(4)
+    confroom = view.node_by_id(5)
+    assert SchemaTreeQuery.lowest_common_ancestor(confstat, confroom).id == 3
+    metro_available = view.node_by_id(7)
+    assert SchemaTreeQuery.lowest_common_ancestor(confstat, metro_available).id == 3
+    assert SchemaTreeQuery.lowest_common_ancestor(confstat, confstat).id == 4
+
+
+def test_path_between(view):
+    hotel = view.node_by_id(3)
+    metro_available = view.node_by_id(7)
+    ids = [n.id for n in SchemaTreeQuery.path_between(hotel, metro_available)]
+    assert ids == [3, 6, 7]
+
+
+def test_path_between_rejects_non_ancestor(view):
+    with pytest.raises(ViewDefinitionError):
+        SchemaTreeQuery.path_between(view.node_by_id(5), view.node_by_id(4))
+
+
+def test_child_by_tag_distinguishes_duplicates(view):
+    metro = view.node_by_id(1)
+    assert [n.id for n in metro.child_by_tag("confstat")] == [2]
+    hotel = view.node_by_id(3)
+    assert [n.id for n in hotel.child_by_tag("confstat")] == [4]
+
+
+def test_node_by_id_missing(view):
+    with pytest.raises(ViewDefinitionError):
+        view.node_by_id(99)
+
+
+def test_describe_mentions_every_node(view):
+    text = view.describe()
+    for tag in ["metro", "hotel", "confroom", "hotel_available", "metro_available"]:
+        assert tag in text
+
+
+def test_root_must_have_id_zero():
+    with pytest.raises(ViewDefinitionError):
+        SchemaTreeQuery(SchemaNode(5, "x"))
+
+
+def test_walk_preorder(view):
+    ids = [n.id for n in view.nodes(include_root=False)]
+    assert ids == [1, 2, 3, 4, 5, 6, 7]

@@ -1,0 +1,111 @@
+"""Unit tests for catalog-aware column analysis."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.sql.analysis import (
+    DictCatalog,
+    canonicalize_aggregate_aliases,
+    expand_star_refs,
+    has_top_level_aggregate,
+    output_columns,
+    referenced_tables,
+)
+from repro.sql.ast import Star
+from repro.sql.parser import parse_select
+
+CATALOG = DictCatalog(
+    {
+        "hotel": ["hotelid", "hotelname", "starrating"],
+        "confroom": ["c_id", "chotel_id", "capacity"],
+    }
+)
+
+
+def test_output_columns_star():
+    query = parse_select("SELECT * FROM hotel")
+    assert output_columns(query, CATALOG) == ["hotelid", "hotelname", "starrating"]
+
+
+def test_output_columns_star_over_join():
+    query = parse_select("SELECT * FROM hotel, confroom")
+    assert output_columns(query, CATALOG) == [
+        "hotelid", "hotelname", "starrating", "c_id", "chotel_id", "capacity",
+    ]
+
+
+def test_output_columns_table_star():
+    query = parse_select("SELECT h.*, capacity FROM hotel AS h, confroom")
+    assert output_columns(query, CATALOG) == [
+        "hotelid", "hotelname", "starrating", "capacity",
+    ]
+
+
+def test_output_columns_derived_table():
+    query = parse_select(
+        "SELECT TEMP.* FROM (SELECT hotelid, starrating FROM hotel) AS TEMP"
+    )
+    assert output_columns(query, CATALOG) == ["hotelid", "starrating"]
+
+
+def test_output_columns_aliases_and_aggregates():
+    query = parse_select("SELECT SUM(capacity) AS cap, c_id FROM confroom")
+    assert output_columns(query, CATALOG) == ["cap", "c_id"]
+
+
+def test_output_columns_default_aggregate_name():
+    query = parse_select("SELECT SUM(capacity) FROM confroom")
+    assert output_columns(query, CATALOG) == ["SUM_capacity"]
+
+
+def test_unknown_table_raises():
+    query = parse_select("SELECT * FROM ghost")
+    with pytest.raises(SchemaError):
+        output_columns(query, CATALOG)
+
+
+def test_unknown_star_qualifier_raises():
+    query = parse_select("SELECT g.* FROM hotel")
+    with pytest.raises(SchemaError):
+        output_columns(query, CATALOG)
+
+
+def test_expand_star_refs_qualified():
+    query = parse_select("SELECT TEMP.* FROM hotel AS TEMP")
+    refs = expand_star_refs(Star("TEMP"), query, CATALOG)
+    assert [r.qualified() for r in refs] == [
+        "TEMP.hotelid", "TEMP.hotelname", "TEMP.starrating",
+    ]
+
+
+def test_has_top_level_aggregate():
+    assert has_top_level_aggregate(parse_select("SELECT SUM(capacity) FROM confroom"))
+    assert not has_top_level_aggregate(parse_select("SELECT capacity FROM confroom"))
+    # Aggregates inside derived tables do not count.
+    assert not has_top_level_aggregate(
+        parse_select("SELECT x FROM (SELECT SUM(capacity) AS x FROM confroom) AS d")
+    )
+
+
+def test_canonicalize_aggregate_aliases():
+    query = parse_select("SELECT SUM(capacity), COUNT(c_id) FROM confroom")
+    canonicalize_aggregate_aliases(query)
+    assert query.items[0].alias == "SUM_capacity"
+    assert query.items[1].alias == "COUNT_c_id"
+
+
+def test_canonicalize_avoids_collisions():
+    query = parse_select(
+        "SELECT SUM(capacity), SUM(capacity), capacity AS SUM_capacity_x FROM confroom"
+    )
+    canonicalize_aggregate_aliases(query)
+    names = [item.alias for item in query.items[:2]]
+    assert names[0] != names[1]
+
+
+def test_referenced_tables_includes_subqueries():
+    query = parse_select(
+        "SELECT * FROM confroom, (SELECT * FROM hotel) AS T "
+        "WHERE EXISTS (SELECT * FROM confroom WHERE capacity > 1)"
+    )
+    assert referenced_tables(query) == ["confroom", "hotel"]

@@ -1,0 +1,98 @@
+"""Unit tests for parameter utilities."""
+
+from repro.sql.ast import ColumnRef, ParamRef
+from repro.sql.params import (
+    collect_params,
+    map_exprs,
+    map_exprs_scoped,
+    placeholder_name,
+    referenced_vars,
+    referenced_vars_scoped,
+    rename_param_vars,
+    to_placeholders,
+    walk_exprs,
+)
+from repro.sql.parser import parse_select
+from repro.sql.printer import print_select
+
+
+def test_collect_params_ordered_and_distinct():
+    query = parse_select(
+        "SELECT * FROM t WHERE a = $m.x AND b = $h.y AND c = $m.x"
+    )
+    params = collect_params(query)
+    assert params == [ParamRef("m", "x"), ParamRef("h", "y")]
+
+
+def test_params_found_in_subqueries():
+    query = parse_select(
+        "SELECT * FROM (SELECT * FROM u WHERE u.a = $p.inner) AS d "
+        "WHERE EXISTS (SELECT * FROM w WHERE w.b = $q.nested)"
+    )
+    assert referenced_vars(query) == ["p", "q"]
+
+
+def test_scoped_vars_skip_derived_tables():
+    query = parse_select(
+        "SELECT * FROM (SELECT * FROM u WHERE u.a = $p.inner) AS d "
+        "WHERE EXISTS (SELECT * FROM w WHERE w.b = $q.nested)"
+    )
+    assert referenced_vars_scoped(query) == ["q"]
+
+
+def test_params_in_group_by_and_having():
+    query = parse_select(
+        "SELECT COUNT(a) FROM t GROUP BY b HAVING COUNT(a) > $h.lim"
+    )
+    assert referenced_vars(query) == ["h"]
+
+
+def test_rename_param_vars_everywhere():
+    query = parse_select(
+        "SELECT * FROM (SELECT * FROM u WHERE x = $m.a) AS d WHERE y = $m.b"
+    )
+    rename_param_vars(query, {"m": "m_new"})
+    assert referenced_vars(query) == ["m_new"]
+    assert "$m_new.a" in print_select(query)
+
+
+def test_map_exprs_scoped_leaves_derived_tables():
+    query = parse_select(
+        "SELECT * FROM (SELECT * FROM u WHERE x = $m.a) AS d WHERE y = $m.b"
+    )
+
+    def fn(expr):
+        if isinstance(expr, ParamRef) and expr.var == "m":
+            return ColumnRef(expr.column, table="TEMP")
+        return None
+
+    map_exprs_scoped(query, fn)
+    text = print_select(query)
+    assert "TEMP.b" in text
+    assert "$m.a" in text  # untouched inside the derived table
+
+
+def test_map_exprs_rewrites_in_exists():
+    query = parse_select("SELECT * FROM t WHERE EXISTS (SELECT * FROM u WHERE x = $m.a)")
+
+    def fn(expr):
+        if isinstance(expr, ParamRef):
+            return ColumnRef("replaced")
+        return None
+
+    map_exprs(query, fn)
+    assert referenced_vars(query) == []
+
+
+def test_to_placeholders():
+    query = parse_select("SELECT * FROM t WHERE a = $m.x")
+    sql, params = to_placeholders(query)
+    assert ":m__x" in sql
+    assert placeholder_name(params[0]) == "m__x"
+
+
+def test_walk_exprs_sees_order_by():
+    query = parse_select("SELECT a FROM t ORDER BY $p.k")
+    assert any(
+        isinstance(e, ParamRef) and e.var == "p" for e in walk_exprs(query)
+    )

@@ -1,0 +1,203 @@
+"""Unit tests for the SQL-subset parser."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sql.ast import (
+    BinOp,
+    ColumnRef,
+    DerivedTable,
+    ExistsExpr,
+    FuncCall,
+    InExpr,
+    LiteralValue,
+    ParamRef,
+    Star,
+    TableRef,
+    UnaryOp,
+)
+from repro.sql.parser import parse_select
+
+
+def test_select_star():
+    query = parse_select("SELECT * FROM hotel")
+    assert isinstance(query.items[0].expr, Star)
+    assert query.from_items == [TableRef("hotel")]
+
+
+def test_select_columns_and_aliases():
+    query = parse_select("SELECT a, b AS bb, t.c FROM t")
+    assert query.items[0].expr == ColumnRef("a")
+    assert query.items[1].alias == "bb"
+    assert query.items[2].expr == ColumnRef("c", table="t")
+
+
+def test_table_star():
+    query = parse_select("SELECT TEMP.* FROM hotel AS TEMP")
+    assert query.items[0].expr == Star("TEMP")
+    assert query.from_items[0].alias == "TEMP"
+
+
+def test_implicit_alias():
+    query = parse_select("SELECT x FROM hotel h")
+    assert query.from_items[0].alias == "h"
+
+
+def test_parameters():
+    query = parse_select("SELECT * FROM hotel WHERE metro_id = $m.metroid")
+    condition = query.where
+    assert condition == BinOp("=", ColumnRef("metro_id"), ParamRef("m", "metroid"))
+
+
+def test_unqualified_parameter_rejected():
+    with pytest.raises(SQLSyntaxError):
+        parse_select("SELECT * FROM t WHERE x = $m")
+
+
+def test_aggregates():
+    query = parse_select("SELECT SUM(capacity), COUNT(*) FROM confroom")
+    assert query.items[0].expr == FuncCall("SUM", (ColumnRef("capacity"),))
+    assert query.items[1].expr == FuncCall("COUNT", star=True)
+
+
+def test_where_boolean_tree():
+    query = parse_select("SELECT * FROM t WHERE a = 1 AND (b = 2 OR NOT c = 3)")
+    assert query.where.op == "AND"
+    assert query.where.right.op == "OR"
+    assert isinstance(query.where.right.right, UnaryOp)
+
+
+def test_comparison_normalization():
+    query = parse_select("SELECT * FROM t WHERE a != 1")
+    assert query.where.op == "<>"
+
+
+def test_is_null_and_is_not_null():
+    query = parse_select("SELECT * FROM t WHERE a IS NULL AND b IS NOT NULL")
+    left, right = query.where.left, query.where.right
+    assert left == BinOp("IS", ColumnRef("a"), LiteralValue(None))
+    assert isinstance(right, UnaryOp) and right.op == "NOT"
+
+
+def test_exists_subquery():
+    query = parse_select(
+        "SELECT * FROM confroom WHERE EXISTS "
+        "(SELECT * FROM availability WHERE a_r_id = r_id)"
+    )
+    assert isinstance(query.where, ExistsExpr)
+    assert query.where.select.from_items[0].name == "availability"
+
+
+def test_in_value_list():
+    query = parse_select("SELECT * FROM t WHERE a IN (1, 2, 3)")
+    assert isinstance(query.where, InExpr)
+    assert len(query.where.values) == 3
+
+
+def test_not_in_subquery():
+    query = parse_select("SELECT * FROM t WHERE a NOT IN (SELECT b FROM u)")
+    assert isinstance(query.where, UnaryOp)
+    assert isinstance(query.where.operand, InExpr)
+    assert query.where.operand.select is not None
+
+
+def test_derived_table():
+    query = parse_select(
+        "SELECT * FROM confroom, (SELECT * FROM hotel WHERE starrating > 4) AS TEMP "
+        "WHERE chotel_id = TEMP.hotelid"
+    )
+    derived = query.from_items[1]
+    assert isinstance(derived, DerivedTable)
+    assert derived.alias == "TEMP"
+    assert derived.select.from_items[0].name == "hotel"
+
+
+def test_group_by_and_having():
+    query = parse_select(
+        "SELECT COUNT(a_id), startdate FROM availability "
+        "GROUP BY startdate HAVING COUNT(a_id) > 10"
+    )
+    assert query.group_by == [ColumnRef("startdate")]
+    assert query.having.op == ">"
+
+
+def test_order_by():
+    query = parse_select("SELECT * FROM t ORDER BY a, b DESC")
+    assert query.order_by[0].ascending
+    assert not query.order_by[1].ascending
+
+
+def test_distinct():
+    assert parse_select("SELECT DISTINCT a FROM t").distinct
+
+
+def test_string_literal_with_escaped_quote():
+    query = parse_select("SELECT * FROM t WHERE name = 'o''brien'")
+    assert query.where.right == LiteralValue("o'brien")
+
+
+def test_numeric_literals():
+    query = parse_select("SELECT * FROM t WHERE a = 1 AND b = 2.5 AND c = -3")
+    conjuncts = []
+
+    def collect(e):
+        if isinstance(e, BinOp) and e.op == "AND":
+            collect(e.left)
+            collect(e.right)
+        else:
+            conjuncts.append(e)
+
+    collect(query.where)
+    assert conjuncts[0].right == LiteralValue(1)
+    assert conjuncts[1].right == LiteralValue(2.5)
+    assert conjuncts[2].right == UnaryOp("-", LiteralValue(3))
+
+
+def test_arithmetic_precedence():
+    query = parse_select("SELECT * FROM t WHERE a = 1 + 2 * 3")
+    assert query.where.right.op == "+"
+    assert query.where.right.right.op == "*"
+
+
+def test_keywords_case_insensitive():
+    query = parse_select("select * from t where a is null group by a having a > 1")
+    assert query.group_by == [ColumnRef("a")]
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "SELECT",
+        "SELECT FROM t",
+        "SELECT * FROM",
+        "SELECT * FROM t WHERE",
+        "SELECT * FROM (SELECT * FROM t)",  # derived table needs alias
+        "SELECT * FROM t extra garbage !",
+    ],
+)
+def test_malformed_sql_raises(bad):
+    with pytest.raises(SQLSyntaxError):
+        parse_select(bad)
+
+
+def test_paper_query_qs():
+    # The unbound query of Section 4.2.1.
+    query = parse_select(
+        "SELECT SUM(capacity), TEMP.* FROM confroom, "
+        "(SELECT * FROM hotel WHERE metro_id=$m.metroid AND starrating > 4) AS TEMP "
+        "WHERE chotel_id=TEMP.hotelid "
+        "GROUP BY TEMP.hotelid, TEMP.pool, TEMP.gym"
+    )
+    assert len(query.group_by) == 3
+    assert isinstance(query.items[1].expr, Star)
+
+
+def test_scalar_subquery_in_expression():
+    from repro.sql.ast import ScalarSubquery
+
+    query = parse_select(
+        "SELECT (SELECT SUM(capacity) FROM confroom WHERE chotel_id = h.hotelid) AS s "
+        "FROM hotel AS h"
+    )
+    assert isinstance(query.items[0].expr, ScalarSubquery)
+    assert query.items[0].alias == "s"

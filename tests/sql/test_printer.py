@@ -1,0 +1,65 @@
+"""Unit tests for SQL printing (and the parse/print round-trip)."""
+
+import pytest
+
+from repro.sql.parser import parse_select
+from repro.sql.printer import print_select
+
+
+@pytest.mark.parametrize(
+    "sql",
+    [
+        "SELECT * FROM hotel",
+        "SELECT metroid, metroname FROM metroarea",
+        "SELECT * FROM hotel WHERE metro_id = $m.metroid AND starrating > 4",
+        "SELECT SUM(capacity) AS SUM_capacity FROM confroom WHERE chotel_id = $h.hotelid",
+        "SELECT COUNT(a_id), startdate FROM availability, guestroom "
+        "WHERE rhotel_id = $h.hotelid AND a_r_id = r_id GROUP BY startdate",
+        "SELECT * FROM t WHERE a IS NULL",
+        "SELECT * FROM t WHERE NOT a = 1",
+        "SELECT * FROM t WHERE a IN (1, 2)",
+        "SELECT DISTINCT a FROM t ORDER BY a DESC",
+        "SELECT TEMP.* FROM (SELECT * FROM hotel) AS TEMP",
+        "SELECT * FROM t WHERE EXISTS (SELECT * FROM u WHERE u.x = t.x)",
+    ],
+)
+def test_print_parse_fixpoint(sql):
+    """print(parse(s)) reparses to the same text — a stable canonical form."""
+    once = print_select(parse_select(sql))
+    twice = print_select(parse_select(once))
+    assert once == twice
+
+
+def test_boolean_parenthesization():
+    query = parse_select("SELECT * FROM t WHERE a = 1 AND (b = 2 OR c = 3)")
+    text = print_select(query)
+    assert "(b = 2 OR c = 3)" in text
+    assert parse_select(text).where.op == "AND"
+
+
+def test_placeholder_mode():
+    query = parse_select("SELECT * FROM t WHERE x = $m.metroid")
+    assert ":m__metroid" in print_select(query, placeholders=True)
+    assert "$m.metroid" in print_select(query, placeholders=False)
+
+
+def test_string_escaping():
+    query = parse_select("SELECT * FROM t WHERE n = 'o''brien'")
+    assert "'o''brien'" in print_select(query)
+
+
+def test_null_literal():
+    query = parse_select("SELECT * FROM t WHERE a IS NULL")
+    assert "IS NULL" in print_select(query)
+
+
+def test_float_keeps_decimal_point():
+    query = parse_select("SELECT * FROM t WHERE a = 2.0")
+    printed = print_select(query)
+    assert "2.0" in printed
+    assert parse_select(printed).where.right.value == 2.0
+
+
+def test_unary_minus():
+    query = parse_select("SELECT * FROM t WHERE a = -5")
+    assert "-5" in print_select(query)

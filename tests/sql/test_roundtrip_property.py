@@ -1,0 +1,87 @@
+"""Property-based tests on SQL printing/parsing and transforms."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sql.analysis import DictCatalog, output_columns
+from repro.sql.ast import (
+    BinOp,
+    ColumnRef,
+    LiteralValue,
+    ParamRef,
+    Select,
+    SelectItem,
+    Star,
+    TableRef,
+)
+from repro.sql.parser import parse_select
+from repro.sql.printer import print_select
+
+TABLES = {
+    "ta": ["a1", "a2", "a3"],
+    "tb": ["b1", "b2"],
+}
+CATALOG = DictCatalog(TABLES)
+
+table_names = st.sampled_from(sorted(TABLES))
+var_names = st.sampled_from(["m", "h", "p"])
+
+
+@st.composite
+def conditions(draw, table):
+    columns = TABLES[table]
+    column = draw(st.sampled_from(columns))
+    op = draw(st.sampled_from(["=", "<>", "<", "<=", ">", ">="]))
+    kind = draw(st.sampled_from(["number", "string", "param", "column"]))
+    if kind == "number":
+        right = LiteralValue(draw(st.integers(-1000, 1000)))
+    elif kind == "string":
+        right = LiteralValue(draw(st.text(alphabet="abc'x", max_size=5)))
+    elif kind == "param":
+        right = ParamRef(draw(var_names), draw(st.sampled_from(columns)))
+    else:
+        right = ColumnRef(draw(st.sampled_from(columns)), table=table)
+    return BinOp(op, ColumnRef(column, table=table), right)
+
+
+@st.composite
+def selects(draw):
+    table = draw(table_names)
+    query = Select()
+    if draw(st.booleans()):
+        query.items.append(SelectItem(Star(table)))
+    else:
+        for column in draw(
+            st.lists(st.sampled_from(TABLES[table]), min_size=1, max_size=3)
+        ):
+            query.items.append(SelectItem(ColumnRef(column, table=table)))
+    query.from_items.append(TableRef(table))
+    for condition in draw(st.lists(conditions(table), max_size=3)):
+        query.add_where(condition)
+    query.distinct = draw(st.booleans())
+    return query
+
+
+@given(selects())
+@settings(max_examples=200, deadline=None)
+def test_print_parse_roundtrip(query):
+    text = print_select(query)
+    reparsed = parse_select(text)
+    assert print_select(reparsed) == text
+
+
+@given(selects())
+@settings(max_examples=100, deadline=None)
+def test_clone_is_independent(query):
+    clone = query.clone()
+    assert print_select(clone) == print_select(query)
+    clone.add_where(BinOp("=", LiteralValue(1), LiteralValue(1)))
+    assert print_select(clone) != print_select(query)
+
+
+@given(selects())
+@settings(max_examples=100, deadline=None)
+def test_output_columns_well_defined(query):
+    columns = output_columns(query, CATALOG)
+    assert columns
+    assert all(isinstance(c, str) and c for c in columns)

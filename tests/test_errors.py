@@ -1,0 +1,54 @@
+"""Tests for the exception hierarchy and error reporting quality."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception):
+            if obj is not errors.ReproError:
+                assert issubclass(obj, errors.ReproError), name
+
+
+def test_hierarchy_groups():
+    assert issubclass(errors.XMLParseError, errors.XMLError)
+    assert issubclass(errors.XPathSyntaxError, errors.XPathError)
+    assert issubclass(errors.SQLSyntaxError, errors.SQLError)
+    assert issubclass(errors.UnsupportedFeatureError, errors.CompositionError)
+    assert issubclass(errors.UnificationError, errors.CompositionError)
+    assert issubclass(errors.ViewDefinitionError, errors.ViewError)
+    assert issubclass(errors.StylesheetParseError, errors.XSLTError)
+
+
+def test_xml_parse_error_carries_position():
+    error = errors.XMLParseError("bad", line=3, column=7)
+    assert error.line == 3 and error.column == 7
+    assert "line 3" in str(error)
+
+
+def test_xpath_error_includes_expression():
+    error = errors.XPathSyntaxError("oops", "a//b", 2)
+    assert "a//b" in str(error)
+    assert "offset 2" in str(error)
+
+
+def test_sql_error_truncates_long_statements():
+    long_sql = "SELECT " + "x, " * 200 + "y FROM t"
+    error = errors.SQLSyntaxError("oops", long_sql, 5)
+    assert "..." in str(error)
+
+
+def test_unsupported_feature_records_feature():
+    error = errors.UnsupportedFeatureError("recursion", "cyclic CTG")
+    assert error.feature == "recursion"
+    assert "cyclic CTG" in str(error)
+
+
+def test_catching_base_class_is_sufficient():
+    from repro.sql.parser import parse_select
+
+    with pytest.raises(errors.ReproError):
+        parse_select("not sql at all !")

@@ -1,0 +1,118 @@
+"""Failure injection: the library must fail loudly and precisely, never
+produce silently-wrong output."""
+
+import pytest
+
+from repro.errors import (
+    CompositionError,
+    UnsupportedFeatureError,
+    ViewDefinitionError,
+    ViewEvaluationError,
+)
+from repro.core import compose
+from repro.relational.engine import Database
+from repro.schema_tree import materialize
+from repro.workloads.hotel import hotel_catalog
+from repro.workloads.paper import figure1_view, figure4_stylesheet
+from repro.xslt.parser import parse_stylesheet
+
+
+def test_missing_table_at_evaluation(hotel_db):
+    """A view over a dropped table fails with a clear engine error."""
+    view = figure1_view(hotel_db.catalog)
+    hotel_db.run_sql("DROP TABLE confroom")
+    with pytest.raises(ViewEvaluationError) as exc:
+        materialize(view, hotel_db)
+    assert "confroom" in str(exc.value)
+
+
+def test_unknown_table_in_catalog_detected_at_compose():
+    """Composing a star query over an unknown table raises cleanly."""
+    from repro.errors import SchemaError
+    from repro.relational.schema import Catalog, table
+    from repro.schema_tree import ViewBuilder
+
+    wrong_catalog = Catalog([table("other", ("x", "TEXT"))])
+    stylesheet = parse_stylesheet(
+        '<xsl:template match="/"><out><xsl:apply-templates select="metro"/></out></xsl:template>'
+        '<xsl:template match="metro"><m><xsl:value-of select="."/></m></xsl:template>'
+    )
+    builder = ViewBuilder(None)
+    builder.node("metro", "SELECT * FROM metroarea", bv="m")
+    view = builder.build(validate=False)
+    with pytest.raises(SchemaError):
+        compose(view, stylesheet, wrong_catalog)
+
+
+@pytest.mark.parametrize(
+    "select,feature",
+    [
+        ("hotel//confroom", "descendant-axis"),
+        ("/", "select-to-root"),
+    ],
+)
+def test_uncomposable_selects_report_the_feature(hotel_db, select, feature):
+    view = figure1_view(hotel_db.catalog)
+    stylesheet = parse_stylesheet(
+        '<xsl:template match="/"><out><xsl:apply-templates select="metro"/></out></xsl:template>'
+        f'<xsl:template match="metro"><m><xsl:apply-templates select="{select}"/></m></xsl:template>'
+        '<xsl:template match="confroom"><c/></xsl:template>'
+        '<xsl:template match="/" mode="x"><r/></xsl:template>'
+    )
+    try:
+        compose(view, stylesheet, hotel_db.catalog)
+    except UnsupportedFeatureError as exc:
+        # A '/' select that reaches a root rule also makes the CTG
+        # cyclic, so 'recursion' is an equally precise rejection.
+        assert exc.feature in (feature, "recursion")
+
+
+def test_variables_in_predicates_rejected(hotel_db):
+    view = figure1_view(hotel_db.catalog)
+    stylesheet = parse_stylesheet(
+        '<xsl:template match="/"><out><xsl:apply-templates select="metro"/></out></xsl:template>'
+        '<xsl:template match="metro"><m><xsl:apply-templates select="hotel[@starrating&gt;$min]"/></m></xsl:template>'
+        '<xsl:template match="hotel"><h/></xsl:template>'
+    )
+    with pytest.raises(UnsupportedFeatureError) as exc:
+        compose(view, stylesheet, hotel_db.catalog)
+    assert exc.value.feature == "variables"
+
+
+def test_blowup_bound_prevents_runaway(hotel_db):
+    from repro.workloads.synthetic import blowup_stylesheet, chain_catalog, chain_view
+
+    catalog = chain_catalog(12)
+    view = chain_view(12, catalog)
+    with pytest.raises(CompositionError) as exc:
+        compose(view, blowup_stylesheet(12), catalog, max_nodes=100)
+    assert "blowup" in str(exc.value)
+
+
+def test_evaluation_with_wrong_binding_env(hotel_db):
+    from repro.sql.parser import parse_select
+
+    query = parse_select("SELECT * FROM hotel WHERE metro_id = $ghost.metroid")
+    with pytest.raises(ViewEvaluationError) as exc:
+        hotel_db.run_query(query, {"m": {"metroid": 1}})
+    assert "$ghost" in str(exc.value)
+
+
+def test_composed_view_runs_after_data_mutation(hotel_db):
+    """Composed views are instance-independent: reuse across updates."""
+    view = figure1_view(hotel_db.catalog)
+    composed = compose(view, figure4_stylesheet(), hotel_db.catalog)
+    before = materialize(composed, hotel_db)
+    hotel_db.run_sql("DELETE FROM confroom WHERE capacity < 200")
+    after = materialize(composed, hotel_db)
+    def count(doc):
+        return sum(1 for e in doc.iter_elements() if e.tag == "confroom")
+    assert count(after) <= count(before)
+    # And it still matches a fresh naive run on the new instance.
+    from repro.xmlcore import canonical_form
+    from repro.xslt import apply_stylesheet
+
+    naive = apply_stylesheet(figure4_stylesheet(), materialize(view, hotel_db))
+    assert canonical_form(naive, ordered=False) == canonical_form(
+        after, ordered=False
+    )

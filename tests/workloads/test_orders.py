@@ -1,0 +1,116 @@
+"""Equivalence tests on the orders/invoicing workload."""
+
+import pytest
+
+from repro.core import compose
+from repro.core.optimize import prune_stylesheet_view
+from repro.schema_tree import materialize
+from repro.workloads.orders import (
+    OrdersDataSpec,
+    build_orders_database,
+    invoice_stylesheet,
+    large_lines_stylesheet,
+    orders_view,
+    summary_stylesheet,
+)
+from repro.xmlcore import canonical_form, serialize
+from repro.xslt import apply_stylesheet
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = build_orders_database(OrdersDataSpec(customers=8))
+    yield database
+    database.close()
+
+
+@pytest.fixture(scope="module")
+def view(db):
+    return orders_view(db.catalog)
+
+
+@pytest.mark.parametrize(
+    "stylesheet_factory",
+    [invoice_stylesheet, summary_stylesheet, large_lines_stylesheet],
+)
+def test_equivalence(db, view, stylesheet_factory):
+    stylesheet = stylesheet_factory()
+    naive = apply_stylesheet(stylesheet, materialize(view, db))
+    composed = materialize(compose(view, stylesheet, db.catalog), db)
+    assert canonical_form(naive, ordered=False) == canonical_form(
+        composed, ordered=False
+    )
+
+
+@pytest.mark.parametrize(
+    "stylesheet_factory",
+    [invoice_stylesheet, summary_stylesheet, large_lines_stylesheet],
+)
+def test_ordered_equivalence(db, view, stylesheet_factory):
+    """Every tag query carries ORDER BY, so outputs match in order too."""
+    stylesheet = stylesheet_factory()
+    naive = apply_stylesheet(stylesheet, materialize(view, db))
+    composed = materialize(compose(view, stylesheet, db.catalog), db)
+    assert canonical_form(naive, ordered=True) == canonical_form(
+        composed, ordered=True
+    )
+
+
+def test_invoice_filters_to_billed_orders(db, view):
+    composed = compose(view, invoice_stylesheet(), db.catalog)
+    doc = materialize(composed, db)
+    bills = [e for e in doc.iter_elements() if e.tag == "bill"]
+    assert bills
+    naive_doc = materialize(view, db)
+    billed = [
+        o for o in naive_doc.iter_elements()
+        if o.tag == "order" and o.get("status") == "billed"
+    ]
+    assert len(bills) == len(billed)
+
+
+def test_status_predicate_pushed_into_sql(db, view):
+    from repro.sql.printer import print_select
+
+    composed = compose(view, invoice_stylesheet(), db.catalog)
+    bill = next(n for n in composed.nodes(include_root=False) if n.tag == "bill")
+    assert "status = 'billed'" in print_select(bill.tag_query)
+
+
+def test_aggregate_predicate_becomes_outer_filter(db, view):
+    """order_total[@total>500]: post-aggregation filter on an ungrouped
+    aggregate — the scalar-unbinding path with a converted HAVING."""
+    from repro.sql.printer import print_select
+
+    composed = compose(view, summary_stylesheet(), db.catalog)
+    big = next(
+        n for n in composed.nodes(include_root=False) if n.tag == "big_order"
+    )
+    sql = print_select(big.tag_query)
+    assert "> 500" in sql
+    doc = materialize(composed, db)
+    for element in doc.iter_elements():
+        if element.tag == "big_order":
+            assert float(element.get("total")) > 500
+
+
+def test_pruning_on_orders_workload(db, view):
+    composed = compose(view, invoice_stylesheet(), db.catalog)
+    before = canonical_form(materialize(composed, db), ordered=True)
+    report = prune_stylesheet_view(composed, db.catalog)
+    assert report.columns_removed > 0
+    after = canonical_form(materialize(composed, db), ordered=True)
+    assert before == after
+
+
+def test_empty_orders_database(view):
+    from repro.relational.engine import Database
+    from repro.workloads.orders import orders_catalog
+
+    db = Database(orders_catalog())
+    stylesheet = invoice_stylesheet()
+    naive = apply_stylesheet(stylesheet, materialize(view, db))
+    composed = materialize(compose(view, stylesheet, db.catalog), db)
+    assert canonical_form(naive) == canonical_form(composed)
+    assert serialize(composed) == "<invoices/>"
+    db.close()

@@ -1,0 +1,81 @@
+"""Tests that the paper's figures are transcribed faithfully."""
+
+from repro.sql.printer import print_select
+from repro.workloads.hotel import hotel_catalog
+from repro.workloads.paper import (
+    figure1_view,
+    figure4_stylesheet,
+    figure15_stylesheet,
+    figure17_stylesheet,
+    figure25_stylesheet,
+    qtree_compatible_stylesheet,
+)
+
+
+def test_figure1_tag_queries_verbatim():
+    view = figure1_view(hotel_catalog())
+    queries = {n.id: print_select(n.tag_query) for n in view.nodes(include_root=False)}
+    assert queries[1] == "SELECT metroid, metroname FROM metroarea"
+    assert queries[3] == (
+        "SELECT * FROM hotel WHERE metro_id = $m.metroid AND starrating > 4"
+    )
+    assert queries[4] == (
+        "SELECT SUM(capacity) AS SUM_capacity FROM confroom "
+        "WHERE chotel_id = $h.hotelid"
+    )
+    assert queries[6] == (
+        "SELECT COUNT(a_id) AS COUNT_a_id, startdate "
+        "FROM availability, guestroom "
+        "WHERE rhotel_id = $h.hotelid AND a_r_id = r_id GROUP BY startdate"
+    )
+
+
+def test_figure1_binding_variables():
+    view = figure1_view(hotel_catalog())
+    assert {n.id: n.bv for n in view.nodes(include_root=False)} == {
+        1: "m", 2: "cs", 3: "h", 4: "s", 5: "c", 6: "a", 7: "v",
+    }
+
+
+def test_figure4_rules():
+    stylesheet = figure4_stylesheet()
+    matches = [r.match.to_text() for r in stylesheet.rules]
+    assert matches == ["/", "metro", "confstat", "metro/hotel/confroom"]
+    selects = [
+        a.select.to_text()
+        for r in stylesheet.rules
+        for a in r.apply_templates_nodes()
+    ]
+    assert selects == ["metro", "hotel/confstat", "../hotel_available/../confroom"]
+
+
+def test_figure15_differs_only_in_r2():
+    fig4 = figure4_stylesheet()
+    fig15 = figure15_stylesheet()
+    # R2 of Figure 15 has a bare apply-templates body.
+    assert len(fig15.rules[1].output) == 1
+    assert len(fig4.rules[1].output) == 1  # result_metro wrapper
+    assert fig4.rules[1].output[0].tag == "result_metro"
+
+
+def test_figure17_has_predicates():
+    stylesheet = figure17_stylesheet()
+    r3_select = stylesheet.rules[2].apply_templates_nodes()[0].select
+    assert r3_select.has_predicates()
+    assert stylesheet.rules[3].match.has_predicates()
+
+
+def test_figure25_is_recursive_shape():
+    stylesheet = figure25_stylesheet()
+    assert stylesheet.rules[0].params[0].name == "idx"
+    apply = stylesheet.rules[0].apply_templates_nodes()[0]
+    assert apply.with_params[0].name == "idx"
+
+
+def test_qtree_variant_has_no_parent_axis():
+    from repro.xpath.ast import Axis
+
+    stylesheet = qtree_compatible_stylesheet()
+    for rule in stylesheet.rules:
+        for apply in rule.apply_templates_nodes():
+            assert not any(s.axis is Axis.PARENT for s in apply.select.steps)

@@ -1,0 +1,95 @@
+"""Tests for the synthetic workload generators."""
+
+from repro.core import compose
+from repro.relational.engine import Database
+from repro.schema_tree import materialize
+from repro.workloads.synthetic import (
+    blowup_stylesheet,
+    chain_catalog,
+    chain_stylesheet,
+    chain_view,
+    fanout_catalog,
+    fanout_stylesheet,
+    fanout_view,
+    populate_chain,
+    populate_fanout,
+)
+from repro.xmlcore import canonical_form
+from repro.xslt import apply_stylesheet
+
+
+def test_chain_view_structure():
+    view = chain_view(4, chain_catalog(4))
+    assert view.size() == 4
+    tags = [n.tag for n in view.nodes(include_root=False)]
+    assert tags == ["n1", "n2", "n3", "n4"]
+
+
+def test_chain_population_counts():
+    catalog = chain_catalog(3)
+    db = Database(catalog)
+    populate_chain(db, 3, fanout=2, roots=3)
+    assert db.table_count("t1") == 3
+    assert db.table_count("t2") == 6
+    assert db.table_count("t3") == 12
+    db.close()
+
+
+def test_chain_equivalence_partial_depth():
+    levels = 4
+    catalog = chain_catalog(levels)
+    db = Database(catalog)
+    populate_chain(db, levels)
+    view = chain_view(levels, catalog)
+    stylesheet = chain_stylesheet(levels, selected_levels=2)
+    naive = apply_stylesheet(stylesheet, materialize(view, db))
+    composed = materialize(compose(view, stylesheet, catalog), db)
+    assert canonical_form(naive, ordered=False) == canonical_form(
+        composed, ordered=False
+    )
+    db.close()
+
+
+def test_fanout_view_and_data():
+    branches = 5
+    catalog = fanout_catalog(branches)
+    db = Database(catalog)
+    populate_fanout(db, branches, roots=2, rows_per_branch=3)
+    view = fanout_view(branches, catalog)
+    assert view.size() == 1 + branches
+    doc = materialize(view, db)
+    first_doc = doc.child_elements()[0]
+    assert len(first_doc.child_elements()) == branches * 3
+    db.close()
+
+
+def test_fanout_equivalence():
+    branches = 4
+    catalog = fanout_catalog(branches)
+    db = Database(catalog)
+    populate_fanout(db, branches)
+    view = fanout_view(branches, catalog)
+    stylesheet = fanout_stylesheet(branches, touched=2)
+    naive = apply_stylesheet(stylesheet, materialize(view, db))
+    composed = materialize(compose(view, stylesheet, catalog), db)
+    assert canonical_form(naive, ordered=False) == canonical_form(
+        composed, ordered=False
+    )
+    db.close()
+
+
+def test_blowup_stylesheet_equivalence():
+    levels = 3
+    catalog = chain_catalog(levels)
+    db = Database(catalog)
+    populate_chain(db, levels, fanout=1, roots=2)
+    view = chain_view(levels, catalog)
+    stylesheet = blowup_stylesheet(levels)
+    naive = apply_stylesheet(stylesheet, materialize(view, db))
+    composed = materialize(
+        compose(view, stylesheet, catalog, max_nodes=1000), db
+    )
+    assert canonical_form(naive, ordered=False) == canonical_form(
+        composed, ordered=False
+    )
+    db.close()

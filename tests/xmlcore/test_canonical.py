@@ -1,0 +1,64 @@
+"""Unit tests for canonical forms and structural equality."""
+
+from repro.xmlcore.canonical import canonical_form, documents_equal, elements_equal
+from repro.xmlcore.nodes import Element, Text
+from repro.xmlcore.parser import parse_document
+
+
+def test_attribute_order_irrelevant():
+    a = parse_document('<a x="1" y="2"/>')
+    b = parse_document('<a y="2" x="1"/>')
+    assert documents_equal(a, b)
+
+
+def test_child_order_matters_when_ordered():
+    a = parse_document("<a><b/><c/></a>")
+    b = parse_document("<a><c/><b/></a>")
+    assert not documents_equal(a, b)
+    assert documents_equal(a, b, ordered=False)
+
+
+def test_comments_ignored():
+    a = parse_document("<a><!--x--><b/></a>")
+    b = parse_document("<a><b/></a>")
+    assert documents_equal(a, b)
+
+
+def test_whitespace_only_text_ignored():
+    a = parse_document("<a>  <b/>  </a>")
+    b = parse_document("<a><b/></a>")
+    assert documents_equal(a, b)
+
+
+def test_significant_text_compared():
+    a = parse_document("<a>x</a>")
+    b = parse_document("<a>y</a>")
+    assert not documents_equal(a, b)
+
+
+def test_adjacent_text_merges():
+    a = Element("a")
+    a.append(Text("x"))
+    a.append(Text("y"))
+    b = Element("a")
+    b.append(Text("xy"))
+    assert elements_equal(a, b)
+
+
+def test_attribute_values_escaped_in_form():
+    element = Element("a", {"x": '"&<'})
+    form = canonical_form(element)
+    assert "&quot;" in form and "&amp;" in form and "&lt;" in form
+
+
+def test_unordered_is_deep():
+    a = parse_document("<a><b><x/><y/></b><b><y/><x/></b></a>")
+    form = canonical_form(a, ordered=False)
+    # Both <b> subtrees canonicalize identically when unordered.
+    assert form.count("<x></x><y></y>") == 2
+
+
+def test_nested_difference_detected():
+    a = parse_document('<a><b x="1"/></a>')
+    b = parse_document('<a><b x="2"/></a>')
+    assert not documents_equal(a, b, ordered=False)

@@ -1,0 +1,133 @@
+"""Unit tests for the XML parser."""
+
+import pytest
+
+from repro.errors import XMLParseError
+from repro.xmlcore.nodes import Comment, Element, Text
+from repro.xmlcore.parser import parse_document, parse_fragment
+
+
+def test_simple_element():
+    doc = parse_document("<a/>")
+    assert doc.root_element.tag == "a"
+    assert doc.root_element.children == []
+
+
+def test_attributes_double_and_single_quotes():
+    doc = parse_document("""<a x="1" y='two'/>""")
+    assert doc.root_element.attributes == {"x": "1", "y": "two"}
+
+
+def test_nested_elements_and_text():
+    doc = parse_document("<a><b>hi</b><c/></a>")
+    root = doc.root_element
+    assert [c.tag for c in root.child_elements()] == ["b", "c"]
+    assert root.child_elements()[0].text_content() == "hi"
+
+
+def test_predefined_entities_in_text():
+    doc = parse_document("<a>&lt;&gt;&amp;&quot;&apos;</a>")
+    assert doc.root_element.text_content() == "<>&\"'"
+
+
+def test_numeric_character_references():
+    doc = parse_document("<a>&#65;&#x42;</a>")
+    assert doc.root_element.text_content() == "AB"
+
+
+def test_entities_in_attributes():
+    doc = parse_document('<a x="&lt;5 &amp; &#62;3"/>')
+    assert doc.root_element.get("x") == "<5 & >3"
+
+
+def test_cdata_section():
+    doc = parse_document("<a><![CDATA[<not-a-tag> & raw]]></a>")
+    assert doc.root_element.text_content() == "<not-a-tag> & raw"
+
+
+def test_comment_preserved():
+    doc = parse_document("<a><!-- hello --></a>")
+    comment = doc.root_element.children[0]
+    assert isinstance(comment, Comment)
+    assert comment.value == " hello "
+
+
+def test_xml_declaration_and_doctype_skipped():
+    doc = parse_document('<?xml version="1.0"?><!DOCTYPE a><a/>')
+    assert doc.root_element.tag == "a"
+
+
+def test_processing_instruction_skipped():
+    doc = parse_document("<a><?pi data?><b/></a>")
+    assert [c.tag for c in doc.root_element.child_elements()] == ["b"]
+
+
+def test_namespace_prefixes_literal():
+    doc = parse_document('<xsl:template match="/"/>')
+    assert doc.root_element.tag == "xsl:template"
+    assert doc.root_element.get("match") == "/"
+
+
+def test_whitespace_in_tags():
+    doc = parse_document("<a  x = '1' ><b /></a >")
+    assert doc.root_element.get("x") == "1"
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "<a>",                       # unterminated
+        "<a></b>",                   # mismatched end tag
+        "<a x='1' x='2'/>",          # duplicate attribute
+        "<a x=1/>",                  # unquoted attribute
+        "<a/><b/>",                  # multiple roots
+        "text only",                 # no root element
+        "<a>&unknown;</a>",          # unknown entity
+        "<a><!-- -- --></a>",        # double hyphen in comment
+        "<a x='<'/>",                # '<' in attribute value
+        "<a><![CDATA[open</a>",      # unterminated CDATA
+        "",                          # empty input
+    ],
+)
+def test_malformed_inputs_raise(bad):
+    with pytest.raises(XMLParseError):
+        parse_document(bad)
+
+
+def test_error_reports_line_and_column():
+    try:
+        parse_document("<a>\n  <b></c>\n</a>")
+    except XMLParseError as exc:
+        assert exc.line == 2
+        assert exc.column > 0
+    else:  # pragma: no cover
+        raise AssertionError("expected XMLParseError")
+
+
+def test_fragment_allows_multiple_top_level_nodes():
+    nodes = parse_fragment("<a/>text<b/>")
+    assert len(nodes) == 3
+    assert isinstance(nodes[0], Element)
+    assert isinstance(nodes[1], Text)
+    assert nodes[1].value == "text"
+    assert nodes[0].parent is None
+
+
+def test_fragment_of_templates():
+    nodes = parse_fragment(
+        '<xsl:template match="a"/><xsl:template match="b"/>'
+    )
+    assert [n.tag for n in nodes] == ["xsl:template", "xsl:template"]
+
+
+def test_deeply_nested():
+    depth = 200
+    source = "".join(f"<n{i}>" for i in range(depth))
+    source += "".join(f"</n{i}>" for i in reversed(range(depth)))
+    doc = parse_document(source)
+    node = doc.root_element
+    count = 1
+    while node.child_elements():
+        node = node.child_elements()[0]
+        count += 1
+    assert count == depth

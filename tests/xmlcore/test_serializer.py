@@ -1,0 +1,70 @@
+"""Unit tests for XML serialization."""
+
+from repro.xmlcore.nodes import Comment, Document, Element, Text
+from repro.xmlcore.parser import parse_document
+from repro.xmlcore.serializer import (
+    escape_attribute,
+    escape_text,
+    serialize,
+    serialize_pretty,
+)
+
+
+def test_empty_element_self_closes():
+    assert serialize(Element("a")) == "<a/>"
+
+
+def test_attributes_in_insertion_order():
+    assert serialize(Element("a", {"z": "1", "b": "2"})) == '<a z="1" b="2"/>'
+
+
+def test_text_escaping():
+    element = Element("a")
+    element.append(Text("<x> & </x>"))
+    assert serialize(element) == "<a>&lt;x&gt; &amp; &lt;/x&gt;</a>"
+
+
+def test_attribute_escaping():
+    element = Element("a", {"x": 'a"b<c&d'})
+    assert serialize(element) == '<a x="a&quot;b&lt;c&amp;d"/>'
+
+
+def test_attribute_newline_escaped():
+    assert escape_attribute("a\nb") == "a&#10;b"
+
+
+def test_escape_text_basics():
+    assert escape_text("a<b>&c") == "a&lt;b&gt;&amp;c"
+
+
+def test_comment_serialization():
+    element = Element("a")
+    element.append(Comment("note"))
+    assert serialize(element) == "<a><!--note--></a>"
+
+
+def test_document_serializes_children():
+    doc = Document()
+    doc.append(Element("a"))
+    assert serialize(doc) == "<a/>"
+
+
+def test_list_of_nodes():
+    assert serialize([Element("a"), Element("b")]) == "<a/><b/>"
+
+
+def test_pretty_indents_elements():
+    doc = parse_document("<a><b><c/></b></a>")
+    pretty = serialize_pretty(doc)
+    assert pretty == "<a>\n  <b>\n    <c/>\n  </b>\n</a>\n"
+
+
+def test_pretty_keeps_text_inline():
+    doc = parse_document("<a><b>text</b></a>")
+    pretty = serialize_pretty(doc)
+    assert "<b>text</b>" in pretty
+
+
+def test_roundtrip_preserves_structure():
+    source = '<a x="1"><b>t&amp;t</b><c y="2"/></a>'
+    assert serialize(parse_document(source)) == source

@@ -1,0 +1,161 @@
+"""Unit tests for instance-level XPath evaluation."""
+
+import pytest
+
+from repro.errors import XPathEvaluationError
+from repro.xmlcore.parser import parse_document
+from repro.xpath.evaluator import XPathEvaluator, evaluate_path, evaluate_predicate
+from repro.xpath.parser import parse_expression, parse_path
+
+DOC = parse_document(
+    """
+<metro metroname="chicago">
+  <confstat sum="900"/>
+  <hotel hotelid="1" starrating="5">
+    <confstat sum="150"/>
+    <confroom capacity="300" rackrate="50.5"/>
+    <confroom capacity="100"/>
+    <hotel_available count="12"/>
+  </hotel>
+  <hotel hotelid="2" starrating="3">
+    <confstat sum="80"/>
+  </hotel>
+</metro>
+"""
+)
+METRO = DOC.root_element
+HOTEL1 = METRO.find_children("hotel")[0]
+HOTEL2 = METRO.find_children("hotel")[1]
+
+
+def tags(nodes):
+    return [getattr(n, "tag", "?") for n in nodes]
+
+
+def test_child_step():
+    assert tags(evaluate_path("hotel", METRO)) == ["hotel", "hotel"]
+
+
+def test_child_chain():
+    assert tags(evaluate_path("hotel/confroom", METRO)) == ["confroom", "confroom"]
+
+
+def test_parent_step():
+    confstat = HOTEL1.find_children("confstat")[0]
+    assert evaluate_path("..", confstat) == [HOTEL1]
+
+
+def test_parent_then_sibling():
+    confstat = HOTEL1.find_children("confstat")[0]
+    result = evaluate_path("../hotel_available/../confroom", confstat)
+    assert tags(result) == ["confroom", "confroom"]
+
+
+def test_self_step():
+    assert evaluate_path(".", HOTEL1) == [HOTEL1]
+
+
+def test_absolute_path_from_any_context():
+    assert tags(evaluate_path("/metro/hotel", HOTEL1)) == ["hotel", "hotel"]
+
+
+def test_descendant_or_self():
+    assert tags(evaluate_path("//confroom", METRO)) == ["confroom", "confroom"]
+    assert len(evaluate_path("//confstat", DOC)) == 3
+
+
+def test_wildcard_step():
+    assert len(evaluate_path("*", HOTEL1)) == 4
+
+
+def test_predicate_numeric_comparison():
+    result = evaluate_path("hotel[@starrating>4]", METRO)
+    assert result == [HOTEL1]
+
+
+def test_predicate_string_equality():
+    assert evaluate_path("hotel[@starrating='3']", METRO) == [HOTEL2]
+
+
+def test_predicate_path_existence():
+    result = evaluate_path("hotel[hotel_available]", METRO)
+    assert result == [HOTEL1]
+
+
+def test_predicate_not_function():
+    result = evaluate_path("hotel[not(hotel_available)]", METRO)
+    assert result == [HOTEL2]
+
+
+def test_predicate_missing_attribute_is_false():
+    assert evaluate_path("hotel[@ghost=1]", METRO) == []
+
+
+def test_predicate_and_or():
+    result = evaluate_path("hotel[@starrating>4 and confroom]", METRO)
+    assert result == [HOTEL1]
+    result = evaluate_path("hotel[@starrating>9 or @hotelid=2]", METRO)
+    assert result == [HOTEL2]
+
+
+def test_nested_predicate():
+    result = evaluate_path("hotel[confroom[@capacity>250]]", METRO)
+    assert result == [HOTEL1]
+
+
+def test_select_values_attribute_axis():
+    evaluator = XPathEvaluator()
+    values = evaluator.select_values(parse_path("hotel/@hotelid"), METRO)
+    assert values == ["1", "2"]
+
+
+def test_dedup_preserves_order():
+    # Two confrooms share one parent; '..' yields it once.
+    assert evaluate_path("confroom/..", HOTEL1) == [HOTEL1]
+
+
+def test_variables_in_predicates():
+    result = evaluate_path("hotel[@starrating>$min]", METRO, {"min": 4.0})
+    assert result == [HOTEL1]
+
+
+def test_unbound_variable_raises():
+    with pytest.raises(XPathEvaluationError):
+        evaluate_path("hotel[@starrating>$nope]", METRO)
+
+
+def test_count_function():
+    assert evaluate_predicate("count(confroom) = 2", HOTEL1)
+    assert not evaluate_predicate("count(confroom) = 2", HOTEL2)
+
+
+def test_true_false_functions():
+    assert evaluate_predicate("true()", HOTEL1)
+    assert not evaluate_predicate("false()", HOTEL1)
+
+
+def test_arithmetic_in_predicates():
+    assert evaluate_predicate("@capacity - 100 = 200", HOTEL1.find_children("confroom")[0])
+
+
+def test_comparison_against_node_set():
+    # Node-set comparison: true if some member matches.
+    assert evaluate_predicate("confroom/@capacity = 100", HOTEL1)
+    assert not evaluate_predicate("confroom/@capacity = 999", HOTEL1)
+
+
+def test_truth_coercions():
+    truth = XPathEvaluator.truth
+    assert truth(True) and not truth(False)
+    assert truth(1.0) and not truth(0.0)
+    assert truth("x") and not truth("")
+    assert truth([1]) and not truth([])
+    assert not truth(None)
+
+
+def test_to_string_formats_numbers():
+    to_string = XPathEvaluator.to_string
+    assert to_string(5.0) == "5"
+    assert to_string(5.5) == "5.5"
+    assert to_string(True) == "true"
+    assert to_string(None) == ""

@@ -1,0 +1,82 @@
+"""Unit tests for match-pattern semantics and default priorities."""
+
+from repro.xmlcore.parser import parse_document
+from repro.xpath.evaluator import XPathEvaluator
+from repro.xpath.parser import parse_pattern
+from repro.xpath.patterns import default_priority, pattern_matches
+
+DOC = parse_document(
+    "<metro><hotel starrating='5'><confroom capacity='300'/></hotel></metro>"
+)
+METRO = DOC.root_element
+HOTEL = METRO.child_elements()[0]
+CONFROOM = HOTEL.child_elements()[0]
+
+
+def test_root_pattern_matches_document_only():
+    pattern = parse_pattern("/")
+    assert pattern.matches(DOC)
+    assert not pattern.matches(METRO)
+
+
+def test_single_name_matches_any_depth():
+    pattern = parse_pattern("confroom")
+    assert pattern.matches(CONFROOM)
+    assert not pattern.matches(HOTEL)
+
+
+def test_multi_step_suffix_semantics():
+    pattern = parse_pattern("hotel/confroom")
+    assert pattern.matches(CONFROOM)
+    assert not pattern.matches(HOTEL)
+
+
+def test_full_path_pattern():
+    assert pattern_matches("metro/hotel/confroom", CONFROOM)
+    assert not pattern_matches("other/hotel/confroom", CONFROOM)
+
+
+def test_absolute_pattern_anchors_at_root():
+    assert pattern_matches("/metro", METRO)
+    assert not pattern_matches("/hotel", HOTEL)
+    assert pattern_matches("/metro/hotel", HOTEL)
+
+
+def test_wildcard_pattern():
+    assert pattern_matches("*", CONFROOM)
+    assert pattern_matches("hotel/*", CONFROOM)
+    assert not pattern_matches("metro/*", CONFROOM)
+
+
+def test_descendant_pattern():
+    assert pattern_matches("metro//confroom", CONFROOM)
+    assert pattern_matches("//confroom", CONFROOM)
+    assert not pattern_matches("hotel//metro", METRO)
+
+
+def test_pattern_with_predicates():
+    evaluator = XPathEvaluator()
+    pattern = parse_pattern("hotel[@starrating>4]/confroom")
+    assert pattern.matches(CONFROOM, evaluator.check_predicate)
+    pattern = parse_pattern("hotel[@starrating>9]/confroom")
+    assert not pattern.matches(CONFROOM, evaluator.check_predicate)
+
+
+def test_predicates_ignored_by_default_checker():
+    pattern = parse_pattern("hotel[@starrating>9]/confroom")
+    # Structural match ignores predicates unless a checker is supplied.
+    assert pattern.matches(CONFROOM)
+
+
+def test_default_priorities():
+    assert default_priority(parse_pattern("confroom")) == 0.0
+    assert default_priority(parse_pattern("*")) == -0.5
+    assert default_priority(parse_pattern("hotel/confroom")) == 0.5
+    assert default_priority(parse_pattern("confroom[@x]")) == 0.5
+    assert default_priority(parse_pattern("/")) == 0.5
+
+
+def test_pattern_text_roundtrip():
+    for text in ["/", "metro/hotel", "a[@x > 1]/b", "a//b"]:
+        assert parse_pattern(parse_pattern(text).to_text()).to_text() == \
+            parse_pattern(text).to_text()

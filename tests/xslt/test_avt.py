@@ -1,0 +1,153 @@
+"""Tests for attribute value templates (interpreter + composition)."""
+
+import pytest
+
+from repro.errors import StylesheetParseError, UnsupportedFeatureError
+from repro.core import compose
+from repro.schema_tree import materialize
+from repro.workloads.paper import figure1_view
+from repro.xmlcore import canonical_form, serialize
+from repro.xmlcore.parser import parse_document
+from repro.xslt.model import AttributeValueTemplate
+from repro.xslt.parser import parse_stylesheet
+from repro.xslt.processor import apply_stylesheet
+
+DOC = parse_document(
+    '<metro metroname="chicago"><hotel hotelid="1" starrating="5"/></metro>'
+)
+
+
+def run(stylesheet_text, doc=DOC, **kwargs):
+    return serialize(apply_stylesheet(parse_stylesheet(stylesheet_text), doc, **kwargs))
+
+
+def test_avt_parsing_splits_segments():
+    stylesheet = parse_stylesheet(
+        '<xsl:template match="a"><x y="pre{@b}post"/></xsl:template>'
+    )
+    element = stylesheet.rules[0].output[0]
+    template = element.avt_attributes["y"]
+    assert isinstance(template, AttributeValueTemplate)
+    assert template.segments[0] == "pre"
+    assert template.segments[2] == "post"
+    assert template.single_expression is None
+
+
+def test_avt_single_expression_detection():
+    stylesheet = parse_stylesheet(
+        '<xsl:template match="a"><x y="{@b}"/></xsl:template>'
+    )
+    template = stylesheet.rules[0].output[0].avt_attributes["y"]
+    assert template.single_expression is not None
+
+
+def test_avt_brace_escapes():
+    stylesheet = parse_stylesheet(
+        '<xsl:template match="a"><x y="a{{b}}c"/></xsl:template>'
+    )
+    element = stylesheet.rules[0].output[0]
+    # Escaped braces stay literal; no expression appears.
+    template = element.avt_attributes["y"]
+    assert template.segments == ["a{b}c"]
+
+
+def test_avt_unterminated_raises():
+    with pytest.raises(StylesheetParseError):
+        parse_stylesheet('<xsl:template match="a"><x y="{@b"/></xsl:template>')
+
+
+def test_avt_interpreter_rename():
+    out = run(
+        '<xsl:template match="/"><xsl:apply-templates select="metro/hotel"/></xsl:template>'
+        '<xsl:template match="hotel"><h id="{@hotelid}"/></xsl:template>'
+    )
+    assert out == '<h id="1"/>'
+
+
+def test_avt_interpreter_mixed_template():
+    out = run(
+        '<xsl:template match="/"><xsl:apply-templates select="metro/hotel"/></xsl:template>'
+        '<xsl:template match="hotel"><h label="hotel-{@hotelid}-{@starrating}"/></xsl:template>'
+    )
+    assert out == '<h label="hotel-1-5"/>'
+
+
+def test_avt_missing_attribute_omitted_in_publishing_mode():
+    out = run(
+        '<xsl:template match="/"><xsl:apply-templates select="metro/hotel"/></xsl:template>'
+        '<xsl:template match="hotel"><h id="{@ghost}"/></xsl:template>'
+    )
+    assert out == "<h/>"
+
+
+def test_avt_missing_attribute_empty_in_string_mode():
+    out = run(
+        '<xsl:template match="/"><xsl:apply-templates select="metro/hotel"/></xsl:template>'
+        '<xsl:template match="hotel"><h id="{@ghost}"/></xsl:template>',
+        string_value_mode=True,
+    )
+    assert out == '<h id=""/>'
+
+
+def test_avt_composes_with_rename(hotel_db):
+    view = figure1_view(hotel_db.catalog)
+    stylesheet = parse_stylesheet(
+        '<xsl:template match="/"><out><xsl:apply-templates select="metro"/></out></xsl:template>'
+        '<xsl:template match="metro"><city name="{@metroname}" code="{@metroid}">'
+        '<xsl:apply-templates select="hotel"/></city></xsl:template>'
+        '<xsl:template match="hotel"><h stars="{@starrating}"/></xsl:template>'
+    )
+    naive = apply_stylesheet(stylesheet, materialize(view, hotel_db))
+    composed_view = compose(view, stylesheet, hotel_db.catalog)
+    composed = materialize(composed_view, hotel_db)
+    assert canonical_form(naive, ordered=False) == canonical_form(
+        composed, ordered=False
+    )
+    nodes = {n.tag: n for n in composed_view.nodes(include_root=False)}
+    assert nodes["city"].data_attributes == {
+        "name": "metroname", "code": "metroid",
+    }
+
+
+def test_avt_mixed_template_not_composable(hotel_db):
+    view = figure1_view(hotel_db.catalog)
+    stylesheet = parse_stylesheet(
+        '<xsl:template match="/"><out><xsl:apply-templates select="metro"/></out></xsl:template>'
+        '<xsl:template match="metro"><m label="metro-{@metroid}"/></xsl:template>'
+    )
+    with pytest.raises(UnsupportedFeatureError) as exc:
+        compose(view, stylesheet, hotel_db.catalog)
+    assert exc.value.feature == "avt"
+
+
+def test_avt_on_missing_column_statically_absent(hotel_db):
+    view = figure1_view(hotel_db.catalog)
+    stylesheet = parse_stylesheet(
+        '<xsl:template match="/"><out><xsl:apply-templates select="metro"/></out></xsl:template>'
+        '<xsl:template match="metro"><m g="{@ghost}"/></xsl:template>'
+    )
+    naive = apply_stylesheet(stylesheet, materialize(view, hotel_db))
+    composed = materialize(compose(view, stylesheet, hotel_db.catalog), hotel_db)
+    assert canonical_form(naive, ordered=False) == canonical_form(
+        composed, ordered=False
+    )
+
+
+def test_avt_survives_flow_control_rewrite():
+    out_direct = run(
+        '<xsl:template match="/"><xsl:apply-templates select="metro/hotel"/></xsl:template>'
+        '<xsl:template match="hotel">'
+        '<xsl:if test="@starrating &gt; 4"><h id="{@hotelid}"/></xsl:if>'
+        "</xsl:template>"
+    )
+    from repro.core.rewrites.flow_control import lower_flow_control
+
+    stylesheet = parse_stylesheet(
+        '<xsl:template match="/"><xsl:apply-templates select="metro/hotel"/></xsl:template>'
+        '<xsl:template match="hotel">'
+        '<xsl:if test="@starrating &gt; 4"><h id="{@hotelid}"/></xsl:if>'
+        "</xsl:template>"
+    )
+    lowered = lower_flow_control(stylesheet)
+    out_lowered = serialize(apply_stylesheet(lowered, DOC))
+    assert out_direct == out_lowered == '<h id="1"/>'

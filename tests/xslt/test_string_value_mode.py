@@ -1,0 +1,89 @@
+"""The interpreter's standard-XSLT semantics (string_value_mode=True).
+
+The publishing model (default) is what composition targets; the standard
+mode exists so the interpreter is usable as a plain XSLT subset engine
+over arbitrary documents.
+"""
+
+from repro.xmlcore.parser import parse_document
+from repro.xmlcore.serializer import serialize
+from repro.xslt.parser import parse_stylesheet
+from repro.xslt.processor import apply_stylesheet
+
+DOC = parse_document(
+    """
+<library>
+  <book year="1970"><title>Relational Model</title><author>Codd</author></book>
+  <book year="1992"><title>Transactions</title><author>Gray</author></book>
+</library>
+"""
+)
+
+
+def run(stylesheet_text):
+    return serialize(
+        apply_stylesheet(
+            parse_stylesheet(stylesheet_text), DOC, string_value_mode=True
+        )
+    )
+
+
+def test_value_of_dot_is_string_value():
+    out = run(
+        '<xsl:template match="/"><xsl:apply-templates select="library/book"/></xsl:template>'
+        '<xsl:template match="book"><b><xsl:value-of select="title"/></b></xsl:template>'
+    )
+    assert out == "<b>Relational Model</b><b>Transactions</b>"
+
+
+def test_value_of_path_takes_first_node():
+    out = run(
+        '<xsl:template match="/"><all><xsl:value-of select="library/book/author"/></all></xsl:template>'
+    )
+    assert out == "<all>Codd</all>"
+
+
+def test_value_of_attribute_is_text_not_attribute():
+    out = run(
+        '<xsl:template match="/"><xsl:apply-templates select="library/book"/></xsl:template>'
+        '<xsl:template match="book"><y><xsl:value-of select="@year"/></y></xsl:template>'
+    )
+    assert out == "<y>1970</y><y>1992</y>"
+
+
+def test_avt_always_produces_string():
+    out = run(
+        '<xsl:template match="/"><xsl:apply-templates select="library/book"/></xsl:template>'
+        '<xsl:template match="book"><b label="y{@year}"/></xsl:template>'
+    )
+    assert out == '<b label="y1970"/><b label="y1992"/>'
+
+
+def test_string_value_predicates():
+    out = run(
+        '<xsl:template match="/">'
+        '<hit><xsl:apply-templates select="library/book[author=\'Gray\']"/></hit>'
+        "</xsl:template>"
+        '<xsl:template match="book"><xsl:value-of select="title"/></xsl:template>'
+    )
+    assert out == "<hit>Transactions</hit>"
+
+
+def test_standard_builtins_copy_text():
+    out = run(
+        '<xsl:template match="title"><t><xsl:value-of select="."/></t></xsl:template>'
+    )
+    # No root rule: with string mode + empty builtins nothing happens.
+    assert out == ""
+    out = serialize(
+        apply_stylesheet(
+            parse_stylesheet(
+                '<xsl:template match="title"><t><xsl:value-of select="."/></t></xsl:template>'
+            ),
+            DOC,
+            string_value_mode=True,
+            builtin_rules="standard",
+        )
+    )
+    assert "<t>Relational Model</t>" in out
+    assert "Codd" in out  # author text copied through by built-ins
