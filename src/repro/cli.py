@@ -17,7 +17,7 @@ Workflows:
 
     # Materialize a (possibly composed) view against a database.
     python -m repro materialize --catalog ... --view demo/composed.xml \\
-        --db demo/hotel.sqlite [--memoize] [--pretty]
+        --db demo/hotel.sqlite [--strategy nested-loop|memoized|bulk] [--pretty]
 
     # One-shot: plan + execute a stylesheet over a view (hybrid executor).
     python -m repro run --catalog ... --view demo/view.xml \\
@@ -38,7 +38,8 @@ from repro.core.optimize import prune_stylesheet_view
 from repro.core.tvq import build_tvq
 from repro.errors import ReproError
 from repro.relational.engine import Database
-from repro.schema_tree.evaluator import ViewEvaluator
+from repro.schema_tree.bulk_evaluator import BulkViewEvaluator
+from repro.schema_tree.evaluator import STRATEGIES, ViewEvaluator
 from repro.schema_tree.io import (
     load_catalog,
     load_view,
@@ -129,9 +130,21 @@ def cmd_materialize(args: argparse.Namespace) -> int:
     """``repro materialize``: evaluate a view file against a database."""
     catalog = load_catalog(args.catalog)
     view = load_view(args.view, catalog)
+    strategy = args.strategy
+    if args.memoize:
+        if strategy not in ("nested-loop", "memoized"):
+            print(
+                f"error: --memoize conflicts with --strategy {strategy}",
+                file=sys.stderr,
+            )
+            return 2
+        strategy = "memoized"
     db = Database.open(catalog, args.db)
     try:
-        evaluator = ViewEvaluator(db, memoize=args.memoize)
+        if strategy == "bulk":
+            evaluator = BulkViewEvaluator(db)
+        else:
+            evaluator = ViewEvaluator(db, memoize=strategy == "memoized")
         document = evaluator.materialize(view)
         text = serialize_pretty(document) if args.pretty else serialize(document)
         _write_output(text, args.out)
@@ -140,6 +153,14 @@ def cmd_materialize(args: argparse.Namespace) -> int:
             f"{db.stats.queries_executed} queries",
             file=sys.stderr,
         )
+        if strategy == "bulk" and evaluator.fallback_nodes:
+            print(
+                f"{len(evaluator.fallback_nodes)} nodes fell back to "
+                "correlated execution:",
+                file=sys.stderr,
+            )
+            for record in evaluator.fallback_nodes:
+                print(f"  {record}", file=sys.stderr)
     finally:
         db.close()
     return 0
@@ -229,7 +250,14 @@ def build_parser() -> argparse.ArgumentParser:
     materialize_parser.add_argument("--view", required=True)
     materialize_parser.add_argument("--db", required=True)
     materialize_parser.add_argument("--out", "-o")
-    materialize_parser.add_argument("--memoize", action="store_true")
+    materialize_parser.add_argument(
+        "--strategy", default="nested-loop", choices=list(STRATEGIES),
+        help="execution strategy (default: nested-loop)",
+    )
+    materialize_parser.add_argument(
+        "--memoize", action="store_true",
+        help="deprecated alias for --strategy memoized",
+    )
     materialize_parser.add_argument("--pretty", action="store_true")
     materialize_parser.set_defaults(func=cmd_materialize)
 

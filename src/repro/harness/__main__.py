@@ -17,7 +17,21 @@ def main() -> None:
     parser = argparse.ArgumentParser(description="repro experiment harness")
     parser.add_argument("--quick", action="store_true", help="small sweeps")
     parser.add_argument("--write", metavar="PATH", help="write markdown tables")
+    parser.add_argument(
+        "--e12-json", metavar="PATH",
+        help="run only E12 and record its raw numbers as JSON "
+        "(scale -> view -> strategy -> counters)",
+    )
     args = parser.parse_args()
+    if args.e12_json:
+        from repro.harness.experiments import e12_bulk_eval
+
+        factors = [1, 2] if args.quick else [1, 2, 4, 8, 16, 32]
+        results = [e12_bulk_eval(factors, json_path=args.e12_json)]
+        for result in results:
+            print(result.to_console())
+        print(f"wrote {args.e12_json}")
+        return
     results = run_all(quick=args.quick)
     for result in results:
         print(result.to_console())

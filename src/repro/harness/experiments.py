@@ -1,4 +1,4 @@
-"""Experiments E1-E8 (the per-experiment index lives in DESIGN.md §5).
+"""Experiments E1-E12 (the per-experiment index lives in DESIGN.md §5).
 
 The paper has no evaluation section — these experiments measure exactly
 the quantities its qualitative claims are about: end-to-end latency,
@@ -468,6 +468,99 @@ def e11_document_order(scale_factors: list[int] | None = None) -> ExperimentResu
     return result
 
 
+def e12_bulk_eval(
+    scale_factors: list[int] | None = None,
+    json_path: str | None = None,
+    repeats: int = 5,
+) -> ExperimentResult:
+    """E12: bulk decorrelated evaluation vs nested-loop vs memoized.
+
+    The bulk strategy runs one decorrelated query per schema node (plus
+    one correlated query per binding for fallback nodes) instead of one
+    query per parent binding; sweeps the Figure 1 view and the Figure 4
+    composed stylesheet view. Each strategy is timed ``repeats`` times
+    and the best run is reported (standard practice to suppress scheduler
+    noise; query/row counts are identical across repeats). With
+    ``json_path`` the raw numbers are also written as
+    ``{scale: {view: {strategy: {queries, rows, seconds}}}}``.
+    """
+    import json
+
+    from repro.schema_tree.bulk_evaluator import BulkViewEvaluator
+    from repro.schema_tree.evaluator import ViewEvaluator
+    from repro.xmlcore.canonical import canonical_form
+
+    result = ExperimentResult(
+        "E12",
+        "Bulk decorrelated evaluation: queries executed and seconds "
+        "(Figure 1 view and Figure 4 composed view)",
+        ["scale", "view", "strategy", "queries", "rows", "seconds",
+         "speedup", "fallbacks", "equal output"],
+        notes=[
+            "'speedup' is nested-loop seconds over this strategy's "
+            "seconds on the same view and scale; equality is canonical "
+            "(unordered) against the nested-loop output.",
+        ],
+    )
+    records: dict[int, dict[str, dict[str, dict[str, float]]]] = {}
+    for factor in scale_factors or [1, 2, 4, 8, 16]:
+        db = _hotel_db(factor)
+        figure1 = figure1_view(db.catalog)
+        composed = compose(figure1, figure4_stylesheet(), db.catalog)
+        records[factor] = {}
+        for view_name, view in [("figure1", figure1), ("composed", composed)]:
+            records[factor][view_name] = {}
+            baseline_doc = None
+            baseline_seconds = None
+            for strategy in ["nested-loop", "memoized", "bulk"]:
+                seconds = None
+                for _ in range(max(1, repeats)):
+                    if strategy == "bulk":
+                        evaluator = BulkViewEvaluator(db)
+                    else:
+                        evaluator = ViewEvaluator(
+                            db, memoize=strategy == "memoized"
+                        )
+                    db.stats.reset()
+                    start = time.perf_counter()
+                    document = evaluator.materialize(view)
+                    elapsed = time.perf_counter() - start
+                    if seconds is None or elapsed < seconds:
+                        seconds = elapsed
+                    queries = db.stats.queries_executed
+                    rows = db.stats.rows_fetched
+                    fallbacks = len(getattr(evaluator, "fallback_nodes", []))
+                if baseline_doc is None:
+                    baseline_doc = canonical_form(document, ordered=False)
+                    baseline_seconds = seconds
+                    equal = True
+                else:
+                    equal = (
+                        canonical_form(document, ordered=False)
+                        == baseline_doc
+                    )
+                speedup = (
+                    f"{baseline_seconds / seconds:.1f}x" if seconds else "inf"
+                )
+                result.add_row(
+                    factor, view_name, strategy, queries, rows, seconds,
+                    speedup, fallbacks, equal,
+                )
+                records[factor][view_name][strategy] = {
+                    "queries": queries,
+                    "rows": rows,
+                    "seconds": round(seconds, 6),
+                    "fallbacks": fallbacks,
+                    "equal": equal,
+                }
+        db.close()
+    if json_path:
+        with open(json_path, "w") as handle:
+            json.dump(records, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return result
+
+
 def run_all(quick: bool = False) -> list[ExperimentResult]:
     """Run every experiment; ``quick`` shrinks the sweeps."""
     if quick:
@@ -483,6 +576,7 @@ def run_all(quick: bool = False) -> list[ExperimentResult]:
             e9_optimizer_ablation([1]),
             e10_memoization([1]),
             e11_document_order([1]),
+            e12_bulk_eval([1, 2]),
         ]
     return [
         e1_end_to_end(),
@@ -496,4 +590,5 @@ def run_all(quick: bool = False) -> list[ExperimentResult]:
         e9_optimizer_ablation(),
         e10_memoization(),
         e11_document_order(),
+        e12_bulk_eval(),
     ]

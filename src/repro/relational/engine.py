@@ -55,7 +55,7 @@ class Database:
         self.connection = sqlite3.connect(path or ":memory:")
         self.connection.row_factory = sqlite3.Row
         self.stats = QueryStats()
-        self._sql_cache: dict[int, tuple[str, list]] = {}
+        self._sql_cache: dict[int, tuple[str, list, Select]] = {}
         if create:
             self.create_all()
 
@@ -79,18 +79,28 @@ class Database:
         columns = declared.column_names()
         placeholders = ", ".join(f":{c}" for c in columns)
         sql = f"INSERT INTO {table} ({', '.join(columns)}) VALUES ({placeholders})"
-        cursor = self.connection.cursor()
-        count = 0
+        payload: list[dict[str, Any]] = []
         for row in rows:
             missing = [c for c in columns if c not in row]
             if missing:
                 raise ViewEvaluationError(
                     f"insert into {table}: row missing columns {missing}"
                 )
-            cursor.execute(sql, dict(row))
-            count += 1
+            payload.append({c: row[c] for c in columns})
+        if payload:
+            self.connection.cursor().executemany(sql, payload)
         self.connection.commit()
-        return count
+        return len(payload)
+
+    def analyze(self) -> None:
+        """Refresh sqlite's planner statistics (``ANALYZE``).
+
+        Worth calling after bulk-loading: with stats the planner picks
+        selective indexes instead of guessing, which matters for the
+        decorrelated bulk queries and correlated point queries alike.
+        """
+        self.connection.execute("ANALYZE")
+        self.connection.commit()
 
     def table_count(self, table: str) -> int:
         """Row count of a base table."""
@@ -141,17 +151,21 @@ class Database:
         except sqlite3.Error as exc:
             raise ViewEvaluationError(f"sqlite error: {exc}; SQL: {sql}") from exc
         names = [d[0] for d in cursor.description]
-        rows: list[Row] = []
-        for raw in cursor.fetchall():
-            row: Row = {}
-            for index, name in enumerate(names):
-                if name in row:
-                    suffix = 2
-                    while f"{name}__{suffix}" in row:
-                        suffix += 1
-                    name = f"{name}__{suffix}"
-                row[name] = raw[index]
-            rows.append(row)
+        if len(set(names)) == len(names):
+            # Fast path: unique column names, one dict(zip) per row.
+            rows = [dict(zip(names, raw)) for raw in cursor.fetchall()]
+        else:
+            rows = []
+            for raw in cursor.fetchall():
+                row: Row = {}
+                for index, name in enumerate(names):
+                    if name in row:
+                        suffix = 2
+                        while f"{name}__{suffix}" in row:
+                            suffix += 1
+                        name = f"{name}__{suffix}"
+                    row[name] = raw[index]
+                rows.append(row)
         self.stats.queries_executed += 1
         self.stats.rows_fetched += len(rows)
         if self.stats.keep_sql:

@@ -40,11 +40,13 @@ class Column:
 
 @dataclass
 class Table:
-    """One table: a name, ordered columns, and an optional primary key."""
+    """One table: a name, ordered columns, an optional primary key, and
+    optional single-column secondary indexes (join/filter columns)."""
 
     name: str
     columns: list[Column] = field(default_factory=list)
     primary_key: Optional[str] = None
+    indexes: list[str] = field(default_factory=list)
 
     def column_names(self) -> list[str]:
         """Ordered column names."""
@@ -65,6 +67,21 @@ class Table:
                 )
             parts.append(f"PRIMARY KEY ({self.primary_key})")
         return f"CREATE TABLE {self.name} ({', '.join(parts)})"
+
+    def index_ddl(self) -> list[str]:
+        """CREATE INDEX statements for the declared secondary indexes."""
+        statements = []
+        for column in self.indexes:
+            if not self.has_column(column):
+                raise SchemaError(
+                    f"table {self.name!r}: index column {column!r} "
+                    "is not a column"
+                )
+            statements.append(
+                f"CREATE INDEX idx_{self.name}_{column} "
+                f"ON {self.name} ({column})"
+            )
+        return statements
 
 
 class Catalog:
@@ -107,10 +124,19 @@ class Catalog:
     # DDL --------------------------------------------------------------------
 
     def ddl_statements(self) -> list[str]:
-        """CREATE TABLE statements for every table."""
-        return [t.ddl() for t in self]
+        """CREATE TABLE (and CREATE INDEX) statements for every table."""
+        statements = [t.ddl() for t in self]
+        for t in self:
+            statements.extend(t.index_ddl())
+        return statements
 
 
-def table(name: str, *columns: tuple[str, str], primary_key: Optional[str] = None) -> Table:
+def table(
+    name: str,
+    *columns: tuple[str, str],
+    primary_key: Optional[str] = None,
+    indexes: Optional[list[str]] = None,
+) -> Table:
     """Shorthand constructor: ``table("t", ("id", "INTEGER"), ("x", "TEXT"))``."""
-    return Table(name, [Column(n, t) for n, t in columns], primary_key)
+    return Table(name, [Column(n, t) for n, t in columns], primary_key,
+                 list(indexes or []))

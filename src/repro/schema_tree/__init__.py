@@ -14,14 +14,22 @@ fluent builder (:mod:`~repro.schema_tree.builder`), static validation
 
 from repro.schema_tree.model import SchemaNode, SchemaTreeQuery
 from repro.schema_tree.builder import ViewBuilder
-from repro.schema_tree.evaluator import MaterializeStats, ViewEvaluator, materialize
+from repro.schema_tree.bulk_evaluator import BulkViewEvaluator
+from repro.schema_tree.evaluator import (
+    STRATEGIES,
+    MaterializeStats,
+    ViewEvaluator,
+    materialize,
+)
 from repro.schema_tree.validate import validate_view
 
 __all__ = [
     "SchemaNode",
     "SchemaTreeQuery",
     "ViewBuilder",
+    "BulkViewEvaluator",
     "MaterializeStats",
+    "STRATEGIES",
     "ViewEvaluator",
     "materialize",
     "validate_view",

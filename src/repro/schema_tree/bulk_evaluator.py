@@ -1,0 +1,657 @@
+"""Bulk decorrelated view evaluation: one query per schema node.
+
+The nested-loop evaluator of :mod:`repro.schema_tree.evaluator` re-runs
+each node's tag query once per binding of its ancestors' variables, so a
+view over N tuples costs O(N) SQL round-trips. This module evaluates the
+same views with **one decorrelated query per schema node** — O(|v|)
+round-trips — by reusing the composition machinery the paper builds for
+UNBIND: each node's correlated tag query is rewritten into an unbound
+join against the inlined chain of its query-bearing ancestors
+(:func:`repro.sql.transform.attach_parent_query`, the Figures 10/12
+derived-table inlining), with every ancestor's output columns carried to
+the result. The flat row stream is then stitched back into the XML tree
+by a grouped merge in Python: rows group on the carried ancestor-column
+tuple, and each parent element attaches the group matching its own
+binding values, preserving the parent-major order the propagated ORDER BY
+keys produce.
+
+Correctness notes (each is covered by the equivalence property tests):
+
+* **Aggregates.** Ungrouped aggregate tag queries decorrelate through the
+  scalar-subquery form (one row per parent binding even over empty
+  groups); grouped aggregates extend their GROUP BY with the carried
+  ancestor columns, which partitions the groups per binding.
+* **Duplicate parent bindings.** When two ancestor bindings carry
+  identical values, their element subtrees are identical, but the joined
+  chain duplicates the child rows. The merge detects this (multiple
+  parent elements sharing one group key) and deals each parent its share:
+  plain queries divide the group's row multiplicities by the duplicate
+  count; DISTINCT queries attach the (already collapsed) group as-is;
+  grouped aggregates cannot be split after the fact, so the node falls
+  back to correlated execution.
+* **Fallback.** Any node whose query the decorrelator cannot handle
+  (non-derivable output column names, shapes the key columns cannot be
+  carried through, SQL the transform rejects) is executed with the
+  original correlated query, one run per parent binding, and recorded in
+  :attr:`BulkViewEvaluator.fallback_nodes` and the module logger — never
+  silently.
+
+Work accounting matches the other strategies: elements/attributes land in
+the shared :class:`~repro.schema_tree.evaluator.MaterializeStats`, query
+and row counts on the engine's ``QueryStats``, so E1/E2/E12 compare like
+for like.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from operator import itemgetter
+from typing import Any, Optional
+
+from repro.errors import ReproError, ViewEvaluationError
+from repro.relational.engine import Database, Row
+from repro.schema_tree.evaluator import MaterializeStats, build_element
+from repro.schema_tree.model import SchemaNode, SchemaTreeQuery
+from repro.sql.analysis import has_top_level_aggregate, output_columns
+from repro.sql.ast import ColumnRef, FuncCall, ParamRef, Select, Star
+from repro.sql.params import collect_params, walk_exprs
+from repro.sql.transform import attach_parent_query, expand_stars
+
+logger = logging.getLogger(__name__)
+
+#: Per-view plan cache: ``id(view) -> (view, catalog, plans, records)``.
+#: Plans depend only on the view tree and the catalog (never on data), so
+#: repeated materializations of the same view object skip the clone +
+#: decorrelate + validate pass entirely. Identity-checked against both the
+#: view and the catalog; bounded FIFO so held references stay small.
+_PLAN_CACHE: dict[int, tuple] = {}
+_PLAN_CACHE_LIMIT = 8
+
+
+class _BulkUnsupported(Exception):
+    """Internal: this node cannot (or can no longer) be bulk-evaluated."""
+
+
+@dataclass
+class FallbackRecord:
+    """One node that ran correlated instead of bulk, and why."""
+
+    node_id: int
+    tag: str
+    reason: str
+
+    def __str__(self) -> str:  # pragma: no cover - formatting only
+        return f"node {self.node_id} <{self.tag}>: {self.reason}"
+
+
+@dataclass(slots=True)
+class _Instance:
+    """One materialized element with its binding context.
+
+    ``key`` is the element's context signature: the concatenated *key
+    columns* (the pruned, descendant-referenced subset) of every
+    query-bearing ancestor-or-self binding, in root-to-leaf order.
+    Children group their bulk rows on exactly this tuple; ``env`` keeps
+    the full rows for correlated fallbacks and ``attr_source_bv``
+    resolution.
+    """
+
+    element: Any
+    env: dict[str, Row]
+    key: tuple
+
+
+@dataclass
+class _NodePlan:
+    """The per-node execution decision."""
+
+    node: SchemaNode
+    kind: str  # "bulk" | "fallback" | "literal"
+    query: Optional[Select] = None
+    #: Bulk-row column names holding the parent context key, in order.
+    key_columns: list[str] = field(default_factory=list)
+    #: The node's own output column names (static == sqlite names).
+    own_columns: list[str] = field(default_factory=list)
+    #: The subset of own columns descendants key on (pruned context).
+    own_key_columns: list[str] = field(default_factory=list)
+    #: Whether descendants may rely on this node's static column names.
+    reliable: bool = True
+    grouped_aggregate: bool = False
+    distinct: bool = False
+    #: For ungrouped aggregates evaluated through the grouped join form:
+    #: the row an empty group produces (COUNT -> 0, SUM/MIN/MAX/AVG -> NULL).
+    empty_row: Optional[Row] = None
+    #: Whether a descendant surfaces this node's env row wholesale
+    #: (``attr_source_bv`` with no column list), forcing the bulk row to be
+    #: trimmed to the node's own columns instead of handed over as-is.
+    exact_env_row: bool = False
+    reason: str = ""
+
+
+def _stable_output_columns(query: Select, catalog) -> list[str]:
+    """Output columns whose static names provably match sqlite's.
+
+    Raises :class:`_BulkUnsupported` when a select item's runtime column
+    name could differ from the statically derived one (unaliased
+    expressions, duplicates the engine would rename with ``__2``
+    suffixes) — the grouped merge keys on these names, so a mismatch
+    would silently misgroup rows.
+    """
+    try:
+        columns = output_columns(query, catalog)
+    except ReproError as exc:
+        raise _BulkUnsupported(f"output columns not derivable: {exc}") from exc
+    if len(set(columns)) != len(columns):
+        raise _BulkUnsupported("duplicate output column names")
+    for item in query.items:
+        if item.alias or isinstance(item.expr, (Star, ColumnRef)):
+            continue
+        raise _BulkUnsupported(
+            f"select item without a stable column name: {item.expr!r}"
+        )
+    return columns
+
+
+def _empty_group_row(select: Select) -> Optional[Row]:
+    """The row an ungrouped aggregate query yields over an empty input.
+
+    ``SELECT COUNT(x) AS c, SUM(y) AS s ...`` with no matching tuples
+    returns exactly one row ``(0, NULL)``. Knowing that row lets the bulk
+    evaluator run such queries through the cheap join-and-group form and
+    repair the dropped empty groups in the merge. Returns ``None`` when
+    the query is not an ungrouped aggregate or its empty-input row is not
+    statically known (non-aggregate select items, HAVING).
+    """
+    if (
+        select.group_by
+        or select.distinct
+        or select.having is not None
+        or not has_top_level_aggregate(select)
+    ):
+        return None
+    row: Row = {}
+    for item in select.items:
+        expr = item.expr
+        if not isinstance(expr, FuncCall) or not expr.is_aggregate:
+            return None
+        name = item.output_name()
+        if not name:
+            return None
+        row[name] = 0 if expr.name == "COUNT" else None
+    return row
+
+
+class BulkViewEvaluator:
+    """Materializes a schema-tree view with one query per schema node.
+
+    Drop-in alternative to :class:`~repro.schema_tree.evaluator.ViewEvaluator`:
+    same output document (canonically identical), same stats counters.
+    """
+
+    def __init__(self, db: Database):
+        self.db = db
+        self.stats = MaterializeStats()
+        self.fallback_nodes: list[FallbackRecord] = []
+        self.bulk_queries_executed = 0
+        self._key_columns_cache: dict[int, list[str]] = {}
+
+    # -- planning -------------------------------------------------------------
+
+    def _node_key_columns(self, node: SchemaNode) -> list[str]:
+        """The columns of ``node``'s row its subtree's merge keys use.
+
+        Descendants join and group on their ancestors' *key columns*, not
+        every carried column: the columns their tag queries reference as
+        ``$bv.column`` parameters, plus the node's own ORDER BY keys (so
+        document order still propagates). Anything else cannot influence
+        a descendant's rows, so two bindings agreeing on the key columns
+        have identical subtrees — which is exactly the invariant the
+        duplicate-binding merge relies on. Pruning here is what keeps the
+        bulk queries' carried width and GROUP BY lists narrow.
+
+        DISTINCT queries are never pruned (projection changes their
+        cardinality), keeping the pruned query reusable as an inlined
+        ancestor.
+        """
+        cached = self._key_columns_cache.get(node.id)
+        if cached is not None:
+            return cached
+        assert node.tag_query is not None
+        out = output_columns(node.tag_query, self.db.catalog)
+        if node.tag_query.distinct:
+            self._key_columns_cache[node.id] = out
+            return out
+        needed: set[str] = set()
+        if node.bv is not None:
+            for descendant in node.walk():
+                if descendant is node or descendant.tag_query is None:
+                    continue
+                for expr in walk_exprs(descendant.tag_query):
+                    if isinstance(expr, ParamRef) and expr.var == node.bv:
+                        needed.add(expr.column)
+        for item in node.tag_query.order_by:
+            if isinstance(item.expr, ColumnRef) and item.expr.column in out:
+                needed.add(item.expr.column)
+        columns = [c for c in out if c in needed]
+        self._key_columns_cache[node.id] = columns
+        return columns
+
+    def _pruned_parent(self, ancestor: SchemaNode, keep: list[str]) -> Select:
+        """A clone of an ancestor's tag query projecting only ``keep``.
+
+        Cardinality is preserved: the WHERE/GROUP BY/ORDER BY clauses are
+        untouched, and when nothing is kept one original item remains so
+        the query still produces one row per binding.
+        """
+        assert ancestor.tag_query is not None
+        query = ancestor.tag_query.clone()
+        out = output_columns(query, self.db.catalog)
+        if query.distinct or set(keep) == set(out):
+            return query
+        expand_stars(query, self.db.catalog)
+        keep_set = set(keep)
+        kept = [i for i in query.items if i.output_name() in keep_set]
+        if not kept:
+            kept = [query.items[0]]
+        query.items = kept
+        return query
+
+    def _plan_node(self, node: SchemaNode, tainted: bool) -> _NodePlan:
+        """Decide how to execute one node (bulk, fallback, or literal)."""
+        if node.tag_query is None:
+            return _NodePlan(node, "literal")
+        try:
+            own_columns = _stable_output_columns(node.tag_query, self.db.catalog)
+            reliable = True
+        except _BulkUnsupported as exc:
+            return self._fallback_plan(node, str(exc), reliable=False)
+        own_key_columns = self._node_key_columns(node)
+        if tainted:
+            return self._fallback_plan(
+                node,
+                "ancestor column names are not statically derivable",
+                reliable=reliable,
+                own_columns=own_columns,
+                own_key_columns=own_key_columns,
+            )
+        empty_row = _empty_group_row(node.tag_query)
+        try:
+            query, key_columns = self._decorrelate(
+                node, grouped_aggregates=empty_row is not None
+            )
+        except _BulkUnsupported as exc:
+            return self._fallback_plan(
+                node, str(exc), reliable=reliable, own_columns=own_columns,
+                own_key_columns=own_key_columns,
+            )
+        return _NodePlan(
+            node,
+            "bulk",
+            query=query,
+            key_columns=key_columns,
+            own_columns=own_columns,
+            own_key_columns=own_key_columns,
+            reliable=True,
+            # A synthesized ungrouped aggregate ran through GROUP BY too,
+            # so duplicate parent bindings inflate it just the same.
+            grouped_aggregate=bool(node.tag_query.group_by)
+            or empty_row is not None,
+            distinct=node.tag_query.distinct,
+            empty_row=empty_row,
+            exact_env_row=node.bv is not None
+            and any(
+                d.attr_source_bv == node.bv and d.attr_columns is None
+                for d in node.walk()
+                if d is not node
+            ),
+        )
+
+    def _fallback_plan(
+        self,
+        node: SchemaNode,
+        reason: str,
+        reliable: bool,
+        own_columns: Optional[list[str]] = None,
+        own_key_columns: Optional[list[str]] = None,
+    ) -> _NodePlan:
+        record = FallbackRecord(node.id, node.tag, reason)
+        self.fallback_nodes.append(record)
+        logger.warning("bulk evaluation falling back to correlated: %s", record)
+        return _NodePlan(
+            node,
+            "fallback",
+            own_columns=own_columns or [],
+            own_key_columns=own_key_columns or [],
+            reliable=reliable,
+            reason=reason,
+        )
+
+    def _decorrelate(
+        self, node: SchemaNode, grouped_aggregates: bool = False
+    ) -> tuple[Select, list[str]]:
+        """Rewrite the node's tag query into one closed bulk query.
+
+        Ancestor tag queries are attached nearest-first: each step inlines
+        the ancestor as a derived table wherever its binding variable is
+        referenced (recursing into previously inlined levels), carries the
+        ancestor's columns to the output, and propagates its ORDER BY keys
+        parent-major — the same one-level step UNBIND iterates.
+
+        With ``grouped_aggregates`` an ungrouped aggregate takes the
+        join-and-group form instead of correlated scalar subqueries: far
+        cheaper (one grouped pass instead of a subquery per parent row),
+        at the price of losing empty groups — which the caller repairs
+        from :attr:`_NodePlan.empty_row` during the merge.
+        """
+        catalog = self.db.catalog
+        assert node.tag_query is not None
+        ancestors = [
+            a for a in node.path_from_root()[1:-1] if a.tag_query is not None
+        ]
+        query = node.tag_query.clone()
+        exposures: dict[int, dict[str, str]] = {}
+        for ancestor in reversed(ancestors):
+            if ancestor.bv is None:
+                raise _BulkUnsupported(
+                    f"ancestor <{ancestor.tag}> has a query but no binding "
+                    "variable"
+                )
+            try:
+                _stable_output_columns(ancestor.tag_query, catalog)
+                pruned = self._pruned_parent(
+                    ancestor, self._node_key_columns(ancestor)
+                )
+                exposures[ancestor.id] = attach_parent_query(
+                    query, ancestor.bv, pruned, catalog,
+                    scalar_aggregates=not grouped_aggregates,
+                )
+            except ReproError as exc:
+                raise _BulkUnsupported(
+                    f"cannot inline ancestor <{ancestor.tag}>: {exc}"
+                ) from exc
+        if collect_params(query):
+            leftover = sorted(
+                {p.var for p in collect_params(query)}
+            )
+            raise _BulkUnsupported(
+                f"decorrelation left unresolved parameters ${', $'.join(leftover)}"
+            )
+        bulk_columns = _stable_output_columns(query, catalog)
+        key_columns: list[str] = []
+        for ancestor in ancestors:
+            exposure = exposures[ancestor.id]
+            for column in self._node_key_columns(ancestor):
+                exposed = exposure.get(column)
+                if exposed is None or exposed not in bulk_columns:
+                    raise _BulkUnsupported(
+                        f"ancestor <{ancestor.tag}> column {column!r} was "
+                        "not carried to the bulk result"
+                    )
+                key_columns.append(exposed)
+        return query, key_columns
+
+    def _plan_view(self, view: SchemaTreeQuery) -> dict[int, _NodePlan]:
+        """Plan every node of ``view``, with cross-evaluator caching.
+
+        Planning depends only on the view and the catalog, so the result
+        (including which nodes fell back and why) is cached per view
+        object. On a hit the planning-time fallback records are replayed
+        into :attr:`fallback_nodes` without re-logging.
+        """
+        cached = _PLAN_CACHE.get(id(view))
+        if (
+            cached is not None
+            and cached[0] is view
+            and cached[1] is self.db.catalog
+        ):
+            self.fallback_nodes.extend(cached[3])
+            return cached[2]
+        marker = len(self.fallback_nodes)
+        plans: dict[int, _NodePlan] = {}
+        reliability: dict[int, bool] = {view.root.id: True}
+        for node in view.nodes(include_root=False):
+            parent = node.parent
+            assert parent is not None
+            plan = self._plan_node(node, tainted=not reliability[parent.id])
+            plans[node.id] = plan
+            reliability[node.id] = reliability[parent.id] and plan.reliable
+        while len(_PLAN_CACHE) >= _PLAN_CACHE_LIMIT:
+            _PLAN_CACHE.pop(next(iter(_PLAN_CACHE)))
+        _PLAN_CACHE[id(view)] = (
+            view,
+            self.db.catalog,
+            plans,
+            list(self.fallback_nodes[marker:]),
+        )
+        return plans
+
+    # -- execution ------------------------------------------------------------
+
+    def materialize(self, view: SchemaTreeQuery) -> "Document":
+        """Evaluate ``view``; returns the document (see ViewEvaluator)."""
+        from repro.xmlcore.nodes import Document
+
+        plans = self._plan_view(view)
+        document = Document()
+        instances: dict[int, list[_Instance]] = {
+            view.root.id: [_Instance(document, {}, ())]
+        }
+        for node in view.nodes(include_root=False):
+            parent = node.parent
+            assert parent is not None
+            parents = instances.get(parent.id, [])
+            plan = plans[node.id]
+            if plan.kind == "literal":
+                created = self._emit_literal(node, parents)
+            elif plan.kind == "bulk":
+                created = self._emit_bulk(plan, parents)
+            else:
+                created = self._emit_fallback(plan, parents)
+            instances[node.id] = created
+        return document
+
+    def _emit_literal(
+        self, node: SchemaNode, parents: list[_Instance]
+    ) -> list[_Instance]:
+        created: list[_Instance] = []
+        for parent in parents:
+            element = build_element(node, parent.env, row=None, stats=self.stats)
+            parent.element.append(element)
+            created.append(_Instance(element, parent.env, parent.key))
+        return created
+
+    def _emit_fallback(
+        self, plan: _NodePlan, parents: list[_Instance]
+    ) -> list[_Instance]:
+        """Correlated execution: one query per parent binding (Section 2.1)."""
+        node = plan.node
+        assert node.tag_query is not None
+        created: list[_Instance] = []
+        for parent in parents:
+            rows = self.db.run_query(node.tag_query, parent.env)
+            created.extend(self._attach_rows(plan, parent, rows))
+        return created
+
+    def _emit_bulk(
+        self, plan: _NodePlan, parents: list[_Instance]
+    ) -> list[_Instance]:
+        node = plan.node
+        assert plan.query is not None
+        if not parents:
+            return []
+        try:
+            rows = self.db.run_query(plan.query, env=None)
+        except ReproError as exc:
+            plan = self._fallback_plan(
+                node, f"bulk query failed: {exc}", reliable=plan.reliable,
+                own_columns=plan.own_columns,
+            )
+            return self._emit_fallback(plan, parents)
+        self.bulk_queries_executed += 1
+        try:
+            shares = self._group_rows(plan, parents, rows)
+        except _BulkUnsupported as exc:
+            plan = self._fallback_plan(
+                node, str(exc), reliable=plan.reliable,
+                own_columns=plan.own_columns,
+            )
+            return self._emit_fallback(plan, parents)
+        created: list[_Instance] = []
+        for parent in parents:
+            created.extend(
+                self._attach_rows(plan, parent, shares.get(id(parent), []))
+            )
+        return created
+
+    def _group_rows(
+        self,
+        plan: _NodePlan,
+        parents: list[_Instance],
+        rows: list[Row],
+    ) -> dict[int, list[Row]]:
+        """The grouped merge: deal bulk rows out to their parent elements.
+
+        Returns a mapping from ``id(parent_instance)`` to that parent's
+        child rows, in bulk-result (document) order.
+        """
+        key_columns = plan.key_columns
+        grouped: dict[tuple, list[Row]] = {}
+        if not key_columns:
+            keyfunc = None
+        elif len(key_columns) == 1:
+            single = itemgetter(key_columns[0])
+            keyfunc = lambda r: (single(r),)  # noqa: E731
+        else:
+            keyfunc = itemgetter(*key_columns)
+        try:
+            for row in rows:
+                key = keyfunc(row) if keyfunc else ()
+                grouped.setdefault(key, []).append(row)
+        except KeyError as exc:
+            raise _BulkUnsupported(
+                f"bulk row is missing key column {exc}"
+            ) from exc
+        parents_by_key: dict[tuple, list[_Instance]] = {}
+        for parent in parents:
+            parents_by_key.setdefault(parent.key, []).append(parent)
+        matched = 0
+        shares: dict[int, list[Row]] = {}
+        for key, siblings in parents_by_key.items():
+            group = grouped.get(key, [])
+            matched += len(group)
+            if not group and plan.empty_row is not None:
+                # The grouped form dropped this parent's empty group;
+                # restore the statically-known empty-input aggregate row.
+                share = [dict(plan.empty_row)]
+            elif len(siblings) == 1 or not group:
+                share = group
+            elif plan.grouped_aggregate:
+                # GROUP BY merged the duplicate bindings into one group,
+                # corrupting the aggregate values — only re-running the
+                # correlated query per binding recovers them.
+                raise _BulkUnsupported(
+                    "duplicate parent bindings under a grouped aggregate"
+                )
+            elif plan.distinct:
+                # DISTINCT already collapsed the duplicated copies.
+                share = group
+            else:
+                share = _divide_group(group, len(siblings))
+            for parent in siblings:
+                shares[id(parent)] = share
+        if matched != len(rows):
+            raise _BulkUnsupported(
+                f"{len(rows) - matched} bulk rows matched no parent binding"
+            )
+        return shares
+
+    def _attach_rows(
+        self, plan: _NodePlan, parent: _Instance, rows: list[Row]
+    ) -> list[_Instance]:
+        node = plan.node
+        created: list[_Instance] = []
+        own_columns = plan.own_columns
+        # Bulk rows carry ancestor key columns after the node's own
+        # columns. Rather than rebuild a narrowed dict per row, hand the
+        # wide row over and limit attribute surfacing to the node's own
+        # columns — env lookups are by name, so the extra (uniquely named)
+        # carried columns are invisible to descendants. The exception is
+        # a descendant that surfaces this env row wholesale
+        # (``exact_env_row``): only then is the per-row trim paid.
+        wide = (
+            plan.kind == "bulk"
+            and bool(own_columns)
+            and bool(rows)
+            and len(rows[0]) != len(own_columns)
+        )
+        trim = wide and plan.exact_env_row
+        surface = own_columns if wide and not trim else None
+        if not node.children:
+            # Leaf fast path: no descendant ever reads the env or the
+            # context key, so skip the per-row bookkeeping entirely.
+            stats = self.stats
+            append = parent.element.append
+            env = parent.env
+            for row in rows:
+                own_row = {c: row[c] for c in own_columns} if trim else row
+                append(
+                    build_element(node, env, own_row, stats, surface_columns=surface)
+                )
+            return created
+        for row in rows:
+            own_row = {c: row[c] for c in own_columns} if trim else row
+            element = build_element(
+                node, parent.env, own_row, self.stats, surface_columns=surface
+            )
+            parent.element.append(element)
+            if node.bv is not None:
+                child_env = dict(parent.env)
+                child_env[node.bv] = own_row
+            else:
+                child_env = parent.env
+            key = parent.key
+            if plan.reliable:
+                key = key + tuple(
+                    own_row.get(c) for c in plan.own_key_columns
+                )
+            created.append(_Instance(element, child_env, key))
+        return created
+
+
+def _divide_group(rows: list[Row], share_count: int) -> list[Row]:
+    """Split a group that joined against ``share_count`` duplicate bindings.
+
+    Every duplicate binding contributed one identical copy of the child
+    multiset, so each distinct row value's multiplicity must divide evenly;
+    first-occurrence order is preserved.
+    """
+    counts: dict[tuple, list] = {}
+    order: list[tuple] = []
+    for row in rows:
+        try:
+            key = tuple(row.values())
+        except TypeError as exc:  # pragma: no cover - defensive
+            raise _BulkUnsupported(f"unhashable row value: {exc}") from exc
+        entry = counts.get(key)
+        if entry is None:
+            counts[key] = [row, 1]
+            order.append(key)
+        else:
+            entry[1] += 1
+    share: list[Row] = []
+    for key in order:
+        row, count = counts[key]
+        quotient, remainder = divmod(count, share_count)
+        if remainder:
+            raise _BulkUnsupported(
+                "group rows do not divide evenly among duplicate parent "
+                "bindings"
+            )
+        share.extend([row] * quotient)
+    return share
+
+
+def materialize_bulk(view: SchemaTreeQuery, db: Database) -> "Document":
+    """Convenience one-shot bulk materialization."""
+    return BulkViewEvaluator(db).materialize(view)

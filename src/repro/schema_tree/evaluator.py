@@ -23,6 +23,7 @@ from typing import Any, Optional
 from repro.errors import ViewEvaluationError
 from repro.relational.engine import Database, Row
 from repro.schema_tree.model import SchemaNode, SchemaTreeQuery
+from repro.sql.params import collect_params
 from repro.xmlcore.nodes import Document, Element
 
 
@@ -82,8 +83,6 @@ class ViewEvaluator:
             return self.db.run_query(node.tag_query, env)
         params = self._param_cache.get(node.id)
         if params is None:
-            from repro.sql.params import collect_params
-
             params = collect_params(node.tag_query)
             self._param_cache[node.id] = params
         key = (node.id,) + tuple(env[p.var][p.column] for p in params)
@@ -119,6 +118,11 @@ class ViewEvaluator:
                 self._evaluate_node(child, element, env)
             return
         rows = self._run_tag_query(node, env)
+        if not node.children:
+            # Leaf fast path: no child reads the extended environment.
+            for row in rows:
+                parent.append(self._make_element(node, env, row=row))
+            return
         for row in rows:
             element = self._make_element(node, env, row=row)
             parent.append(element)
@@ -133,48 +137,96 @@ class ViewEvaluator:
     def _make_element(
         self, node: SchemaNode, env: dict[str, Row], row: Optional[Row]
     ) -> Element:
-        element = Element(node.tag)
-        for name, value in node.literal_attributes.items():
-            element.set(name, value)
-            self.stats.attributes_created += 1
-        source: Optional[Row] = row
-        if source is None and node.attr_source_bv is not None:
-            if node.attr_source_bv not in env:
+        return build_element(node, env, row, self.stats)
+
+
+def build_element(
+    node: SchemaNode,
+    env: dict[str, Row],
+    row: Optional[Row],
+    stats: MaterializeStats,
+    surface_columns: Optional[list[str]] = None,
+) -> Element:
+    """Create one output element for a node from its tuple and environment.
+
+    Shared between the nested-loop :class:`ViewEvaluator` and the bulk
+    evaluator so both strategies produce byte-identical elements and feed
+    the same :class:`MaterializeStats` counters.
+
+    ``surface_columns`` overrides the surface-everything default for nodes
+    without an explicit ``attr_columns`` list: the bulk evaluator passes
+    the node's own output columns so it can hand over its wider rows
+    (which carry ancestor key columns) without rebuilding a dict per row.
+    """
+    element = Element(node.tag)
+    for name, value in node.literal_attributes.items():
+        element.set(name, value)
+        stats.attributes_created += 1
+    source: Optional[Row] = row
+    if source is None and node.attr_source_bv is not None:
+        if node.attr_source_bv not in env:
+            raise ViewEvaluationError(
+                f"node {node.id} <{node.tag}>: attribute source "
+                f"${node.attr_source_bv} is not bound"
+            )
+        source = env[node.attr_source_bv]
+    if source is not None:
+        if node.attr_columns is not None:
+            columns = node.attr_columns
+        elif surface_columns is not None and source is row:
+            columns = surface_columns
+        else:
+            columns = list(source)
+        for column in columns:
+            if column not in source:
                 raise ViewEvaluationError(
-                    f"node {node.id} <{node.tag}>: attribute source "
-                    f"${node.attr_source_bv} is not bound"
+                    f"node {node.id} <{node.tag}>: attribute column "
+                    f"{column!r} missing from tuple (has {sorted(source)})"
                 )
-            source = env[node.attr_source_bv]
-        if source is not None:
-            if node.attr_columns is None:
-                columns = list(source)
-            else:
-                columns = node.attr_columns
-            for column in columns:
-                if column not in source:
-                    raise ViewEvaluationError(
-                        f"node {node.id} <{node.tag}>: attribute column "
-                        f"{column!r} missing from tuple (has {sorted(source)})"
-                    )
-                text = format_value(source[column])
-                if text is not None:
-                    element.set(column, text)
-                    self.stats.attributes_created += 1
-            for name, column in node.data_attributes.items():
-                if column not in source:
-                    raise ViewEvaluationError(
-                        f"node {node.id} <{node.tag}>: data attribute "
-                        f"{name!r} needs column {column!r} "
-                        f"(tuple has {sorted(source)})"
-                    )
-                text = format_value(source[column])
-                if text is not None:
-                    element.set(name, text)
-                    self.stats.attributes_created += 1
-        self.stats.elements_created += 1
-        return element
+            text = format_value(source[column])
+            if text is not None:
+                element.set(column, text)
+                stats.attributes_created += 1
+        for name, column in node.data_attributes.items():
+            if column not in source:
+                raise ViewEvaluationError(
+                    f"node {node.id} <{node.tag}>: data attribute "
+                    f"{name!r} needs column {column!r} "
+                    f"(tuple has {sorted(source)})"
+                )
+            text = format_value(source[column])
+            if text is not None:
+                element.set(name, text)
+                stats.attributes_created += 1
+    stats.elements_created += 1
+    return element
 
 
-def materialize(view: SchemaTreeQuery, db: Database) -> Document:
-    """Convenience one-shot materialization."""
-    return ViewEvaluator(db).materialize(view)
+#: Execution strategies accepted by :func:`materialize` and the CLI.
+STRATEGIES = ("nested-loop", "memoized", "bulk")
+
+
+def materialize(
+    view: SchemaTreeQuery, db: Database, strategy: str = "nested-loop"
+) -> Document:
+    """Convenience one-shot materialization.
+
+    ``strategy`` selects the execution plan:
+
+    * ``"nested-loop"`` — the paper's Section 2.1 semantics, one query per
+      ancestor binding (the default),
+    * ``"memoized"`` — nested loop with tag-query result caching,
+    * ``"bulk"`` — one decorrelated query per schema node
+      (:class:`~repro.schema_tree.bulk_evaluator.BulkViewEvaluator`).
+    """
+    if strategy == "nested-loop":
+        return ViewEvaluator(db).materialize(view)
+    if strategy == "memoized":
+        return ViewEvaluator(db, memoize=True).materialize(view)
+    if strategy == "bulk":
+        from repro.schema_tree.bulk_evaluator import BulkViewEvaluator
+
+        return BulkViewEvaluator(db).materialize(view)
+    raise ViewEvaluationError(
+        f"unknown strategy {strategy!r} (expected one of {', '.join(STRATEGIES)})"
+    )

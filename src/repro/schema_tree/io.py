@@ -61,6 +61,8 @@ def catalog_to_xml(catalog: Catalog) -> str:
             table_element.append(
                 Element("column", {"name": column.name, "type": column.type})
             )
+        for column in table.indexes:
+            table_element.append(Element("index", {"column": column}))
         root.append(table_element)
     document = Document()
     document.append(root)
@@ -84,8 +86,19 @@ def catalog_from_xml(text: str) -> Catalog:
             if not column_name:
                 raise ViewDefinitionError("<column> requires a name attribute")
             columns.append(Column(column_name, column_element.get("type", "TEXT")))
+        indexes = []
+        for index_element in table_element.find_children("index"):
+            index_column = index_element.get("column")
+            if not index_column:
+                raise ViewDefinitionError("<index> requires a column attribute")
+            indexes.append(index_column)
         catalog.add(
-            Table(name, columns, primary_key=table_element.get("primary-key"))
+            Table(
+                name,
+                columns,
+                primary_key=table_element.get("primary-key"),
+                indexes=indexes,
+            )
         )
     return catalog
 

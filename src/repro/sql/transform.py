@@ -425,7 +425,10 @@ def inline_parameter_deep(
     primary, primary_exposure = derived_exposures[0]
     qualify_bare_stars(query)
     existing = set(output_columns(query, catalog))
-    aggregated = has_top_level_aggregate(query)
+    # A query with a GROUP BY is grouped even if no aggregate survives in
+    # its select list (projections may have been pruned); carried columns
+    # must extend the grouping either way.
+    aggregated = has_top_level_aggregate(query) or bool(query.group_by)
     lifted: dict[str, str] = {}
     for column in parent_columns:
         inner_name = primary_exposure[column]
@@ -482,7 +485,8 @@ def carry_parent_columns(query: Select, alias: str, catalog: TableColumns) -> di
     existing = set(output_columns(query, catalog))
     parent_columns = from_item_columns(derived, catalog)
     exposure: dict[str, str] = {}
-    aggregated = has_top_level_aggregate(query)
+    # Grouped even without a surviving aggregate item (see inline path).
+    aggregated = has_top_level_aggregate(query) or bool(query.group_by)
     for column in parent_columns:
         exposed = column
         if column in existing:

@@ -67,6 +67,7 @@ def hotel_catalog() -> Catalog:
                 ("pool", "INTEGER"),
                 ("gym", "INTEGER"),
                 primary_key="hotelid",
+                indexes=["metro_id", "chain_id"],
             ),
             table(
                 "guestroom",
@@ -76,6 +77,7 @@ def hotel_catalog() -> Catalog:
                 ("type", "TEXT"),
                 ("rackrate", "REAL"),
                 primary_key="r_id",
+                indexes=["rhotel_id"],
             ),
             table(
                 "confroom",
@@ -85,6 +87,7 @@ def hotel_catalog() -> Catalog:
                 ("capacity", "INTEGER"),
                 ("rackrate", "REAL"),
                 primary_key="c_id",
+                indexes=["chotel_id"],
             ),
             table(
                 "availability",
@@ -94,6 +97,7 @@ def hotel_catalog() -> Catalog:
                 ("enddate", "TEXT"),
                 ("price", "REAL"),
                 primary_key="a_id",
+                indexes=["a_r_id", "startdate"],
             ),
         ]
     )
@@ -238,4 +242,5 @@ def build_hotel_database(spec: HotelDataSpec | None = None) -> Database:
     """Create and populate a hotel database in one call."""
     db = Database(hotel_catalog())
     populate_hotel_database(db, spec or HotelDataSpec())
+    db.analyze()
     return db

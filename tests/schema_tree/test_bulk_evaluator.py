@@ -1,0 +1,397 @@
+"""Bulk decorrelated evaluation: equivalence with the nested-loop evaluator.
+
+The property tests draw random synthetic views (plain joins, non-key
+projections that create duplicate sibling rows and duplicate parent
+bindings, DISTINCT, ungrouped and grouped aggregates, query-less wrapper
+nodes) over random database instances and check that
+:class:`~repro.schema_tree.bulk_evaluator.BulkViewEvaluator` produces
+canonically identical XML to the Section 2.1 nested-loop semantics —
+falling back per node where it must, never silently diverging.
+"""
+
+from __future__ import annotations
+
+import random as stdlib_random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compose import compose
+from repro.errors import ViewEvaluationError
+from repro.relational.engine import Database
+from repro.relational.schema import Catalog, table
+from repro.schema_tree.builder import ViewBuilder
+from repro.schema_tree.bulk_evaluator import BulkViewEvaluator, materialize_bulk
+from repro.schema_tree.evaluator import ViewEvaluator, materialize
+from repro.workloads.hotel import HotelDataSpec, build_hotel_database
+from repro.workloads.paper import figure1_view, figure4_stylesheet
+from repro.workloads.synthetic import (
+    chain_catalog,
+    chain_stylesheet,
+    chain_view,
+    populate_chain,
+)
+from repro.xmlcore import canonical_form
+
+MAX_DEPTH = 3
+
+KINDS_INNER = ("plain", "proj", "distinct", "literal")
+KINDS_LEAF = KINDS_INNER + ("agg", "gagg")
+
+
+def make_catalog() -> Catalog:
+    return Catalog(
+        [
+            table(
+                f"t{level}",
+                ("id", "INTEGER"),
+                ("parent_id", "INTEGER"),
+                ("a", "INTEGER"),
+                ("b", "INTEGER"),
+                ("label", "TEXT"),
+                primary_key="id",
+            )
+            for level in range(MAX_DEPTH + 1)
+        ]
+    )
+
+
+CATALOG = make_catalog()
+
+
+def _query_for(kind: str, depth: int, context) -> str | None:
+    """The tag query for one node; ``context`` is ``(bv, join_column)`` of
+    the nearest query-bearing ancestor, or ``None`` at the top."""
+    if kind == "literal":
+        return None
+    if context is None:
+        where = "parent_id = 0"
+    else:
+        bv, join_column = context
+        where = f"parent_id = ${bv}.{join_column}"
+    t = f"t{depth}"
+    if kind == "plain":
+        return f"SELECT * FROM {t} WHERE {where} ORDER BY id"
+    if kind == "proj":
+        # Non-key projection: duplicate sibling rows, and children keyed
+        # on parent_id share bindings across siblings.
+        return f"SELECT parent_id, a, label FROM {t} WHERE {where}"
+    if kind == "distinct":
+        return f"SELECT DISTINCT parent_id, label FROM {t} WHERE {where}"
+    if kind == "agg":
+        return (
+            f"SELECT COUNT(id) AS cnt, SUM(b) AS total FROM {t} WHERE {where}"
+        )
+    if kind == "gagg":
+        return (
+            f"SELECT label, COUNT(id) AS cnt FROM {t} WHERE {where} "
+            "GROUP BY label ORDER BY label"
+        )
+    raise AssertionError(kind)
+
+
+_JOIN_COLUMN = {"plain": "id", "proj": "parent_id", "distinct": "parent_id"}
+
+
+@st.composite
+def scenarios(draw):
+    """A random view shape with per-node query kinds, plus a data seed."""
+    nodes = [(None, 0)]  # (parent_index, depth)
+    count = draw(st.integers(1, 4))
+    for _ in range(count):
+        parent_index = draw(st.integers(0, len(nodes) - 1))
+        while nodes[parent_index][1] >= MAX_DEPTH:
+            parent_index -= 1
+        nodes.append((parent_index, nodes[parent_index][1] + 1))
+    has_children = {p for p, _ in nodes if p is not None}
+    kinds = [
+        draw(st.sampled_from(KINDS_INNER if i in has_children else KINDS_LEAF))
+        for i in range(len(nodes))
+    ]
+    seed = draw(st.integers(0, 10_000))
+    return nodes, kinds, seed
+
+
+def build_view(nodes, kinds):
+    builder = ViewBuilder(CATALOG)
+    handles = []
+    contexts = []  # context each node passes to its children
+    for index, (parent_index, depth) in enumerate(nodes):
+        kind = kinds[index]
+        if parent_index is None:
+            parent_handle, parent_context = None, None
+        else:
+            parent_handle = handles[parent_index]
+            parent_context = contexts[parent_index]
+        query = _query_for(kind, depth, parent_context)
+        bv = f"v{index}" if query is not None else None
+        if parent_handle is None:
+            handle = builder.node(f"n{index}", query, bv=bv)
+        else:
+            handle = parent_handle.child(f"n{index}", query, bv=bv)
+        handles.append(handle)
+        if kind in _JOIN_COLUMN:
+            contexts.append((bv, _JOIN_COLUMN[kind]))
+        else:
+            # Aggregates are leaves; literal wrappers pass the ancestor
+            # context through unchanged.
+            contexts.append(parent_context)
+    return builder.build()
+
+
+def populate(db: Database, seed: int) -> None:
+    rng = stdlib_random.Random(seed)
+    next_id = 0
+    parents = [0]
+    for level in range(MAX_DEPTH + 1):
+        rows = []
+        ids = []
+        for parent in parents:
+            for _ in range(rng.randint(0, 3)):
+                next_id += 1
+                ids.append(next_id)
+                rows.append(
+                    {
+                        "id": next_id,
+                        "parent_id": parent,
+                        "a": rng.choice([None, 1, 2, 3]),
+                        "b": rng.randint(0, 50),
+                        "label": rng.choice(["x", "y", "z", None]),
+                    }
+                )
+        db.insert_rows(f"t{level}", rows)
+        parents = ids or [0]
+
+
+def assert_equivalent(view, db):
+    baseline = ViewEvaluator(db).materialize(view)
+    evaluator = BulkViewEvaluator(db)
+    document = evaluator.materialize(view)
+    assert canonical_form(document, ordered=False) == canonical_form(
+        baseline, ordered=False
+    )
+    return evaluator
+
+
+@given(scenarios())
+@settings(max_examples=50, deadline=None)
+def test_bulk_equals_nested_on_random_views(scenario):
+    nodes, kinds, seed = scenario
+    view = build_view(nodes, kinds)
+    with Database(make_catalog()) as db:
+        populate(db, seed)
+        assert_equivalent(view, db)
+
+
+@given(
+    levels=st.integers(2, 4),
+    fanout=st.integers(1, 3),
+    roots=st.integers(1, 3),
+    seed=st.integers(0, 1_000),
+)
+@settings(max_examples=25, deadline=None)
+def test_bulk_equals_nested_on_random_chains(levels, fanout, roots, seed):
+    catalog = chain_catalog(levels)
+    view = chain_view(levels, catalog)
+    with Database(catalog) as db:
+        populate_chain(db, levels, fanout=fanout, roots=roots, seed=seed)
+        evaluator = assert_equivalent(view, db)
+        assert not evaluator.fallback_nodes
+        assert evaluator.bulk_queries_executed == levels
+
+
+@given(
+    levels=st.integers(2, 4),
+    depth=st.integers(1, 4),
+    seed=st.integers(0, 1_000),
+)
+@settings(max_examples=25, deadline=None)
+def test_bulk_equals_nested_on_composed_stylesheet_views(levels, depth, seed):
+    """Composed views (query-less literal nodes included) stay equivalent."""
+    catalog = chain_catalog(levels)
+    view = chain_view(levels, catalog)
+    composed = compose(view, chain_stylesheet(levels, depth), catalog)
+    with Database(catalog) as db:
+        populate_chain(db, levels, fanout=2, roots=2, seed=seed)
+        assert_equivalent(composed, db)
+
+
+# ---------------------------------------------------------------------------
+# Deterministic cases
+# ---------------------------------------------------------------------------
+
+
+def test_figure1_bulk_query_bound_and_equality():
+    """Acceptance: 7 queries for the 7-node Figure 1 view where the
+    nested loop runs hundreds, with canonically identical output."""
+    db = build_hotel_database(HotelDataSpec().scaled(4))
+    view = figure1_view(db.catalog)
+    db.stats.reset()
+    baseline = ViewEvaluator(db).materialize(view)
+    nested_queries = db.stats.queries_executed
+    db.stats.reset()
+    evaluator = BulkViewEvaluator(db)
+    document = evaluator.materialize(view)
+    assert not evaluator.fallback_nodes
+    assert db.stats.queries_executed == 7
+    assert nested_queries > 100
+    assert canonical_form(document, ordered=False) == canonical_form(
+        baseline, ordered=False
+    )
+    db.close()
+
+
+def test_figure1_bulk_preserves_document_order():
+    """The Figure 1 queries carry ORDER BY keys, so even the *ordered*
+    canonical forms must match."""
+    db = build_hotel_database(HotelDataSpec(metros=2, hotels_per_metro=3))
+    view = figure1_view(db.catalog)
+    baseline = ViewEvaluator(db).materialize(view)
+    document = materialize_bulk(view, db)
+    assert canonical_form(document) == canonical_form(baseline)
+    db.close()
+
+
+def test_composed_figure4_bulk_equality(hotel_db):
+    view = figure1_view(hotel_db.catalog)
+    composed = compose(view, figure4_stylesheet(), hotel_db.catalog)
+    baseline = ViewEvaluator(hotel_db).materialize(composed)
+    evaluator = BulkViewEvaluator(hotel_db)
+    document = evaluator.materialize(composed)
+    assert not evaluator.fallback_nodes
+    assert canonical_form(document, ordered=False) == canonical_form(
+        baseline, ordered=False
+    )
+
+
+def test_strategy_dispatch(hotel_db):
+    view = figure1_view(hotel_db.catalog)
+    nested = materialize(view, hotel_db, strategy="nested-loop")
+    bulk = materialize(view, hotel_db, strategy="bulk")
+    assert canonical_form(bulk, ordered=False) == canonical_form(
+        nested, ordered=False
+    )
+    with pytest.raises(ViewEvaluationError):
+        materialize(view, hotel_db, strategy="turbo")
+
+
+def test_unsupported_output_columns_fall_back_and_taint():
+    """An unaliased computed column cannot be bulk-merged: the node and
+    its descendants run correlated, are recorded, and stay correct."""
+    builder = ViewBuilder(CATALOG)
+    top = builder.node(
+        "n0", "SELECT id, a + b FROM t0 WHERE parent_id = 0", bv="p"
+    )
+    top.child("n1", "SELECT * FROM t1 WHERE parent_id = $p.id", bv="c")
+    view = builder.build(validate=False)
+    with Database(make_catalog()) as db:
+        populate(db, seed=5)
+        evaluator = assert_equivalent(view, db)
+        assert len(evaluator.fallback_nodes) == 2
+        assert evaluator.bulk_queries_executed == 0
+        reasons = " / ".join(r.reason for r in evaluator.fallback_nodes)
+        assert "not derivable" in reasons
+        assert "ancestor column names" in reasons
+
+
+def test_duplicate_parent_bindings_divide_evenly():
+    """Two identical parent tuples must each get one copy of the child
+    multiset, not the doubled join result."""
+    builder = ViewBuilder(CATALOG)
+    top = builder.node("n0", "SELECT a FROM t0 WHERE parent_id = 0", bv="p")
+    top.child("n1", "SELECT label FROM t1 WHERE parent_id = $p.a")
+    view = builder.build()
+    with Database(make_catalog()) as db:
+        db.insert_rows(
+            "t0",
+            [
+                {"id": i, "parent_id": 0, "a": 1, "b": 0, "label": "d"}
+                for i in (1, 2)
+            ],
+        )
+        db.insert_rows(
+            "t1",
+            [
+                {"id": 10 + i, "parent_id": 1, "a": None, "b": 0,
+                 "label": f"L{i}"}
+                for i in range(3)
+            ],
+        )
+        evaluator = assert_equivalent(view, db)
+        assert not evaluator.fallback_nodes
+
+
+def test_grouped_aggregate_under_duplicate_bindings_falls_back():
+    """GROUP BY merges duplicate bindings' groups; the runtime merge must
+    detect it and re-run correlated rather than emit wrong counts."""
+    builder = ViewBuilder(CATALOG)
+    top = builder.node("n0", "SELECT a FROM t0 WHERE parent_id = 0", bv="p")
+    top.child(
+        "n1",
+        "SELECT label, COUNT(id) AS cnt FROM t1 "
+        "WHERE parent_id = $p.a GROUP BY label",
+    )
+    view = builder.build()
+    with Database(make_catalog()) as db:
+        db.insert_rows(
+            "t0",
+            [
+                {"id": i, "parent_id": 0, "a": 1, "b": 0, "label": "d"}
+                for i in (1, 2)
+            ],
+        )
+        db.insert_rows(
+            "t1",
+            [
+                {"id": 10 + i, "parent_id": 1, "a": None, "b": 0, "label": "x"}
+                for i in range(2)
+            ],
+        )
+        evaluator = assert_equivalent(view, db)
+        assert any(
+            "duplicate parent bindings" in r.reason
+            for r in evaluator.fallback_nodes
+        )
+
+
+def test_empty_group_synthesis_for_ungrouped_aggregates():
+    """Parents with no matching child tuples still get the (0, NULL)
+    aggregate row the scalar semantics produce."""
+    builder = ViewBuilder(CATALOG)
+    top = builder.node("n0", "SELECT id FROM t0 WHERE parent_id = 0", bv="p")
+    top.child(
+        "n1",
+        "SELECT COUNT(id) AS cnt, SUM(b) AS total FROM t1 "
+        "WHERE parent_id = $p.id",
+    )
+    view = builder.build()
+    with Database(make_catalog()) as db:
+        db.insert_rows(
+            "t0",
+            [
+                {"id": i, "parent_id": 0, "a": None, "b": 0, "label": "d"}
+                for i in (1, 2)
+            ],
+        )
+        # Only parent 1 has children.
+        db.insert_rows(
+            "t1",
+            [{"id": 11, "parent_id": 1, "a": None, "b": 7, "label": "x"}],
+        )
+        evaluator = assert_equivalent(view, db)
+        assert not evaluator.fallback_nodes
+        document = materialize_bulk(view, db)
+        empty = document.child_elements()[1].find_children("n1")[0]
+        assert empty.get("cnt") == "0"
+        assert empty.get("total") is None
+
+
+def test_bulk_stats_match_nested(hotel_db):
+    view = figure1_view(hotel_db.catalog)
+    nested = ViewEvaluator(hotel_db)
+    nested.materialize(view)
+    bulk = BulkViewEvaluator(hotel_db)
+    bulk.materialize(view)
+    assert bulk.stats.elements_created == nested.stats.elements_created
+    assert bulk.stats.attributes_created == nested.stats.attributes_created
