@@ -1,0 +1,76 @@
+"""E13: concurrent serving with the compiled-plan cache.
+
+Measures the ``ViewServer`` request path: a warm batch (plans cached,
+requests only execute SQL and build XML) against a cold batch (plan
+cache and fingerprint memo cleared per request, so every request pays
+compose + prune + print), and the plan-cache lookup itself. The full
+workers x strategy sweep lives in ``python -m repro.harness --e13-json``.
+"""
+
+import pytest
+
+from repro.serving import (
+    PublishRequest,
+    ViewServer,
+    clear_fingerprint_memo,
+)
+from repro.workloads.hotel import HotelDataSpec, build_hotel_database
+from repro.workloads.paper import figure1_view, figure4_stylesheet
+
+REQUESTS = 10
+
+
+@pytest.fixture(scope="module")
+def e13_db():
+    """The E13 sweep's database scale (8x the paper's demo data)."""
+    db = build_hotel_database(HotelDataSpec().scaled(8))
+    yield db
+    db.close()
+
+
+def _batch(db, strategy):
+    view = figure1_view(db.catalog)
+    stylesheet = figure4_stylesheet()
+    return [
+        PublishRequest(view, stylesheet, strategy=strategy)
+        for _ in range(REQUESTS)
+    ]
+
+
+@pytest.mark.parametrize("strategy", ["nested-loop", "bulk"])
+def test_e13_warm_concurrent(benchmark, e13_db, strategy):
+    batch = _batch(e13_db, strategy)
+    benchmark.group = "E13 serving (10-request batch)"
+    with ViewServer(
+        e13_db.catalog, source=e13_db, workers=4, keep_xml=False
+    ) as server:
+        server.submit(batch[0]).result()  # prime the plan cache
+        benchmark(lambda: server.render_many(batch))
+
+
+def test_e13_cold_single_worker(benchmark, e13_db):
+    batch = _batch(e13_db, "nested-loop")
+    benchmark.group = "E13 serving (10-request batch)"
+
+    with ViewServer(
+        e13_db.catalog, source=e13_db, workers=1, keep_xml=False
+    ) as server:
+
+        def cold_batch():
+            for request in batch:
+                server.plan_cache.clear()
+                clear_fingerprint_memo()
+                server.submit(request).result()
+
+        benchmark(cold_batch)
+
+
+def test_e13_plan_cache_hit(benchmark, e13_db):
+    with ViewServer(
+        e13_db.catalog, source=e13_db, workers=1, keep_xml=False
+    ) as server:
+        request = _batch(e13_db, "nested-loop")[0]
+        server.submit(request).result()
+        key = server.plan_key_for(request)
+        benchmark.group = "E13 plan cache"
+        benchmark(lambda: server.plan_cache.get(key))

@@ -22,6 +22,11 @@ Workflows:
     # One-shot: plan + execute a stylesheet over a view (hybrid executor).
     python -m repro run --catalog ... --view demo/view.xml \\
         --stylesheet demo/stylesheet.xsl --db demo/hotel.sqlite
+
+    # Concurrent serving benchmark (ViewServer + plan cache): throughput,
+    # latency percentiles, and cache hit rate over the paper workload.
+    python -m repro serve-bench --scale 2 --workers 4 --requests 100 \\
+        [--strategy all|nested-loop|memoized|bulk] [--json metrics.json]
 """
 
 from __future__ import annotations
@@ -186,6 +191,111 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve_bench(args: argparse.Namespace) -> int:
+    """``repro serve-bench``: measure the concurrent publishing server.
+
+    Builds the hotel workload at ``--scale``, starts a
+    :class:`~repro.serving.server.ViewServer` with ``--workers`` pooled
+    read-only connections, and serves ``--requests`` composition
+    requests (Figure 1 view x {Figure 4, Figure 17} stylesheets, cycling
+    through the chosen strategies). Reports throughput, latency
+    percentiles, and plan-cache hit rate; ``--json`` records the full
+    metrics (including per-request traces) for CI assertions.
+    """
+    import json
+    import time as _time
+
+    from repro.serving import PublishRequest, ViewServer, percentile
+    from repro.workloads.hotel import HotelDataSpec, build_hotel_database
+    from repro.workloads.paper import (
+        figure1_view,
+        figure4_stylesheet,
+        figure17_stylesheet,
+    )
+
+    strategies = list(STRATEGIES) if args.strategy == "all" else [args.strategy]
+    db = build_hotel_database(HotelDataSpec().scaled(args.scale))
+    view = figure1_view(db.catalog)
+    stylesheets = [
+        ("figure4", figure4_stylesheet()),
+        ("figure17", figure17_stylesheet()),
+    ]
+    requests = []
+    for index in range(args.requests):
+        name, stylesheet = stylesheets[index % len(stylesheets)]
+        strategy = strategies[index % len(strategies)]
+        requests.append(
+            PublishRequest(
+                view, stylesheet, strategy=strategy, label=f"{name}/{strategy}"
+            )
+        )
+    server = ViewServer(
+        db.catalog, source=db, workers=args.workers, keep_xml=False
+    )
+    try:
+        started = _time.perf_counter()
+        traces = server.render_many(requests)
+        wall_seconds = _time.perf_counter() - started
+        metrics = server.metrics()
+    finally:
+        server.close()
+        db.close()
+    latencies_ms = [trace.total_seconds * 1000 for trace in traces]
+    errors = [trace for trace in traces if trace.error is not None]
+    cache = metrics["cache"]
+    lookups = cache["hits"] + cache["misses"]
+    hit_rate = cache["hits"] / lookups if lookups else 0.0
+    throughput = len(traces) / wall_seconds if wall_seconds else 0.0
+    p50 = percentile(latencies_ms, 50)
+    p95 = percentile(latencies_ms, 95)
+    print(
+        f"serve-bench: scale={args.scale} workers={args.workers} "
+        f"requests={len(traces)} strategy={args.strategy}"
+    )
+    print(
+        f"throughput_rps={throughput:.1f} wall_seconds={wall_seconds:.4f} "
+        f"errors={len(errors)}"
+    )
+    print(f"latency_ms p50={p50:.3f} p95={p95:.3f}")
+    print(
+        f"cache hits={cache['hits']} misses={cache['misses']} "
+        f"evictions={cache['evictions']} hit_rate={hit_rate:.3f}"
+    )
+    print(
+        f"engine queries={metrics['queries_executed']} "
+        f"rows={metrics['rows_fetched']}"
+    )
+    for trace in errors:
+        print(f"error: request {trace.request_id}: {trace.error}",
+              file=sys.stderr)
+    if args.json:
+        report = {
+            "config": {
+                "scale": args.scale,
+                "workers": args.workers,
+                "requests": args.requests,
+                "strategy": args.strategy,
+            },
+            "wall_seconds": round(wall_seconds, 6),
+            "throughput_rps": round(throughput, 3),
+            "latency_ms": {
+                "p50": round(p50, 3),
+                "p95": round(p95, 3),
+                "max": round(max(latencies_ms), 3) if latencies_ms else 0.0,
+            },
+            "cache": dict(cache, hit_rate=round(hit_rate, 4)),
+            "queries_executed": metrics["queries_executed"],
+            "rows_fetched": metrics["rows_fetched"],
+            "errors": len(errors),
+            "traces": [trace.to_dict() for trace in traces],
+        }
+        with open(args.json, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 1 if errors else 0
+
+
 def cmd_demo(args: argparse.Namespace) -> int:
     """``repro demo``: write demo catalog/view/stylesheet/database files."""
     from repro.workloads.hotel import (
@@ -271,6 +381,23 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--builtin-rules", default="empty",
                             choices=["empty", "standard"])
     run_parser.set_defaults(func=cmd_run)
+
+    serve_parser = sub.add_parser(
+        "serve-bench", help="benchmark the concurrent publishing server"
+    )
+    serve_parser.add_argument("--scale", type=int, default=2,
+                              help="hotel workload scale factor (default: 2)")
+    serve_parser.add_argument("--workers", type=int, default=4,
+                              help="worker threads / pooled connections")
+    serve_parser.add_argument("--requests", type=int, default=100,
+                              help="total requests to serve")
+    serve_parser.add_argument(
+        "--strategy", default="all", choices=["all"] + list(STRATEGIES),
+        help="execution strategy mix (default: cycle through all)",
+    )
+    serve_parser.add_argument("--json", metavar="PATH",
+                              help="write full metrics as JSON")
+    serve_parser.set_defaults(func=cmd_serve_bench)
 
     demo_parser = sub.add_parser("demo", help="write demo artifacts")
     demo_parser.add_argument("--out", default="repro-demo")

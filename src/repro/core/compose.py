@@ -21,6 +21,13 @@ from repro.relational.schema import Catalog
 from repro.schema_tree.model import SchemaTreeQuery
 from repro.xslt.model import Stylesheet
 
+#: Version tag of the composition pipeline, folded into plan-cache keys
+#: (:mod:`repro.serving.fingerprint`). Bump whenever a change to the
+#: composition algorithm can alter the *output view* for unchanged
+#: inputs, so long-lived servers never serve plans compiled by an older
+#: pipeline.
+COMPOSE_PASS_FINGERPRINT = "compose/v1"
+
 
 def compose_basic(
     view: SchemaTreeQuery,

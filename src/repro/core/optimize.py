@@ -29,6 +29,12 @@ from repro.sql.ast import ParamRef, SelectItem
 from repro.sql.params import walk_exprs
 from repro.sql.transform import expand_stars
 
+#: Version tag of the dead-column-elimination pass, folded into
+#: plan-cache keys (:mod:`repro.serving.fingerprint`). Bump whenever the
+#: pass changes which columns it keeps, so cached pruned plans compiled
+#: under the old rules are invalidated rather than served.
+PRUNE_PASS_FINGERPRINT = "dead-column-elimination/v1"
+
 
 @dataclass
 class PruneReport:

@@ -22,7 +22,25 @@ def main() -> None:
         help="run only E12 and record its raw numbers as JSON "
         "(scale -> view -> strategy -> counters)",
     )
+    parser.add_argument(
+        "--e13-json", metavar="PATH",
+        help="run only E13 (concurrent serving) and record its raw "
+        "numbers as JSON (runs + warm/cold speedups)",
+    )
     args = parser.parse_args()
+    if args.e13_json:
+        from repro.harness.experiments import e13_serving
+
+        if args.quick:
+            result = e13_serving(
+                scale=2, workers_values=[1, 2], requests=10,
+                json_path=args.e13_json,
+            )
+        else:
+            result = e13_serving(json_path=args.e13_json)
+        print(result.to_console())
+        print(f"wrote {args.e13_json}")
+        return
     if args.e12_json:
         from repro.harness.experiments import e12_bulk_eval
 

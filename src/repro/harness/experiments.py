@@ -1,4 +1,4 @@
-"""Experiments E1-E12 (the per-experiment index lives in DESIGN.md §5).
+"""Experiments E1-E13 (the per-experiment index lives in DESIGN.md §5).
 
 The paper has no evaluation section — these experiments measure exactly
 the quantities its qualitative claims are about: end-to-end latency,
@@ -561,6 +561,152 @@ def e12_bulk_eval(
     return result
 
 
+def e13_serving(
+    scale: int = 8,
+    workers_values: list[int] | None = None,
+    requests: int = 40,
+    json_path: str | None = None,
+) -> ExperimentResult:
+    """E13: concurrent serving with the compiled-plan cache.
+
+    Sweeps worker count x execution strategy on a fixed-scale hotel
+    database served by a :class:`~repro.serving.server.ViewServer`.
+    Two phases per combination:
+
+    * **cold** (workers=1 only) — the plan cache is cleared before every
+      request, so each one pays the full compose + prune + print cost;
+      this is the per-request pipeline a server without a plan cache
+      would run, and the baseline the acceptance criterion compares
+      against.
+    * **warm** — the distinct plans are primed once, then all requests
+      are issued concurrently; requests only execute SQL and build XML.
+
+    With ``json_path`` the raw numbers land in ``BENCH_e13.json`` as
+    ``{"runs": [...], "speedups": {strategy: warm_max_workers/cold_1}}``.
+    """
+    import json
+
+    from repro.schema_tree.evaluator import STRATEGIES
+    from repro.serving import (
+        PublishRequest,
+        ViewServer,
+        clear_fingerprint_memo,
+        percentile,
+    )
+    from repro.workloads.paper import figure17_stylesheet
+
+    workers_values = workers_values or [1, 2, 4, 8]
+    result = ExperimentResult(
+        "E13",
+        f"Concurrent serving (scale-{scale} hotel, Figure 1 view x "
+        "Figure 4/17 stylesheets): throughput and latency",
+        ["workers", "strategy", "phase", "requests", "seconds", "req/s",
+         "p50 ms", "p95 ms", "hit rate"],
+        notes=[
+            "cold = plan cache cleared before every request (workers=1): "
+            "each request pays compose+prune+print; warm = plans primed, "
+            "requests issued concurrently.",
+        ],
+    )
+    db = _hotel_db(scale)
+    view = figure1_view(db.catalog)
+    stylesheets = [figure4_stylesheet(), figure17_stylesheet()]
+    runs: list[dict] = []
+    cold_rps: dict[str, float] = {}
+    warm_best_rps: dict[str, float] = {}
+    for workers in workers_values:
+        for strategy in STRATEGIES:
+            phases = ("cold", "warm") if workers == 1 else ("warm",)
+            for phase in phases:
+                server = ViewServer(
+                    db.catalog, source=db, workers=workers, keep_xml=False
+                )
+                try:
+                    batch = [
+                        PublishRequest(
+                            view,
+                            stylesheets[index % len(stylesheets)],
+                            strategy=strategy,
+                            label=phase,
+                        )
+                        for index in range(requests)
+                    ]
+                    if phase == "cold":
+                        latencies = []
+                        started = time.perf_counter()
+                        for request in batch:
+                            server.plan_cache.clear()
+                            clear_fingerprint_memo()
+                            latencies.append(
+                                server.submit(request).result().total_seconds
+                            )
+                        seconds = time.perf_counter() - started
+                    else:
+                        for stylesheet in stylesheets:
+                            server.render(view, stylesheet, strategy=strategy)
+                        started = time.perf_counter()
+                        traces = server.render_many(batch)
+                        seconds = time.perf_counter() - started
+                        latencies = [t.total_seconds for t in traces]
+                    cache = server.metrics()["cache"]
+                finally:
+                    server.close()
+                lookups = cache["hits"] + cache["misses"]
+                hit_rate = cache["hits"] / lookups if lookups else 0.0
+                rps = requests / seconds if seconds else 0.0
+                p50 = percentile(latencies, 50) * 1000
+                p95 = percentile(latencies, 95) * 1000
+                if phase == "cold" and workers == 1:
+                    cold_rps[strategy] = rps
+                if phase == "warm":
+                    warm_best_rps[strategy] = max(
+                        warm_best_rps.get(strategy, 0.0), rps
+                    )
+                result.add_row(
+                    workers, strategy, phase, requests, seconds, rps,
+                    p50, p95, f"{hit_rate:.2f}",
+                )
+                runs.append(
+                    {
+                        "workers": workers,
+                        "strategy": strategy,
+                        "phase": phase,
+                        "requests": requests,
+                        "seconds": round(seconds, 6),
+                        "throughput_rps": round(rps, 2),
+                        "p50_ms": round(p50, 4),
+                        "p95_ms": round(p95, 4),
+                        "hit_rate": round(hit_rate, 4),
+                    }
+                )
+    db.close()
+    speedups = {
+        strategy: round(warm_best_rps[strategy] / cold_rps[strategy], 2)
+        for strategy in cold_rps
+        if cold_rps[strategy]
+    }
+    result.notes.append(
+        "warm concurrent vs single-worker cold-cache speedup: "
+        + ", ".join(f"{k} {v}x" for k, v in speedups.items())
+    )
+    if json_path:
+        with open(json_path, "w") as handle:
+            json.dump(
+                {
+                    "scale": scale,
+                    "requests_per_run": requests,
+                    "workers_values": workers_values,
+                    "runs": runs,
+                    "speedup_warm_concurrent_over_cold_single": speedups,
+                },
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+            handle.write("\n")
+    return result
+
+
 def run_all(quick: bool = False) -> list[ExperimentResult]:
     """Run every experiment; ``quick`` shrinks the sweeps."""
     if quick:
@@ -577,6 +723,7 @@ def run_all(quick: bool = False) -> list[ExperimentResult]:
             e10_memoization([1]),
             e11_document_order([1]),
             e12_bulk_eval([1, 2]),
+            e13_serving(scale=2, workers_values=[1, 2], requests=10),
         ]
     return [
         e1_end_to_end(),
@@ -591,4 +738,5 @@ def run_all(quick: bool = False) -> list[ExperimentResult]:
         e10_memoization(),
         e11_document_order(),
         e12_bulk_eval(),
+        e13_serving(),
     ]

@@ -9,11 +9,35 @@ evaluation model of schema-tree queries in Section 2.1.
 
 The engine counts queries and rows so benchmarks can report the work each
 execution strategy performs.
+
+Threading contract
+------------------
+
+A :class:`Database` is **not** a shared object: one connection serves one
+thread of execution at a time. The concurrent-serving layer
+(:mod:`repro.serving`) gives every worker thread its *own* ``Database`` —
+its own sqlite connection and its own :class:`QueryStats` — through a
+connection pool, so neither sqlite cursors nor counters are ever shared
+mutable state across requests. Concretely:
+
+* :meth:`Database.open` deliberately passes ``check_same_thread=False``:
+  pooled connections are created by the pool's owning thread and then
+  used by exactly one worker at a time (hand-off is serialized by the
+  pool's queue), which is the safe use sqlite's check is too coarse to
+  allow.
+* :meth:`Database.open` also opens **read-only** by default (URI
+  ``mode=ro`` plus ``PRAGMA query_only=ON``), so a pooled connection can
+  never write — serving traffic cannot corrupt the database, and sqlite
+  readers never block each other.
+* :class:`QueryStats` increments are guarded by an internal lock, so a
+  stats object that *is* intentionally shared (e.g. a pool-wide
+  aggregate) loses no increments under concurrent recording.
 """
 
 from __future__ import annotations
 
 import sqlite3
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Optional
 
@@ -28,18 +52,51 @@ Row = dict[str, Any]
 
 @dataclass
 class QueryStats:
-    """Work counters for one engine (reset between measured runs)."""
+    """Work counters for one engine (reset between measured runs).
+
+    Increments go through :meth:`record` under an internal lock, so one
+    stats object may safely be shared by several threads (the serving
+    layer's pool-wide aggregates do exactly that) without losing counts.
+    """
 
     queries_executed: int = 0
     rows_fetched: int = 0
     sql_texts: list[str] = field(default_factory=list)
     keep_sql: bool = False
 
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def record(self, rows: int, sql: Optional[str] = None) -> None:
+        """Count one executed query returning ``rows`` rows (thread-safe)."""
+        with self._lock:
+            self.queries_executed += 1
+            self.rows_fetched += rows
+            if self.keep_sql and sql is not None:
+                self.sql_texts.append(sql)
+
+    def merge(self, other: "QueryStats") -> None:
+        """Fold another stats object's counters into this one."""
+        with self._lock:
+            self.queries_executed += other.queries_executed
+            self.rows_fetched += other.rows_fetched
+            if self.keep_sql:
+                self.sql_texts.extend(other.sql_texts)
+
+    def snapshot(self) -> dict[str, int]:
+        """The counters as a plain dict (one consistent read)."""
+        with self._lock:
+            return {
+                "queries_executed": self.queries_executed,
+                "rows_fetched": self.rows_fetched,
+            }
+
     def reset(self) -> None:
         """Zero all counters."""
-        self.queries_executed = 0
-        self.rows_fetched = 0
-        self.sql_texts.clear()
+        with self._lock:
+            self.queries_executed = 0
+            self.rows_fetched = 0
+            self.sql_texts.clear()
 
 
 class Database:
@@ -50,24 +107,75 @@ class Database:
         catalog: Catalog,
         create: bool = True,
         path: Optional[str] = None,
+        stats: Optional[QueryStats] = None,
+        connection: Optional[sqlite3.Connection] = None,
+        read_only: bool = False,
     ):
         self.catalog = catalog
-        self.connection = sqlite3.connect(path or ":memory:")
+        if connection is not None:
+            self.connection = connection
+        else:
+            self.connection = sqlite3.connect(path or ":memory:")
         self.connection.row_factory = sqlite3.Row
-        self.stats = QueryStats()
+        self.stats = stats if stats is not None else QueryStats()
+        self.read_only = read_only
         self._sql_cache: dict[int, tuple[str, list, Select]] = {}
         if create:
             self.create_all()
 
     @classmethod
-    def open(cls, catalog: Catalog, path: str) -> "Database":
-        """Open an existing database file without creating tables."""
-        return cls(catalog, create=False, path=path)
+    def open(
+        cls,
+        catalog: Catalog,
+        path: str,
+        read_only: bool = True,
+        stats: Optional[QueryStats] = None,
+    ) -> "Database":
+        """Open an existing database file without creating tables.
+
+        By default the connection is **read-only** (URI ``mode=ro`` plus
+        ``PRAGMA query_only=ON``) and created with
+        ``check_same_thread=False`` so a pool may hand it to worker
+        threads — see the module docstring for the threading contract.
+        Pass ``read_only=False`` for a plain writable connection.
+        """
+        if not read_only:
+            return cls(catalog, create=False, path=path, stats=stats)
+        connection = sqlite3.connect(
+            f"file:{path}?mode=ro", uri=True, check_same_thread=False
+        )
+        db = cls(
+            catalog,
+            create=False,
+            connection=connection,
+            stats=stats,
+            read_only=True,
+        )
+        db.connection.execute("PRAGMA query_only=ON")
+        return db
+
+    @classmethod
+    def from_connection(
+        cls,
+        catalog: Catalog,
+        connection: sqlite3.Connection,
+        stats: Optional[QueryStats] = None,
+        read_only: bool = False,
+    ) -> "Database":
+        """Wrap an existing sqlite connection (used by the serving pool)."""
+        return cls(
+            catalog,
+            create=False,
+            connection=connection,
+            stats=stats,
+            read_only=read_only,
+        )
 
     # -- schema / data -------------------------------------------------------
 
     def create_all(self) -> None:
         """Create every table in the catalog."""
+        self._check_writable("create tables")
         cursor = self.connection.cursor()
         for ddl in self.catalog.ddl_statements():
             cursor.execute(ddl)
@@ -75,6 +183,7 @@ class Database:
 
     def insert_rows(self, table: str, rows: Iterable[Mapping[str, Any]]) -> int:
         """Insert dict rows into ``table``; returns the number inserted."""
+        self._check_writable(f"insert into {table}")
         declared = self.catalog.table(table)
         columns = declared.column_names()
         placeholders = ", ".join(f":{c}" for c in columns)
@@ -92,6 +201,12 @@ class Database:
         self.connection.commit()
         return len(payload)
 
+    def _check_writable(self, action: str) -> None:
+        if self.read_only:
+            raise ViewEvaluationError(
+                f"cannot {action}: connection is read-only"
+            )
+
     def analyze(self) -> None:
         """Refresh sqlite's planner statistics (``ANALYZE``).
 
@@ -99,6 +214,7 @@ class Database:
         selective indexes instead of guessing, which matters for the
         decorrelated bulk queries and correlated point queries alike.
         """
+        self._check_writable("ANALYZE")
         self.connection.execute("ANALYZE")
         self.connection.commit()
 
@@ -166,10 +282,7 @@ class Database:
                         name = f"{name}__{suffix}"
                     row[name] = raw[index]
                 rows.append(row)
-        self.stats.queries_executed += 1
-        self.stats.rows_fetched += len(rows)
-        if self.stats.keep_sql:
-            self.stats.sql_texts.append(sql)
+        self.stats.record(len(rows), sql)
         return rows
 
     def run_sql(self, sql: str, bindings: Optional[Mapping[str, Any]] = None) -> list[Row]:

@@ -45,6 +45,7 @@ for like.
 from __future__ import annotations
 
 import logging
+import threading
 from dataclasses import dataclass, field
 from operator import itemgetter
 from typing import Any, Optional
@@ -65,8 +66,11 @@ logger = logging.getLogger(__name__)
 #: repeated materializations of the same view object skip the clone +
 #: decorrelate + validate pass entirely. Identity-checked against both the
 #: view and the catalog; bounded FIFO so held references stay small.
+#: Guarded by ``_PLAN_CACHE_LOCK``: the serving layer materializes one
+#: shared (cached) view object from several worker threads at once.
 _PLAN_CACHE: dict[int, tuple] = {}
 _PLAN_CACHE_LIMIT = 8
+_PLAN_CACHE_LOCK = threading.Lock()
 
 
 class _BulkUnsupported(Exception):
@@ -187,11 +191,16 @@ class BulkViewEvaluator:
 
     Drop-in alternative to :class:`~repro.schema_tree.evaluator.ViewEvaluator`:
     same output document (canonically identical), same stats counters.
+
+    ``db`` and ``stats`` are the injected connection/stats pair (see
+    :class:`~repro.schema_tree.evaluator.ViewEvaluator`): the serving
+    layer supplies a pooled per-worker database and per-request
+    counters so concurrent requests never share mutable state.
     """
 
-    def __init__(self, db: Database):
+    def __init__(self, db: Database, stats: Optional[MaterializeStats] = None):
         self.db = db
-        self.stats = MaterializeStats()
+        self.stats = stats if stats is not None else MaterializeStats()
         self.fallback_nodes: list[FallbackRecord] = []
         self.bulk_queries_executed = 0
         self._key_columns_cache: dict[int, list[str]] = {}
@@ -399,14 +408,15 @@ class BulkViewEvaluator:
         object. On a hit the planning-time fallback records are replayed
         into :attr:`fallback_nodes` without re-logging.
         """
-        cached = _PLAN_CACHE.get(id(view))
-        if (
-            cached is not None
-            and cached[0] is view
-            and cached[1] is self.db.catalog
-        ):
-            self.fallback_nodes.extend(cached[3])
-            return cached[2]
+        with _PLAN_CACHE_LOCK:
+            cached = _PLAN_CACHE.get(id(view))
+            if (
+                cached is not None
+                and cached[0] is view
+                and cached[1] is self.db.catalog
+            ):
+                self.fallback_nodes.extend(cached[3])
+                return cached[2]
         marker = len(self.fallback_nodes)
         plans: dict[int, _NodePlan] = {}
         reliability: dict[int, bool] = {view.root.id: True}
@@ -416,14 +426,15 @@ class BulkViewEvaluator:
             plan = self._plan_node(node, tainted=not reliability[parent.id])
             plans[node.id] = plan
             reliability[node.id] = reliability[parent.id] and plan.reliable
-        while len(_PLAN_CACHE) >= _PLAN_CACHE_LIMIT:
-            _PLAN_CACHE.pop(next(iter(_PLAN_CACHE)))
-        _PLAN_CACHE[id(view)] = (
-            view,
-            self.db.catalog,
-            plans,
-            list(self.fallback_nodes[marker:]),
-        )
+        with _PLAN_CACHE_LOCK:
+            while len(_PLAN_CACHE) >= _PLAN_CACHE_LIMIT:
+                _PLAN_CACHE.pop(next(iter(_PLAN_CACHE)))
+            _PLAN_CACHE[id(view)] = (
+                view,
+                self.db.catalog,
+                plans,
+                list(self.fallback_nodes[marker:]),
+            )
         return plans
 
     # -- execution ------------------------------------------------------------

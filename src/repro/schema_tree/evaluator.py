@@ -68,12 +68,22 @@ class ViewEvaluator:
     the paper defers to future work; the E10 ablation benchmark measures
     it. Memoization assumes the database does not change during
     materialization.
+
+    ``db`` and ``stats`` are the evaluator's injected connection/stats
+    pair: the serving layer passes a pooled per-worker database and a
+    per-request :class:`MaterializeStats`, so concurrent requests never
+    share counters.
     """
 
-    def __init__(self, db: Database, memoize: bool = False):
+    def __init__(
+        self,
+        db: Database,
+        memoize: bool = False,
+        stats: Optional[MaterializeStats] = None,
+    ):
         self.db = db
         self.memoize = memoize
-        self.stats = MaterializeStats()
+        self.stats = stats if stats is not None else MaterializeStats()
         self._result_cache: dict[tuple, list[Row]] = {}
         self._param_cache: dict[int, list] = {}
 

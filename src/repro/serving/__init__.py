@@ -1,0 +1,47 @@
+"""Concurrent publishing server: compiled-plan cache + connection pool.
+
+The paper's thesis is that composing a stylesheet with a publishing
+view turns XSLT processing into parameterized SQL a relational engine
+serves efficiently. This package supplies the serving half of that
+claim: a long-lived :class:`ViewServer` that compiles each distinct
+(catalog, view, stylesheet) triple **once** — caching the composed,
+pruned view and its printed SQL in a content-addressed LRU
+:class:`PlanCache` — and materializes requests concurrently on worker
+threads, each holding its own read-only sqlite connection and its own
+work counters (:class:`ConnectionPool`). Every request yields a
+:class:`RequestTrace` for throughput/latency accounting (experiment
+E13, ``python -m repro serve-bench``).
+"""
+
+from repro.serving.fingerprint import (
+    clear_fingerprint_memo,
+    fingerprint_catalog,
+    fingerprint_stylesheet,
+    fingerprint_text,
+    fingerprint_view,
+    plan_key,
+)
+from repro.serving.plan_cache import CompiledPlan, PlanCache
+from repro.serving.pool import ConnectionPool
+from repro.serving.server import (
+    PublishRequest,
+    RequestTrace,
+    ViewServer,
+    percentile,
+)
+
+__all__ = [
+    "CompiledPlan",
+    "ConnectionPool",
+    "PlanCache",
+    "PublishRequest",
+    "RequestTrace",
+    "ViewServer",
+    "clear_fingerprint_memo",
+    "fingerprint_catalog",
+    "fingerprint_stylesheet",
+    "fingerprint_text",
+    "fingerprint_view",
+    "percentile",
+    "plan_key",
+]

@@ -1,0 +1,182 @@
+"""LRU cache of compiled publishing plans.
+
+A *compiled plan* is everything request execution needs that does not
+depend on the data: the composed-and-pruned stylesheet view and the
+printed parameterized SQL of every tag query. Compiling one (compose +
+prune + print) costs orders of magnitude more than executing the view's
+handful of queries at serving scale, so the
+:class:`~repro.serving.server.ViewServer` keys plans by content
+fingerprint (:mod:`repro.serving.fingerprint`) and reuses them across
+requests and worker threads.
+
+Concurrency: all bookkeeping happens under one internal lock, and
+compilation is **single-flight** — when N threads miss on the same key
+simultaneously, exactly one compiles (one recorded miss) while the rest
+wait on the in-flight build and are then served the cached plan (N-1
+recorded hits). Counters are therefore exact even under contention,
+which the 16-thread hammer test relies on.
+
+Plans themselves are shared read-only between threads: evaluators clone
+tag queries before rewriting them, so a cached view is never mutated by
+execution.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.schema_tree.model import SchemaTreeQuery
+
+
+@dataclass
+class CompiledPlan:
+    """One cached compilation result (immutable once published)."""
+
+    #: The content fingerprint the plan is cached under.
+    key: str
+    #: The composed (and possibly pruned) schema-tree view to execute.
+    view: SchemaTreeQuery
+    #: Printed parameterized SQL per query-bearing node: ``{node_id: sql}``.
+    node_sql: dict[int, str] = field(default_factory=dict)
+    #: Wall-clock seconds the compile (compose + prune + print) took.
+    compose_seconds: float = 0.0
+    #: Dead columns removed by pruning (0 when pruning was off).
+    pruned_columns: int = 0
+
+
+class PlanCache:
+    """Thread-safe LRU cache from content fingerprints to compiled plans.
+
+    ``capacity`` bounds the number of resident plans; inserting past it
+    evicts the least-recently-used entry (both :meth:`get` hits and
+    :meth:`put` refresh recency). ``hits`` / ``misses`` / ``evictions``
+    count exactly, including under concurrent :meth:`get_or_build` calls
+    (single-flight compilation, see the module docstring).
+    """
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise ValueError(f"PlanCache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self._entries: "OrderedDict[str, CompiledPlan]" = OrderedDict()
+        self._inflight: dict[str, threading.Event] = {}
+        self._lock = threading.Lock()
+
+    # -- core operations -----------------------------------------------------
+
+    def get(self, key: str) -> Optional[CompiledPlan]:
+        """Look up a plan; counts a hit or a miss and refreshes recency."""
+        with self._lock:
+            plan = self._entries.get(key)
+            if plan is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return plan
+
+    def put(self, key: str, plan: CompiledPlan) -> None:
+        """Insert (or replace) a plan, evicting LRU entries past capacity."""
+        with self._lock:
+            self._store(key, plan)
+
+    def get_or_build(
+        self, key: str, build: Callable[[], CompiledPlan]
+    ) -> tuple[CompiledPlan, bool]:
+        """Return ``(plan, was_hit)``, compiling at most once per key.
+
+        The first thread to miss runs ``build()`` outside the lock;
+        concurrent callers for the same key block until it publishes,
+        then count as hits. If ``build`` raises, the in-flight marker is
+        withdrawn so a later call can retry.
+        """
+        while True:
+            with self._lock:
+                plan = self._entries.get(key)
+                if plan is not None:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    return plan, True
+                event = self._inflight.get(key)
+                if event is None:
+                    event = threading.Event()
+                    self._inflight[key] = event
+                    self.misses += 1
+                    break
+            # Another thread is compiling this key: wait and re-check.
+            event.wait()
+        try:
+            plan = build()
+        except BaseException:
+            with self._lock:
+                self._inflight.pop(key, None)
+                event.set()
+            raise
+        with self._lock:
+            self._store(key, plan)
+            self._inflight.pop(key, None)
+            event.set()
+        return plan, False
+
+    def _store(self, key: str, plan: CompiledPlan) -> None:
+        self._entries[key] = plan
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    # -- invalidation --------------------------------------------------------
+
+    def invalidate(self, key: str) -> bool:
+        """Drop one plan by key; returns whether it was resident."""
+        with self._lock:
+            present = self._entries.pop(key, None) is not None
+            if present:
+                self.invalidations += 1
+            return present
+
+    def clear(self) -> int:
+        """Drop every resident plan; returns how many were dropped.
+
+        Counters are left untouched so long-lived servers keep their
+        lifetime hit/miss history across invalidation sweeps.
+        """
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self.invalidations += dropped
+            return dropped
+
+    # -- introspection -------------------------------------------------------
+
+    def keys(self) -> list[str]:
+        """Resident keys in LRU-to-MRU order."""
+        with self._lock:
+            return list(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot: hits, misses, evictions, invalidations, size."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "size": len(self._entries),
+                "capacity": self.capacity,
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries

@@ -1,0 +1,159 @@
+"""Read-only sqlite connection pool for concurrent materialization.
+
+Each worker thread of a :class:`~repro.serving.server.ViewServer` needs
+its own sqlite connection (sqlite connections are not safe for
+concurrent use) and its own
+:class:`~repro.relational.engine.QueryStats` (so per-request counters
+are never shared mutable state). :class:`ConnectionPool` provides both:
+a fixed set of :class:`~repro.relational.engine.Database` sessions,
+every one read-only, handed to one borrower at a time through a queue.
+
+Two source modes:
+
+* **file** — ``ConnectionPool(catalog, path=...)`` opens ``size``
+  independent read-only connections (URI ``mode=ro``) to the database
+  file; sqlite readers never block each other.
+* **clone** — ``ConnectionPool(catalog, source=db)`` snapshots an
+  existing (typically in-memory) database into a process-private
+  shared-cache in-memory database via sqlite's backup API, then opens
+  ``size`` connections to the clone with ``PRAGMA query_only=ON``.
+  Tests and benchmarks use this to serve a generated workload without
+  touching disk; the source database is left untouched and later writes
+  to it are *not* visible to the pool (snapshot semantics).
+
+All pooled connections are created with ``check_same_thread=False``;
+the pool's queue serializes hand-off so each connection is used by one
+thread at a time — the contract documented in
+:mod:`repro.relational.engine`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import sqlite3
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.relational.engine import Database, QueryStats
+from repro.relational.schema import Catalog
+
+#: Process-unique suffixes for shared-cache in-memory clone databases.
+_CLONE_IDS = itertools.count(1)
+
+
+class ConnectionPool:
+    """A fixed-size pool of read-only :class:`Database` sessions.
+
+    Exactly one of ``path`` (database file) or ``source`` (live
+    :class:`Database` to snapshot) must be given. ``size`` connections
+    are opened eagerly so serving never pays connection setup on the
+    request path.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        path: Optional[str] = None,
+        source: Optional[Database] = None,
+        size: int = 4,
+        keep_sql: bool = False,
+    ):
+        if (path is None) == (source is None):
+            raise ValueError("ConnectionPool needs exactly one of path/source")
+        if size < 1:
+            raise ValueError(f"pool size must be >= 1, got {size}")
+        self.catalog = catalog
+        self.size = size
+        self._closed = False
+        self._close_lock = threading.Lock()
+        self._anchor: Optional[sqlite3.Connection] = None
+        self._clone_uri: Optional[str] = None
+        if source is not None:
+            # Snapshot the source into a named shared-cache in-memory
+            # database. The anchor connection keeps the clone alive for
+            # the pool's lifetime.
+            self._clone_uri = (
+                f"file:repro-pool-{next(_CLONE_IDS)}?mode=memory&cache=shared"
+            )
+            self._anchor = sqlite3.connect(
+                self._clone_uri, uri=True, check_same_thread=False
+            )
+            source.connection.backup(self._anchor)
+        self._sessions: list[Database] = [
+            self._open_session(path, keep_sql) for _ in range(size)
+        ]
+        self._idle: "queue.LifoQueue[Database]" = queue.LifoQueue()
+        for session in self._sessions:
+            self._idle.put(session)
+
+    def _open_session(self, path: Optional[str], keep_sql: bool) -> Database:
+        stats = QueryStats(keep_sql=keep_sql)
+        if path is not None:
+            return Database.open(self.catalog, path, stats=stats)
+        assert self._clone_uri is not None
+        connection = sqlite3.connect(
+            self._clone_uri, uri=True, check_same_thread=False
+        )
+        db = Database.from_connection(
+            self.catalog, connection, stats=stats, read_only=True
+        )
+        db.connection.execute("PRAGMA query_only=ON")
+        return db
+
+    # -- borrowing -----------------------------------------------------------
+
+    def acquire(self, timeout: Optional[float] = None) -> Database:
+        """Borrow a session; blocks until one is idle.
+
+        Raises :class:`RuntimeError` on a closed pool and
+        :class:`queue.Empty` if ``timeout`` elapses.
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        return self._idle.get(timeout=timeout)
+
+    def release(self, session: Database) -> None:
+        """Return a borrowed session to the idle queue."""
+        self._idle.put(session)
+
+    @contextmanager
+    def session(self, timeout: Optional[float] = None) -> Iterator[Database]:
+        """Borrow a session for the duration of a ``with`` block."""
+        borrowed = self.acquire(timeout=timeout)
+        try:
+            yield borrowed
+        finally:
+            self.release(borrowed)
+
+    # -- stats / lifecycle ---------------------------------------------------
+
+    def aggregate_stats(self) -> QueryStats:
+        """Merged copy of every session's per-connection counters."""
+        total = QueryStats()
+        for session in self._sessions:
+            total.merge(session.stats)
+        return total
+
+    def reset_stats(self) -> None:
+        """Zero every session's counters (between measured runs)."""
+        for session in self._sessions:
+            session.stats.reset()
+
+    def close(self) -> None:
+        """Close every pooled connection (and the clone anchor)."""
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        for session in self._sessions:
+            session.close()
+        if self._anchor is not None:
+            self._anchor.close()
+
+    def __enter__(self) -> "ConnectionPool":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

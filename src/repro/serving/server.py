@@ -1,0 +1,351 @@
+"""Long-lived concurrent publishing server.
+
+:class:`ViewServer` is the serving-path counterpart of the one-shot
+``python -m repro materialize`` pipeline: it keeps compiled plans
+(composed + pruned stylesheet views with their printed SQL) in a
+content-addressed :class:`~repro.serving.plan_cache.PlanCache`, and
+executes materialization requests concurrently on a
+``ThreadPoolExecutor`` whose workers draw read-only connections — each
+with its own :class:`~repro.relational.engine.QueryStats` — from a
+:class:`~repro.serving.pool.ConnectionPool`.
+
+Every request produces a :class:`RequestTrace`: where the time went
+(plan acquisition vs execution vs serialization), how much engine work
+it did (queries, rows), how much output it built (elements,
+attributes), which strategy ran, and whether the plan came from cache.
+The ``python -m repro serve-bench`` command and harness experiment E13
+aggregate these traces into throughput and latency percentiles.
+
+Equivalence guarantee: a served request returns byte-identical XML to a
+serial :func:`repro.schema_tree.evaluator.materialize` of the same
+composed view on the same data — the property suite in
+``tests/serving/test_concurrent_equivalence.py`` checks this for all
+three strategies under 8-way concurrency.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.relational.engine import Database
+from repro.relational.schema import Catalog
+from repro.schema_tree.bulk_evaluator import BulkViewEvaluator
+from repro.schema_tree.evaluator import (
+    STRATEGIES,
+    MaterializeStats,
+    ViewEvaluator,
+)
+from repro.schema_tree.model import SchemaTreeQuery
+from repro.serving.fingerprint import fingerprint_catalog, plan_key
+from repro.serving.plan_cache import CompiledPlan, PlanCache
+from repro.serving.pool import ConnectionPool
+from repro.sql.printer import print_select
+from repro.xmlcore.serializer import serialize
+from repro.xslt.model import Stylesheet
+
+
+@dataclass
+class PublishRequest:
+    """One materialization request against the server's database.
+
+    ``stylesheet=None`` serves the publishing view itself; otherwise the
+    stylesheet is composed with the view (and pruned, unless ``prune``
+    is off) the first time this content triple is seen.
+    """
+
+    view: SchemaTreeQuery
+    stylesheet: Optional[Stylesheet] = None
+    strategy: str = "nested-loop"
+    prune: bool = True
+    paper_mode: bool = False
+    label: str = ""
+
+
+@dataclass
+class RequestTrace:
+    """Per-request record of work done and where the time went.
+
+    ``plan_seconds`` is the time this request spent *obtaining* its
+    compiled plan — near zero on a cache hit, the full compose cost on
+    the miss that compiled it (also recorded on the plan itself as
+    ``compose_seconds``).
+    """
+
+    request_id: int
+    label: str
+    strategy: str
+    cache_hit: bool
+    plan_key: str
+    plan_seconds: float = 0.0
+    execute_seconds: float = 0.0
+    serialize_seconds: float = 0.0
+    total_seconds: float = 0.0
+    queries_executed: int = 0
+    rows_fetched: int = 0
+    elements_created: int = 0
+    attributes_created: int = 0
+    fallback_nodes: int = 0
+    worker: str = ""
+    error: Optional[str] = None
+    xml: Optional[str] = None
+
+    def to_dict(self, include_xml: bool = False) -> dict:
+        """JSON-ready form of the trace (XML omitted unless asked)."""
+        record = {
+            "request_id": self.request_id,
+            "label": self.label,
+            "strategy": self.strategy,
+            "cache_hit": self.cache_hit,
+            "plan_key": self.plan_key[:16],
+            "plan_seconds": round(self.plan_seconds, 6),
+            "execute_seconds": round(self.execute_seconds, 6),
+            "serialize_seconds": round(self.serialize_seconds, 6),
+            "total_seconds": round(self.total_seconds, 6),
+            "queries_executed": self.queries_executed,
+            "rows_fetched": self.rows_fetched,
+            "elements_created": self.elements_created,
+            "attributes_created": self.attributes_created,
+            "fallback_nodes": self.fallback_nodes,
+            "worker": self.worker,
+            "error": self.error,
+        }
+        if include_xml:
+            record["xml"] = self.xml
+        return record
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) by linear interpolation.
+
+    Small helper shared by ``serve-bench`` and experiment E13 so latency
+    percentiles are computed identically everywhere; returns 0.0 for an
+    empty sequence.
+    """
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * (q / 100.0)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] + (ordered[high] - ordered[low]) * fraction
+
+
+class ViewServer:
+    """A concurrent publishing server over one relational database.
+
+    Construct with either ``path`` (a sqlite database file, opened
+    read-only ``workers`` times) or ``source`` (a live
+    :class:`~repro.relational.engine.Database` snapshotted into a
+    shared-cache clone — see :class:`~repro.serving.pool.ConnectionPool`).
+    Requests are executed on a ``ThreadPoolExecutor`` with one pooled
+    connection per worker; compiled plans are shared through an LRU
+    :class:`~repro.serving.plan_cache.PlanCache` keyed by content
+    fingerprints of (catalog, view, stylesheet, options).
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        path: Optional[str] = None,
+        source: Optional[Database] = None,
+        workers: int = 4,
+        cache_capacity: int = 64,
+        keep_xml: bool = True,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.catalog = catalog
+        self.workers = workers
+        self.keep_xml = keep_xml
+        self.plan_cache = PlanCache(cache_capacity)
+        self.pool = ConnectionPool(catalog, path=path, source=source, size=workers)
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="viewserver"
+        )
+        self._catalog_fingerprint = fingerprint_catalog(catalog)
+        self._lock = threading.Lock()
+        self._next_request_id = 1
+        self.requests_served = 0
+        self.errors = 0
+        self._closed = False
+
+    # -- request API ---------------------------------------------------------
+
+    def submit(self, request: PublishRequest) -> "Future[RequestTrace]":
+        """Enqueue a request; returns a future resolving to its trace."""
+        if self._closed:
+            raise RuntimeError("server is closed")
+        if request.strategy not in STRATEGIES:
+            raise ReproError(
+                f"unknown strategy {request.strategy!r} "
+                f"(expected one of {', '.join(STRATEGIES)})"
+            )
+        with self._lock:
+            request_id = self._next_request_id
+            self._next_request_id += 1
+        return self._executor.submit(self._serve, request, request_id)
+
+    def render(
+        self,
+        view: SchemaTreeQuery,
+        stylesheet: Optional[Stylesheet] = None,
+        strategy: str = "nested-loop",
+        prune: bool = True,
+        paper_mode: bool = False,
+        label: str = "",
+    ) -> RequestTrace:
+        """Serve one request synchronously (submit + wait)."""
+        return self.submit(
+            PublishRequest(
+                view=view,
+                stylesheet=stylesheet,
+                strategy=strategy,
+                prune=prune,
+                paper_mode=paper_mode,
+                label=label,
+            )
+        ).result()
+
+    def render_many(
+        self, requests: Iterable[PublishRequest]
+    ) -> list[RequestTrace]:
+        """Serve a batch concurrently; traces come back in request order."""
+        futures = [self.submit(request) for request in requests]
+        return [future.result() for future in futures]
+
+    # -- plan management -----------------------------------------------------
+
+    def plan_key_for(self, request: PublishRequest) -> str:
+        """The cache key a request resolves to (content fingerprint)."""
+        return plan_key(
+            self._catalog_fingerprint,
+            request.view,
+            request.stylesheet,
+            prune=request.prune,
+            paper_mode=request.paper_mode,
+        )
+
+    def invalidate(self, request: PublishRequest) -> bool:
+        """Explicitly drop the compiled plan a request would use."""
+        return self.plan_cache.invalidate(self.plan_key_for(request))
+
+    def _compile(self, key: str, request: PublishRequest) -> CompiledPlan:
+        from repro.core.compose import compose
+        from repro.core.optimize import prune_stylesheet_view
+
+        started = time.perf_counter()
+        pruned_columns = 0
+        if request.stylesheet is None:
+            view = request.view
+        else:
+            view = compose(
+                request.view,
+                request.stylesheet,
+                self.catalog,
+                paper_mode=request.paper_mode,
+            )
+            if request.prune:
+                pruned_columns = prune_stylesheet_view(
+                    view, self.catalog
+                ).columns_removed
+        node_sql = {
+            node.id: print_select(node.tag_query, placeholders=True)
+            for node in view.nodes(include_root=False)
+            if node.tag_query is not None
+        }
+        return CompiledPlan(
+            key=key,
+            view=view,
+            node_sql=node_sql,
+            compose_seconds=time.perf_counter() - started,
+            pruned_columns=pruned_columns,
+        )
+
+    # -- execution -----------------------------------------------------------
+
+    def _serve(self, request: PublishRequest, request_id: int) -> RequestTrace:
+        started = time.perf_counter()
+        key = self.plan_key_for(request)
+        trace = RequestTrace(
+            request_id=request_id,
+            label=request.label,
+            strategy=request.strategy,
+            cache_hit=False,
+            plan_key=key,
+            worker=threading.current_thread().name,
+        )
+        try:
+            plan, hit = self.plan_cache.get_or_build(
+                key, lambda: self._compile(key, request)
+            )
+            trace.cache_hit = hit
+            trace.plan_seconds = time.perf_counter() - started
+            with self.pool.session() as db:
+                before = db.stats.snapshot()
+                stats = MaterializeStats()
+                if request.strategy == "bulk":
+                    evaluator = BulkViewEvaluator(db, stats=stats)
+                else:
+                    evaluator = ViewEvaluator(
+                        db, memoize=request.strategy == "memoized", stats=stats
+                    )
+                execute_started = time.perf_counter()
+                document = evaluator.materialize(plan.view)
+                trace.execute_seconds = time.perf_counter() - execute_started
+                after = db.stats.snapshot()
+            trace.queries_executed = (
+                after["queries_executed"] - before["queries_executed"]
+            )
+            trace.rows_fetched = after["rows_fetched"] - before["rows_fetched"]
+            trace.elements_created = stats.elements_created
+            trace.attributes_created = stats.attributes_created
+            trace.fallback_nodes = len(getattr(evaluator, "fallback_nodes", []))
+            serialize_started = time.perf_counter()
+            xml = serialize(document)
+            trace.serialize_seconds = time.perf_counter() - serialize_started
+            if self.keep_xml:
+                trace.xml = xml
+        except ReproError as exc:
+            trace.error = str(exc)
+            with self._lock:
+                self.errors += 1
+        trace.total_seconds = time.perf_counter() - started
+        with self._lock:
+            self.requests_served += 1
+        return trace
+
+    # -- metrics / lifecycle -------------------------------------------------
+
+    def metrics(self) -> dict:
+        """Server-lifetime counters: requests, cache, and engine work."""
+        aggregate = self.pool.aggregate_stats()
+        return {
+            "requests_served": self.requests_served,
+            "errors": self.errors,
+            "workers": self.workers,
+            "cache": self.plan_cache.stats(),
+            "queries_executed": aggregate.queries_executed,
+            "rows_fetched": aggregate.rows_fetched,
+        }
+
+    def close(self) -> None:
+        """Shut the executor down and close every pooled connection."""
+        if self._closed:
+            return
+        self._closed = True
+        self._executor.shutdown(wait=True)
+        self.pool.close()
+
+    def __enter__(self) -> "ViewServer":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

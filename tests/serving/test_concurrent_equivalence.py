@@ -1,0 +1,233 @@
+"""Concurrency equivalence: the served path is byte-identical to serial.
+
+The contract under test is the serving layer's only correctness claim:
+for any (view, stylesheet, strategy), a :class:`ViewServer` handling 8
+concurrent requests — identical or mixed — returns exactly the XML a
+serial :func:`~repro.schema_tree.evaluator.materialize` of the same
+composed-and-pruned view produces. The property tests draw random
+synthetic views (reusing the generator from the bulk-evaluator suite),
+random chain stylesheets, and random mixed workloads over the hotel and
+orders databases; together they run well over 200 hypothesis examples.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compose import compose
+from repro.core.optimize import prune_stylesheet_view
+from repro.relational.engine import Database
+from repro.schema_tree.evaluator import STRATEGIES, materialize
+from repro.serving import PublishRequest, ViewServer
+from repro.workloads.hotel import HotelDataSpec, build_hotel_database
+from repro.workloads.orders import (
+    OrdersDataSpec,
+    build_orders_database,
+    invoice_stylesheet,
+    orders_view,
+    summary_stylesheet,
+)
+from repro.workloads.paper import (
+    figure1_view,
+    figure4_stylesheet,
+    figure17_stylesheet,
+)
+from repro.workloads.synthetic import (
+    chain_catalog,
+    chain_stylesheet,
+    chain_view,
+    populate_chain,
+)
+from repro.xmlcore.serializer import serialize
+from tests.schema_tree.test_bulk_evaluator import (
+    build_view,
+    make_catalog,
+    populate,
+    scenarios,
+)
+
+N_CONCURRENT = 8
+
+
+def serial_xml(db, view, stylesheet, strategy, prune=True):
+    """The serial reference: compose + prune + materialize + serialize."""
+    if stylesheet is None:
+        target = view
+    else:
+        target = compose(view, stylesheet, db.catalog)
+        if prune:
+            prune_stylesheet_view(target, db.catalog)
+    return serialize(materialize(target, db, strategy=strategy))
+
+
+# ---------------------------------------------------------------------------
+# Random synthetic views (no stylesheet): every strategy, 8 identical
+# concurrent requests.
+# ---------------------------------------------------------------------------
+
+
+@given(scenarios(), st.sampled_from(STRATEGIES))
+@settings(max_examples=100, deadline=None)
+def test_random_views_concurrent_equals_serial(scenario, strategy):
+    nodes, kinds, seed = scenario
+    view = build_view(nodes, kinds)
+    with Database(make_catalog()) as db:
+        populate(db, seed)
+        expected = serial_xml(db, view, None, strategy)
+        with ViewServer(
+            db.catalog, source=db, workers=N_CONCURRENT
+        ) as server:
+            traces = server.render_many(
+                PublishRequest(view, strategy=strategy)
+                for _ in range(N_CONCURRENT)
+            )
+        for trace in traces:
+            assert trace.error is None
+            assert trace.xml == expected
+
+
+# ---------------------------------------------------------------------------
+# Random chain stylesheets: the full compose + prune pipeline runs inside
+# the server; concurrent identical requests share one compiled plan.
+# ---------------------------------------------------------------------------
+
+
+@given(
+    levels=st.integers(2, 4),
+    depth=st.integers(1, 3),
+    seed=st.integers(0, 1_000),
+    strategy=st.sampled_from(STRATEGIES),
+)
+@settings(max_examples=50, deadline=None)
+def test_composed_chains_concurrent_equals_serial(levels, depth, seed, strategy):
+    catalog = chain_catalog(levels)
+    view = chain_view(levels, catalog)
+    stylesheet = chain_stylesheet(levels, depth)
+    with Database(catalog) as db:
+        populate_chain(db, levels, fanout=2, roots=2, seed=seed)
+        expected = serial_xml(db, view, stylesheet, strategy)
+        with ViewServer(catalog, source=db, workers=N_CONCURRENT) as server:
+            traces = server.render_many(
+                PublishRequest(view, stylesheet, strategy=strategy)
+                for _ in range(N_CONCURRENT)
+            )
+            cache = server.plan_cache.stats()
+        for trace in traces:
+            assert trace.error is None
+            assert trace.xml == expected
+        # Single-flight compilation: 8 concurrent requests for one
+        # content key cost exactly one compile.
+        assert cache["misses"] == 1
+        assert cache["hits"] == N_CONCURRENT - 1
+
+
+# ---------------------------------------------------------------------------
+# Mixed workloads over long-lived servers: each example throws 8 random
+# (stylesheet, strategy) requests at a shared server and checks every
+# response against its serial reference.
+# ---------------------------------------------------------------------------
+
+
+def _mixed_env(db, view, stylesheets):
+    """A shared server plus the serial reference XML for every combo."""
+    server = ViewServer(db.catalog, source=db, workers=N_CONCURRENT)
+    expected = {
+        (name, strategy): serial_xml(db, view, stylesheet, strategy)
+        for name, stylesheet in stylesheets.items()
+        for strategy in STRATEGIES
+    }
+    return server, expected
+
+
+@pytest.fixture(scope="module")
+def hotel_env():
+    db = build_hotel_database(HotelDataSpec(metros=2, hotels_per_metro=3))
+    view = figure1_view(db.catalog)
+    stylesheets = {
+        "none": None,
+        "figure4": figure4_stylesheet(),
+        "figure17": figure17_stylesheet(),
+    }
+    server, expected = _mixed_env(db, view, stylesheets)
+    yield view, stylesheets, server, expected
+    server.close()
+    db.close()
+
+
+@pytest.fixture(scope="module")
+def orders_env():
+    db = build_orders_database(OrdersDataSpec(customers=6))
+    view = orders_view(db.catalog)
+    stylesheets = {
+        "none": None,
+        "invoice": invoice_stylesheet(),
+        "summary": summary_stylesheet(),
+    }
+    server, expected = _mixed_env(db, view, stylesheets)
+    yield view, stylesheets, server, expected
+    server.close()
+    db.close()
+
+
+def _combos(stylesheet_names):
+    return st.lists(
+        st.tuples(
+            st.sampled_from(stylesheet_names), st.sampled_from(STRATEGIES)
+        ),
+        min_size=N_CONCURRENT,
+        max_size=N_CONCURRENT,
+    )
+
+
+def _check_mixed_batch(env, batch):
+    view, stylesheets, server, expected = env
+    traces = server.render_many(
+        PublishRequest(view, stylesheets[name], strategy=strategy)
+        for name, strategy in batch
+    )
+    for (name, strategy), trace in zip(batch, traces):
+        assert trace.error is None, trace.error
+        assert trace.strategy == strategy
+        assert trace.xml == expected[(name, strategy)]
+
+
+@given(batch=_combos(["none", "figure4", "figure17"]))
+@settings(max_examples=40, deadline=None)
+def test_hotel_mixed_workload_concurrent_equals_serial(hotel_env, batch):
+    _check_mixed_batch(hotel_env, batch)
+
+
+@given(batch=_combos(["none", "invoice", "summary"]))
+@settings(max_examples=30, deadline=None)
+def test_orders_mixed_workload_concurrent_equals_serial(orders_env, batch):
+    _check_mixed_batch(orders_env, batch)
+
+
+# ---------------------------------------------------------------------------
+# Deterministic anchors (fast, no hypothesis): the acceptance demo.
+# ---------------------------------------------------------------------------
+
+
+def test_all_strategies_agree_under_concurrency_on_figure4():
+    db = build_hotel_database(HotelDataSpec(metros=3, hotels_per_metro=4))
+    view = figure1_view(db.catalog)
+    stylesheet = figure4_stylesheet()
+    references = {
+        strategy: serial_xml(db, view, stylesheet, strategy)
+        for strategy in STRATEGIES
+    }
+    # All three strategies agree serially...
+    assert len(set(references.values())) == 1
+    # ...and the server reproduces each under 8-way concurrency.
+    with ViewServer(db.catalog, source=db, workers=N_CONCURRENT) as server:
+        traces = server.render_many(
+            PublishRequest(view, stylesheet, strategy=strategy)
+            for strategy in STRATEGIES
+            for _ in range(N_CONCURRENT)
+        )
+    for trace in traces:
+        assert trace.error is None
+        assert trace.xml == references[trace.strategy]
+    db.close()

@@ -1,0 +1,84 @@
+"""Content fingerprints: structural identity in, cache keys out."""
+
+from __future__ import annotations
+
+import copy
+
+from repro.serving.fingerprint import (
+    clear_fingerprint_memo,
+    fingerprint_catalog,
+    fingerprint_stylesheet,
+    fingerprint_text,
+    fingerprint_view,
+    plan_key,
+)
+from repro.workloads.hotel import hotel_catalog
+from repro.workloads.paper import (
+    figure1_view,
+    figure4_stylesheet,
+    figure17_stylesheet,
+)
+
+
+def test_fingerprint_text_is_injective_over_part_boundaries():
+    assert fingerprint_text("ab", "c") != fingerprint_text("a", "bc")
+    assert fingerprint_text("a") != fingerprint_text("a", "")
+    assert fingerprint_text("x", "y") == fingerprint_text("x", "y")
+
+
+def test_structurally_equal_views_share_a_fingerprint():
+    catalog = hotel_catalog()
+    # Two independently built (distinct) objects with identical content.
+    first, second = figure1_view(catalog), figure1_view(catalog)
+    assert first is not second
+    assert fingerprint_view(first) == fingerprint_view(second)
+
+
+def test_catalog_and_stylesheet_fingerprints_discriminate():
+    catalog = hotel_catalog()
+    assert fingerprint_catalog(catalog) == fingerprint_catalog(catalog)
+    fig4, fig17 = figure4_stylesheet(), figure17_stylesheet()
+    assert fingerprint_stylesheet(fig4) == fingerprint_stylesheet(
+        figure4_stylesheet()
+    )
+    assert fingerprint_stylesheet(fig4) != fingerprint_stylesheet(fig17)
+    assert fingerprint_stylesheet(None) != fingerprint_stylesheet(fig4)
+
+
+def test_editing_one_template_changes_the_plan_key():
+    """The headline invalidation story: edit one stylesheet template and
+    the content key changes, so the next request is a correct miss."""
+    catalog = hotel_catalog()
+    catalog_fp = fingerprint_catalog(catalog)
+    view = figure1_view(catalog)
+    original = figure4_stylesheet()
+    edited = copy.deepcopy(original)
+    edited.rules[0].priority = 42.0
+    assert plan_key(catalog_fp, view, original) != plan_key(
+        catalog_fp, view, edited
+    )
+
+
+def test_plan_key_folds_in_options():
+    catalog = hotel_catalog()
+    catalog_fp = fingerprint_catalog(catalog)
+    view = figure1_view(catalog)
+    stylesheet = figure4_stylesheet()
+    base = plan_key(catalog_fp, view, stylesheet)
+    assert base == plan_key(catalog_fp, view, stylesheet)
+    assert base != plan_key(catalog_fp, view, stylesheet, prune=False)
+    assert base != plan_key(catalog_fp, view, stylesheet, paper_mode=True)
+    # Without a stylesheet there is nothing to prune: the flag is ignored.
+    assert plan_key(catalog_fp, view, None, prune=True) == plan_key(
+        catalog_fp, view, None, prune=False
+    )
+
+
+def test_memo_caches_per_object_and_clears():
+    clear_fingerprint_memo()
+    view = figure1_view(hotel_catalog())
+    stylesheet = figure4_stylesheet()
+    assert fingerprint_view(view) == fingerprint_view(view)
+    fingerprint_stylesheet(stylesheet)
+    assert clear_fingerprint_memo() == 2
+    assert clear_fingerprint_memo() == 0

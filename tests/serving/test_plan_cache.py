@@ -1,0 +1,147 @@
+"""Deterministic PlanCache behavior: LRU order, exact counters,
+single-flight compilation, and the 16-thread hammer."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ReproError
+from repro.serving.plan_cache import CompiledPlan, PlanCache
+
+
+def plan(key: str) -> CompiledPlan:
+    return CompiledPlan(key=key, view=None)
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        PlanCache(0)
+
+
+def test_get_put_and_exact_counters():
+    cache = PlanCache(capacity=4)
+    assert cache.get("a") is None  # miss
+    cache.put("a", plan("a"))
+    assert cache.get("a").key == "a"  # hit
+    assert cache.get("a").key == "a"  # hit
+    assert cache.get("b") is None  # miss
+    assert cache.stats() == {
+        "hits": 2,
+        "misses": 2,
+        "evictions": 0,
+        "invalidations": 0,
+        "size": 1,
+        "capacity": 4,
+    }
+
+
+def test_lru_eviction_order():
+    cache = PlanCache(capacity=2)
+    cache.put("a", plan("a"))
+    cache.put("b", plan("b"))
+    # Touch "a" so "b" becomes least recently used.
+    assert cache.get("a") is not None
+    cache.put("c", plan("c"))
+    assert cache.keys() == ["a", "c"]
+    assert "b" not in cache
+    assert cache.evictions == 1
+    # Inserting past capacity again evicts the new LRU entry ("a").
+    cache.put("d", plan("d"))
+    assert cache.keys() == ["c", "d"]
+    assert cache.evictions == 2
+
+
+def test_put_refreshes_recency():
+    cache = PlanCache(capacity=2)
+    cache.put("a", plan("a"))
+    cache.put("b", plan("b"))
+    cache.put("a", plan("a2"))  # replace: "a" is now most recent
+    cache.put("c", plan("c"))
+    assert cache.keys() == ["a", "c"]
+    assert cache.get("a").key == "a2"
+
+
+def test_get_or_build_counts_one_miss_then_hits():
+    cache = PlanCache()
+    builds = []
+
+    def build():
+        builds.append(1)
+        return plan("k")
+
+    first, hit = cache.get_or_build("k", build)
+    assert not hit
+    second, hit = cache.get_or_build("k", build)
+    assert hit and second is first
+    assert len(builds) == 1
+    assert (cache.misses, cache.hits) == (1, 1)
+
+
+def test_failed_build_withdraws_inflight_marker():
+    cache = PlanCache()
+
+    def boom():
+        raise ReproError("compile failed")
+
+    with pytest.raises(ReproError):
+        cache.get_or_build("k", boom)
+    assert "k" not in cache
+    # The key is retryable: a later build succeeds and counts a new miss.
+    rebuilt, hit = cache.get_or_build("k", lambda: plan("k"))
+    assert not hit and rebuilt.key == "k"
+    assert cache.misses == 2
+
+
+def test_invalidate_and_clear_counters():
+    cache = PlanCache()
+    cache.put("a", plan("a"))
+    cache.put("b", plan("b"))
+    assert cache.invalidate("a")
+    assert not cache.invalidate("a")  # already gone
+    assert cache.invalidations == 1
+    cache.get("b")  # hit
+    assert cache.clear() == 1
+    assert len(cache) == 0
+    # clear() counts invalidations but preserves the hit/miss history.
+    assert cache.invalidations == 2
+    assert (cache.hits, cache.misses) == (1, 0)
+
+
+def test_sixteen_thread_hammer_on_single_entry_cache():
+    """16 threads race get_or_build on one key in a capacity-1 cache:
+    exactly one build runs (one miss), everyone else waits and hits."""
+    cache = PlanCache(capacity=1)
+    thread_count = 16
+    barrier = threading.Barrier(thread_count)
+    builds = []
+    results: list[tuple[CompiledPlan, bool]] = []
+    results_lock = threading.Lock()
+
+    def build():
+        builds.append(1)
+        time.sleep(0.05)  # hold the build long enough for everyone to pile up
+        return plan("hot")
+
+    def worker():
+        barrier.wait()
+        got = cache.get_or_build("hot", build)
+        with results_lock:
+            results.append(got)
+
+    threads = [threading.Thread(target=worker) for _ in range(thread_count)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert len(builds) == 1
+    assert len(results) == thread_count
+    plans = {id(got_plan) for got_plan, _ in results}
+    assert len(plans) == 1  # every thread got the same plan object
+    assert sum(1 for _, hit in results if not hit) == 1
+    assert cache.misses == 1
+    assert cache.hits == thread_count - 1
+    assert cache.evictions == 0

@@ -1,0 +1,112 @@
+"""ConnectionPool: read-only sessions, snapshot semantics, stats."""
+
+from __future__ import annotations
+
+import queue
+import sqlite3
+
+import pytest
+
+from repro.errors import ViewEvaluationError
+from repro.serving.pool import ConnectionPool
+from repro.workloads.hotel import (
+    HotelDataSpec,
+    build_hotel_database,
+    hotel_catalog,
+)
+
+
+@pytest.fixture()
+def small_hotel_db():
+    db = build_hotel_database(HotelDataSpec(metros=2, hotels_per_metro=2))
+    yield db
+    db.close()
+
+
+def test_needs_exactly_one_of_path_and_source(small_hotel_db, tmp_path):
+    with pytest.raises(ValueError):
+        ConnectionPool(hotel_catalog())
+    with pytest.raises(ValueError):
+        ConnectionPool(
+            hotel_catalog(),
+            path=str(tmp_path / "x.db"),
+            source=small_hotel_db,
+        )
+    with pytest.raises(ValueError):
+        ConnectionPool(hotel_catalog(), source=small_hotel_db, size=0)
+
+
+def test_clone_pool_sessions_are_read_only(small_hotel_db):
+    with ConnectionPool(small_hotel_db.catalog, source=small_hotel_db) as pool:
+        with pool.session() as db:
+            assert db.read_only
+            assert db.table_count("metroarea") == 2
+            # The engine-level guard rejects the write before sqlite sees it.
+            with pytest.raises(ViewEvaluationError):
+                db.insert_rows("metroarea", [])
+            # Raw SQL writes die on PRAGMA query_only at the sqlite level.
+            with pytest.raises(sqlite3.OperationalError):
+                db.run_sql("DELETE FROM metroarea")
+
+
+def test_clone_pool_has_snapshot_semantics(small_hotel_db):
+    with ConnectionPool(small_hotel_db.catalog, source=small_hotel_db) as pool:
+        before = small_hotel_db.table_count("metroarea")
+        small_hotel_db.run_sql(
+            "INSERT INTO metroarea (metroid, metroname) VALUES (999, 'nowhere')"
+        )
+        with pool.session() as db:
+            # Later writes to the source are invisible to the snapshot.
+            assert db.table_count("metroarea") == before
+        assert small_hotel_db.table_count("metroarea") == before + 1
+
+
+def test_file_pool_serves_a_database_file(small_hotel_db, tmp_path):
+    path = str(tmp_path / "hotel.db")
+    dest = sqlite3.connect(path)
+    small_hotel_db.connection.backup(dest)
+    dest.close()
+    with ConnectionPool(
+        small_hotel_db.catalog, path=path, size=2
+    ) as pool:
+        with pool.session() as db:
+            assert db.read_only
+            assert db.table_count("metroarea") == 2
+            with pytest.raises(ViewEvaluationError):
+                db.insert_rows("metroarea", [])
+
+
+def test_acquire_blocks_when_exhausted(small_hotel_db):
+    pool = ConnectionPool(small_hotel_db.catalog, source=small_hotel_db, size=1)
+    try:
+        held = pool.acquire()
+        with pytest.raises(queue.Empty):
+            pool.acquire(timeout=0.05)
+        pool.release(held)
+        again = pool.acquire(timeout=0.05)
+        assert again is held  # LIFO reuse keeps caches warm
+        pool.release(again)
+    finally:
+        pool.close()
+
+
+def test_aggregate_and_reset_stats(small_hotel_db):
+    with ConnectionPool(
+        small_hotel_db.catalog, source=small_hotel_db, size=2
+    ) as pool:
+        with pool.session() as db:
+            db.run_sql("SELECT * FROM metroarea")
+            db.stats.record(5)
+        aggregate = pool.aggregate_stats()
+        assert aggregate.queries_executed == 1
+        assert aggregate.rows_fetched == 5
+        pool.reset_stats()
+        assert pool.aggregate_stats().queries_executed == 0
+
+
+def test_closed_pool_rejects_acquire(small_hotel_db):
+    pool = ConnectionPool(small_hotel_db.catalog, source=small_hotel_db)
+    pool.close()
+    pool.close()  # idempotent
+    with pytest.raises(RuntimeError):
+        pool.acquire()

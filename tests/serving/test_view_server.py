@@ -1,0 +1,182 @@
+"""ViewServer request path: traces, metrics, cache behavior, errors."""
+
+from __future__ import annotations
+
+import copy
+import sqlite3
+
+import pytest
+
+from repro.errors import ReproError
+from repro.schema_tree.builder import ViewBuilder
+from repro.serving import PublishRequest, RequestTrace, ViewServer, percentile
+from repro.workloads.hotel import (
+    HotelDataSpec,
+    build_hotel_database,
+    hotel_catalog,
+)
+from repro.workloads.paper import figure1_view, figure4_stylesheet
+
+
+@pytest.fixture()
+def served_hotel():
+    db = build_hotel_database(HotelDataSpec(metros=2, hotels_per_metro=3))
+    server = ViewServer(db.catalog, source=db, workers=2)
+    yield db, server
+    server.close()
+    db.close()
+
+
+def test_render_trace_records_work_and_cache_state(served_hotel):
+    db, server = served_hotel
+    view = figure1_view(db.catalog)
+    first = server.render(view, figure4_stylesheet(), label="warmup")
+    assert first.error is None
+    assert not first.cache_hit
+    assert first.label == "warmup"
+    assert first.xml.startswith("<")
+    assert first.queries_executed > 0
+    assert first.rows_fetched > 0
+    assert first.elements_created > 0
+    assert first.plan_seconds > 0
+    assert first.total_seconds >= first.execute_seconds
+    assert first.worker.startswith("viewserver")
+
+    second = server.render(view, figure4_stylesheet())
+    assert second.cache_hit
+    assert second.xml == first.xml
+    assert server.plan_cache.stats()["misses"] == 1
+    assert server.plan_cache.stats()["hits"] == 1
+
+
+def test_trace_to_dict_omits_xml_unless_asked():
+    trace = RequestTrace(
+        request_id=1, label="", strategy="bulk", cache_hit=True,
+        plan_key="f" * 64, xml="<a/>",
+    )
+    record = trace.to_dict()
+    assert "xml" not in record
+    assert record["plan_key"] == "f" * 16
+    assert trace.to_dict(include_xml=True)["xml"] == "<a/>"
+
+
+def test_metrics_aggregate_requests_and_engine_work(served_hotel):
+    db, server = served_hotel
+    view = figure1_view(db.catalog)
+    for _ in range(3):
+        server.render(view, strategy="bulk")
+    metrics = server.metrics()
+    assert metrics["requests_served"] == 3
+    assert metrics["errors"] == 0
+    assert metrics["workers"] == 2
+    assert metrics["cache"]["misses"] == 1
+    assert metrics["cache"]["hits"] == 2
+    assert metrics["queries_executed"] > 0
+    assert metrics["rows_fetched"] > 0
+
+
+def test_explicit_invalidation_forces_a_recompile(served_hotel):
+    db, server = served_hotel
+    view = figure1_view(db.catalog)
+    request = PublishRequest(view, figure4_stylesheet())
+    assert not server.submit(request).result().cache_hit
+    assert server.invalidate(request)
+    assert not server.invalidate(request)  # already dropped
+    assert not server.submit(request).result().cache_hit
+    assert server.plan_cache.stats()["misses"] == 2
+
+
+def test_edited_stylesheet_is_an_automatic_miss(served_hotel):
+    """Editing one template changes the content key: no explicit
+    invalidation needed, the next request simply misses."""
+    db, server = served_hotel
+    view = figure1_view(db.catalog)
+    original = figure4_stylesheet()
+    server.render(view, original)
+    assert server.render(view, original).cache_hit
+    edited = copy.deepcopy(original)
+    edited.rules[0].priority = 42.0
+    trace = server.render(view, edited)
+    assert not trace.cache_hit
+    assert server.plan_cache.stats()["misses"] == 2
+    assert len(server.plan_cache) == 2  # both plans stay resident
+
+
+def test_unknown_strategy_is_rejected_at_submit(served_hotel):
+    db, server = served_hotel
+    with pytest.raises(ReproError, match="unknown strategy"):
+        server.submit(
+            PublishRequest(figure1_view(db.catalog), strategy="turbo")
+        )
+
+
+def test_failing_request_yields_an_error_trace(served_hotel):
+    db, server = served_hotel
+    builder = ViewBuilder(db.catalog)
+    builder.node("bad", "SELECT * FROM no_such_table", bv="x")
+    broken = builder.build(validate=False)
+    trace = server.render(broken)
+    assert trace.error is not None
+    assert "no_such_table" in trace.error
+    assert trace.xml is None
+    metrics = server.metrics()
+    assert metrics["errors"] == 1
+    assert metrics["requests_served"] == 1
+
+
+def test_render_many_preserves_request_order(served_hotel):
+    db, server = served_hotel
+    view = figure1_view(db.catalog)
+    requests = [
+        PublishRequest(view, strategy="nested-loop", label=f"r{i}")
+        for i in range(6)
+    ]
+    traces = server.render_many(requests)
+    assert [trace.label for trace in traces] == [f"r{i}" for i in range(6)]
+    assert len({trace.request_id for trace in traces}) == 6
+
+
+def test_keep_xml_false_drops_bodies_but_keeps_timings():
+    db = build_hotel_database(HotelDataSpec(metros=2, hotels_per_metro=2))
+    with ViewServer(db.catalog, source=db, workers=1, keep_xml=False) as server:
+        trace = server.render(figure1_view(db.catalog))
+        assert trace.xml is None
+        assert trace.serialize_seconds > 0
+    db.close()
+
+
+def test_server_over_database_file(tmp_path):
+    db = build_hotel_database(HotelDataSpec(metros=2, hotels_per_metro=2))
+    path = str(tmp_path / "hotel.db")
+    dest = sqlite3.connect(path)
+    db.connection.backup(dest)
+    dest.close()
+    with ViewServer(hotel_catalog(), path=path, workers=2) as server:
+        trace = server.render(figure1_view(server.catalog))
+        assert trace.error is None
+        assert trace.xml.startswith("<")
+    db.close()
+
+
+def test_closed_server_rejects_new_requests():
+    db = build_hotel_database(HotelDataSpec(metros=1, hotels_per_metro=1))
+    server = ViewServer(db.catalog, source=db, workers=1)
+    server.close()
+    server.close()  # idempotent
+    with pytest.raises(RuntimeError):
+        server.submit(PublishRequest(figure1_view(db.catalog)))
+    db.close()
+
+
+def test_worker_count_validation():
+    with pytest.raises(ValueError):
+        ViewServer(hotel_catalog(), path="unused.db", workers=0)
+
+
+def test_percentile_interpolation():
+    assert percentile([], 95) == 0.0
+    assert percentile([7.0], 50) == 7.0
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(values, 0) == 1.0
+    assert percentile(values, 100) == 4.0
+    assert percentile(values, 50) == 2.5
