@@ -14,18 +14,15 @@ from repro.serving import (
     ViewServer,
     clear_fingerprint_memo,
 )
-from repro.workloads.hotel import HotelDataSpec, build_hotel_database
 from repro.workloads.paper import figure1_view, figure4_stylesheet
 
 REQUESTS = 10
 
 
 @pytest.fixture(scope="module")
-def e13_db():
-    """The E13 sweep's database scale (8x the paper's demo data)."""
-    db = build_hotel_database(HotelDataSpec().scaled(8))
-    yield db
-    db.close()
+def e13_db(serving_db):
+    """The shared scale-8 serving database (see ``conftest.serving_db``)."""
+    return serving_db
 
 
 def _batch(db, strategy):

@@ -1,0 +1,94 @@
+"""E14: update-aware serving under writes.
+
+Measures the maintenance layer's serving-path costs on the shared
+scale-8 hotel database: a batch served entirely from the result cache
+(hits), the same batch under strict freshness with a write before every
+round (every request recomputes over re-synced data), the same under
+bounded staleness (cached bytes keep flowing), and the raw
+result-cache/tracker primitives. The full policy x write-rate sweep
+lives in ``python -m repro.harness --e14-json``.
+"""
+
+import pytest
+
+from repro.maintenance import (
+    ResultCache,
+    StalenessPolicy,
+    WriteTracker,
+    hotel_write,
+)
+from repro.serving import PublishRequest, ViewServer
+from repro.workloads.paper import figure1_view, figure4_stylesheet
+
+REQUESTS = 10
+
+
+def _batch(db, strategy="nested-loop"):
+    view = figure1_view(db.catalog)
+    stylesheet = figure4_stylesheet()
+    return [
+        PublishRequest(view, stylesheet, strategy=strategy)
+        for _ in range(REQUESTS)
+    ]
+
+
+def _tracked_server(db, tracker, staleness):
+    return ViewServer(
+        db.catalog,
+        source=db,
+        workers=4,
+        keep_xml=False,
+        tracker=tracker,
+        staleness=staleness,
+    )
+
+
+def test_e14_result_cache_hits(benchmark, serving_db):
+    """No writes: after the first batch every request is a cached hit."""
+    benchmark.group = "E14 maintenance (10-request batch)"
+    tracker = WriteTracker()
+    serving_db.attach_tracker(tracker)
+    batch = _batch(serving_db)
+    with _tracked_server(serving_db, tracker, "strict") as server:
+        server.render_many(batch)  # prime plan + result caches
+        benchmark(lambda: server.render_many(batch))
+
+
+@pytest.mark.parametrize(
+    "staleness", ["strict", "bounded:64"], ids=["strict", "bounded"]
+)
+def test_e14_batch_with_write_per_round(benchmark, serving_db, staleness):
+    """One write lands before every batch: strict recomputes everything
+    (pool re-sync + full evaluation), bounded keeps serving cached bytes."""
+    benchmark.group = "E14 maintenance (10-request batch)"
+    tracker = WriteTracker()
+    serving_db.attach_tracker(tracker)
+    batch = _batch(serving_db)
+    step = [0]
+    with _tracked_server(serving_db, tracker, staleness) as server:
+        server.render_many(batch)
+
+        def round_with_write():
+            hotel_write(serving_db, step[0], tracker)
+            step[0] += 1
+            server.render_many(batch)
+
+        benchmark(round_with_write)
+
+
+def test_e14_result_cache_lookup(benchmark):
+    """The per-request freshness check: one lookup against a live vector."""
+    benchmark.group = "E14 primitives"
+    cache = ResultCache()
+    tables = ("availability", "confroom", "guestroom", "hotel", "metroarea")
+    versions = {table: 10 for table in tables}
+    cache.store("plan:bulk", "<xml/>" * 100, versions, tables)
+    policy = StalenessPolicy.bounded(4)
+    live = dict(versions, hotel=12)
+    benchmark(lambda: cache.lookup("plan:bulk", live, policy))
+
+
+def test_e14_tracker_record_write(benchmark):
+    benchmark.group = "E14 primitives"
+    tracker = WriteTracker()
+    benchmark(lambda: tracker.record_write("hotel"))

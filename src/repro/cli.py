@@ -201,8 +201,17 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     through the chosen strategies). Reports throughput, latency
     percentiles, and plan-cache hit rate; ``--json`` records the full
     metrics (including per-request traces) for CI assertions.
+
+    Update-aware mode: ``--staleness`` and/or ``--writes-per-sec``
+    attach a :class:`~repro.maintenance.tracker.WriteTracker` (auto
+    capture) and a result cache governed by the given policy; a writer
+    thread applies the standard hotel write mix at the requested rate
+    while requests are served, and the report additionally shows the
+    freshness histogram, result-cache counters, and the maximum version
+    lag actually served.
     """
     import json
+    import threading as _threading
     import time as _time
 
     from repro.serving import PublishRequest, ViewServer, percentile
@@ -213,8 +222,17 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         figure17_stylesheet,
     )
 
+    update_aware = args.staleness is not None or args.writes_per_sec > 0
     strategies = list(STRATEGIES) if args.strategy == "all" else [args.strategy]
-    db = build_hotel_database(HotelDataSpec().scaled(args.scale))
+    db = build_hotel_database(
+        HotelDataSpec().scaled(args.scale), cross_thread=update_aware
+    )
+    tracker = None
+    if update_aware:
+        from repro.maintenance import WriteTracker
+
+        tracker = WriteTracker()
+        db.attach_tracker(tracker, auto=True)
     view = figure1_view(db.catalog)
     stylesheets = [
         ("figure4", figure4_stylesheet()),
@@ -230,14 +248,42 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
             )
         )
     server = ViewServer(
-        db.catalog, source=db, workers=args.workers, keep_xml=False
+        db.catalog,
+        source=db,
+        workers=args.workers,
+        keep_xml=False,
+        tracker=tracker,
+        staleness=args.staleness or "strict",
     )
+    stop_writer = _threading.Event()
+    writes_issued = [0]
+
+    def write_loop() -> None:
+        from repro.maintenance import hotel_write
+
+        interval = 1.0 / args.writes_per_sec
+        while not stop_writer.wait(interval):
+            hotel_write(db, writes_issued[0])  # auto capture records it
+            writes_issued[0] += 1
+
+    writer = None
+    if args.writes_per_sec > 0:
+        writer = _threading.Thread(target=write_loop, daemon=True)
+        writer.start()
     try:
         started = _time.perf_counter()
         traces = server.render_many(requests)
         wall_seconds = _time.perf_counter() - started
+        # Stop the writer before snapshotting metrics so writes_issued
+        # and the tracker's counters describe the same moment.
+        stop_writer.set()
+        if writer is not None:
+            writer.join()
         metrics = server.metrics()
     finally:
+        stop_writer.set()
+        if writer is not None:
+            writer.join()
         server.close()
         db.close()
     latencies_ms = [trace.total_seconds * 1000 for trace in traces]
@@ -265,6 +311,27 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         f"engine queries={metrics['queries_executed']} "
         f"rows={metrics['rows_fetched']}"
     )
+    max_hit_lag = 0
+    if update_aware:
+        freshness = metrics["freshness"]
+        result_cache = metrics["result_cache"]
+        max_hit_lag = max(
+            (t.version_lag for t in traces if t.freshness == "hit"),
+            default=0,
+        )
+        print(
+            f"freshness policy={metrics['staleness_policy']} "
+            + " ".join(f"{state}={freshness[state]}" for state in freshness)
+        )
+        print(
+            f"result_cache hits={result_cache['hits']} "
+            f"misses={result_cache['misses']} stale={result_cache['stale']} "
+            f"max_hit_lag={max_hit_lag}"
+        )
+        print(
+            f"writes issued={writes_issued[0]} "
+            f"tracked={metrics['tracker']['total_writes']}"
+        )
     for trace in errors:
         print(f"error: request {trace.request_id}: {trace.error}",
               file=sys.stderr)
@@ -275,6 +342,8 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
                 "workers": args.workers,
                 "requests": args.requests,
                 "strategy": args.strategy,
+                "writes_per_sec": args.writes_per_sec,
+                "staleness": args.staleness,
             },
             "wall_seconds": round(wall_seconds, 6),
             "throughput_rps": round(throughput, 3),
@@ -289,6 +358,13 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
             "errors": len(errors),
             "traces": [trace.to_dict() for trace in traces],
         }
+        if update_aware:
+            report["freshness"] = metrics["freshness"]
+            report["result_cache"] = metrics["result_cache"]
+            report["staleness_policy"] = metrics["staleness_policy"]
+            report["writes_issued"] = writes_issued[0]
+            report["writes_tracked"] = metrics["tracker"]["total_writes"]
+            report["max_hit_lag"] = max_hit_lag
         with open(args.json, "w") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)
             handle.write("\n")
@@ -394,6 +470,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--strategy", default="all", choices=["all"] + list(STRATEGIES),
         help="execution strategy mix (default: cycle through all)",
+    )
+    serve_parser.add_argument(
+        "--writes-per-sec", type=float, default=0.0, metavar="RATE",
+        help="apply the standard hotel write mix at RATE writes/second "
+        "from a background thread (implies update-aware serving)",
+    )
+    serve_parser.add_argument(
+        "--staleness", metavar="POLICY",
+        help="result-cache staleness policy: strict, manual, or bounded:N "
+        "(enables update-aware serving; default off)",
     )
     serve_parser.add_argument("--json", metavar="PATH",
                               help="write full metrics as JSON")

@@ -27,7 +27,25 @@ def main() -> None:
         help="run only E13 (concurrent serving) and record its raw "
         "numbers as JSON (runs + warm/cold speedups)",
     )
+    parser.add_argument(
+        "--e14-json", metavar="PATH",
+        help="run only E14 (update-aware serving) and record its raw "
+        "numbers as JSON (runs + bounded/strict throughput ratio)",
+    )
     args = parser.parse_args()
+    if args.e14_json:
+        from repro.harness.experiments import e14_maintenance
+
+        if args.quick:
+            result = e14_maintenance(
+                scale=1, rounds=3, repeats=1, write_rates=[0, 2],
+                bounded_lag=4, json_path=args.e14_json,
+            )
+        else:
+            result = e14_maintenance(json_path=args.e14_json)
+        print(result.to_console())
+        print(f"wrote {args.e14_json}")
+        return
     if args.e13_json:
         from repro.harness.experiments import e13_serving
 

@@ -707,6 +707,182 @@ def e13_serving(
     return result
 
 
+def e14_maintenance(
+    scale: int = 4,
+    rounds: int = 6,
+    repeats: int = 3,
+    write_rates: list[int] | None = None,
+    bounded_lag: int = 8,
+    json_path: str | None = None,
+) -> ExperimentResult:
+    """E14: update-aware serving under interleaved base-table writes.
+
+    Sweeps staleness policy (strict / bounded:N / manual) x write rate
+    (writes applied between request batches). Each run serves ``rounds``
+    rounds; a round applies ``rate`` writes of the standard hotel mix
+    (explicitly recorded on the server's
+    :class:`~repro.maintenance.tracker.WriteTracker`), then issues one
+    concurrent batch of ``2 stylesheets x 3 strategies x repeats``
+    requests. Writes land *between* batches, so the live database is
+    well-defined at every serve point and strict responses can be
+    verified byte-identical to an uncached serial materialization —
+    verification runs outside the timed window and its failures are
+    counted in the ``mismatches`` column (the acceptance criterion is
+    zero).
+
+    With ``json_path`` the raw numbers land in ``BENCH_e14.json``,
+    including ``bounded_over_strict_at_max_rate`` — the throughput
+    ratio the result cache buys when bounded staleness is acceptable.
+    """
+    import json
+
+    from repro.core.optimize import prune_stylesheet_view
+    from repro.maintenance import StalenessPolicy, WriteTracker, hotel_write
+    from repro.schema_tree.evaluator import STRATEGIES, materialize
+    from repro.serving import PublishRequest, ViewServer, percentile
+    from repro.workloads.paper import figure17_stylesheet
+    from repro.xmlcore.serializer import serialize
+
+    write_rates = write_rates if write_rates is not None else [0, 2, 8]
+    policies = ["strict", f"bounded:{bounded_lag}", "manual"]
+    result = ExperimentResult(
+        "E14",
+        f"Update-aware serving (scale-{scale} hotel): staleness policy x "
+        "write rate, result-cache freshness and strict equivalence",
+        ["policy", "writes/round", "requests", "req/s", "p50 ms", "p95 ms",
+         "hit", "miss", "stale", "max hit lag", "mismatches"],
+        notes=[
+            f"Each run: {rounds} rounds of (apply writes, serve one "
+            f"concurrent batch of 2 stylesheets x {len(STRATEGIES)} "
+            f"strategies x {repeats}). Strict responses are verified "
+            "byte-identical to uncached serial materialization of the "
+            "live data (outside the timed window); mismatches must be 0.",
+        ],
+    )
+    runs: list[dict] = []
+    throughput: dict[tuple[str, int], float] = {}
+    for policy_text in policies:
+        policy = StalenessPolicy.parse(policy_text)
+        for rate in write_rates:
+            db = build_hotel_database(
+                HotelDataSpec().scaled(scale), cross_thread=True
+            )
+            view = figure1_view(db.catalog)
+            stylesheets = [figure4_stylesheet(), figure17_stylesheet()]
+            # Serial references evaluate the composed-and-pruned views
+            # directly on the live source, outside the server.
+            targets = []
+            for stylesheet in stylesheets:
+                target = compose(view, stylesheet, db.catalog)
+                prune_stylesheet_view(target, db.catalog)
+                targets.append(target)
+            tracker = WriteTracker()
+            db.attach_tracker(tracker)
+            server = ViewServer(
+                db.catalog,
+                source=db,
+                workers=4,
+                tracker=tracker,
+                staleness=policy,
+            )
+            try:
+                batch = [
+                    PublishRequest(
+                        view,
+                        stylesheets[sheet],
+                        strategy=strategy,
+                        label=f"s{sheet}/{strategy}",
+                    )
+                    for _ in range(repeats)
+                    for sheet in range(len(stylesheets))
+                    for strategy in STRATEGIES
+                ]
+                latencies: list[float] = []
+                traces = []
+                mismatches = 0
+                write_step = 0
+                timed = 0.0
+                for _ in range(rounds):
+                    for _ in range(rate):
+                        hotel_write(db, write_step, tracker)
+                        write_step += 1
+                    started = time.perf_counter()
+                    served = server.render_many(batch)
+                    timed += time.perf_counter() - started
+                    traces.extend(served)
+                    latencies.extend(t.total_seconds for t in served)
+                    if policy.kind == "strict":
+                        references = [
+                            serialize(materialize(target, db))
+                            for target in targets
+                        ]
+                        for request, trace in zip(batch, served):
+                            sheet = stylesheets.index(request.stylesheet)
+                            if trace.xml != references[sheet]:
+                                mismatches += 1
+                metrics = server.metrics()
+            finally:
+                server.close()
+                db.close()
+            freshness = metrics["freshness"]
+            max_hit_lag = max(
+                (t.version_lag for t in traces if t.freshness == "hit"),
+                default=0,
+            )
+            total = len(traces)
+            rps = total / timed if timed else 0.0
+            p50 = percentile(latencies, 50) * 1000
+            p95 = percentile(latencies, 95) * 1000
+            throughput[(policy_text, rate)] = rps
+            result.add_row(
+                policy_text, rate, total, rps, p50, p95,
+                freshness["hit"], freshness["miss"],
+                freshness["stale-recompute"], max_hit_lag, mismatches,
+            )
+            runs.append(
+                {
+                    "policy": policy_text,
+                    "writes_per_round": rate,
+                    "rounds": rounds,
+                    "requests": total,
+                    "seconds": round(timed, 6),
+                    "throughput_rps": round(rps, 2),
+                    "p50_ms": round(p50, 4),
+                    "p95_ms": round(p95, 4),
+                    "freshness": freshness,
+                    "max_hit_lag": max_hit_lag,
+                    "mismatches": mismatches,
+                    "writes_applied": write_step,
+                }
+            )
+    max_rate = max(write_rates)
+    strict_at_max = throughput.get(("strict", max_rate), 0.0)
+    bounded_at_max = throughput.get((f"bounded:{bounded_lag}", max_rate), 0.0)
+    ratio = bounded_at_max / strict_at_max if strict_at_max else 0.0
+    result.notes.append(
+        f"bounded:{bounded_lag} over strict throughput at {max_rate} "
+        f"writes/round: {ratio:.2f}x"
+    )
+    if json_path:
+        with open(json_path, "w") as handle:
+            json.dump(
+                {
+                    "scale": scale,
+                    "rounds": rounds,
+                    "batch_requests": 2 * len(STRATEGIES) * repeats,
+                    "write_rates": write_rates,
+                    "bounded_lag": bounded_lag,
+                    "runs": runs,
+                    "bounded_over_strict_at_max_rate": round(ratio, 3),
+                },
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+            handle.write("\n")
+    return result
+
+
 def run_all(quick: bool = False) -> list[ExperimentResult]:
     """Run every experiment; ``quick`` shrinks the sweeps."""
     if quick:
@@ -724,6 +900,10 @@ def run_all(quick: bool = False) -> list[ExperimentResult]:
             e11_document_order([1]),
             e12_bulk_eval([1, 2]),
             e13_serving(scale=2, workers_values=[1, 2], requests=10),
+            e14_maintenance(
+                scale=1, rounds=3, repeats=1, write_rates=[0, 2],
+                bounded_lag=4,
+            ),
         ]
     return [
         e1_end_to_end(),
@@ -739,4 +919,5 @@ def run_all(quick: bool = False) -> list[ExperimentResult]:
         e11_document_order(),
         e12_bulk_eval(),
         e13_serving(),
+        e14_maintenance(),
     ]

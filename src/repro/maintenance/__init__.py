@@ -1,0 +1,42 @@
+"""View maintenance: change capture, dependency tracking, result caching.
+
+The serving layer (:mod:`repro.serving`) compiles and caches *plans*,
+which are data-independent; this package manages *data freshness* — the
+paper's premise is that the composed stylesheet view ``v'`` is evaluated
+by the relational engine over live base tables, so staleness must be
+handled at the relational layer. Three pieces:
+
+* :class:`WriteTracker` — change capture. Publishes a monotonic version
+  per base table, bumped explicitly (``record_write``) or automatically
+  via sqlite hooks installed on a writable
+  :class:`~repro.relational.engine.Database` connection
+  (:meth:`WriteTracker.attach`).
+* :class:`ResultCache` — memoizes fully serialized responses keyed by
+  plan fingerprint + execution strategy, each entry stamped with the
+  table-version vector of the plan's base-table read set (computed by
+  :func:`repro.serving.fingerprint.view_read_set` at compile time).
+* :class:`StalenessPolicy` — how stale a cached response may be before
+  it is recomputed: ``strict`` (any lag recomputes), ``bounded`` (lag up
+  to ``max_lag`` write events is served), or ``manual`` (only explicit
+  invalidation recomputes).
+
+:class:`~repro.serving.server.ViewServer` wires the three together and
+reports per-request freshness (``hit`` / ``miss`` / ``stale-recompute``
+/ ``bypass``) on every :class:`~repro.serving.server.RequestTrace`;
+experiment E14 and ``python -m repro serve-bench --writes-per-sec``
+measure the consistency/throughput trade-off.
+"""
+
+from repro.maintenance.policy import StalenessPolicy
+from repro.maintenance.result_cache import CachedResult, ResultCache
+from repro.maintenance.tracker import WriteTracker
+from repro.maintenance.workload import hotel_write, hotel_write_tables
+
+__all__ = [
+    "CachedResult",
+    "ResultCache",
+    "StalenessPolicy",
+    "WriteTracker",
+    "hotel_write",
+    "hotel_write_tables",
+]

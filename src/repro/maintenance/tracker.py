@@ -1,0 +1,191 @@
+"""Change capture: monotonic per-table versions for base-table writes.
+
+A :class:`WriteTracker` is the single source of truth for "has table T
+changed since this response was computed?". Every recorded write bumps
+that table's version by one; cached results are stamped with the version
+vector of their read set and compared against the live vector at serve
+time (:mod:`repro.maintenance.result_cache`).
+
+Two capture modes, freely combined per database:
+
+* **explicit** — callers (or :meth:`Database.insert_rows
+  <repro.relational.engine.Database.insert_rows>` on a tracked engine)
+  call :meth:`WriteTracker.record_write` with the table name;
+* **auto** — :meth:`WriteTracker.attach` installs sqlite hooks on a
+  writable connection so any INSERT/UPDATE/DELETE executed through it is
+  captured without caller cooperation. The stdlib ``sqlite3`` module
+  exposes no ``update_hook``, so auto mode combines two hooks:
+
+  - the **trace callback** fires on *every* statement execution —
+    including re-executions served from sqlite3's prepared-statement
+    cache, which never re-prepare — and receives the (expanded) SQL
+    text, from which the DML target table is parsed directly;
+  - the **authorizer** fires at statement *prepare* time and names
+    every written table, catching indirect writes the statement text
+    does not mention (trigger bodies, cascading deletes). Those extras
+    are bumped at the statement's first execution.
+
+Auto capture is deliberately conservative: a statement that prepares
+but fails mid-execution still bumps (over-invalidation is safe; missed
+writes are not). The one known gap is an *indirect* write re-executed
+from the statement cache (the authorizer does not re-fire and the text
+names only the direct table) — this engine's SQL never uses triggers,
+and the direct table still bumps every time.
+"""
+
+from __future__ import annotations
+
+import re
+import sqlite3
+import threading
+from typing import Callable, Iterable, Mapping, Optional
+
+#: Authorizer action codes that modify a table.
+_WRITE_ACTIONS = (
+    sqlite3.SQLITE_INSERT,
+    sqlite3.SQLITE_UPDATE,
+    sqlite3.SQLITE_DELETE,
+)
+
+#: Target table of a DML statement, tolerant of conflict clauses,
+#: schema qualification, and quoted identifiers.
+_WRITE_SQL_RE = re.compile(
+    r"^\s*(?:INSERT\s+(?:OR\s+\w+\s+)?INTO|REPLACE\s+INTO"
+    r"|UPDATE(?:\s+OR\s+\w+)?|DELETE\s+FROM)\s+"
+    r"[\"'`\[]?(\w+(?:[\"'`\]]?\s*\.\s*[\"'`\[]?\w+)?)",
+    re.IGNORECASE,
+)
+
+
+def _write_target(sql_text: str) -> Optional[str]:
+    """The table a DML statement writes, or ``None`` for non-DML."""
+    match = _WRITE_SQL_RE.match(sql_text)
+    if match is None:
+        return None
+    name = match.group(1)
+    # Strip a schema qualifier ("main"."hotel" -> hotel) and any
+    # trailing quote characters the loose identifier match kept.
+    name = re.split(r"[\"'`\]]?\s*\.\s*[\"'`\[]?", name)[-1]
+    return name.strip("\"'`[]")
+
+
+class WriteTracker:
+    """Thread-safe monotonic version clock over base tables.
+
+    ``version(table)`` starts at 0 and increases by one per recorded
+    write event; ``clock()`` is the sum over all tables (a global
+    version). Subscribers registered with :meth:`subscribe` are called
+    with ``(table, new_version)`` after each bump — the serving layer
+    uses this to eagerly invalidate caches.
+    """
+
+    def __init__(self) -> None:
+        self._versions: dict[str, int] = {}
+        self._subscribers: list[Callable[[str, int], None]] = []
+        self._lock = threading.Lock()
+        self.total_writes = 0
+        self.rows_written = 0
+
+    # -- recording -----------------------------------------------------------
+
+    def record_write(self, table: str, rows: int = 1) -> int:
+        """Record one write event against ``table``; returns its new version.
+
+        ``rows`` feeds the ``rows_written`` counter only — a bulk insert
+        of 500 rows is one version bump, because one event is enough to
+        make every dependent cached result stale.
+        """
+        with self._lock:
+            version = self._versions.get(table, 0) + 1
+            self._versions[table] = version
+            self.total_writes += 1
+            self.rows_written += max(0, rows)
+            subscribers = list(self._subscribers)
+        for callback in subscribers:
+            callback(table, version)
+        return version
+
+    def subscribe(self, callback: Callable[[str, int], None]) -> None:
+        """Register ``callback(table, new_version)`` to run after each bump."""
+        with self._lock:
+            self._subscribers.append(callback)
+
+    # -- reading -------------------------------------------------------------
+
+    def version(self, table: str) -> int:
+        """Current version of ``table`` (0 if never written)."""
+        with self._lock:
+            return self._versions.get(table, 0)
+
+    def versions(self, tables: Iterable[str]) -> dict[str, int]:
+        """One consistent version vector over ``tables``."""
+        with self._lock:
+            return {table: self._versions.get(table, 0) for table in tables}
+
+    def snapshot(self) -> dict[str, int]:
+        """Every table that has ever been written, with its version."""
+        with self._lock:
+            return dict(self._versions)
+
+    def clock(self) -> int:
+        """Global version: total write events across all tables."""
+        with self._lock:
+            return self.total_writes
+
+    def lag(
+        self, stamped: Mapping[str, int], tables: Iterable[str]
+    ) -> int:
+        """Write events on ``tables`` since the ``stamped`` vector was taken."""
+        with self._lock:
+            return sum(
+                max(0, self._versions.get(t, 0) - stamped.get(t, 0))
+                for t in tables
+            )
+
+    # -- auto capture --------------------------------------------------------
+
+    def attach(self, db) -> None:
+        """Install auto change capture on a writable engine.
+
+        ``db`` is a :class:`~repro.relational.engine.Database` (anything
+        with a ``.connection``); its sqlite authorizer and trace-callback
+        slots are taken over. See the module docstring for why both
+        hooks are needed.
+        """
+        connection = db.connection
+        # Tables named by the authorizer since the last trace callback.
+        # sqlite3 serializes callbacks with statement execution on the
+        # owning connection, so this needs no lock of its own.
+        pending: set[str] = set()
+
+        def authorizer(action, arg1, _arg2, _dbname, _trigger) -> int:
+            if action in _WRITE_ACTIONS and arg1:
+                pending.add(arg1)
+            return sqlite3.SQLITE_OK
+
+        def trace(sql_text: str) -> None:
+            # The direct target parses out of the executed text, so it
+            # is captured on every execution — cached statements
+            # included. The authorizer's extras (trigger/cascade
+            # targets the text does not mention) bump at the first
+            # execution only. Non-DML traces (the implicit BEGIN sqlite
+            # runs before a write, SELECTs) leave ``pending`` untouched:
+            # it belongs to the DML statement whose prepare filled it.
+            direct = _write_target(sql_text)
+            if direct is None:
+                return
+            if pending:
+                extras = pending - {direct}
+                pending.clear()
+                for table in sorted(extras):
+                    self.record_write(table)
+            self.record_write(direct)
+
+        connection.set_authorizer(authorizer)
+        connection.set_trace_callback(trace)
+
+    @staticmethod
+    def detach(db) -> None:
+        """Remove auto-capture hooks installed by :meth:`attach`."""
+        db.connection.set_authorizer(None)
+        db.connection.set_trace_callback(None)

@@ -1,0 +1,55 @@
+"""Deterministic write workload over the hotel database.
+
+E14, ``serve-bench --writes-per-sec``, and the maintenance benchmarks
+all need the same thing: a stream of small, deterministic writes against
+the hotel schema that actually change served output (prices appear as
+attribute values; ``pool`` flips change hotel rows the Figure 1 tag
+queries return). Centralizing it here keeps the write mix identical
+across the harness, the CLI, and the benchmark suite.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: Tables the write mix touches, in rotation order.
+_WRITE_MIX = ("availability", "hotel", "availability")
+
+#: All tables :func:`hotel_write` can write (the Figure 1 read set
+#: intersects both, so every write invalidates dependent results).
+_WRITE_TABLES = ("availability", "hotel")
+
+
+def hotel_write_tables() -> tuple[str, ...]:
+    """The base tables the standard write mix modifies."""
+    return _WRITE_TABLES
+
+
+def hotel_write(db, step: int, tracker: Optional[object] = None) -> str:
+    """Apply write number ``step`` to a hotel database; returns the table.
+
+    The mix rotates ``startdate`` swaps on ``availability`` (two of
+    three steps — they move rows between the Figure 1 ``GROUP BY
+    startdate`` groups, changing served counts) with ``pool`` flips on
+    ``hotel`` (``SELECT *`` tag queries serve ``pool`` as an attribute);
+    both are UPDATEs over a sliding row slice, so the database shape is
+    stable while served bytes change. With ``tracker`` given, the write
+    is recorded explicitly; omit it for engines with auto capture
+    attached.
+    """
+    table = _WRITE_MIX[step % len(_WRITE_MIX)]
+    if table == "availability":
+        db.run_sql(
+            "UPDATE availability SET startdate = CASE startdate "
+            "WHEN '2003-06-09' THEN '2003-06-10' ELSE '2003-06-09' END "
+            "WHERE a_id % 5 = :slot",
+            {"slot": step % 5},
+        )
+    else:
+        db.run_sql(
+            "UPDATE hotel SET pool = 1 - pool WHERE hotelid % 4 = :slot",
+            {"slot": step % 4},
+        )
+    if tracker is not None:
+        tracker.record_write(table)
+    return table

@@ -110,15 +110,25 @@ class Database:
         stats: Optional[QueryStats] = None,
         connection: Optional[sqlite3.Connection] = None,
         read_only: bool = False,
+        cross_thread: bool = False,
     ):
         self.catalog = catalog
         if connection is not None:
             self.connection = connection
         else:
-            self.connection = sqlite3.connect(path or ":memory:")
+            # ``cross_thread`` relaxes sqlite's same-thread check for the
+            # update-aware serving path, where a writer thread mutates
+            # this database while a server worker snapshots it (the
+            # hand-off is serialized by the server's sync lock — see the
+            # threading contract above).
+            self.connection = sqlite3.connect(
+                path or ":memory:", check_same_thread=not cross_thread
+            )
         self.connection.row_factory = sqlite3.Row
         self.stats = stats if stats is not None else QueryStats()
         self.read_only = read_only
+        self.tracker = None
+        self._tracker_auto = False
         self._sql_cache: dict[int, tuple[str, list, Select]] = {}
         if create:
             self.create_all()
@@ -171,6 +181,31 @@ class Database:
             read_only=read_only,
         )
 
+    # -- change capture ------------------------------------------------------
+
+    def attach_tracker(self, tracker, auto: bool = False) -> None:
+        """Publish this engine's writes to a maintenance ``tracker``.
+
+        ``tracker`` is a :class:`repro.maintenance.tracker.WriteTracker`
+        (anything with ``record_write(table, rows=...)``). In the default
+        **explicit** mode only the engine's own write API
+        (:meth:`insert_rows`) records; raw :meth:`run_sql` writes are the
+        caller's responsibility. With ``auto=True`` the tracker installs
+        sqlite authorizer/trace hooks on this connection so *every*
+        INSERT/UPDATE/DELETE is captured, including raw SQL — and the
+        explicit path stands down to avoid double counting.
+        """
+        self._check_writable("attach a write tracker")
+        self.tracker = tracker
+        self._tracker_auto = auto
+        if auto:
+            tracker.attach(self)
+
+    def record_write(self, table: str, rows: int = 1) -> None:
+        """Explicitly record a write against ``table`` (no-op untracked)."""
+        if self.tracker is not None:
+            self.tracker.record_write(table, rows=rows)
+
     # -- schema / data -------------------------------------------------------
 
     def create_all(self) -> None:
@@ -199,6 +234,10 @@ class Database:
         if payload:
             self.connection.cursor().executemany(sql, payload)
         self.connection.commit()
+        # Auto-tracked engines capture the INSERT through the sqlite
+        # hooks; recording here too would double-bump the version.
+        if payload and self.tracker is not None and not self._tracker_auto:
+            self.tracker.record_write(table, rows=len(payload))
         return len(payload)
 
     def _check_writable(self, action: str) -> None:

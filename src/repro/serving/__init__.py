@@ -20,10 +20,12 @@ from repro.serving.fingerprint import (
     fingerprint_text,
     fingerprint_view,
     plan_key,
+    view_read_set,
 )
 from repro.serving.plan_cache import CompiledPlan, PlanCache
 from repro.serving.pool import ConnectionPool
 from repro.serving.server import (
+    FRESHNESS_STATES,
     PublishRequest,
     RequestTrace,
     ViewServer,
@@ -33,6 +35,7 @@ from repro.serving.server import (
 __all__ = [
     "CompiledPlan",
     "ConnectionPool",
+    "FRESHNESS_STATES",
     "PlanCache",
     "PublishRequest",
     "RequestTrace",
@@ -44,4 +47,5 @@ __all__ = [
     "fingerprint_view",
     "percentile",
     "plan_key",
+    "view_read_set",
 ]

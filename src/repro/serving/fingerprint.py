@@ -121,6 +121,25 @@ def fingerprint_stylesheet(stylesheet: Optional[Stylesheet]) -> str:
     )
 
 
+def view_read_set(view: SchemaTreeQuery) -> tuple[str, ...]:
+    """The base tables a view's tag queries read, sorted and deduplicated.
+
+    Computed with :func:`repro.sql.analysis.referenced_tables`, which
+    descends into derived tables, EXISTS conditions, scalar subqueries,
+    and IN subqueries — so the read set is exhaustive over the SQL
+    subset, and table-based invalidation
+    (:meth:`repro.serving.plan_cache.PlanCache.invalidate_tables`, the
+    maintenance layer's freshness checks) never misses a dependency.
+    """
+    from repro.sql.analysis import referenced_tables
+
+    tables: set[str] = set()
+    for node in view.nodes(include_root=False):
+        if node.tag_query is not None:
+            tables.update(referenced_tables(node.tag_query))
+    return tuple(sorted(tables))
+
+
 def plan_key(
     catalog_fingerprint: str,
     view: SchemaTreeQuery,

@@ -45,6 +45,11 @@ class CompiledPlan:
     compose_seconds: float = 0.0
     #: Dead columns removed by pruning (0 when pruning was off).
     pruned_columns: int = 0
+    #: Base tables the view's tag queries read (sorted; subqueries
+    #: included — see :func:`repro.serving.fingerprint.view_read_set`).
+    #: Drives table-based invalidation and the maintenance layer's
+    #: result-freshness checks.
+    tables: tuple[str, ...] = ()
 
 
 class PlanCache:
@@ -141,6 +146,28 @@ class PlanCache:
             if present:
                 self.invalidations += 1
             return present
+
+    def invalidate_tables(self, names) -> int:
+        """Drop every plan whose read set intersects ``names``.
+
+        The table-based counterpart of :meth:`invalidate`: after a
+        schema-level change to a base table (new column, changed index),
+        every compiled plan reading it is suspect, while plans over
+        other tables stay resident. Returns the number dropped. Plans
+        compiled without a read set (empty ``tables``) are never dropped
+        here — use :meth:`clear` for a full sweep.
+        """
+        wanted = set(names)
+        with self._lock:
+            doomed = [
+                key
+                for key, plan in self._entries.items()
+                if wanted.intersection(plan.tables)
+            ]
+            for key in doomed:
+                del self._entries[key]
+            self.invalidations += len(doomed)
+            return len(doomed)
 
     def clear(self) -> int:
         """Drop every resident plan; returns how many were dropped.

@@ -19,7 +19,10 @@ Two source modes:
   ``size`` connections to the clone with ``PRAGMA query_only=ON``.
   Tests and benchmarks use this to serve a generated workload without
   touching disk; the source database is left untouched and later writes
-  to it are *not* visible to the pool (snapshot semantics).
+  to it are *not* visible to the pool (snapshot semantics) until
+  :meth:`ConnectionPool.refresh` re-snapshots it — the update-aware
+  serving path (:mod:`repro.maintenance`) does exactly that when a
+  tracked write makes the snapshot stale.
 
 All pooled connections are created with ``check_same_thread=False``;
 the pool's queue serializes hand-off so each connection is used by one
@@ -68,6 +71,8 @@ class ConnectionPool:
         self.size = size
         self._closed = False
         self._close_lock = threading.Lock()
+        self._refresh_lock = threading.Lock()
+        self._source = source
         self._anchor: Optional[sqlite3.Connection] = None
         self._clone_uri: Optional[str] = None
         if source is not None:
@@ -126,6 +131,39 @@ class ConnectionPool:
             yield borrowed
         finally:
             self.release(borrowed)
+
+    # -- freshness -----------------------------------------------------------
+
+    def refresh(self) -> bool:
+        """Re-snapshot the source database into the clone (clone mode).
+
+        Clone-mode pools serve a point-in-time snapshot; after base-data
+        writes land on the source, the maintenance layer calls this to
+        bring the snapshot forward. Every session is drained from the
+        idle queue first — a barrier that waits for in-flight requests
+        to finish and blocks new borrows — then the source is backed up
+        into the clone and the sessions are returned. Returns ``False``
+        for file-mode pools, where read-only connections already see
+        each committed write at their next statement.
+
+        The caller's thread must be allowed to touch the source
+        connection (open it with ``cross_thread=True`` when writers and
+        server workers are different threads). Concurrent refreshes are
+        serialized; callers must not hold a borrowed session, or the
+        drain would deadlock.
+        """
+        if self._source is None:
+            return False
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        with self._refresh_lock:
+            borrowed = [self._idle.get() for _ in range(self.size)]
+            try:
+                self._source.connection.backup(self._anchor)
+            finally:
+                for session in borrowed:
+                    self._idle.put(session)
+        return True
 
     # -- stats / lifecycle ---------------------------------------------------
 

@@ -21,6 +21,17 @@ serial :func:`repro.schema_tree.evaluator.materialize` of the same
 composed view on the same data — the property suite in
 ``tests/serving/test_concurrent_equivalence.py`` checks this for all
 three strategies under 8-way concurrency.
+
+Update awareness: constructed with a
+:class:`~repro.maintenance.tracker.WriteTracker`, the server also
+memoizes serialized responses in a
+:class:`~repro.maintenance.result_cache.ResultCache` keyed by plan
+fingerprint + strategy and stamped with the plan's base-table version
+vector; a :class:`~repro.maintenance.policy.StalenessPolicy` decides
+whether cached bytes may be served or must be recomputed over
+re-synced live data. Under the ``strict`` policy the equivalence
+guarantee extends across interleaved base-data writes (the property
+suite in ``tests/maintenance/test_freshness_property.py``).
 """
 
 from __future__ import annotations
@@ -32,6 +43,9 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
 from repro.errors import ReproError
+from repro.maintenance.policy import StalenessPolicy
+from repro.maintenance.result_cache import ResultCache
+from repro.maintenance.tracker import WriteTracker
 from repro.relational.engine import Database
 from repro.relational.schema import Catalog
 from repro.schema_tree.bulk_evaluator import BulkViewEvaluator
@@ -41,12 +55,19 @@ from repro.schema_tree.evaluator import (
     ViewEvaluator,
 )
 from repro.schema_tree.model import SchemaTreeQuery
-from repro.serving.fingerprint import fingerprint_catalog, plan_key
+from repro.serving.fingerprint import (
+    fingerprint_catalog,
+    plan_key,
+    view_read_set,
+)
 from repro.serving.plan_cache import CompiledPlan, PlanCache
 from repro.serving.pool import ConnectionPool
 from repro.sql.printer import print_select
 from repro.xmlcore.serializer import serialize
 from repro.xslt.model import Stylesheet
+
+#: RequestTrace.freshness values, in the order metrics report them.
+FRESHNESS_STATES = ("hit", "miss", "stale-recompute", "bypass")
 
 
 @dataclass
@@ -64,6 +85,10 @@ class PublishRequest:
     prune: bool = True
     paper_mode: bool = False
     label: str = ""
+    #: Skip the result cache entirely (read and write) for this request;
+    #: the response is always computed from live data. Traces record it
+    #: as ``freshness="bypass"``.
+    bypass_cache: bool = False
 
 
 @dataclass
@@ -81,6 +106,15 @@ class RequestTrace:
     strategy: str
     cache_hit: bool
     plan_key: str
+    #: Result-cache outcome: ``hit`` (cached bytes served), ``miss`` (no
+    #: entry, computed and stored), ``stale-recompute`` (entry too old
+    #: for the staleness policy, recomputed), or ``bypass`` (result
+    #: caching off for this server/request).
+    freshness: str = "bypass"
+    #: Write events on the plan's read set since the consulted cache
+    #: entry was stamped (0 on miss/bypass). On a ``hit`` this is the
+    #: staleness actually served — bounded policies keep it <= max_lag.
+    version_lag: int = 0
     plan_seconds: float = 0.0
     execute_seconds: float = 0.0
     serialize_seconds: float = 0.0
@@ -101,6 +135,8 @@ class RequestTrace:
             "label": self.label,
             "strategy": self.strategy,
             "cache_hit": self.cache_hit,
+            "freshness": self.freshness,
+            "version_lag": self.version_lag,
             "plan_key": self.plan_key[:16],
             "plan_seconds": round(self.plan_seconds, 6),
             "execute_seconds": round(self.execute_seconds, 6),
@@ -159,6 +195,9 @@ class ViewServer:
         workers: int = 4,
         cache_capacity: int = 64,
         keep_xml: bool = True,
+        tracker: Optional[WriteTracker] = None,
+        staleness: "StalenessPolicy | str" = "strict",
+        result_cache_capacity: int = 128,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -176,6 +215,26 @@ class ViewServer:
         self.requests_served = 0
         self.errors = 0
         self._closed = False
+        # -- update awareness (repro.maintenance). With a tracker the
+        # server memoizes serialized responses in a ResultCache and
+        # checks their table-version stamps against the tracker before
+        # serving; without one the serving path behaves exactly as
+        # before (every request computes, freshness="bypass").
+        self.tracker = tracker
+        self.staleness = (
+            StalenessPolicy.parse(staleness)
+            if isinstance(staleness, str)
+            else staleness
+        )
+        self.result_cache = (
+            ResultCache(result_cache_capacity) if tracker is not None else None
+        )
+        self._freshness_counts = {state: 0 for state in FRESHNESS_STATES}
+        self._sync_lock = threading.Lock()
+        # Clock at which the pool's data is known current. The pool
+        # snapshot (clone mode) was taken just above, so writes recorded
+        # up to now are included.
+        self._synced_clock = tracker.clock() if tracker is not None else 0
 
     # -- request API ---------------------------------------------------------
 
@@ -237,6 +296,25 @@ class ViewServer:
         """Explicitly drop the compiled plan a request would use."""
         return self.plan_cache.invalidate(self.plan_key_for(request))
 
+    def invalidate_tables(self, names: Iterable[str]) -> dict:
+        """Drop every plan and cached result reading any of ``names``.
+
+        The operator-facing invalidation API: under the ``manual``
+        staleness policy this is what forces recomputation after writes;
+        under any policy it is the right response to a schema-level
+        change. Returns ``{"plans": n, "results": m}`` dropped counts.
+        """
+        names = list(names)
+        dropped_results = (
+            self.result_cache.invalidate_tables(names)
+            if self.result_cache is not None
+            else 0
+        )
+        return {
+            "plans": self.plan_cache.invalidate_tables(names),
+            "results": dropped_results,
+        }
+
     def _compile(self, key: str, request: PublishRequest) -> CompiledPlan:
         from repro.core.compose import compose
         from repro.core.optimize import prune_stylesheet_view
@@ -267,7 +345,33 @@ class ViewServer:
             node_sql=node_sql,
             compose_seconds=time.perf_counter() - started,
             pruned_columns=pruned_columns,
+            tables=view_read_set(view),
         )
+
+    # -- freshness -----------------------------------------------------------
+
+    def _sync(self) -> None:
+        """Bring the pool's data current with every tracked write so far.
+
+        Cheap when nothing changed (one clock read, no lock). When the
+        pool is behind, exactly one thread re-snapshots the source
+        (:meth:`~repro.serving.pool.ConnectionPool.refresh`) while
+        others wait on the sync lock; the synced clock is stamped with a
+        value read *before* the snapshot, so it can only understate
+        freshness — a conservative error that costs an extra refresh,
+        never a stale strict response. Callers must not hold a pool
+        session (the refresh drains the pool).
+        """
+        if self.tracker is None:
+            return
+        if self._synced_clock >= self.tracker.clock():
+            return
+        with self._sync_lock:
+            observed = self.tracker.clock()
+            if self._synced_clock >= observed:
+                return
+            self.pool.refresh()
+            self._synced_clock = observed
 
     # -- execution -----------------------------------------------------------
 
@@ -288,31 +392,72 @@ class ViewServer:
             )
             trace.cache_hit = hit
             trace.plan_seconds = time.perf_counter() - started
-            with self.pool.session() as db:
-                before = db.stats.snapshot()
-                stats = MaterializeStats()
-                if request.strategy == "bulk":
-                    evaluator = BulkViewEvaluator(db, stats=stats)
-                else:
-                    evaluator = ViewEvaluator(
-                        db, memoize=request.strategy == "memoized", stats=stats
-                    )
-                execute_started = time.perf_counter()
-                document = evaluator.materialize(plan.view)
-                trace.execute_seconds = time.perf_counter() - execute_started
-                after = db.stats.snapshot()
-            trace.queries_executed = (
-                after["queries_executed"] - before["queries_executed"]
+            # -- result cache: consult before touching the pool. The
+            # entry's version stamp is compared against the tracker's
+            # live vector over the plan's read set; the staleness policy
+            # decides whether cached bytes may be served.
+            use_result_cache = (
+                self.result_cache is not None and not request.bypass_cache
             )
-            trace.rows_fetched = after["rows_fetched"] - before["rows_fetched"]
-            trace.elements_created = stats.elements_created
-            trace.attributes_created = stats.attributes_created
-            trace.fallback_nodes = len(getattr(evaluator, "fallback_nodes", []))
-            serialize_started = time.perf_counter()
-            xml = serialize(document)
-            trace.serialize_seconds = time.perf_counter() - serialize_started
-            if self.keep_xml:
-                trace.xml = xml
+            cached = None
+            current_versions: dict[str, int] = {}
+            result_key = f"{key}:{request.strategy}"
+            if use_result_cache:
+                current_versions = self.tracker.versions(plan.tables)
+                cached, lag = self.result_cache.lookup(
+                    result_key, current_versions, self.staleness
+                )
+                trace.version_lag = lag
+                trace.freshness = (
+                    "hit"
+                    if cached is not None
+                    else ("stale-recompute" if lag > 0 else "miss")
+                )
+            if cached is not None:
+                if self.keep_xml:
+                    trace.xml = cached.xml
+            else:
+                if use_result_cache:
+                    # Recomputation must read data at least as fresh as
+                    # the version stamp it publishes.
+                    self._sync()
+                with self.pool.session() as db:
+                    before = db.stats.snapshot()
+                    stats = MaterializeStats()
+                    if request.strategy == "bulk":
+                        evaluator = BulkViewEvaluator(db, stats=stats)
+                    else:
+                        evaluator = ViewEvaluator(
+                            db,
+                            memoize=request.strategy == "memoized",
+                            stats=stats,
+                        )
+                    execute_started = time.perf_counter()
+                    document = evaluator.materialize(plan.view)
+                    trace.execute_seconds = time.perf_counter() - execute_started
+                    after = db.stats.snapshot()
+                trace.queries_executed = (
+                    after["queries_executed"] - before["queries_executed"]
+                )
+                trace.rows_fetched = after["rows_fetched"] - before["rows_fetched"]
+                trace.elements_created = stats.elements_created
+                trace.attributes_created = stats.attributes_created
+                trace.fallback_nodes = len(
+                    getattr(evaluator, "fallback_nodes", [])
+                )
+                serialize_started = time.perf_counter()
+                xml = serialize(document)
+                trace.serialize_seconds = time.perf_counter() - serialize_started
+                if self.keep_xml:
+                    trace.xml = xml
+                if use_result_cache:
+                    self.result_cache.store(
+                        result_key,
+                        xml,
+                        current_versions,
+                        plan.tables,
+                        strategy=request.strategy,
+                    )
         except ReproError as exc:
             trace.error = str(exc)
             with self._lock:
@@ -320,21 +465,41 @@ class ViewServer:
         trace.total_seconds = time.perf_counter() - started
         with self._lock:
             self.requests_served += 1
+            self._freshness_counts[trace.freshness] += 1
         return trace
 
     # -- metrics / lifecycle -------------------------------------------------
 
     def metrics(self) -> dict:
-        """Server-lifetime counters: requests, cache, and engine work."""
+        """Server-lifetime counters: requests, caches, and engine work.
+
+        The request counters and freshness histogram are read under the
+        server lock (one consistent snapshot, matching the cache
+        ``stats()`` discipline); tracked servers additionally report the
+        result cache, the staleness policy, and the tracker's state.
+        """
         aggregate = self.pool.aggregate_stats()
-        return {
-            "requests_served": self.requests_served,
-            "errors": self.errors,
+        with self._lock:
+            requests_served = self.requests_served
+            errors = self.errors
+            freshness = dict(self._freshness_counts)
+        metrics = {
+            "requests_served": requests_served,
+            "errors": errors,
             "workers": self.workers,
             "cache": self.plan_cache.stats(),
+            "freshness": freshness,
             "queries_executed": aggregate.queries_executed,
             "rows_fetched": aggregate.rows_fetched,
         }
+        if self.result_cache is not None:
+            metrics["result_cache"] = self.result_cache.stats()
+            metrics["staleness_policy"] = self.staleness.describe()
+            metrics["tracker"] = {
+                "total_writes": self.tracker.clock(),
+                "versions": self.tracker.snapshot(),
+            }
+        return metrics
 
     def close(self) -> None:
         """Shut the executor down and close every pooled connection."""

@@ -238,9 +238,17 @@ def populate_hotel_database(db: Database, spec: HotelDataSpec) -> None:
     db.insert_rows("availability", availability_rows)
 
 
-def build_hotel_database(spec: HotelDataSpec | None = None) -> Database:
-    """Create and populate a hotel database in one call."""
-    db = Database(hotel_catalog())
+def build_hotel_database(
+    spec: HotelDataSpec | None = None, cross_thread: bool = False
+) -> Database:
+    """Create and populate a hotel database in one call.
+
+    ``cross_thread=True`` opens the connection without sqlite's
+    same-thread check — required when the database is the live source
+    behind an update-aware :class:`~repro.serving.server.ViewServer`
+    (a writer thread mutates it while server workers re-snapshot it).
+    """
+    db = Database(hotel_catalog(), cross_thread=cross_thread)
     populate_hotel_database(db, spec or HotelDataSpec())
     db.analyze()
     return db

@@ -1,0 +1,83 @@
+"""StalenessPolicy: construction, parsing, and the allows() contract."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.maintenance import StalenessPolicy
+
+
+def test_strict_allows_only_zero_lag():
+    policy = StalenessPolicy.strict()
+    assert policy.allows(0)
+    assert not policy.allows(1)
+    assert not policy.allows(10_000)
+
+
+def test_bounded_allows_up_to_the_bound():
+    policy = StalenessPolicy.bounded(3)
+    assert [policy.allows(lag) for lag in range(6)] == [
+        True, True, True, True, False, False,
+    ]
+
+
+def test_bounded_zero_behaves_like_strict():
+    assert StalenessPolicy.bounded(0).allows(0)
+    assert not StalenessPolicy.bounded(0).allows(1)
+
+
+def test_manual_allows_any_lag():
+    policy = StalenessPolicy.manual()
+    assert policy.allows(0)
+    assert policy.allows(10**9)
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ReproError, match="unknown staleness policy"):
+        StalenessPolicy("eventually")
+
+
+def test_negative_bound_rejected():
+    with pytest.raises(ReproError, match="must be >= 0"):
+        StalenessPolicy.bounded(-1)
+
+
+@pytest.mark.parametrize(
+    "text, kind, max_lag",
+    [
+        ("strict", "strict", 0),
+        ("manual", "manual", 0),
+        ("bounded:0", "bounded", 0),
+        ("bounded:17", "bounded", 17),
+        ("  strict  ", "strict", 0),
+    ],
+)
+def test_parse_accepted_forms(text, kind, max_lag):
+    policy = StalenessPolicy.parse(text)
+    assert policy.kind == kind
+    assert policy.max_lag == max_lag
+
+
+@pytest.mark.parametrize(
+    "text", ["", "bounded", "bounded:", "bounded:x", "bounded:-1", "STRICT"]
+)
+def test_parse_rejected_forms(text):
+    with pytest.raises(ReproError):
+        StalenessPolicy.parse(text)
+
+
+@given(
+    st.one_of(
+        st.just(StalenessPolicy.strict()),
+        st.just(StalenessPolicy.manual()),
+        st.integers(0, 10_000).map(StalenessPolicy.bounded),
+    )
+)
+def test_describe_parse_round_trip(policy):
+    assert StalenessPolicy.parse(policy.describe()) == policy
+
+
+@given(st.integers(0, 100), st.integers(0, 100))
+def test_bounded_allows_iff_within_bound(max_lag, lag):
+    assert StalenessPolicy.bounded(max_lag).allows(lag) == (lag <= max_lag)

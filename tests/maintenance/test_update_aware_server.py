@@ -1,0 +1,257 @@
+"""Update-aware ViewServer: freshness states, sync, and invalidation.
+
+Deterministic companion to the property suite in
+``test_freshness_property.py``: every transition of the result-cache
+state machine (miss -> hit -> stale-recompute, bypass, manual/eager
+invalidation) is pinned down on the Figure 1 hotel workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.maintenance import WriteTracker, hotel_write, hotel_write_tables
+from repro.serving import FRESHNESS_STATES, PublishRequest, ViewServer
+from repro.serving.fingerprint import view_read_set
+from repro.workloads.hotel import HotelDataSpec, build_hotel_database
+from repro.workloads.paper import figure1_view, figure4_stylesheet
+
+SPEC = HotelDataSpec(metros=2, hotels_per_metro=3)
+
+
+def make_env(staleness="strict", auto=False):
+    db = build_hotel_database(SPEC, cross_thread=True)
+    tracker = WriteTracker()
+    db.attach_tracker(tracker, auto=auto)
+    server = ViewServer(
+        db.catalog,
+        source=db,
+        workers=2,
+        tracker=tracker,
+        staleness=staleness,
+    )
+    return db, tracker, server
+
+
+@pytest.fixture()
+def strict_env():
+    db, tracker, server = make_env("strict")
+    yield db, tracker, server
+    server.close()
+    db.close()
+
+
+def request(db, **kwargs):
+    return PublishRequest(
+        figure1_view(db.catalog), figure4_stylesheet(), **kwargs
+    )
+
+
+def serve(server, db, **kwargs):
+    trace = server.submit(request(db, **kwargs)).result()
+    assert trace.error is None, trace.error
+    return trace
+
+
+# ---------------------------------------------------------------------------
+# Freshness state machine
+# ---------------------------------------------------------------------------
+
+
+def test_miss_then_hit_then_stale_recompute(strict_env):
+    db, tracker, server = strict_env
+    first = serve(server, db)
+    assert first.freshness == "miss" and first.version_lag == 0
+    second = serve(server, db)
+    assert second.freshness == "hit" and second.version_lag == 0
+    assert second.xml == first.xml
+
+    hotel_write(db, 0, tracker)  # availability write, in the read set
+    third = serve(server, db)
+    assert third.freshness == "stale-recompute"
+    assert third.version_lag == 1
+    # Recomputation re-primes the cache at the new versions.
+    fourth = serve(server, db)
+    assert fourth.freshness == "hit"
+    assert fourth.xml == third.xml
+
+
+def test_write_outside_the_read_set_does_not_invalidate(strict_env):
+    db, tracker, server = strict_env
+    read_set = view_read_set(figure1_view(db.catalog))
+    assert "hotelchain" not in read_set
+    assert set(hotel_write_tables()) <= set(read_set)
+
+    serve(server, db)
+    db.run_sql("UPDATE hotelchain SET hqstate = 'WA' WHERE chainid = 1")
+    tracker.record_write("hotelchain")
+    trace = serve(server, db)
+    assert trace.freshness == "hit" and trace.version_lag == 0
+
+
+def test_bypass_always_computes_and_never_caches(strict_env):
+    db, tracker, server = strict_env
+    one = serve(server, db, bypass_cache=True)
+    assert one.freshness == "bypass"
+    # Bypass did not populate the cache: the next cached request misses.
+    two = serve(server, db)
+    assert two.freshness == "miss"
+    # And bypass ignores a populated cache too.
+    three = serve(server, db, bypass_cache=True)
+    assert three.freshness == "bypass"
+    assert three.xml == two.xml
+
+
+def test_strategies_cache_independently(strict_env):
+    db, tracker, server = strict_env
+    assert serve(server, db, strategy="memoized").freshness == "miss"
+    assert serve(server, db, strategy="bulk").freshness == "miss"
+    assert serve(server, db, strategy="memoized").freshness == "hit"
+    assert serve(server, db, strategy="bulk").freshness == "hit"
+
+
+def test_recomputed_bytes_match_the_post_write_database(strict_env):
+    """After a write, strict recomputation serves the new data - the pool
+    snapshot must have been refreshed before executing."""
+    db, tracker, server = strict_env
+    before = serve(server, db).xml
+    # Toggle served membership: hotel 1 flips across the starrating>4
+    # filter of Figure 1, so the served bytes must change.
+    db.run_sql(
+        "UPDATE hotel SET starrating = CASE WHEN starrating > 4 "
+        "THEN 3 ELSE 5 END WHERE hotelid = 1"
+    )
+    tracker.record_write("hotel")
+    after = serve(server, db)
+    assert after.freshness == "stale-recompute"
+    assert after.xml != before
+
+
+# ---------------------------------------------------------------------------
+# Policies
+# ---------------------------------------------------------------------------
+
+
+def test_bounded_policy_serves_within_the_bound():
+    db, tracker, server = make_env("bounded:2")
+    try:
+        serve(server, db)
+        hotel_write(db, 0, tracker)
+        hotel_write(db, 1, tracker)
+        within = serve(server, db)
+        assert within.freshness == "hit" and within.version_lag == 2
+        hotel_write(db, 2, tracker)
+        beyond = serve(server, db)
+        assert beyond.freshness == "stale-recompute"
+        assert beyond.version_lag == 3
+    finally:
+        server.close()
+        db.close()
+
+
+def test_manual_policy_serves_stale_until_invalidated():
+    db, tracker, server = make_env("manual")
+    try:
+        stale = serve(server, db).xml
+        db.run_sql(
+            "UPDATE hotel SET starrating = CASE WHEN starrating > 4 "
+            "THEN 3 ELSE 5 END WHERE hotelid = 1"
+        )
+        tracker.record_write("hotel")
+        lagged = serve(server, db)
+        assert lagged.freshness == "hit" and lagged.version_lag == 1
+        assert lagged.xml == stale  # knowingly stale bytes
+
+        dropped = server.invalidate_tables(["hotel"])
+        assert dropped["results"] == 1 and dropped["plans"] == 1
+        fresh = serve(server, db)
+        assert fresh.freshness == "miss"
+        assert fresh.xml != stale
+    finally:
+        server.close()
+        db.close()
+
+
+def test_invalidate_tables_is_scoped_to_the_read_set(strict_env):
+    db, tracker, server = strict_env
+    serve(server, db)
+    assert server.invalidate_tables(["hotelchain"]) == {
+        "plans": 0,
+        "results": 0,
+    }
+    assert server.invalidate_tables(["availability"]) == {
+        "plans": 1,
+        "results": 1,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Auto-captured writes reach the server with no cooperation
+# ---------------------------------------------------------------------------
+
+
+def test_auto_captured_write_forces_strict_recompute():
+    db, tracker, server = make_env("strict", auto=True)
+    try:
+        serve(server, db)
+        db.run_sql("UPDATE hotel SET pool = 1 - pool")  # hooks record this
+        trace = serve(server, db)
+        assert trace.freshness == "stale-recompute"
+    finally:
+        server.close()
+        db.close()
+
+
+# ---------------------------------------------------------------------------
+# Metrics and the untracked baseline
+# ---------------------------------------------------------------------------
+
+
+def test_metrics_report_freshness_and_maintenance_state(strict_env):
+    db, tracker, server = strict_env
+    serve(server, db)
+    serve(server, db)
+    hotel_write(db, 0, tracker)
+    serve(server, db)
+    serve(server, db, bypass_cache=True)
+
+    metrics = server.metrics()
+    assert metrics["freshness"] == {
+        "miss": 1, "hit": 1, "stale-recompute": 1, "bypass": 1,
+    }
+    assert set(metrics["freshness"]) == set(FRESHNESS_STATES)
+    assert metrics["result_cache"]["size"] == 1
+    assert metrics["staleness_policy"] == "strict"
+    assert metrics["tracker"]["total_writes"] == 1
+    assert metrics["tracker"]["versions"] == {"availability": 1}
+
+
+def test_untracked_server_reports_bypass_only():
+    db = build_hotel_database(SPEC)
+    with ViewServer(db.catalog, source=db, workers=2) as server:
+        trace = server.render(figure1_view(db.catalog))
+        assert trace.freshness == "bypass" and trace.version_lag == 0
+        metrics = server.metrics()
+        assert metrics["freshness"]["bypass"] == 1
+        assert "result_cache" not in metrics
+        assert "tracker" not in metrics
+        assert server.result_cache is None
+    db.close()
+
+
+def test_staleness_accepts_policy_objects():
+    from repro.maintenance import StalenessPolicy
+
+    db = build_hotel_database(SPEC, cross_thread=True)
+    tracker = WriteTracker()
+    server = ViewServer(
+        db.catalog,
+        source=db,
+        tracker=tracker,
+        staleness=StalenessPolicy.bounded(4),
+    )
+    try:
+        assert server.staleness.describe() == "bounded:4"
+    finally:
+        server.close()
+        db.close()

@@ -110,6 +110,59 @@ def test_invalidate_and_clear_counters():
     assert (cache.hits, cache.misses) == (1, 0)
 
 
+def test_invalidate_tables_drops_intersecting_plans_only():
+    cache = PlanCache()
+    cache.put("h", CompiledPlan(key="h", view=None, tables=("hotel", "metroarea")))
+    cache.put("a", CompiledPlan(key="a", view=None, tables=("availability",)))
+    cache.put("c", CompiledPlan(key="c", view=None, tables=("hotelchain",)))
+    assert cache.invalidate_tables(["hotel", "availability"]) == 2
+    assert cache.keys() == ["c"]
+    assert cache.invalidations == 2
+    assert cache.invalidate_tables(["hotel"]) == 0  # already gone
+
+
+def test_invalidate_tables_skips_plans_without_a_read_set():
+    cache = PlanCache()
+    cache.put("bare", plan("bare"))  # tables=() — unknown read set
+    assert cache.invalidate_tables(["hotel"]) == 0
+    assert "bare" in cache
+
+
+def test_stats_and_keys_are_consistent_under_concurrent_mutation():
+    """stats()/keys() snapshot under the cache lock: hammer them while
+    writers churn the entry table and check each snapshot is coherent."""
+    cache = PlanCache(capacity=8)
+    stop = threading.Event()
+    bad: list[str] = []
+
+    def churn():
+        n = 0
+        while not stop.is_set():
+            key = f"k{n % 16}"
+            cache.put(key, CompiledPlan(key=key, view=None, tables=("t",)))
+            if n % 7 == 0:
+                cache.invalidate_tables(["t"])
+            n += 1
+
+    def observe():
+        while not stop.is_set():
+            stats = cache.stats()
+            if not 0 <= stats["size"] <= stats["capacity"]:
+                bad.append(f"size out of bounds: {stats}")
+            if len(cache.keys()) > cache.capacity:
+                bad.append("keys() longer than capacity")
+
+    writers = [threading.Thread(target=churn) for _ in range(2)]
+    readers = [threading.Thread(target=observe) for _ in range(2)]
+    for thread in writers + readers:
+        thread.start()
+    time.sleep(0.2)
+    stop.set()
+    for thread in writers + readers:
+        thread.join()
+    assert not bad, bad[0]
+
+
 def test_sixteen_thread_hammer_on_single_entry_cache():
     """16 threads race get_or_build on one key in a capacity-1 cache:
     exactly one build runs (one miss), everyone else waits and hits."""

@@ -1,0 +1,159 @@
+"""referenced_tables: the read-set extractor behind cache invalidation.
+
+The maintenance layer scopes invalidation to a plan's base-table read
+set (:func:`repro.serving.fingerprint.view_read_set`), which bottoms out
+in :func:`repro.sql.analysis.referenced_tables`. A table it misses is a
+cached response that never goes stale — so every place a table name can
+hide (joins, derived tables, EXISTS / IN / scalar subqueries, arbitrary
+nesting) gets its own test, plus a property over randomly generated
+query trees with a known expected read set.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sql.analysis import referenced_tables
+from repro.sql.parser import parse_select
+
+
+def tables_of(sql: str) -> list[str]:
+    return referenced_tables(parse_select(sql))
+
+
+# ---------------------------------------------------------------------------
+# Each hiding place, individually
+# ---------------------------------------------------------------------------
+
+
+def test_single_table():
+    assert tables_of("SELECT * FROM hotel") == ["hotel"]
+
+
+def test_joined_tables_in_order():
+    assert tables_of(
+        "SELECT * FROM hotel, confroom WHERE hotelid = chotel_id"
+    ) == ["hotel", "confroom"]
+
+
+def test_aliases_do_not_leak():
+    assert tables_of("SELECT h.hotelid FROM hotel AS h") == ["hotel"]
+
+
+def test_duplicate_references_are_reported_once():
+    assert tables_of(
+        "SELECT * FROM hotel AS a, hotel AS b WHERE a.hotelid = b.hotelid"
+    ) == ["hotel"]
+
+
+def test_derived_table():
+    assert tables_of(
+        "SELECT T.x FROM (SELECT hotelid AS x FROM hotel) AS T"
+    ) == ["hotel"]
+
+
+def test_nested_derived_tables():
+    assert tables_of(
+        "SELECT * FROM (SELECT * FROM (SELECT hotelid FROM hotel) AS A) AS B"
+    ) == ["hotel"]
+
+
+def test_exists_subquery():
+    assert tables_of(
+        "SELECT hotelid FROM hotel WHERE EXISTS "
+        "(SELECT * FROM confroom WHERE chotel_id = hotelid)"
+    ) == ["hotel", "confroom"]
+
+
+def test_in_subquery():
+    assert tables_of(
+        "SELECT hotelid FROM hotel WHERE hotelid IN "
+        "(SELECT chotel_id FROM confroom)"
+    ) == ["hotel", "confroom"]
+
+
+def test_scalar_subquery_in_select_list():
+    assert tables_of(
+        "SELECT hotelid, (SELECT MAX(capacity) FROM confroom) AS cap "
+        "FROM hotel"
+    ) == ["hotel", "confroom"]
+
+
+def test_subquery_inside_derived_table():
+    assert tables_of(
+        "SELECT * FROM (SELECT hotelid FROM hotel WHERE EXISTS "
+        "(SELECT * FROM availability)) AS T, metroarea"
+    ) == ["hotel", "availability", "metroarea"]
+
+
+def test_deeply_mixed_nesting():
+    sql = (
+        "SELECT * FROM confroom, (SELECT * FROM hotel) AS T "
+        "WHERE EXISTS (SELECT * FROM guestroom WHERE r_id IN "
+        "(SELECT a_r_id FROM availability)) "
+        "AND capacity > (SELECT COUNT(*) FROM metroarea)"
+    )
+    assert tables_of(sql) == [
+        "confroom", "hotel", "guestroom", "availability", "metroarea",
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Property: generated query trees with a known read set
+# ---------------------------------------------------------------------------
+
+_TABLES = ("t_a", "t_b", "t_c", "t_d", "t_e")
+
+
+def _build_query(tree) -> tuple[str, set[str]]:
+    """Render a random query tree to SQL plus its expected read set.
+
+    ``tree`` is ``(base_tables, wrappers)`` where each wrapper either
+    nests the query so far as a derived table or attaches a random
+    EXISTS / IN / scalar subquery over a fresh table.
+    """
+    base_tables, wrappers = tree
+    expected = set(base_tables)
+    sql = f"SELECT * FROM {', '.join(base_tables)}"
+    has_where = False
+    for kind, table in wrappers:
+        expected.add(table)
+        if kind == "derived":
+            sql = f"SELECT * FROM ({sql}) AS D, {table}"
+            has_where = False
+            continue
+        glue = "AND" if has_where else "WHERE"
+        has_where = True
+        if kind == "exists":
+            sql = f"{sql} {glue} EXISTS (SELECT * FROM {table})"
+        elif kind == "in":
+            sql = f"{sql} {glue} 1 IN (SELECT 1 FROM {table})"
+        else:  # scalar
+            sql = f"{sql} {glue} 1 > (SELECT COUNT(*) FROM {table})"
+    return sql, expected
+
+
+query_trees = st.tuples(
+    st.lists(st.sampled_from(_TABLES), min_size=1, max_size=3, unique=True),
+    st.lists(
+        st.tuples(
+            st.sampled_from(("derived", "exists", "in", "scalar")),
+            st.sampled_from(_TABLES),
+        ),
+        max_size=4,
+    ),
+)
+
+
+@given(query_trees)
+def test_generated_queries_report_their_exact_read_set(tree):
+    sql, expected = _build_query(tree)
+    assert set(tables_of(sql)) == expected
+
+
+@given(query_trees)
+def test_read_set_has_no_duplicates(tree):
+    sql, _ = _build_query(tree)
+    found = tables_of(sql)
+    assert len(found) == len(set(found))
