@@ -1,0 +1,112 @@
+"""E15: incremental (delta) maintenance vs full recomputation.
+
+Measures the two maintenance modes on the shared scale-8 hotel
+database under a strict policy with a write before every batch: the
+``full`` mode re-runs the whole compiled plan on every staleness, the
+``delta`` mode re-executes only the dirty schema nodes and splices them
+into the captured document. A leaf-heavy write mix (three
+``availability`` updates per ``hotel`` update) keeps the dirty frontier
+small — the regime the delta path targets. The raw delta primitive
+(one :class:`~repro.maintenance.DeltaEvaluator` pass outside the
+server) is benchmarked alongside. The full mode x write-rate sweep
+lives in ``python -m repro.harness --e15-json``.
+"""
+
+import pytest
+
+from repro.core.compose import compose
+from repro.core.optimize import prune_stylesheet_view
+from repro.maintenance import DeltaEvaluator, WriteTracker, hotel_write
+from repro.schema_tree.bulk_evaluator import BulkViewEvaluator
+from repro.serving import PublishRequest, ViewServer
+from repro.serving.fingerprint import node_read_sets
+from repro.workloads.paper import figure1_view, figure4_stylesheet
+
+REQUESTS = 10
+WRITE_MIX = ("availability", "availability", "availability", "hotel")
+
+
+def _batch(db, strategy="nested-loop"):
+    view = figure1_view(db.catalog)
+    stylesheet = figure4_stylesheet()
+    return [
+        PublishRequest(view, stylesheet, strategy=strategy)
+        for _ in range(REQUESTS)
+    ]
+
+
+@pytest.mark.parametrize("maintenance", ["full", "delta"])
+def test_e15_stale_batch_by_maintenance_mode(benchmark, serving_db, maintenance):
+    """One write lands before every batch; the first stale request per
+    round pays either a full re-evaluation or a delta splice."""
+    benchmark.group = "E15 incremental maintenance (10-request batch)"
+    tracker = WriteTracker()
+    serving_db.attach_tracker(tracker)
+    batch = _batch(serving_db)
+    step = [0]
+    with ViewServer(
+        serving_db.catalog,
+        source=serving_db,
+        workers=4,
+        keep_xml=False,
+        tracker=tracker,
+        staleness="strict",
+        maintenance=maintenance,
+    ) as server:
+        server.render_many(batch)
+
+        def round_with_write():
+            hotel_write(serving_db, step[0], tracker, mix=WRITE_MIX)
+            step[0] += 1
+            server.render_many(batch)
+
+        benchmark(round_with_write)
+
+
+def test_e15_delta_evaluator_single_pass(benchmark, serving_db):
+    """The delta primitive alone: one availability write, one splice."""
+    benchmark.group = "E15 primitives"
+    from repro.maintenance import MaterializedState
+
+    target = compose(
+        figure1_view(serving_db.catalog),
+        figure4_stylesheet(),
+        serving_db.catalog,
+    )
+    prune_stylesheet_view(target, serving_db.catalog)
+    reads = node_read_sets(target)
+    capture = {}
+    document = BulkViewEvaluator(
+        serving_db, capture_instances=capture
+    ).materialize(target)
+    holder = [MaterializedState(document, capture)]
+    step = [0]
+
+    def one_delta():
+        hotel_write(serving_db, step[0], mix=("availability",))
+        step[0] += 1
+        result = DeltaEvaluator(serving_db).evaluate(
+            target, holder[0], reads, ["availability"]
+        )
+        holder[0] = result.state
+
+    benchmark(one_delta)
+
+
+def test_e15_full_reevaluation_single_pass(benchmark, serving_db):
+    """The cost the delta primitive replaces: one full bulk run."""
+    benchmark.group = "E15 primitives"
+    target = compose(
+        figure1_view(serving_db.catalog),
+        figure4_stylesheet(),
+        serving_db.catalog,
+    )
+    prune_stylesheet_view(target, serving_db.catalog)
+    step = [0]
+
+    def one_full():
+        hotel_write(serving_db, step[0], mix=("availability",))
+        step[0] += 1
+        BulkViewEvaluator(serving_db).materialize(target)
+
+    benchmark(one_full)

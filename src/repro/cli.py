@@ -208,7 +208,9 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     thread applies the standard hotel write mix at the requested rate
     while requests are served, and the report additionally shows the
     freshness histogram, result-cache counters, and the maximum version
-    lag actually served.
+    lag actually served. ``--maintenance delta`` recomputes stale
+    entries incrementally (dirty schema nodes only, spliced into the
+    cached document) instead of re-running the full plan.
     """
     import json
     import threading as _threading
@@ -254,6 +256,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         keep_xml=False,
         tracker=tracker,
         staleness=args.staleness or "strict",
+        maintenance=args.maintenance,
     )
     stop_writer = _threading.Event()
     writes_issued = [0]
@@ -329,6 +332,11 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
             f"max_hit_lag={max_hit_lag}"
         )
         print(
+            f"maintenance mode={metrics['maintenance']} "
+            f"delta_recomputes={freshness['delta-recompute']} "
+            f"delta_fallbacks={metrics['delta_fallbacks']}"
+        )
+        print(
             f"writes issued={writes_issued[0]} "
             f"tracked={metrics['tracker']['total_writes']}"
         )
@@ -344,6 +352,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
                 "strategy": args.strategy,
                 "writes_per_sec": args.writes_per_sec,
                 "staleness": args.staleness,
+                "maintenance": args.maintenance,
             },
             "wall_seconds": round(wall_seconds, 6),
             "throughput_rps": round(throughput, 3),
@@ -362,6 +371,8 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
             report["freshness"] = metrics["freshness"]
             report["result_cache"] = metrics["result_cache"]
             report["staleness_policy"] = metrics["staleness_policy"]
+            report["maintenance"] = metrics["maintenance"]
+            report["delta_fallbacks"] = metrics["delta_fallbacks"]
             report["writes_issued"] = writes_issued[0]
             report["writes_tracked"] = metrics["tracker"]["total_writes"]
             report["max_hit_lag"] = max_hit_lag
@@ -480,6 +491,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--staleness", metavar="POLICY",
         help="result-cache staleness policy: strict, manual, or bounded:N "
         "(enables update-aware serving; default off)",
+    )
+    serve_parser.add_argument(
+        "--maintenance", default="full", choices=["full", "delta"],
+        help="how stale results are recomputed: re-run the full plan, or "
+        "delta (re-execute only dirty schema nodes and splice; falls "
+        "back to full when unsafe)",
     )
     serve_parser.add_argument("--json", metavar="PATH",
                               help="write full metrics as JSON")

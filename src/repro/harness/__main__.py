@@ -32,7 +32,25 @@ def main() -> None:
         help="run only E14 (update-aware serving) and record its raw "
         "numbers as JSON (runs + bounded/strict throughput ratio)",
     )
+    parser.add_argument(
+        "--e15-json", metavar="PATH",
+        help="run only E15 (incremental maintenance) and record its raw "
+        "numbers as JSON (runs + delta/full throughput ratio)",
+    )
     args = parser.parse_args()
+    if args.e15_json:
+        from repro.harness.experiments import e15_incremental
+
+        if args.quick:
+            result = e15_incremental(
+                scale=2, rounds=10, repeats=2, write_rates=[0, 2],
+                json_path=args.e15_json,
+            )
+        else:
+            result = e15_incremental(json_path=args.e15_json)
+        print(result.to_console())
+        print(f"wrote {args.e15_json}")
+        return
     if args.e14_json:
         from repro.harness.experiments import e14_maintenance
 

@@ -22,11 +22,27 @@ handled at the relational layer. Three pieces:
 
 :class:`~repro.serving.server.ViewServer` wires the three together and
 reports per-request freshness (``hit`` / ``miss`` / ``stale-recompute``
-/ ``bypass``) on every :class:`~repro.serving.server.RequestTrace`;
-experiment E14 and ``python -m repro serve-bench --writes-per-sec``
-measure the consistency/throughput trade-off.
+/ ``delta-recompute`` / ``bypass``) on every
+:class:`~repro.serving.server.RequestTrace`; experiments E14/E15 and
+``python -m repro serve-bench --writes-per-sec`` measure the
+consistency/throughput trade-off.
+
+A fourth piece, :mod:`repro.maintenance.incremental`, makes
+stale-recomputes cheaper: instead of re-running the whole compiled
+plan, the :class:`DeltaEvaluator` re-executes only the schema nodes
+whose read sets intersect the written tables and splices the fresh
+subtrees into the cached document (``serve-bench --maintenance delta``,
+experiment E15).
 """
 
+from repro.maintenance.incremental import (
+    MAINTENANCE_MODES,
+    DeltaEvaluator,
+    DeltaResult,
+    DeltaUnsupported,
+    MaterializedState,
+    dirty_node_ids,
+)
 from repro.maintenance.policy import StalenessPolicy
 from repro.maintenance.result_cache import CachedResult, ResultCache
 from repro.maintenance.tracker import WriteTracker
@@ -34,9 +50,15 @@ from repro.maintenance.workload import hotel_write, hotel_write_tables
 
 __all__ = [
     "CachedResult",
+    "DeltaEvaluator",
+    "DeltaResult",
+    "DeltaUnsupported",
+    "MAINTENANCE_MODES",
+    "MaterializedState",
     "ResultCache",
     "StalenessPolicy",
     "WriteTracker",
+    "dirty_node_ids",
     "hotel_write",
     "hotel_write_tables",
 ]

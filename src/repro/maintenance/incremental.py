@@ -1,0 +1,401 @@
+"""Incremental delta re-evaluation of stale publishing results.
+
+E14 showed the strict staleness policy costs ~2x throughput under
+writes because any single-table change forces a full re-run of the
+compiled plan. The paper's schema-tree queries make per-node read sets
+explicit (each tag query names its base tables), so maintenance can be
+pushed to exactly the affected nodes:
+
+1. **Dirty selection.** Intersect the tracker's changed tables (tables
+   whose version advanced past the cached entry's stamp) with the
+   compiled plan's per-node read sets
+   (:func:`repro.serving.fingerprint.node_read_sets`). Literal nodes
+   read nothing and are never dirty.
+2. **Frontier.** A dirty node whose ancestor is also dirty is subsumed:
+   re-evaluating the ancestor rebuilds the descendant anyway. The
+   *frontier* is the set of dirty nodes with no dirty proper ancestor;
+   frontier subtrees are pairwise disjoint.
+3. **Shadow re-evaluation.** Each frontier subtree is re-executed with
+   the bulk evaluator's one-query-per-node machinery
+   (:meth:`~repro.schema_tree.bulk_evaluator.BulkViewEvaluator.evaluate_node`)
+   against *shadow parents*: throwaway collector elements carrying the
+   retained parent instances' binding environments and context keys, so
+   the decorrelated bulk rows group exactly as they would in a full
+   run. The captured environments also make the correlated per-parent
+   fallback work unchanged.
+4. **Persistent splice.** The fresh subtrees replace the stale ones in
+   a *copy-on-spine* rebuild: only the ancestors of frontier nodes (the
+   spine) are shallow-copied; untouched sibling subtrees are shared
+   with the old document, which is never mutated — a mid-splice failure
+   cannot tear the cached entry, the server just falls back to full
+   recomputation.
+
+Anything the splice cannot prove safe raises :class:`DeltaUnsupported`
+(deliberately *not* a :class:`~repro.errors.ReproError`, so the server's
+request-error handling never confuses "delta declined" with "request
+failed"): an unreliable ancestor plan (runtime column names may differ
+from the static ones the context keys use), a missing binding or key
+column in a captured environment, or captured state that no longer
+matches the cached document.
+
+Shared subtrees keep their original ``parent`` pointers (pointing into
+the old document); nothing downstream reads them — serialization and
+the next delta walk schema structure and child lists only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional
+
+from repro.relational.engine import Database, Row
+from repro.schema_tree.bulk_evaluator import BulkViewEvaluator, _Instance, _NodePlan
+from repro.schema_tree.evaluator import MaterializeStats
+from repro.schema_tree.model import SchemaNode, SchemaTreeQuery
+from repro.xmlcore.nodes import Document, Element
+
+#: Maintenance modes the server accepts: ``"full"`` re-runs the whole
+#: compiled plan on staleness (the pre-E15 behaviour); ``"delta"``
+#: re-executes only dirty schema nodes and splices, falling back to full
+#: when the delta path declines.
+MAINTENANCE_MODES = ("full", "delta")
+
+
+class DeltaUnsupported(Exception):
+    """This stale result cannot be safely delta-maintained.
+
+    Raised (and caught by the server, which falls back to a full
+    recompute) when the splice preconditions fail — see the module
+    docstring for the cases. Intentionally a plain ``Exception`` rather
+    than a ``ReproError`` so it is never mistaken for a request error.
+    """
+
+
+@dataclass
+class MaterializedState:
+    """Captured evaluation state a delta re-evaluation splices against.
+
+    ``instances`` maps each schema node id to its materialized
+    ``(element, env)`` pairs in document order, where ``env`` is the
+    binding environment visible to that element's children; the
+    synthetic root maps to ``[(document, {})]``. Produced by the
+    evaluators' ``capture_instances`` hook during a full run, and by
+    :meth:`DeltaEvaluator.evaluate` for the spliced document. Treated
+    as immutable once stored.
+    """
+
+    document: Document
+    instances: dict[int, list[tuple[Any, dict[str, Row]]]]
+
+
+@dataclass
+class DeltaResult:
+    """Outcome of one successful delta re-evaluation."""
+
+    #: The spliced document (a new tree sharing untouched subtrees with
+    #: the old one, which is left intact).
+    document: Document
+    #: Captured state for the spliced document, ready for the next delta.
+    state: MaterializedState
+    #: All schema nodes whose read set intersected the changed tables.
+    dirty_nodes: tuple[int, ...]
+    #: The dirty nodes actually re-executed (no dirty proper ancestor).
+    frontier_nodes: tuple[int, ...]
+    #: Elements created while re-evaluating the frontier subtrees.
+    elements_refreshed: int
+    #: Rows fetched from the database by the re-evaluation.
+    rows_refetched: int
+
+
+def dirty_node_ids(
+    node_read_sets: dict[int, tuple[str, ...]],
+    changed_tables: Iterable[str],
+) -> list[int]:
+    """Schema nodes whose tag query reads a changed table, ascending.
+
+    ``node_read_sets`` is the compiled plan's per-node map
+    (:attr:`repro.serving.plan_cache.CompiledPlan.node_read_sets`);
+    nodes absent from it (literal output elements) are never dirty.
+    """
+    changed = set(changed_tables)
+    return sorted(
+        node_id
+        for node_id, tables in node_read_sets.items()
+        if changed.intersection(tables)
+    )
+
+
+class DeltaEvaluator:
+    """Re-evaluates only the dirty schema nodes of a stale cached result.
+
+    ``db`` and ``stats`` are the usual injected connection/stats pair
+    (see :class:`~repro.schema_tree.evaluator.ViewEvaluator`); fresh
+    elements created during the splice land in ``stats`` so traces
+    account delta work like any other materialization.
+    """
+
+    def __init__(self, db: Database, stats: Optional[MaterializeStats] = None):
+        self.db = db
+        self.stats = stats if stats is not None else MaterializeStats()
+
+    # -- public entry point ---------------------------------------------------
+
+    def evaluate(
+        self,
+        view: SchemaTreeQuery,
+        state: MaterializedState,
+        node_read_sets: dict[int, tuple[str, ...]],
+        changed_tables: Iterable[str],
+    ) -> DeltaResult:
+        """Refresh ``state`` for ``changed_tables``; returns the splice.
+
+        Raises :class:`DeltaUnsupported` when the delta path cannot
+        guarantee byte-identical output (the caller should recompute in
+        full); never mutates ``state`` or its document either way.
+        """
+        bulk = BulkViewEvaluator(self.db, self.stats, capture_instances={})
+        plans = bulk.plan_view(view)
+        nodes_by_id = {n.id: n for n in view.nodes(include_root=False)}
+        dirty = dirty_node_ids(node_read_sets, changed_tables)
+        if not dirty:
+            raise DeltaUnsupported("no schema node reads the changed tables")
+        dirty_set = set(dirty)
+        frontier = [
+            node_id
+            for node_id in dirty
+            if not any(
+                a.id in dirty_set
+                for a in nodes_by_id[node_id].path_from_root()[1:-1]
+            )
+        ]
+        for node_id in frontier:
+            self._check_spliceable(nodes_by_id[node_id], plans)
+
+        rows_before = self.db.stats.rows_fetched
+        fresh: dict[int, list[_Instance]] = {}
+        subtree_ids: set[int] = set()
+        # id(old parent element) -> {frontier node id: fresh child elements}
+        replace_at: dict[int, dict[int, list]] = {}
+        elements_refreshed = 0
+        for node_id in frontier:
+            node = nodes_by_id[node_id]
+            parent_node = node.parent
+            assert parent_node is not None
+            retained = state.instances.get(parent_node.id, [])
+            shadows = [
+                _Instance(Element(node.tag), env, self._context_key(bulk, node, env))
+                for _element, env in retained
+            ]
+            local = self._evaluate_subtree(bulk, plans, node, shadows)
+            for sub_id, created in local.items():
+                subtree_ids.add(sub_id)
+                elements_refreshed += len(created)
+                fresh.setdefault(sub_id, []).extend(created)
+            for (old_element, _env), shadow in zip(retained, shadows):
+                replace_at.setdefault(id(old_element), {})[node_id] = (
+                    shadow.element.children
+                )
+
+        spine_ids = self._spine_ids(nodes_by_id, frontier)
+        elem_node = self._element_owners(nodes_by_id, state, spine_ids)
+        new_document = Document()
+        copies: dict[int, Element] = {}
+        self._rebuild_children(
+            view.root, state.document, new_document,
+            replace_at, spine_ids, elem_node, copies,
+        )
+        new_state = self._rebuild_state(
+            view, state, new_document, subtree_ids, spine_ids, fresh, copies
+        )
+        return DeltaResult(
+            document=new_document,
+            state=new_state,
+            dirty_nodes=tuple(dirty),
+            frontier_nodes=tuple(frontier),
+            elements_refreshed=elements_refreshed,
+            rows_refetched=self.db.stats.rows_fetched - rows_before,
+        )
+
+    # -- frontier validation and re-evaluation --------------------------------
+
+    def _check_spliceable(
+        self, node: SchemaNode, plans: dict[int, _NodePlan]
+    ) -> None:
+        """Reject frontiers whose ancestor context keys are untrustworthy."""
+        for ancestor in node.path_from_root()[1:-1]:
+            if ancestor.tag_query is None:
+                continue
+            plan = plans.get(ancestor.id)
+            if plan is None or not plan.reliable or ancestor.bv is None:
+                raise DeltaUnsupported(
+                    f"ancestor <{ancestor.tag}> of dirty node {node.id} has "
+                    "no reliable context key (correlated or unstable shape)"
+                )
+
+    def _context_key(
+        self, bulk: BulkViewEvaluator, node: SchemaNode, env: dict[str, Row]
+    ) -> tuple:
+        """Rebuild the bulk context key a retained parent instance carries.
+
+        Concatenates the key columns of every query-bearing strict
+        ancestor of ``node`` in root-to-leaf order — exactly the order
+        the decorrelator exposes them in the bulk rows, so
+        ``_group_rows`` deals each shadow parent its share.
+        """
+        key: list = []
+        for ancestor in node.path_from_root()[1:-1]:
+            if ancestor.tag_query is None:
+                continue
+            row = env.get(ancestor.bv) if ancestor.bv is not None else None
+            if row is None:
+                raise DeltaUnsupported(
+                    f"captured environment lacks binding ${ancestor.bv} "
+                    f"for ancestor <{ancestor.tag}>"
+                )
+            for column in bulk.node_key_columns(ancestor):
+                if column not in row:
+                    raise DeltaUnsupported(
+                        f"captured ${ancestor.bv} row lacks key column "
+                        f"{column!r}"
+                    )
+                key.append(row[column])
+        return tuple(key)
+
+    def _evaluate_subtree(
+        self,
+        bulk: BulkViewEvaluator,
+        plans: dict[int, _NodePlan],
+        node: SchemaNode,
+        shadows: list[_Instance],
+    ) -> dict[int, list[_Instance]]:
+        """Re-execute one frontier subtree under its shadow parents."""
+        local: dict[int, list[_Instance]] = {}
+        for sub in node.walk():
+            if sub is node:
+                parents = shadows
+            else:
+                assert sub.parent is not None
+                parents = local[sub.parent.id]
+            local[sub.id] = bulk.evaluate_node(plans[sub.id], parents)
+        return local
+
+    # -- persistent splice ----------------------------------------------------
+
+    def _spine_ids(
+        self, nodes_by_id: dict[int, SchemaNode], frontier: list[int]
+    ) -> set[int]:
+        """Schema ids on a root-to-frontier path (the copied spine)."""
+        spine: set[int] = set()
+        for node_id in frontier:
+            for ancestor in nodes_by_id[node_id].path_from_root()[:-1]:
+                spine.add(ancestor.id)
+        return spine
+
+    def _element_owners(
+        self,
+        nodes_by_id: dict[int, SchemaNode],
+        state: MaterializedState,
+        spine_ids: set[int],
+    ) -> dict[int, int]:
+        """Map ``id(element) -> schema node id`` for spine-node children.
+
+        Only children of spine elements need owners: the rebuild groups
+        each spine element's child list by schema node to know where
+        the fresh subtrees go and which groups to share.
+        """
+        owners: dict[int, int] = {}
+        for node in nodes_by_id.values():
+            if node.parent is None or node.parent.id not in spine_ids:
+                continue
+            for element, _env in state.instances.get(node.id, []):
+                owners[id(element)] = node.id
+        return owners
+
+    def _rebuild_children(
+        self,
+        schema_node: SchemaNode,
+        old_parent,
+        new_parent,
+        replace_at: dict[int, dict[int, list]],
+        spine_ids: set[int],
+        elem_node: dict[int, int],
+        copies: dict[int, Element],
+    ) -> None:
+        """Copy-on-spine rebuild of one spine element's child list.
+
+        Fresh subtrees are adopted (reparented — they are throwaway
+        collector children); spine children are shallow-copied and
+        recursed into; everything else is *shared* with the old
+        document, parent pointers untouched, so the old tree stays
+        fully intact.
+        """
+        groups: dict[int, list] = {}
+        for child in old_parent.children:
+            owner = elem_node.get(id(child))
+            if owner is None:
+                raise DeltaUnsupported(
+                    "cached document has a child the captured state does "
+                    "not account for"
+                )
+            groups.setdefault(owner, []).append(child)
+        replacements = replace_at.get(id(old_parent), {})
+        children: list = []
+        for child_node in schema_node.children:
+            if child_node.id in replacements:
+                for fresh_element in replacements[child_node.id]:
+                    fresh_element.parent = new_parent
+                    children.append(fresh_element)
+            elif child_node.id in spine_ids:
+                for old_child in groups.get(child_node.id, []):
+                    copy = old_child.shallow_copy()
+                    copy.parent = new_parent
+                    copies[id(old_child)] = copy
+                    children.append(copy)
+                    self._rebuild_children(
+                        child_node, old_child, copy,
+                        replace_at, spine_ids, elem_node, copies,
+                    )
+            else:
+                children.extend(groups.get(child_node.id, []))
+        new_parent.children = children
+
+    def _rebuild_state(
+        self,
+        view: SchemaTreeQuery,
+        state: MaterializedState,
+        new_document: Document,
+        subtree_ids: set[int],
+        spine_ids: set[int],
+        fresh: dict[int, list[_Instance]],
+        copies: dict[int, Element],
+    ) -> MaterializedState:
+        """Captured state for the spliced document.
+
+        Spine instances point at their copies, refreshed subtrees at
+        the fresh instances, and untouched nodes share the old lists
+        (which are never mutated).
+        """
+        new_instances: dict[int, list[tuple[Any, dict[str, Row]]]] = {
+            view.root.id: [(new_document, {})]
+        }
+        for node_id, old_list in state.instances.items():
+            if node_id == view.root.id or node_id in subtree_ids:
+                continue
+            if node_id in spine_ids:
+                rebuilt: list[tuple[Any, dict[str, Row]]] = []
+                for element, env in old_list:
+                    copy = copies.get(id(element))
+                    if copy is None:
+                        raise DeltaUnsupported(
+                            "captured spine instance is absent from the "
+                            "cached document"
+                        )
+                    rebuilt.append((copy, env))
+                new_instances[node_id] = rebuilt
+            else:
+                new_instances[node_id] = old_list
+        for node_id in subtree_ids:
+            new_instances[node_id] = [
+                (inst.element, inst.env) for inst in fresh.get(node_id, [])
+            ]
+        return MaterializedState(document=new_document, instances=new_instances)

@@ -49,6 +49,12 @@ class CachedResult:
     strategy: str = ""
     #: Times this entry was served.
     hits: int = 0
+    #: Captured evaluation state
+    #: (:class:`repro.maintenance.incremental.MaterializedState`) when the
+    #: server runs with delta maintenance; ``None`` otherwise. Never
+    #: mutated in place — a delta re-evaluation publishes a whole new
+    #: entry, so readers of a stale entry are unaffected.
+    state: Optional[object] = None
 
 
 class ResultCache:
@@ -118,14 +124,21 @@ class ResultCache:
         versions: Mapping[str, int],
         tables: Iterable[str],
         strategy: str = "",
+        state: Optional[object] = None,
     ) -> CachedResult:
-        """Publish a freshly computed response stamped at ``versions``."""
+        """Publish a freshly computed response stamped at ``versions``.
+
+        ``state`` optionally attaches the captured evaluation state a
+        later delta re-evaluation splices against (see
+        :attr:`CachedResult.state`).
+        """
         entry = CachedResult(
             key=key,
             xml=xml,
             versions=dict(versions),
             tables=tuple(tables),
             strategy=strategy,
+            state=state,
         )
         with self._lock:
             self._entries[key] = entry
@@ -134,6 +147,17 @@ class ResultCache:
                 self._entries.popitem(last=False)
                 self.evictions += 1
         return entry
+
+    def peek(self, key: str) -> Optional[CachedResult]:
+        """Return the resident entry for ``key`` without counting anything.
+
+        Unlike :meth:`lookup` this touches no hit/miss/stale counters
+        and no recency — it is how the delta maintenance path retrieves
+        a stale entry's captured state *after* :meth:`lookup` already
+        classified (and counted) the request as stale.
+        """
+        with self._lock:
+            return self._entries.get(key)
 
     # -- invalidation --------------------------------------------------------
 

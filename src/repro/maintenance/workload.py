@@ -25,7 +25,12 @@ def hotel_write_tables() -> tuple[str, ...]:
     return _WRITE_TABLES
 
 
-def hotel_write(db, step: int, tracker: Optional[object] = None) -> str:
+def hotel_write(
+    db,
+    step: int,
+    tracker: Optional[object] = None,
+    mix: Optional[tuple[str, ...]] = None,
+) -> str:
     """Apply write number ``step`` to a hotel database; returns the table.
 
     The mix rotates ``startdate`` swaps on ``availability`` (two of
@@ -35,9 +40,11 @@ def hotel_write(db, step: int, tracker: Optional[object] = None) -> str:
     both are UPDATEs over a sliding row slice, so the database shape is
     stable while served bytes change. With ``tracker`` given, the write
     is recorded explicitly; omit it for engines with auto capture
-    attached.
+    attached. ``mix`` overrides the rotation — e.g. E15 passes
+    ``("availability",)`` for a leaf-heavy stream whose dirty frontier
+    stays small, the regime incremental maintenance targets.
     """
-    table = _WRITE_MIX[step % len(_WRITE_MIX)]
+    table = (mix or _WRITE_MIX)[step % len(mix or _WRITE_MIX)]
     if table == "availability":
         db.run_sql(
             "UPDATE availability SET startdate = CASE startdate "

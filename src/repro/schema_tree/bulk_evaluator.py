@@ -196,14 +196,27 @@ class BulkViewEvaluator:
     :class:`~repro.schema_tree.evaluator.ViewEvaluator`): the serving
     layer supplies a pooled per-worker database and per-request
     counters so concurrent requests never share mutable state.
+
+    ``capture_instances`` (a caller-owned dict) opts into recording the
+    per-node instance state for incremental maintenance, in the same
+    ``{node_id: [(element, env), ...]}`` shape the nested-loop
+    evaluator's capture produces (the root records ``(document, {})``).
+    Enabling capture also disables the leaf fast path so leaf elements
+    are recorded too. See :mod:`repro.maintenance.incremental`.
     """
 
-    def __init__(self, db: Database, stats: Optional[MaterializeStats] = None):
+    def __init__(
+        self,
+        db: Database,
+        stats: Optional[MaterializeStats] = None,
+        capture_instances: Optional[dict[int, list]] = None,
+    ):
         self.db = db
         self.stats = stats if stats is not None else MaterializeStats()
         self.fallback_nodes: list[FallbackRecord] = []
         self.bulk_queries_executed = 0
         self._key_columns_cache: dict[int, list[str]] = {}
+        self._capture = capture_instances
 
     # -- planning -------------------------------------------------------------
 
@@ -452,15 +465,48 @@ class BulkViewEvaluator:
             parent = node.parent
             assert parent is not None
             parents = instances.get(parent.id, [])
-            plan = plans[node.id]
-            if plan.kind == "literal":
-                created = self._emit_literal(node, parents)
-            elif plan.kind == "bulk":
-                created = self._emit_bulk(plan, parents)
-            else:
-                created = self._emit_fallback(plan, parents)
+            created = self.evaluate_node(plans[node.id], parents)
             instances[node.id] = created
+        if self._capture is not None:
+            for node_id, created in instances.items():
+                self._capture[node_id] = [(i.element, i.env) for i in created]
         return document
+
+    def evaluate_node(
+        self, plan: _NodePlan, parents: list[_Instance]
+    ) -> list[_Instance]:
+        """Materialize one schema node's elements under ``parents``.
+
+        Dispatches on the plan kind (literal / bulk / correlated
+        fallback) and returns the created instances in document order.
+        Public so incremental maintenance
+        (:mod:`repro.maintenance.incremental`) can re-execute single
+        dirty nodes against shadow parent instances instead of the full
+        view.
+        """
+        if plan.kind == "literal":
+            return self._emit_literal(plan.node, parents)
+        if plan.kind == "bulk":
+            return self._emit_bulk(plan, parents)
+        return self._emit_fallback(plan, parents)
+
+    def plan_view(self, view: SchemaTreeQuery) -> dict[int, _NodePlan]:
+        """Public per-node plans for ``view`` (see :meth:`_plan_view`).
+
+        Incremental maintenance uses the plans to check node
+        reliability (whether splice keys are trustworthy) and to feed
+        :meth:`evaluate_node`.
+        """
+        return self._plan_view(view)
+
+    def node_key_columns(self, node: SchemaNode) -> list[str]:
+        """Public key columns of ``node`` (see :meth:`_node_key_columns`).
+
+        Incremental maintenance concatenates these over a frontier
+        node's query-bearing ancestors to rebuild the context keys
+        retained parent instances would have carried.
+        """
+        return self._node_key_columns(node)
 
     def _emit_literal(
         self, node: SchemaNode, parents: list[_Instance]
@@ -598,7 +644,7 @@ class BulkViewEvaluator:
         )
         trim = wide and plan.exact_env_row
         surface = own_columns if wide and not trim else None
-        if not node.children:
+        if not node.children and self._capture is None:
             # Leaf fast path: no descendant ever reads the env or the
             # context key, so skip the per-row bookkeeping entirely.
             stats = self.stats

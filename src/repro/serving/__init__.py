@@ -19,6 +19,7 @@ from repro.serving.fingerprint import (
     fingerprint_stylesheet,
     fingerprint_text,
     fingerprint_view,
+    node_read_sets,
     plan_key,
     view_read_set,
 )
@@ -45,6 +46,7 @@ __all__ = [
     "fingerprint_stylesheet",
     "fingerprint_text",
     "fingerprint_view",
+    "node_read_sets",
     "percentile",
     "plan_key",
     "view_read_set",

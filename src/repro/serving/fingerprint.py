@@ -121,22 +121,39 @@ def fingerprint_stylesheet(stylesheet: Optional[Stylesheet]) -> str:
     )
 
 
-def view_read_set(view: SchemaTreeQuery) -> tuple[str, ...]:
-    """The base tables a view's tag queries read, sorted and deduplicated.
+def node_read_sets(view: SchemaTreeQuery) -> dict[int, tuple[str, ...]]:
+    """The base tables each schema node's tag query reads, per node id.
 
     Computed with :func:`repro.sql.analysis.referenced_tables`, which
     descends into derived tables, EXISTS conditions, scalar subqueries,
-    and IN subqueries — so the read set is exhaustive over the SQL
-    subset, and table-based invalidation
-    (:meth:`repro.serving.plan_cache.PlanCache.invalidate_tables`, the
-    maintenance layer's freshness checks) never misses a dependency.
+    and IN subqueries — so each node's read set is exhaustive over the
+    SQL subset. Nodes without a tag query (literal output elements) have
+    no entry: they read nothing and can never go stale. The map is what
+    incremental maintenance
+    (:mod:`repro.maintenance.incremental`) intersects with a
+    :class:`~repro.maintenance.tracker.WriteTracker` version vector to
+    find exactly the schema nodes a write dirtied.
     """
     from repro.sql.analysis import referenced_tables
 
+    return {
+        node.id: tuple(sorted(referenced_tables(node.tag_query)))
+        for node in view.nodes(include_root=False)
+        if node.tag_query is not None
+    }
+
+
+def view_read_set(view: SchemaTreeQuery) -> tuple[str, ...]:
+    """The base tables a view's tag queries read, sorted and deduplicated.
+
+    The union of :func:`node_read_sets` over every query-bearing node,
+    so table-based invalidation
+    (:meth:`repro.serving.plan_cache.PlanCache.invalidate_tables`, the
+    maintenance layer's freshness checks) never misses a dependency.
+    """
     tables: set[str] = set()
-    for node in view.nodes(include_root=False):
-        if node.tag_query is not None:
-            tables.update(referenced_tables(node.tag_query))
+    for node_tables in node_read_sets(view).values():
+        tables.update(node_tables)
     return tuple(sorted(tables))
 
 

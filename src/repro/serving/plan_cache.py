@@ -50,6 +50,12 @@ class CompiledPlan:
     #: Drives table-based invalidation and the maintenance layer's
     #: result-freshness checks.
     tables: tuple[str, ...] = ()
+    #: Per-schema-node read sets: ``{node_id: (base tables its tag query
+    #: references)}`` (see :func:`repro.serving.fingerprint.node_read_sets`).
+    #: Their union equals ``tables``; incremental maintenance intersects
+    #: each entry with the tracker's dirty tables to re-execute only the
+    #: affected schema nodes.
+    node_read_sets: dict[int, tuple[str, ...]] = field(default_factory=dict)
 
 
 class PlanCache:

@@ -43,6 +43,12 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
 from repro.errors import ReproError
+from repro.maintenance.incremental import (
+    MAINTENANCE_MODES,
+    DeltaEvaluator,
+    DeltaUnsupported,
+    MaterializedState,
+)
 from repro.maintenance.policy import StalenessPolicy
 from repro.maintenance.result_cache import ResultCache
 from repro.maintenance.tracker import WriteTracker
@@ -57,6 +63,7 @@ from repro.schema_tree.evaluator import (
 from repro.schema_tree.model import SchemaTreeQuery
 from repro.serving.fingerprint import (
     fingerprint_catalog,
+    node_read_sets,
     plan_key,
     view_read_set,
 )
@@ -67,7 +74,10 @@ from repro.xmlcore.serializer import serialize
 from repro.xslt.model import Stylesheet
 
 #: RequestTrace.freshness values, in the order metrics report them.
-FRESHNESS_STATES = ("hit", "miss", "stale-recompute", "bypass")
+#: ``delta-recompute`` is a stale entry refreshed incrementally (dirty
+#: schema nodes only) instead of by a full plan re-run — see
+#: :mod:`repro.maintenance.incremental`.
+FRESHNESS_STATES = ("hit", "miss", "stale-recompute", "delta-recompute", "bypass")
 
 
 @dataclass
@@ -115,6 +125,10 @@ class RequestTrace:
     #: entry was stamped (0 on miss/bypass). On a ``hit`` this is the
     #: staleness actually served — bounded policies keep it <= max_lag.
     version_lag: int = 0
+    #: On a ``delta-recompute``: how many schema nodes the write set
+    #: dirtied (the re-executed frontier plus its subsumed descendants).
+    #: ``rows_fetched`` then counts only the rows the delta re-fetched.
+    dirty_nodes: int = 0
     plan_seconds: float = 0.0
     execute_seconds: float = 0.0
     serialize_seconds: float = 0.0
@@ -137,6 +151,7 @@ class RequestTrace:
             "cache_hit": self.cache_hit,
             "freshness": self.freshness,
             "version_lag": self.version_lag,
+            "dirty_nodes": self.dirty_nodes,
             "plan_key": self.plan_key[:16],
             "plan_seconds": round(self.plan_seconds, 6),
             "execute_seconds": round(self.execute_seconds, 6),
@@ -198,9 +213,15 @@ class ViewServer:
         tracker: Optional[WriteTracker] = None,
         staleness: "StalenessPolicy | str" = "strict",
         result_cache_capacity: int = 128,
+        maintenance: str = "full",
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if maintenance not in MAINTENANCE_MODES:
+            raise ReproError(
+                f"unknown maintenance mode {maintenance!r} "
+                f"(expected one of {', '.join(MAINTENANCE_MODES)})"
+            )
         self.catalog = catalog
         self.workers = workers
         self.keep_xml = keep_xml
@@ -229,6 +250,12 @@ class ViewServer:
         self.result_cache = (
             ResultCache(result_cache_capacity) if tracker is not None else None
         )
+        # How stale entries are recomputed: "full" re-runs the whole
+        # compiled plan, "delta" refreshes only the dirty schema nodes
+        # (repro.maintenance.incremental) and falls back to full when
+        # the splice declines. Only meaningful with a tracker.
+        self.maintenance = maintenance
+        self._delta_fallbacks = 0
         self._freshness_counts = {state: 0 for state in FRESHNESS_STATES}
         self._sync_lock = threading.Lock()
         # Clock at which the pool's data is known current. The pool
@@ -346,6 +373,7 @@ class ViewServer:
             compose_seconds=time.perf_counter() - started,
             pruned_columns=pruned_columns,
             tables=view_read_set(view),
+            node_read_sets=node_read_sets(view),
         )
 
     # -- freshness -----------------------------------------------------------
@@ -372,6 +400,99 @@ class ViewServer:
                 return
             self.pool.refresh()
             self._synced_clock = observed
+
+    def _record_delta_fallback(self) -> None:
+        """Count one delta attempt that fell back to full recomputation."""
+        with self._lock:
+            self._delta_fallbacks += 1
+
+    def _serve_delta(
+        self,
+        request: PublishRequest,
+        plan: CompiledPlan,
+        trace: RequestTrace,
+        result_key: str,
+        current_versions: dict[str, int],
+    ) -> Optional[str]:
+        """One incremental refresh attempt; ``None`` means fall back to full.
+
+        Snapshot discipline (the read-then-stamp race): dirty-node
+        selection, the delta queries, and the published version stamp
+        must all agree on one version vector. The vector is read before
+        syncing the pool (so the pool can only be *at or ahead of* it),
+        and re-read after the splice: if any tracked table advanced in
+        between, the pool snapshot may contain writes the dirty-node
+        selection never saw — the splice is discarded and the request
+        recomputes in full (which is point-consistent with the pool
+        snapshot regardless). On success the entry is stamped with
+        exactly the selection vector. The stale entry itself is never
+        mutated: the splice builds a new document sharing untouched
+        subtrees, so a failure mid-way leaves the cache untouched.
+        """
+        stale = self.result_cache.peek(result_key)
+        if stale is None or not isinstance(stale.state, MaterializedState):
+            self._record_delta_fallback()
+            return None
+        versions = dict(current_versions)
+        self._sync()
+        live = self.tracker.versions(plan.tables)
+        if live != versions:
+            # Writes landed since classification: adopt the newer vector
+            # as the selection snapshot and re-sync once.
+            versions = live
+            self._sync()
+        changed = [
+            t
+            for t in plan.tables
+            if versions.get(t, 0) > stale.versions.get(t, 0)
+        ]
+        if not changed:
+            self._record_delta_fallback()
+            return None
+        try:
+            with self.pool.session() as db:
+                before = db.stats.snapshot()
+                stats = MaterializeStats()
+                execute_started = time.perf_counter()
+                result = DeltaEvaluator(db, stats=stats).evaluate(
+                    plan.view, stale.state, plan.node_read_sets, changed
+                )
+                trace.execute_seconds = time.perf_counter() - execute_started
+                after = db.stats.snapshot()
+        except DeltaUnsupported:
+            self._record_delta_fallback()
+            return None
+        except Exception:
+            # A mid-splice failure of any kind must not surface as a
+            # request error: the old entry is untouched (the splice
+            # never mutates it), so falling back to a full recompute is
+            # always safe — and what the fault-injection tests assert.
+            self._record_delta_fallback()
+            return None
+        if self.tracker.versions(plan.tables) != versions:
+            # A write raced the splice; the pool may be ahead of the
+            # dirty-node selection. Discard the (possibly torn) result.
+            self._record_delta_fallback()
+            return None
+        trace.queries_executed = (
+            after["queries_executed"] - before["queries_executed"]
+        )
+        trace.rows_fetched = after["rows_fetched"] - before["rows_fetched"]
+        trace.elements_created = stats.elements_created
+        trace.attributes_created = stats.attributes_created
+        trace.dirty_nodes = len(result.dirty_nodes)
+        serialize_started = time.perf_counter()
+        xml = serialize(result.document)
+        trace.serialize_seconds = time.perf_counter() - serialize_started
+        self.result_cache.store(
+            result_key,
+            xml,
+            versions,
+            plan.tables,
+            strategy=request.strategy,
+            state=result.state,
+        )
+        return xml
 
     # -- execution -----------------------------------------------------------
 
@@ -417,47 +538,80 @@ class ViewServer:
                 if self.keep_xml:
                     trace.xml = cached.xml
             else:
-                if use_result_cache:
-                    # Recomputation must read data at least as fresh as
-                    # the version stamp it publishes.
-                    self._sync()
-                with self.pool.session() as db:
-                    before = db.stats.snapshot()
-                    stats = MaterializeStats()
-                    if request.strategy == "bulk":
-                        evaluator = BulkViewEvaluator(db, stats=stats)
-                    else:
-                        evaluator = ViewEvaluator(
-                            db,
-                            memoize=request.strategy == "memoized",
-                            stats=stats,
-                        )
-                    execute_started = time.perf_counter()
-                    document = evaluator.materialize(plan.view)
-                    trace.execute_seconds = time.perf_counter() - execute_started
-                    after = db.stats.snapshot()
-                trace.queries_executed = (
-                    after["queries_executed"] - before["queries_executed"]
-                )
-                trace.rows_fetched = after["rows_fetched"] - before["rows_fetched"]
-                trace.elements_created = stats.elements_created
-                trace.attributes_created = stats.attributes_created
-                trace.fallback_nodes = len(
-                    getattr(evaluator, "fallback_nodes", [])
-                )
-                serialize_started = time.perf_counter()
-                xml = serialize(document)
-                trace.serialize_seconds = time.perf_counter() - serialize_started
-                if self.keep_xml:
-                    trace.xml = xml
-                if use_result_cache:
-                    self.result_cache.store(
-                        result_key,
-                        xml,
-                        current_versions,
-                        plan.tables,
-                        strategy=request.strategy,
+                delta_xml = None
+                if (
+                    use_result_cache
+                    and self.maintenance == "delta"
+                    and trace.freshness == "stale-recompute"
+                ):
+                    delta_xml = self._serve_delta(
+                        request, plan, trace, result_key, current_versions
                     )
+                if delta_xml is not None:
+                    trace.freshness = "delta-recompute"
+                    if self.keep_xml:
+                        trace.xml = delta_xml
+                else:
+                    if use_result_cache:
+                        # Recomputation must read data at least as fresh
+                        # as the version stamp it publishes.
+                        self._sync()
+                    capture: Optional[dict] = (
+                        {}
+                        if use_result_cache and self.maintenance == "delta"
+                        else None
+                    )
+                    with self.pool.session() as db:
+                        before = db.stats.snapshot()
+                        stats = MaterializeStats()
+                        if request.strategy == "bulk":
+                            evaluator = BulkViewEvaluator(
+                                db, stats=stats, capture_instances=capture
+                            )
+                        else:
+                            evaluator = ViewEvaluator(
+                                db,
+                                memoize=request.strategy == "memoized",
+                                stats=stats,
+                                capture_instances=capture,
+                            )
+                        execute_started = time.perf_counter()
+                        document = evaluator.materialize(plan.view)
+                        trace.execute_seconds = (
+                            time.perf_counter() - execute_started
+                        )
+                        after = db.stats.snapshot()
+                    trace.queries_executed = (
+                        after["queries_executed"] - before["queries_executed"]
+                    )
+                    trace.rows_fetched = (
+                        after["rows_fetched"] - before["rows_fetched"]
+                    )
+                    trace.elements_created = stats.elements_created
+                    trace.attributes_created = stats.attributes_created
+                    trace.fallback_nodes = len(
+                        getattr(evaluator, "fallback_nodes", [])
+                    )
+                    serialize_started = time.perf_counter()
+                    xml = serialize(document)
+                    trace.serialize_seconds = (
+                        time.perf_counter() - serialize_started
+                    )
+                    if self.keep_xml:
+                        trace.xml = xml
+                    if use_result_cache:
+                        self.result_cache.store(
+                            result_key,
+                            xml,
+                            current_versions,
+                            plan.tables,
+                            strategy=request.strategy,
+                            state=(
+                                MaterializedState(document, capture)
+                                if capture is not None
+                                else None
+                            ),
+                        )
         except ReproError as exc:
             trace.error = str(exc)
             with self._lock:
@@ -493,8 +647,12 @@ class ViewServer:
             "rows_fetched": aggregate.rows_fetched,
         }
         if self.result_cache is not None:
+            with self._lock:
+                delta_fallbacks = self._delta_fallbacks
             metrics["result_cache"] = self.result_cache.stats()
             metrics["staleness_policy"] = self.staleness.describe()
+            metrics["maintenance"] = self.maintenance
+            metrics["delta_fallbacks"] = delta_fallbacks
             metrics["tracker"] = {
                 "total_writes": self.tracker.clock(),
                 "versions": self.tracker.snapshot(),

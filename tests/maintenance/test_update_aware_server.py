@@ -19,7 +19,7 @@ from repro.workloads.paper import figure1_view, figure4_stylesheet
 SPEC = HotelDataSpec(metros=2, hotels_per_metro=3)
 
 
-def make_env(staleness="strict", auto=False):
+def make_env(staleness="strict", auto=False, maintenance="full"):
     db = build_hotel_database(SPEC, cross_thread=True)
     tracker = WriteTracker()
     db.attach_tracker(tracker, auto=auto)
@@ -29,6 +29,7 @@ def make_env(staleness="strict", auto=False):
         workers=2,
         tracker=tracker,
         staleness=staleness,
+        maintenance=maintenance,
     )
     return db, tracker, server
 
@@ -186,6 +187,138 @@ def test_invalidate_tables_is_scoped_to_the_read_set(strict_env):
 
 
 # ---------------------------------------------------------------------------
+# The read-then-stamp race: version stamps come from the selection snapshot
+# ---------------------------------------------------------------------------
+
+
+class RacyServer(ViewServer):
+    """A server whose next ``_sync`` lands one extra tracked write first.
+
+    Deterministically reproduces the read-then-stamp race: a write
+    arriving between freshness classification (which read the version
+    vector) and the pool refresh that recomputation reads from. Arm it
+    with :meth:`arm_race`; the write fires exactly once.
+    """
+
+    def arm_race(self, db, tracker, step):
+        self._race = (db, tracker, step)
+
+    def _sync(self):
+        race, self._race = getattr(self, "_race", None), None
+        if race is not None:
+            db, tracker, step = race
+            hotel_write(db, step, tracker)
+        super()._sync()
+
+
+def racy_env(maintenance):
+    db = build_hotel_database(SPEC, cross_thread=True)
+    tracker = WriteTracker()
+    db.attach_tracker(tracker)
+    server = RacyServer(
+        db.catalog,
+        source=db,
+        workers=2,
+        tracker=tracker,
+        staleness="strict",
+        maintenance=maintenance,
+    )
+    return db, tracker, server
+
+
+def test_racing_write_during_full_recompute_understates_freshness():
+    """The full path stamps the entry with the vector read at
+    classification, not one read after the sync - so a write racing the
+    recompute shows up as staleness on the next request (an extra
+    recompute) rather than ever being masked by a too-new stamp."""
+    db, tracker, server = racy_env("full")
+    try:
+        server.arm_race(db, tracker, 0)
+        first = serve(server, db)  # the racing write lands mid-request
+        assert first.freshness == "miss"
+        second = serve(server, db)
+        assert second.freshness == "stale-recompute"
+        assert second.version_lag == 1
+        # The recompute that raced the write already read post-write
+        # data (sync happened after the write): bytes are identical.
+        assert second.xml == first.xml
+        assert serve(server, db).freshness == "hit"
+    finally:
+        server.close()
+        db.close()
+
+
+def test_delta_adopts_a_racing_write_into_its_selection_snapshot():
+    """The delta path re-reads the vector after syncing; a racing write
+    is adopted into dirty-node selection (one retry), so the stamp,
+    the selection, and the data all agree - the next request is a
+    clean hit on live bytes."""
+    db, tracker, server = racy_env("delta")
+    try:
+        serve(server, db)
+        hotel_write(db, 0, tracker)  # entry is now stale
+        server.arm_race(db, tracker, 1)  # second write lands inside sync
+        trace = serve(server, db)
+        assert trace.freshness == "delta-recompute"
+        assert server.metrics()["delta_fallbacks"] == 0
+        assert serve(server, db).freshness == "hit"
+    finally:
+        server.close()
+        db.close()
+
+
+def test_write_racing_the_splice_discards_the_delta(monkeypatch):
+    """A write landing *during* the splice fails the post-splice vector
+    check: the (possibly torn) delta is discarded and the request falls
+    back to a full recompute whose answer reflects the racing write."""
+    from repro.maintenance import DeltaEvaluator
+
+    db, tracker, server = make_env(maintenance="delta")
+    try:
+        serve(server, db)
+        hotel_write(db, 0, tracker)
+        original = DeltaEvaluator.evaluate
+
+        def racing_evaluate(self, *args, **kwargs):
+            hotel_write(db, 1, tracker)  # sneaks in mid-evaluation
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(DeltaEvaluator, "evaluate", racing_evaluate)
+        trace = serve(server, db)
+        assert trace.freshness == "stale-recompute"  # fell back
+        assert server.metrics()["delta_fallbacks"] == 1
+        monkeypatch.undo()
+        # The fallback stamped the pre-race vector (conservative), so
+        # the racing write surfaces as one more recompute, then a hit.
+        assert serve(server, db).freshness == "delta-recompute"
+        assert serve(server, db).freshness == "hit"
+    finally:
+        server.close()
+        db.close()
+
+
+def test_delta_recompute_state_machine():
+    """Delta mode's happy path through the freshness states: miss primes
+    captured state, a write makes it stale, the recompute is a delta,
+    and the spliced entry is a fresh hit afterwards."""
+    db, tracker, server = make_env(maintenance="delta")
+    try:
+        assert serve(server, db).freshness == "miss"
+        hotel_write(db, 0, tracker)
+        trace = serve(server, db)
+        assert trace.freshness == "delta-recompute"
+        assert trace.dirty_nodes > 0
+        assert serve(server, db).freshness == "hit"
+        metrics = server.metrics()
+        assert metrics["maintenance"] == "delta"
+        assert metrics["freshness"]["delta-recompute"] == 1
+        assert metrics["delta_fallbacks"] == 0
+    finally:
+        server.close()
+        db.close()
+
+
+# ---------------------------------------------------------------------------
 # Auto-captured writes reach the server with no cooperation
 # ---------------------------------------------------------------------------
 
@@ -217,9 +350,12 @@ def test_metrics_report_freshness_and_maintenance_state(strict_env):
 
     metrics = server.metrics()
     assert metrics["freshness"] == {
-        "miss": 1, "hit": 1, "stale-recompute": 1, "bypass": 1,
+        "miss": 1, "hit": 1, "stale-recompute": 1, "delta-recompute": 0,
+        "bypass": 1,
     }
     assert set(metrics["freshness"]) == set(FRESHNESS_STATES)
+    assert metrics["maintenance"] == "full"
+    assert metrics["delta_fallbacks"] == 0
     assert metrics["result_cache"]["size"] == 1
     assert metrics["staleness_policy"] == "strict"
     assert metrics["tracker"]["total_writes"] == 1

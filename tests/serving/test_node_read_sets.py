@@ -1,0 +1,111 @@
+"""Per-node read sets: the dirty-selection input of delta maintenance.
+
+:func:`repro.serving.fingerprint.node_read_sets` is what incremental
+maintenance intersects with the write tracker's version vector to decide
+which schema nodes a write dirtied. A table missing from a node's entry
+is a subtree that silently never refreshes — so these tests pin the map
+against :func:`repro.sql.analysis.referenced_tables` node by node,
+exercise the subquery hiding places (derived tables, EXISTS) through a
+hand-built view, and tie the per-node map back to the whole-view union
+(:func:`~repro.serving.fingerprint.view_read_set`) that coarse
+invalidation uses.
+"""
+
+from __future__ import annotations
+
+from repro.core.compose import compose
+from repro.core.optimize import prune_stylesheet_view
+from repro.schema_tree.builder import ViewBuilder
+from repro.serving.fingerprint import node_read_sets, view_read_set
+from repro.serving.plan_cache import CompiledPlan
+from repro.sql.analysis import referenced_tables
+from repro.workloads.hotel import hotel_catalog
+from repro.workloads.paper import figure1_view, figure4_stylesheet
+
+
+def paper_targets():
+    """The raw Figure 1 view and its Figure 4 composition."""
+    catalog = hotel_catalog()
+    raw = figure1_view(catalog)
+    composed = compose(raw, figure4_stylesheet(), catalog)
+    prune_stylesheet_view(composed, catalog)
+    return raw, composed
+
+
+# ---------------------------------------------------------------------------
+# The map matches the extractor, node by node
+# ---------------------------------------------------------------------------
+
+
+def test_every_query_bearing_node_has_its_exact_read_set():
+    for target in paper_targets():
+        reads = node_read_sets(target)
+        for node in target.nodes(include_root=False):
+            if node.tag_query is None:
+                assert node.id not in reads
+            else:
+                assert reads[node.id] == tuple(
+                    sorted(referenced_tables(node.tag_query))
+                )
+
+
+def test_figure1_leaf_reads_are_narrower_than_the_view():
+    """The premise of delta maintenance: the availability-reading leaves
+    are a strict subset of the schema tree, so an availability write
+    dirties some nodes but not all."""
+    raw, _composed = paper_targets()
+    reads = node_read_sets(raw)
+    touching = [i for i, t in reads.items() if "availability" in t]
+    assert touching  # some node reads it ...
+    assert len(touching) < len(reads)  # ... but not every node
+
+
+# ---------------------------------------------------------------------------
+# Subquery hiding places, through a hand-built view
+# ---------------------------------------------------------------------------
+
+
+def test_derived_table_and_exists_subqueries_reach_the_node_entry():
+    builder = ViewBuilder(hotel_catalog())
+    metro = builder.node(
+        "metro",
+        "SELECT T.mid AS mid FROM (SELECT areaid AS mid FROM metroarea) AS T",
+        bv="m",
+    )
+    metro.child(
+        "busy",
+        "SELECT hotelid FROM hotel WHERE EXISTS "
+        "(SELECT * FROM availability WHERE status = 'open')",
+        bv="h",
+    )
+    metro.child("label")  # literal: no query, no entry
+    view = builder.build(validate=False)
+    reads = node_read_sets(view)
+
+    by_tag = {n.tag: n for n in view.nodes(include_root=False)}
+    assert reads[by_tag["metro"].id] == ("metroarea",)
+    assert reads[by_tag["busy"].id] == ("availability", "hotel")
+    assert by_tag["label"].id not in reads
+    assert view_read_set(view) == ("availability", "hotel", "metroarea")
+
+
+# ---------------------------------------------------------------------------
+# Union and plumbing
+# ---------------------------------------------------------------------------
+
+
+def test_union_of_node_entries_is_the_view_read_set():
+    for target in paper_targets():
+        reads = node_read_sets(target)
+        union = set()
+        for tables in reads.values():
+            union.update(tables)
+        assert tuple(sorted(union)) == view_read_set(target)
+
+
+def test_compiled_plan_defaults_to_an_empty_map():
+    """CompiledPlan's field default keeps old call sites valid; the
+    server always fills it (an empty map would just mean "nothing ever
+    dirty", i.e. permanent full fallback - safe, never wrong)."""
+    plan = CompiledPlan(key="k", view=None, tables=("hotel",))
+    assert plan.node_read_sets == {}

@@ -98,6 +98,132 @@ def test_evaluation_with_wrong_binding_env(hotel_db):
     assert "$ghost" in str(exc.value)
 
 
+# ---------------------------------------------------------------------------
+# Incremental maintenance: a failing delta must degrade, never corrupt
+# ---------------------------------------------------------------------------
+
+
+def _delta_server():
+    """A strict delta-maintenance server over a tracked hotel database."""
+    from repro.maintenance import WriteTracker
+    from repro.serving import ViewServer
+    from repro.workloads.hotel import HotelDataSpec, build_hotel_database
+
+    db = build_hotel_database(
+        HotelDataSpec(metros=1, hotels_per_metro=3), cross_thread=True
+    )
+    tracker = WriteTracker()
+    db.attach_tracker(tracker)
+    server = ViewServer(
+        db.catalog,
+        source=db,
+        workers=2,
+        tracker=tracker,
+        staleness="strict",
+        maintenance="delta",
+    )
+    return db, tracker, server
+
+
+def _live_bytes(db):
+    """Serial uncached reference for the Figure 1 + Figure 4 request."""
+    from repro.core.optimize import prune_stylesheet_view
+    from repro.xmlcore.serializer import serialize
+
+    target = compose(
+        figure1_view(db.catalog), figure4_stylesheet(), db.catalog
+    )
+    prune_stylesheet_view(target, db.catalog)
+    return serialize(materialize(target, db))
+
+
+@pytest.mark.parametrize(
+    "method,error",
+    [
+        ("_evaluate_subtree", RuntimeError),      # mid re-evaluation
+        ("_rebuild_children", RuntimeError),      # mid splice
+        ("_check_spliceable", None),              # a clean decline
+    ],
+)
+def test_mid_splice_failure_falls_back_to_full(monkeypatch, method, error):
+    """An exception anywhere inside the delta path (re-evaluation, the
+    splice itself, or a DeltaUnsupported decline) must surface as a
+    successful full 'stale-recompute' with correct bytes - and the stale
+    cached entry's captured document must be left untouched, because the
+    splice never mutates it."""
+    from repro.maintenance import DeltaEvaluator, DeltaUnsupported, hotel_write
+    from repro.xmlcore.serializer import serialize
+
+    db, tracker, server = _delta_server()
+    try:
+        first = server.render(
+            figure1_view(db.catalog), figure4_stylesheet()
+        )
+        assert first.freshness == "miss"
+        [key] = server.result_cache.keys()
+        stale_entry = server.result_cache.peek(key)
+        assert stale_entry.state is not None
+        stale_doc_bytes = serialize(stale_entry.state.document)
+
+        hotel_write(db, 0, tracker)
+
+        def boom(self, *args, **kwargs):
+            raise (error or DeltaUnsupported)("injected")
+
+        monkeypatch.setattr(DeltaEvaluator, method, boom)
+        trace = server.render(figure1_view(db.catalog), figure4_stylesheet())
+        assert trace.error is None
+        assert trace.freshness == "stale-recompute"  # full fallback, not delta
+        assert trace.xml == _live_bytes(db)
+        assert server.metrics()["delta_fallbacks"] == 1
+        # The entry the failed delta read from was never touched.
+        assert serialize(stale_entry.state.document) == stale_doc_bytes
+        assert stale_entry.xml == first.xml
+
+        # The fallback re-primed the cache with fresh captured state:
+        # once the fault is removed, the delta path works again.
+        monkeypatch.undo()
+        hotel_write(db, 1, tracker)
+        healed = server.render(figure1_view(db.catalog), figure4_stylesheet())
+        assert healed.error is None
+        assert healed.freshness == "delta-recompute"
+        assert healed.xml == _live_bytes(db)
+        assert server.metrics()["delta_fallbacks"] == 1  # no new fallback
+    finally:
+        server.close()
+        db.close()
+
+
+def test_delta_failure_after_store_does_not_lose_writes(monkeypatch):
+    """Failing deltas never skip sync: the fallback recompute sees the
+    write that triggered staleness (pool refresh happens before the
+    delta attempt gives up)."""
+    from repro.maintenance import DeltaEvaluator, hotel_write
+
+    db, tracker, server = _delta_server()
+    try:
+        server.render(figure1_view(db.catalog), figure4_stylesheet())
+        before = _live_bytes(db)
+        db.run_sql(
+            "UPDATE hotel SET starrating = CASE WHEN starrating > 4 "
+            "THEN 3 ELSE 5 END WHERE hotelid = 1"
+        )
+        tracker.record_write("hotel")
+        monkeypatch.setattr(
+            DeltaEvaluator,
+            "evaluate",
+            lambda self, *a, **k: (_ for _ in ()).throw(RuntimeError("boom")),
+        )
+        trace = server.render(figure1_view(db.catalog), figure4_stylesheet())
+        assert trace.error is None
+        assert trace.freshness == "stale-recompute"
+        assert trace.xml == _live_bytes(db)
+        assert trace.xml != before
+    finally:
+        server.close()
+        db.close()
+
+
 def test_composed_view_runs_after_data_mutation(hotel_db):
     """Composed views are instance-independent: reuse across updates."""
     view = figure1_view(hotel_db.catalog)
