@@ -1,0 +1,116 @@
+"""E16: resilient serving under deterministic fault injection.
+
+Measures what the resilience stack costs and what it buys on the
+shared scale-8 hotel database. A seeded
+:class:`~repro.resilience.FaultPlan` injects transient sqlite errors
+into pooled queries while writes force recomputation past the
+staleness bound; the policy run (retries + breaker + degraded-stale
+fallback) is benchmarked against a no-policy run on the same fault
+schedule, plus two primitives: the per-query tax of a *disarmed* fault
+wrapper, and one breaker allow/record cycle. The fault-rate x policy
+availability sweep lives in ``python -m repro.harness --e16-json``.
+"""
+
+import pytest
+
+from repro.maintenance import WriteTracker, hotel_write
+from repro.resilience import CircuitBreaker, FaultPlan, FaultSpec, ResiliencePolicy
+from repro.serving import PublishRequest, ViewServer
+from repro.workloads.paper import figure1_view, figure4_stylesheet
+
+REQUESTS = 10
+FAULT_SEED = 7
+POLICY = ResiliencePolicy(
+    deadline_ms=5000.0,
+    retries=3,
+    backoff_base_ms=1.0,
+    backoff_max_ms=10.0,
+    breaker_threshold=8,
+    breaker_cooldown_ms=100.0,
+)
+
+
+def _batch(db, strategy="nested-loop"):
+    view = figure1_view(db.catalog)
+    stylesheet = figure4_stylesheet()
+    return [
+        PublishRequest(view, stylesheet, strategy=strategy)
+        for _ in range(REQUESTS)
+    ]
+
+
+@pytest.mark.parametrize(
+    "config", ["baseline", "resilient"], ids=["no-policy", "policy"]
+)
+def test_e16_faulty_stale_batch_by_policy(benchmark, serving_db, config):
+    """One write lands before every batch, forcing recomputation through
+    a 10% transient-error fault plan; the policy run retries/degrades
+    where the baseline errors."""
+    benchmark.group = "E16 resilience (10-request faulty batch)"
+    tracker = WriteTracker()
+    serving_db.attach_tracker(tracker)
+    batch = _batch(serving_db)
+    faults = FaultPlan(
+        FaultSpec(error_rate=0.1), seed=FAULT_SEED, enabled=False
+    )
+    step = [0]
+    with ViewServer(
+        serving_db.catalog,
+        source=serving_db,
+        workers=4,
+        keep_xml=False,
+        tracker=tracker,
+        staleness="bounded:2",
+        resilience=POLICY if config == "resilient" else None,
+        faults=faults,
+    ) as server:
+        server.render_many(batch)  # warm: compile + last-known-good entry
+        faults.arm()
+
+        def round_with_write():
+            for _ in range(3):  # outrun the bounded:2 staleness window
+                hotel_write(
+                    serving_db, step[0], tracker, mix=("availability",)
+                )
+                step[0] += 1
+            server.render_many(batch)
+
+        benchmark(round_with_write)
+        assert server.pool.outstanding() == 0
+
+
+def test_e16_disarmed_fault_wrapper_tax(benchmark, serving_db):
+    """The steady-state cost of carrying the fault layer: a fully warm
+    cached batch served through FaultyEngine-wrapped sessions with the
+    plan disarmed (every check runs, nothing injects)."""
+    benchmark.group = "E16 primitives"
+    tracker = WriteTracker()
+    serving_db.attach_tracker(tracker)
+    batch = _batch(serving_db)
+    faults = FaultPlan(FaultSpec(error_rate=0.5), seed=FAULT_SEED)
+    faults.disarm()
+    with ViewServer(
+        serving_db.catalog,
+        source=serving_db,
+        workers=4,
+        keep_xml=False,
+        tracker=tracker,
+        staleness="bounded:1000000",
+        resilience=POLICY,
+        faults=faults,
+    ) as server:
+        server.render_many(batch)
+        benchmark(server.render_many, batch)
+
+
+def test_e16_breaker_allow_record_cycle(benchmark):
+    """One closed-circuit gate + success record, the per-request tax
+    every breaker-guarded computation pays."""
+    benchmark.group = "E16 primitives"
+    breaker = CircuitBreaker(threshold=5, cooldown_ms=100.0)
+
+    def cycle():
+        assert breaker.allow("plan-key")
+        breaker.record_success("plan-key")
+
+    benchmark(cycle)

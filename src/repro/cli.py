@@ -211,12 +211,27 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     lag actually served. ``--maintenance delta`` recomputes stale
     entries incrementally (dirty schema nodes only, spliced into the
     cached document) instead of re-running the full plan.
+
+    Chaos mode: ``--faults`` (and friends) build a seeded
+    :class:`~repro.resilience.faults.FaultPlan` injecting transient
+    errors / latency / wrong-shape results into every pooled session;
+    ``--deadline-ms`` / ``--retries`` / ``--breaker-threshold`` /
+    ``--queue-limit`` assemble a
+    :class:`~repro.resilience.policy.ResiliencePolicy`. ``--warmup``
+    serves that many requests with faults disarmed first (caches
+    populated, last-known-good entries in place). The report gains the
+    outcome histogram, **availability** (success + degraded fraction),
+    resilience counters, and two shutdown leak checks: pooled
+    connections still borrowed after all futures resolved, and
+    ``viewserver`` worker threads still alive after close. With a fault
+    plan active the exit code reflects the run completing, not the
+    (expected) injected errors.
     """
     import json
     import threading as _threading
     import time as _time
 
-    from repro.serving import PublishRequest, ViewServer, percentile
+    from repro.serving import OUTCOMES, PublishRequest, ViewServer, percentile
     from repro.workloads.hotel import HotelDataSpec, build_hotel_database
     from repro.workloads.paper import (
         figure1_view,
@@ -225,6 +240,43 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     )
 
     update_aware = args.staleness is not None or args.writes_per_sec > 0
+    faults = None
+    if (
+        args.faults > 0
+        or args.fault_latency_rate > 0
+        or args.fault_wrong_rate > 0
+        or args.fault_compile_rate > 0
+    ):
+        from repro.resilience import FaultPlan, FaultSpec
+
+        faults = FaultPlan(
+            FaultSpec(
+                error_rate=args.faults,
+                latency_rate=args.fault_latency_rate,
+                latency_ms=args.fault_latency_ms,
+                wrong_shape_rate=args.fault_wrong_rate,
+                compile_error_rate=args.fault_compile_rate,
+            ),
+            seed=args.fault_seed,
+        )
+    resilience = None
+    if (
+        args.deadline_ms is not None
+        or args.retries > 0
+        or args.breaker_threshold > 0
+        or args.queue_limit is not None
+        or args.no_degraded
+    ):
+        from repro.resilience import ResiliencePolicy
+
+        resilience = ResiliencePolicy(
+            deadline_ms=args.deadline_ms,
+            retries=args.retries,
+            breaker_threshold=args.breaker_threshold,
+            breaker_cooldown_ms=args.breaker_cooldown_ms,
+            queue_limit=args.queue_limit,
+            degraded=not args.no_degraded,
+        )
     strategies = list(STRATEGIES) if args.strategy == "all" else [args.strategy]
     db = build_hotel_database(
         HotelDataSpec().scaled(args.scale), cross_thread=update_aware
@@ -257,6 +309,8 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         tracker=tracker,
         staleness=args.staleness or "strict",
         maintenance=args.maintenance,
+        resilience=resilience,
+        faults=faults,
     )
     stop_writer = _threading.Event()
     writes_issued = [0]
@@ -273,7 +327,24 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     if args.writes_per_sec > 0:
         writer = _threading.Thread(target=write_loop, daemon=True)
         writer.start()
+    leaked_connections = 0
     try:
+        if args.warmup > 0:
+            # Populate plan + result caches fault-free so degraded-stale
+            # has a last-known-good entry to fall back to.
+            if faults is not None:
+                faults.disarm()
+            server.render_many(
+                PublishRequest(
+                    view,
+                    stylesheets[index % len(stylesheets)][1],
+                    strategy=strategies[index % len(strategies)],
+                    label="warmup",
+                )
+                for index in range(args.warmup)
+            )
+            if faults is not None:
+                faults.arm()
         started = _time.perf_counter()
         traces = server.render_many(requests)
         wall_seconds = _time.perf_counter() - started
@@ -282,6 +353,8 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         stop_writer.set()
         if writer is not None:
             writer.join()
+        # Every future has resolved: any borrowed session now is a leak.
+        leaked_connections = server.pool.outstanding()
         metrics = server.metrics()
     finally:
         stop_writer.set()
@@ -289,14 +362,30 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
             writer.join()
         server.close()
         db.close()
+    leaked_threads = sum(
+        1
+        for thread in _threading.enumerate()
+        if thread.name.startswith("viewserver")
+    )
     latencies_ms = [trace.total_seconds * 1000 for trace in traces]
     errors = [trace for trace in traces if trace.error is not None]
+    # Outcomes/availability come from the measured traces (warmup
+    # requests are deliberately excluded; server.metrics() counts them).
+    outcome_counts = {outcome: 0 for outcome in OUTCOMES}
+    for trace in traces:
+        outcome_counts[trace.outcome] += 1
+    availability = (
+        (outcome_counts["success"] + outcome_counts["degraded"]) / len(traces)
+        if traces
+        else 0.0
+    )
     cache = metrics["cache"]
     lookups = cache["hits"] + cache["misses"]
     hit_rate = cache["hits"] / lookups if lookups else 0.0
     throughput = len(traces) / wall_seconds if wall_seconds else 0.0
     p50 = percentile(latencies_ms, 50)
     p95 = percentile(latencies_ms, 95)
+    p99 = percentile(latencies_ms, 99)
     print(
         f"serve-bench: scale={args.scale} workers={args.workers} "
         f"requests={len(traces)} strategy={args.strategy}"
@@ -305,7 +394,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         f"throughput_rps={throughput:.1f} wall_seconds={wall_seconds:.4f} "
         f"errors={len(errors)}"
     )
-    print(f"latency_ms p50={p50:.3f} p95={p95:.3f}")
+    print(f"latency_ms p50={p50:.3f} p95={p95:.3f} p99={p99:.3f}")
     print(
         f"cache hits={cache['hits']} misses={cache['misses']} "
         f"evictions={cache['evictions']} hit_rate={hit_rate:.3f}"
@@ -340,6 +429,33 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
             f"writes issued={writes_issued[0]} "
             f"tracked={metrics['tracker']['total_writes']}"
         )
+    if resilience is not None or faults is not None:
+        print(
+            "outcomes "
+            + " ".join(f"{o}={outcome_counts[o]}" for o in OUTCOMES)
+            + f" availability={availability:.4f}"
+        )
+        if resilience is not None:
+            res = metrics["resilience"]
+            breaker = res["breaker"] or {}
+            print(
+                f"resilience policy=[{res['policy']}] "
+                f"retries={res['retries']} "
+                f"deadline_hits={res['deadline_hits']} "
+                f"shed={res['shed_requests']} "
+                f"degraded={res['degraded_serves']} "
+                f"breaker_opened={breaker.get('opened', 0)}"
+            )
+        if faults is not None:
+            injected = metrics["faults"]["injected"]
+            print(
+                f"faults seed={args.fault_seed} "
+                + " ".join(f"{k}={v}" for k, v in sorted(injected.items()))
+            )
+        print(
+            f"shutdown leaked_connections={leaked_connections} "
+            f"leaked_threads={leaked_threads}"
+        )
     for trace in errors:
         print(f"error: request {trace.request_id}: {trace.error}",
               file=sys.stderr)
@@ -353,18 +469,30 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
                 "writes_per_sec": args.writes_per_sec,
                 "staleness": args.staleness,
                 "maintenance": args.maintenance,
+                "warmup": args.warmup,
+                "fault_seed": args.fault_seed if faults is not None else None,
+                "resilience": (
+                    resilience.describe() if resilience is not None else None
+                ),
             },
             "wall_seconds": round(wall_seconds, 6),
             "throughput_rps": round(throughput, 3),
             "latency_ms": {
                 "p50": round(p50, 3),
                 "p95": round(p95, 3),
+                "p99": round(p99, 3),
                 "max": round(max(latencies_ms), 3) if latencies_ms else 0.0,
             },
             "cache": dict(cache, hit_rate=round(hit_rate, 4)),
             "queries_executed": metrics["queries_executed"],
             "rows_fetched": metrics["rows_fetched"],
             "errors": len(errors),
+            "outcomes": outcome_counts,
+            "availability": round(availability, 6),
+            "shutdown": {
+                "leaked_connections": leaked_connections,
+                "leaked_threads": leaked_threads,
+            },
             "traces": [trace.to_dict() for trace in traces],
         }
         if update_aware:
@@ -373,13 +501,24 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
             report["staleness_policy"] = metrics["staleness_policy"]
             report["maintenance"] = metrics["maintenance"]
             report["delta_fallbacks"] = metrics["delta_fallbacks"]
+            report["delta_fallbacks_by_reason"] = metrics[
+                "delta_fallbacks_by_reason"
+            ]
             report["writes_issued"] = writes_issued[0]
             report["writes_tracked"] = metrics["tracker"]["total_writes"]
             report["max_hit_lag"] = max_hit_lag
+        if resilience is not None:
+            report["resilience"] = metrics["resilience"]
+        if faults is not None:
+            report["faults"] = metrics["faults"]
         with open(args.json, "w") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote {args.json}")
+    if faults is not None:
+        # Chaos runs *expect* injected failures; CI gates on the JSON
+        # availability/leak fields instead of the exit code.
+        return 0
     return 1 if errors else 0
 
 
@@ -497,6 +636,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="how stale results are recomputed: re-run the full plan, or "
         "delta (re-execute only dirty schema nodes and splice; falls "
         "back to full when unsafe)",
+    )
+    serve_parser.add_argument(
+        "--faults", type=float, default=0.0, metavar="RATE",
+        help="inject transient sqlite errors into RATE of pooled queries "
+        "(deterministic given --fault-seed)",
+    )
+    serve_parser.add_argument(
+        "--fault-latency-rate", type=float, default=0.0, metavar="RATE",
+        help="inject --fault-latency-ms of delay into RATE of queries",
+    )
+    serve_parser.add_argument(
+        "--fault-latency-ms", type=float, default=20.0, metavar="MS",
+        help="injected latency per latency fault (default: 20)",
+    )
+    serve_parser.add_argument(
+        "--fault-wrong-rate", type=float, default=0.0, metavar="RATE",
+        help="drop a result column from RATE of queries (wrong-shape)",
+    )
+    serve_parser.add_argument(
+        "--fault-compile-rate", type=float, default=0.0, metavar="RATE",
+        help="fail RATE of plan compilations",
+    )
+    serve_parser.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed for the deterministic fault schedule (default: 0)",
+    )
+    serve_parser.add_argument(
+        "--warmup", type=int, default=0, metavar="N",
+        help="serve N requests with faults disarmed before measuring "
+        "(populates plan/result caches)",
+    )
+    serve_parser.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="per-request deadline (cooperative cancel + hard interrupt)",
+    )
+    serve_parser.add_argument(
+        "--retries", type=int, default=0,
+        help="retry budget for transient failures (exponential backoff)",
+    )
+    serve_parser.add_argument(
+        "--breaker-threshold", type=int, default=0, metavar="N",
+        help="consecutive failures that open a plan's circuit breaker "
+        "(0 disables)",
+    )
+    serve_parser.add_argument(
+        "--breaker-cooldown-ms", type=float, default=1000.0, metavar="MS",
+        help="open-breaker cooldown before a half-open trial "
+        "(default: 1000)",
+    )
+    serve_parser.add_argument(
+        "--queue-limit", type=int, default=None, metavar="N",
+        help="shed requests beyond workers+N in flight (default: unbounded)",
+    )
+    serve_parser.add_argument(
+        "--no-degraded", action="store_true",
+        help="disable the degraded-stale fallback (failures error instead)",
     )
     serve_parser.add_argument("--json", metavar="PATH",
                               help="write full metrics as JSON")

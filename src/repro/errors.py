@@ -129,3 +129,106 @@ class UnsupportedFeatureError(CompositionError):
 
 class UnificationError(CompositionError):
     """Raised when COMBINE cannot unify select and match tree patterns."""
+
+
+class ServingError(ReproError):
+    """Base class for serving-path failures (:mod:`repro.serving`).
+
+    These are *operational* errors — the request was well-formed but the
+    server could not (or chose not to) complete it. The resilience layer
+    (:mod:`repro.resilience`) raises and classifies them; a
+    :class:`~repro.serving.server.RequestTrace` records the outcome
+    instead of letting them propagate out of a worker.
+    """
+
+
+class DeadlineExceeded(ServingError):
+    """Raised when a request's deadline expires during evaluation.
+
+    Raised cooperatively at query boundaries (the engine's
+    ``cancel_check`` hook) or after a hard
+    ``sqlite3.Connection.interrupt`` cut a long-running statement short.
+    """
+
+    def __init__(self, deadline_ms: float, elapsed_ms: float):
+        self.deadline_ms = deadline_ms
+        self.elapsed_ms = elapsed_ms
+        super().__init__(
+            f"deadline of {deadline_ms:.0f}ms exceeded "
+            f"after {elapsed_ms:.0f}ms"
+        )
+
+
+class RequestRejected(ServingError):
+    """Raised (or recorded) when admission control sheds a request.
+
+    The serving-layer analogue of HTTP 503: the bounded queue is full,
+    so the request is refused immediately instead of piling onto a
+    saturated server. Never retried internally — backpressure is the
+    caller's signal.
+    """
+
+
+class CircuitOpen(ServingError):
+    """Raised when a plan's circuit breaker refuses evaluation.
+
+    After ``threshold`` consecutive compile/eval failures the breaker
+    *opens* and requests for that plan fingerprint short-circuit here
+    (typically into the degraded-stale fallback) until the cooldown
+    elapses and a half-open trial is allowed.
+    """
+
+    def __init__(self, key: str, retry_after_ms: float = 0.0):
+        self.key = key
+        self.retry_after_ms = retry_after_ms
+        super().__init__(
+            f"circuit breaker open for plan {key[:16]} "
+            f"(retry after {retry_after_ms:.0f}ms)"
+        )
+
+
+#: Substrings of ``sqlite3.OperationalError`` messages that mark a
+#: failure as transient: the statement may well succeed on retry once
+#: the lock holder finishes or the I/O hiccup passes.
+TRANSIENT_SQLITE_MARKERS = (
+    "database is locked",
+    "database table is locked",
+    "database is busy",
+    "disk i/o error",
+    "locking protocol",
+    "interrupted",
+)
+
+
+def classify_error(exc: BaseException) -> str:
+    """Classify an exception for the retry policy.
+
+    Returns one of:
+
+    * ``"deadline"`` — a :class:`DeadlineExceeded`; never retried (the
+      time budget is gone by definition).
+    * ``"rejected"`` — a :class:`RequestRejected` or
+      :class:`CircuitOpen`; never retried (backpressure signals).
+    * ``"transient"`` — a busy/locked/disk-I/O style
+      ``sqlite3.OperationalError`` (possibly wrapped in a
+      :class:`ViewEvaluationError` — the cause chain is walked), worth
+      a retry with backoff.
+    * ``"permanent"`` — everything else (syntax errors, missing tables,
+      wrong-shape results, logic bugs); retrying cannot help.
+    """
+    import sqlite3
+
+    seen = set()
+    current: BaseException | None = exc
+    while current is not None and id(current) not in seen:
+        seen.add(id(current))
+        if isinstance(current, DeadlineExceeded):
+            return "deadline"
+        if isinstance(current, (RequestRejected, CircuitOpen)):
+            return "rejected"
+        if isinstance(current, sqlite3.OperationalError):
+            message = str(current).lower()
+            if any(marker in message for marker in TRANSIENT_SQLITE_MARKERS):
+                return "transient"
+        current = current.__cause__ or current.__context__
+    return "permanent"

@@ -37,7 +37,26 @@ def main() -> None:
         help="run only E15 (incremental maintenance) and record its raw "
         "numbers as JSON (runs + delta/full throughput ratio)",
     )
+    parser.add_argument(
+        "--e16-json", metavar="PATH",
+        help="run only E16 (resilient serving under fault injection) and "
+        "record its raw numbers as JSON (runs + availability at the "
+        "highest fault rate)",
+    )
     args = parser.parse_args()
+    if args.e16_json:
+        from repro.harness.experiments import e16_resilience
+
+        if args.quick:
+            result = e16_resilience(
+                scale=1, rounds=3, repeats=1, fault_rates=[0.0, 0.3],
+                json_path=args.e16_json,
+            )
+        else:
+            result = e16_resilience(json_path=args.e16_json)
+        print(result.to_console())
+        print(f"wrote {args.e16_json}")
+        return
     if args.e15_json:
         from repro.harness.experiments import e15_incremental
 

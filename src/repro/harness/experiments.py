@@ -1131,6 +1131,240 @@ def e15_incremental(
     return result
 
 
+def e16_resilience(
+    scale: int = 2,
+    rounds: int = 6,
+    repeats: int = 2,
+    fault_rates: list[float] | None = None,
+    seed: int = 7,
+    json_path: str | None = None,
+) -> ExperimentResult:
+    """E16: resilient serving under deterministic fault injection.
+
+    Sweeps fault rate x policy over the bounded-staleness serving
+    stack. Each run arms a seeded
+    :class:`~repro.resilience.faults.FaultPlan` injecting transient
+    sqlite errors (at the fault rate), latency, and wrong-shape results
+    into every pooled connection, then serves ``rounds`` concurrent
+    batches with enough ``availability`` writes between rounds to force
+    recomputation past the staleness bound — so every round, requests
+    must run real queries through the faults. Two configs per rate:
+
+    * **baseline** — no resilience policy: a failed recomputation is a
+      request error, so availability collapses as the fault rate grows
+      (at rate 0.3 a ~19-query plan survives with probability
+      ``0.7^19`` ~= 0.1%).
+    * **resilient** — deadline + transient retries with backoff +
+      per-plan circuit breaker + degraded-stale fallback: failures
+      retry, then serve the last-known-good cached entry (marked
+      ``degraded-stale`` with its true version lag), so availability =
+      (success + degraded) / total stays at 1.0 and p99 stays bounded
+      by the deadline.
+
+    Both configs warm their caches with the fault plan *disarmed* (a
+    last-known-good entry must exist for degradation to mean anything;
+    real operators deploy resilience on a warm server). The fault
+    schedule is a pure function of ``(seed, site, per-site call
+    index)``, so a fixed seed reproduces the same injection counts.
+    Acceptance (gated in CI from ``BENCH_e16.json``): resilient
+    availability >= 0.99 at the highest fault rate, baseline strictly
+    below it, and zero leaked pool connections in every run.
+    """
+    import json
+
+    from repro.core.optimize import prune_stylesheet_view
+    from repro.maintenance import WriteTracker, hotel_write
+    from repro.resilience import FaultPlan, FaultSpec, ResiliencePolicy
+    from repro.schema_tree.evaluator import STRATEGIES
+    from repro.serving import OUTCOMES, PublishRequest, ViewServer, percentile
+    from repro.workloads.paper import figure17_stylesheet
+
+    fault_rates = fault_rates if fault_rates is not None else [0.0, 0.1, 0.3]
+    staleness_bound = 8
+    writes_per_round = 12  # > bound: every round forces recomputation
+    policy = ResiliencePolicy(
+        deadline_ms=5000.0,
+        retries=3,
+        backoff_base_ms=1.0,
+        backoff_max_ms=10.0,
+        breaker_threshold=8,
+        breaker_cooldown_ms=100.0,
+        degraded=True,
+    )
+    configs = [("baseline", None), ("resilient", policy)]
+    result = ExperimentResult(
+        "E16",
+        f"Resilient serving (scale-{scale} hotel): fault injection x "
+        "policy, availability and tail latency",
+        ["config", "fault rate", "requests", "success", "degraded",
+         "failed", "availability", "retries", "breaker opens", "p50 ms",
+         "p99 ms"],
+        notes=[
+            f"Each run: warmup batch with faults disarmed, then {rounds} "
+            f"rounds of ({writes_per_round} availability writes, one "
+            f"concurrent batch of 2 stylesheets x {len(STRATEGIES)} "
+            f"strategies x {repeats}) under bounded:{staleness_bound} "
+            "staleness — the writes outrun the bound, so every round "
+            "recomputes through the armed fault plan (transient sqlite "
+            "errors at the fault rate, injected latency at half of it, "
+            "wrong-shape results at a quarter). baseline = no policy "
+            "(failures are request errors); resilient = "
+            f"[{policy.describe()}] (transient failures retry, exhausted "
+            "failures serve the last-known-good entry as "
+            "degraded-stale). availability = (success + degraded) / "
+            f"requests. Fault schedule is deterministic (seed {seed}).",
+        ],
+    )
+    runs: list[dict] = []
+    availability_at: dict[tuple[str, float], float] = {}
+
+    def run_config(name: str, resilience, rate: float) -> None:
+        db = build_hotel_database(
+            HotelDataSpec().scaled(scale), cross_thread=True
+        )
+        view = figure1_view(db.catalog)
+        stylesheets = [figure4_stylesheet(), figure17_stylesheet()]
+        for stylesheet in stylesheets:
+            prune_stylesheet_view(
+                compose(view, stylesheet, db.catalog), db.catalog
+            )
+        tracker = WriteTracker()
+        db.attach_tracker(tracker)
+        faults = FaultPlan(
+            FaultSpec(
+                error_rate=rate,
+                latency_rate=rate / 2,
+                latency_ms=2.0,
+                wrong_shape_rate=rate / 4,
+            ),
+            seed=seed,
+            enabled=False,
+        )
+        server = ViewServer(
+            db.catalog,
+            source=db,
+            workers=4,
+            tracker=tracker,
+            staleness=f"bounded:{staleness_bound}",
+            resilience=resilience,
+            faults=faults,
+        )
+        batch = [
+            PublishRequest(
+                view,
+                stylesheets[sheet],
+                strategy=strategy,
+                label=f"s{sheet}/{strategy}",
+            )
+            for _ in range(repeats)
+            for sheet in range(len(stylesheets))
+            for strategy in STRATEGIES
+        ]
+        traces = []
+        write_step = 0
+        try:
+            server.render_many(batch)  # warmup: compile + last-known-good
+            faults.arm()
+            for _ in range(rounds):
+                for _ in range(writes_per_round):
+                    hotel_write(db, write_step, tracker, mix=("availability",))
+                    write_step += 1
+                traces.extend(server.render_many(batch))
+            leaked = server.pool.outstanding()
+            metrics = server.metrics()
+        finally:
+            server.close()
+            db.close()
+        outcomes = {outcome: 0 for outcome in OUTCOMES}
+        for trace in traces:
+            outcomes[trace.outcome] += 1
+        availability = (
+            (outcomes["success"] + outcomes["degraded"]) / len(traces)
+        )
+        availability_at[(name, rate)] = availability
+        failed = (
+            outcomes["error"] + outcomes["deadline"] + outcomes["rejected"]
+        )
+        latencies = [trace.total_seconds * 1000 for trace in traces]
+        retries = sum(trace.retries for trace in traces)
+        resilience_metrics = metrics.get("resilience")
+        breaker_opened = (
+            resilience_metrics["breaker"]["opened"]
+            if resilience_metrics and resilience_metrics["breaker"]
+            else 0
+        )
+        p50 = percentile(latencies, 50)
+        p99 = percentile(latencies, 99)
+        result.add_row(
+            name, rate, len(traces), outcomes["success"],
+            outcomes["degraded"], failed, availability, retries,
+            breaker_opened, p50, p99,
+        )
+        runs.append(
+            {
+                "config": name,
+                "fault_rate": rate,
+                "requests": len(traces),
+                "outcomes": outcomes,
+                "availability": round(availability, 6),
+                "retries": retries,
+                "breaker_opened": breaker_opened,
+                "degraded_max_lag": max(
+                    (
+                        trace.version_lag
+                        for trace in traces
+                        if trace.freshness == "degraded-stale"
+                    ),
+                    default=0,
+                ),
+                "p50_ms": round(p50, 4),
+                "p99_ms": round(p99, 4),
+                "faults_injected": metrics["faults"]["injected"],
+                "leaked_connections": leaked,
+                "writes_applied": write_step,
+            }
+        )
+
+    for rate in fault_rates:
+        for name, resilience in configs:
+            run_config(name, resilience, rate)
+    max_rate = max(fault_rates)
+    resilient_availability = availability_at.get(("resilient", max_rate), 0.0)
+    baseline_availability = availability_at.get(("baseline", max_rate), 0.0)
+    result.notes.append(
+        f"at fault rate {max_rate}: resilient availability "
+        f"{resilient_availability:.4f} vs baseline "
+        f"{baseline_availability:.4f}"
+    )
+    if json_path:
+        with open(json_path, "w") as handle:
+            json.dump(
+                {
+                    "scale": scale,
+                    "rounds": rounds,
+                    "batch_requests": 2 * len(STRATEGIES) * repeats,
+                    "fault_rates": fault_rates,
+                    "fault_seed": seed,
+                    "staleness_bound": staleness_bound,
+                    "writes_per_round": writes_per_round,
+                    "policy": policy.describe(),
+                    "runs": runs,
+                    "max_fault_rate": max_rate,
+                    "resilient_availability_at_max_rate": round(
+                        resilient_availability, 6
+                    ),
+                    "baseline_availability_at_max_rate": round(
+                        baseline_availability, 6
+                    ),
+                },
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+            handle.write("\n")
+    return result
+
+
 def run_all(quick: bool = False) -> list[ExperimentResult]:
     """Run every experiment; ``quick`` shrinks the sweeps."""
     if quick:
@@ -1155,6 +1389,9 @@ def run_all(quick: bool = False) -> list[ExperimentResult]:
             e15_incremental(
                 scale=2, rounds=10, repeats=2, write_rates=[0, 2],
             ),
+            e16_resilience(
+                scale=1, rounds=3, repeats=1, fault_rates=[0.0, 0.3],
+            ),
         ]
     return [
         e1_end_to_end(),
@@ -1172,4 +1409,5 @@ def run_all(quick: bool = False) -> list[ExperimentResult]:
         e13_serving(),
         e14_maintenance(),
         e15_incremental(),
+        e16_resilience(),
     ]

@@ -39,7 +39,7 @@ from __future__ import annotations
 import sqlite3
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping, Optional
+from typing import Any, Callable, Iterable, Mapping, Optional
 
 from repro.errors import ViewEvaluationError
 from repro.relational.schema import Catalog
@@ -129,6 +129,12 @@ class Database:
         self.read_only = read_only
         self.tracker = None
         self._tracker_auto = False
+        # Cooperative cancellation hook (repro.resilience): when set, it
+        # is invoked at the top of every run_query — a query/row
+        # boundary — and may raise (e.g. DeadlineExceeded) to abandon
+        # the evaluation between statements. Hard mid-statement cutoff
+        # is the caller's job via ``connection.interrupt()``.
+        self.cancel_check: Optional[Callable[[], None]] = None
         self._sql_cache: dict[int, tuple[str, list, Select]] = {}
         if create:
             self.create_all()
@@ -278,6 +284,8 @@ class Database:
             occurrences are exposed with a ``__2``-style suffix so no value
             is silently lost.
         """
+        if self.cancel_check is not None:
+            self.cancel_check()
         # Cache the rendered SQL per query object. The cache entry keeps a
         # reference to the query so id() values cannot be recycled.
         key = id(query)

@@ -1,0 +1,49 @@
+"""Resilient serving: fault injection, deadlines, retries, breakers.
+
+The composed-view serving stack (:mod:`repro.serving`) turns one
+request into many SQL queries — which multiplies the surface for
+partial failure. This package makes the server *bounded and
+predictable* under that failure:
+
+* :mod:`repro.resilience.faults` — a seeded, deterministic
+  fault-injection layer (:class:`FaultPlan` / :class:`FaultyEngine`)
+  that drills transient errors, latency, wrong-shape results, and
+  compile failures into pooled engine sessions.
+* :mod:`repro.resilience.policy` — :class:`ResiliencePolicy` (per-
+  request deadlines, retry-with-backoff+jitter, breaker and admission
+  knobs) and :class:`Deadline` (cooperative cancellation the engine
+  checks at query boundaries, backed by a hard
+  ``sqlite3.Connection.interrupt`` timer).
+* :mod:`repro.resilience.breaker` — a per-plan-fingerprint
+  :class:`CircuitBreaker` (closed / open / half-open) living on the
+  :class:`~repro.serving.plan_cache.PlanCache`.
+
+Failure classification lives in :func:`repro.errors.classify_error`;
+the degraded-stale fallback (serve the last-known-good
+:class:`~repro.maintenance.result_cache.ResultCache` entry when
+computation fails) is wired in
+:class:`~repro.serving.server.ViewServer`. Experiment E16
+(``python -m repro.harness --e16-json`` and
+``python -m repro serve-bench --faults``) sweeps fault rate × policy
+and gates on availability (success + degraded).
+"""
+
+from repro.resilience.breaker import BREAKER_STATES, CircuitBreaker
+from repro.resilience.faults import (
+    TRANSIENT_MESSAGES,
+    FaultPlan,
+    FaultSpec,
+    FaultyEngine,
+)
+from repro.resilience.policy import Deadline, ResiliencePolicy
+
+__all__ = [
+    "BREAKER_STATES",
+    "CircuitBreaker",
+    "Deadline",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyEngine",
+    "ResiliencePolicy",
+    "TRANSIENT_MESSAGES",
+]

@@ -1,0 +1,276 @@
+"""Deterministic fault injection for the serving stack.
+
+The paper's execution model multiplies one XSLT evaluation into many
+parameterized SQL queries, so a production server faces *partial*
+failure: one busy database, one slow tag query, one driver returning a
+wrong-shape result. This module makes those failures reproducible:
+
+* :class:`FaultSpec` — what to inject and how often: transient
+  ``sqlite3.OperationalError``\\ s (busy / locked / disk I/O), added
+  per-query latency, wrong-shape results (a column silently dropped),
+  and compile-time failures.
+* :class:`FaultPlan` — *where* and *when*. Decisions are a pure
+  function of ``(seed, site, per-site call index)``: the plan keeps one
+  counter per site (a base-table name, ``"compile"``, or ``"query"``)
+  and hashes the triple, so a given seed produces the same fault
+  sequence at every site regardless of thread interleaving *between*
+  sites. ``every_n`` sites fire deterministically on each Nth call
+  instead of at a rate.
+* :class:`FaultyEngine` — a transparent wrapper around a
+  :class:`~repro.relational.engine.Database` that consults the plan on
+  every :meth:`~repro.relational.engine.Database.run_query`. The
+  connection pool wraps each pooled session when constructed with a
+  plan, so evaluators exercise faults without knowing about them.
+
+Injected errors are *real* ``sqlite3.OperationalError`` instances with
+the stock messages, so the error taxonomy
+(:func:`repro.errors.classify_error`) treats injected and genuine
+faults identically — which is the point: the resilience policy under
+test cannot tell the drill from the fire.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+from repro.sql.analysis import referenced_tables
+from repro.sql.ast import Select
+
+#: Messages injected ``error`` faults rotate through — all classified
+#: transient by :func:`repro.errors.classify_error`.
+TRANSIENT_MESSAGES = (
+    "database is locked",
+    "database table is locked: main",
+    "disk I/O error",
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Rates and shapes of the faults a :class:`FaultPlan` injects.
+
+    All rates are per *injection site check* (one query execution or
+    one plan compile) in ``[0, 1]``. Checks are ordered: latency first
+    (a slow query can still fail), then error, then wrong-shape on the
+    returned rows. ``tables`` restricts query-site faults to the named
+    base tables; ``every_n`` replaces the error-rate draw with a
+    deterministic "every Nth call at this site fails".
+    """
+
+    #: Probability a query raises a transient ``OperationalError``.
+    error_rate: float = 0.0
+    #: Probability a query sleeps ``latency_ms`` before executing.
+    latency_rate: float = 0.0
+    #: Injected latency per latency fault, milliseconds.
+    latency_ms: float = 20.0
+    #: Probability a query's rows come back with a column dropped.
+    wrong_shape_rate: float = 0.0
+    #: Probability a plan compile raises (site ``"compile"``).
+    compile_error_rate: float = 0.0
+    #: Restrict query-site faults to these base tables (``None`` = all).
+    tables: Optional[frozenset[str]] = None
+    #: If > 0, inject an error on every Nth call per site instead of
+    #: (in addition to never) drawing against ``error_rate``.
+    every_n: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("error_rate", "latency_rate", "wrong_shape_rate",
+                     "compile_error_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.latency_ms < 0:
+            raise ValueError(f"latency_ms must be >= 0, got {self.latency_ms}")
+        if self.every_n < 0:
+            raise ValueError(f"every_n must be >= 0, got {self.every_n}")
+
+
+class FaultPlan:
+    """Seeded, site-addressed fault schedule shared by a whole server.
+
+    Thread-safe: per-site counters advance under a lock, and each
+    decision depends only on ``(seed, site, counter)`` — hashed through
+    blake2s into a uniform float — so two runs with the same seed and
+    the same per-site call sequence inject the same faults.
+
+    :meth:`disarm` / :meth:`arm` gate injection without resetting the
+    counters; benchmarks warm caches with the plan disarmed, then arm it
+    for the measured (chaotic) phase.
+    """
+
+    def __init__(self, spec: FaultSpec, seed: int = 0, enabled: bool = True):
+        self.spec = spec
+        self.seed = seed
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._site_calls: dict[str, int] = {}
+        self._injected = {
+            "error": 0, "latency": 0, "wrong-shape": 0, "compile-error": 0,
+        }
+
+    # -- schedule ------------------------------------------------------------
+
+    def arm(self) -> None:
+        """Enable injection (counters keep running either way)."""
+        self.enabled = True
+
+    def disarm(self) -> None:
+        """Disable injection; checks still advance the per-site counters."""
+        self.enabled = False
+
+    def _draw(self, site: str, index: int, kind: str) -> float:
+        digest = hashlib.blake2s(
+            f"{self.seed}:{site}:{index}:{kind}".encode(), digest_size=8
+        ).digest()
+        return int.from_bytes(digest, "big") / float(1 << 64)
+
+    def _advance(self, site: str) -> int:
+        with self._lock:
+            index = self._site_calls.get(site, 0)
+            self._site_calls[site] = index + 1
+            return index
+
+    def _count(self, kind: str) -> None:
+        with self._lock:
+            self._injected[kind] += 1
+
+    # -- injection sites -----------------------------------------------------
+
+    def check_query(self, site: str) -> Optional[str]:
+        """One query-site check; returns the fault kind to inject, if any.
+
+        Latency faults are applied *here* (the sleep happens inside the
+        check so every caller gets identical behaviour); ``"error"`` and
+        ``"wrong-shape"`` are returned for the caller to act on.
+        """
+        index = self._advance(site)
+        if not self.enabled:
+            return None
+        spec = self.spec
+        if spec.tables is not None and site not in spec.tables:
+            return None
+        if spec.latency_rate and (
+            self._draw(site, index, "latency") < spec.latency_rate
+        ):
+            self._count("latency")
+            time.sleep(spec.latency_ms / 1000.0)
+        nth = spec.every_n and (index + 1) % spec.every_n == 0
+        if nth or (
+            spec.error_rate
+            and self._draw(site, index, "error") < spec.error_rate
+        ):
+            self._count("error")
+            return "error"
+        if spec.wrong_shape_rate and (
+            self._draw(site, index, "shape") < spec.wrong_shape_rate
+        ):
+            self._count("wrong-shape")
+            return "wrong-shape"
+        return None
+
+    def check_compile(self, key: str) -> None:
+        """One compile-site check; raises on an injected compile failure."""
+        index = self._advance("compile")
+        if not self.enabled:
+            return
+        if self.spec.compile_error_rate and (
+            self._draw("compile", index, "compile")
+            < self.spec.compile_error_rate
+        ):
+            self._count("compile-error")
+            raise sqlite3.OperationalError(
+                f"injected compile failure for plan {key[:16]}"
+            )
+
+    def error_for(self, site: str) -> sqlite3.OperationalError:
+        """The transient error an ``"error"`` fault at ``site`` raises."""
+        with self._lock:
+            # Rotate messages by total errors injected so far.
+            cursor = self._injected["error"]
+        message = TRANSIENT_MESSAGES[cursor % len(TRANSIENT_MESSAGES)]
+        return sqlite3.OperationalError(message)
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Injection counters plus total site checks (one snapshot)."""
+        with self._lock:
+            return {
+                "seed": self.seed,
+                "enabled": self.enabled,
+                "checks": sum(self._site_calls.values()),
+                "injected": dict(self._injected),
+            }
+
+
+@dataclass
+class _SiteMemo:
+    """Per-engine memo from query identity to its fault site name."""
+
+    sites: dict[int, tuple[str, Select]] = field(default_factory=dict)
+
+    def site_for(self, query: Select) -> str:
+        key = id(query)
+        cached = self.sites.get(key)
+        if cached is not None and cached[1] is query:
+            return cached[0]
+        tables = referenced_tables(query)
+        site = tables[0] if tables else "query"
+        self.sites[key] = (site, query)
+        return site
+
+
+class FaultyEngine:
+    """A :class:`~repro.relational.engine.Database` wrapper that injects.
+
+    Overrides :meth:`run_query` to consult the :class:`FaultPlan` at the
+    query's site (its first referenced base table); everything else —
+    ``stats``, ``connection``, ``catalog``, ``close`` — delegates to the
+    wrapped engine, so pools, evaluators, and the delta path use it
+    unchanged. The wrapper honours the engine's cooperative
+    ``cancel_check`` hook *before* injecting latency, so a deadline is
+    never blown inside an injected sleep that cancellation should have
+    skipped.
+    """
+
+    def __init__(self, db, plan: FaultPlan):
+        self._db = db
+        self._plan = plan
+        self._memo = _SiteMemo()
+        self.cancel_check = None
+
+    def run_query(self, query: Select, env: Optional[Mapping[str, Any]] = None):
+        """Run ``query`` through the wrapped engine, consulting the
+        fault plan first: the deadline's ``cancel_check`` fires before
+        any injection, an injected error still counts the query as
+        executed (the engine did the doomed work), and a wrong-shape
+        fault drops one column from otherwise-correct rows."""
+        if self.cancel_check is not None:
+            self.cancel_check()
+        site = self._memo.site_for(query)
+        fault = self._plan.check_query(site)
+        if fault == "error":
+            # Count the doomed query so work accounting reflects the
+            # attempt, mirroring a real driver-level failure.
+            self._db.stats.record(0)
+            raise self._plan.error_for(site)
+        rows = self._db.run_query(query, env)
+        if fault == "wrong-shape" and rows:
+            doomed = next(iter(rows[0]))
+            rows = [
+                {k: v for k, v in row.items() if k != doomed} for row in rows
+            ]
+        return rows
+
+    @property
+    def wrapped(self):
+        """The underlying engine (tests reach through for assertions)."""
+        return self._db
+
+    def __getattr__(self, name: str):
+        return getattr(self._db, name)

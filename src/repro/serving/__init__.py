@@ -26,7 +26,9 @@ from repro.serving.fingerprint import (
 from repro.serving.plan_cache import CompiledPlan, PlanCache
 from repro.serving.pool import ConnectionPool
 from repro.serving.server import (
+    DELTA_FALLBACK_REASONS,
     FRESHNESS_STATES,
+    OUTCOMES,
     PublishRequest,
     RequestTrace,
     ViewServer,
@@ -36,7 +38,9 @@ from repro.serving.server import (
 __all__ = [
     "CompiledPlan",
     "ConnectionPool",
+    "DELTA_FALLBACK_REASONS",
     "FRESHNESS_STATES",
+    "OUTCOMES",
     "PlanCache",
     "PublishRequest",
     "RequestTrace",

@@ -68,7 +68,7 @@ class PlanCache:
     (single-flight compilation, see the module docstring).
     """
 
-    def __init__(self, capacity: int = 64):
+    def __init__(self, capacity: int = 64, breaker=None):
         if capacity < 1:
             raise ValueError(f"PlanCache capacity must be >= 1, got {capacity}")
         self.capacity = capacity
@@ -76,6 +76,13 @@ class PlanCache:
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        #: Optional per-fingerprint circuit breaker
+        #: (:class:`repro.resilience.breaker.CircuitBreaker`). The cache
+        #: records compile outcomes into it (a failed ``get_or_build``
+        #: build counts one failure, a published plan one success); the
+        #: server records eval outcomes and consults
+        #: ``breaker.allow(key)`` before touching the pool.
+        self.breaker = breaker
         self._entries: "OrderedDict[str, CompiledPlan]" = OrderedDict()
         self._inflight: dict[str, threading.Event] = {}
         self._lock = threading.Lock()
@@ -129,11 +136,15 @@ class PlanCache:
             with self._lock:
                 self._inflight.pop(key, None)
                 event.set()
+            if self.breaker is not None:
+                self.breaker.record_failure(key)
             raise
         with self._lock:
             self._store(key, plan)
             self._inflight.pop(key, None)
             event.set()
+        if self.breaker is not None:
+            self.breaker.record_success(key)
         return plan, False
 
     def _store(self, key: str, plan: CompiledPlan) -> None:

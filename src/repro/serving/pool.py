@@ -62,6 +62,7 @@ class ConnectionPool:
         source: Optional[Database] = None,
         size: int = 4,
         keep_sql: bool = False,
+        fault_plan=None,
     ):
         if (path is None) == (source is None):
             raise ValueError("ConnectionPool needs exactly one of path/source")
@@ -69,6 +70,12 @@ class ConnectionPool:
             raise ValueError(f"pool size must be >= 1, got {size}")
         self.catalog = catalog
         self.size = size
+        self._path = path
+        self._keep_sql = keep_sql
+        # Optional repro.resilience.FaultPlan: every session is wrapped
+        # in a FaultyEngine so evaluators running on pooled connections
+        # exercise injected faults transparently.
+        self._fault_plan = fault_plan
         self._closed = False
         self._close_lock = threading.Lock()
         self._refresh_lock = threading.Lock()
@@ -96,15 +103,20 @@ class ConnectionPool:
     def _open_session(self, path: Optional[str], keep_sql: bool) -> Database:
         stats = QueryStats(keep_sql=keep_sql)
         if path is not None:
-            return Database.open(self.catalog, path, stats=stats)
-        assert self._clone_uri is not None
-        connection = sqlite3.connect(
-            self._clone_uri, uri=True, check_same_thread=False
-        )
-        db = Database.from_connection(
-            self.catalog, connection, stats=stats, read_only=True
-        )
-        db.connection.execute("PRAGMA query_only=ON")
+            db = Database.open(self.catalog, path, stats=stats)
+        else:
+            assert self._clone_uri is not None
+            connection = sqlite3.connect(
+                self._clone_uri, uri=True, check_same_thread=False
+            )
+            db = Database.from_connection(
+                self.catalog, connection, stats=stats, read_only=True
+            )
+            db.connection.execute("PRAGMA query_only=ON")
+        if self._fault_plan is not None:
+            from repro.resilience.faults import FaultyEngine
+
+            return FaultyEngine(db, self._fault_plan)
         return db
 
     # -- borrowing -----------------------------------------------------------
@@ -120,17 +132,72 @@ class ConnectionPool:
         return self._idle.get(timeout=timeout)
 
     def release(self, session: Database) -> None:
-        """Return a borrowed session to the idle queue."""
+        """Return a borrowed session to the idle queue, clean or replaced.
+
+        A borrower may release after an exception mid-evaluation — an
+        injected fault, a deadline ``interrupt()``, a genuine sqlite
+        error — so the session is sanitized before anyone else can
+        borrow it: any lingering ``cancel_check`` hook is cleared, and
+        an open read transaction (sqlite keeps one after an interrupted
+        statement) is rolled back. A session whose connection proves
+        unusable is *replaced* by a freshly opened one rather than
+        re-queued, so the pool never shrinks and never hands out a
+        poisoned connection. Releasing into a closed pool closes the
+        session instead of queueing it.
+        """
+        if self._closed:
+            try:
+                session.close()
+            except sqlite3.Error:
+                pass
+            return
+        session.cancel_check = None
+        try:
+            if session.connection.in_transaction:
+                session.connection.rollback()
+        except sqlite3.Error:
+            session = self._replace(session)
         self._idle.put(session)
+
+    def _replace(self, session: Database) -> Database:
+        """Swap a broken session for a fresh one (same stats identity)."""
+        try:
+            session.close()
+        except sqlite3.Error:
+            pass
+        replacement = self._open_session(self._path, self._keep_sql)
+        # Keep aggregate_stats() seeing exactly ``size`` sessions.
+        for index, existing in enumerate(self._sessions):
+            if existing is session:
+                self._sessions[index] = replacement
+                break
+        else:
+            self._sessions.append(replacement)
+        return replacement
 
     @contextmanager
     def session(self, timeout: Optional[float] = None) -> Iterator[Database]:
-        """Borrow a session for the duration of a ``with`` block."""
+        """Borrow a session for the duration of a ``with`` block.
+
+        The ``finally`` release guarantees a mid-evaluation exception —
+        evaluator bugs, injected faults, deadline interrupts — can never
+        leak the connection: it always flows through :meth:`release`'s
+        sanitization.
+        """
         borrowed = self.acquire(timeout=timeout)
         try:
             yield borrowed
         finally:
             self.release(borrowed)
+
+    def outstanding(self) -> int:
+        """Sessions currently borrowed (0 on a quiescent pool).
+
+        The shutdown leak check: after every request future resolves,
+        this must be 0 — a positive count means an acquire/release path
+        leaked a connection.
+        """
+        return self.size - self._idle.qsize()
 
     # -- freshness -----------------------------------------------------------
 

@@ -32,6 +32,24 @@ whether cached bytes may be served or must be recomputed over
 re-synced live data. Under the ``strict`` policy the equivalence
 guarantee extends across interleaved base-data writes (the property
 suite in ``tests/maintenance/test_freshness_property.py``).
+
+Resilience: constructed with a
+:class:`~repro.resilience.policy.ResiliencePolicy`, the serving path
+becomes bounded and self-healing — per-request deadlines (cooperative
+``cancel_check`` at query boundaries plus a hard
+``sqlite3.Connection.interrupt`` timer), retry-with-backoff for
+transient errors (:func:`repro.errors.classify_error`), a
+per-fingerprint circuit breaker on the plan cache, admission control
+(bounded queue, shed requests trace ``outcome="rejected"``), and a
+**degraded-stale** fallback: when computation fails or the breaker is
+open, the last-known-good result-cache entry is served with
+``freshness="degraded-stale"`` and its true ``version_lag`` — unless
+the staleness policy is ``strict``, which never serves stale bytes
+silently (the request errors instead). A
+:class:`~repro.resilience.faults.FaultPlan` injects deterministic
+chaos under all of this for experiment E16. No exception ever
+propagates out of a worker: every failure lands in the trace's
+``outcome`` / ``error`` fields.
 """
 
 from __future__ import annotations
@@ -39,10 +57,17 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
-from repro.errors import ReproError
+from repro.errors import (
+    CircuitOpen,
+    DeadlineExceeded,
+    ReproError,
+    RequestRejected,
+    classify_error,
+)
 from repro.maintenance.incremental import (
     MAINTENANCE_MODES,
     DeltaEvaluator,
@@ -53,6 +78,9 @@ from repro.maintenance.policy import StalenessPolicy
 from repro.maintenance.result_cache import ResultCache
 from repro.maintenance.tracker import WriteTracker
 from repro.relational.engine import Database
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.faults import FaultPlan
+from repro.resilience.policy import Deadline, ResiliencePolicy
 from repro.relational.schema import Catalog
 from repro.schema_tree.bulk_evaluator import BulkViewEvaluator
 from repro.schema_tree.evaluator import (
@@ -76,8 +104,35 @@ from repro.xslt.model import Stylesheet
 #: RequestTrace.freshness values, in the order metrics report them.
 #: ``delta-recompute`` is a stale entry refreshed incrementally (dirty
 #: schema nodes only) instead of by a full plan re-run — see
-#: :mod:`repro.maintenance.incremental`.
-FRESHNESS_STATES = ("hit", "miss", "stale-recompute", "delta-recompute", "bypass")
+#: :mod:`repro.maintenance.incremental`. ``degraded-stale`` is a cached
+#: entry served past its policy because computation failed or the plan's
+#: circuit breaker is open (resilience fallback, never under ``strict``).
+FRESHNESS_STATES = (
+    "hit",
+    "miss",
+    "stale-recompute",
+    "delta-recompute",
+    "bypass",
+    "degraded-stale",
+)
+
+#: RequestTrace.outcome values, in the order metrics report them.
+#: ``success`` — served a computed or policy-fresh cached response;
+#: ``degraded`` — served last-known-good bytes after a failure;
+#: ``rejected`` — shed by admission control or breaker with no fallback;
+#: ``deadline`` — the request's time budget expired with no fallback;
+#: ``error`` — computation failed with no fallback.
+OUTCOMES = ("success", "degraded", "rejected", "deadline", "error")
+
+#: Reasons a delta maintenance attempt fell back to full recomputation,
+#: in the order metrics report them (see ``delta_fallbacks_by_reason``).
+DELTA_FALLBACK_REASONS = (
+    "no-state",
+    "no-change",
+    "unsupported",
+    "error",
+    "stamp-race",
+)
 
 
 @dataclass
@@ -138,6 +193,14 @@ class RequestTrace:
     elements_created: int = 0
     attributes_created: int = 0
     fallback_nodes: int = 0
+    #: How the request ended — one of :data:`OUTCOMES`. ``degraded``
+    #: means last-known-good cached bytes were served after a failure
+    #: (the cause is in ``degraded_cause``, ``error`` stays ``None``).
+    outcome: str = "success"
+    #: Transient-failure retries this request performed (resilience).
+    retries: int = 0
+    #: On a ``degraded`` outcome: the failure the fallback absorbed.
+    degraded_cause: Optional[str] = None
     worker: str = ""
     error: Optional[str] = None
     xml: Optional[str] = None
@@ -162,6 +225,9 @@ class RequestTrace:
             "elements_created": self.elements_created,
             "attributes_created": self.attributes_created,
             "fallback_nodes": self.fallback_nodes,
+            "outcome": self.outcome,
+            "retries": self.retries,
+            "degraded_cause": self.degraded_cause,
             "worker": self.worker,
             "error": self.error,
         }
@@ -214,6 +280,8 @@ class ViewServer:
         staleness: "StalenessPolicy | str" = "strict",
         result_cache_capacity: int = 128,
         maintenance: str = "full",
+        resilience: Optional[ResiliencePolicy] = None,
+        faults: Optional[FaultPlan] = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -225,8 +293,22 @@ class ViewServer:
         self.catalog = catalog
         self.workers = workers
         self.keep_xml = keep_xml
-        self.plan_cache = PlanCache(cache_capacity)
-        self.pool = ConnectionPool(catalog, path=path, source=source, size=workers)
+        # -- resilience (repro.resilience). The policy governs deadlines,
+        # retries, circuit breaking, admission control, and the
+        # degraded-stale fallback; the fault plan (tests/E16) injects
+        # deterministic chaos into every pooled session.
+        self.resilience = resilience
+        self.faults = faults
+        breaker = None
+        if resilience is not None and resilience.breaker_threshold > 0:
+            breaker = CircuitBreaker(
+                resilience.breaker_threshold,
+                cooldown_ms=resilience.breaker_cooldown_ms,
+            )
+        self.plan_cache = PlanCache(cache_capacity, breaker=breaker)
+        self.pool = ConnectionPool(
+            catalog, path=path, source=source, size=workers, fault_plan=faults
+        )
         self._executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="viewserver"
         )
@@ -235,6 +317,12 @@ class ViewServer:
         self._next_request_id = 1
         self.requests_served = 0
         self.errors = 0
+        self._inflight = 0
+        self._retries_total = 0
+        self._deadline_hits = 0
+        self._shed_requests = 0
+        self._degraded_serves = 0
+        self._outcome_counts = {outcome: 0 for outcome in OUTCOMES}
         self._closed = False
         # -- update awareness (repro.maintenance). With a tracker the
         # server memoizes serialized responses in a ResultCache and
@@ -255,7 +343,9 @@ class ViewServer:
         # (repro.maintenance.incremental) and falls back to full when
         # the splice declines. Only meaningful with a tracker.
         self.maintenance = maintenance
-        self._delta_fallbacks = 0
+        self._delta_fallback_reasons = {
+            reason: 0 for reason in DELTA_FALLBACK_REASONS
+        }
         self._freshness_counts = {state: 0 for state in FRESHNESS_STATES}
         self._sync_lock = threading.Lock()
         # Clock at which the pool's data is known current. The pool
@@ -266,7 +356,15 @@ class ViewServer:
     # -- request API ---------------------------------------------------------
 
     def submit(self, request: PublishRequest) -> "Future[RequestTrace]":
-        """Enqueue a request; returns a future resolving to its trace."""
+        """Enqueue a request; returns a future resolving to its trace.
+
+        Admission control: with a resilience policy carrying a
+        ``queue_limit``, at most ``workers + queue_limit`` requests may
+        be in flight (queued or executing). Excess requests are *shed*
+        — the future resolves immediately to a trace with
+        ``outcome="rejected"`` (the 503 analogue) instead of piling
+        onto a saturated executor.
+        """
         if self._closed:
             raise RuntimeError("server is closed")
         if request.strategy not in STRATEGIES:
@@ -274,10 +372,44 @@ class ViewServer:
                 f"unknown strategy {request.strategy!r} "
                 f"(expected one of {', '.join(STRATEGIES)})"
             )
+        policy = self.resilience
         with self._lock:
             request_id = self._next_request_id
             self._next_request_id += 1
-        return self._executor.submit(self._serve, request, request_id)
+            if (
+                policy is not None
+                and policy.queue_limit is not None
+                and self._inflight >= self.workers + policy.queue_limit
+            ):
+                self._shed_requests += 1
+                self.requests_served += 1
+                self._outcome_counts["rejected"] += 1
+                self._freshness_counts["bypass"] += 1
+                trace = RequestTrace(
+                    request_id=request_id,
+                    label=request.label,
+                    strategy=request.strategy,
+                    cache_hit=False,
+                    plan_key="",
+                    outcome="rejected",
+                    error=str(
+                        RequestRejected(
+                            f"request shed: {self._inflight} in flight >= "
+                            f"{self.workers} workers + "
+                            f"{policy.queue_limit} queued"
+                        )
+                    ),
+                )
+                rejected: "Future[RequestTrace]" = Future()
+                rejected.set_result(trace)
+                return rejected
+            self._inflight += 1
+        try:
+            return self._executor.submit(self._serve, request, request_id)
+        except BaseException:
+            with self._lock:
+                self._inflight -= 1
+            raise
 
     def render(
         self,
@@ -346,6 +478,11 @@ class ViewServer:
         from repro.core.compose import compose
         from repro.core.optimize import prune_stylesheet_view
 
+        if self.faults is not None:
+            # Compile-site fault injection (tests/E16): raises a
+            # transient OperationalError that get_or_build's in-flight
+            # cleanup and the circuit breaker both observe.
+            self.faults.check_compile(key)
         started = time.perf_counter()
         pruned_columns = 0
         if request.stylesheet is None:
@@ -401,10 +538,19 @@ class ViewServer:
             self.pool.refresh()
             self._synced_clock = observed
 
-    def _record_delta_fallback(self) -> None:
-        """Count one delta attempt that fell back to full recomputation."""
+    def _record_delta_fallback(self, reason: str) -> None:
+        """Count one delta attempt that fell back to full recomputation.
+
+        ``reason`` is one of :data:`DELTA_FALLBACK_REASONS`, so the
+        metrics can say *why* deltas degrade: no captured state to
+        splice against (``no-state``), a stale classification with no
+        actually-newer table (``no-change``), a clean
+        :class:`DeltaUnsupported` decline (``unsupported``), a
+        mid-splice failure (``error``), or a write racing the splice
+        (``stamp-race``).
+        """
         with self._lock:
-            self._delta_fallbacks += 1
+            self._delta_fallback_reasons[reason] += 1
 
     def _serve_delta(
         self,
@@ -413,6 +559,7 @@ class ViewServer:
         trace: RequestTrace,
         result_key: str,
         current_versions: dict[str, int],
+        deadline: Optional[Deadline] = None,
     ) -> Optional[str]:
         """One incremental refresh attempt; ``None`` means fall back to full.
 
@@ -431,7 +578,7 @@ class ViewServer:
         """
         stale = self.result_cache.peek(result_key)
         if stale is None or not isinstance(stale.state, MaterializedState):
-            self._record_delta_fallback()
+            self._record_delta_fallback("no-state")
             return None
         versions = dict(current_versions)
         self._sync()
@@ -447,32 +594,45 @@ class ViewServer:
             if versions.get(t, 0) > stale.versions.get(t, 0)
         ]
         if not changed:
-            self._record_delta_fallback()
+            self._record_delta_fallback("no-change")
             return None
+        if deadline is None:
+            deadline = Deadline.start(None)
         try:
             with self.pool.session() as db:
-                before = db.stats.snapshot()
-                stats = MaterializeStats()
-                execute_started = time.perf_counter()
-                result = DeltaEvaluator(db, stats=stats).evaluate(
-                    plan.view, stale.state, plan.node_read_sets, changed
-                )
-                trace.execute_seconds = time.perf_counter() - execute_started
-                after = db.stats.snapshot()
+                with self._deadline_guard(db, deadline):
+                    before = db.stats.snapshot()
+                    stats = MaterializeStats()
+                    execute_started = time.perf_counter()
+                    result = DeltaEvaluator(db, stats=stats).evaluate(
+                        plan.view, stale.state, plan.node_read_sets, changed
+                    )
+                    trace.execute_seconds = (
+                        time.perf_counter() - execute_started
+                    )
+                    after = db.stats.snapshot()
         except DeltaUnsupported:
-            self._record_delta_fallback()
+            self._record_delta_fallback("unsupported")
             return None
+        except DeadlineExceeded:
+            # The time budget is gone: a full recompute cannot succeed
+            # either, so let the resilience layer degrade or error.
+            raise
         except Exception:
+            # If the failure was really the deadline (e.g. an interrupt
+            # surfacing as a wrapped OperationalError), re-raise it as
+            # such — a full recompute cannot beat an expired budget.
+            deadline.check()
             # A mid-splice failure of any kind must not surface as a
             # request error: the old entry is untouched (the splice
             # never mutates it), so falling back to a full recompute is
             # always safe — and what the fault-injection tests assert.
-            self._record_delta_fallback()
+            self._record_delta_fallback("error")
             return None
         if self.tracker.versions(plan.tables) != versions:
             # A write raced the splice; the pool may be ahead of the
             # dirty-node selection. Discard the (possibly torn) result.
-            self._record_delta_fallback()
+            self._record_delta_fallback("stamp-race")
             return None
         trace.queries_executed = (
             after["queries_executed"] - before["queries_executed"]
@@ -496,131 +656,342 @@ class ViewServer:
 
     # -- execution -----------------------------------------------------------
 
+    @contextmanager
+    def _deadline_guard(self, db, deadline: Deadline):
+        """Enforce ``deadline`` on one borrowed session.
+
+        Cooperative: the engine's ``cancel_check`` hook raises
+        :class:`DeadlineExceeded` at the next query boundary. Hard: a
+        timer calls ``connection.interrupt()`` when the budget expires
+        mid-statement, surfacing as a (transient-classified)
+        ``interrupted`` error that the retry loop converts back into a
+        deadline failure via the expired-budget check. The timer is
+        disarmed before the session returns to the pool so it can never
+        interrupt the next borrower.
+        """
+        if deadline.budget_ms is None:
+            yield
+            return
+        db.cancel_check = deadline.check
+        armed: dict = {"connection": db.connection}
+
+        def hard_cutoff() -> None:
+            target = armed.get("connection")
+            if target is not None:
+                try:
+                    target.interrupt()
+                except Exception:
+                    pass
+
+        timer = threading.Timer(
+            (deadline.remaining_ms() or 0.0) / 1000.0, hard_cutoff
+        )
+        timer.daemon = True
+        timer.start()
+        try:
+            yield
+        finally:
+            armed.pop("connection", None)
+            timer.cancel()
+            db.cancel_check = None
+
     def _serve(self, request: PublishRequest, request_id: int) -> RequestTrace:
         started = time.perf_counter()
-        key = self.plan_key_for(request)
         trace = RequestTrace(
             request_id=request_id,
             label=request.label,
             strategy=request.strategy,
             cache_hit=False,
-            plan_key=key,
+            plan_key="",
             worker=threading.current_thread().name,
         )
+        policy = self.resilience
+        deadline = Deadline.start(
+            policy.deadline_ms if policy is not None else None
+        )
+        result_key = ""
         try:
-            plan, hit = self.plan_cache.get_or_build(
-                key, lambda: self._compile(key, request)
-            )
-            trace.cache_hit = hit
-            trace.plan_seconds = time.perf_counter() - started
-            # -- result cache: consult before touching the pool. The
-            # entry's version stamp is compared against the tracker's
-            # live vector over the plan's read set; the staleness policy
-            # decides whether cached bytes may be served.
-            use_result_cache = (
-                self.result_cache is not None and not request.bypass_cache
-            )
-            cached = None
-            current_versions: dict[str, int] = {}
+            key = self.plan_key_for(request)
+            trace.plan_key = key
             result_key = f"{key}:{request.strategy}"
-            if use_result_cache:
-                current_versions = self.tracker.versions(plan.tables)
-                cached, lag = self.result_cache.lookup(
-                    result_key, current_versions, self.staleness
-                )
-                trace.version_lag = lag
-                trace.freshness = (
-                    "hit"
-                    if cached is not None
-                    else ("stale-recompute" if lag > 0 else "miss")
-                )
-            if cached is not None:
-                if self.keep_xml:
-                    trace.xml = cached.xml
-            else:
-                delta_xml = None
-                if (
-                    use_result_cache
-                    and self.maintenance == "delta"
-                    and trace.freshness == "stale-recompute"
-                ):
-                    delta_xml = self._serve_delta(
-                        request, plan, trace, result_key, current_versions
-                    )
-                if delta_xml is not None:
-                    trace.freshness = "delta-recompute"
-                    if self.keep_xml:
-                        trace.xml = delta_xml
-                else:
-                    if use_result_cache:
-                        # Recomputation must read data at least as fresh
-                        # as the version stamp it publishes.
-                        self._sync()
-                    capture: Optional[dict] = (
-                        {}
-                        if use_result_cache and self.maintenance == "delta"
-                        else None
-                    )
-                    with self.pool.session() as db:
-                        before = db.stats.snapshot()
-                        stats = MaterializeStats()
-                        if request.strategy == "bulk":
-                            evaluator = BulkViewEvaluator(
-                                db, stats=stats, capture_instances=capture
-                            )
-                        else:
-                            evaluator = ViewEvaluator(
-                                db,
-                                memoize=request.strategy == "memoized",
-                                stats=stats,
-                                capture_instances=capture,
-                            )
-                        execute_started = time.perf_counter()
-                        document = evaluator.materialize(plan.view)
-                        trace.execute_seconds = (
-                            time.perf_counter() - execute_started
-                        )
-                        after = db.stats.snapshot()
-                    trace.queries_executed = (
-                        after["queries_executed"] - before["queries_executed"]
-                    )
-                    trace.rows_fetched = (
-                        after["rows_fetched"] - before["rows_fetched"]
-                    )
-                    trace.elements_created = stats.elements_created
-                    trace.attributes_created = stats.attributes_created
-                    trace.fallback_nodes = len(
-                        getattr(evaluator, "fallback_nodes", [])
-                    )
-                    serialize_started = time.perf_counter()
-                    xml = serialize(document)
-                    trace.serialize_seconds = (
-                        time.perf_counter() - serialize_started
-                    )
-                    if self.keep_xml:
-                        trace.xml = xml
-                    if use_result_cache:
-                        self.result_cache.store(
-                            result_key,
-                            xml,
-                            current_versions,
-                            plan.tables,
-                            strategy=request.strategy,
-                            state=(
-                                MaterializedState(document, capture)
-                                if capture is not None
-                                else None
-                            ),
-                        )
-        except ReproError as exc:
-            trace.error = str(exc)
-            with self._lock:
-                self.errors += 1
+            self._serve_inner(
+                request, trace, key, result_key, started, deadline
+            )
+        except Exception as exc:
+            # No exception leaves a worker: classify, try the
+            # degraded-stale fallback, and record the outcome.
+            self._handle_failure(request, trace, result_key, exc)
         trace.total_seconds = time.perf_counter() - started
         with self._lock:
             self.requests_served += 1
             self._freshness_counts[trace.freshness] += 1
+            self._outcome_counts[trace.outcome] += 1
+            self._inflight -= 1
         return trace
+
+    def _serve_inner(
+        self,
+        request: PublishRequest,
+        trace: RequestTrace,
+        key: str,
+        result_key: str,
+        started: float,
+        deadline: Deadline,
+    ) -> None:
+        breaker = self.plan_cache.breaker
+        # Gate compilation: an open breaker must not trigger a compile
+        # storm for a plan that keeps failing. Resident plans skip this
+        # (a plain cache read costs nothing worth protecting).
+        if (
+            breaker is not None
+            and key not in self.plan_cache
+            and not breaker.allow(key)
+        ):
+            raise CircuitOpen(key, breaker.retry_after_ms(key))
+        plan, hit = self.plan_cache.get_or_build(
+            key, lambda: self._compile(key, request)
+        )
+        trace.cache_hit = hit
+        trace.plan_seconds = time.perf_counter() - started
+        # -- result cache: consult before touching the pool. The
+        # entry's version stamp is compared against the tracker's
+        # live vector over the plan's read set; the staleness policy
+        # decides whether cached bytes may be served.
+        use_result_cache = (
+            self.result_cache is not None and not request.bypass_cache
+        )
+        cached = None
+        current_versions: dict[str, int] = {}
+        if use_result_cache:
+            current_versions = self.tracker.versions(plan.tables)
+            cached, lag = self.result_cache.lookup(
+                result_key, current_versions, self.staleness
+            )
+            trace.version_lag = lag
+            trace.freshness = (
+                "hit"
+                if cached is not None
+                else ("stale-recompute" if lag > 0 else "miss")
+            )
+        if cached is not None:
+            # Policy-fresh cached bytes serve even under an open
+            # breaker — the breaker guards computation, not reads.
+            if self.keep_xml:
+                trace.xml = cached.xml
+            return
+        # Gate computation (the breaker may have opened since the
+        # compile gate, or the plan was resident and unguarded so far).
+        if breaker is not None and not breaker.allow(key):
+            raise CircuitOpen(key, breaker.retry_after_ms(key))
+        delta_xml = None
+        if (
+            use_result_cache
+            and self.maintenance == "delta"
+            and trace.freshness == "stale-recompute"
+        ):
+            delta_xml = self._serve_delta(
+                request, plan, trace, result_key, current_versions, deadline
+            )
+        if delta_xml is not None:
+            trace.freshness = "delta-recompute"
+            if self.keep_xml:
+                trace.xml = delta_xml
+            if breaker is not None:
+                breaker.record_success(key)
+            return
+        self._compute_with_retries(
+            request,
+            plan,
+            trace,
+            key,
+            result_key,
+            use_result_cache,
+            current_versions,
+            deadline,
+        )
+
+    def _compute_with_retries(
+        self,
+        request: PublishRequest,
+        plan: CompiledPlan,
+        trace: RequestTrace,
+        key: str,
+        result_key: str,
+        use_result_cache: bool,
+        current_versions: dict[str, int],
+        deadline: Deadline,
+    ) -> None:
+        """Full computation under the retry/backoff/breaker policy.
+
+        Transient failures (busy/locked/disk-I/O, per
+        :func:`repro.errors.classify_error`) are retried up to the
+        policy's budget with exponential backoff + full jitter, capped
+        by the request deadline; every failed attempt feeds the plan's
+        circuit breaker, every success resets it. Permanent failures
+        and expired deadlines raise immediately.
+        """
+        policy = self.resilience
+        breaker = self.plan_cache.breaker
+        attempt = 0
+        while True:
+            try:
+                deadline.check()
+                self._execute_full(
+                    request,
+                    plan,
+                    trace,
+                    use_result_cache,
+                    current_versions,
+                    result_key,
+                    deadline,
+                )
+            except Exception as exc:
+                if breaker is not None and not isinstance(exc, CircuitOpen):
+                    breaker.record_failure(key)
+                # An interrupt fired by the deadline timer surfaces as a
+                # transient 'interrupted' error; the expired budget is
+                # the real failure, so re-raise it as such.
+                if not isinstance(exc, DeadlineExceeded):
+                    deadline.check()
+                kind = classify_error(exc)
+                budget = policy.retries if policy is not None else 0
+                if kind != "transient" or attempt >= budget:
+                    raise
+                attempt += 1
+                trace.retries = attempt
+                with self._lock:
+                    self._retries_total += 1
+                delay_ms = policy.backoff_ms(attempt)
+                remaining = deadline.remaining_ms()
+                if remaining is not None:
+                    delay_ms = min(delay_ms, remaining)
+                if delay_ms > 0:
+                    time.sleep(delay_ms / 1000.0)
+                continue
+            if breaker is not None:
+                breaker.record_success(key)
+            return
+
+    def _execute_full(
+        self,
+        request: PublishRequest,
+        plan: CompiledPlan,
+        trace: RequestTrace,
+        use_result_cache: bool,
+        current_versions: dict[str, int],
+        result_key: str,
+        deadline: Deadline,
+    ) -> None:
+        """One full-plan evaluation attempt (the pre-resilience path)."""
+        if use_result_cache:
+            # Recomputation must read data at least as fresh
+            # as the version stamp it publishes.
+            self._sync()
+        capture: Optional[dict] = (
+            {} if use_result_cache and self.maintenance == "delta" else None
+        )
+        with self.pool.session() as db:
+            with self._deadline_guard(db, deadline):
+                before = db.stats.snapshot()
+                stats = MaterializeStats()
+                if request.strategy == "bulk":
+                    evaluator = BulkViewEvaluator(
+                        db, stats=stats, capture_instances=capture
+                    )
+                else:
+                    evaluator = ViewEvaluator(
+                        db,
+                        memoize=request.strategy == "memoized",
+                        stats=stats,
+                        capture_instances=capture,
+                    )
+                execute_started = time.perf_counter()
+                document = evaluator.materialize(plan.view)
+                trace.execute_seconds = time.perf_counter() - execute_started
+                after = db.stats.snapshot()
+        trace.queries_executed = (
+            after["queries_executed"] - before["queries_executed"]
+        )
+        trace.rows_fetched = after["rows_fetched"] - before["rows_fetched"]
+        trace.elements_created = stats.elements_created
+        trace.attributes_created = stats.attributes_created
+        trace.fallback_nodes = len(getattr(evaluator, "fallback_nodes", []))
+        serialize_started = time.perf_counter()
+        xml = serialize(document)
+        trace.serialize_seconds = time.perf_counter() - serialize_started
+        if self.keep_xml:
+            trace.xml = xml
+        if use_result_cache:
+            self.result_cache.store(
+                result_key,
+                xml,
+                current_versions,
+                plan.tables,
+                strategy=request.strategy,
+                state=(
+                    MaterializedState(document, capture)
+                    if capture is not None
+                    else None
+                ),
+            )
+
+    # -- failure handling ----------------------------------------------------
+
+    def _can_degrade(self, request: PublishRequest) -> bool:
+        """Whether a failed request may serve last-known-good bytes.
+
+        Requires an active resilience policy with ``degraded`` on, a
+        result cache to fall back to, and — crucially — a staleness
+        policy other than ``strict``: strict means *served bytes are
+        never stale*, and a degraded serve would silently break that
+        contract, so strict servers error instead.
+        """
+        policy = self.resilience
+        return (
+            policy is not None
+            and policy.degraded
+            and self.result_cache is not None
+            and not request.bypass_cache
+            and self.staleness.kind != "strict"
+        )
+
+    def _handle_failure(
+        self,
+        request: PublishRequest,
+        trace: RequestTrace,
+        result_key: str,
+        exc: Exception,
+    ) -> None:
+        """Classify a request failure and degrade or record the error."""
+        kind = classify_error(exc)
+        if kind == "deadline":
+            trace.outcome = "deadline"
+            with self._lock:
+                self._deadline_hits += 1
+        elif kind == "rejected":
+            trace.outcome = "rejected"
+        else:
+            trace.outcome = "error"
+        if result_key and self._can_degrade(request):
+            entry = self.result_cache.peek(result_key)
+            if entry is not None:
+                trace.freshness = "degraded-stale"
+                trace.version_lag = (
+                    self.tracker.lag(entry.versions, entry.tables)
+                    if self.tracker is not None
+                    else 0
+                )
+                trace.outcome = "degraded"
+                trace.degraded_cause = f"{type(exc).__name__}: {exc}"
+                trace.error = None
+                if self.keep_xml:
+                    trace.xml = entry.xml
+                with self._lock:
+                    self._degraded_serves += 1
+                return
+        trace.error = str(exc)
+        with self._lock:
+            self.errors += 1
 
     # -- metrics / lifecycle -------------------------------------------------
 
@@ -637,26 +1008,46 @@ class ViewServer:
             requests_served = self.requests_served
             errors = self.errors
             freshness = dict(self._freshness_counts)
+            outcomes = dict(self._outcome_counts)
+            fallback_reasons = dict(self._delta_fallback_reasons)
+            retries_total = self._retries_total
+            deadline_hits = self._deadline_hits
+            shed_requests = self._shed_requests
+            degraded_serves = self._degraded_serves
         metrics = {
             "requests_served": requests_served,
             "errors": errors,
             "workers": self.workers,
             "cache": self.plan_cache.stats(),
             "freshness": freshness,
+            "outcomes": outcomes,
             "queries_executed": aggregate.queries_executed,
             "rows_fetched": aggregate.rows_fetched,
         }
         if self.result_cache is not None:
-            with self._lock:
-                delta_fallbacks = self._delta_fallbacks
             metrics["result_cache"] = self.result_cache.stats()
             metrics["staleness_policy"] = self.staleness.describe()
             metrics["maintenance"] = self.maintenance
-            metrics["delta_fallbacks"] = delta_fallbacks
+            # Total kept as a plain int for existing consumers; the
+            # by-reason breakdown says why each delta degraded to full.
+            metrics["delta_fallbacks"] = sum(fallback_reasons.values())
+            metrics["delta_fallbacks_by_reason"] = fallback_reasons
             metrics["tracker"] = {
                 "total_writes": self.tracker.clock(),
                 "versions": self.tracker.snapshot(),
             }
+        if self.resilience is not None:
+            breaker = self.plan_cache.breaker
+            metrics["resilience"] = {
+                "policy": self.resilience.describe(),
+                "retries": retries_total,
+                "deadline_hits": deadline_hits,
+                "shed_requests": shed_requests,
+                "degraded_serves": degraded_serves,
+                "breaker": breaker.stats() if breaker is not None else None,
+            }
+        if self.faults is not None:
+            metrics["faults"] = self.faults.stats()
         return metrics
 
     def close(self) -> None:

@@ -351,7 +351,7 @@ def test_metrics_report_freshness_and_maintenance_state(strict_env):
     metrics = server.metrics()
     assert metrics["freshness"] == {
         "miss": 1, "hit": 1, "stale-recompute": 1, "delta-recompute": 0,
-        "bypass": 1,
+        "bypass": 1, "degraded-stale": 0,
     }
     assert set(metrics["freshness"]) == set(FRESHNESS_STATES)
     assert metrics["maintenance"] == "full"

@@ -1,0 +1,113 @@
+"""CircuitBreaker: the closed → open → half-open state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience import BREAKER_STATES, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def breaker(clock):
+    return CircuitBreaker(threshold=3, cooldown_ms=100.0, clock=clock)
+
+
+def test_validates_construction():
+    with pytest.raises(ValueError):
+        CircuitBreaker(threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(threshold=1, cooldown_ms=0)
+
+
+def test_untracked_keys_are_closed_and_allowed(breaker):
+    assert breaker.state("unseen") == "closed"
+    assert breaker.allow("unseen")
+    assert breaker.retry_after_ms("unseen") == 0.0
+
+
+def test_opens_after_threshold_consecutive_failures(breaker):
+    breaker.record_failure("k")
+    breaker.record_failure("k")
+    assert breaker.state("k") == "closed"
+    assert breaker.allow("k")
+    breaker.record_failure("k")
+    assert breaker.state("k") == "open"
+    assert not breaker.allow("k")
+    assert breaker.stats()["opened"] == 1
+    assert breaker.stats()["short_circuits"] == 1
+
+
+def test_success_resets_the_failure_count(breaker):
+    breaker.record_failure("k")
+    breaker.record_failure("k")
+    breaker.record_success("k")
+    breaker.record_failure("k")
+    breaker.record_failure("k")
+    assert breaker.state("k") == "closed"  # never hit 3 consecutively
+
+
+def test_cooldown_half_opens_then_success_closes(breaker, clock):
+    for _ in range(3):
+        breaker.record_failure("k")
+    assert not breaker.allow("k")
+    assert breaker.retry_after_ms("k") == pytest.approx(100.0)
+    clock.advance(0.05)
+    assert not breaker.allow("k")
+    assert breaker.retry_after_ms("k") == pytest.approx(50.0)
+    clock.advance(0.06)
+    assert breaker.allow("k")  # cooldown elapsed: half-open trial
+    assert breaker.state("k") == "half-open"
+    breaker.record_success("k")
+    assert breaker.state("k") == "closed"
+    stats = breaker.stats()
+    assert stats["half_opened"] == 1
+    assert stats["closed"] == 1
+
+
+def test_half_open_failure_reopens_and_restarts_cooldown(breaker, clock):
+    for _ in range(3):
+        breaker.record_failure("k")
+    clock.advance(0.2)
+    assert breaker.allow("k")
+    breaker.record_failure("k")  # first trial failure re-opens immediately
+    assert breaker.state("k") == "open"
+    assert not breaker.allow("k")
+    assert breaker.retry_after_ms("k") == pytest.approx(100.0)
+    assert breaker.stats()["opened"] == 2
+
+
+def test_keys_are_independent(breaker):
+    for _ in range(3):
+        breaker.record_failure("bad")
+    assert breaker.state("bad") == "open"
+    assert breaker.allow("good")
+    assert breaker.state("good") == "closed"
+
+
+def test_stats_histogram_covers_all_states(breaker, clock):
+    breaker.record_failure("a")
+    for _ in range(3):
+        breaker.record_failure("b")
+    for _ in range(3):
+        breaker.record_failure("c")
+    clock.advance(0.2)
+    assert breaker.allow("c")  # half-opens c
+    histogram = breaker.stats()["states"]
+    assert set(histogram) == set(BREAKER_STATES)
+    assert histogram == {"closed": 1, "open": 1, "half-open": 1}

@@ -1,0 +1,117 @@
+"""ResiliencePolicy knobs and the Deadline time budget."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import DeadlineExceeded, ReproError
+from repro.resilience import Deadline, ResiliencePolicy
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"deadline_ms": 0},
+        {"deadline_ms": -5},
+        {"retries": -1},
+        {"backoff_base_ms": -1},
+        {"breaker_threshold": -1},
+        {"breaker_cooldown_ms": 0},
+        {"queue_limit": -1},
+    ],
+)
+def test_policy_validates(kwargs):
+    with pytest.raises(ReproError):
+        ResiliencePolicy(**kwargs)
+
+
+def test_backoff_is_capped_exponential_with_full_jitter():
+    policy = ResiliencePolicy(
+        retries=5, backoff_base_ms=10.0, backoff_max_ms=40.0
+    )
+    rng = random.Random(0)
+    for attempt, ceiling in [(1, 10.0), (2, 20.0), (3, 40.0), (4, 40.0)]:
+        draws = [policy.backoff_ms(attempt, rng=rng) for _ in range(50)]
+        assert all(0.0 <= d <= ceiling for d in draws)
+        # Full jitter actually spreads over the range, it's not constant.
+        assert max(draws) - min(draws) > ceiling / 4
+
+
+def test_describe_mentions_every_active_knob():
+    text = ResiliencePolicy(
+        deadline_ms=250.0,
+        retries=2,
+        breaker_threshold=3,
+        queue_limit=8,
+        degraded=False,
+    ).describe()
+    for fragment in ("deadline=250ms", "retries=2", "breaker=3",
+                     "queue=8", "no-degraded"):
+        assert fragment in text
+
+
+def test_unbounded_deadline_is_a_free_noop():
+    deadline = Deadline.start(None)
+    assert deadline.remaining_ms() is None
+    assert not deadline.expired
+    deadline.check()  # never raises
+
+
+def test_deadline_expires_on_the_fake_clock():
+    clock = FakeClock()
+    deadline = Deadline.start(100.0, clock=clock)
+    deadline.check()
+    clock.advance(0.05)
+    assert deadline.remaining_ms() == pytest.approx(50.0)
+    clock.advance(0.06)
+    assert deadline.remaining_ms() == 0.0  # clamped, never negative
+    assert deadline.expired
+    with pytest.raises(DeadlineExceeded) as exc:
+        deadline.check()
+    assert exc.value.deadline_ms == 100.0
+    assert exc.value.elapsed_ms >= 100.0
+
+
+def test_classify_error_taxonomy():
+    import sqlite3
+
+    from repro.errors import (
+        CircuitOpen,
+        RequestRejected,
+        ViewEvaluationError,
+        classify_error,
+    )
+
+    assert classify_error(DeadlineExceeded(10, 11)) == "deadline"
+    assert classify_error(RequestRejected("shed")) == "rejected"
+    assert classify_error(CircuitOpen("key", 50.0)) == "rejected"
+    assert (
+        classify_error(sqlite3.OperationalError("database is locked"))
+        == "transient"
+    )
+    assert (
+        classify_error(sqlite3.OperationalError("no such table: x"))
+        == "permanent"
+    )
+    assert classify_error(ValueError("nope")) == "permanent"
+    # The chain is walked: a wrapped transient stays transient...
+    wrapped = ViewEvaluationError("sqlite error: disk I/O error")
+    wrapped.__cause__ = sqlite3.OperationalError("disk I/O error")
+    assert classify_error(wrapped) == "transient"
+    # ...and a wrapped deadline stays a deadline.
+    shell = RuntimeError("boom")
+    shell.__context__ = DeadlineExceeded(5, 6)
+    assert classify_error(shell) == "deadline"

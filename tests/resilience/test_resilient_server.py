@@ -1,0 +1,346 @@
+"""ViewServer under a ResiliencePolicy: retries, deadlines, breaker,
+admission control, and the degraded-stale fallback."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.maintenance import WriteTracker, hotel_write
+from repro.resilience import FaultPlan, FaultSpec, ResiliencePolicy
+from repro.serving import OUTCOMES, PublishRequest, ViewServer
+from repro.workloads.hotel import HotelDataSpec, build_hotel_database
+from repro.workloads.paper import figure1_view, figure4_stylesheet
+
+
+class ScriptedPlan(FaultPlan):
+    """A FaultPlan whose first ``len(script)`` query checks are scripted.
+
+    Script items: ``"error"`` / ``"wrong-shape"`` (returned as the fault
+    kind), a callable (invoked, no fault), or ``None`` (no fault). Once
+    the script is exhausted every check is clean.
+    """
+
+    def __init__(self, script):
+        super().__init__(FaultSpec(), seed=0)
+        self._script = list(script)
+
+    def check_query(self, site):
+        self._advance(site)
+        if not self.enabled:
+            return None
+        with self._lock:
+            action = self._script.pop(0) if self._script else None
+        if callable(action):
+            action()
+            return None
+        if action == "error":
+            self._count("error")
+        return action
+
+
+def _small_db(cross_thread: bool = False):
+    return build_hotel_database(
+        HotelDataSpec(metros=2, hotels_per_metro=2),
+        cross_thread=cross_thread,
+    )
+
+
+def _request(db, **kwargs):
+    return PublishRequest(
+        view=figure1_view(db.catalog),
+        stylesheet=figure4_stylesheet(),
+        **kwargs,
+    )
+
+
+def _tracked_server(db, staleness="bounded:1", **kwargs):
+    tracker = WriteTracker()
+    db.attach_tracker(tracker)
+    return tracker, ViewServer(
+        db.catalog,
+        source=db,
+        workers=2,
+        tracker=tracker,
+        staleness=staleness,
+        **kwargs,
+    )
+
+
+def test_transient_failure_retries_then_succeeds():
+    db = _small_db()
+    faults = ScriptedPlan(["error"])
+    policy = ResiliencePolicy(retries=2, backoff_base_ms=0.1,
+                              backoff_max_ms=0.5)
+    reference = None
+    with ViewServer(db.catalog, source=db, workers=2) as plain:
+        reference = plain.render(figure1_view(db.catalog),
+                                 figure4_stylesheet())
+    with ViewServer(
+        db.catalog, source=db, workers=2, resilience=policy, faults=faults
+    ) as server:
+        trace = server.submit(_request(db)).result()
+        assert trace.outcome == "success"
+        assert trace.error is None
+        assert trace.retries == 1
+        assert trace.xml == reference.xml
+        metrics = server.metrics()
+        assert metrics["resilience"]["retries"] == 1
+        assert metrics["outcomes"]["success"] == 1
+        assert server.pool.outstanding() == 0
+    db.close()
+
+
+def test_retry_budget_exhaustion_is_an_error_without_fallback():
+    db = _small_db()
+    faults = FaultPlan(FaultSpec(every_n=1), seed=0)  # every query fails
+    policy = ResiliencePolicy(retries=2, backoff_base_ms=0.1,
+                              backoff_max_ms=0.5)
+    with ViewServer(
+        db.catalog, source=db, workers=2, resilience=policy, faults=faults
+    ) as server:
+        trace = server.submit(_request(db)).result()
+        assert trace.outcome == "error"
+        assert trace.retries == 2
+        assert trace.error is not None
+        assert trace.xml is None
+    db.close()
+
+
+def test_degraded_stale_serves_last_known_good_with_lag():
+    db = _small_db(cross_thread=True)
+    faults = FaultPlan(FaultSpec(every_n=1), seed=0, enabled=False)
+    policy = ResiliencePolicy(retries=1, backoff_base_ms=0.1,
+                              backoff_max_ms=0.5)
+    tracker, server = _tracked_server(
+        db, staleness="bounded:1", resilience=policy, faults=faults
+    )
+    try:
+        warm = server.submit(_request(db)).result()
+        assert warm.freshness == "miss" and warm.error is None
+        hotel_write(db, 0, tracker)
+        hotel_write(db, 1, tracker)  # lag 2 > bound 1: entry is stale
+        faults.arm()
+        trace = server.submit(_request(db)).result()
+        assert trace.outcome == "degraded"
+        assert trace.freshness == "degraded-stale"
+        assert trace.error is None
+        assert trace.degraded_cause is not None
+        assert trace.version_lag >= 2  # the honest staleness served
+        assert trace.xml == warm.xml  # last-known-good bytes, verbatim
+        metrics = server.metrics()
+        assert metrics["resilience"]["degraded_serves"] == 1
+        assert metrics["freshness"]["degraded-stale"] == 1
+        assert metrics["outcomes"]["degraded"] == 1
+    finally:
+        server.close()
+        db.close()
+
+
+@pytest.mark.parametrize("staleness,degraded", [("strict", True),
+                                                ("bounded:1", False)])
+def test_no_silent_stale_under_strict_or_degraded_off(staleness, degraded):
+    """strict policy + failure => error (never silent stale bytes); the
+    same holds when the operator turned the fallback off."""
+    db = _small_db(cross_thread=True)
+    faults = FaultPlan(FaultSpec(every_n=1), seed=0, enabled=False)
+    policy = ResiliencePolicy(retries=0, degraded=degraded)
+    tracker, server = _tracked_server(
+        db, staleness=staleness, resilience=policy, faults=faults
+    )
+    try:
+        warm = server.submit(_request(db)).result()
+        assert warm.error is None
+        hotel_write(db, 0, tracker)
+        hotel_write(db, 1, tracker)
+        faults.arm()
+        trace = server.submit(_request(db)).result()
+        assert trace.outcome == "error"
+        assert trace.error is not None
+        assert trace.freshness != "degraded-stale"
+        assert trace.xml is None
+        assert server.metrics()["resilience"]["degraded_serves"] == 0
+    finally:
+        server.close()
+        db.close()
+
+
+def test_deadline_exceeded_without_fallback_is_reported():
+    db = _small_db()
+    policy = ResiliencePolicy(deadline_ms=0.001)  # expires immediately
+    with ViewServer(
+        db.catalog, source=db, workers=1, resilience=policy
+    ) as server:
+        trace = server.submit(_request(db)).result()
+        assert trace.outcome == "deadline"
+        assert "deadline" in trace.error
+        metrics = server.metrics()
+        assert metrics["resilience"]["deadline_hits"] == 1
+        assert metrics["outcomes"]["deadline"] == 1
+    db.close()
+
+
+def test_deadline_blown_mid_evaluation_degrades_to_stale():
+    db = _small_db(cross_thread=True)
+    # One scripted 80ms stall inside the recompute: the next query
+    # boundary's cancel_check sees the 30ms budget gone.
+    faults = ScriptedPlan([lambda: time.sleep(0.08)])
+    faults.disarm()
+    policy = ResiliencePolicy(deadline_ms=30.0, retries=3)
+    tracker, server = _tracked_server(
+        db, staleness="bounded:1", resilience=policy, faults=faults
+    )
+    try:
+        warm = server.submit(_request(db)).result()
+        assert warm.error is None  # well under the deadline when healthy
+        hotel_write(db, 0, tracker)
+        hotel_write(db, 1, tracker)
+        faults.arm()
+        trace = server.submit(_request(db)).result()
+        assert trace.outcome == "degraded"
+        assert "DeadlineExceeded" in trace.degraded_cause
+        assert trace.xml == warm.xml
+        assert server.metrics()["resilience"]["deadline_hits"] == 1
+    finally:
+        server.close()
+        db.close()
+
+
+def test_admission_control_sheds_beyond_queue_limit():
+    db = _small_db()
+    started = threading.Event()
+    release = threading.Event()
+
+    def block():
+        started.set()
+        assert release.wait(timeout=10)
+
+    faults = ScriptedPlan([block])
+    policy = ResiliencePolicy(queue_limit=0)
+    with ViewServer(
+        db.catalog, source=db, workers=1, resilience=policy, faults=faults
+    ) as server:
+        first = server.submit(_request(db))
+        assert started.wait(timeout=10)  # the only worker is busy
+        shed = server.submit(_request(db)).result()
+        assert shed.outcome == "rejected"
+        assert "shed" in shed.error
+        assert shed.freshness == "bypass"
+        release.set()
+        assert first.result().outcome == "success"
+        metrics = server.metrics()
+        assert metrics["resilience"]["shed_requests"] == 1
+        assert metrics["outcomes"]["rejected"] == 1
+        assert metrics["outcomes"]["success"] == 1
+    db.close()
+
+
+def test_breaker_opens_short_circuits_and_recovers():
+    db = _small_db()
+    faults = FaultPlan(FaultSpec(every_n=1), seed=0)
+    policy = ResiliencePolicy(
+        retries=0, breaker_threshold=2, breaker_cooldown_ms=50.0
+    )
+    with ViewServer(
+        db.catalog, source=db, workers=1, resilience=policy, faults=faults
+    ) as server:
+        key = server.plan_key_for(_request(db))
+        for _ in range(2):
+            assert server.submit(_request(db)).result().outcome == "error"
+        breaker = server.plan_cache.breaker
+        assert breaker.state(key) == "open"
+        shorted = server.submit(_request(db)).result()
+        # A breaker refusal is backpressure, not a computation failure.
+        assert shorted.outcome == "rejected"
+        assert "circuit breaker open" in shorted.error
+        assert breaker.stats()["short_circuits"] >= 1
+        # Cooldown elapses, the fault clears: a half-open trial closes it.
+        faults.disarm()
+        time.sleep(0.06)
+        healed = server.submit(_request(db)).result()
+        assert healed.outcome == "success"
+        assert breaker.state(key) == "closed"
+    db.close()
+
+
+def test_compile_failures_feed_the_breaker():
+    db = _small_db()
+    faults = FaultPlan(FaultSpec(compile_error_rate=1.0), seed=0)
+    policy = ResiliencePolicy(retries=0, breaker_threshold=1,
+                              breaker_cooldown_ms=60_000.0)
+    with ViewServer(
+        db.catalog, source=db, workers=1, resilience=policy, faults=faults
+    ) as server:
+        first = server.submit(_request(db)).result()
+        assert first.outcome == "error"
+        assert "injected compile failure" in first.error
+        # The breaker opened on the compile failure: the next request
+        # short-circuits before attempting another compile.
+        second = server.submit(_request(db)).result()
+        assert "circuit breaker open" in second.error
+        assert server.metrics()["cache"]["misses"] == 1  # one build, ever
+    db.close()
+
+
+def test_wrong_shape_results_fail_loudly_never_silently():
+    db = _small_db()
+    faults = FaultPlan(FaultSpec(wrong_shape_rate=1.0), seed=0)
+    with ViewServer(
+        db.catalog, source=db, workers=1, faults=faults
+    ) as server:
+        trace = server.submit(_request(db)).result()
+        assert trace.outcome == "error"
+        assert trace.error is not None
+        assert trace.xml is None
+    db.close()
+
+
+def test_no_connections_leak_under_sustained_chaos():
+    db = _small_db()
+    faults = FaultPlan(FaultSpec(error_rate=0.5, wrong_shape_rate=0.2),
+                       seed=11)
+    policy = ResiliencePolicy(retries=1, backoff_base_ms=0.1,
+                              backoff_max_ms=0.5)
+    with ViewServer(
+        db.catalog, source=db, workers=3, resilience=policy, faults=faults
+    ) as server:
+        traces = server.render_many(_request(db) for _ in range(40))
+        assert len(traces) == 40
+        assert all(t.outcome in OUTCOMES for t in traces)
+        assert server.pool.outstanding() == 0
+    db.close()
+
+
+def test_metrics_report_resilience_and_fault_sections():
+    db = _small_db()
+    faults = FaultPlan(FaultSpec(error_rate=0.1), seed=3)
+    policy = ResiliencePolicy(deadline_ms=5000.0, retries=2,
+                              breaker_threshold=4, queue_limit=16)
+    with ViewServer(
+        db.catalog, source=db, workers=2, resilience=policy, faults=faults
+    ) as server:
+        server.submit(_request(db)).result()
+        metrics = server.metrics()
+        assert set(metrics["outcomes"]) == set(OUTCOMES)
+        resilience = metrics["resilience"]
+        assert resilience["policy"] == policy.describe()
+        for field in ("retries", "deadline_hits", "shed_requests",
+                      "degraded_serves"):
+            assert resilience[field] >= 0
+        assert resilience["breaker"]["threshold"] == 4
+        assert metrics["faults"]["seed"] == 3
+        assert metrics["faults"]["checks"] > 0
+    db.close()
+
+
+def test_server_without_policy_reports_no_resilience_section():
+    db = _small_db()
+    with ViewServer(db.catalog, source=db, workers=1) as server:
+        server.submit(_request(db)).result()
+        metrics = server.metrics()
+        assert "resilience" not in metrics
+        assert "faults" not in metrics
+        assert metrics["outcomes"]["success"] == 1
+    db.close()

@@ -110,3 +110,90 @@ def test_closed_pool_rejects_acquire(small_hotel_db):
     pool.close()  # idempotent
     with pytest.raises(RuntimeError):
         pool.acquire()
+
+
+# ---------------------------------------------------------------------------
+# Release sanitization: no leaks, no poisoned connections
+# ---------------------------------------------------------------------------
+
+
+def test_session_context_never_leaks_on_exception(small_hotel_db):
+    with ConnectionPool(
+        small_hotel_db.catalog, source=small_hotel_db, size=1
+    ) as pool:
+        with pytest.raises(RuntimeError):
+            with pool.session():
+                raise RuntimeError("mid-evaluation failure")
+        assert pool.outstanding() == 0
+        # The single session is borrowable again immediately.
+        with pool.session() as db:
+            assert db.table_count("metroarea") == 2
+        assert pool.outstanding() == 0
+
+
+def test_release_rolls_back_open_transaction(small_hotel_db):
+    """A borrower abandoned mid-transaction (e.g. after an interrupted
+    statement) must not hand the next borrower a connection that is
+    still inside that transaction."""
+    with ConnectionPool(
+        small_hotel_db.catalog, source=small_hotel_db, size=1
+    ) as pool:
+        session = pool.acquire()
+        session.connection.execute("BEGIN")
+        session.connection.execute("SELECT COUNT(*) FROM metroarea")
+        assert session.connection.in_transaction
+        pool.release(session)
+        again = pool.acquire()
+        assert again is session
+        assert not again.connection.in_transaction
+        pool.release(again)
+
+
+def test_release_clears_lingering_cancel_check(small_hotel_db):
+    def boom():
+        raise AssertionError("stale cancel hook fired")
+
+    with ConnectionPool(
+        small_hotel_db.catalog, source=small_hotel_db, size=1
+    ) as pool:
+        session = pool.acquire()
+        session.cancel_check = boom
+        pool.release(session)
+        with pool.session() as db:
+            assert db.cancel_check is None
+            from repro.sql.parser import parse_select
+
+            db.run_query(parse_select("SELECT * FROM metroarea"))
+
+
+def test_release_replaces_a_broken_session(small_hotel_db):
+    """A session whose connection died is swapped for a fresh one: the
+    pool never shrinks and never re-queues a poisoned connection."""
+    with ConnectionPool(
+        small_hotel_db.catalog, source=small_hotel_db, size=2
+    ) as pool:
+        session = pool.acquire()
+        session.connection.close()  # simulate a fatally broken connection
+        pool.release(session)
+        assert pool.outstanding() == 0
+        # Both slots still serve queries.
+        first = pool.acquire()
+        second = pool.acquire()
+        for db in (first, second):
+            assert db.table_count("metroarea") == 2
+        assert session not in (first, second)
+        pool.release(first)
+        pool.release(second)
+        # aggregate_stats still sees exactly ``size`` sessions.
+        assert len(pool._sessions) == 2
+
+
+def test_release_into_closed_pool_closes_the_session(small_hotel_db):
+    pool = ConnectionPool(
+        small_hotel_db.catalog, source=small_hotel_db, size=2
+    )
+    held = pool.acquire()
+    pool.close()
+    pool.release(held)  # must not raise, must not queue
+    with pytest.raises(sqlite3.ProgrammingError):
+        held.connection.execute("SELECT 1")

@@ -138,14 +138,16 @@ def _live_bytes(db):
 
 
 @pytest.mark.parametrize(
-    "method,error",
+    "method,error,reason",
     [
-        ("_evaluate_subtree", RuntimeError),      # mid re-evaluation
-        ("_rebuild_children", RuntimeError),      # mid splice
-        ("_check_spliceable", None),              # a clean decline
+        ("_evaluate_subtree", RuntimeError, "error"),   # mid re-evaluation
+        ("_rebuild_children", RuntimeError, "error"),   # mid splice
+        ("_check_spliceable", None, "unsupported"),     # a clean decline
     ],
 )
-def test_mid_splice_failure_falls_back_to_full(monkeypatch, method, error):
+def test_mid_splice_failure_falls_back_to_full(
+    monkeypatch, method, error, reason
+):
     """An exception anywhere inside the delta path (re-evaluation, the
     splice itself, or a DeltaUnsupported decline) must surface as a
     successful full 'stale-recompute' with correct bytes - and the stale
@@ -175,7 +177,9 @@ def test_mid_splice_failure_falls_back_to_full(monkeypatch, method, error):
         assert trace.error is None
         assert trace.freshness == "stale-recompute"  # full fallback, not delta
         assert trace.xml == _live_bytes(db)
-        assert server.metrics()["delta_fallbacks"] == 1
+        metrics = server.metrics()
+        assert metrics["delta_fallbacks"] == 1
+        assert metrics["delta_fallbacks_by_reason"][reason] == 1
         # The entry the failed delta read from was never touched.
         assert serialize(stale_entry.state.document) == stale_doc_bytes
         assert stale_entry.xml == first.xml
@@ -219,6 +223,74 @@ def test_delta_failure_after_store_does_not_lose_writes(monkeypatch):
         assert trace.freshness == "stale-recompute"
         assert trace.xml == _live_bytes(db)
         assert trace.xml != before
+    finally:
+        server.close()
+        db.close()
+
+
+# ---------------------------------------------------------------------------
+# Fault-layer chaos: exhaustion and compile failures under concurrency
+# ---------------------------------------------------------------------------
+
+
+def test_pool_not_exhausted_by_sustained_query_faults():
+    """Hammering a small pool with injected query errors must never leak
+    a connection: once the faults clear, the same server serves cleanly
+    with every session back in the idle queue."""
+    from repro.resilience import FaultPlan, FaultSpec, ResiliencePolicy
+    from repro.serving import PublishRequest, ViewServer
+    from repro.workloads.hotel import HotelDataSpec, build_hotel_database
+
+    db = build_hotel_database(HotelDataSpec(metros=1, hotels_per_metro=3))
+    faults = FaultPlan(FaultSpec(error_rate=0.7), seed=5)
+    policy = ResiliencePolicy(retries=1, backoff_base_ms=0.1,
+                              backoff_max_ms=0.5)
+    server = ViewServer(
+        db.catalog, source=db, workers=2, resilience=policy, faults=faults
+    )
+    try:
+        request = lambda: PublishRequest(  # noqa: E731
+            view=figure1_view(db.catalog), stylesheet=figure4_stylesheet(),
+            bypass_cache=True,
+        )
+        traces = server.render_many(request() for _ in range(30))
+        assert any(t.outcome == "error" for t in traces)  # chaos did bite
+        assert server.pool.outstanding() == 0  # ...but nothing leaked
+        faults.disarm()
+        healed = server.submit(request()).result()
+        assert healed.outcome == "success"
+        assert healed.error is None
+        assert server.pool.outstanding() == 0
+    finally:
+        server.close()
+        db.close()
+
+
+def test_compile_failure_under_concurrency_does_not_wedge_single_flight():
+    """Injected compile failures hit many concurrent requests for the
+    same plan: single-flight must propagate the error to every waiter
+    (no hang, no half-built cache entry) and recover once disarmed."""
+    from repro.resilience import FaultPlan, FaultSpec
+    from repro.serving import PublishRequest, ViewServer
+    from repro.workloads.hotel import HotelDataSpec, build_hotel_database
+
+    db = build_hotel_database(HotelDataSpec(metros=1, hotels_per_metro=3))
+    faults = FaultPlan(FaultSpec(compile_error_rate=1.0), seed=9)
+    server = ViewServer(db.catalog, source=db, workers=4, faults=faults)
+    try:
+        request = lambda: PublishRequest(  # noqa: E731
+            view=figure1_view(db.catalog), stylesheet=figure4_stylesheet(),
+        )
+        futures = [server.submit(request()) for _ in range(8)]
+        traces = [f.result(timeout=30) for f in futures]
+        assert all(t.outcome == "error" for t in traces)
+        assert all("injected compile failure" in t.error for t in traces)
+        assert server.metrics()["cache"]["size"] == 0  # nothing half-built
+        faults.disarm()
+        healed = server.submit(request()).result(timeout=30)
+        assert healed.outcome == "success"
+        assert healed.error is None
+        assert server.metrics()["cache"]["size"] == 1
     finally:
         server.close()
         db.close()
