@@ -1,0 +1,160 @@
+"""E17: row/block delta pushdown and fragment byte-cache serving.
+
+Measures the fragment-serving stack on the shared scale-8 hotel
+database against the delta and full maintenance modes, under the two
+entity-local write mixes the techniques target: a single-hotel
+``confroom`` capacity write (block pushdown: re-aggregate one hotel's
+and one metro's confstat blocks, share everything else) and a
+single-hotel ``pool`` flip (row pushdown: re-fetch one row). The raw
+block-splice primitive (one :class:`~repro.maintenance.DeltaEvaluator`
+pass with tracked row detail, outside the server) is benchmarked
+alongside its node-level cost. The full ratio sweep and the mismatch
+gate live in ``python -m repro.harness --e17-json``.
+"""
+
+import pytest
+
+from repro.maintenance import (
+    DeltaEvaluator,
+    MaterializedState,
+    WriteTracker,
+    hotel_conference_write,
+    hotel_payload_write,
+)
+from repro.schema_tree.bulk_evaluator import BulkViewEvaluator
+from repro.serving import PublishRequest, ViewServer
+from repro.serving.fingerprint import node_read_sets
+from repro.workloads.paper import figure1_view
+
+REQUESTS = 10
+
+CONFIGS = [
+    ("full", None),
+    ("delta", None),
+    ("fragment", "all"),
+    ("fragment", "auto"),
+]
+
+
+def _batch(db):
+    # The raw Figure 1 view: the composed stylesheet views concentrate
+    # reads into one top node, which hides per-fragment structure.
+    view = figure1_view(db.catalog)
+    return view, [
+        PublishRequest(view, None, strategy="bulk") for _ in range(REQUESTS)
+    ]
+
+
+@pytest.mark.parametrize("maintenance,policy", CONFIGS)
+def test_e17_leaf_write_batch_by_config(
+    benchmark, serving_db, maintenance, policy
+):
+    """One tracked confroom-capacity write lands before every batch; the
+    first stale request per round pays the maintenance mode's price —
+    block splice plus span-splice serialization on the fragment path."""
+    benchmark.group = "E17 fragment serving (10-request batch, leaf write)"
+    tracker = WriteTracker()
+    serving_db.attach_tracker(tracker)
+    view, batch = _batch(serving_db)
+    step = [0]
+    with ViewServer(
+        serving_db.catalog,
+        source=serving_db,
+        workers=1,
+        keep_xml=False,
+        tracker=tracker,
+        staleness="strict",
+        maintenance=maintenance,
+        fragment_policy=policy,
+    ) as server:
+        server.render_many(batch)
+        for _ in range(8):  # let the auto policy converge before timing
+            hotel_conference_write(serving_db, step[0], tracker, hotels=1)
+            step[0] += 1
+            server.render_many(batch)
+
+        def round_with_write():
+            hotel_conference_write(serving_db, step[0], tracker, hotels=1)
+            step[0] += 1
+            server.render_many(batch)
+
+        benchmark(round_with_write)
+
+
+def test_e17_block_splice_single_pass(benchmark, serving_db):
+    """The block primitive alone: one hotel's confrooms change, two
+    aggregate blocks (hotel + metro confstat) re-evaluate."""
+    benchmark.group = "E17 primitives"
+    view = figure1_view(serving_db.catalog)
+    reads = node_read_sets(view)
+    tracker = WriteTracker()
+    capture = {}
+    document = BulkViewEvaluator(
+        serving_db, capture_instances=capture
+    ).materialize(view)
+    holder = [MaterializedState(document, capture)]
+    step = [0]
+
+    def one_block_delta():
+        stamped = tracker.snapshot()
+        hotel_conference_write(serving_db, step[0], tracker, hotels=1)
+        step[0] += 1
+        changes = tracker.changes_since(stamped, ("confroom",))
+        result = DeltaEvaluator(serving_db).evaluate(
+            view, holder[0], reads, tuple(changes), changes=changes
+        )
+        holder[0] = result.state
+        assert result.blocks_spliced == 2
+
+    benchmark(one_block_delta)
+
+
+def test_e17_node_level_single_pass(benchmark, serving_db):
+    """The cost the block primitive replaces: the same write with the
+    row detail withheld, forcing node-level re-evaluation."""
+    benchmark.group = "E17 primitives"
+    view = figure1_view(serving_db.catalog)
+    reads = node_read_sets(view)
+    capture = {}
+    document = BulkViewEvaluator(
+        serving_db, capture_instances=capture
+    ).materialize(view)
+    holder = [MaterializedState(document, capture)]
+    step = [0]
+
+    def one_node_delta():
+        hotel_conference_write(serving_db, step[0], tracker=None, hotels=1)
+        step[0] += 1
+        result = DeltaEvaluator(serving_db).evaluate(
+            view, holder[0], reads, ("confroom",)
+        )
+        holder[0] = result.state
+
+    benchmark(one_node_delta)
+
+
+def test_e17_row_splice_single_pass(benchmark, serving_db):
+    """The row primitive alone: one pool flip, one row re-fetched."""
+    benchmark.group = "E17 primitives"
+    view = figure1_view(serving_db.catalog)
+    reads = node_read_sets(view)
+    tracker = WriteTracker()
+    capture = {}
+    document = BulkViewEvaluator(
+        serving_db, capture_instances=capture
+    ).materialize(view)
+    holder = [MaterializedState(document, capture)]
+    step = [0]
+
+    def one_row_delta():
+        stamped = tracker.snapshot()
+        hotel_payload_write(serving_db, step[0], tracker, rows=1)
+        step[0] += 1
+        changes = tracker.changes_since(stamped, ("hotel",))
+        result = DeltaEvaluator(serving_db).evaluate(
+            view, holder[0], reads, tuple(changes), changes=changes
+        )
+        holder[0] = result.state
+        assert result.rows_spliced == 1
+
+    benchmark(one_row_delta)

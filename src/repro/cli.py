@@ -210,7 +210,14 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     freshness histogram, result-cache counters, and the maximum version
     lag actually served. ``--maintenance delta`` recomputes stale
     entries incrementally (dirty schema nodes only, spliced into the
-    cached document) instead of re-running the full plan.
+    cached document) instead of re-running the full plan;
+    ``--maintenance fragment`` additionally serializes through the
+    per-fragment byte cache (``--fragment-policy`` picks what stays
+    byte-materialized). ``--view-only`` serves the publishing view
+    itself instead of the stylesheet compositions — the regime where
+    per-node maintenance has structure to exploit. ``--profile`` adds a
+    per-phase time breakdown (query / merge / serialize / splice) over
+    the computed (non-hit) requests, in the text report and the JSON.
 
     Chaos mode: ``--faults`` (and friends) build a seeded
     :class:`~repro.resilience.faults.FaultPlan` injecting transient
@@ -292,6 +299,8 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         ("figure4", figure4_stylesheet()),
         ("figure17", figure17_stylesheet()),
     ]
+    if args.view_only:
+        stylesheets = [("figure1", None)]
     requests = []
     for index in range(args.requests):
         name, stylesheet = stylesheets[index % len(stylesheets)]
@@ -309,6 +318,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         tracker=tracker,
         staleness=args.staleness or "strict",
         maintenance=args.maintenance,
+        fragment_policy=args.fragment_policy,
         resilience=resilience,
         faults=faults,
     )
@@ -425,6 +435,14 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
             f"delta_recomputes={freshness['delta-recompute']} "
             f"delta_fallbacks={metrics['delta_fallbacks']}"
         )
+        if "fragments" in metrics:
+            fragments = metrics["fragments"]
+            print(
+                f"fragments policy={fragments['policy']} "
+                f"hits={fragments['hits']} misses={fragments['misses']} "
+                f"splices={fragments['splices']} "
+                f"spliced_bytes={fragments['spliced_bytes']}"
+            )
         print(
             f"writes issued={writes_issued[0]} "
             f"tracked={metrics['tracker']['total_writes']}"
@@ -459,6 +477,47 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     for trace in errors:
         print(f"error: request {trace.request_id}: {trace.error}",
               file=sys.stderr)
+    profile = None
+    if args.profile:
+        # Per-phase breakdown over the requests that actually computed
+        # (cache hits and degraded serves spend time in none of these).
+        # merge = execute - query - splice: the evaluator work between
+        # sqlite and the document splice (row grouping, element build).
+        computed = [
+            trace
+            for trace in traces
+            if trace.error is None
+            and trace.freshness not in ("hit", "degraded-stale")
+        ]
+        samples = {
+            "query": [t.query_seconds * 1000 for t in computed],
+            "merge": [
+                max(
+                    0.0,
+                    (t.execute_seconds - t.query_seconds - t.splice_seconds)
+                    * 1000,
+                )
+                for t in computed
+            ],
+            "serialize": [t.serialize_seconds * 1000 for t in computed],
+            "splice": [t.splice_seconds * 1000 for t in computed],
+        }
+        profile = {
+            phase: {
+                "total_ms": round(sum(values), 3),
+                "p50_ms": round(percentile(values, 50), 4),
+                "p95_ms": round(percentile(values, 95), 4),
+            }
+            for phase, values in samples.items()
+        }
+        profile["requests"] = len(computed)
+        print(
+            f"profile requests={len(computed)} "
+            + " ".join(
+                f"{phase}_p50_ms={profile[phase]['p50_ms']:.4f}"
+                for phase in ("query", "merge", "serialize", "splice")
+            )
+        )
     if args.json:
         report = {
             "config": {
@@ -469,6 +528,8 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
                 "writes_per_sec": args.writes_per_sec,
                 "staleness": args.staleness,
                 "maintenance": args.maintenance,
+                "fragment_policy": args.fragment_policy,
+                "view_only": args.view_only,
                 "warmup": args.warmup,
                 "fault_seed": args.fault_seed if faults is not None else None,
                 "resilience": (
@@ -504,9 +565,13 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
             report["delta_fallbacks_by_reason"] = metrics[
                 "delta_fallbacks_by_reason"
             ]
+            if "fragments" in metrics:
+                report["fragments"] = metrics["fragments"]
             report["writes_issued"] = writes_issued[0]
             report["writes_tracked"] = metrics["tracker"]["total_writes"]
             report["max_hit_lag"] = max_hit_lag
+        if profile is not None:
+            report["profile"] = profile
         if resilience is not None:
             report["resilience"] = metrics["resilience"]
         if faults is not None:
@@ -632,10 +697,27 @@ def build_parser() -> argparse.ArgumentParser:
         "(enables update-aware serving; default off)",
     )
     serve_parser.add_argument(
-        "--maintenance", default="full", choices=["full", "delta"],
-        help="how stale results are recomputed: re-run the full plan, or "
+        "--maintenance", default="full",
+        choices=["full", "delta", "fragment"],
+        help="how stale results are recomputed: re-run the full plan, "
         "delta (re-execute only dirty schema nodes and splice; falls "
-        "back to full when unsafe)",
+        "back to full when unsafe), or fragment (delta plus the "
+        "serialized-fragment byte cache)",
+    )
+    serve_parser.add_argument(
+        "--fragment-policy", default="all", metavar="POLICY",
+        help="fragment pinning policy for --maintenance fragment: all, "
+        "none, auto, or auto:BYTES (default: all)",
+    )
+    serve_parser.add_argument(
+        "--view-only", action="store_true",
+        help="serve the publishing view itself instead of the stylesheet "
+        "compositions",
+    )
+    serve_parser.add_argument(
+        "--profile", action="store_true",
+        help="report a per-phase time breakdown "
+        "(query/merge/serialize/splice) over computed requests",
     )
     serve_parser.add_argument(
         "--faults", type=float, default=0.0, metavar="RATE",

@@ -43,7 +43,29 @@ def main() -> None:
         "record its raw numbers as JSON (runs + availability at the "
         "highest fault rate)",
     )
+    parser.add_argument(
+        "--e17-json", metavar="PATH",
+        help="run only E17 (fragment-level serving) and record its raw "
+        "numbers as JSON (row-pushdown sweep + fragment/delta paired "
+        "ratio at the leaf-write mix)",
+    )
     args = parser.parse_args()
+    if args.e17_json:
+        from repro.harness.experiments import e17_fragments
+
+        if args.quick:
+            # Same scale as the full sweep: the gated paired ratio needs
+            # rounds long enough that the serialize share is measurable
+            # over timer jitter; only the sweep breadth is reduced.
+            result = e17_fragments(
+                scale=8, rounds=5, repeats=2, row_counts=[1, 4],
+                json_path=args.e17_json,
+            )
+        else:
+            result = e17_fragments(json_path=args.e17_json)
+        print(result.to_console())
+        print(f"wrote {args.e17_json}")
+        return
     if args.e16_json:
         from repro.harness.experiments import e16_resilience
 

@@ -1365,6 +1365,391 @@ def e16_resilience(
     return result
 
 
+def e17_fragments(
+    scale: int = 8,
+    rounds: int = 6,
+    repeats: int = 3,
+    row_counts: list[int] | None = None,
+    json_path: str | None = None,
+) -> ExperimentResult:
+    """E17: row-level delta pushdown and fragment byte-cache serving.
+
+    Two measurements over the raw Figure 1 view (no stylesheet — the
+    composed views concentrate reads into one top node, which hides
+    exactly the per-fragment structure under test):
+
+    **Part A — row pushdown scaling.** A delta-mode server absorbs
+    :func:`~repro.maintenance.workload.hotel_payload_write` streams that
+    flip ``pool`` on exactly ``k`` in-view hotels per write, for each
+    ``k`` in ``row_counts``. ``pool`` is a pure payload column (served
+    by ``SELECT *``, read by no predicate, grouping, or descendant), so
+    the tracked keys make the write row-traceable and the delta path
+    re-fetches ``key IN (...)`` instead of the whole node. The recorded
+    ``rows fetched`` per serve should track ``k``, not the hotel node's
+    size — the node-level baseline row (same write, recorded *without*
+    keys, forcing the node-level path) shows what it tracks otherwise.
+
+    **Part B — fragment serving at a leaf-write mix.** Full, delta, and
+    two fragment servers (policies ``all`` and ``auto``) share one
+    database and write stream; each round applies 2 ``confroom``
+    capacity (leaf) writes, then serves one concurrent batch per config
+    with the order rotated each round so drift hits all four equally.
+    ``capacity`` feeds the confstat aggregates only through their SUM
+    projections, so the delta path maintains the affected hotel and
+    metro at *block* granularity and every other subtree survives by
+    identity. Delta already splices the document; fragment additionally
+    splices cached *byte spans* at serialization. The policy split is
+    the point: ``all`` also pins the write-churned confstat nodes,
+    paying recording cost for spans a write invalidates before they are
+    ever copied, while ``auto`` drops them (value density below one)
+    and pins only the stable fragments. The paired round-time ratio
+    (median of per-round ``fragment-auto``-vs-``delta``) is the gated
+    number: >= 1 means the byte cache at least pays for its
+    bookkeeping. Every response — all four configs — is verified
+    byte-identical to an uncached serial materialization of the live
+    data outside the timed window; ``mismatches`` must be 0.
+    """
+    import json
+    import statistics
+
+    from repro.maintenance import (
+        WriteTracker,
+        hotel_conference_write,
+        hotel_payload_write,
+    )
+    from repro.schema_tree.evaluator import STRATEGIES, materialize
+    from repro.serving import PublishRequest, ViewServer, percentile
+    from repro.xmlcore.serializer import serialize
+
+    row_counts = row_counts if row_counts is not None else [1, 2, 4, 8]
+    configs = [
+        ("full", "full", None),
+        ("delta", "delta", None),
+        ("fragment-all", "fragment", "all"),
+        ("fragment-auto", "fragment", "auto"),
+    ]
+    names = [name for name, _mode, _policy in configs]
+    writes_per_round = 2
+    result = ExperimentResult(
+        "E17",
+        f"Fragment-level serving (scale-{scale} hotel): row-level delta "
+        "pushdown and serialized-fragment byte cache",
+        ["config", "writes/round", "requests", "req/s", "p50 ms",
+         "ser p50 ms", "rows fetched", "frag hit/miss", "mismatches"],
+        notes=[
+            "Part A rows (pushdown): one delta-mode server, each round "
+            "one tracked pool-flip on exactly k in-view hotels, then one "
+            "serve; 'rows fetched' is the mean per delta serve and "
+            "should track k. The node-level row repeats k=1 with the "
+            "keys withheld from the tracker, forcing the node-level "
+            f"path. Part B rows (configs): {rounds} rounds of "
+            f"({writes_per_round} confroom-capacity writes, one serial "
+            "batch "
+            f"of {len(STRATEGIES)} strategies x {repeats}) per config "
+            "on a shared database, order rotated per round (serial so "
+            "phase timings are not smeared by concurrent scheduling); "
+            "req/s = batch size over the median round time. Every "
+            "response is "
+            "verified byte-identical to uncached serial materialization "
+            "of the live data (outside the timed window); mismatches "
+            "must be 0.",
+        ],
+    )
+    pushdown_runs: list[dict] = []
+
+    # -- Part A: row pushdown scaling ------------------------------------
+    db = build_hotel_database(HotelDataSpec().scaled(scale), cross_thread=True)
+    view = figure1_view(db.catalog)
+    tracker = WriteTracker()
+    db.attach_tracker(tracker)
+    server = ViewServer(
+        db.catalog,
+        source=db,
+        workers=2,
+        tracker=tracker,
+        staleness="strict",
+        maintenance="delta",
+    )
+    node_level_rows = 0
+    try:
+        in_view = db.run_sql(
+            "SELECT COUNT(*) AS n FROM hotel WHERE starrating > 4", {}
+        )[0]["n"]
+        server.render(view, strategy="bulk")  # prime plan + cached state
+        step = 0
+        for rows in row_counts:
+            fetched: list[int] = []
+            spliced: list[int] = []
+            latencies: list[float] = []
+            mismatches = 0
+            for _ in range(rounds):
+                hotel_payload_write(db, step, tracker, rows=rows)
+                step += 1
+                trace = server.render(view, strategy="bulk")
+                if trace.xml != serialize(materialize(view, db)):
+                    mismatches += 1
+                latencies.append(trace.total_seconds)
+                if trace.freshness == "delta-recompute":
+                    fetched.append(trace.rows_fetched)
+                    spliced.append(trace.rows_spliced)
+            mean_fetched = (
+                sum(fetched) / len(fetched) if fetched else 0.0
+            )
+            result.add_row(
+                f"pushdown rows={rows}", 1, rounds, "-",
+                percentile(latencies, 50) * 1000, "-", mean_fetched,
+                "-", mismatches,
+            )
+            pushdown_runs.append(
+                {
+                    "rows_per_write": rows,
+                    "serves": rounds,
+                    "delta_serves": len(fetched),
+                    "mean_rows_fetched": round(mean_fetched, 3),
+                    "mean_rows_spliced": round(
+                        sum(spliced) / len(spliced), 3
+                    ) if spliced else 0.0,
+                    "p50_ms": round(percentile(latencies, 50) * 1000, 4),
+                    "mismatches": mismatches,
+                }
+            )
+        # Node-level baseline: the same single-row write, but recorded
+        # without keys — untraceable, so the delta path re-fetches the
+        # whole dirty node (and descendants), not the changed row.
+        db.run_sql(
+            "UPDATE hotel SET pool = 1 - pool WHERE hotelid = "
+            "(SELECT MIN(hotelid) FROM hotel WHERE starrating > 4)",
+            {},
+        )
+        tracker.record_write("hotel", rows=1)
+        trace = server.render(view, strategy="bulk")
+        baseline_ok = int(trace.xml != serialize(materialize(view, db)))
+        node_level_rows = trace.rows_fetched
+        result.add_row(
+            "pushdown node-level", 1, 1, "-",
+            trace.total_seconds * 1000, "-", node_level_rows, "-",
+            baseline_ok,
+        )
+    finally:
+        server.close()
+        db.close()
+
+    # -- Part B: paired full / delta / fragment-(all|auto) sweeps --------
+    runs: list[dict] = []
+
+    def run_modes(mix_label: str, per_round: int, apply_write, suffix=""):
+        """One paired sweep: all four configs share the database and the
+        write stream; batches are timed back-to-back each round with the
+        order rotated so drift hits every config equally. Batches are
+        served on a single worker — the comparison is per-phase timing
+        (serialize vs splice), which concurrent scheduling would smear.
+        Returns each config's paired delta/fragment-auto round-time
+        ratio, serialize p50s, and mismatch total."""
+        db = build_hotel_database(
+            HotelDataSpec().scaled(scale), cross_thread=True
+        )
+        view = figure1_view(db.catalog)
+        tracker = WriteTracker()
+        db.attach_tracker(tracker)
+        servers = {
+            name: ViewServer(
+                db.catalog,
+                source=db,
+                workers=1,
+                tracker=tracker,
+                staleness="strict",
+                maintenance=mode,
+                fragment_policy=policy,
+            )
+            for name, mode, policy in configs
+        }
+        batch = [
+            PublishRequest(view, None, strategy=strategy, label=strategy)
+            for _ in range(repeats)
+            for strategy in STRATEGIES
+        ]
+        per_mode = {
+            name: {
+                "latencies": [], "traces": [], "mismatches": 0,
+                "round_times": [],
+            }
+            for name in names
+        }
+        try:
+            for mode_server in servers.values():
+                mode_server.render_many(batch)  # untimed warmup
+            # Untimed convergence rounds: the auto pinning policy homes
+            # in on the stable fragment set one hierarchy level per
+            # serve, so give every config the same handful of
+            # representative write+serve rounds before timing — the
+            # timed window then measures steady state, not the search.
+            write_step = 0
+            for _ in range(8):
+                for _ in range(per_round):
+                    apply_write(db, write_step, tracker)
+                    write_step += 1
+                for mode_server in servers.values():
+                    mode_server.render_many(batch)
+            for rnd in range(rounds):
+                for _ in range(per_round):
+                    apply_write(db, write_step, tracker)
+                    write_step += 1
+                cut = rnd % len(names)
+                for name in names[cut:] + names[:cut]:
+                    started = time.perf_counter()
+                    served = servers[name].render_many(batch)
+                    per_mode[name]["round_times"].append(
+                        time.perf_counter() - started
+                    )
+                    per_mode[name]["traces"].extend(served)
+                reference = serialize(materialize(view, db))
+                for name in names:
+                    record = per_mode[name]
+                    recent = record["traces"][-len(batch):]
+                    record["latencies"].extend(
+                        t.total_seconds for t in recent
+                    )
+                    record["mismatches"] += sum(
+                        1 for t in recent if t.xml != reference
+                    )
+            metrics = {name: servers[name].metrics() for name in names}
+        finally:
+            for mode_server in servers.values():
+                mode_server.close()
+            db.close()
+        ser_p50s: dict[str, float] = {}
+        for name, mode, policy in configs:
+            record = per_mode[name]
+            median_round = statistics.median(record["round_times"])
+            rps = len(batch) / median_round if median_round else 0.0
+            p50 = percentile(record["latencies"], 50) * 1000
+            # Result-cache hits return stored bytes without serializing
+            # (serialize_seconds is exactly 0); the p50 is over the
+            # requests that actually serialized.
+            ser_p50 = percentile(
+                [
+                    t.serialize_seconds for t in record["traces"]
+                    if t.serialize_seconds
+                ], 50,
+            ) * 1000
+            ser_p50s[name] = ser_p50
+            fragments = metrics[name].get("fragments")
+            frag_cell = (
+                f"{fragments['hits']}/{fragments['misses']}"
+                if fragments else "-"
+            )
+            result.add_row(
+                name + suffix, per_round, len(record["traces"]), rps,
+                p50, ser_p50, "-", frag_cell, record["mismatches"],
+            )
+            runs.append(
+                {
+                    "config": name,
+                    "maintenance": mode,
+                    "fragment_policy": policy,
+                    "write_mix": mix_label,
+                    "writes_per_round": per_round,
+                    "rounds": rounds,
+                    "requests": len(record["traces"]),
+                    "median_round_ms": round(median_round * 1000, 4),
+                    "throughput_rps": round(rps, 2),
+                    "p50_ms": round(p50, 4),
+                    "serialize_p50_ms": round(ser_p50, 4),
+                    "freshness": metrics[name]["freshness"],
+                    "delta_fallbacks": metrics[name]["delta_fallbacks"],
+                    "fragments": fragments,
+                    "mismatches": record["mismatches"],
+                }
+            )
+        paired = [
+            delta_time / fragment_time
+            for delta_time, fragment_time in zip(
+                per_mode["delta"]["round_times"],
+                per_mode["fragment-auto"]["round_times"],
+            )
+            if fragment_time
+        ]
+        total = sum(per_mode[name]["mismatches"] for name in names)
+        return statistics.median(paired) if paired else 0.0, ser_p50s, total
+
+    # Leaf mix: entity-local confroom-capacity writes — one hotel
+    # reconfigures its meeting space per write. capacity feeds the
+    # confstat aggregates only through their SUM projections, so the
+    # delta path block-splices the affected hotel's and metro's
+    # aggregate blocks (nodes 2 and 4) and row-splices the confroom
+    # leaf; every other hotel's and metro's spans survive by identity,
+    # which is what the byte cache monetizes. This is the gated mix.
+    ratio, serialize_p50, leaf_mismatches = run_modes(
+        "confroom-leaf", writes_per_round,
+        lambda db, step, tracker: hotel_conference_write(
+            db, step, tracker, hotels=1
+        ),
+    )
+    # Row mix: one tracked single-row pool flip per round — the delta
+    # path row-splices one hotel element, every other span survives,
+    # and the byte cache serializes ~one fragment. Pushdown and the
+    # fragment cache composing is the technique's best case.
+    row_ratio, row_serialize_p50, row_mismatches = run_modes(
+        "hotel-payload-row", 1,
+        lambda db, step, tracker: hotel_payload_write(
+            db, step, tracker, rows=1
+        ),
+        suffix=" (row)",
+    )
+    max_pushdown = max(
+        (run["mean_rows_fetched"] for run in pushdown_runs), default=0.0
+    )
+    total_mismatches = (
+        sum(run["mismatches"] for run in pushdown_runs)
+        + leaf_mismatches
+        + row_mismatches
+    )
+    result.notes.append(
+        f"fragment-auto over delta round time (median per-round paired "
+        f"ratio): {ratio:.2f}x at the leaf mix, {row_ratio:.2f}x at the "
+        f"row mix; row-mix serialize p50 fragment-auto "
+        f"{row_serialize_p50['fragment-auto']:.2f}ms vs full "
+        f"{row_serialize_p50['full']:.2f}ms; pushdown rows fetched "
+        f"stays <= {max_pushdown:.1f} vs {node_level_rows} node-level "
+        f"({in_view} hotels in view)."
+    )
+    if json_path:
+        with open(json_path, "w") as handle:
+            json.dump(
+                {
+                    "scale": scale,
+                    "rounds": rounds,
+                    "repeats": repeats,
+                    "batch_requests": len(STRATEGIES) * repeats,
+                    "writes_per_round": writes_per_round,
+                    "row_counts": row_counts,
+                    "in_view_hotels": in_view,
+                    "row_pushdown": pushdown_runs,
+                    "node_level_rows_fetched": node_level_rows,
+                    "row_pushdown_max_mean_rows_fetched": round(
+                        max_pushdown, 3
+                    ),
+                    "runs": runs,
+                    "leaf_mix_serialize_p50_ms": {
+                        name: round(value, 4)
+                        for name, value in serialize_p50.items()
+                    },
+                    "row_mix_serialize_p50_ms": {
+                        name: round(value, 4)
+                        for name, value in row_serialize_p50.items()
+                    },
+                    "fragment_over_delta_at_leaf_mix": round(ratio, 3),
+                    "fragment_over_delta_at_row_mix": round(row_ratio, 3),
+                    "mismatches": total_mismatches,
+                },
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+            handle.write("\n")
+    return result
+
+
 def run_all(quick: bool = False) -> list[ExperimentResult]:
     """Run every experiment; ``quick`` shrinks the sweeps."""
     if quick:
@@ -1392,6 +1777,7 @@ def run_all(quick: bool = False) -> list[ExperimentResult]:
             e16_resilience(
                 scale=1, rounds=3, repeats=1, fault_rates=[0.0, 0.3],
             ),
+            e17_fragments(scale=2, rounds=3, repeats=1, row_counts=[1, 4]),
         ]
     return [
         e1_end_to_end(),
@@ -1410,4 +1796,5 @@ def run_all(quick: bool = False) -> list[ExperimentResult]:
         e14_maintenance(),
         e15_incremental(),
         e16_resilience(),
+        e17_fragments(),
     ]

@@ -35,8 +35,15 @@ subtrees into the cached document (``serve-bench --maintenance delta``,
 experiment E15).
 """
 
+from repro.maintenance.fragments import (
+    FRAGMENT_POLICIES,
+    FragmentCache,
+    FragmentPolicy,
+    FragmentStat,
+)
 from repro.maintenance.incremental import (
     MAINTENANCE_MODES,
+    ROW_PUSHDOWN_MAX_KEYS,
     DeltaEvaluator,
     DeltaResult,
     DeltaUnsupported,
@@ -45,20 +52,35 @@ from repro.maintenance.incremental import (
 )
 from repro.maintenance.policy import StalenessPolicy
 from repro.maintenance.result_cache import CachedResult, ResultCache
-from repro.maintenance.tracker import WriteTracker
-from repro.maintenance.workload import hotel_write, hotel_write_tables
+from repro.maintenance.tracker import TableChange, WriteTracker
+from repro.maintenance.workload import (
+    hotel_calendar_write,
+    hotel_conference_write,
+    hotel_payload_write,
+    hotel_write,
+    hotel_write_tables,
+)
 
 __all__ = [
     "CachedResult",
     "DeltaEvaluator",
     "DeltaResult",
     "DeltaUnsupported",
+    "FRAGMENT_POLICIES",
+    "FragmentCache",
+    "FragmentPolicy",
+    "FragmentStat",
     "MAINTENANCE_MODES",
     "MaterializedState",
+    "ROW_PUSHDOWN_MAX_KEYS",
     "ResultCache",
     "StalenessPolicy",
+    "TableChange",
     "WriteTracker",
     "dirty_node_ids",
+    "hotel_calendar_write",
+    "hotel_conference_write",
+    "hotel_payload_write",
     "hotel_write",
     "hotel_write_tables",
 ]

@@ -24,11 +24,16 @@ pushed to exactly the affected nodes:
    run. The captured environments also make the correlated per-parent
    fallback work unchanged.
 4. **Persistent splice.** The fresh subtrees replace the stale ones in
-   a *copy-on-spine* rebuild: only the ancestors of frontier nodes (the
-   spine) are shallow-copied; untouched sibling subtrees are shared
-   with the old document, which is never mutated — a mid-splice failure
-   cannot tear the cached entry, the server just falls back to full
-   recomputation.
+   a *copy-on-spine* rebuild: only the ancestor instances on a path to
+   a replacement (the spine) are shallow-copied; untouched sibling
+   subtrees — including sibling instances of spine schema nodes with
+   no replacement beneath them — are shared with the old document,
+   which is never mutated — a mid-splice failure cannot tear the
+   cached entry, the server just falls back to full recomputation.
+   Sharing by identity is load-bearing: the fragment byte cache
+   (:mod:`repro.maintenance.fragments`) keys serialized spans by
+   ``id(element)``, so every instance the splice shares keeps its
+   cached bytes.
 
 Anything the splice cannot prove safe raises :class:`DeltaUnsupported`
 (deliberately *not* a :class:`~repro.errors.ReproError`, so the server's
@@ -45,20 +50,42 @@ the next delta walk schema structure and child lists only.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Iterable, Optional
+import time
+from dataclasses import dataclass, field, replace as replace_dataclass
+from typing import Any, Iterable, Mapping, Optional
 
+from repro.errors import SQLTransformError
+from repro.maintenance.tracker import TableChange
 from repro.relational.engine import Database, Row
 from repro.schema_tree.bulk_evaluator import BulkViewEvaluator, _Instance, _NodePlan
 from repro.schema_tree.evaluator import MaterializeStats
 from repro.schema_tree.model import SchemaNode, SchemaTreeQuery
+from repro.sql.analysis import (
+    load_bearing_columns,
+    membership_bearing_columns,
+    referenced_columns_of_table,
+    referenced_tables,
+)
+from repro.sql.ast import ColumnRef, SelectItem, Star
+from repro.sql.params import collect_params
+from repro.sql.transform import (
+    push_key_predicate,
+    qualify_unqualified_columns,
+    restrict_output_in,
+)
 from repro.xmlcore.nodes import Document, Element
 
 #: Maintenance modes the server accepts: ``"full"`` re-runs the whole
 #: compiled plan on staleness (the pre-E15 behaviour); ``"delta"``
 #: re-executes only dirty schema nodes and splices, falling back to full
-#: when the delta path declines.
-MAINTENANCE_MODES = ("full", "delta")
+#: when the delta path declines; ``"fragment"`` is delta plus the
+#: serialized-fragment byte cache (:mod:`repro.maintenance.fragments`).
+MAINTENANCE_MODES = ("full", "delta", "fragment")
+
+#: Row-level pushdown bail-out: above this many changed keys the IN-list
+#: query stops being obviously cheaper than the node re-evaluation it
+#: replaces, so the delta falls back to node granularity.
+ROW_PUSHDOWN_MAX_KEYS = 512
 
 
 class DeltaUnsupported(Exception):
@@ -105,6 +132,24 @@ class DeltaResult:
     elements_refreshed: int
     #: Rows fetched from the database by the re-evaluation.
     rows_refetched: int
+    #: Frontier nodes maintained at *row* granularity (key pushdown):
+    #: only the changed rows' elements were rebuilt, siblings and their
+    #: subtrees were shared. Always a subset of ``frontier_nodes``.
+    row_frontier_nodes: tuple[int, ...] = ()
+    #: Elements rebuilt by the row-level path (one per changed row per
+    #: affected parent block).
+    rows_spliced: int = 0
+    #: Frontier nodes maintained at *block* granularity: only the parent
+    #: blocks containing changed rows were re-evaluated (whole subtree,
+    #: restricted by block key), sibling blocks were shared. Disjoint
+    #: from ``row_frontier_nodes``; a subset of ``frontier_nodes``.
+    block_frontier_nodes: tuple[int, ...] = ()
+    #: Parent blocks re-evaluated by the block-level path.
+    blocks_spliced: int = 0
+    #: Wall-clock seconds spent in the copy-on-spine splice itself
+    #: (document and state rebuild), excluding query work — the "splice"
+    #: phase of the serve-bench profile.
+    splice_seconds: float = 0.0
 
 
 def dirty_node_ids(
@@ -123,6 +168,38 @@ def dirty_node_ids(
         for node_id, tables in node_read_sets.items()
         if changed.intersection(tables)
     )
+
+
+@dataclass
+class _RowSplice:
+    """Prepared outcome of one frontier node's row-level maintenance."""
+
+    #: id(parent element) -> merged child list for this node's group
+    #: (kept old elements interleaved with fresh ones, in old order).
+    replace_entries: dict[int, list] = field(default_factory=dict)
+    #: The node's full (element, env) instance list for the new state.
+    instances: list[tuple[Any, dict[str, Row]]] = field(default_factory=list)
+    #: Fresh elements built (== changed rows that survived in the view).
+    fresh_count: int = 0
+
+
+@dataclass
+class _BlockSplice:
+    """Prepared outcome of one frontier node's block-level maintenance."""
+
+    #: id(affected parent element) -> fresh child list for this node's
+    #: group (the whole block is rebuilt; unaffected parents are absent).
+    replace_entries: dict[int, list] = field(default_factory=dict)
+    #: Merged (element, env) instance lists for the frontier node *and*
+    #: every descendant: kept blocks share the old pairs, affected
+    #: blocks carry the fresh ones.
+    instances: dict[int, list[tuple[Any, dict[str, Row]]]] = field(
+        default_factory=dict
+    )
+    #: Fresh elements built across the re-evaluated subtrees.
+    fresh_count: int = 0
+    #: Number of parent blocks re-evaluated.
+    blocks: int = 0
 
 
 class DeltaEvaluator:
@@ -146,8 +223,18 @@ class DeltaEvaluator:
         state: MaterializedState,
         node_read_sets: dict[int, tuple[str, ...]],
         changed_tables: Iterable[str],
+        changes: Optional[Mapping[str, TableChange]] = None,
     ) -> DeltaResult:
         """Refresh ``state`` for ``changed_tables``; returns the splice.
+
+        ``changes`` is optional row-level detail from
+        :meth:`~repro.maintenance.tracker.WriteTracker.changes_since`;
+        when present it refines dirtiness to column granularity (a node
+        whose query cannot see any changed column is not dirty) and
+        lets traceable frontier nodes re-fetch only the changed rows
+        (key pushdown) instead of re-running the whole node. Both
+        refinements degrade — never break — when the detail is absent
+        or the shape is untraceable.
 
         Raises :class:`DeltaUnsupported` when the delta path cannot
         guarantee byte-identical output (the caller should recompute in
@@ -159,6 +246,27 @@ class DeltaEvaluator:
         dirty = dirty_node_ids(node_read_sets, changed_tables)
         if not dirty:
             raise DeltaUnsupported("no schema node reads the changed tables")
+        if changes is not None:
+            dirty = [
+                node_id
+                for node_id in dirty
+                if self._node_affected(
+                    nodes_by_id[node_id], node_read_sets[node_id],
+                    set(changed_tables), changes,
+                )
+            ]
+            if not dirty:
+                # Every dirty candidate was refined away at column
+                # granularity: the document is untouched, only the
+                # version stamp moves forward.
+                return DeltaResult(
+                    document=state.document,
+                    state=state,
+                    dirty_nodes=(),
+                    frontier_nodes=(),
+                    elements_refreshed=0,
+                    rows_refetched=0,
+                )
         dirty_set = set(dirty)
         frontier = [
             node_id
@@ -174,6 +282,12 @@ class DeltaEvaluator:
         rows_before = self.db.stats.rows_fetched
         fresh: dict[int, list[_Instance]] = {}
         subtree_ids: set[int] = set()
+        # Frontier node id -> full merged instance list (row-level path).
+        row_instances: dict[int, list[tuple[Any, dict[str, Row]]]] = {}
+        row_frontier: list[int] = []
+        rows_spliced = 0
+        block_frontier: list[int] = []
+        blocks_spliced = 0
         # id(old parent element) -> {frontier node id: fresh child elements}
         replace_at: dict[int, dict[int, list]] = {}
         elements_refreshed = 0
@@ -182,6 +296,28 @@ class DeltaEvaluator:
             parent_node = node.parent
             assert parent_node is not None
             retained = state.instances.get(parent_node.id, [])
+            row = self._try_row_splice(
+                bulk, plans, node, state, retained, changes, dirty_set
+            )
+            if row is not None:
+                for parent_key, group in row.replace_entries.items():
+                    replace_at.setdefault(parent_key, {})[node_id] = group
+                row_instances[node_id] = row.instances
+                row_frontier.append(node_id)
+                rows_spliced += row.fresh_count
+                elements_refreshed += row.fresh_count
+                continue
+            block = self._try_block_splice(
+                bulk, plans, node, state, retained, changes
+            )
+            if block is not None:
+                for parent_key, group in block.replace_entries.items():
+                    replace_at.setdefault(parent_key, {})[node_id] = group
+                row_instances.update(block.instances)
+                block_frontier.append(node_id)
+                blocks_spliced += block.blocks
+                elements_refreshed += block.fresh_count
+                continue
             shadows = [
                 _Instance(Element(node.tag), env, self._context_key(bulk, node, env))
                 for _element, env in retained
@@ -196,16 +332,21 @@ class DeltaEvaluator:
                     shadow.element.children
                 )
 
+        splice_started = time.perf_counter()
         spine_ids = self._spine_ids(nodes_by_id, frontier)
         elem_node = self._element_owners(nodes_by_id, state, spine_ids)
+        copy_ids = self._copy_targets(
+            state.document, replace_at, spine_ids, elem_node
+        )
         new_document = Document()
         copies: dict[int, Element] = {}
         self._rebuild_children(
             view.root, state.document, new_document,
-            replace_at, spine_ids, elem_node, copies,
+            replace_at, spine_ids, elem_node, copies, copy_ids,
         )
         new_state = self._rebuild_state(
-            view, state, new_document, subtree_ids, spine_ids, fresh, copies
+            view, state, new_document, subtree_ids, spine_ids, fresh, copies,
+            row_instances,
         )
         return DeltaResult(
             document=new_document,
@@ -214,7 +355,547 @@ class DeltaEvaluator:
             frontier_nodes=tuple(frontier),
             elements_refreshed=elements_refreshed,
             rows_refetched=self.db.stats.rows_fetched - rows_before,
+            row_frontier_nodes=tuple(row_frontier),
+            rows_spliced=rows_spliced,
+            block_frontier_nodes=tuple(block_frontier),
+            blocks_spliced=blocks_spliced,
+            splice_seconds=time.perf_counter() - splice_started,
         )
+
+    # -- column-level dirty refinement ----------------------------------------
+
+    def _node_affected(
+        self,
+        node: SchemaNode,
+        reads: tuple[str, ...],
+        changed: set[str],
+        changes: Mapping[str, TableChange],
+    ) -> bool:
+        """Whether any changed table's changed *columns* reach this node.
+
+        A table whose change detail names its updated columns only
+        dirties nodes whose tag query can see one of them; unknown
+        detail (``columns is None`` or the table missing from
+        ``changes``) keeps the conservative table-level answer.
+        """
+        if node.tag_query is None:
+            return False
+        for table in reads:
+            if table not in changed:
+                continue
+            change = changes.get(table)
+            if change is None or change.columns is None:
+                return True
+            referenced = referenced_columns_of_table(
+                node.tag_query, table, self.db.catalog
+            )
+            if referenced & change.columns:
+                return True
+        return False
+
+    # -- row-level key pushdown -----------------------------------------------
+
+    def _try_row_splice(
+        self,
+        bulk: BulkViewEvaluator,
+        plans: dict[int, _NodePlan],
+        node: SchemaNode,
+        state: MaterializedState,
+        retained: list[tuple[Any, dict[str, Row]]],
+        changes: Optional[Mapping[str, TableChange]],
+        dirty_set: set[int],
+    ) -> Optional[_RowSplice]:
+        """Attempt row-granular maintenance of one frontier node.
+
+        Returns ``None`` whenever any precondition fails — the caller
+        falls back to node-level re-evaluation, which is always sound.
+        The preconditions, in order:
+
+        * row-level change detail exists: the node is dirty via exactly
+          one table, with known changed keys *and* columns;
+        * no descendant of the node is itself dirty (kept siblings'
+          subtrees are shared verbatim, so they must not need work);
+        * the node has a reliable bulk plan, no aggregation/DISTINCT
+          (those fold many base rows into one element), a binding
+          variable, and the table's single-column primary key among its
+          output columns;
+        * the changed columns are not *load-bearing* in the decorrelated
+          query (they appear in no WHERE/GROUP BY/HAVING/ORDER BY or
+          subquery) — membership, order and grouping of the result are
+          therefore unchanged — and they feed no output column a
+          descendant consumes (via ``$bv.column`` parameters or
+          attribute surfacing), so kept subtrees under replaced
+          elements stay byte-identical;
+        * the key-restricted probe returns exactly the keys the old
+          instances hold, per parent block (no rows moved in, out, or
+          across parents).
+
+        When all hold, each changed row's element is rebuilt in place
+        from its freshly fetched row and adopts the old element's
+        children; everything else — sibling elements, their subtrees,
+        unaffected parent blocks — is shared with the old document.
+        """
+        if changes is None or node.bv is None:
+            return None
+        plan = plans.get(node.id)
+        if (
+            plan is None
+            or plan.kind != "bulk"
+            or plan.query is None
+            or not plan.reliable
+            or plan.grouped_aggregate
+            or plan.distinct
+            or plan.empty_row is not None
+        ):
+            return None
+        if any(sub.id in dirty_set for sub in node.walk() if sub is not node):
+            return None
+        assert node.tag_query is not None
+        changed_here = [
+            table
+            for table in referenced_tables(node.tag_query)
+            if table in changes
+        ]
+        if len(changed_here) != 1:
+            return None
+        table = changed_here[0]
+        change = changes[table]
+        if (
+            change.keys is None
+            or change.columns is None
+            or not change.keys
+            or len(change.keys) > ROW_PUSHDOWN_MAX_KEYS
+        ):
+            return None
+        catalog = self.db.catalog
+        key_column = catalog.table(table).primary_key
+        if key_column is None or key_column not in plan.own_columns:
+            return None
+        if change.columns & load_bearing_columns(plan.query, table, catalog):
+            return None
+        needed = self._descendant_dependent_columns(node)
+        if needed is None:
+            return None
+        touched = self._outputs_touched(node, table, change.columns)
+        if touched is None or touched & needed:
+            return None
+
+        probe = plan.query.clone()
+        try:
+            push_key_predicate(probe, table, key_column, change.keys)
+        except SQLTransformError:
+            return None
+        fresh_rows = self.db.run_query(probe, env=None)
+        fresh_by_block: dict[tuple, dict[Any, Row]] = {}
+        for row in fresh_rows:
+            try:
+                block = tuple(row[c] for c in plan.key_columns)
+            except KeyError:
+                return None
+            bucket = fresh_by_block.setdefault(block, {})
+            row_key = row.get(key_column)
+            if row_key in bucket:
+                return None  # duplicate key within one block
+            bucket[row_key] = row
+
+        env_of = {
+            id(element): env
+            for element, env in state.instances.get(node.id, [])
+        }
+        keys = change.keys
+        splice = _RowSplice()
+        consumed_blocks: set[tuple] = set()
+        for parent_element, parent_env in retained:
+            block_key = self._context_key(bulk, node, parent_env)
+            consumed_blocks.add(block_key)
+            group_old = [
+                child
+                for child in parent_element.children
+                if id(child) in env_of
+            ]
+            affected: list[tuple[Any, dict[str, Row]]] = []
+            for child in group_old:
+                env = env_of[id(child)]
+                own_row = env.get(node.bv)
+                if own_row is None or key_column not in own_row:
+                    return None
+                if own_row[key_column] in keys:
+                    affected.append((child, env))
+            block_fresh = fresh_by_block.get(block_key, {})
+            if {env[node.bv][key_column] for _c, env in affected} != set(
+                block_fresh
+            ):
+                return None  # membership moved despite the static checks
+            replaced: dict[int, _Instance] = {}
+            if affected:
+                shadow = _Instance(Element(node.tag), parent_env, block_key)
+                ordered = [
+                    block_fresh[env[node.bv][key_column]]
+                    for _c, env in affected
+                ]
+                created = bulk._attach_rows(plan, shadow, ordered)
+                for (old_element, _env), instance in zip(affected, created):
+                    instance.element.extend(old_element.children)
+                    replaced[id(old_element)] = instance
+                splice.fresh_count += len(created)
+            merged_group: list = []
+            for child in group_old:
+                instance = replaced.get(id(child))
+                if instance is not None:
+                    merged_group.append(instance.element)
+                    splice.instances.append((instance.element, instance.env))
+                else:
+                    merged_group.append(child)
+                    splice.instances.append((child, env_of[id(child)]))
+            if replaced:
+                splice.replace_entries[id(parent_element)] = merged_group
+        if any(
+            block not in consumed_blocks
+            for block, bucket in fresh_by_block.items()
+            if bucket
+        ):
+            # The probe found rows whose context key matches no retained
+            # parent: the old document has no home for them.
+            return None
+        return splice
+
+    def _descendant_dependent_columns(
+        self, node: SchemaNode
+    ) -> Optional[set[str]]:
+        """Output columns of ``node`` that its descendants consume.
+
+        Collects every ``$bv.column`` parameter reference in descendant
+        tag queries plus the columns descendants surface as attributes
+        from this binding. Returns ``None`` when a descendant surfaces
+        the whole row (``attr_columns`` unset): then any column change
+        could alter descendant bytes.
+        """
+        needed: set[str] = set()
+        for sub in node.walk():
+            if sub is node:
+                continue
+            if sub.tag_query is not None:
+                for param in collect_params(sub.tag_query):
+                    if param.var == node.bv:
+                        needed.add(param.column)
+            if sub.attr_source_bv == node.bv:
+                if sub.attr_columns is None:
+                    return None
+                needed.update(sub.attr_columns)
+                needed.update(sub.data_attributes.values())
+        return needed
+
+    def _outputs_touched(
+        self, node: SchemaNode, table: str, changed_columns: frozenset
+    ) -> Optional[set[str]]:
+        """Output columns of the node's tag query fed by changed columns.
+
+        Resolves the tag query's select list against the changed table:
+        a star or plain column reference maps one-to-one, an aliased
+        expression counts as touched when any changed column appears in
+        it. ``None`` (indeterminable) declines the row path.
+        """
+        from repro.sql.ast import BinOp, FuncCall, TableRef, UnaryOp
+
+        assert node.tag_query is not None
+        query = node.tag_query.clone()
+        catalog = self.db.catalog
+        qualify_unqualified_columns(query, catalog)
+        bindings = {
+            fi.binding_name
+            for fi in query.from_items
+            if isinstance(fi, TableRef) and fi.name == table
+        }
+
+        def refs(expr) -> Optional[set[str]]:
+            if isinstance(expr, ColumnRef):
+                return {expr.column} if expr.table in bindings else set()
+            if isinstance(expr, BinOp):
+                left, right = refs(expr.left), refs(expr.right)
+                if left is None or right is None:
+                    return None
+                return left | right
+            if isinstance(expr, UnaryOp):
+                return refs(expr.operand)
+            if isinstance(expr, FuncCall):
+                out: set[str] = set()
+                for arg in expr.args:
+                    sub = refs(arg)
+                    if sub is None:
+                        return None
+                    out |= sub
+                return out
+            if isinstance(expr, (Star,)):
+                return None  # handled at the item level
+            # Subqueries and anything exotic: indeterminable.
+            from repro.sql.ast import LiteralValue, ParamRef
+
+            if isinstance(expr, (LiteralValue, ParamRef)):
+                return set()
+            return None
+
+        touched: set[str] = set()
+        for item in query.items:
+            if isinstance(item.expr, Star):
+                star = item.expr
+                if star.table is None or star.table in bindings:
+                    # The star exposes the table's columns under their
+                    # own names; only the changed ones are touched.
+                    touched.update(
+                        set(catalog.columns_of(table)) & changed_columns
+                    )
+                continue
+            item_refs = refs(item.expr)
+            if item_refs is None:
+                return None
+            if item_refs & changed_columns:
+                name = item.output_name()
+                if name is None:
+                    return None
+                touched.add(name)
+        return touched
+
+    # -- block-level key pushdown ---------------------------------------------
+
+    def _try_block_splice(
+        self,
+        bulk: BulkViewEvaluator,
+        plans: dict[int, _NodePlan],
+        node: SchemaNode,
+        state: MaterializedState,
+        retained: list[tuple[Any, dict[str, Row]]],
+        changes: Optional[Mapping[str, TableChange]],
+    ) -> Optional[_BlockSplice]:
+        """Attempt block-granular maintenance of one frontier subtree.
+
+        The middle rung between row pushdown and node-level
+        re-evaluation, for frontiers the row path must decline (grouped
+        aggregates, dirty descendants, changes to load-bearing
+        columns): re-evaluate the *whole subtree*, but only under the
+        parent blocks that contain changed rows, and share every other
+        block's subtree verbatim. Returns ``None`` whenever any
+        precondition fails — node-level re-evaluation is always sound.
+        The preconditions, in order:
+
+        * row-level change detail exists: exactly one changed table is
+          read anywhere in the subtree, with known changed keys *and*
+          columns, and the table has a single-column primary key;
+        * the frontier node has a bulk plan with a nonempty block key
+          (its query-bearing ancestors' key columns);
+        * the changed columns are not *membership-bearing* in any
+          subtree query reading the table
+          (:func:`repro.sql.analysis.membership_bearing_columns`): they
+          may regroup or reorder rows within a block, but cannot move a
+          row between blocks, in or out of the result, or change other
+          rows — so the blocks containing changed rows are exactly the
+          blocks whose bytes can differ;
+        * the key-restricted probes find every changed key (a missing
+          key could be a deleted row whose old block they cannot name),
+          and every affected block has a retained parent instance.
+
+        When all hold, the subtree queries are cloned with the affected
+        blocks' key values pushed into WHERE
+        (:func:`repro.sql.transform.restrict_output_in` — on a grouped
+        query the predicate filters whole groups, leaving surviving
+        aggregates exact) and re-executed under shadow parents for the
+        affected blocks only.
+        """
+        if changes is None:
+            return None
+        plan = plans.get(node.id)
+        if plan is None or plan.kind != "bulk" or plan.query is None:
+            return None
+        block_names = list(plan.key_columns)
+        if not block_names:
+            return None
+        block_len = len(block_names)
+        subtree = list(node.walk())
+        subtree_tables: set[str] = set()
+        for sub in subtree:
+            if sub.tag_query is not None:
+                subtree_tables.update(referenced_tables(sub.tag_query))
+        changed_here = sorted(t for t in subtree_tables if t in changes)
+        if len(changed_here) != 1:
+            return None
+        table = changed_here[0]
+        change = changes[table]
+        if (
+            change.keys is None
+            or change.columns is None
+            or not change.keys
+            or len(change.keys) > ROW_PUSHDOWN_MAX_KEYS
+        ):
+            return None
+        catalog = self.db.catalog
+        key_column = catalog.table(table).primary_key
+        if key_column is None:
+            return None
+        for sub in subtree:
+            query = plans[sub.id].query or sub.tag_query
+            if query is None or table not in referenced_tables(query):
+                continue
+            if change.columns & membership_bearing_columns(
+                query, table, catalog
+            ):
+                return None
+
+        # Probe every decorrelated reader of the table for the blocks
+        # its changed rows land in. Readers without a decorrelated query
+        # (correlated fallbacks) cannot name blocks, so they bail.
+        affected: set[tuple] = set()
+        found: set = set()
+        for sub in subtree:
+            sub_plan = plans[sub.id]
+            if sub_plan.query is None:
+                if sub.tag_query is not None and table in referenced_tables(
+                    sub.tag_query
+                ):
+                    return None
+                continue
+            if table not in referenced_tables(sub_plan.query):
+                continue
+            sub_names = list(sub_plan.key_columns[:block_len])
+            if len(sub_names) != block_len:
+                return None
+            probe = sub_plan.query.clone()
+            try:
+                binding = push_key_predicate(
+                    probe, table, key_column, change.keys
+                )
+            except SQLTransformError:
+                return None
+            items = [
+                SelectItem(ColumnRef(key_column, table=binding), "__delta_key")
+            ]
+            for name in sub_names:
+                ref = self._output_column_ref(sub_plan.query, name)
+                if ref is None:
+                    return None
+                items.append(
+                    SelectItem(
+                        ColumnRef(ref.column, table=ref.table),
+                        None if ref.column == name else name,
+                    )
+                )
+            probe.items = items
+            probe.group_by = []
+            probe.having = None
+            probe.order_by = []
+            probe.distinct = False
+            rows = self.db.run_query(probe, env=None)
+            for row in rows:
+                found.add(row["__delta_key"])
+                affected.add(tuple(row[name] for name in sub_names))
+        if found != set(change.keys) or not affected:
+            return None
+
+        parent_blocks = [
+            self._context_key(bulk, node, parent_env)
+            for _parent_element, parent_env in retained
+        ]
+        if not affected.issubset(parent_blocks):
+            return None  # a changed row's block has no retained parent
+
+        # Clone the subtree's bulk plans with the affected blocks pushed
+        # into WHERE. A per-column IN conjunction is a superset of the
+        # block set; extra cross-product rows match no shadow parent and
+        # drop the node to the correlated per-parent fallback
+        # (_group_rows raises _BulkUnsupported), which is still exact.
+        values_by_pos = [
+            {block[i] for block in affected} for i in range(block_len)
+        ]
+        restricted: dict[int, _NodePlan] = {}
+        for sub in subtree:
+            sub_plan = plans[sub.id]
+            if sub_plan.kind != "bulk" or sub_plan.query is None:
+                restricted[sub.id] = sub_plan
+                continue
+            sub_names = list(sub_plan.key_columns[:block_len])
+            clone = sub_plan.query.clone()
+            ok = len(sub_names) == block_len
+            if ok:
+                try:
+                    for name, values in zip(sub_names, values_by_pos):
+                        restrict_output_in(clone, name, values)
+                except SQLTransformError:
+                    ok = False
+            if not ok and sub is node:
+                return None  # an unrestricted frontier defeats the point
+            restricted[sub.id] = (
+                replace_dataclass(sub_plan, query=clone) if ok else sub_plan
+            )
+
+        shadows = [
+            _Instance(Element(node.tag), parent_env, block)
+            for (_parent_element, parent_env), block in zip(
+                retained, parent_blocks
+            )
+            if block in affected
+        ]
+        local = self._evaluate_subtree(bulk, restricted, node, shadows)
+
+        splice = _BlockSplice(blocks=len(affected))
+        splice.fresh_count = sum(len(created) for created in local.values())
+        env_of = {
+            id(element): env
+            for element, env in state.instances.get(node.id, [])
+        }
+        fresh_env = {
+            id(inst.element): inst.env for inst in local.get(node.id, [])
+        }
+        merged_node: list[tuple[Any, dict[str, Row]]] = []
+        shadow_iter = iter(shadows)
+        for (parent_element, _parent_env), block in zip(
+            retained, parent_blocks
+        ):
+            if block in affected:
+                shadow = next(shadow_iter)
+                group = list(shadow.element.children)
+                for child in group:
+                    merged_node.append((child, fresh_env[id(child)]))
+                splice.replace_entries[id(parent_element)] = group
+            else:
+                for child in parent_element.children:
+                    env = env_of.get(id(child))
+                    if env is not None:
+                        merged_node.append((child, env))
+        splice.instances[node.id] = merged_node
+
+        for sub in subtree:
+            if sub is node:
+                continue
+            fresh_by_block: dict[tuple, list] = {}
+            for inst in local.get(sub.id, []):
+                fresh_by_block.setdefault(tuple(inst.key[:block_len]), []).append(
+                    (inst.element, inst.env)
+                )
+            merged: list[tuple[Any, dict[str, Row]]] = []
+            emitted: set[tuple] = set()
+            for element, env in state.instances.get(sub.id, []):
+                try:
+                    block = self._context_key(bulk, sub, env)[:block_len]
+                except DeltaUnsupported:
+                    return None  # node-level handles opaque descendants
+                if block in affected:
+                    if block not in emitted:
+                        emitted.add(block)
+                        merged.extend(fresh_by_block.get(block, []))
+                    continue
+                merged.append((element, env))
+            for block, pairs in fresh_by_block.items():
+                if block not in emitted:
+                    merged.extend(pairs)
+            splice.instances[sub.id] = merged
+        return splice
+
+    def _output_column_ref(
+        self, query, output_name: str
+    ) -> Optional[ColumnRef]:
+        """The bare column reference behind a named output, if it is one."""
+        for item in query.items:
+            if item.output_name() == output_name:
+                return item.expr if isinstance(item.expr, ColumnRef) else None
+        return None
 
     # -- frontier validation and re-evaluation --------------------------------
 
@@ -311,6 +992,42 @@ class DeltaEvaluator:
                 owners[id(element)] = node.id
         return owners
 
+    def _copy_targets(
+        self,
+        document,
+        replace_at: dict[int, dict[int, list]],
+        spine_ids: set[int],
+        elem_node: dict[int, int],
+    ) -> set[int]:
+        """Ids of the spine *elements* that must be shallow-copied.
+
+        The spine is a set of schema nodes, but only the instances on a
+        path from the root to an element receiving replacement children
+        actually change — a sibling instance of the same schema node
+        with no replacement anywhere beneath it can be shared verbatim.
+        Sharing it matters beyond saving the copy: downstream consumers
+        key on element identity (the fragment byte cache anchors
+        serialized spans by ``id(element)``), so an untouched instance
+        that keeps its object across a splice keeps its cached bytes
+        too. Node-level re-evaluation puts every parent instance in
+        ``replace_at`` and degenerates to the old copy-everything
+        behaviour; the row-level path lists only the parents of changed
+        rows, so all other instances stay shared.
+        """
+        targets: set[int] = set()
+
+        def mark(element) -> bool:
+            needed = id(element) in replace_at
+            for child in element.children:
+                owner = elem_node.get(id(child))
+                if owner is not None and owner in spine_ids and mark(child):
+                    targets.add(id(child))
+                    needed = True
+            return needed
+
+        mark(document)
+        return targets
+
     def _rebuild_children(
         self,
         schema_node: SchemaNode,
@@ -320,14 +1037,17 @@ class DeltaEvaluator:
         spine_ids: set[int],
         elem_node: dict[int, int],
         copies: dict[int, Element],
+        copy_ids: set[int],
     ) -> None:
         """Copy-on-spine rebuild of one spine element's child list.
 
         Fresh subtrees are adopted (reparented — they are throwaway
-        collector children); spine children are shallow-copied and
-        recursed into; everything else is *shared* with the old
-        document, parent pointers untouched, so the old tree stays
-        fully intact.
+        collector children); spine children on a path to a replacement
+        (``copy_ids``, see :meth:`_copy_targets`) are shallow-copied
+        and recursed into; everything else — including spine-node
+        instances with no replacement beneath them — is *shared* with
+        the old document, parent pointers untouched, so the old tree
+        stays fully intact.
         """
         groups: dict[int, list] = {}
         for child in old_parent.children:
@@ -347,13 +1067,16 @@ class DeltaEvaluator:
                     children.append(fresh_element)
             elif child_node.id in spine_ids:
                 for old_child in groups.get(child_node.id, []):
+                    if id(old_child) not in copy_ids:
+                        children.append(old_child)
+                        continue
                     copy = old_child.shallow_copy()
                     copy.parent = new_parent
                     copies[id(old_child)] = copy
                     children.append(copy)
                     self._rebuild_children(
                         child_node, old_child, copy,
-                        replace_at, spine_ids, elem_node, copies,
+                        replace_at, spine_ids, elem_node, copies, copy_ids,
                     )
             else:
                 children.extend(groups.get(child_node.id, []))
@@ -368,34 +1091,39 @@ class DeltaEvaluator:
         spine_ids: set[int],
         fresh: dict[int, list[_Instance]],
         copies: dict[int, Element],
+        row_instances: Optional[dict[int, list[tuple[Any, dict[str, Row]]]]] = None,
     ) -> MaterializedState:
         """Captured state for the spliced document.
 
-        Spine instances point at their copies, refreshed subtrees at
-        the fresh instances, and untouched nodes share the old lists
-        (which are never mutated).
+        Copied spine instances point at their copies (shared ones —
+        instances with no replacement beneath them — keep their old
+        elements), refreshed subtrees at the fresh instances,
+        row-spliced nodes at their merged lists (kept elements
+        interleaved with rebuilt ones), and untouched nodes share the
+        old lists (which are never mutated).
         """
+        row_instances = row_instances or {}
         new_instances: dict[int, list[tuple[Any, dict[str, Row]]]] = {
             view.root.id: [(new_document, {})]
         }
         for node_id, old_list in state.instances.items():
-            if node_id == view.root.id or node_id in subtree_ids:
+            if (
+                node_id == view.root.id
+                or node_id in subtree_ids
+                or node_id in row_instances
+            ):
                 continue
             if node_id in spine_ids:
-                rebuilt: list[tuple[Any, dict[str, Row]]] = []
-                for element, env in old_list:
-                    copy = copies.get(id(element))
-                    if copy is None:
-                        raise DeltaUnsupported(
-                            "captured spine instance is absent from the "
-                            "cached document"
-                        )
-                    rebuilt.append((copy, env))
-                new_instances[node_id] = rebuilt
+                new_instances[node_id] = [
+                    (copies.get(id(element), element), env)
+                    for element, env in old_list
+                ]
             else:
                 new_instances[node_id] = old_list
         for node_id in subtree_ids:
             new_instances[node_id] = [
                 (inst.element, inst.env) for inst in fresh.get(node_id, [])
             ]
+        for node_id, merged in row_instances.items():
+            new_instances[node_id] = merged
         return MaterializedState(document=new_document, instances=new_instances)

@@ -55,6 +55,13 @@ class CachedResult:
     #: mutated in place — a delta re-evaluation publishes a whole new
     #: entry, so readers of a stale entry are unaffected.
     state: Optional[object] = None
+    #: Serialized-fragment byte spans for this entry's document
+    #: (:class:`repro.maintenance.fragments.FragmentCache`) when the
+    #: server runs with fragment maintenance; ``None`` otherwise. Valid
+    #: exactly as long as the entry: spans are keyed by element identity
+    #: into ``state``'s document, stamped by the same ``versions``
+    #: vector, and a successor entry gets a successor cache.
+    fragments: Optional[object] = None
 
 
 class ResultCache:
@@ -125,12 +132,14 @@ class ResultCache:
         tables: Iterable[str],
         strategy: str = "",
         state: Optional[object] = None,
+        fragments: Optional[object] = None,
     ) -> CachedResult:
         """Publish a freshly computed response stamped at ``versions``.
 
         ``state`` optionally attaches the captured evaluation state a
-        later delta re-evaluation splices against (see
-        :attr:`CachedResult.state`).
+        later delta re-evaluation splices against; ``fragments`` the
+        serialized-fragment byte cache built over that state's document
+        (see :attr:`CachedResult.state` / :attr:`CachedResult.fragments`).
         """
         entry = CachedResult(
             key=key,
@@ -139,6 +148,7 @@ class ResultCache:
             tables=tuple(tables),
             strategy=strategy,
             state=state,
+            fragments=fragments,
         )
         with self._lock:
             self._entries[key] = entry

@@ -38,7 +38,9 @@ from __future__ import annotations
 import re
 import sqlite3
 import threading
-from typing import Callable, Iterable, Mapping, Optional
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping, Optional
 
 #: Authorizer action codes that modify a table.
 _WRITE_ACTIONS = (
@@ -69,6 +71,31 @@ def _write_target(sql_text: str) -> Optional[str]:
     return name.strip("\"'`[]")
 
 
+@dataclass(frozen=True)
+class TableChange:
+    """Everything known about a table's writes since a stamped version.
+
+    ``keys`` is the union of changed primary-key values, or ``None``
+    when any write event in the range did not report its keys (auto
+    capture, bulk loads) or the bounded key log no longer covers the
+    range — "unknown" always widens, never narrows. ``columns`` is the
+    union of updated column names under the same convention: ``None``
+    means any column may have changed. UPDATE statements that rewrite a
+    primary key must report both the old and new key values (or pass
+    ``keys=None``); the row-level delta path matches old instances and
+    fresh rows by these values.
+    """
+
+    events: int
+    keys: Optional[frozenset]
+    columns: Optional[frozenset]
+
+    @property
+    def traceable(self) -> bool:
+        """True when the change is fully described by row keys."""
+        return self.keys is not None
+
+
 class WriteTracker:
     """Thread-safe monotonic version clock over base tables.
 
@@ -77,29 +104,59 @@ class WriteTracker:
     version). Subscribers registered with :meth:`subscribe` are called
     with ``(table, new_version)`` after each bump — the serving layer
     uses this to eagerly invalidate caches.
+
+    Beyond the version clock, the tracker keeps a bounded per-table log
+    of *what* each write touched: the changed rows' primary-key values
+    and the updated columns, when the writer reports them. The log is
+    what lets the delta path re-fetch only changed rows
+    (:meth:`changes_since`); key-less events simply degrade that query
+    back to node granularity, never to wrong answers.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, key_log_limit: int = 1024) -> None:
         self._versions: dict[str, int] = {}
         self._subscribers: list[Callable[[str, int], None]] = []
         self._lock = threading.Lock()
         self.total_writes = 0
         self.rows_written = 0
+        self._key_log_limit = key_log_limit
+        #: table -> deque of (version, keys|None, columns|None), oldest
+        #: first, trimmed to ``key_log_limit`` events per table.
+        self._key_log: dict[str, deque] = {}
 
     # -- recording -----------------------------------------------------------
 
-    def record_write(self, table: str, rows: int = 1) -> int:
+    def record_write(
+        self,
+        table: str,
+        rows: int = 1,
+        keys: Optional[Iterable[Any]] = None,
+        columns: Optional[Iterable[str]] = None,
+    ) -> int:
         """Record one write event against ``table``; returns its new version.
 
         ``rows`` feeds the ``rows_written`` counter only — a bulk insert
         of 500 rows is one version bump, because one event is enough to
-        make every dependent cached result stale.
+        make every dependent cached result stale. ``keys`` (changed
+        primary-key values) and ``columns`` (updated column names) are
+        optional row-level detail; omitting either marks the event
+        untraceable at that granularity.
         """
         with self._lock:
             version = self._versions.get(table, 0) + 1
             self._versions[table] = version
             self.total_writes += 1
             self.rows_written += max(0, rows)
+            log = self._key_log.get(table)
+            if log is None:
+                log = self._key_log[table] = deque(maxlen=self._key_log_limit)
+            log.append(
+                (
+                    version,
+                    None if keys is None else frozenset(keys),
+                    None if columns is None else frozenset(columns),
+                )
+            )
             subscribers = list(self._subscribers)
         for callback in subscribers:
             callback(table, version)
@@ -131,6 +188,50 @@ class WriteTracker:
         """Global version: total write events across all tables."""
         with self._lock:
             return self.total_writes
+
+    def changes_since(
+        self, stamped: Mapping[str, int], tables: Iterable[str]
+    ) -> dict[str, TableChange]:
+        """Per-table change detail since the ``stamped`` version vector.
+
+        Only tables whose live version is ahead of the stamp appear in
+        the result. A table's :class:`TableChange` carries the union of
+        changed keys/columns over the whole version range when *every*
+        event in the range reported them and the bounded log still
+        covers the range; otherwise ``keys``/``columns`` are ``None``
+        (untraceable — the caller must treat any row/column as possibly
+        changed).
+        """
+        changes: dict[str, TableChange] = {}
+        with self._lock:
+            for table in tables:
+                current = self._versions.get(table, 0)
+                since = stamped.get(table, 0)
+                if current <= since:
+                    continue
+                events = [
+                    event
+                    for event in self._key_log.get(table, ())
+                    if event[0] > since
+                ]
+                keys: Optional[frozenset] = frozenset()
+                columns: Optional[frozenset] = frozenset()
+                if len(events) != current - since:
+                    # The log was trimmed (or predates the stamp):
+                    # part of the range is unobserved.
+                    keys = columns = None
+                else:
+                    for _, event_keys, event_columns in events:
+                        if keys is not None:
+                            keys = None if event_keys is None else keys | event_keys
+                        if columns is not None:
+                            columns = (
+                                None
+                                if event_columns is None
+                                else columns | event_columns
+                            )
+                changes[table] = TableChange(current - since, keys, columns)
+        return changes
 
     def lag(
         self, stamped: Mapping[str, int], tables: Iterable[str]

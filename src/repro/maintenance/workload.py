@@ -6,6 +6,14 @@ the hotel schema that actually change served output (prices appear as
 attribute values; ``pool`` flips change hotel rows the Figure 1 tag
 queries return). Centralizing it here keeps the write mix identical
 across the harness, the CLI, and the benchmark suite.
+
+Writes recorded through a tracker report *row-level detail*: the
+affected primary keys (selected just before the UPDATE — the mixes
+never rewrite a primary key, so the pre-image keys are the post-image
+keys) and the updated columns. That detail is what lets the delta path
+refine dirtiness to column granularity and push ``key IN (...)``
+predicates down (:mod:`repro.maintenance.incremental`); engines relying
+on auto capture simply lose it and fall back to node-level deltas.
 """
 
 from __future__ import annotations
@@ -25,6 +33,11 @@ def hotel_write_tables() -> tuple[str, ...]:
     return _WRITE_TABLES
 
 
+def _changed_keys(db, sql: str, bindings: dict) -> list:
+    """Primary keys a predicate selects (the rows an UPDATE will hit)."""
+    return [next(iter(row.values())) for row in db.run_sql(sql, bindings)]
+
+
 def hotel_write(
     db,
     step: int,
@@ -39,24 +52,210 @@ def hotel_write(
     ``hotel`` (``SELECT *`` tag queries serve ``pool`` as an attribute);
     both are UPDATEs over a sliding row slice, so the database shape is
     stable while served bytes change. With ``tracker`` given, the write
-    is recorded explicitly; omit it for engines with auto capture
-    attached. ``mix`` overrides the rotation — e.g. E15 passes
-    ``("availability",)`` for a leaf-heavy stream whose dirty frontier
-    stays small, the regime incremental maintenance targets.
+    is recorded explicitly — including the affected row keys and
+    updated columns, which the row-level delta path consumes; omit it
+    for engines with auto capture attached. ``mix`` overrides the
+    rotation — e.g. E15 passes ``("availability",)`` for a leaf-heavy
+    stream whose dirty frontier stays small, the regime incremental
+    maintenance targets.
     """
     table = (mix or _WRITE_MIX)[step % len(mix or _WRITE_MIX)]
     if table == "availability":
+        bindings = {"slot": step % 5}
+        keys = None
+        if tracker is not None:
+            keys = _changed_keys(
+                db, "SELECT a_id FROM availability WHERE a_id % 5 = :slot",
+                bindings,
+            )
         db.run_sql(
             "UPDATE availability SET startdate = CASE startdate "
             "WHEN '2003-06-09' THEN '2003-06-10' ELSE '2003-06-09' END "
             "WHERE a_id % 5 = :slot",
-            {"slot": step % 5},
+            bindings,
         )
+        columns = ("startdate",)
     else:
+        bindings = {"slot": step % 4}
+        keys = None
+        if tracker is not None:
+            keys = _changed_keys(
+                db, "SELECT hotelid FROM hotel WHERE hotelid % 4 = :slot",
+                bindings,
+            )
         db.run_sql(
             "UPDATE hotel SET pool = 1 - pool WHERE hotelid % 4 = :slot",
-            {"slot": step % 4},
+            bindings,
         )
+        columns = ("pool",)
     if tracker is not None:
-        tracker.record_write(table)
+        tracker.record_write(
+            table, rows=len(keys or ()), keys=keys, columns=columns
+        )
     return table
+
+
+def hotel_calendar_write(
+    db,
+    step: int,
+    tracker: Optional[object] = None,
+    hotels: int = 1,
+) -> str:
+    """Shift the availability calendar of ``hotels`` served hotels.
+
+    The block-pushdown leaf write: flips ``startdate`` on every
+    ``availability`` row of a sliding window of in-view (``starrating >
+    4``) hotels — the entity-local update pattern of a real booking
+    feed, where one property's calendar changes at a time. ``startdate``
+    is the Figure 1 ``GROUP BY`` column of the availability nodes, so
+    the write regroups rows *within* the owning hotel's block while
+    every other hotel's subtree is untouched; a tracked write here is
+    maintainable by re-evaluating just the affected hotels' blocks
+    (:mod:`repro.maintenance.incremental`), and the rest of the
+    document — the bulk of its bytes — survives by identity for the
+    fragment byte cache. Returns ``"availability"``.
+    """
+    hotelids = [
+        row["hotelid"]
+        for row in db.run_sql(
+            "SELECT hotelid FROM hotel WHERE starrating > 4 "
+            "ORDER BY hotelid",
+            {},
+        )
+    ]
+    if not hotelids:
+        return "availability"
+    count = max(1, min(hotels, len(hotelids)))
+    start = (step * count) % len(hotelids)
+    window = (hotelids * 2)[start:start + count]
+    marks = ",".join(f":h{i}" for i in range(len(window)))
+    bindings = {f"h{i}": key for i, key in enumerate(window)}
+    keys = None
+    if tracker is not None:
+        keys = _changed_keys(
+            db,
+            "SELECT a_id FROM availability WHERE a_r_id IN "
+            f"(SELECT r_id FROM guestroom WHERE rhotel_id IN ({marks}))",
+            bindings,
+        )
+    db.run_sql(
+        "UPDATE availability SET startdate = CASE startdate "
+        "WHEN '2003-06-09' THEN '2003-06-10' ELSE '2003-06-09' END "
+        "WHERE a_r_id IN "
+        f"(SELECT r_id FROM guestroom WHERE rhotel_id IN ({marks}))",
+        bindings,
+    )
+    if tracker is not None:
+        tracker.record_write(
+            "availability",
+            rows=len(keys or ()),
+            keys=keys,
+            columns=("startdate",),
+        )
+    return "availability"
+
+
+def hotel_conference_write(
+    db,
+    step: int,
+    tracker: Optional[object] = None,
+    hotels: int = 1,
+) -> str:
+    """Resize the conference rooms of ``hotels`` served hotels.
+
+    The block-pushdown leaf write: flips ``capacity`` (parity toggle, so
+    the database shape is stable) on every ``confroom`` row of a sliding
+    window of in-view (``starrating > 4``) hotels — the entity-local
+    update of a real property feed, where one hotel reconfigures its
+    meeting space at a time. ``capacity`` feeds the Figure 1 conference
+    aggregates (``confstat`` per hotel and per metro) only through their
+    top-level SUM projections — it never decides which rows join which
+    result blocks — so a tracked write here is maintainable at *block*
+    granularity: re-aggregate the affected hotels' and metros' blocks,
+    share every other block's subtree by identity
+    (:mod:`repro.maintenance.incremental`), and let the fragment byte
+    cache replay the untouched bytes. Contrast with calendar writes
+    (:func:`hotel_calendar_write`), whose ``startdate`` regroups rows
+    across sibling hotels and must fall back to node-level maintenance.
+    Returns ``"confroom"``.
+    """
+    hotelids = [
+        row["hotelid"]
+        for row in db.run_sql(
+            "SELECT hotelid FROM hotel WHERE starrating > 4 "
+            "ORDER BY hotelid",
+            {},
+        )
+    ]
+    if not hotelids:
+        return "confroom"
+    count = max(1, min(hotels, len(hotelids)))
+    start = (step * count) % len(hotelids)
+    window = (hotelids * 2)[start:start + count]
+    marks = ",".join(f":h{i}" for i in range(len(window)))
+    bindings = {f"h{i}": key for i, key in enumerate(window)}
+    keys = None
+    if tracker is not None:
+        keys = _changed_keys(
+            db,
+            f"SELECT c_id FROM confroom WHERE chotel_id IN ({marks})",
+            bindings,
+        )
+    db.run_sql(
+        "UPDATE confroom SET capacity = CASE capacity % 2 "
+        "WHEN 0 THEN capacity + 1 ELSE capacity - 1 END "
+        f"WHERE chotel_id IN ({marks})",
+        bindings,
+    )
+    if tracker is not None:
+        tracker.record_write(
+            "confroom",
+            rows=len(keys or ()),
+            keys=keys,
+            columns=("capacity",),
+        )
+    return "confroom"
+
+
+def hotel_payload_write(
+    db,
+    step: int,
+    tracker: Optional[object] = None,
+    rows: int = 1,
+) -> str:
+    """Flip ``pool`` on exactly ``rows`` hotels; returns ``"hotel"``.
+
+    The row-pushdown microbenchmark's write: ``pool`` is a pure payload
+    column of the Figure 1 ``hotel`` node (``SELECT *`` serves it, no
+    predicate, grouping or descendant reads it), so a tracked write
+    here is maintainable by re-fetching just the changed rows — and
+    ``rows`` directly controls how many. Only hotels the Figure 1
+    ``starrating > 4`` filter serves are touched, so every changed row
+    has an element in the document (a flip on a filtered-out hotel
+    would measure an empty probe, not row maintenance). The window
+    slides with ``step`` so successive writes touch different hotels.
+    """
+    hotelids = [
+        row["hotelid"]
+        for row in db.run_sql(
+            "SELECT hotelid FROM hotel WHERE starrating > 4 "
+            "ORDER BY hotelid",
+            {},
+        )
+    ]
+    if not hotelids:
+        return "hotel"
+    count = max(1, min(rows, len(hotelids)))
+    start = (step * count) % len(hotelids)
+    window = (hotelids * 2)[start:start + count]
+    marks = ",".join(f":k{i}" for i in range(len(window)))
+    bindings = {f"k{i}": key for i, key in enumerate(window)}
+    db.run_sql(
+        f"UPDATE hotel SET pool = 1 - pool WHERE hotelid IN ({marks})",
+        bindings,
+    )
+    if tracker is not None:
+        tracker.record_write(
+            "hotel", rows=len(window), keys=window, columns=("pool",)
+        )
+    return "hotel"

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import sqlite3
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Optional
 
@@ -61,17 +62,24 @@ class QueryStats:
 
     queries_executed: int = 0
     rows_fetched: int = 0
+    #: Wall-clock seconds spent inside sqlite (execute + fetch), summed
+    #: over every recorded query — the "query" phase of the serve-bench
+    #: profile breakdown.
+    query_seconds: float = 0.0
     sql_texts: list[str] = field(default_factory=list)
     keep_sql: bool = False
 
     def __post_init__(self) -> None:
         self._lock = threading.Lock()
 
-    def record(self, rows: int, sql: Optional[str] = None) -> None:
+    def record(
+        self, rows: int, sql: Optional[str] = None, seconds: float = 0.0
+    ) -> None:
         """Count one executed query returning ``rows`` rows (thread-safe)."""
         with self._lock:
             self.queries_executed += 1
             self.rows_fetched += rows
+            self.query_seconds += seconds
             if self.keep_sql and sql is not None:
                 self.sql_texts.append(sql)
 
@@ -80,15 +88,17 @@ class QueryStats:
         with self._lock:
             self.queries_executed += other.queries_executed
             self.rows_fetched += other.rows_fetched
+            self.query_seconds += other.query_seconds
             if self.keep_sql:
                 self.sql_texts.extend(other.sql_texts)
 
-    def snapshot(self) -> dict[str, int]:
+    def snapshot(self) -> dict[str, float]:
         """The counters as a plain dict (one consistent read)."""
         with self._lock:
             return {
                 "queries_executed": self.queries_executed,
                 "rows_fetched": self.rows_fetched,
+                "query_seconds": self.query_seconds,
             }
 
     def reset(self) -> None:
@@ -96,6 +106,7 @@ class QueryStats:
         with self._lock:
             self.queries_executed = 0
             self.rows_fetched = 0
+            self.query_seconds = 0.0
             self.sql_texts.clear()
 
 
@@ -309,6 +320,7 @@ class Database:
                     f"{param.column!r} (has: {sorted(parent_row)})"
                 )
             bindings[placeholder_name(param)] = parent_row[param.column]
+        started = time.perf_counter()
         try:
             cursor = self.connection.execute(sql, bindings)
         except sqlite3.Error as exc:
@@ -329,7 +341,7 @@ class Database:
                         name = f"{name}__{suffix}"
                     row[name] = raw[index]
                 rows.append(row)
-        self.stats.record(len(rows), sql)
+        self.stats.record(len(rows), sql, time.perf_counter() - started)
         return rows
 
     def run_sql(self, sql: str, bindings: Optional[Mapping[str, Any]] = None) -> list[Row]:

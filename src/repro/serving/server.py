@@ -68,6 +68,11 @@ from repro.errors import (
     RequestRejected,
     classify_error,
 )
+from repro.maintenance.fragments import (
+    FragmentCache,
+    FragmentPolicy,
+    FragmentStat,
+)
 from repro.maintenance.incremental import (
     MAINTENANCE_MODES,
     DeltaEvaluator,
@@ -91,6 +96,7 @@ from repro.schema_tree.evaluator import (
 from repro.schema_tree.model import SchemaTreeQuery
 from repro.serving.fingerprint import (
     fingerprint_catalog,
+    node_parents,
     node_read_sets,
     plan_key,
     view_read_set,
@@ -126,12 +132,16 @@ OUTCOMES = ("success", "degraded", "rejected", "deadline", "error")
 
 #: Reasons a delta maintenance attempt fell back to full recomputation,
 #: in the order metrics report them (see ``delta_fallbacks_by_reason``).
+#: ``fragment-miss`` is fragment-mode only: the stale entry carries
+#: captured state but no fragment byte cache (mode switch, degraded
+#: store), so the request recomputes in full to rebuild both.
 DELTA_FALLBACK_REASONS = (
     "no-state",
     "no-change",
     "unsupported",
     "error",
     "stamp-race",
+    "fragment-miss",
 )
 
 
@@ -187,9 +197,30 @@ class RequestTrace:
     plan_seconds: float = 0.0
     execute_seconds: float = 0.0
     serialize_seconds: float = 0.0
+    #: Seconds inside sqlite (execute + fetch) for this request's
+    #: queries — the "query" phase of the profile breakdown; the "merge"
+    #: phase is ``execute - query - splice``.
+    query_seconds: float = 0.0
+    #: Seconds in the delta copy-on-spine splice (document and state
+    #: rebuild, no query work) — the profile's "splice" phase.
+    splice_seconds: float = 0.0
     total_seconds: float = 0.0
     queries_executed: int = 0
     rows_fetched: int = 0
+    #: On a ``delta-recompute``: elements rebuilt at *row* granularity
+    #: by key pushdown (subset of the refreshed elements; their kept
+    #: subtrees were shared, not rebuilt).
+    rows_spliced: int = 0
+    #: On a ``delta-recompute``: parent blocks re-evaluated at *block*
+    #: granularity (grouped frontiers the row path must decline; sibling
+    #: blocks' subtrees were shared, not rebuilt).
+    blocks_spliced: int = 0
+    #: Fragment byte-cache outcome of this request's serialization
+    #: (fragment maintenance only): spans copied without walking their
+    #: subtree, fragments walked and (re-)recorded, and bytes spliced.
+    fragment_hits: int = 0
+    fragment_misses: int = 0
+    fragment_spliced_bytes: int = 0
     elements_created: int = 0
     attributes_created: int = 0
     fallback_nodes: int = 0
@@ -219,9 +250,16 @@ class RequestTrace:
             "plan_seconds": round(self.plan_seconds, 6),
             "execute_seconds": round(self.execute_seconds, 6),
             "serialize_seconds": round(self.serialize_seconds, 6),
+            "query_seconds": round(self.query_seconds, 6),
+            "splice_seconds": round(self.splice_seconds, 6),
             "total_seconds": round(self.total_seconds, 6),
             "queries_executed": self.queries_executed,
             "rows_fetched": self.rows_fetched,
+            "rows_spliced": self.rows_spliced,
+            "blocks_spliced": self.blocks_spliced,
+            "fragment_hits": self.fragment_hits,
+            "fragment_misses": self.fragment_misses,
+            "fragment_spliced_bytes": self.fragment_spliced_bytes,
             "elements_created": self.elements_created,
             "attributes_created": self.attributes_created,
             "fallback_nodes": self.fallback_nodes,
@@ -280,6 +318,7 @@ class ViewServer:
         staleness: "StalenessPolicy | str" = "strict",
         result_cache_capacity: int = 128,
         maintenance: str = "full",
+        fragment_policy: "FragmentPolicy | str | None" = None,
         resilience: Optional[ResiliencePolicy] = None,
         faults: Optional[FaultPlan] = None,
     ):
@@ -341,8 +380,19 @@ class ViewServer:
         # How stale entries are recomputed: "full" re-runs the whole
         # compiled plan, "delta" refreshes only the dirty schema nodes
         # (repro.maintenance.incremental) and falls back to full when
-        # the splice declines. Only meaningful with a tracker.
+        # the splice declines, "fragment" is delta plus the serialized-
+        # fragment byte cache (repro.maintenance.fragments). Only
+        # meaningful with a tracker.
         self.maintenance = maintenance
+        self.fragment_policy = (
+            FragmentPolicy.parse(fragment_policy)
+            if isinstance(fragment_policy, str)
+            else (fragment_policy or FragmentPolicy("all"))
+        )
+        self._fragment_hits = 0
+        self._fragment_misses = 0
+        self._fragment_splices = 0
+        self._fragment_spliced_bytes = 0
         self._delta_fallback_reasons = {
             reason: 0 for reason in DELTA_FALLBACK_REASONS
         }
@@ -511,6 +561,7 @@ class ViewServer:
             pruned_columns=pruned_columns,
             tables=view_read_set(view),
             node_read_sets=node_read_sets(view),
+            node_parents=node_parents(view),
         )
 
     # -- freshness -----------------------------------------------------------
@@ -580,6 +631,14 @@ class ViewServer:
         if stale is None or not isinstance(stale.state, MaterializedState):
             self._record_delta_fallback("no-state")
             return None
+        if self.maintenance == "fragment" and not isinstance(
+            stale.fragments, FragmentCache
+        ):
+            # The entry predates fragment mode (or was stored by a path
+            # that bypasses capture): recompute in full so the new entry
+            # carries both state and a byte cache.
+            self._record_delta_fallback("fragment-miss")
+            return None
         versions = dict(current_versions)
         self._sync()
         live = self.tracker.versions(plan.tables)
@@ -596,6 +655,11 @@ class ViewServer:
         if not changed:
             self._record_delta_fallback("no-change")
             return None
+        # Row-level change detail (changed keys + columns) for the key
+        # pushdown path. Computed against the live log, which may run
+        # ahead of the selection vector — harmless, because any advance
+        # past it is caught by the stamp-race check below.
+        changes = self.tracker.changes_since(stale.versions, plan.tables)
         if deadline is None:
             deadline = Deadline.start(None)
         try:
@@ -605,7 +669,11 @@ class ViewServer:
                     stats = MaterializeStats()
                     execute_started = time.perf_counter()
                     result = DeltaEvaluator(db, stats=stats).evaluate(
-                        plan.view, stale.state, plan.node_read_sets, changed
+                        plan.view,
+                        stale.state,
+                        plan.node_read_sets,
+                        changed,
+                        changes=changes,
                     )
                     trace.execute_seconds = (
                         time.perf_counter() - execute_started
@@ -638,12 +706,16 @@ class ViewServer:
             after["queries_executed"] - before["queries_executed"]
         )
         trace.rows_fetched = after["rows_fetched"] - before["rows_fetched"]
+        trace.query_seconds = after["query_seconds"] - before["query_seconds"]
+        trace.splice_seconds = result.splice_seconds
+        trace.rows_spliced = result.rows_spliced
+        trace.blocks_spliced = result.blocks_spliced
         trace.elements_created = stats.elements_created
         trace.attributes_created = stats.attributes_created
         trace.dirty_nodes = len(result.dirty_nodes)
-        serialize_started = time.perf_counter()
-        xml = serialize(result.document)
-        trace.serialize_seconds = time.perf_counter() - serialize_started
+        xml, fragments = self._serialize_response(
+            trace, result.document, plan, result.state, stale
+        )
         self.result_cache.store(
             result_key,
             xml,
@@ -651,6 +723,7 @@ class ViewServer:
             plan.tables,
             strategy=request.strategy,
             state=result.state,
+            fragments=fragments,
         )
         return xml
 
@@ -694,6 +767,101 @@ class ViewServer:
             armed.pop("connection", None)
             timer.cancel()
             db.cancel_check = None
+
+    def _serialize_response(
+        self,
+        trace: RequestTrace,
+        document,
+        plan: CompiledPlan,
+        state: Optional[MaterializedState],
+        prior,
+    ) -> tuple[str, Optional[FragmentCache]]:
+        """Serialize a response, timing it into the trace.
+
+        The single serialization site for both the full and the delta
+        path. Under fragment maintenance with captured ``state``, the
+        ``prior`` entry's byte cache (when it has one) splices cached
+        spans around re-walked fragments, the pinning policy picks the
+        fragments the successor cache keeps, and that successor is
+        returned to store with the new entry. Every other configuration
+        is a plain timed :func:`serialize` returning ``None``. Either
+        way the bytes are identical to ``serialize(document)``.
+
+        ``serialize_seconds`` covers producing the bytes (walk, splice,
+        and successor-span upkeep); the pinning-policy decision runs
+        before the timer — it is cache management, priced into total
+        latency but not into the serialization comparison.
+        """
+        if self.maintenance != "fragment" or state is None:
+            started = time.perf_counter()
+            xml = serialize(document)
+            trace.serialize_seconds = time.perf_counter() - started
+            return xml, None
+        cache = (
+            prior.fragments
+            if prior is not None and isinstance(prior.fragments, FragmentCache)
+            else FragmentCache()
+        )
+        pinned = self.fragment_policy.select(
+            self._fragment_stats(plan, state, cache, prior)
+        )
+        started = time.perf_counter()
+        xml, outcome, successor = cache.serialize_state(state, pinned)
+        trace.serialize_seconds = time.perf_counter() - started
+        trace.fragment_hits = outcome.hits
+        trace.fragment_misses = outcome.misses
+        trace.fragment_spliced_bytes = outcome.spliced_bytes
+        with self._lock:
+            self._fragment_hits += outcome.hits
+            self._fragment_misses += outcome.misses
+            self._fragment_spliced_bytes += outcome.spliced_bytes
+            if outcome.hits:
+                self._fragment_splices += 1
+        return xml, successor
+
+    def _fragment_stats(
+        self,
+        plan: CompiledPlan,
+        state: MaterializedState,
+        cache: FragmentCache,
+        prior,
+    ) -> list[FragmentStat]:
+        """Per-node pinning signals for the fragment policy.
+
+        ``reads`` is how often the prior entry was served (each serve
+        would have copied the node's spans); ``writes`` is the tracker's
+        version lag on the node's read set since the prior entry was
+        stamped (the writes that invalidated spans); ``size`` and
+        ``survival`` come from the prior cache's recorded bytes and
+        measured span-reuse fractions. A fresh entry scores ``reads=1,
+        writes=0, size=0, survival=None`` — optimistically pinnable
+        until real numbers exist.
+        """
+        reads = float(prior.hits + 1) if prior is not None else 1.0
+        stamped = prior.versions if prior is not None else {}
+        stats: list[FragmentStat] = []
+        for node_id in state.instances:
+            tables = plan.node_read_sets.get(node_id)
+            if tables is None:
+                # Literal nodes and the synthetic root have no read set
+                # (and the root's Document is not a spannable Element).
+                continue
+            writes = (
+                float(self.tracker.lag(stamped, tables))
+                if self.tracker is not None
+                else 0.0
+            )
+            stats.append(
+                FragmentStat(
+                    node_id=node_id,
+                    size=cache.bytes_by_node.get(node_id, 0),
+                    reads=reads,
+                    writes=writes,
+                    survival=cache.survival(node_id),
+                    parent_id=plan.node_parents.get(node_id),
+                )
+            )
+        return stats
 
     def _serve(self, request: PublishRequest, request_id: int) -> RequestTrace:
         started = time.perf_counter()
@@ -786,7 +954,7 @@ class ViewServer:
         delta_xml = None
         if (
             use_result_cache
-            and self.maintenance == "delta"
+            and self.maintenance in ("delta", "fragment")
             and trace.freshness == "stale-recompute"
         ):
             delta_xml = self._serve_delta(
@@ -888,7 +1056,9 @@ class ViewServer:
             # as the version stamp it publishes.
             self._sync()
         capture: Optional[dict] = (
-            {} if use_result_cache and self.maintenance == "delta" else None
+            {}
+            if use_result_cache and self.maintenance in ("delta", "fragment")
+            else None
         )
         with self.pool.session() as db:
             with self._deadline_guard(db, deadline):
@@ -913,12 +1083,22 @@ class ViewServer:
             after["queries_executed"] - before["queries_executed"]
         )
         trace.rows_fetched = after["rows_fetched"] - before["rows_fetched"]
+        trace.query_seconds = after["query_seconds"] - before["query_seconds"]
         trace.elements_created = stats.elements_created
         trace.attributes_created = stats.attributes_created
         trace.fallback_nodes = len(getattr(evaluator, "fallback_nodes", []))
-        serialize_started = time.perf_counter()
-        xml = serialize(document)
-        trace.serialize_seconds = time.perf_counter() - serialize_started
+        state = (
+            MaterializedState(document, capture)
+            if capture is not None
+            else None
+        )
+        # A full recompute builds an all-new tree, so a prior entry's
+        # spans cannot hit — but its serve/stamp history still feeds the
+        # pinning policy, and the fresh walk records the new spans.
+        prior = self.result_cache.peek(result_key) if use_result_cache else None
+        xml, fragments = self._serialize_response(
+            trace, document, plan, state, prior
+        )
         if self.keep_xml:
             trace.xml = xml
         if use_result_cache:
@@ -928,11 +1108,8 @@ class ViewServer:
                 current_versions,
                 plan.tables,
                 strategy=request.strategy,
-                state=(
-                    MaterializedState(document, capture)
-                    if capture is not None
-                    else None
-                ),
+                state=state,
+                fragments=fragments,
             )
 
     # -- failure handling ----------------------------------------------------
@@ -1010,6 +1187,10 @@ class ViewServer:
             freshness = dict(self._freshness_counts)
             outcomes = dict(self._outcome_counts)
             fallback_reasons = dict(self._delta_fallback_reasons)
+            fragment_hits = self._fragment_hits
+            fragment_misses = self._fragment_misses
+            fragment_splices = self._fragment_splices
+            fragment_spliced_bytes = self._fragment_spliced_bytes
             retries_total = self._retries_total
             deadline_hits = self._deadline_hits
             shed_requests = self._shed_requests
@@ -1036,6 +1217,17 @@ class ViewServer:
                 "total_writes": self.tracker.clock(),
                 "versions": self.tracker.snapshot(),
             }
+            if self.maintenance == "fragment":
+                # hits/misses count fragments spliced vs walked across
+                # all serializations; splices counts serializations that
+                # reused at least one cached span.
+                metrics["fragments"] = {
+                    "policy": self.fragment_policy.describe(),
+                    "hits": fragment_hits,
+                    "misses": fragment_misses,
+                    "splices": fragment_splices,
+                    "spliced_bytes": fragment_spliced_bytes,
+                }
         if self.resilience is not None:
             breaker = self.plan_cache.breaker
             metrics["resilience"] = {

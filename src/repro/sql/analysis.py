@@ -158,6 +158,217 @@ def canonicalize_aggregate_aliases(select: Select) -> None:
             used.add(alias)
 
 
+def table_occurrences(select: Select, table: str) -> int:
+    """How many times base table ``table`` occurs as a FROM item, at any
+    depth (derived tables and EXISTS/IN/scalar subquery bodies included).
+
+    Row-level delta pushdown needs the count: a key predicate is only
+    sound against a table that occurs exactly once — a self-join or a
+    subquery occurrence would leave unrestricted copies behind.
+    """
+    from repro.sql.ast import ExistsExpr, InExpr, ScalarSubquery
+    from repro.sql.params import walk_exprs
+
+    count = 0
+
+    def visit(query: Select) -> None:
+        nonlocal count
+        for from_item in query.from_items:
+            if isinstance(from_item, TableRef):
+                if from_item.name == table:
+                    count += 1
+            else:
+                visit(from_item.select)
+        for expr in walk_exprs(query):
+            if isinstance(expr, ExistsExpr):
+                visit(expr.select)
+            elif isinstance(expr, ScalarSubquery):
+                visit(expr.select)
+            elif isinstance(expr, InExpr) and expr.select is not None:
+                visit(expr.select)
+
+    visit(select)
+    return count
+
+
+def sole_table_binding(select: Select, table: str) -> "str | None":
+    """The binding name of ``table`` when it occurs exactly once, as a
+    top-level FROM item of ``select``; ``None`` otherwise."""
+    if table_occurrences(select, table) != 1:
+        return None
+    for from_item in select.from_items:
+        if isinstance(from_item, TableRef) and from_item.name == table:
+            return from_item.binding_name
+    return None
+
+
+def _table_column_refs(
+    select: Select,
+    table: str,
+    catalog: TableColumns,
+    *,
+    skip_projection: bool,
+    skip_grouping: bool = False,
+) -> set[str]:
+    """Columns of base table ``table`` referenced by ``select``.
+
+    Works on a qualified clone so unqualified names resolve to their
+    source FROM item first. With ``skip_projection`` the top level's
+    plain select-item expressions do not count (their values are
+    recomputed from the fetched row anyway) — only references that can
+    change *which* rows appear, their order, or other rows' values:
+    WHERE / GROUP BY / HAVING / ORDER BY and every subquery body.
+    """
+    from repro.sql.ast import BinOp, ExistsExpr, InExpr, ScalarSubquery, UnaryOp
+    from repro.sql.transform import qualify_unqualified_columns
+
+    clone = select.clone()
+    qualify_unqualified_columns(clone, catalog)
+    columns: set[str] = set()
+
+    def bindings_of(query: Select) -> set[str]:
+        return {
+            fi.binding_name
+            for fi in query.from_items
+            if isinstance(fi, TableRef) and fi.name == table
+        }
+
+    def visit(query: Select, outer_bindings: set[str], top: bool) -> None:
+        bindings = outer_bindings | bindings_of(query)
+
+        def collect(expr) -> None:
+            if expr is None:
+                return
+            if isinstance(expr, ColumnRef):
+                if expr.table in bindings:
+                    columns.add(expr.column)
+                return
+            if isinstance(expr, Star):
+                if expr.table is None or expr.table in bindings:
+                    for fi in query.from_items:
+                        if (
+                            isinstance(fi, TableRef)
+                            and fi.name == table
+                            and (expr.table in (None, fi.binding_name))
+                        ):
+                            columns.update(catalog.columns_of(table))
+                return
+            if isinstance(expr, BinOp):
+                collect(expr.left)
+                collect(expr.right)
+                return
+            if isinstance(expr, UnaryOp):
+                collect(expr.operand)
+                return
+            if isinstance(expr, FuncCall):
+                for arg in expr.args:
+                    collect(arg)
+                return
+            if isinstance(expr, ExistsExpr):
+                visit(expr.select, bindings, top=False)
+                return
+            if isinstance(expr, ScalarSubquery):
+                visit(expr.select, bindings, top=False)
+                return
+            if isinstance(expr, InExpr):
+                collect(expr.needle)
+                for value in expr.values:
+                    collect(value)
+                if expr.select is not None:
+                    visit(expr.select, bindings, top=False)
+                return
+
+        for item in query.items:
+            if top and skip_projection:
+                # Projection values are recomputed per fetched row, but a
+                # subquery inside a projection reads other rows — descend
+                # into subquery bodies only.
+                def subqueries_only(expr) -> None:
+                    if isinstance(expr, (ExistsExpr, ScalarSubquery)):
+                        visit(expr.select, bindings, top=False)
+                    elif isinstance(expr, InExpr):
+                        if expr.select is not None:
+                            visit(expr.select, bindings, top=False)
+                        for value in expr.values:
+                            subqueries_only(value)
+                        subqueries_only(expr.needle)
+                    elif isinstance(expr, BinOp):
+                        subqueries_only(expr.left)
+                        subqueries_only(expr.right)
+                    elif isinstance(expr, UnaryOp):
+                        subqueries_only(expr.operand)
+                    elif isinstance(expr, FuncCall):
+                        for arg in expr.args:
+                            subqueries_only(arg)
+
+                subqueries_only(item.expr)
+            else:
+                collect(item.expr)
+        collect(query.where)
+        if not (top and skip_grouping):
+            for expr in query.group_by:
+                collect(expr)
+            for order in query.order_by:
+                collect(order.expr)
+        collect(query.having)
+        for from_item in query.from_items:
+            if isinstance(from_item, DerivedTable):
+                visit(from_item.select, bindings, top=False)
+
+    visit(clone, set(), top=True)
+    return columns
+
+
+def referenced_columns_of_table(
+    select: Select, table: str, catalog: TableColumns
+) -> set[str]:
+    """Every column of ``table`` the query's result can depend on.
+
+    Drives column-level dirty refinement: if a write's changed columns
+    are disjoint from this set, the node's result is untouched by the
+    write. Unqualified references resolve scope-aware; a ``*`` covering
+    the table counts as all of its columns.
+    """
+    return _table_column_refs(select, table, catalog, skip_projection=False)
+
+
+def load_bearing_columns(
+    select: Select, table: str, catalog: TableColumns
+) -> set[str]:
+    """Columns of ``table`` that affect more than the owning row's values.
+
+    A changed column in this set can move rows in or out of the result,
+    reorder them, regroup them, or change *other* rows (via subqueries) —
+    so a row-level refetch of just the changed keys would be unsound.
+    Top-level projection references are excluded: those values are
+    recomputed from the freshly fetched row.
+    """
+    return _table_column_refs(select, table, catalog, skip_projection=True)
+
+
+def membership_bearing_columns(
+    select: Select, table: str, catalog: TableColumns
+) -> set[str]:
+    """Columns of ``table`` that steer which rows join which result blocks.
+
+    Like :func:`load_bearing_columns` minus the top-level GROUP BY and
+    ORDER BY references. A change confined to columns *outside* this set
+    cannot move a row in or out of the result, move it to a different
+    join partner, or change rows of other base keys — it can only alter
+    the row's own projected values, its top-level group, or its position
+    within an ORDER. That is exactly the guarantee block-level delta
+    maintenance (:mod:`repro.maintenance.incremental`) needs: a changed
+    row stays inside the same parent *block*, so re-evaluating the
+    blocks that contain changed rows — regrouping and reordering them
+    from scratch — reproduces the full result. Subquery bodies still
+    count in full (they can affect arbitrary other rows), as do HAVING
+    references (group survival).
+    """
+    return _table_column_refs(
+        select, table, catalog, skip_projection=True, skip_grouping=True
+    )
+
+
 def referenced_tables(select: Select) -> list[str]:
     """Base-table names referenced anywhere in the query, subqueries included."""
     from repro.sql.ast import ExistsExpr, InExpr, ScalarSubquery

@@ -504,6 +504,92 @@ def carry_parent_columns(query: Select, alias: str, catalog: TableColumns) -> di
     return exposure
 
 
+def push_key_predicate(
+    query: Select, table: str, key_column: str, keys: Iterable
+) -> str:
+    """AND a ``<table>.<key_column> IN (...)`` restriction into ``query``.
+
+    This is the row-level delta pushdown rewrite: given the primary-key
+    values of rows that changed in base table ``table``, restrict a
+    node's (decorrelated) query so it re-fetches only those rows' blocks
+    instead of the whole node. Sound only when the table occurs exactly
+    once, as a top-level FROM item — a self-join or a subquery occurrence
+    would leave unrestricted copies reading the table — so anything else
+    raises and the caller falls back to node-level re-evaluation.
+
+    Key values are sorted into the IN list so the rendered SQL is
+    deterministic (plan caches key on text). Returns the binding name
+    the predicate was anchored to.
+
+    Raises:
+        SQLTransformError: no sole top-level occurrence, or ``keys`` is
+            empty (the caller should skip the refetch entirely).
+    """
+    from repro.sql.analysis import sole_table_binding
+    from repro.sql.ast import InExpr, LiteralValue
+
+    binding = sole_table_binding(query, table)
+    if binding is None:
+        raise SQLTransformError(
+            f"table {table!r} does not occur exactly once at the top "
+            "level; key pushdown is unsound"
+        )
+    values = tuple(
+        LiteralValue(key)
+        for key in sorted(keys, key=lambda k: (str(type(k)), str(k)))
+    )
+    if not values:
+        raise SQLTransformError("key pushdown needs at least one key")
+    query.add_where(InExpr(ColumnRef(key_column, table=binding), values))
+    return binding
+
+
+def restrict_output_in(query: Select, output_name: str, values: Iterable) -> None:
+    """AND an ``IN (...)`` restriction on a named output column of ``query``.
+
+    The block-level delta pushdown rewrite: given the parent-block
+    values of blocks that contain changed rows, restrict a node's
+    decorrelated query so it re-computes only those blocks. The named
+    select item must be a bare column reference (the context-key columns
+    the decorrelator carries through always are); the predicate lands in
+    WHERE, so on a grouped query it filters *whole groups* — every
+    surviving group keeps its full row set and its aggregate values.
+
+    Values are sorted into the IN list so the rendered SQL is
+    deterministic, mirroring :func:`push_key_predicate`.
+
+    Raises:
+        SQLTransformError: no select item named ``output_name``, the
+            item is a computed expression rather than a bare column
+            reference, or ``values`` is empty.
+    """
+    from repro.sql.ast import InExpr, LiteralValue
+
+    target = None
+    for item in query.items:
+        if item.output_name() == output_name:
+            target = item
+            break
+    if target is None:
+        raise SQLTransformError(
+            f"no output column {output_name!r} to restrict on"
+        )
+    if not isinstance(target.expr, ColumnRef):
+        raise SQLTransformError(
+            f"output column {output_name!r} is a computed expression; "
+            "block restriction needs a bare column reference"
+        )
+    literals = tuple(
+        LiteralValue(value)
+        for value in sorted(values, key=lambda v: (str(type(v)), str(v)))
+    )
+    if not literals:
+        raise SQLTransformError("block restriction needs at least one value")
+    query.add_where(
+        InExpr(ColumnRef(target.expr.column, table=target.expr.table), literals)
+    )
+
+
 def expand_stars(query: Select, catalog: TableColumns) -> None:
     """Replace ``*`` / ``t.*`` select items with explicit column references.
 

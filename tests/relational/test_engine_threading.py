@@ -48,10 +48,18 @@ def test_stats_merge_snapshot_reset():
     second = QueryStats(keep_sql=True)
     second.record(5, "SELECT 2")
     first.merge(second)
-    assert first.snapshot() == {"queries_executed": 2, "rows_fetched": 7}
+    assert first.snapshot() == {
+        "queries_executed": 2,
+        "rows_fetched": 7,
+        "query_seconds": 0.0,
+    }
     assert first.sql_texts == ["SELECT 1", "SELECT 2"]
     first.reset()
-    assert first.snapshot() == {"queries_executed": 0, "rows_fetched": 0}
+    assert first.snapshot() == {
+        "queries_executed": 0,
+        "rows_fetched": 0,
+        "query_seconds": 0.0,
+    }
     assert first.sql_texts == []
 
 

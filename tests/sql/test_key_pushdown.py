@@ -1,0 +1,171 @@
+"""Unit tests for the delta-pushdown rewrites and their soundness analysis.
+
+Row-level pushdown (:func:`push_key_predicate`), block-level pushdown
+(:func:`restrict_output_in`), and the static analysis that licenses
+block maintenance (:func:`membership_bearing_columns`) — the paper-side
+machinery behind ``--maintenance delta``'s row and block splices.
+"""
+
+import pytest
+
+from repro.errors import SQLTransformError
+from repro.sql.analysis import (
+    DictCatalog,
+    load_bearing_columns,
+    membership_bearing_columns,
+    sole_table_binding,
+)
+from repro.sql.parser import parse_select
+from repro.sql.printer import print_select
+from repro.sql.transform import push_key_predicate, restrict_output_in
+
+CATALOG = DictCatalog(
+    {
+        "metroarea": ["metroid", "metroname"],
+        "hotel": ["hotelid", "hotelname", "starrating", "metro_id", "pool"],
+        "confroom": ["c_id", "chotel_id", "capacity"],
+        "availability": ["a_id", "a_r_id", "startdate", "price"],
+    }
+)
+
+
+# -- push_key_predicate ------------------------------------------------------
+
+
+def test_push_key_predicate_appends_sorted_in_list():
+    query = parse_select("SELECT * FROM hotel WHERE starrating > 4")
+    binding = push_key_predicate(query, "hotel", "hotelid", [3, 1, 2])
+    assert binding == "hotel"
+    sql = print_select(query)
+    assert "hotel.hotelid IN (1, 2, 3)" in sql
+    assert "starrating > 4" in sql  # original predicate survives
+
+
+def test_push_key_predicate_uses_alias_binding():
+    query = parse_select("SELECT h.hotelid FROM hotel AS h")
+    assert push_key_predicate(query, "hotel", "hotelid", [7]) == "h"
+    assert "h.hotelid IN (7)" in print_select(query)
+
+
+def test_push_key_predicate_rejects_self_join():
+    query = parse_select(
+        "SELECT * FROM hotel AS a, hotel AS b WHERE a.metro_id = b.metro_id"
+    )
+    with pytest.raises(SQLTransformError):
+        push_key_predicate(query, "hotel", "hotelid", [1])
+
+
+def test_push_key_predicate_rejects_subquery_occurrence():
+    # The derived-table copy of the table would stay unrestricted.
+    query = parse_select(
+        "SELECT * FROM hotel, "
+        "(SELECT metro_id FROM hotel GROUP BY metro_id) AS d "
+        "WHERE hotel.metro_id = d.metro_id"
+    )
+    assert sole_table_binding(query, "hotel") is None
+    with pytest.raises(SQLTransformError):
+        push_key_predicate(query, "hotel", "hotelid", [1])
+
+
+def test_push_key_predicate_rejects_empty_keys():
+    query = parse_select("SELECT * FROM hotel")
+    with pytest.raises(SQLTransformError):
+        push_key_predicate(query, "hotel", "hotelid", [])
+
+
+# -- restrict_output_in ------------------------------------------------------
+
+
+def test_restrict_output_in_targets_source_column():
+    query = parse_select(
+        "SELECT SUM(capacity) AS SUM_capacity, chotel_id AS hid "
+        "FROM confroom GROUP BY chotel_id"
+    )
+    restrict_output_in(query, "hid", [5, 2])
+    # The predicate lands on the underlying column, in WHERE (it must
+    # filter whole groups, not grouped results).
+    assert "chotel_id IN (2, 5)" in print_select(query)
+
+
+def test_restrict_output_in_rejects_computed_output():
+    query = parse_select("SELECT COUNT(c_id) AS n FROM confroom")
+    with pytest.raises(SQLTransformError):
+        restrict_output_in(query, "n", [1])
+
+
+def test_restrict_output_in_rejects_unknown_output_and_empty_values():
+    query = parse_select("SELECT chotel_id FROM confroom")
+    with pytest.raises(SQLTransformError):
+        restrict_output_in(query, "nope", [1])
+    with pytest.raises(SQLTransformError):
+        restrict_output_in(query, "chotel_id", [])
+
+
+# -- membership_bearing_columns ----------------------------------------------
+
+
+def test_aggregate_payload_is_not_membership_bearing():
+    # capacity only feeds the SUM projection: a capacity change can
+    # alter the group's aggregate but never move a row between blocks.
+    query = parse_select(
+        "SELECT SUM(capacity) AS SUM_capacity, chotel_id "
+        "FROM confroom GROUP BY chotel_id"
+    )
+    bearing = membership_bearing_columns(query, "confroom", CATALOG)
+    assert "capacity" not in bearing
+    # The grouping column is skipped only at the membership level;
+    # regrouping still makes it load-bearing for the row path.
+    assert "chotel_id" in load_bearing_columns(query, "confroom", CATALOG)
+
+
+def test_where_columns_are_membership_bearing():
+    query = parse_select(
+        "SELECT hotelid FROM hotel WHERE starrating > 4 AND metro_id = 1"
+    )
+    bearing = membership_bearing_columns(query, "hotel", CATALOG)
+    assert {"starrating", "metro_id"} <= bearing
+
+
+def test_top_level_group_by_is_not_membership_bearing():
+    # Regrouping happens inside the re-evaluated block; only the join
+    # column decides which block a row belongs to.
+    query = parse_select(
+        "SELECT startdate, COUNT(a_id) AS n FROM availability "
+        "GROUP BY startdate"
+    )
+    bearing = membership_bearing_columns(query, "availability", CATALOG)
+    assert "startdate" not in bearing
+    assert "startdate" in load_bearing_columns(
+        query, "availability", CATALOG
+    )
+
+
+def test_correlation_equality_is_membership_bearing():
+    # Figure 1 node 7: the changed column steers which derived context
+    # group a row pairs with — across sibling blocks — so block
+    # maintenance must decline (see hotel_calendar_write).
+    query = parse_select(
+        "SELECT COUNT(a_id) AS n, d.startdate FROM availability, "
+        "(SELECT startdate FROM availability GROUP BY startdate) AS d "
+        "WHERE availability.startdate = d.startdate GROUP BY d.startdate"
+    )
+    bearing = membership_bearing_columns(query, "availability", CATALOG)
+    assert "startdate" in bearing
+
+
+def test_having_and_subquery_references_still_count():
+    query = parse_select(
+        "SELECT chotel_id FROM confroom GROUP BY chotel_id "
+        "HAVING SUM(capacity) > 100"
+    )
+    assert "capacity" in membership_bearing_columns(
+        query, "confroom", CATALOG
+    )
+    query = parse_select(
+        "SELECT hotelid FROM hotel WHERE EXISTS "
+        "(SELECT c_id FROM confroom WHERE chotel_id = hotelid "
+        "AND capacity > 50)"
+    )
+    assert "capacity" in membership_bearing_columns(
+        query, "confroom", CATALOG
+    )
