@@ -1,0 +1,110 @@
+"""E18: sharded scatter/merge serving.
+
+Measures the sharded fleet's request path on the shared scale-8 hotel
+database: an all-hit batch (every shard serves from its result cache
+and the router replays memoized merged bytes), a batch after a
+metro-local write (exactly one shard recomputes its slice, the merge
+and serialization re-run), and the raw spine merge + serialize of
+per-shard documents. The full fleet-size sweep and the scaling /
+mismatch gates live in ``python -m repro.harness --e18-json``.
+"""
+
+import pytest
+
+from repro.maintenance.workload import hotel_metro_write
+from repro.schema_tree.evaluator import materialize
+from repro.sharding import (
+    KeyRangePartitioner,
+    ShardRouter,
+    merge_documents,
+    partition_database,
+    partition_keys,
+    plan_merge,
+)
+from repro.workloads.hotel import hotel_partition_scheme
+from repro.workloads.paper import figure1_view
+from repro.xmlcore.serializer import serialize
+
+REQUESTS = 6
+SHARDS = 2
+
+
+@pytest.fixture(scope="module")
+def fleet(serving_db):
+    """A 2-shard fleet over the shared scale-8 serving database."""
+    router = ShardRouter.build(
+        serving_db.catalog,
+        serving_db,
+        hotel_partition_scheme(),
+        SHARDS,
+        workers=2,
+        staleness="strict",
+        maintenance="full",
+    )
+    yield serving_db, router
+    router.close()
+
+
+def test_e18_all_hit_batch(benchmark, fleet):
+    """Steady state between writes: per-shard result-cache hits plus
+    the router's merged-bytes memo."""
+    db, router = fleet
+    view = figure1_view(db.catalog)
+    benchmark.group = "E18 sharded serving (6-request batch)"
+    router.render(view, strategy="bulk")  # prime caches and the memo
+    benchmark(
+        lambda: router.render_many([_request(view) for _ in range(REQUESTS)])
+    )
+
+
+def _request(view):
+    from repro.serving import PublishRequest
+
+    return PublishRequest(view, strategy="bulk")
+
+
+def test_e18_one_shard_dirty_batch(benchmark, fleet):
+    """A metro-local write lands before every batch: one shard
+    recomputes its slice, the other serves a hit, merge re-runs."""
+    db, router = fleet
+    view = figure1_view(db.catalog)
+    domain = [
+        row["metroid"]
+        for row in db.run_sql(
+            "SELECT metroid FROM metroarea ORDER BY metroid", {}
+        )
+    ]
+    benchmark.group = "E18 sharded serving (6-request batch)"
+    router.render(view, strategy="bulk")
+    step = [0]
+
+    def write_then_batch():
+        this = step[0]
+        router.route_write(
+            lambda source, tracker: hotel_metro_write(
+                source, this, tracker=tracker, domain=domain
+            )
+        )
+        step[0] += 1
+        return router.render_many([_request(view) for _ in range(REQUESTS)])
+
+    benchmark(write_then_batch)
+
+
+def test_e18_spine_merge_and_serialize(benchmark, serving_db):
+    """The raw merge primitive: concatenate per-shard partition runs
+    under the spine and serialize the merged document."""
+    view = figure1_view(serving_db.catalog)
+    scheme = hotel_partition_scheme()
+    partitioner = KeyRangePartitioner.from_keys(
+        partition_keys(serving_db, scheme), SHARDS
+    )
+    shards = partition_database(serving_db, scheme, partitioner)
+    try:
+        plan = plan_merge(view)
+        documents = [materialize(view, shard) for shard in shards]
+        benchmark.group = "E18 spine merge"
+        benchmark(lambda: serialize(merge_documents(plan, documents)))
+    finally:
+        for shard in shards:
+            shard.close()

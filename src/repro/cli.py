@@ -285,11 +285,12 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
             degraded=not args.no_degraded,
         )
     strategies = list(STRATEGIES) if args.strategy == "all" else [args.strategy]
+    sharded = args.shards > 1 or args.replicas > 0
     db = build_hotel_database(
         HotelDataSpec().scaled(args.scale), cross_thread=update_aware
     )
     tracker = None
-    if update_aware:
+    if update_aware and not sharded:
         from repro.maintenance import WriteTracker
 
         tracker = WriteTracker()
@@ -310,18 +311,45 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
                 view, stylesheet, strategy=strategy, label=f"{name}/{strategy}"
             )
         )
-    server = ViewServer(
-        db.catalog,
-        source=db,
-        workers=args.workers,
-        keep_xml=False,
-        tracker=tracker,
-        staleness=args.staleness or "strict",
-        maintenance=args.maintenance,
-        fragment_policy=args.fragment_policy,
-        resilience=resilience,
-        faults=faults,
-    )
+    if sharded:
+        # Fleet mode: deal the hotel database by metro key range, one
+        # primary + N replicas per shard. A fault plan (if any) arms
+        # shard 0's primary only — its replicas are the failover path
+        # the chaos run exercises.
+        from repro.sharding import ShardRouter
+        from repro.workloads.hotel import hotel_partition_scheme
+
+        server = ShardRouter.build(
+            db.catalog,
+            db,
+            hotel_partition_scheme(),
+            args.shards,
+            replicas=args.replicas,
+            workers=args.workers,
+            staleness=args.staleness or "strict",
+            maintenance=args.maintenance,
+            fragment_policy=args.fragment_policy,
+            resilience=resilience,
+            faults=(
+                [faults] + [None] * (args.shards - 1)
+                if faults is not None
+                else None
+            ),
+            keep_xml=False,
+        )
+    else:
+        server = ViewServer(
+            db.catalog,
+            source=db,
+            workers=args.workers,
+            keep_xml=False,
+            tracker=tracker,
+            staleness=args.staleness or "strict",
+            maintenance=args.maintenance,
+            fragment_policy=args.fragment_policy,
+            resilience=resilience,
+            faults=faults,
+        )
     stop_writer = _threading.Event()
     writes_issued = [0]
 
@@ -330,7 +358,17 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
 
         interval = 1.0 / args.writes_per_sec
         while not stop_writer.wait(interval):
-            hotel_write(db, writes_issued[0])  # auto capture records it
+            if sharded:
+                # One logical write, applied shard-locally everywhere:
+                # the write mix addresses rows by key predicates, so
+                # each shard's statements touch only rows it owns.
+                server.route_write(
+                    lambda source, shard_tracker: hotel_write(
+                        source, writes_issued[0], tracker=shard_tracker
+                    )
+                )
+            else:
+                hotel_write(db, writes_issued[0])  # auto capture records it
             writes_issued[0] += 1
 
     writer = None
@@ -364,8 +402,10 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         if writer is not None:
             writer.join()
         # Every future has resolved: any borrowed session now is a leak.
-        leaked_connections = server.pool.outstanding()
-        metrics = server.metrics()
+        leaked_connections = (
+            server.outstanding() if sharded else server.pool.outstanding()
+        )
+        metrics = server.aggregate_metrics() if sharded else server.metrics()
     finally:
         stop_writer.set()
         if writer is not None:
@@ -375,7 +415,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     leaked_threads = sum(
         1
         for thread in _threading.enumerate()
-        if thread.name.startswith("viewserver")
+        if thread.name.startswith(("viewserver", "shardrouter"))
     )
     latencies_ms = [trace.total_seconds * 1000 for trace in traces]
     errors = [trace for trace in traces if trace.error is not None]
@@ -400,6 +440,13 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         f"serve-bench: scale={args.scale} workers={args.workers} "
         f"requests={len(traces)} strategy={args.strategy}"
     )
+    if sharded:
+        router_stats = metrics["router"]
+        print(
+            f"sharded shards={args.shards} replicas={args.replicas} "
+            f"failovers={router_stats['failovers']} "
+            f"key_ranges={router_stats.get('key_ranges', '')}"
+        )
     print(
         f"throughput_rps={throughput:.1f} wall_seconds={wall_seconds:.4f} "
         f"errors={len(errors)}"
@@ -489,19 +536,31 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
             if trace.error is None
             and trace.freshness not in ("hit", "degraded-stale")
         ]
-        samples = {
-            "query": [t.query_seconds * 1000 for t in computed],
-            "merge": [
-                max(
-                    0.0,
-                    (t.execute_seconds - t.query_seconds - t.splice_seconds)
-                    * 1000,
-                )
-                for t in computed
-            ],
-            "serialize": [t.serialize_seconds * 1000 for t in computed],
-            "splice": [t.splice_seconds * 1000 for t in computed],
-        }
+        if sharded:
+            # Fleet phases: scatter covers the slowest shard's full
+            # serve (the request's critical path); merge and serialize
+            # are router-side work on the gathered documents.
+            samples = {
+                "scatter": [t.execute_seconds * 1000 for t in computed],
+                "merge": [t.merge_seconds * 1000 for t in computed],
+                "serialize": [t.serialize_seconds * 1000 for t in computed],
+            }
+        else:
+            samples = {
+                "query": [t.query_seconds * 1000 for t in computed],
+                "merge": [
+                    max(
+                        0.0,
+                        (t.execute_seconds - t.query_seconds
+                         - t.splice_seconds)
+                        * 1000,
+                    )
+                    for t in computed
+                ],
+                "serialize": [t.serialize_seconds * 1000 for t in computed],
+                "splice": [t.splice_seconds * 1000 for t in computed],
+            }
+        phases = tuple(samples)
         profile = {
             phase: {
                 "total_ms": round(sum(values), 3),
@@ -515,7 +574,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
             f"profile requests={len(computed)} "
             + " ".join(
                 f"{phase}_p50_ms={profile[phase]['p50_ms']:.4f}"
-                for phase in ("query", "merge", "serialize", "splice")
+                for phase in phases
             )
         )
     if args.json:
@@ -525,6 +584,8 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
                 "workers": args.workers,
                 "requests": args.requests,
                 "strategy": args.strategy,
+                "shards": args.shards,
+                "replicas": args.replicas,
                 "writes_per_sec": args.writes_per_sec,
                 "staleness": args.staleness,
                 "maintenance": args.maintenance,
@@ -570,6 +631,8 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
             report["writes_issued"] = writes_issued[0]
             report["writes_tracked"] = metrics["tracker"]["total_writes"]
             report["max_hit_lag"] = max_hit_lag
+        if sharded:
+            report["router"] = metrics["router"]
         if profile is not None:
             report["profile"] = profile
         if resilience is not None:
@@ -708,6 +771,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--fragment-policy", default="all", metavar="POLICY",
         help="fragment pinning policy for --maintenance fragment: all, "
         "none, auto, or auto:BYTES (default: all)",
+    )
+    serve_parser.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="partition the workload by metro key range into N shards "
+        "served by a scatter/merge router (default: 1 = single box)",
+    )
+    serve_parser.add_argument(
+        "--replicas", type=int, default=0, metavar="M",
+        help="read replicas per shard (snapshot clones balanced "
+        "round-robin with failover; implies router mode; default: 0)",
     )
     serve_parser.add_argument(
         "--view-only", action="store_true",

@@ -49,7 +49,31 @@ def main() -> None:
         "numbers as JSON (row-pushdown sweep + fragment/delta paired "
         "ratio at the leaf-write mix)",
     )
+    parser.add_argument(
+        "--e18-json", metavar="PATH",
+        help="run only E18 (sharded scatter/merge serving) and record "
+        "its raw numbers as JSON (per-fleet-size runs + 2-shard/1-shard "
+        "throughput ratio + merge-equivalence mismatch count)",
+    )
     args = parser.parse_args()
+    if args.e18_json:
+        from repro.harness.experiments import e18_sharding
+
+        if args.quick:
+            # Same scale as the full sweep: the gated 2-shard/1-shard
+            # ratio comes from write locality, and at small scales the
+            # per-request fixed costs (scatter, merge bookkeeping)
+            # swamp the recompute work being avoided; only the sweep
+            # breadth and round count are reduced.
+            result = e18_sharding(
+                scale=8, rounds=8, repeats=6, shard_counts=[1, 2],
+                json_path=args.e18_json,
+            )
+        else:
+            result = e18_sharding(json_path=args.e18_json)
+        print(result.to_console())
+        print(f"wrote {args.e18_json}")
+        return
     if args.e17_json:
         from repro.harness.experiments import e17_fragments
 

@@ -1750,6 +1750,195 @@ def e17_fragments(
     return result
 
 
+def e18_sharding(
+    scale: int = 8,
+    rounds: int = 12,
+    repeats: int = 8,
+    shard_counts: list[int] | None = None,
+    replicas: int = 0,
+    writes_per_round: int = 1,
+    json_path: str | None = None,
+) -> ExperimentResult:
+    """E18: sharded scatter/merge serving vs a single box.
+
+    One :class:`~repro.sharding.ShardRouter` per shard count, built by
+    key-range-partitioning the same scale-``scale`` hotel database over
+    ``metroarea.metroid`` (the partition column
+    :func:`~repro.sharding.derive_partition_column` derives from the
+    Figure 1 view). The raw view is served (no stylesheet — the
+    composed views concentrate all reads into one top node, which
+    hides the per-shard recompute locality under test) under a
+    *metro-local* write stream
+    (:func:`~repro.maintenance.workload.hotel_metro_write`): each write
+    flips the availability calendar of exactly one metro, so exactly
+    one shard's tracker advances and only that shard recomputes its
+    slice of the document next round; the other shards serve result-
+    cache hits and the single box recomputes everything. On a one-core
+    host the scaling therefore measures *work avoided by write
+    locality*, not thread parallelism.
+
+    Every round applies ``writes_per_round`` routed writes (mirrored
+    onto an unpartitioned reference database with the shared global
+    metro domain), then serves a batch of ``repeats`` requests
+    back-to-back (serial, so the recompute-vs-hit mix per round is
+    deterministic rather than smeared by request racing on one core);
+    req/s is the batch size over the median round time, and
+    every response in every round is verified byte-identical to an
+    uncached serial materialization of the reference — ``mismatches``
+    must be 0. The gated number is the 2-shard-over-1-shard throughput
+    ratio. ``replicas`` read replicas per shard ride along in the
+    fleet (reads rotate across them; failovers counted).
+    """
+    import json
+    import statistics
+
+    from repro.maintenance.workload import hotel_metro_write
+    from repro.schema_tree.evaluator import materialize
+    from repro.serving import PublishRequest, percentile
+    from repro.sharding import ShardRouter
+    from repro.workloads.hotel import hotel_partition_scheme
+    from repro.xmlcore.serializer import serialize
+
+    shard_counts = shard_counts if shard_counts is not None else [1, 2, 4]
+    result = ExperimentResult(
+        "E18",
+        f"Sharded serving fleet (scale-{scale} hotel): key-range "
+        "scatter/merge vs a single box under metro-local writes",
+        ["shards", "replicas", "requests", "req/s", "speedup", "p50 ms",
+         "merged hit/miss", "failovers", "mismatches"],
+        notes=[
+            f"Figure 1 view only, bulk strategy; {rounds} rounds of "
+            f"({writes_per_round} metro-local availability writes, one "
+            f"serial batch of {repeats} requests) per fleet size; "
+            "req/s = batch size over the median round time; speedup is "
+            "vs the 1-shard row. Writes are mirrored onto an "
+            "unpartitioned reference database and every response is "
+            "verified byte-identical to its uncached serial "
+            "materialization (outside the timed window); mismatches "
+            "must be 0.",
+        ],
+    )
+    runs: list[dict] = []
+    base_rps: float | None = None
+    for shards in shard_counts:
+        db = build_hotel_database(
+            HotelDataSpec().scaled(scale), cross_thread=True
+        )
+        view = figure1_view(db.catalog)
+        domain = [
+            row["metroid"]
+            for row in db.run_sql(
+                "SELECT metroid FROM metroarea ORDER BY metroid", {}
+            )
+        ]
+        router = ShardRouter.build(
+            db.catalog,
+            db,
+            hotel_partition_scheme(),
+            shards,
+            replicas=replicas,
+            workers=2,
+            staleness="strict",
+            maintenance="full",
+        )
+        batch = [
+            PublishRequest(view, strategy="bulk", label=f"s{shards}")
+            for _ in range(repeats)
+        ]
+        latencies: list[float] = []
+        round_times: list[float] = []
+        mismatches = 0
+        step = 0
+        try:
+            router.render_many(batch)  # untimed warmup
+            for _ in range(rounds):
+                for _ in range(writes_per_round):
+                    this = step
+                    router.route_write(
+                        lambda source, tracker: hotel_metro_write(
+                            source, this, tracker=tracker, domain=domain
+                        )
+                    )
+                    hotel_metro_write(db, this)
+                    step += 1
+                started = time.perf_counter()
+                traces = [
+                    router.submit(request).result() for request in batch
+                ]
+                round_times.append(time.perf_counter() - started)
+                reference = serialize(materialize(view, db))
+                for trace in traces:
+                    latencies.append(trace.total_seconds)
+                    if trace.xml != reference:
+                        mismatches += 1
+            metrics = router.metrics()
+            leaked = router.outstanding()
+        finally:
+            router.close()
+            db.close()
+        median_round = statistics.median(round_times)
+        rps = len(batch) / median_round if median_round else 0.0
+        if base_rps is None:
+            base_rps = rps
+        speedup = rps / base_rps if base_rps else 0.0
+        merged = metrics["merged_cache"]
+        result.add_row(
+            shards, replicas, rounds * len(batch), rps, speedup,
+            percentile(latencies, 50) * 1000,
+            f"{merged['hits']}/{merged['misses']}",
+            metrics["failovers"], mismatches,
+        )
+        runs.append(
+            {
+                "shards": shards,
+                "replicas": replicas,
+                "key_ranges": metrics.get("key_ranges"),
+                "requests": rounds * len(batch),
+                "median_round_ms": round(median_round * 1000, 4),
+                "throughput_rps": round(rps, 2),
+                "speedup_over_one_shard": round(speedup, 3),
+                "p50_ms": round(percentile(latencies, 50) * 1000, 4),
+                "merged_cache": merged,
+                "failovers": metrics["failovers"],
+                "outcomes": metrics["outcomes"],
+                "leaked_connections": leaked,
+                "mismatches": mismatches,
+            }
+        )
+    total_mismatches = sum(run["mismatches"] for run in runs)
+    by_shards = {run["shards"]: run["throughput_rps"] for run in runs}
+    two_over_one = (
+        round(by_shards[2] / by_shards[1], 3)
+        if 1 in by_shards and 2 in by_shards and by_shards[1]
+        else None
+    )
+    if two_over_one is not None:
+        result.notes.append(
+            f"2-shard over 1-shard throughput: {two_over_one:.2f}x "
+            f"(gate >= 1.3x); total mismatches {total_mismatches}."
+        )
+    if json_path:
+        with open(json_path, "w") as handle:
+            json.dump(
+                {
+                    "scale": scale,
+                    "rounds": rounds,
+                    "repeats": repeats,
+                    "writes_per_round": writes_per_round,
+                    "shard_counts": shard_counts,
+                    "replicas": replicas,
+                    "runs": runs,
+                    "two_shard_over_one": two_over_one,
+                    "mismatches": total_mismatches,
+                },
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+            handle.write("\n")
+    return result
+
+
 def run_all(quick: bool = False) -> list[ExperimentResult]:
     """Run every experiment; ``quick`` shrinks the sweeps."""
     if quick:
@@ -1778,6 +1967,9 @@ def run_all(quick: bool = False) -> list[ExperimentResult]:
                 scale=1, rounds=3, repeats=1, fault_rates=[0.0, 0.3],
             ),
             e17_fragments(scale=2, rounds=3, repeats=1, row_counts=[1, 4]),
+            e18_sharding(
+                scale=4, rounds=4, repeats=3, shard_counts=[1, 2],
+            ),
         ]
     return [
         e1_end_to_end(),
@@ -1797,4 +1989,5 @@ def run_all(quick: bool = False) -> list[ExperimentResult]:
         e15_incremental(),
         e16_resilience(),
         e17_fragments(),
+        e18_sharding(replicas=1),
     ]

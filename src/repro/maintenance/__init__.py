@@ -56,6 +56,7 @@ from repro.maintenance.tracker import TableChange, WriteTracker
 from repro.maintenance.workload import (
     hotel_calendar_write,
     hotel_conference_write,
+    hotel_metro_write,
     hotel_payload_write,
     hotel_write,
     hotel_write_tables,
@@ -80,6 +81,7 @@ __all__ = [
     "dirty_node_ids",
     "hotel_calendar_write",
     "hotel_conference_write",
+    "hotel_metro_write",
     "hotel_payload_write",
     "hotel_write",
     "hotel_write_tables",

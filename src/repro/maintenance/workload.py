@@ -18,7 +18,7 @@ on auto capture simply lose it and fall back to node-level deltas.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 #: Tables the write mix touches, in rotation order.
 _WRITE_MIX = ("availability", "hotel", "availability")
@@ -95,11 +95,93 @@ def hotel_write(
     return table
 
 
+def hotel_metro_write(
+    db,
+    step: int,
+    tracker: Optional[object] = None,
+    metros: int = 1,
+    domain: Optional[Sequence[int]] = None,
+) -> str:
+    """Shift the availability calendar of one metro's hotels at a time.
+
+    The *shard-local* write of experiment E18: flips ``startdate`` on
+    every ``availability`` row under a sliding window of ``metros``
+    metro areas — the geographic update locality of a real feed, where
+    one market's inventory changes while the others sit still. Under a
+    key-range-sharded fleet exactly one shard's tracker advances per
+    write (for ``metros=1``), so only that shard recomputes its slice
+    of the document; a single box must recompute everything. ``step``
+    cycles the window through the metros so successive writes land on
+    successive shards. Returns ``"availability"``.
+
+    ``domain`` is the *global* ordered metro-id list the window slides
+    over. It must be passed when routing the write to shards: a shard
+    only holds its own metros, so a window computed from its local
+    ``metroarea`` table would make every shard write its own "first"
+    metro instead of the one globally targeted. With the global domain
+    the rows written on a shard equal the rows written on the full
+    database restricted to that shard's metros — the
+    union-equals-single-box property the differential suite checks —
+    and a shard owning none of the window's metros no-ops without
+    advancing its tracker version. ``domain=None`` reads the local
+    table, which is only correct on an unpartitioned database.
+    """
+    metroids = (
+        list(domain)
+        if domain is not None
+        else [
+            row["metroid"]
+            for row in db.run_sql(
+                "SELECT metroid FROM metroarea ORDER BY metroid", {}
+            )
+        ]
+    )
+    if not metroids:
+        return "availability"
+    count = max(1, min(metros, len(metroids)))
+    start = (step * count) % len(metroids)
+    window = (metroids * 2)[start:start + count]
+    marks = ",".join(f":m{i}" for i in range(len(window)))
+    bindings = {f"m{i}": key for i, key in enumerate(window)}
+    predicate = (
+        "a_r_id IN (SELECT r_id FROM guestroom "
+        "JOIN hotel ON rhotel_id = hotelid "
+        f"WHERE metro_id IN ({marks}))"
+    )
+    keys = None
+    if tracker is not None:
+        keys = _changed_keys(
+            db,
+            f"SELECT a_id FROM availability WHERE {predicate}",
+            bindings,
+        )
+        if not keys:
+            # This database owns none of the targeted metros (an
+            # unaffected shard): no statement, no version advance —
+            # exactly what keeps the write shard-local.
+            return "availability"
+    db.run_sql(
+        "UPDATE availability SET startdate = CASE startdate "
+        "WHEN '2003-06-09' THEN '2003-06-10' ELSE '2003-06-09' END "
+        f"WHERE {predicate}",
+        bindings,
+    )
+    if tracker is not None:
+        tracker.record_write(
+            "availability",
+            rows=len(keys or ()),
+            keys=keys,
+            columns=("startdate",),
+        )
+    return "availability"
+
+
 def hotel_calendar_write(
     db,
     step: int,
     tracker: Optional[object] = None,
     hotels: int = 1,
+    domain: Optional[Sequence[int]] = None,
 ) -> str:
     """Shift the availability calendar of ``hotels`` served hotels.
 
@@ -114,15 +196,24 @@ def hotel_calendar_write(
     (:mod:`repro.maintenance.incremental`), and the rest of the
     document — the bulk of its bytes — survives by identity for the
     fragment byte cache. Returns ``"availability"``.
+
+    ``domain`` is the global in-view hotel-id list the window slides
+    over; pass it when routing the write to shards (same contract as
+    :func:`hotel_metro_write`) so every shard targets the same hotels
+    and non-owners no-op without a version bump.
     """
-    hotelids = [
-        row["hotelid"]
-        for row in db.run_sql(
-            "SELECT hotelid FROM hotel WHERE starrating > 4 "
-            "ORDER BY hotelid",
-            {},
-        )
-    ]
+    hotelids = (
+        list(domain)
+        if domain is not None
+        else [
+            row["hotelid"]
+            for row in db.run_sql(
+                "SELECT hotelid FROM hotel WHERE starrating > 4 "
+                "ORDER BY hotelid",
+                {},
+            )
+        ]
+    )
     if not hotelids:
         return "availability"
     count = max(1, min(hotels, len(hotelids)))
@@ -138,6 +229,10 @@ def hotel_calendar_write(
             f"(SELECT r_id FROM guestroom WHERE rhotel_id IN ({marks}))",
             bindings,
         )
+        if not keys:
+            # No targeted hotel lives on this database (an unaffected
+            # shard): no statement, no version advance.
+            return "availability"
     db.run_sql(
         "UPDATE availability SET startdate = CASE startdate "
         "WHEN '2003-06-09' THEN '2003-06-10' ELSE '2003-06-09' END "

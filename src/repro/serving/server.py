@@ -235,6 +235,11 @@ class RequestTrace:
     worker: str = ""
     error: Optional[str] = None
     xml: Optional[str] = None
+    #: The materialized document behind ``xml``, retained only when the
+    #: server was built with ``keep_documents=True`` (the shard router's
+    #: merge path); never serialized into :meth:`to_dict`. Shared with
+    #: result-cache state — callers must treat it as immutable.
+    document: Optional[object] = None
 
     def to_dict(self, include_xml: bool = False) -> dict:
         """JSON-ready form of the trace (XML omitted unless asked)."""
@@ -314,6 +319,7 @@ class ViewServer:
         workers: int = 4,
         cache_capacity: int = 64,
         keep_xml: bool = True,
+        keep_documents: bool = False,
         tracker: Optional[WriteTracker] = None,
         staleness: "StalenessPolicy | str" = "strict",
         result_cache_capacity: int = 128,
@@ -332,6 +338,10 @@ class ViewServer:
         self.catalog = catalog
         self.workers = workers
         self.keep_xml = keep_xml
+        # Retain the materialized Document on each trace alongside the
+        # bytes. The shard router merges documents structurally instead
+        # of re-parsing XML; everyone else leaves this off.
+        self.keep_documents = keep_documents
         # -- resilience (repro.resilience). The policy governs deadlines,
         # retries, circuit breaking, admission control, and the
         # degraded-stale fallback; the fault plan (tests/E16) injects
@@ -716,6 +726,8 @@ class ViewServer:
         xml, fragments = self._serialize_response(
             trace, result.document, plan, result.state, stale
         )
+        if self.keep_documents:
+            trace.document = result.document
         self.result_cache.store(
             result_key,
             xml,
@@ -946,6 +958,10 @@ class ViewServer:
             # breaker — the breaker guards computation, not reads.
             if self.keep_xml:
                 trace.xml = cached.xml
+            if self.keep_documents and isinstance(
+                cached.state, MaterializedState
+            ):
+                trace.document = cached.state.document
             return
         # Gate computation (the breaker may have opened since the
         # compile gate, or the plan was resident and unguarded so far).
@@ -1101,6 +1117,8 @@ class ViewServer:
         )
         if self.keep_xml:
             trace.xml = xml
+        if self.keep_documents:
+            trace.document = document
         if use_result_cache:
             self.result_cache.store(
                 result_key,
@@ -1163,6 +1181,10 @@ class ViewServer:
                 trace.error = None
                 if self.keep_xml:
                     trace.xml = entry.xml
+                if self.keep_documents and isinstance(
+                    entry.state, MaterializedState
+                ):
+                    trace.document = entry.state.document
                 with self._lock:
                     self._degraded_serves += 1
                 return

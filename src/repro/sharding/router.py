@@ -1,0 +1,763 @@
+"""Scatter/merge router over a sharded, replicated serving fleet.
+
+:class:`ShardRouter` is the fleet counterpart of a single
+:class:`~repro.serving.server.ViewServer`: the workload database is
+dealt into key-range shards (:mod:`repro.sharding.partition`), each
+shard runs one *primary* server plus N read replicas — every one an
+ordinary ``ViewServer`` whose :class:`~repro.serving.pool.ConnectionPool`
+snapshot-clones the shard's source database — and a request fans out to
+one server per shard, the per-shard documents merging under the schema
+tree's spine (:mod:`repro.sharding.merge`) into a single response that
+is byte-identical to a single-box run over the unpartitioned data.
+
+Reads balance round-robin across each shard's ring of servers; a server
+whose trace comes back failed (breaker open, deadline, fault) fails
+over to the next server in the ring, and when no server on a shard can
+compute, the shard serves its degraded-stale fallback if any server
+has one — the router-level outcome then degrades rather than erroring,
+mirroring the single-box resilience semantics per shard.
+
+Writes route through :meth:`ShardRouter.route_write`: the write
+function runs once per shard against ``(shard source, shard tracker)``,
+so delta/fragment maintenance stays entirely shard-local — each shard's
+tracker only ever sees its own rows, and each shard's result cache
+splices only its own slice of the document.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.maintenance.tracker import WriteTracker
+from repro.relational.engine import Database
+from repro.relational.schema import Catalog
+from repro.resilience.faults import FaultPlan
+from repro.resilience.policy import ResiliencePolicy
+from repro.schema_tree.model import SchemaTreeQuery
+from repro.serving.fingerprint import fingerprint_catalog, plan_key
+from repro.serving.server import (
+    OUTCOMES,
+    PublishRequest,
+    RequestTrace,
+    ViewServer,
+)
+from repro.sharding.merge import MergePlan, merge_documents, plan_merge
+from repro.sharding.partition import (
+    KeyRangePartitioner,
+    PartitionScheme,
+    ShardingError,
+    derive_partition_column,
+    partition_database,
+    partition_keys,
+)
+from repro.xmlcore.nodes import Document
+from repro.xmlcore.parser import parse_fragment
+from repro.xmlcore.serializer import serialize
+
+
+@dataclass
+class RouterTrace:
+    """Per-request record of one fleet-wide serve.
+
+    ``shards`` holds one summary dict per shard (in shard order) naming
+    the server that ultimately answered (``primary`` / ``replica-N``),
+    its outcome/freshness, and its latency — the scatter detail behind
+    the merged totals. ``outcome`` follows the single-box taxonomy:
+    ``success`` only when every shard computed fresh bytes,
+    ``degraded`` when every shard served *something* but at least one
+    fell back to stale bytes, else the first failing shard's outcome.
+    """
+
+    request_id: int
+    label: str
+    strategy: str
+    outcome: str = "success"
+    freshness: str = "bypass"
+    version_lag: int = 0
+    failovers: int = 0
+    shard_count: int = 0
+    queries_executed: int = 0
+    rows_fetched: int = 0
+    execute_seconds: float = 0.0
+    merge_seconds: float = 0.0
+    serialize_seconds: float = 0.0
+    total_seconds: float = 0.0
+    shards: list[dict] = field(default_factory=list)
+    error: Optional[str] = None
+    xml: Optional[str] = None
+
+    def to_dict(self, include_xml: bool = False) -> dict:
+        """JSON-friendly trace record; ``include_xml`` adds the bytes."""
+        record = {
+            "request_id": self.request_id,
+            "label": self.label,
+            "strategy": self.strategy,
+            "outcome": self.outcome,
+            "freshness": self.freshness,
+            "version_lag": self.version_lag,
+            "failovers": self.failovers,
+            "shard_count": self.shard_count,
+            "queries_executed": self.queries_executed,
+            "rows_fetched": self.rows_fetched,
+            "execute_seconds": round(self.execute_seconds, 6),
+            "merge_seconds": round(self.merge_seconds, 6),
+            "serialize_seconds": round(self.serialize_seconds, 6),
+            "total_seconds": round(self.total_seconds, 6),
+            "shards": self.shards,
+            "error": self.error,
+        }
+        if include_xml:
+            record["xml"] = self.xml
+        return record
+
+
+class _Shard:
+    """One shard's serving stack: source, tracker, and server ring."""
+
+    def __init__(
+        self,
+        index: int,
+        source: Database,
+        tracker: Optional[WriteTracker],
+        servers: Sequence[tuple[str, ViewServer]],
+    ):
+        self.index = index
+        self.source = source
+        self.tracker = tracker
+        self.servers = list(servers)
+        self._rr = 0
+        self._lock = threading.Lock()
+
+    def ring(self) -> list[tuple[str, ViewServer]]:
+        """The server ring rotated to this read's balanced starting point."""
+        with self._lock:
+            start = self._rr % len(self.servers)
+            self._rr += 1
+        return self.servers[start:] + self.servers[:start]
+
+
+class ShardRouter:
+    """Routes requests across shards and merges their responses.
+
+    Construct with one source :class:`Database` per shard (already
+    partitioned — see :meth:`build` for the end-to-end path from a
+    single unpartitioned source). Each shard gets a primary server and
+    ``replicas`` read replicas; every server clones its own snapshot of
+    the shard source, so replicas are genuine independent read copies.
+
+    ``faults``, when given, is a per-shard sequence of
+    :class:`FaultPlan` (or ``None``) applied to that shard's **primary
+    only** — replicas stay clean, making them the failover target the
+    fault tests exercise.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        sources: Sequence[Database],
+        *,
+        replicas: int = 0,
+        workers: int = 2,
+        trackers: Optional[Sequence[WriteTracker]] = None,
+        staleness: str = "strict",
+        maintenance: str = "full",
+        fragment_policy=None,
+        resilience: Optional[ResiliencePolicy] = None,
+        faults: Optional[Sequence[Optional[FaultPlan]]] = None,
+        keep_xml: bool = True,
+        cache_capacity: int = 64,
+        result_cache_capacity: int = 128,
+        router_workers: Optional[int] = None,
+        scheme: Optional[PartitionScheme] = None,
+        partitioner: Optional[KeyRangePartitioner] = None,
+        owns_sources: bool = False,
+    ):
+        if not sources:
+            raise ShardingError("router needs at least one shard source")
+        if replicas < 0:
+            raise ShardingError(f"replicas must be >= 0, got {replicas}")
+        if trackers is not None and len(trackers) != len(sources):
+            raise ShardingError(
+                f"{len(trackers)} trackers for {len(sources)} shards"
+            )
+        if faults is not None and len(faults) != len(sources):
+            raise ShardingError(
+                f"{len(faults)} fault plans for {len(sources)} shards"
+            )
+        self.catalog = catalog
+        self.replicas = replicas
+        self.keep_xml = keep_xml
+        self.scheme = scheme
+        self.partitioner = partitioner
+        self._owns_sources = owns_sources
+        self._catalog_fingerprint = fingerprint_catalog(catalog)
+        self._merge_plans: dict[str, MergePlan] = {}
+        self._merge_lock = threading.Lock()
+        # Merged-response memo: (plan key, strategy, per-shard xml) ->
+        # merged bytes. Keyed by the shard xml *strings themselves*
+        # (served by reference from the shard result caches, so hashing
+        # is amortized and equality is an identity check): when no
+        # shard's response changed since the last merge, the merged
+        # bytes cannot have changed either, and the router skips the
+        # merge + serialize entirely — the fleet analogue of a result-
+        # cache hit. Bounded LRU; bypass_cache requests skip it.
+        self._merged_cache: "dict[tuple, str]" = {}
+        self._merged_capacity = 32
+        self._merged_hits = 0
+        self._merged_misses = 0
+        # Parsed-fragment memo: shard xml -> parsed document. A shard
+        # serving result-cache hits returns the same xml string on
+        # every request but (under ``maintenance="full"``) carries no
+        # captured document, so without this the merge path re-parses
+        # every *unchanged* slice whenever any other shard's slice
+        # changed — at scale that parse costs more than the recompute
+        # the scatter avoided. merge_documents never mutates its
+        # inputs, so a cached document is shared safely across merges.
+        self._parsed_cache: "dict[str, Document]" = {}
+        self._parsed_capacity = max(16, 2 * len(sources))
+        self._parsed_hits = 0
+        self._parsed_misses = 0
+        self._lock = threading.Lock()
+        self._next_request_id = 1
+        self.requests_served = 0
+        self.errors = 0
+        self._failovers_total = 0
+        self._outcome_counts = {outcome: 0 for outcome in OUTCOMES}
+        self._closed = False
+        self.shards: list[_Shard] = []
+        for index, source in enumerate(sources):
+            tracker = trackers[index] if trackers is not None else WriteTracker()
+            shard_faults = faults[index] if faults is not None else None
+            servers: list[tuple[str, ViewServer]] = []
+            for role in range(replicas + 1):
+                name = "primary" if role == 0 else f"replica-{role}"
+                servers.append(
+                    (
+                        name,
+                        ViewServer(
+                            catalog,
+                            source=source,
+                            workers=workers,
+                            cache_capacity=cache_capacity,
+                            keep_xml=True,
+                            keep_documents=True,
+                            tracker=tracker,
+                            staleness=staleness,
+                            result_cache_capacity=result_cache_capacity,
+                            maintenance=maintenance,
+                            fragment_policy=fragment_policy,
+                            resilience=resilience,
+                            faults=shard_faults if role == 0 else None,
+                        ),
+                    )
+                )
+            self.shards.append(_Shard(index, source, tracker, servers))
+        self._executor = ThreadPoolExecutor(
+            max_workers=router_workers or max(4, 2 * len(self.shards)),
+            thread_name_prefix="shardrouter",
+        )
+
+    @classmethod
+    def build(
+        cls,
+        catalog: Catalog,
+        source: Database,
+        scheme: PartitionScheme,
+        shards: int,
+        **kwargs,
+    ) -> "ShardRouter":
+        """Partition ``source`` by key range and stand up the fleet.
+
+        The router owns the shard databases it creates here and closes
+        them with :meth:`close`; the original ``source`` is only read.
+        """
+        partitioner = KeyRangePartitioner.from_keys(
+            partition_keys(source, scheme), shards
+        )
+        shard_dbs = partition_database(source, scheme, partitioner)
+        return cls(
+            catalog,
+            shard_dbs,
+            scheme=scheme,
+            partitioner=partitioner,
+            owns_sources=True,
+            **kwargs,
+        )
+
+    # -- request API ---------------------------------------------------------
+
+    def submit(self, request: PublishRequest) -> "Future[RouterTrace]":
+        """Enqueue a fleet-wide request; resolves to its merged trace."""
+        if self._closed:
+            raise RuntimeError("router is closed")
+        with self._lock:
+            request_id = self._next_request_id
+            self._next_request_id += 1
+        return self._executor.submit(self._serve, request, request_id)
+
+    def render(
+        self,
+        view: SchemaTreeQuery,
+        stylesheet=None,
+        strategy: str = "nested-loop",
+        prune: bool = True,
+        paper_mode: bool = False,
+        label: str = "",
+        bypass_cache: bool = False,
+    ) -> RouterTrace:
+        """Serve one request synchronously (submit + wait)."""
+        return self.submit(
+            PublishRequest(
+                view=view,
+                stylesheet=stylesheet,
+                strategy=strategy,
+                prune=prune,
+                paper_mode=paper_mode,
+                label=label,
+                bypass_cache=bypass_cache,
+            )
+        ).result()
+
+    def render_many(
+        self, requests: Iterable[PublishRequest]
+    ) -> list[RouterTrace]:
+        """Serve a batch concurrently; traces come back in request order."""
+        futures = [self.submit(request) for request in requests]
+        return [future.result() for future in futures]
+
+    def route_write(self, write_fn: Callable[[Database, WriteTracker], object]) -> list:
+        """Apply one logical write to every shard, shard-locally tracked.
+
+        ``write_fn(source, tracker)`` runs once per shard in shard
+        order. The workload writers address rows by key predicates, so
+        each shard's statements only touch rows it owns — the union of
+        the per-shard effects equals the single-box effect of the same
+        write, which is exactly what the differential suite checks.
+        """
+        return [
+            write_fn(shard.source, shard.tracker) for shard in self.shards
+        ]
+
+    # -- serving -------------------------------------------------------------
+
+    def _merge_plan(self, request: PublishRequest) -> tuple[str, MergePlan]:
+        """The merge plan for this request's *composed* view, cached.
+
+        The spine merge must see the view the shards actually evaluate
+        — after stylesheet composition and pruning — so the router
+        composes (once per content key, same fingerprint the plan cache
+        uses) instead of planning against the raw publishing view.
+        Returns ``(plan key, merge plan)``.
+        """
+        key = plan_key(
+            self._catalog_fingerprint,
+            request.view,
+            request.stylesheet,
+            prune=request.prune,
+            paper_mode=request.paper_mode,
+        )
+        with self._merge_lock:
+            plan = self._merge_plans.get(key)
+            if plan is not None:
+                return key, plan
+            from repro.core.compose import compose
+            from repro.core.optimize import prune_stylesheet_view
+
+            if request.stylesheet is None:
+                view = request.view
+            else:
+                view = compose(
+                    request.view,
+                    request.stylesheet,
+                    self.catalog,
+                    paper_mode=request.paper_mode,
+                )
+                if request.prune:
+                    prune_stylesheet_view(view, self.catalog)
+            if self.scheme is not None:
+                table, column = derive_partition_column(view, self.catalog)
+                if (table, column) != (self.scheme.table, self.scheme.column):
+                    raise ShardingError(
+                        f"view partitions by {table}.{column} but the fleet "
+                        f"is dealt by {self.scheme.table}.{self.scheme.column}"
+                    )
+            plan = plan_merge(view)
+            self._merge_plans[key] = plan
+            return key, plan
+
+    def _resolve_shard(
+        self,
+        shard: _Shard,
+        ring: Sequence[tuple[str, ViewServer]],
+        future: "Future[RequestTrace]",
+        request: PublishRequest,
+    ) -> tuple[str, RequestTrace, int]:
+        """Wait out one shard's answer, failing over along the ring.
+
+        Returns ``(server_name, trace, failovers)``. Policy: take the
+        first ``success``; remember the first ``degraded`` trace and
+        serve it only after every server has been tried; otherwise the
+        last failure stands.
+        """
+        degraded: Optional[tuple[str, RequestTrace]] = None
+        attempt = 0
+        name, _ = ring[0]
+        trace = future.result()
+        failovers = 0
+        while True:
+            if trace.outcome == "success":
+                return name, trace, failovers
+            if trace.outcome == "degraded" and degraded is None:
+                degraded = (name, trace)
+            attempt += 1
+            if attempt >= len(ring):
+                break
+            failovers += 1
+            name, server = ring[attempt]
+            trace = server.submit(request).result()
+        if degraded is not None:
+            return degraded[0], degraded[1], failovers
+        return name, trace, failovers
+
+    def _document(self, trace: RequestTrace):
+        """The shard's response document, parsing bytes when not kept.
+
+        Served-from-cache responses under ``maintenance="full"`` carry
+        no captured document; the serialized bytes are authoritative
+        either way, so parsing them back is always equivalent. Parsed
+        as a *fragment* because a view whose partition node is
+        top-level serializes multiple root elements per shard. Parses
+        are memoized on the xml string (served by reference from the
+        shard result caches, so repeat lookups are identity checks):
+        an unchanged slice is parsed once, not once per merge.
+        """
+        if trace.document is not None:
+            return trace.document
+        if trace.xml is None:
+            raise ReproError(
+                f"shard trace {trace.request_id} has neither document "
+                "nor xml to merge"
+            )
+        with self._merge_lock:
+            cached = self._parsed_cache.get(trace.xml)
+            if cached is not None:
+                self._parsed_hits += 1
+                return cached
+            self._parsed_misses += 1
+        # Parse outside the lock: a concurrent duplicate parse is
+        # cheaper than serializing every merge behind one parser.
+        document = Document()
+        for node in parse_fragment(trace.xml):
+            document.append(node)
+        with self._merge_lock:
+            if trace.xml not in self._parsed_cache and (
+                len(self._parsed_cache) >= self._parsed_capacity
+            ):
+                self._parsed_cache.pop(next(iter(self._parsed_cache)))
+            self._parsed_cache[trace.xml] = document
+        return document
+
+    def _serve(self, request: PublishRequest, request_id: int) -> RouterTrace:
+        started = time.perf_counter()
+        trace = RouterTrace(
+            request_id=request_id,
+            label=request.label,
+            strategy=request.strategy,
+            shard_count=len(self.shards),
+        )
+        try:
+            self._serve_inner(request, trace)
+        except Exception as exc:
+            if trace.outcome == "success":
+                trace.outcome = "error"
+            trace.error = str(exc)
+            trace.xml = None
+        trace.total_seconds = time.perf_counter() - started
+        with self._lock:
+            self.requests_served += 1
+            self._failovers_total += trace.failovers
+            if trace.outcome in self._outcome_counts:
+                self._outcome_counts[trace.outcome] += 1
+            if trace.outcome not in ("success", "degraded"):
+                self.errors += 1
+        return trace
+
+    def _merged_lookup(self, key: tuple) -> Optional[str]:
+        with self._merge_lock:
+            xml = self._merged_cache.get(key)
+            if xml is not None:
+                self._merged_hits += 1
+            else:
+                self._merged_misses += 1
+            return xml
+
+    def _merged_store(self, key: tuple, xml: str) -> None:
+        with self._merge_lock:
+            if key not in self._merged_cache and (
+                len(self._merged_cache) >= self._merged_capacity
+            ):
+                self._merged_cache.pop(next(iter(self._merged_cache)))
+            self._merged_cache[key] = xml
+
+    def _serve_inner(self, request: PublishRequest, trace: RouterTrace) -> None:
+        merge_key, plan = self._merge_plan(request)
+        # Scatter: one balanced server pick per shard, all in flight at
+        # once; failover (if any) happens while other shards compute.
+        scattered = []
+        for shard in self.shards:
+            ring = shard.ring()
+            scattered.append((shard, ring, ring[0][1].submit(request)))
+        resolved: list[tuple[str, RequestTrace, int]] = []
+        for shard, ring, future in scattered:
+            resolved.append(self._resolve_shard(shard, ring, future, request))
+        freshness_seen = set()
+        failed: Optional[RequestTrace] = None
+        any_degraded = False
+        for (name, shard_trace, failovers), shard in zip(resolved, self.shards):
+            trace.failovers += failovers
+            trace.queries_executed += shard_trace.queries_executed
+            trace.rows_fetched += shard_trace.rows_fetched
+            trace.execute_seconds = max(
+                trace.execute_seconds, shard_trace.total_seconds
+            )
+            trace.version_lag = max(trace.version_lag, shard_trace.version_lag)
+            freshness_seen.add(shard_trace.freshness)
+            trace.shards.append(
+                {
+                    "shard": shard.index,
+                    "server": name,
+                    "outcome": shard_trace.outcome,
+                    "freshness": shard_trace.freshness,
+                    "total_seconds": round(shard_trace.total_seconds, 6),
+                    "failovers": failovers,
+                }
+            )
+            if shard_trace.outcome == "degraded":
+                any_degraded = True
+            elif shard_trace.outcome != "success" and failed is None:
+                failed = shard_trace
+        if failed is not None:
+            trace.outcome = failed.outcome
+            trace.error = failed.error
+            trace.freshness = (
+                freshness_seen.pop()
+                if len(freshness_seen) == 1
+                else "mixed"
+            )
+            return
+        trace.outcome = "degraded" if any_degraded else "success"
+        trace.freshness = (
+            freshness_seen.pop() if len(freshness_seen) == 1 else "mixed"
+        )
+        shard_xmls = tuple(
+            shard_trace.xml for _, shard_trace, _ in resolved
+        )
+        cache_key: Optional[tuple] = None
+        if not request.bypass_cache and all(
+            xml is not None for xml in shard_xmls
+        ):
+            cache_key = (merge_key, request.strategy) + shard_xmls
+            cached = self._merged_lookup(cache_key)
+            if cached is not None:
+                if self.keep_xml:
+                    trace.xml = cached
+                return
+        documents = [
+            self._document(shard_trace) for _, shard_trace, _ in resolved
+        ]
+        merge_started = time.perf_counter()
+        merged = merge_documents(plan, documents)
+        serialize_started = time.perf_counter()
+        trace.merge_seconds = serialize_started - merge_started
+        xml = serialize(merged)
+        trace.serialize_seconds = time.perf_counter() - serialize_started
+        if cache_key is not None:
+            self._merged_store(cache_key, xml)
+        if self.keep_xml:
+            trace.xml = xml
+
+    # -- metrics / lifecycle -------------------------------------------------
+
+    def metrics(self) -> dict:
+        """Router-lifetime counters plus every shard server's metrics."""
+        with self._lock:
+            summary = {
+                "requests_served": self.requests_served,
+                "errors": self.errors,
+                "failovers": self._failovers_total,
+                "outcomes": dict(self._outcome_counts),
+            }
+        with self._merge_lock:
+            summary["merged_cache"] = {
+                "hits": self._merged_hits,
+                "misses": self._merged_misses,
+                "size": len(self._merged_cache),
+            }
+            summary["parsed_cache"] = {
+                "hits": self._parsed_hits,
+                "misses": self._parsed_misses,
+                "size": len(self._parsed_cache),
+            }
+        summary["shards"] = [
+            {
+                "shard": shard.index,
+                "servers": {
+                    name: server.metrics() for name, server in shard.servers
+                },
+            }
+            for shard in self.shards
+        ]
+        summary["shard_count"] = len(self.shards)
+        summary["replicas"] = self.replicas
+        if self.partitioner is not None:
+            summary["key_ranges"] = self.partitioner.describe()
+        return summary
+
+    def aggregate_metrics(self) -> dict:
+        """Fleet metrics in the single-server shape, counters summed.
+
+        ``serve-bench`` and the E18 harness reuse the single-box report
+        path unchanged; per-server detail stays available through
+        :meth:`metrics`. Dict-valued sections (cache, freshness,
+        outcomes, result cache, fragments) sum key-wise across every
+        server in the fleet; ``workers`` is the fleet-wide worker-thread
+        count. Router-level counters ride along under ``router``.
+        """
+        per_server = [
+            server.metrics()
+            for shard in self.shards
+            for _, server in shard.servers
+        ]
+        first = per_server[0]
+
+        def summed(section: str) -> dict:
+            keys = first[section]
+            return {
+                key: sum(m[section][key] for m in per_server) for key in keys
+            }
+
+        with self._lock:
+            router = {
+                "requests_served": self.requests_served,
+                "errors": self.errors,
+                "failovers": self._failovers_total,
+                "outcomes": dict(self._outcome_counts),
+                "shard_count": len(self.shards),
+                "replicas": self.replicas,
+            }
+        with self._merge_lock:
+            router["merged_cache"] = {
+                "hits": self._merged_hits,
+                "misses": self._merged_misses,
+                "size": len(self._merged_cache),
+            }
+            router["parsed_cache"] = {
+                "hits": self._parsed_hits,
+                "misses": self._parsed_misses,
+                "size": len(self._parsed_cache),
+            }
+        if self.partitioner is not None:
+            router["key_ranges"] = self.partitioner.describe()
+        metrics = {
+            "requests_served": sum(m["requests_served"] for m in per_server),
+            "errors": sum(m["errors"] for m in per_server),
+            "workers": sum(m["workers"] for m in per_server),
+            "cache": summed("cache"),
+            "freshness": summed("freshness"),
+            "outcomes": summed("outcomes"),
+            "queries_executed": sum(
+                m["queries_executed"] for m in per_server
+            ),
+            "rows_fetched": sum(m["rows_fetched"] for m in per_server),
+            "router": router,
+        }
+        if "result_cache" in first:
+            metrics["result_cache"] = summed("result_cache")
+            metrics["staleness_policy"] = first["staleness_policy"]
+            metrics["maintenance"] = first["maintenance"]
+            metrics["delta_fallbacks"] = sum(
+                m["delta_fallbacks"] for m in per_server
+            )
+            metrics["delta_fallbacks_by_reason"] = summed(
+                "delta_fallbacks_by_reason"
+            )
+            metrics["tracker"] = {
+                "total_writes": sum(
+                    m["tracker"]["total_writes"] for m in per_server
+                ),
+            }
+            if "fragments" in first:
+                fragments = {
+                    key: sum(m["fragments"][key] for m in per_server)
+                    for key in first["fragments"]
+                    if key != "policy"
+                }
+                fragments["policy"] = first["fragments"]["policy"]
+                metrics["fragments"] = fragments
+        if "resilience" in first:
+            resilience = {
+                key: sum(m["resilience"][key] for m in per_server)
+                for key in ("retries", "deadline_hits", "shed_requests",
+                            "degraded_serves")
+            }
+            resilience["policy"] = first["resilience"]["policy"]
+            breakers = [
+                m["resilience"]["breaker"]
+                for m in per_server
+                if m["resilience"]["breaker"] is not None
+            ]
+            if breakers:
+                merged = {
+                    key: sum(b[key] for b in breakers)
+                    for key in ("opened", "closed", "half_opened",
+                                "short_circuits")
+                }
+                merged["threshold"] = breakers[0]["threshold"]
+                merged["cooldown_ms"] = breakers[0]["cooldown_ms"]
+                merged["states"] = {
+                    state: sum(b["states"][state] for b in breakers)
+                    for state in breakers[0]["states"]
+                }
+                resilience["breaker"] = merged
+            else:
+                resilience["breaker"] = None
+            metrics["resilience"] = resilience
+        with_faults = [m["faults"] for m in per_server if "faults" in m]
+        if with_faults:
+            injected: dict[str, int] = {}
+            for stats in with_faults:
+                for key, value in stats["injected"].items():
+                    injected[key] = injected.get(key, 0) + value
+            metrics["faults"] = {"injected": injected}
+        return metrics
+
+    def outstanding(self) -> int:
+        """Borrowed-but-unreturned connections across the whole fleet."""
+        return sum(
+            server.pool.outstanding()
+            for shard in self.shards
+            for _, server in shard.servers
+        )
+
+    def close(self) -> None:
+        """Shut every shard server down; close owned shard databases."""
+        if self._closed:
+            return
+        self._closed = True
+        self._executor.shutdown(wait=True)
+        for shard in self.shards:
+            for _, server in shard.servers:
+                server.close()
+            if self._owns_sources:
+                shard.source.close()
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

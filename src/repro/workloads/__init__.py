@@ -4,7 +4,9 @@ generators for the scaling experiments."""
 
 from repro.workloads.hotel import (
     HotelDataSpec,
+    build_hotel_database,
     hotel_catalog,
+    hotel_partition_scheme,
     populate_hotel_database,
 )
 from repro.workloads.paper import (
@@ -17,7 +19,9 @@ from repro.workloads.paper import (
 
 __all__ = [
     "HotelDataSpec",
+    "build_hotel_database",
     "hotel_catalog",
+    "hotel_partition_scheme",
     "populate_hotel_database",
     "figure1_view",
     "figure4_stylesheet",

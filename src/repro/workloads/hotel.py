@@ -141,9 +141,56 @@ class HotelDataSpec:
         )
 
 
-def populate_hotel_database(db: Database, spec: HotelDataSpec) -> None:
-    """Fill ``db`` (created from :func:`hotel_catalog`) per ``spec``."""
-    rng = random.Random(spec.seed)
+def hotel_partition_scheme() -> "PartitionScheme":
+    """How the hotel workload deals out by ``metroarea.metroid``.
+
+    Every table routes to the metro its rows belong to through the
+    foreign-key join path (aliased ``pk``/``part`` as
+    :func:`repro.sharding.partition.partition_database` expects);
+    ``hotelchain`` has no metro affiliation and replicates to every
+    shard — hotels of one chain span metros, and the chain lookup in
+    the serving queries must resolve shard-locally.
+    """
+    from repro.sharding.partition import PartitionScheme
+
+    return PartitionScheme(
+        table="metroarea",
+        column="metroid",
+        key_queries={
+            "metroarea": (
+                "SELECT metroid AS pk, metroid AS part FROM metroarea"
+            ),
+            "hotel": "SELECT hotelid AS pk, metro_id AS part FROM hotel",
+            "guestroom": (
+                "SELECT r_id AS pk, metro_id AS part "
+                "FROM guestroom JOIN hotel ON rhotel_id = hotelid"
+            ),
+            "confroom": (
+                "SELECT c_id AS pk, metro_id AS part "
+                "FROM confroom JOIN hotel ON chotel_id = hotelid"
+            ),
+            "availability": (
+                "SELECT a_id AS pk, metro_id AS part "
+                "FROM availability "
+                "JOIN guestroom ON a_r_id = r_id "
+                "JOIN hotel ON rhotel_id = hotelid"
+            ),
+            "hotelchain": None,
+        },
+    )
+
+
+def populate_hotel_database(
+    db: Database, spec: HotelDataSpec, seed: int | None = None
+) -> None:
+    """Fill ``db`` (created from :func:`hotel_catalog`) per ``spec``.
+
+    All row and key generation draws from one ``random.Random`` seeded
+    by ``seed`` (default: ``spec.seed``), so two processes building the
+    same spec produce byte-identical databases — the property shard
+    partitioning depends on to be reproducible across processes.
+    """
+    rng = random.Random(spec.seed if seed is None else seed)
     db.insert_rows(
         "hotelchain",
         (
@@ -239,7 +286,9 @@ def populate_hotel_database(db: Database, spec: HotelDataSpec) -> None:
 
 
 def build_hotel_database(
-    spec: HotelDataSpec | None = None, cross_thread: bool = False
+    spec: HotelDataSpec | None = None,
+    cross_thread: bool = False,
+    seed: int | None = None,
 ) -> Database:
     """Create and populate a hotel database in one call.
 
@@ -247,8 +296,10 @@ def build_hotel_database(
     same-thread check — required when the database is the live source
     behind an update-aware :class:`~repro.serving.server.ViewServer`
     (a writer thread mutates it while server workers re-snapshot it).
+    ``seed`` overrides the spec's generation seed (see
+    :func:`populate_hotel_database`).
     """
     db = Database(hotel_catalog(), cross_thread=cross_thread)
-    populate_hotel_database(db, spec or HotelDataSpec())
+    populate_hotel_database(db, spec or HotelDataSpec(), seed=seed)
     db.analyze()
     return db

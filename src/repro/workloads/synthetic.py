@@ -28,6 +28,12 @@ from repro.schema_tree.model import SchemaTreeQuery
 from repro.xslt.model import Stylesheet
 from repro.xslt.parser import parse_stylesheet
 
+#: Default generation seeds, named so callers that need cross-process
+#: reproducibility (shard partitioning, serving fixtures) can pin them
+#: explicitly instead of relying on the keyword defaults staying put.
+CHAIN_SEED = 7
+FANOUT_SEED = 11
+
 
 # ---------------------------------------------------------------------------
 # Chain family
@@ -92,9 +98,17 @@ def chain_stylesheet(levels: int, selected_levels: int | None = None) -> Stylesh
 
 
 def populate_chain(
-    db: Database, levels: int, fanout: int = 2, roots: int = 4, seed: int = 7
+    db: Database,
+    levels: int,
+    fanout: int = 2,
+    roots: int = 4,
+    seed: int = CHAIN_SEED,
 ) -> None:
-    """Fill a chain database: each ``ti`` row has ``fanout`` children."""
+    """Fill a chain database: each ``ti`` row has ``fanout`` children.
+
+    ``seed`` drives *all* value generation; identical arguments produce
+    byte-identical databases in any process.
+    """
     rng = random.Random(seed)
     parent_ids: list[int] = []
     next_id = 0
@@ -183,9 +197,13 @@ def fanout_stylesheet(branches: int, touched: int) -> Stylesheet:
 
 def populate_fanout(
     db: Database, branches: int, roots: int = 3, rows_per_branch: int = 10,
-    seed: int = 11,
+    seed: int = FANOUT_SEED,
 ) -> None:
-    """Fill a fanout database deterministically."""
+    """Fill a fanout database deterministically.
+
+    ``seed`` drives *all* value generation; identical arguments produce
+    byte-identical databases in any process.
+    """
     rng = random.Random(seed)
     db.insert_rows(
         "root_t", ({"id": i + 1, "name": f"r{i + 1}"} for i in range(roots))

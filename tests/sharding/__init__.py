@@ -1,0 +1,1 @@
+"""Sharded serving fleet: partitioning, spine merge, router, skew."""

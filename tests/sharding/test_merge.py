@@ -1,0 +1,130 @@
+"""The spine merge: order, non-mutation, empty runs, rejections."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.schema_tree.evaluator import materialize
+from repro.sharding import (
+    KeyRange,
+    KeyRangePartitioner,
+    ShardMergeUnsupported,
+    merge_documents,
+    partition_database,
+    partition_keys,
+    plan_merge,
+)
+from repro.workloads.hotel import (
+    HotelDataSpec,
+    build_hotel_database,
+    hotel_partition_scheme,
+)
+from repro.xmlcore.nodes import Document, Element
+from repro.xmlcore.serializer import serialize
+
+SEED = 2003
+
+
+def _sharded_documents(db, view, partitioner):
+    shards = partition_database(db, hotel_partition_scheme(), partitioner)
+    try:
+        return [materialize(view, shard) for shard in shards]
+    finally:
+        for shard in shards:
+            shard.close()
+
+
+def test_figure1_plan_has_empty_spine(paper_view):
+    plan = plan_merge(paper_view)
+    assert plan.partition.tag == "metro"
+    assert plan.spine_tags == []
+
+
+def test_merge_preserves_global_document_order(paper_view):
+    db = build_hotel_database(
+        HotelDataSpec(metros=4, hotels_per_metro=3), seed=SEED
+    )
+    try:
+        plan = plan_merge(paper_view)
+        partitioner = KeyRangePartitioner.from_keys(
+            partition_keys(db, hotel_partition_scheme()), 2
+        )
+        documents = _sharded_documents(db, paper_view, partitioner)
+        merged = merge_documents(plan, documents)
+        assert serialize(merged) == serialize(materialize(paper_view, db))
+    finally:
+        db.close()
+
+
+def test_merge_does_not_mutate_shard_documents(paper_view):
+    """Shard documents live inside result caches; the merge must share
+    their nodes without re-parenting or reordering anything."""
+    db = build_hotel_database(
+        HotelDataSpec(metros=3, hotels_per_metro=2), seed=SEED
+    )
+    try:
+        plan = plan_merge(paper_view)
+        partitioner = KeyRangePartitioner.from_keys(
+            partition_keys(db, hotel_partition_scheme()), 3
+        )
+        documents = _sharded_documents(db, paper_view, partitioner)
+        before = [serialize(doc) for doc in documents]
+        parents = [
+            [child.parent for child in doc.children] for doc in documents
+        ]
+        merge_documents(plan, documents)
+        assert [serialize(doc) for doc in documents] == before
+        assert [
+            [child.parent for child in doc.children] for doc in documents
+        ] == parents
+    finally:
+        db.close()
+
+
+def test_empty_shard_slice_merges_cleanly(paper_view):
+    """A shard owning a key range with no rows contributes an empty
+    partition run, not a hole or a crash."""
+    db = build_hotel_database(
+        HotelDataSpec(metros=2, hotels_per_metro=2), seed=SEED
+    )
+    try:
+        plan = plan_merge(paper_view)
+        # Metros present: 1, 2. The third range is an empty slice.
+        partitioner = KeyRangePartitioner(
+            [KeyRange(1, 1), KeyRange(2, 2), KeyRange(3, 3)]
+        )
+        documents = _sharded_documents(db, paper_view, partitioner)
+        assert len(documents[2].children) == 0
+        merged = merge_documents(plan, documents)
+        assert serialize(merged) == serialize(materialize(paper_view, db))
+    finally:
+        db.close()
+
+
+def test_single_document_passes_through(paper_view):
+    db = build_hotel_database(
+        HotelDataSpec(metros=2, hotels_per_metro=2), seed=SEED
+    )
+    try:
+        plan = plan_merge(paper_view)
+        document = materialize(paper_view, db)
+        assert merge_documents(plan, [document]) is document
+    finally:
+        db.close()
+
+
+def test_no_documents_is_rejected(paper_view):
+    with pytest.raises(ShardMergeUnsupported, match="no shard documents"):
+        merge_documents(plan_merge(paper_view), [])
+
+
+def test_non_contiguous_partition_run_is_rejected(paper_view):
+    plan = plan_merge(paper_view)
+    broken = Document()
+    broken.append(Element("metro", {"metroid": "1"}))
+    broken.append(Element("stray"))
+    broken.append(Element("metro", {"metroid": "2"}))
+    other = Document()
+    other.append(Element("metro", {"metroid": "3"}))
+    with pytest.raises(ShardMergeUnsupported, match="not contiguous"):
+        merge_documents(plan, [broken, other])

@@ -1,0 +1,132 @@
+"""Router failover: replica takeover, error propagation, degraded-stale.
+
+Faults are injected with :mod:`repro.resilience.faults` at one shard's
+primary (the router arms fault plans on primaries only), simulating
+that shard's pool dying mid-request. The contracts: reads fail over to
+replicas transparently; with no replica a strict fleet reports the
+error rather than serving wrong bytes; a lag-tolerant fleet degrades to
+the shard's last-known-good slice; and no configuration leaks pool
+connections.
+"""
+
+from __future__ import annotations
+
+from repro.maintenance.workload import hotel_metro_write
+from repro.resilience import FaultPlan, FaultSpec, ResiliencePolicy
+from repro.schema_tree.evaluator import materialize
+from repro.sharding import ShardRouter
+from repro.workloads.hotel import (
+    HotelDataSpec,
+    build_hotel_database,
+    hotel_partition_scheme,
+)
+from repro.workloads.paper import figure1_view
+from repro.xmlcore.serializer import serialize
+
+SEED = 2003
+SPEC = HotelDataSpec(metros=4, hotels_per_metro=2)
+
+
+def _fleet(db, *, replicas=0, staleness="strict", resilience=None,
+           faults=None):
+    return ShardRouter.build(
+        db.catalog,
+        db,
+        hotel_partition_scheme(),
+        2,
+        replicas=replicas,
+        workers=1,
+        staleness=staleness,
+        resilience=resilience,
+        faults=faults,
+    )
+
+
+def test_dead_primary_fails_over_to_replica():
+    db = build_hotel_database(SPEC, cross_thread=True, seed=SEED)
+    view = figure1_view(db.catalog)
+    faults = [FaultPlan(FaultSpec(every_n=1), seed=0), None]
+    router = _fleet(db, replicas=1, faults=faults)
+    try:
+        reference = serialize(materialize(view, db))
+        for _ in range(4):
+            # bypass_cache forces real queries each time, so requests
+            # routed to the dead primary must fail over to the replica.
+            trace = router.render(view, bypass_cache=True)
+            assert trace.outcome == "success"
+            assert trace.error is None
+            assert trace.xml == reference
+        metrics = router.metrics()
+        assert metrics["failovers"] >= 1
+        assert metrics["outcomes"]["success"] == 4
+        assert metrics["errors"] == 0
+        assert router.outstanding() == 0
+    finally:
+        router.close()
+        db.close()
+
+
+def test_dead_shard_without_replica_is_an_error_under_strict():
+    """Strict staleness + no replica: the fleet must report the failure,
+    never serve a document missing the dead shard's slice."""
+    db = build_hotel_database(SPEC, cross_thread=True, seed=SEED)
+    view = figure1_view(db.catalog)
+    faults = [FaultPlan(FaultSpec(every_n=1), seed=0), None]
+    router = _fleet(db, faults=faults)
+    try:
+        trace = router.render(view)
+        assert trace.outcome == "error"
+        assert trace.error is not None
+        assert trace.xml is None
+        metrics = router.metrics()
+        assert metrics["errors"] == 1
+        assert metrics["failovers"] == 0
+        assert router.outstanding() == 0
+    finally:
+        router.close()
+        db.close()
+
+
+def test_dead_shard_degrades_to_stale_slice_when_lag_tolerant():
+    db = build_hotel_database(SPEC, cross_thread=True, seed=SEED)
+    view = figure1_view(db.catalog)
+    domain = [
+        row["metroid"]
+        for row in db.run_sql(
+            "SELECT metroid FROM metroarea ORDER BY metroid", {}
+        )
+    ]
+    faults = [FaultPlan(FaultSpec(every_n=1), seed=0, enabled=False), None]
+    policy = ResiliencePolicy(retries=0)
+    router = _fleet(
+        db, staleness="bounded:1", resilience=policy, faults=faults
+    )
+    try:
+        warm = router.render(view)
+        assert warm.outcome == "success"
+        # Two writes against shard 0's metros: its entry goes stale past
+        # the bound, while shard 1's tracker never advances (the
+        # shard-local no-op path).
+        for step in (0, 1):
+            router.route_write(
+                lambda source, tracker: hotel_metro_write(
+                    source, step, tracker=tracker, domain=domain
+                )
+            )
+        faults[0].arm()
+        trace = router.render(view)
+        assert trace.outcome == "degraded"
+        assert trace.error is None
+        assert trace.version_lag >= 2
+        # Shard 0 serves its last-known-good slice; shard 1 its live
+        # (unchanged) one — together the warm bytes, verbatim.
+        assert trace.xml == warm.xml
+        shard_freshness = {s["shard"]: s["freshness"] for s in trace.shards}
+        assert shard_freshness[0] == "degraded-stale"
+        metrics = router.aggregate_metrics()
+        assert metrics["resilience"]["degraded_serves"] >= 1
+        assert metrics["router"]["outcomes"]["degraded"] == 1
+        assert router.outstanding() == 0
+    finally:
+        router.close()
+        db.close()
