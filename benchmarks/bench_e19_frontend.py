@@ -1,0 +1,69 @@
+"""E19: the async HTTP front door.
+
+Measures the cost layers the front end stacks on the serving pool: the
+asyncio facade bridge alone (``submit`` via ``wrap_future``), then the
+full socket path (HTTP parse, dispatch, keep-alive reuse) for a
+single-connection batch. The hedging/priority sweeps with fault
+injection live in ``python -m repro.harness --e19-json`` — here the
+server is healthy and the numbers isolate per-request overhead.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.frontend import build_hotel_app, serve_app
+
+REQUESTS = 6
+
+
+@pytest.fixture(scope="module")
+def app():
+    application = build_hotel_app(scale=1, workers=2)
+    yield application
+    asyncio.run(application.close())
+
+
+def test_e19_facade_submit_batch(benchmark, app):
+    """The asyncio bridge alone: submit -> thread pool -> wrap_future."""
+    benchmark.group = "E19 front end (6-request batch)"
+    request = app.request_for("figure4", "bulk")
+
+    async def batch():
+        for _ in range(REQUESTS):
+            trace = await app.facade.submit(request)
+            assert trace.outcome == "success"
+
+    benchmark(lambda: asyncio.run(batch()))
+
+
+def test_e19_http_keep_alive_batch(benchmark, app):
+    """The whole front door: socket, HTTP parse, dispatch, keep-alive."""
+    benchmark.group = "E19 front end (6-request batch)"
+    body = json.dumps({"view": "figure4", "strategy": "bulk"}).encode()
+    payload = (
+        f"POST /publish HTTP/1.1\r\nHost: bench\r\n"
+        f"Content-Length: {len(body)}\r\n\r\n"
+    ).encode() + body
+
+    async def batch():
+        server = await serve_app(app)
+        try:
+            reader, writer = await asyncio.open_connection(*server.address)
+            for _ in range(REQUESTS):
+                writer.write(payload)
+                await writer.drain()
+                head = await reader.readuntil(b"\r\n\r\n")
+                status = int(head.split(b" ", 2)[1])
+                assert status == 200
+                length = int(
+                    head.lower().split(b"content-length:")[1].split(b"\r\n")[0]
+                )
+                await reader.readexactly(length)
+            writer.close()
+            await writer.wait_closed()
+        finally:
+            await server.drain(timeout=5.0)
+
+    benchmark(lambda: asyncio.run(batch()))

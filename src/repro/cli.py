@@ -650,6 +650,352 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     return 1 if errors else 0
 
 
+def _frontend_app_from_args(args: argparse.Namespace):
+    """Build a :class:`~repro.frontend.app.PublishingApp` from CLI flags.
+
+    Shared by ``serve-http`` and ``load-bench`` so both front-end
+    commands assemble fault plans, resilience policies, and hedging
+    exactly the way ``serve-bench`` does.
+    """
+    from repro.frontend import HedgePolicy, build_hotel_app
+
+    faults = None
+    if (
+        args.faults > 0
+        or args.fault_latency_rate > 0
+        or args.fault_wrong_rate > 0
+        or args.fault_compile_rate > 0
+    ):
+        from repro.resilience import FaultPlan, FaultSpec
+
+        faults = FaultPlan(
+            FaultSpec(
+                error_rate=args.faults,
+                latency_rate=args.fault_latency_rate,
+                latency_ms=args.fault_latency_ms,
+                wrong_shape_rate=args.fault_wrong_rate,
+                compile_error_rate=args.fault_compile_rate,
+            ),
+            seed=args.fault_seed,
+        )
+    resilience = None
+    if (
+        args.deadline_ms is not None
+        or args.retries > 0
+        or args.breaker_threshold > 0
+        or args.queue_limit is not None
+        or args.no_degraded
+    ):
+        from repro.resilience import ResiliencePolicy
+
+        resilience = ResiliencePolicy(
+            deadline_ms=args.deadline_ms,
+            retries=args.retries,
+            breaker_threshold=args.breaker_threshold,
+            breaker_cooldown_ms=args.breaker_cooldown_ms,
+            queue_limit=args.queue_limit,
+            degraded=not args.no_degraded,
+        )
+    hedge = None
+    if args.hedge:
+        hedge = HedgePolicy(
+            threshold_percentile=args.hedge_percentile,
+            min_samples=args.hedge_min_samples,
+            budget_fraction=args.hedge_budget,
+            priorities=tuple(
+                p.strip() for p in args.hedge_priorities.split(",") if p.strip()
+            ),
+        )
+    return build_hotel_app(
+        scale=args.scale,
+        workers=args.workers,
+        staleness=args.staleness,
+        maintenance=args.maintenance,
+        fragment_policy=args.fragment_policy,
+        resilience=resilience,
+        faults=faults,
+        hedge=hedge,
+        shards=args.shards,
+        replicas=args.replicas,
+    )
+
+
+def _add_frontend_build_args(parser: argparse.ArgumentParser) -> None:
+    """The workload/resilience/hedging flags both front-end commands share."""
+    parser.add_argument("--scale", type=int, default=2,
+                        help="hotel workload scale factor (default: 2)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="worker threads / pooled connections")
+    parser.add_argument(
+        "--staleness", metavar="POLICY",
+        help="result-cache staleness policy: strict, manual, or bounded:N",
+    )
+    parser.add_argument(
+        "--maintenance", default="full",
+        choices=["full", "delta", "fragment"],
+        help="stale-result recompute mode (default: full)",
+    )
+    parser.add_argument(
+        "--fragment-policy", default="all", metavar="POLICY",
+        help="fragment pinning policy for --maintenance fragment",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="serve through an N-shard scatter/merge fleet (default: 1)",
+    )
+    parser.add_argument(
+        "--replicas", type=int, default=0, metavar="M",
+        help="read replicas per shard (default: 0)",
+    )
+    parser.add_argument(
+        "--faults", type=float, default=0.0, metavar="RATE",
+        help="inject transient sqlite errors into RATE of pooled queries",
+    )
+    parser.add_argument(
+        "--fault-latency-rate", type=float, default=0.0, metavar="RATE",
+        help="inject --fault-latency-ms of delay into RATE of queries",
+    )
+    parser.add_argument(
+        "--fault-latency-ms", type=float, default=20.0, metavar="MS",
+        help="injected latency per latency fault (default: 20)",
+    )
+    parser.add_argument(
+        "--fault-wrong-rate", type=float, default=0.0, metavar="RATE",
+        help="drop a result column from RATE of queries",
+    )
+    parser.add_argument(
+        "--fault-compile-rate", type=float, default=0.0, metavar="RATE",
+        help="fail RATE of plan compilations",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed for the deterministic fault schedule (default: 0)",
+    )
+    parser.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="per-request deadline (cooperative cancel + hard interrupt)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=0,
+        help="retry budget for transient failures",
+    )
+    parser.add_argument(
+        "--breaker-threshold", type=int, default=0, metavar="N",
+        help="consecutive failures that open a plan's breaker (0 off)",
+    )
+    parser.add_argument(
+        "--breaker-cooldown-ms", type=float, default=1000.0, metavar="MS",
+        help="open-breaker cooldown before half-open trials",
+    )
+    parser.add_argument(
+        "--queue-limit", type=int, default=None, metavar="N",
+        help="shed requests beyond the priority-scaled admission limit",
+    )
+    parser.add_argument(
+        "--no-degraded", action="store_true",
+        help="disable the degraded-stale fallback",
+    )
+    parser.add_argument(
+        "--hedge", action="store_true",
+        help="enable hedged requests (second attempt past the rolling "
+        "p95, first usable response wins, loser cancelled)",
+    )
+    parser.add_argument(
+        "--hedge-percentile", type=float, default=95.0, metavar="Q",
+        help="rolling-latency percentile that triggers a hedge "
+        "(default: 95)",
+    )
+    parser.add_argument(
+        "--hedge-min-samples", type=int, default=16, metavar="N",
+        help="latency samples required before hedging a plan "
+        "(default: 16)",
+    )
+    parser.add_argument(
+        "--hedge-budget", type=float, default=0.1, metavar="FRACTION",
+        help="cap on hedges fired as a fraction of requests "
+        "(default: 0.1)",
+    )
+    parser.add_argument(
+        "--hedge-priorities", default="interactive,batch,background",
+        metavar="CLASSES",
+        help="comma-separated priority classes eligible to hedge "
+        "(default: all; 'interactive' spends the budget on the "
+        "latency-sensitive class only)",
+    )
+
+
+def cmd_serve_http(args: argparse.Namespace) -> int:
+    """``repro serve-http``: run the async HTTP publishing front end.
+
+    Builds the hotel workload application (same knobs as
+    ``serve-bench``: staleness, maintenance, shards, resilience,
+    faults) and serves it over stdlib-asyncio HTTP/1.1 on
+    ``--host:--port`` — ``POST /publish``, ``GET /metrics``,
+    ``GET /healthz``, keep-alive connections, graceful drain on
+    shutdown. ``--hedge`` races a second attempt for requests running
+    past the rolling per-plan p95 (budget-capped; the losing attempt
+    is cancelled cooperatively). ``--duration`` bounds the run for
+    scripted use; the default serves until interrupted.
+    """
+    import asyncio
+    import json
+
+    from repro.frontend import serve_app
+
+    async def run() -> dict:
+        app = _frontend_app_from_args(args)
+        server = await serve_app(app, args.host, args.port)
+        host, port = server.address
+        print(f"serve-http: listening on http://{host}:{port}")
+        print(f"views: {', '.join(app.view_names())}")
+        try:
+            if args.duration > 0:
+                await asyncio.sleep(args.duration)
+            else:
+                await asyncio.Event().wait()  # until KeyboardInterrupt
+        except (KeyboardInterrupt, asyncio.CancelledError):
+            pass
+        finally:
+            print("serve-http: draining...")
+            drained = await server.close()
+            print(
+                f"serve-http: drained={drained} "
+                f"requests_handled={server.requests_handled} "
+                f"open_connections={server.open_connections}"
+            )
+        return server.app.facade.metrics()
+
+    try:
+        metrics = asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(metrics, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+def cmd_load_bench(args: argparse.Namespace) -> int:
+    """``repro load-bench``: drive the HTTP front end over real sockets.
+
+    Self-hosts a ``serve-http`` instance on a loopback port (same
+    build flags), then runs the async load generator: ``--connections``
+    keep-alive clients share a deterministic schedule of
+    ``--requests`` publishes mixed across priority classes
+    (``--interactive/--batch/--background`` weights). A background
+    task applies the hotel write mix at ``--writes-per-sec`` so
+    staleness machinery has work to do. Reports throughput, the
+    canonical p50/p95/p99 latency block overall and per priority
+    class, availability, hedge fire/win rates, and the shutdown leak
+    checks; ``--json`` records everything for CI and E19.
+    """
+    import asyncio
+    import json
+    import threading as _threading
+
+    from repro.frontend import LoadMix, run_load, serve_app
+
+    async def run() -> dict:
+        app = _frontend_app_from_args(args)
+        server = await serve_app(app, "127.0.0.1", 0)
+        host, port = server.address
+        mix = LoadMix(
+            priority_weights={
+                "interactive": args.interactive,
+                "batch": args.batch,
+                "background": args.background,
+            }
+        )
+        writer_task = None
+        if args.writes_per_sec > 0:
+            async def write_loop() -> None:
+                interval = 1.0 / args.writes_per_sec
+                loop = asyncio.get_running_loop()
+                while True:
+                    await asyncio.sleep(interval)
+                    await loop.run_in_executor(None, app.apply_write)
+
+            writer_task = asyncio.create_task(write_loop())
+        try:
+            report = await run_load(
+                host, port,
+                requests=args.requests,
+                connections=args.connections,
+                mix=mix,
+            )
+        finally:
+            if writer_task is not None:
+                writer_task.cancel()
+                try:
+                    await writer_task
+                except asyncio.CancelledError:
+                    pass
+            drained = await server.close()
+        metrics = app.facade.metrics()
+        report["hedging"] = metrics["hedging"]
+        report["server"] = {
+            "requests_handled": server.requests_handled,
+            "protocol_errors": server.protocol_errors,
+            "drained": drained,
+            "open_connections": server.open_connections,
+        }
+        report["writes_applied"] = app.writes_applied
+        outcomes = metrics.get("outcomes", {})
+        report["backend_outcomes"] = outcomes
+        return report
+
+    report = asyncio.run(run())
+    leaked_threads = sum(
+        1
+        for thread in _threading.enumerate()
+        if thread.name.startswith(("viewserver", "shardrouter"))
+    )
+    report["shutdown"] = {
+        "leaked_threads": leaked_threads,
+        "open_connections": report["server"]["open_connections"],
+    }
+    overall = report["overall"]
+    print(
+        f"load-bench: requests={report['completed']}/{report['requests']} "
+        f"connections={report['connections']} "
+        f"throughput_rps={report['throughput_rps']}"
+    )
+    latency = overall["latency"]
+    print(
+        f"latency_ms p50={latency['p50_ms']} p95={latency['p95_ms']} "
+        f"p99={latency['p99_ms']} availability={overall['availability']}"
+    )
+    for priority, block in report["priority"].items():
+        lat = block["latency"]
+        print(
+            f"  {priority}: n={lat['count']} p50={lat['p50_ms']} "
+            f"p95={lat['p95_ms']} p99={lat['p99_ms']} "
+            f"availability={block['availability']}"
+        )
+    hedging = report["hedging"]
+    if hedging is not None:
+        print(
+            f"hedging fired={hedging['fired']} won={hedging['won']} "
+            f"fire_rate={hedging['fire_rate']} "
+            f"win_rate={hedging['win_rate']}"
+        )
+    print(
+        f"shutdown leaked_threads={leaked_threads} "
+        f"open_connections={report['server']['open_connections']} "
+        f"drained={report['server']['drained']}"
+    )
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    if report["transport_errors"] > 0 or leaked_threads > 0:
+        return 1
+    return 0
+
+
 def cmd_demo(args: argparse.Namespace) -> int:
     """``repro demo``: write demo catalog/view/stylesheet/database files."""
     from repro.workloads.hotel import (
@@ -851,6 +1197,50 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--json", metavar="PATH",
                               help="write full metrics as JSON")
     serve_parser.set_defaults(func=cmd_serve_bench)
+
+    http_parser = sub.add_parser(
+        "serve-http", help="run the async HTTP publishing front end"
+    )
+    _add_frontend_build_args(http_parser)
+    http_parser.add_argument("--host", default="127.0.0.1",
+                             help="bind address (default: 127.0.0.1)")
+    http_parser.add_argument("--port", type=int, default=8472,
+                             help="bind port, 0 = ephemeral (default: 8472)")
+    http_parser.add_argument(
+        "--duration", type=float, default=0.0, metavar="SECONDS",
+        help="serve for SECONDS then drain (default: until interrupted)",
+    )
+    http_parser.add_argument("--json", metavar="PATH",
+                             help="write final metrics as JSON on shutdown")
+    http_parser.set_defaults(func=cmd_serve_http)
+
+    load_parser = sub.add_parser(
+        "load-bench", help="drive the HTTP front end over real sockets"
+    )
+    _add_frontend_build_args(load_parser)
+    load_parser.add_argument("--requests", type=int, default=100,
+                             help="total publish requests (default: 100)")
+    load_parser.add_argument("--connections", type=int, default=8,
+                             help="concurrent keep-alive clients (default: 8)")
+    load_parser.add_argument(
+        "--interactive", type=float, default=0.5, metavar="WEIGHT",
+        help="interactive-class traffic weight (default: 0.5)",
+    )
+    load_parser.add_argument(
+        "--batch", type=float, default=0.3, metavar="WEIGHT",
+        help="batch-class traffic weight (default: 0.3)",
+    )
+    load_parser.add_argument(
+        "--background", type=float, default=0.2, metavar="WEIGHT",
+        help="background-class traffic weight (default: 0.2)",
+    )
+    load_parser.add_argument(
+        "--writes-per-sec", type=float, default=0.0, metavar="RATE",
+        help="apply the hotel write mix at RATE while serving",
+    )
+    load_parser.add_argument("--json", metavar="PATH",
+                             help="write the full report as JSON")
+    load_parser.set_defaults(func=cmd_load_bench)
 
     demo_parser = sub.add_parser("demo", help="write demo artifacts")
     demo_parser.add_argument("--out", default="repro-demo")

@@ -1,0 +1,224 @@
+"""The publishing application behind the HTTP front end.
+
+The HTTP layer speaks in names — ``POST /publish`` says ``"view":
+"figure4"`` — while the serving stack speaks in object graphs
+(:class:`~repro.xml.schema_tree.SchemaTreeQuery`, stylesheets,
+policies). :class:`PublishingApp` is the binding between the two: a
+registry of named (view, stylesheet) pairs over one database, the
+backend serving them (a :class:`~repro.serving.server.ViewServer` or a
+:class:`~repro.sharding.router.ShardRouter` fleet), and the
+:class:`~repro.frontend.facade.AsyncViewServer` facade wrapping it.
+
+:func:`build_hotel_app` assembles the paper's hotel workload —
+Figure 1 publishing view, Figure 4/17 stylesheets — with the same
+knobs ``serve-bench`` exposes (staleness, maintenance mode, resilience
+policy, fault plan, shards), so the HTTP tier serves byte-identical
+answers to the in-process paths the differential suite compares
+against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ReproError
+from repro.frontend.facade import AsyncViewServer
+from repro.frontend.hedging import HedgePolicy
+from repro.serving.server import PRIORITIES, PublishRequest, ViewServer
+
+#: View registry names the HTTP API accepts (hotel workload).
+VIEW_NAMES = ("figure1", "figure4", "figure17")
+
+
+@dataclass(frozen=True)
+class RegisteredView:
+    """One named publishing entry: a view, optionally composed."""
+
+    name: str
+    view: object
+    stylesheet: Optional[object]
+
+
+class PublishingApp:
+    """Named views + a serving backend + the async facade over it.
+
+    The app owns whatever it was built from (database, tracker,
+    backend) and tears it all down in :meth:`close`. ``request_for``
+    is the only place HTTP parameters become a
+    :class:`~repro.serving.server.PublishRequest`, so validation
+    errors surface as :class:`~repro.errors.ReproError` (→ HTTP 400)
+    before any serving work starts.
+    """
+
+    def __init__(
+        self,
+        registry: dict[str, RegisteredView],
+        backend,
+        database,
+        hedge: Optional[HedgePolicy] = None,
+        write_fn=None,
+    ):
+        if not registry:
+            raise ReproError("app needs at least one registered view")
+        self.registry = registry
+        self.backend = backend
+        self.database = database
+        self.facade = AsyncViewServer(backend, hedge=hedge, own_backend=True)
+        self._write_fn = write_fn
+        self._writes_applied = 0
+        self._closed = False
+
+    def request_for(
+        self,
+        name: str,
+        strategy: str = "nested-loop",
+        priority: str = "interactive",
+        bypass_cache: bool = False,
+        label: str = "",
+    ) -> PublishRequest:
+        """Translate HTTP parameters into a validated request."""
+        entry = self.registry.get(name)
+        if entry is None:
+            raise ReproError(
+                f"unknown view {name!r}; have {sorted(self.registry)}"
+            )
+        if priority not in PRIORITIES:
+            raise ReproError(
+                f"unknown priority {priority!r}; have {list(PRIORITIES)}"
+            )
+        return PublishRequest(
+            entry.view,
+            entry.stylesheet,
+            strategy=strategy,
+            label=label or f"{name}/{strategy}",
+            priority=priority,
+            bypass_cache=bypass_cache,
+        )
+
+    def apply_write(self) -> int:
+        """Apply one tracked workload write; returns writes so far.
+
+        Backed by the write mix the app was built with (hotel writes
+        for :func:`build_hotel_app`); lets the E19 harness and the
+        ``/write`` test hook age cached results while serving.
+        """
+        if self._write_fn is None:
+            raise ReproError("app was built without a write mix")
+        self._write_fn(self._writes_applied)
+        self._writes_applied += 1
+        return self._writes_applied
+
+    @property
+    def writes_applied(self) -> int:
+        """How many workload writes ``apply_write`` has run so far."""
+        return self._writes_applied
+
+    def view_names(self) -> list[str]:
+        """The registered view names, sorted (the valid ``view`` values)."""
+        return sorted(self.registry)
+
+    async def close(self, drain_timeout: Optional[float] = 5.0) -> bool:
+        """Drain the facade, close the backend and the database."""
+        if self._closed:
+            return True
+        self._closed = True
+        drained = await self.facade.close(drain_timeout)
+        self.database.close()
+        return drained
+
+
+def build_hotel_app(
+    scale: int = 1,
+    workers: int = 4,
+    staleness: Optional[str] = None,
+    maintenance: str = "full",
+    fragment_policy: str = "all",
+    resilience=None,
+    faults=None,
+    hedge: Optional[HedgePolicy] = None,
+    shards: int = 1,
+    replicas: int = 0,
+) -> PublishingApp:
+    """The paper's hotel workload as a servable application.
+
+    Mirrors ``serve-bench`` construction: tracked writes and a result
+    cache when ``staleness`` is set, a sharded fleet when ``shards > 1``
+    or ``replicas > 0`` (fault plan armed on shard 0's primary only,
+    replicas as the failover path), a single :class:`ViewServer`
+    otherwise.
+    """
+    from repro.maintenance import WriteTracker, hotel_write
+    from repro.workloads.hotel import HotelDataSpec, build_hotel_database
+    from repro.workloads.paper import (
+        figure1_view,
+        figure4_stylesheet,
+        figure17_stylesheet,
+    )
+
+    update_aware = staleness is not None
+    sharded = shards > 1 or replicas > 0
+    db = build_hotel_database(
+        HotelDataSpec().scaled(scale), cross_thread=True
+    )
+    tracker = None
+    if update_aware and not sharded:
+        tracker = WriteTracker()
+        db.attach_tracker(tracker, auto=True)
+
+    if sharded:
+        from repro.sharding import ShardRouter
+        from repro.workloads.hotel import hotel_partition_scheme
+
+        backend = ShardRouter.build(
+            db.catalog,
+            db,
+            hotel_partition_scheme(),
+            shards,
+            replicas=replicas,
+            workers=workers,
+            staleness=staleness or "strict",
+            maintenance=maintenance,
+            fragment_policy=fragment_policy,
+            resilience=resilience,
+            faults=(
+                [faults] + [None] * (shards - 1)
+                if faults is not None
+                else None
+            ),
+            keep_xml=True,  # the HTTP layer serves trace.xml
+        )
+
+        def write_fn(index: int) -> None:
+            backend.route_write(
+                lambda source, shard_tracker: hotel_write(
+                    source, index, tracker=shard_tracker
+                )
+            )
+
+    else:
+        backend = ViewServer(
+            db.catalog,
+            source=db,
+            workers=workers,
+            keep_xml=True,  # the HTTP layer serves trace.xml
+            tracker=tracker,
+            staleness=staleness or "strict",
+            maintenance=maintenance,
+            fragment_policy=fragment_policy,
+            resilience=resilience,
+            faults=faults,
+        )
+
+        def write_fn(index: int) -> None:
+            hotel_write(db, index)  # auto capture records it
+
+    view = figure1_view(db.catalog)
+    registry = {
+        "figure1": RegisteredView("figure1", view, None),
+        "figure4": RegisteredView("figure4", view, figure4_stylesheet()),
+        "figure17": RegisteredView("figure17", view, figure17_stylesheet()),
+    }
+    return PublishingApp(
+        registry, backend, db, hedge=hedge, write_fn=write_fn
+    )

@@ -1,0 +1,262 @@
+"""Async load generator: real sockets against the HTTP front end.
+
+Unlike ``serve-bench`` (which calls the server in-process), this
+client exercises the whole front door — TCP connections, HTTP
+parsing, keep-alive reuse, priority headers, hedging — the way a real
+caller would. ``N`` concurrent connections each run a closed loop:
+pick a view/strategy from the mix, pick a priority class by weight,
+``POST /publish``, record (priority, outcome, status, latency), repeat
+until the shared request budget runs out.
+
+The report groups latency and availability **per priority class**
+(the E19 gates: interactive availability under faults, interactive
+p95 vs batch p95) using the canonical
+:func:`~repro.harness.reporting.latency_summary_ms` shape.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.errors import ReproError
+from repro.harness.reporting import latency_summary_ms
+from repro.serving.server import PRIORITIES
+
+#: Outcomes counted as "the caller got publishable bytes".
+AVAILABLE_OUTCOMES = frozenset({"success", "degraded"})
+
+
+@dataclass(frozen=True)
+class LoadMix:
+    """What the generated traffic looks like.
+
+    ``views`` cycles per request (name, strategy); ``priority_weights``
+    draws the class per request from a deterministic weighted wheel, so
+    two runs with the same mix and budget issue the same sequence.
+    """
+
+    views: Sequence[tuple[str, str]] = (
+        ("figure4", "nested-loop"),
+        ("figure17", "nested-loop"),
+    )
+    priority_weights: dict = field(
+        default_factory=lambda: {
+            "interactive": 0.5,
+            "batch": 0.3,
+            "background": 0.2,
+        }
+    )
+    #: Send ``bypass_cache`` on every publish — each request computes
+    #: from live data, which gives latency experiments a real
+    #: distribution instead of a wall of result-cache hits.
+    bypass_cache: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.views:
+            raise ReproError("load mix needs at least one view")
+        total = sum(self.priority_weights.values())
+        if total <= 0:
+            raise ReproError("priority weights must sum > 0")
+        for priority in self.priority_weights:
+            if priority not in PRIORITIES:
+                raise ReproError(f"unknown priority {priority!r}")
+
+    def plan(self, requests: int) -> list[tuple[str, str, str]]:
+        """The deterministic (view, strategy, priority) schedule.
+
+        Priorities are spread by largest-remainder over the weights, so
+        every prefix of the schedule approximates the mix — important
+        because overload runs may not finish the whole budget.
+        """
+        weights = {
+            p: w for p, w in self.priority_weights.items() if w > 0
+        }
+        total = sum(weights.values())
+        credits = {p: 0.0 for p in weights}
+        schedule = []
+        for index in range(requests):
+            for p, w in weights.items():
+                credits[p] += w / total
+            priority = max(credits, key=lambda p: (credits[p], p))
+            credits[priority] -= 1.0
+            view, strategy = self.views[index % len(self.views)]
+            schedule.append((view, strategy, priority))
+        return schedule
+
+
+@dataclass
+class LoadSample:
+    """One request's observation."""
+
+    priority: str
+    outcome: str
+    status: int
+    latency_ms: float
+    body_bytes: int
+
+
+class LoadClient:
+    """One keep-alive connection worker draining a shared schedule."""
+
+    def __init__(self, host: str, port: int, name: str):
+        self.host = host
+        self.port = port
+        self.name = name
+        self.reader: Optional[asyncio.StreamReader] = None
+        self.writer: Optional[asyncio.StreamWriter] = None
+
+    async def _connect(self) -> None:
+        self.reader, self.writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def close(self) -> None:
+        """Close the connection, swallowing teardown races."""
+        if self.writer is not None:
+            self.writer.close()
+            try:
+                await self.writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self.reader = self.writer = None
+
+    async def publish(
+        self,
+        view: str,
+        strategy: str,
+        priority: str,
+        bypass_cache: bool = False,
+    ) -> LoadSample:
+        """POST /publish once, reconnecting if the connection dropped."""
+        if self.writer is None:
+            await self._connect()
+        body = json.dumps(
+            {
+                "view": view,
+                "strategy": strategy,
+                "priority": priority,
+                "bypass_cache": bypass_cache,
+                "label": f"{self.name}:{view}/{strategy}",
+            }
+        ).encode("utf-8")
+        head = (
+            f"POST /publish HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"\r\n"
+        ).encode("latin-1")
+        started = time.perf_counter()
+        self.writer.write(head + body)
+        await self.writer.drain()
+        status, headers, payload = await self._read_response()
+        latency_ms = (time.perf_counter() - started) * 1000.0
+        return LoadSample(
+            priority=priority,
+            outcome=headers.get("x-repro-outcome", f"http-{status}"),
+            status=status,
+            latency_ms=latency_ms,
+            body_bytes=len(payload),
+        )
+
+    async def _read_response(self) -> tuple[int, dict[str, str], bytes]:
+        head = await self.reader.readuntil(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        status = int(lines[0].split(" ")[1])
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        payload = await self.reader.readexactly(length) if length else b""
+        if headers.get("connection", "").lower() == "close":
+            await self.close()
+        return status, headers, payload
+
+
+async def run_load(
+    host: str,
+    port: int,
+    requests: int,
+    connections: int,
+    mix: Optional[LoadMix] = None,
+) -> dict:
+    """Drive the front end and report per-priority latency/availability.
+
+    ``connections`` workers share one deterministic schedule (see
+    :meth:`LoadMix.plan`); the report carries wall-clock throughput,
+    the canonical p50/p95/p99 block overall and per class, outcome
+    histograms, and error counts — the raw material of BENCH_e19.
+    """
+    mix = mix or LoadMix()
+    schedule = mix.plan(requests)
+    queue: asyncio.Queue = asyncio.Queue()
+    for item in schedule:
+        queue.put_nowait(item)
+    samples: list[LoadSample] = []
+    transport_errors = [0]
+
+    async def worker(index: int) -> None:
+        client = LoadClient(host, port, f"conn{index}")
+        try:
+            while True:
+                try:
+                    view, strategy, priority = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    return
+                try:
+                    samples.append(
+                        await client.publish(
+                            view, strategy, priority,
+                            bypass_cache=mix.bypass_cache,
+                        )
+                    )
+                except (ConnectionError, asyncio.IncompleteReadError, OSError):
+                    transport_errors[0] += 1
+                    await client.close()
+        finally:
+            await client.close()
+
+    started = time.perf_counter()
+    await asyncio.gather(*(worker(i) for i in range(max(1, connections))))
+    wall_seconds = time.perf_counter() - started
+
+    def summarize(rows: list[LoadSample]) -> dict:
+        outcomes: dict[str, int] = {}
+        for sample in rows:
+            outcomes[sample.outcome] = outcomes.get(sample.outcome, 0) + 1
+        got_bytes = sum(
+            1 for s in rows if s.outcome in AVAILABLE_OUTCOMES
+        )
+        return {
+            "latency": latency_summary_ms([s.latency_ms for s in rows]),
+            "outcomes": outcomes,
+            "availability": (
+                round(got_bytes / len(rows), 6) if rows else 0.0
+            ),
+        }
+
+    per_priority = {
+        priority: summarize(
+            [s for s in samples if s.priority == priority]
+        )
+        for priority in PRIORITIES
+    }
+    return {
+        "requests": requests,
+        "completed": len(samples),
+        "connections": connections,
+        "wall_seconds": round(wall_seconds, 6),
+        "throughput_rps": (
+            round(len(samples) / wall_seconds, 4) if wall_seconds > 0 else 0.0
+        ),
+        "transport_errors": transport_errors[0],
+        "overall": summarize(samples),
+        "priority": per_priority,
+    }

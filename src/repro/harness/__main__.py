@@ -55,7 +55,27 @@ def main() -> None:
         "its raw numbers as JSON (per-fleet-size runs + 2-shard/1-shard "
         "throughput ratio + merge-equivalence mismatch count)",
     )
+    parser.add_argument(
+        "--e19-json", metavar="PATH",
+        help="run only E19 (async HTTP front end over real sockets) and "
+        "record its raw numbers as JSON (hedge on/off x fault rate "
+        "sweep + interactive-only hedging run + priority-shed overload "
+        "run, with per-class latency/availability and leak checks)",
+    )
     args = parser.parse_args()
+    if args.e19_json:
+        from repro.harness.experiments import e19_frontend
+
+        if args.quick:
+            result = e19_frontend(
+                scale=1, requests=120, warmup=24, fault_rates=[0.0, 0.1],
+                json_path=args.e19_json,
+            )
+        else:
+            result = e19_frontend(json_path=args.e19_json)
+        print(result.to_console())
+        print(f"wrote {args.e19_json}")
+        return
     if args.e18_json:
         from repro.harness.experiments import e18_sharding
 
@@ -67,10 +87,10 @@ def main() -> None:
             # breadth and round count are reduced.
             result = e18_sharding(
                 scale=8, rounds=8, repeats=6, shard_counts=[1, 2],
-                json_path=args.e18_json,
+                fault_rates=[0.2], json_path=args.e18_json,
             )
         else:
-            result = e18_sharding(json_path=args.e18_json)
+            result = e18_sharding(fault_rates=[0.2], json_path=args.e18_json)
         print(result.to_console())
         print(f"wrote {args.e18_json}")
         return

@@ -18,7 +18,7 @@ import time
 from repro.core.compose import compose
 from repro.core.ctg import build_ctg
 from repro.core.tvq import build_tvq
-from repro.harness.reporting import ExperimentResult
+from repro.harness.reporting import ExperimentResult, latency_summary_ms
 from repro.harness.runners import run_composed, run_hybrid, run_naive, run_qtree
 from repro.relational.engine import Database
 from repro.workloads.hotel import HotelDataSpec, build_hotel_database
@@ -674,8 +674,7 @@ def e13_serving(
                         "requests": requests,
                         "seconds": round(seconds, 6),
                         "throughput_rps": round(rps, 2),
-                        "p50_ms": round(p50, 4),
-                        "p95_ms": round(p95, 4),
+                        **latency_summary_ms([v * 1000 for v in latencies]),
                         "hit_rate": round(hit_rate, 4),
                     }
                 )
@@ -847,8 +846,7 @@ def e14_maintenance(
                     "requests": total,
                     "seconds": round(timed, 6),
                     "throughput_rps": round(rps, 2),
-                    "p50_ms": round(p50, 4),
-                    "p95_ms": round(p95, 4),
+                    **latency_summary_ms([v * 1000 for v in latencies]),
                     "freshness": freshness,
                     "max_hit_lag": max_hit_lag,
                     "mismatches": mismatches,
@@ -1070,8 +1068,9 @@ def e15_incremental(
                     "seconds": round(sum(record["round_times"]), 6),
                     "median_round_ms": round(median_round * 1000, 4),
                     "throughput_rps": round(rps, 2),
-                    "p50_ms": round(p50, 4),
-                    "p95_ms": round(p95, 4),
+                    **latency_summary_ms(
+                        [v * 1000 for v in record["latencies"]]
+                    ),
                     "freshness": freshness,
                     "delta_fallbacks": metrics[mode]["delta_fallbacks"],
                     "mean_dirty_nodes": round(
@@ -1317,8 +1316,7 @@ def e16_resilience(
                     ),
                     default=0,
                 ),
-                "p50_ms": round(p50, 4),
-                "p99_ms": round(p99, 4),
+                **latency_summary_ms(latencies),
                 "faults_injected": metrics["faults"]["injected"],
                 "leaked_connections": leaked,
                 "writes_applied": write_step,
@@ -1509,7 +1507,7 @@ def e17_fragments(
                     "mean_rows_spliced": round(
                         sum(spliced) / len(spliced), 3
                     ) if spliced else 0.0,
-                    "p50_ms": round(percentile(latencies, 50) * 1000, 4),
+                    **latency_summary_ms([v * 1000 for v in latencies]),
                     "mismatches": mismatches,
                 }
             )
@@ -1653,7 +1651,9 @@ def e17_fragments(
                     "requests": len(record["traces"]),
                     "median_round_ms": round(median_round * 1000, 4),
                     "throughput_rps": round(rps, 2),
-                    "p50_ms": round(p50, 4),
+                    **latency_summary_ms(
+                        [v * 1000 for v in record["latencies"]]
+                    ),
                     "serialize_p50_ms": round(ser_p50, 4),
                     "freshness": metrics[name]["freshness"],
                     "delta_fallbacks": metrics[name]["delta_fallbacks"],
@@ -1757,6 +1757,7 @@ def e18_sharding(
     shard_counts: list[int] | None = None,
     replicas: int = 0,
     writes_per_round: int = 1,
+    fault_rates: list[float] | None = None,
     json_path: str | None = None,
 ) -> ExperimentResult:
     """E18: sharded scatter/merge serving vs a single box.
@@ -1788,6 +1789,15 @@ def e18_sharding(
     must be 0. The gated number is the 2-shard-over-1-shard throughput
     ratio. ``replicas`` read replicas per shard ride along in the
     fleet (reads rotate across them; failovers counted).
+
+    Chaos rides along when ``fault_rates`` holds nonzero rates: for
+    each rate, a 2-shard fleet with at least one replica per shard runs
+    the same write/serve/verify loop with a seeded
+    :class:`~repro.resilience.faults.FaultPlan` (E16's error + latency
+    mix) armed on **shard 0's primary only** — its replicas are the
+    failover path under test. Those runs record ``availability``
+    (success + degraded over total) and are excluded from the gated
+    fault-free 2-over-1 throughput ratio.
     """
     import json
     import statistics
@@ -1820,7 +1830,17 @@ def e18_sharding(
     )
     runs: list[dict] = []
     base_rps: float | None = None
-    for shards in shard_counts:
+
+    def run_fleet(
+        shards: int, fleet_replicas: int, fault_rate: float
+    ) -> dict:
+        """One fleet's write/serve/verify sweep; returns its run record.
+
+        ``fault_rate > 0`` arms E16's error+latency fault mix on shard
+        0's primary only (seeded, disarmed for warmup); its replicas
+        absorb the failures via router failover.
+        """
+        nonlocal base_rps
         db = build_hotel_database(
             HotelDataSpec().scaled(scale), cross_thread=True
         )
@@ -1831,15 +1851,33 @@ def e18_sharding(
                 "SELECT metroid FROM metroarea ORDER BY metroid", {}
             )
         ]
+        faults = None
+        if fault_rate > 0:
+            from repro.resilience import FaultPlan, FaultSpec
+
+            faults = FaultPlan(
+                FaultSpec(
+                    error_rate=fault_rate,
+                    latency_rate=fault_rate / 2,
+                    latency_ms=2.0,
+                ),
+                seed=18,
+                enabled=False,  # warmup runs clean; armed after
+            )
         router = ShardRouter.build(
             db.catalog,
             db,
             hotel_partition_scheme(),
             shards,
-            replicas=replicas,
+            replicas=fleet_replicas,
             workers=2,
             staleness="strict",
             maintenance="full",
+            faults=(
+                [faults] + [None] * (shards - 1)
+                if faults is not None
+                else None
+            ),
         )
         batch = [
             PublishRequest(view, strategy="bulk", label=f"s{shards}")
@@ -1848,9 +1886,12 @@ def e18_sharding(
         latencies: list[float] = []
         round_times: list[float] = []
         mismatches = 0
+        unavailable = 0
         step = 0
         try:
-            router.render_many(batch)  # untimed warmup
+            router.render_many(batch)  # untimed warmup, faults disarmed
+            if faults is not None:
+                faults.arm()
             for _ in range(rounds):
                 for _ in range(writes_per_round):
                     this = step
@@ -1869,7 +1910,9 @@ def e18_sharding(
                 reference = serialize(materialize(view, db))
                 for trace in traces:
                     latencies.append(trace.total_seconds)
-                    if trace.xml != reference:
+                    if trace.outcome not in ("success", "degraded"):
+                        unavailable += 1
+                    elif trace.xml != reference:
                         mismatches += 1
             metrics = router.metrics()
             leaked = router.outstanding()
@@ -1878,35 +1921,51 @@ def e18_sharding(
             db.close()
         median_round = statistics.median(round_times)
         rps = len(batch) / median_round if median_round else 0.0
-        if base_rps is None:
+        if base_rps is None and fault_rate == 0:
             base_rps = rps
         speedup = rps / base_rps if base_rps else 0.0
+        total = rounds * len(batch)
+        availability = (total - unavailable) / total if total else 0.0
         merged = metrics["merged_cache"]
+        label = (
+            shards if fault_rate == 0 else f"{shards} (faults {fault_rate})"
+        )
         result.add_row(
-            shards, replicas, rounds * len(batch), rps, speedup,
+            label, fleet_replicas, total, rps, speedup,
             percentile(latencies, 50) * 1000,
             f"{merged['hits']}/{merged['misses']}",
             metrics["failovers"], mismatches,
         )
-        runs.append(
-            {
-                "shards": shards,
-                "replicas": replicas,
-                "key_ranges": metrics.get("key_ranges"),
-                "requests": rounds * len(batch),
-                "median_round_ms": round(median_round * 1000, 4),
-                "throughput_rps": round(rps, 2),
-                "speedup_over_one_shard": round(speedup, 3),
-                "p50_ms": round(percentile(latencies, 50) * 1000, 4),
-                "merged_cache": merged,
-                "failovers": metrics["failovers"],
-                "outcomes": metrics["outcomes"],
-                "leaked_connections": leaked,
-                "mismatches": mismatches,
-            }
-        )
+        return {
+            "shards": shards,
+            "replicas": fleet_replicas,
+            "fault_rate": fault_rate,
+            "key_ranges": metrics.get("key_ranges"),
+            "requests": total,
+            "median_round_ms": round(median_round * 1000, 4),
+            "throughput_rps": round(rps, 2),
+            "speedup_over_one_shard": round(speedup, 3),
+            **latency_summary_ms([v * 1000 for v in latencies]),
+            "availability": round(availability, 6),
+            "merged_cache": merged,
+            "failovers": metrics["failovers"],
+            "outcomes": metrics["outcomes"],
+            "leaked_connections": leaked,
+            "mismatches": mismatches,
+        }
+
+    for shards in shard_counts:
+        runs.append(run_fleet(shards, replicas, 0.0))
+    chaos_shards = 2 if 2 in shard_counts else shard_counts[0]
+    for rate in fault_rates or []:
+        if rate > 0:
+            runs.append(run_fleet(chaos_shards, max(replicas, 1), rate))
     total_mismatches = sum(run["mismatches"] for run in runs)
-    by_shards = {run["shards"]: run["throughput_rps"] for run in runs}
+    by_shards = {
+        run["shards"]: run["throughput_rps"]
+        for run in runs
+        if run["fault_rate"] == 0
+    }
     two_over_one = (
         round(by_shards[2] / by_shards[1], 3)
         if 1 in by_shards and 2 in by_shards and by_shards[1]
@@ -1916,6 +1975,19 @@ def e18_sharding(
         result.notes.append(
             f"2-shard over 1-shard throughput: {two_over_one:.2f}x "
             f"(gate >= 1.3x); total mismatches {total_mismatches}."
+        )
+    chaos_runs = [run for run in runs if run["fault_rate"] > 0]
+    chaos_availability = (
+        min(run["availability"] for run in chaos_runs)
+        if chaos_runs
+        else None
+    )
+    if chaos_runs:
+        result.notes.append(
+            "chaos: fault rates "
+            f"{sorted({run['fault_rate'] for run in chaos_runs})} on shard "
+            f"0's primary, min availability {chaos_availability:.4f} "
+            f"(replica failover; gate >= 0.99)."
         )
     if json_path:
         with open(json_path, "w") as handle:
@@ -1927,9 +1999,321 @@ def e18_sharding(
                     "writes_per_round": writes_per_round,
                     "shard_counts": shard_counts,
                     "replicas": replicas,
+                    "fault_rates": sorted(
+                        {run["fault_rate"] for run in chaos_runs}
+                    ),
                     "runs": runs,
                     "two_shard_over_one": two_over_one,
+                    "chaos_min_availability": chaos_availability,
                     "mismatches": total_mismatches,
+                },
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+            handle.write("\n")
+    return result
+
+
+def e19_frontend(
+    scale: int = 1,
+    requests: int = 200,
+    warmup: int = 40,
+    connections: int = 6,
+    fault_rates: list[float] | None = None,
+    hedge_budget: float = 0.15,
+    overload_connections: int = 12,
+    overload_queue_limit: int = 4,
+    json_path: str | None = None,
+) -> ExperimentResult:
+    """E19: the async HTTP front end — hedging and priority admission.
+
+    Every run here goes over **real sockets**: a
+    :class:`~repro.frontend.http.FrontendServer` on a loopback port,
+    driven by the async load generator with keep-alive connections and
+    a deterministic priority-mixed schedule. Requests bypass the
+    result cache so each one computes from live data — the latency
+    distribution under test is the compute path plus whatever the
+    fault plan injects (E16's chaos knobs: transient errors at
+    ``rate/4`` per query, 40ms latency faults at ``rate/12`` per
+    query), with ``retries=3`` and a tight backoff absorbing the
+    transients. A request touches ~9 fault sites *at scale 1* (the
+    nested-loop strategies issue per-row queries, so fault exposure
+    grows with data size), and the per-query stall rate is picked to
+    keep the per-*request* stall rate under the hedge budget — a
+    budget below the stall mass cannot cover the tail no matter how
+    good the trigger is.
+
+    Three sweeps, one JSON report:
+
+    * **hedging** — (fault rate × hedge on/off), all classes
+      hedge-eligible. Warmup (faults disarmed) populates the rolling
+      estimators with clean latencies, so once faults arm, a request
+      stalled by an injected 40ms stall blows through its plan's p95
+      within a few milliseconds and the hedge — which re-draws the
+      per-site fault schedule — usually lands clean. The gated claim:
+      at the highest fault rate, hedging cuts overall p99 while firing
+      on at most ``hedge_budget`` of requests.
+    * **priority** — highest fault rate, hedging restricted to the
+      interactive class: the duplicate-work budget is spent where
+      latency matters, so interactive p95 lands under batch p95 while
+      batch/background keep the raw tail.
+    * **overload** — more connections than the admission limits
+      accommodate (``queue_limit`` set, no faults, no hedging):
+      priority-aware shedding drops background first; the gate is
+      interactive availability 1.0 with every shed landing on the
+      lower classes.
+
+    Leak accounting after every run: facade drained, zero open
+    connections, zero surviving worker threads, zero transport errors.
+    """
+    import asyncio
+    import json
+    import threading
+
+    from repro.frontend import (
+        HedgePolicy,
+        LoadMix,
+        run_load,
+        serve_app,
+        build_hotel_app,
+    )
+    from repro.resilience import FaultPlan, FaultSpec, ResiliencePolicy
+
+    fault_rates = fault_rates if fault_rates is not None else [0.0, 0.1]
+    max_rate = max(fault_rates)
+    result = ExperimentResult(
+        "E19",
+        f"Async HTTP front end (scale-{scale} hotel): hedged requests "
+        "and priority admission over real sockets",
+        ["run", "faults", "requests", "req/s", "p50 ms", "p99 ms",
+         "avail", "hedge fired/won", "int p95", "batch p95", "shed"],
+        notes=[
+            f"{connections} keep-alive connections, {requests} publishes "
+            f"per run after {warmup} fault-free warmups (cache-bypassing "
+            "computes); E16 chaos mix = transient errors at rate/4 + "
+            "40ms latency faults at rate/12 per query, retries=3. "
+            "Hedge budget "
+            f"{hedge_budget:g} of eligible requests.",
+        ],
+    )
+
+    def fault_plan(rate: float):
+        if rate <= 0:
+            return None
+        return FaultPlan(
+            FaultSpec(
+                error_rate=rate / 4,
+                latency_rate=rate / 12,
+                latency_ms=40.0,
+            ),
+            seed=19,
+            enabled=False,  # armed after warmup
+        )
+
+    def drive(
+        label: str,
+        rate: float,
+        hedge: HedgePolicy | None,
+        mix: LoadMix,
+        n_connections: int,
+        queue_limit: int | None = None,
+    ) -> dict:
+        """One server+loadgen lifecycle; returns the run record."""
+        faults = fault_plan(rate)
+        # Workers exceed connections so a hedge never queues behind the
+        # very stall it is racing — without that headroom, hedge wins
+        # pay the queue wait and the p99 cut evaporates.
+        app = build_hotel_app(
+            scale=scale,
+            workers=8,
+            # Tight backoff: the injected transients succeed on an
+            # immediate retry, and a 5ms+ backoff would park retried
+            # requests right on the hedge trigger, burning budget on
+            # requests a duplicate attempt cannot speed up.
+            resilience=ResiliencePolicy(
+                retries=3, backoff_base_ms=1.0, backoff_max_ms=10.0,
+                queue_limit=queue_limit,
+            ),
+            faults=faults,
+            hedge=hedge,
+        )
+
+        async def run() -> tuple[dict, dict, bool, int]:
+            server = await serve_app(app)
+            host, port = server.address
+            # Warm up at the *measured* concurrency: the rolling hedge
+            # estimators must learn the loaded latency distribution
+            # (queueing included) — an unloaded warmup seeds thresholds
+            # below the queueing tail and the early noise-hedges drain
+            # the budget before any real stall arrives.
+            await run_load(
+                host, port, requests=warmup,
+                connections=n_connections, mix=mix,
+            )
+            if faults is not None:
+                faults.arm()
+            report = await run_load(
+                host, port, requests=requests,
+                connections=n_connections, mix=mix,
+            )
+            metrics = app.facade.metrics()
+            drained = await server.close()
+            return report, metrics, drained, server.open_connections
+
+        report, metrics, drained, open_connections = asyncio.run(run())
+        leaked_threads = sum(
+            1
+            for thread in threading.enumerate()
+            if thread.name.startswith(("viewserver", "shardrouter"))
+        )
+        hedging = metrics["hedging"]
+        priority = metrics.get("priority", {})
+        shed_by_class = {
+            cls: block["shed"] for cls, block in priority.items()
+        }
+        overall = report["overall"]
+        interactive = report["priority"]["interactive"]
+        batch = report["priority"]["batch"]
+        result.add_row(
+            label, rate, report["completed"], report["throughput_rps"],
+            overall["latency"]["p50_ms"], overall["latency"]["p99_ms"],
+            overall["availability"],
+            (
+                f"{hedging['fired']}/{hedging['won']}"
+                if hedging is not None
+                else "-"
+            ),
+            interactive["latency"]["p95_ms"], batch["latency"]["p95_ms"],
+            sum(shed_by_class.values()),
+        )
+        return {
+            "run": label,
+            "fault_rate": rate,
+            "hedge": hedging["policy"] if hedging is not None else None,
+            "requests": report["completed"],
+            "connections": n_connections,
+            "queue_limit": queue_limit,
+            "throughput_rps": report["throughput_rps"],
+            "overall": overall,
+            "priority": report["priority"],
+            "hedging": hedging,
+            "shed_by_class": shed_by_class,
+            "transport_errors": report["transport_errors"],
+            "leaks": {
+                "drained": drained,
+                "open_connections": open_connections,
+                "threads": leaked_threads,
+            },
+        }
+
+    sweep_mix = LoadMix(bypass_cache=True)
+    runs: list[dict] = []
+    for rate in fault_rates:
+        runs.append(drive(f"no-hedge@{rate}", rate, None, sweep_mix, connections))
+        runs.append(
+            drive(
+                f"hedge@{rate}",
+                rate,
+                # Median-based trigger with a floor above the clean
+                # p99 (~12ms): the median is robust to stall samples
+                # polluting the window (a rolling p95 drifts up to the
+                # stall size and fires too late), while the floor keeps
+                # the trigger from ever dipping into clean-request
+                # territory, so the budget is spent on real stalls.
+                HedgePolicy(
+                    threshold_percentile=50.0,
+                    min_samples=8,
+                    window=64,
+                    budget_fraction=hedge_budget,
+                    delay_floor_ms=15.0,
+                    delay_multiplier=4.0,
+                ),
+                sweep_mix,
+                connections,
+            )
+        )
+
+    # The budget denominator is *eligible* requests, and only
+    # interactive ones are eligible here — so a class-local budget of
+    # 0.35 still bounds fired hedges at 0.35 x the interactive share
+    # (0.4) = 14% of all traffic. The higher local budget is the point:
+    # every stalled interactive request can buy out of the tail while
+    # batch/background keep it. The run doubles the fault rate so the
+    # unhedged classes' p95 is robustly stall-dominated (at the sweep
+    # rate a class's 95th sample sits right on the stall boundary and
+    # the ordering would be a coin flip).
+    priority_rate = max_rate * 2
+    priority_run = drive(
+        f"hedge-interactive@{priority_rate:g}",
+        priority_rate,
+        HedgePolicy(
+            threshold_percentile=50.0,
+            min_samples=8,
+            window=64,
+            budget_fraction=0.35,
+            delay_floor_ms=15.0,
+            delay_multiplier=4.0,
+            priorities=("interactive",),
+        ),
+        LoadMix(
+            priority_weights={
+                "interactive": 0.4, "batch": 0.4, "background": 0.2
+            },
+            bypass_cache=True,
+        ),
+        connections,
+    )
+
+    overload_run = drive(
+        "overload",
+        0.0,
+        None,
+        sweep_mix,
+        overload_connections,
+        queue_limit=overload_queue_limit,
+    )
+
+    by_run = {run["run"]: run for run in runs}
+    unhedged = by_run[f"no-hedge@{max_rate}"]
+    hedged = by_run[f"hedge@{max_rate}"]
+    p99_unhedged = unhedged["overall"]["latency"]["p99_ms"]
+    p99_hedged = hedged["overall"]["latency"]["p99_ms"]
+    fire_rate = hedged["hedging"]["fire_rate"]
+    result.notes.append(
+        f"at fault rate {max_rate}: hedging p99 {p99_hedged:.2f}ms vs "
+        f"{p99_unhedged:.2f}ms unhedged "
+        f"({p99_hedged / p99_unhedged:.2f}x, gate < 1) firing on "
+        f"{fire_rate:.1%} of requests (gate <= 15%); interactive-only "
+        "hedging p95 "
+        f"{priority_run['priority']['interactive']['latency']['p95_ms']:.2f}"
+        "ms vs batch "
+        f"{priority_run['priority']['batch']['latency']['p95_ms']:.2f}ms."
+    )
+    result.notes.append(
+        "overload: interactive availability "
+        f"{overload_run['priority']['interactive']['availability']:.4f} "
+        f"with shed by class {overload_run['shed_by_class']}."
+    )
+    if json_path:
+        with open(json_path, "w") as handle:
+            json.dump(
+                {
+                    "scale": scale,
+                    "requests": requests,
+                    "warmup": warmup,
+                    "connections": connections,
+                    "fault_rates": fault_rates,
+                    "hedge_budget": hedge_budget,
+                    "runs": runs,
+                    "priority_run": priority_run,
+                    "overload_run": overload_run,
+                    "p99_unhedged_at_max_rate": p99_unhedged,
+                    "p99_hedged_at_max_rate": p99_hedged,
+                    "hedge_fire_rate_at_max_rate": fire_rate,
+                    "availability_at_max_rate": hedged["overall"][
+                        "availability"
+                    ],
                 },
                 handle,
                 indent=2,
@@ -1969,6 +2353,10 @@ def run_all(quick: bool = False) -> list[ExperimentResult]:
             e17_fragments(scale=2, rounds=3, repeats=1, row_counts=[1, 4]),
             e18_sharding(
                 scale=4, rounds=4, repeats=3, shard_counts=[1, 2],
+                fault_rates=[0.2],
+            ),
+            e19_frontend(
+                scale=1, requests=120, warmup=24, fault_rates=[0.0, 0.1],
             ),
         ]
     return [
@@ -1989,5 +2377,6 @@ def run_all(quick: bool = False) -> list[ExperimentResult]:
         e15_incremental(),
         e16_resilience(),
         e17_fragments(),
-        e18_sharding(replicas=1),
+        e18_sharding(replicas=1, fault_rates=[0.2]),
+        e19_frontend(),
     ]

@@ -35,10 +35,11 @@ from repro.resilience.faults import (
     FaultSpec,
     FaultyEngine,
 )
-from repro.resilience.policy import Deadline, ResiliencePolicy
+from repro.resilience.policy import CancelToken, Deadline, ResiliencePolicy
 
 __all__ = [
     "BREAKER_STATES",
+    "CancelToken",
     "CircuitBreaker",
     "Deadline",
     "FaultPlan",

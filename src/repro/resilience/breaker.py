@@ -11,10 +11,11 @@ classic three-state machine:
 * **open** — requests short-circuit immediately (the server falls back
   to a degraded-stale response or errors) until ``cooldown_ms``
   elapses.
-* **half-open** — after the cooldown, trial requests are admitted
-  (bounded in practice by the server's worker count); the first
-  success closes the circuit, the first failure re-opens it and
-  restarts the cooldown.
+* **half-open** — after the cooldown, up to ``half_open_max``
+  concurrent trial probes are admitted (further requests keep
+  short-circuiting until a trial resolves); the first success closes
+  the circuit, the first failure re-opens it and restarts the
+  cooldown.
 
 One breaker instance guards all keys (it lives on the
 :class:`~repro.serving.plan_cache.PlanCache`, which already speaks
@@ -37,12 +38,16 @@ BREAKER_STATES = ("closed", "open", "half-open")
 class _Circuit:
     """Mutable per-key state (guarded by the registry lock)."""
 
-    __slots__ = ("state", "consecutive_failures", "opened_at")
+    __slots__ = ("state", "consecutive_failures", "opened_at", "trials")
 
     def __init__(self) -> None:
         self.state = "closed"
         self.consecutive_failures = 0
         self.opened_at = 0.0
+        #: Half-open trial probes currently in flight (admitted by
+        #: :meth:`CircuitBreaker.allow`, resolved by the next
+        #: ``record_success``/``record_failure`` for the key).
+        self.trials = 0
 
 
 class CircuitBreaker:
@@ -53,13 +58,19 @@ class CircuitBreaker:
         threshold: int,
         cooldown_ms: float = 1000.0,
         clock: Callable[[], float] = time.monotonic,
+        half_open_max: int = 1,
     ):
         if threshold < 1:
             raise ValueError(f"threshold must be >= 1, got {threshold}")
         if cooldown_ms <= 0:
             raise ValueError(f"cooldown_ms must be > 0, got {cooldown_ms}")
+        if half_open_max < 1:
+            raise ValueError(
+                f"half_open_max must be >= 1, got {half_open_max}"
+            )
         self.threshold = threshold
         self.cooldown_ms = cooldown_ms
+        self.half_open_max = half_open_max
         self._clock = clock
         self._lock = threading.Lock()
         self._circuits: dict[str, _Circuit] = {}
@@ -81,21 +92,29 @@ class CircuitBreaker:
 
         Open circuits refuse (counted as a short-circuit) until the
         cooldown elapses, at which point the circuit half-opens and
-        admits trial requests. The check itself has no outcome to
-        report — callers must follow up with :meth:`record_success` or
-        :meth:`record_failure` after the attempt, and the first failed
-        trial re-opens the circuit (restarting the cooldown) while the
-        first success closes it.
+        admits up to ``half_open_max`` concurrent trial probes (any
+        further request short-circuits until a probe resolves). The
+        check itself has no outcome to report — callers must follow up
+        with :meth:`record_success` or :meth:`record_failure` after the
+        attempt, and the first failed trial re-opens the circuit
+        (restarting the cooldown) while the first success closes it.
         """
         with self._lock:
             circuit = self._circuits.get(key)
-            if circuit is None or circuit.state != "open":
+            if circuit is None or circuit.state == "closed":
                 return True
+            if circuit.state == "half-open":
+                if circuit.trials < self.half_open_max:
+                    circuit.trials += 1
+                    return True
+                self.short_circuits += 1
+                return False
             elapsed_ms = (self._clock() - circuit.opened_at) * 1000.0
             if elapsed_ms < self.cooldown_ms:
                 self.short_circuits += 1
                 return False
             circuit.state = "half-open"
+            circuit.trials = 1
             self.half_opened += 1
             return True
 
@@ -116,22 +135,28 @@ class CircuitBreaker:
             circuit = self._circuits.get(key)
             if circuit is None:
                 return
+            if circuit.state == "half-open" and circuit.trials > 0:
+                circuit.trials -= 1
             if circuit.state != "closed":
                 self.closed += 1
             circuit.state = "closed"
             circuit.consecutive_failures = 0
+            circuit.trials = 0
 
     def record_failure(self, key: str) -> None:
         """A compile/eval attempt for ``key`` failed."""
         with self._lock:
             circuit = self._circuit(key)
             circuit.consecutive_failures += 1
+            if circuit.state == "half-open" and circuit.trials > 0:
+                circuit.trials -= 1
             if circuit.state == "half-open" or (
                 circuit.state == "closed"
                 and circuit.consecutive_failures >= self.threshold
             ):
                 circuit.state = "open"
                 circuit.opened_at = self._clock()
+                circuit.trials = 0
                 self.opened += 1
 
     # -- introspection -------------------------------------------------------
@@ -151,6 +176,10 @@ class CircuitBreaker:
             return {
                 "threshold": self.threshold,
                 "cooldown_ms": self.cooldown_ms,
+                "half_open_max": self.half_open_max,
+                "half_open_trials": sum(
+                    c.trials for c in self._circuits.values()
+                ),
                 "opened": self.opened,
                 "closed": self.closed,
                 "half_opened": self.half_opened,

@@ -32,11 +32,12 @@ open (or any exhausted failure) is an error.
 from __future__ import annotations
 
 import random
+import threading
 import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
-from repro.errors import DeadlineExceeded, ReproError
+from repro.errors import DeadlineExceeded, ReproError, RequestCancelled
 
 
 @dataclass(frozen=True)
@@ -56,6 +57,10 @@ class ResiliencePolicy:
     breaker_threshold: int = 0
     #: How long an open breaker waits before allowing a half-open trial.
     breaker_cooldown_ms: float = 1000.0
+    #: Concurrent trial probes admitted while a circuit is half-open.
+    #: 1 is the classic single-trial behaviour; a larger budget lets a
+    #: busy plan re-close faster without a full thundering herd.
+    breaker_half_open_max: int = 1
     #: Requests admitted beyond the worker count before shedding
     #: (``None`` = unbounded queue, the pre-resilience behaviour).
     queue_limit: Optional[int] = None
@@ -81,6 +86,11 @@ class ResiliencePolicy:
             raise ReproError(
                 f"breaker_cooldown_ms must be > 0, "
                 f"got {self.breaker_cooldown_ms}"
+            )
+        if self.breaker_half_open_max < 1:
+            raise ReproError(
+                f"breaker_half_open_max must be >= 1, "
+                f"got {self.breaker_half_open_max}"
             )
         if self.queue_limit is not None and self.queue_limit < 0:
             raise ReproError(
@@ -115,26 +125,115 @@ class ResiliencePolicy:
         return " ".join(parts)
 
 
+class CancelToken:
+    """A thread-safe cooperative cancellation handle.
+
+    The async front end hands one to each serving attempt it may later
+    abandon (the losing half of a hedged request pair). Cancellation is
+    observed at the same points as deadlines — the engine's
+    ``cancel_check`` hook at query boundaries via
+    :meth:`Deadline.check` — and, for statements already running,
+    through callbacks registered with :meth:`on_cancel` (the serving
+    layer registers the borrowed connection's ``interrupt``).
+    """
+
+    __slots__ = ("_lock", "_cancelled", "_reason", "_callbacks")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._cancelled = False
+        self._reason = ""
+        self._callbacks: list[Callable[[], None]] = []
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._cancelled
+
+    @property
+    def reason(self) -> str:
+        """The reason passed to :meth:`cancel` (empty until then)."""
+        return self._reason
+
+    def cancel(self, reason: str = "") -> bool:
+        """Cancel the attempt; fires registered callbacks exactly once.
+
+        Returns ``True`` on the first call, ``False`` if already
+        cancelled. Callbacks run outside the lock and must not raise
+        (failures are swallowed — cancellation is best-effort beyond
+        the cooperative check).
+        """
+        with self._lock:
+            if self._cancelled:
+                return False
+            self._cancelled = True
+            self._reason = reason
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            try:
+                callback()
+            except Exception:
+                pass
+        return True
+
+    def on_cancel(self, callback: Callable[[], None]) -> None:
+        """Register ``callback`` to fire on cancel (immediately if past)."""
+        with self._lock:
+            if not self._cancelled:
+                self._callbacks.append(callback)
+                return
+        try:
+            callback()
+        except Exception:
+            pass
+
+    def remove_callback(self, callback: Callable[[], None]) -> None:
+        """Deregister a callback registered with :meth:`on_cancel`."""
+        with self._lock:
+            try:
+                self._callbacks.remove(callback)
+            except ValueError:
+                pass
+
+    def check(self) -> None:
+        """Cooperative cancellation point: raise once cancelled."""
+        if self._cancelled:
+            raise RequestCancelled(self._reason)
+
+
 class Deadline:
     """A monotonic time budget with cooperative check points.
 
     ``Deadline.start(None)`` returns an unbounded deadline whose checks
     are free no-ops, so callers never branch on "is there a deadline".
+    An optional :class:`CancelToken` rides along: every deadline check
+    point doubles as a cancellation check point, so the serving layer's
+    existing cooperative-cancellation plumbing (the engine's
+    ``cancel_check`` hook) observes both without new call sites.
     """
 
-    __slots__ = ("budget_ms", "_started", "_clock")
+    __slots__ = ("budget_ms", "token", "_started", "_clock")
 
     def __init__(
-        self, budget_ms: Optional[float], clock=time.monotonic
+        self,
+        budget_ms: Optional[float],
+        clock=time.monotonic,
+        token: Optional[CancelToken] = None,
     ):
         self.budget_ms = budget_ms
+        self.token = token
         self._clock = clock
         self._started = clock()
 
     @classmethod
-    def start(cls, budget_ms: Optional[float], clock=time.monotonic):
+    def start(
+        cls,
+        budget_ms: Optional[float],
+        clock=time.monotonic,
+        token: Optional[CancelToken] = None,
+    ):
         """Begin a deadline now; ``None`` budget means unbounded."""
-        return cls(budget_ms, clock)
+        return cls(budget_ms, clock, token=token)
 
     def elapsed_ms(self) -> float:
         """Milliseconds since the deadline started."""
@@ -157,7 +256,11 @@ class Deadline:
         This is what the serving layer installs as the engine's
         ``cancel_check`` hook — every query boundary (and, through the
         evaluators' row loops issuing child queries, effectively every
-        row boundary) passes through it.
+        row boundary) passes through it. A cancelled token raises
+        :class:`~repro.errors.RequestCancelled` first: an abandoned
+        attempt stops even when its time budget is still healthy.
         """
+        if self.token is not None:
+            self.token.check()
         if self.expired:
             raise DeadlineExceeded(self.budget_ms, self.elapsed_ms())

@@ -29,6 +29,7 @@ from repro.serving.server import (
     DELTA_FALLBACK_REASONS,
     FRESHNESS_STATES,
     OUTCOMES,
+    PRIORITIES,
     PublishRequest,
     RequestTrace,
     ViewServer,
@@ -41,6 +42,7 @@ __all__ = [
     "DELTA_FALLBACK_REASONS",
     "FRESHNESS_STATES",
     "OUTCOMES",
+    "PRIORITIES",
     "PlanCache",
     "PublishRequest",
     "RequestTrace",

@@ -59,12 +59,17 @@ import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional
 
+# Canonical percentile machinery lives in repro.harness.reporting so
+# every harness/CLI surface (E13-E19, serve-bench, load-bench) computes
+# latency summaries identically; re-exported here for compatibility.
+from repro.harness.reporting import percentile  # noqa: F401
 from repro.errors import (
     CircuitOpen,
     DeadlineExceeded,
     ReproError,
+    RequestCancelled,
     RequestRejected,
     classify_error,
 )
@@ -127,8 +132,26 @@ FRESHNESS_STATES = (
 #: ``degraded`` — served last-known-good bytes after a failure;
 #: ``rejected`` — shed by admission control or breaker with no fallback;
 #: ``deadline`` — the request's time budget expired with no fallback;
+#: ``cancelled`` — the caller abandoned the attempt (hedged-request
+#: loser); intentional, so it feeds neither errors nor the breaker;
 #: ``error`` — computation failed with no fallback.
-OUTCOMES = ("success", "degraded", "rejected", "deadline", "error")
+OUTCOMES = ("success", "degraded", "rejected", "deadline", "cancelled", "error")
+
+#: Request priority classes, in admission order. Admission control
+#: sheds ``background`` first and ``interactive`` last: with a
+#: resilience ``queue_limit`` of L and W workers, interactive requests
+#: are admitted until the hard limit (W + L in flight), batch until
+#: W + 2L/3, background until W + L/3 — so under overload the
+#: best-effort tiers absorb the shedding while interactive traffic
+#: keeps its full queue.
+PRIORITIES = ("interactive", "batch", "background")
+
+#: Fraction of the queue headroom each priority class may consume.
+PRIORITY_ADMISSION_FRACTIONS = {
+    "interactive": 1.0,
+    "batch": 2.0 / 3.0,
+    "background": 1.0 / 3.0,
+}
 
 #: Reasons a delta maintenance attempt fell back to full recomputation,
 #: in the order metrics report them (see ``delta_fallbacks_by_reason``).
@@ -164,6 +187,15 @@ class PublishRequest:
     #: the response is always computed from live data. Traces record it
     #: as ``freshness="bypass"``.
     bypass_cache: bool = False
+    #: Admission priority class — one of :data:`PRIORITIES`. Under a
+    #: resilience ``queue_limit``, lower classes are shed earlier (see
+    #: :data:`PRIORITY_ADMISSION_FRACTIONS`).
+    priority: str = "interactive"
+    #: Cooperative cancellation handle
+    #: (:class:`~repro.resilience.policy.CancelToken`). The async front
+    #: end cancels hedged-request losers through it; cancelled requests
+    #: resolve with ``outcome="cancelled"``.
+    cancel: Optional[object] = None
 
 
 @dataclass
@@ -228,6 +260,8 @@ class RequestTrace:
     #: means last-known-good cached bytes were served after a failure
     #: (the cause is in ``degraded_cause``, ``error`` stays ``None``).
     outcome: str = "success"
+    #: Admission priority class the request carried.
+    priority: str = "interactive"
     #: Transient-failure retries this request performed (resilience).
     retries: int = 0
     #: On a ``degraded`` outcome: the failure the fallback absorbed.
@@ -269,6 +303,7 @@ class RequestTrace:
             "attributes_created": self.attributes_created,
             "fallback_nodes": self.fallback_nodes,
             "outcome": self.outcome,
+            "priority": self.priority,
             "retries": self.retries,
             "degraded_cause": self.degraded_cause,
             "worker": self.worker,
@@ -277,25 +312,6 @@ class RequestTrace:
         if include_xml:
             record["xml"] = self.xml
         return record
-
-
-def percentile(values: Sequence[float], q: float) -> float:
-    """The ``q``-th percentile (0..100) by linear interpolation.
-
-    Small helper shared by ``serve-bench`` and experiment E13 so latency
-    percentiles are computed identically everywhere; returns 0.0 for an
-    empty sequence.
-    """
-    if not values:
-        return 0.0
-    ordered = sorted(values)
-    if len(ordered) == 1:
-        return ordered[0]
-    rank = (len(ordered) - 1) * (q / 100.0)
-    low = int(rank)
-    high = min(low + 1, len(ordered) - 1)
-    fraction = rank - low
-    return ordered[low] + (ordered[high] - ordered[low]) * fraction
 
 
 class ViewServer:
@@ -353,6 +369,7 @@ class ViewServer:
             breaker = CircuitBreaker(
                 resilience.breaker_threshold,
                 cooldown_ms=resilience.breaker_cooldown_ms,
+                half_open_max=resilience.breaker_half_open_max,
             )
         self.plan_cache = PlanCache(cache_capacity, breaker=breaker)
         self.pool = ConnectionPool(
@@ -371,7 +388,13 @@ class ViewServer:
         self._deadline_hits = 0
         self._shed_requests = 0
         self._degraded_serves = 0
+        self._cancelled_requests = 0
         self._outcome_counts = {outcome: 0 for outcome in OUTCOMES}
+        self._priority_outcomes = {
+            priority: {outcome: 0 for outcome in OUTCOMES}
+            for priority in PRIORITIES
+        }
+        self._priority_shed = {priority: 0 for priority in PRIORITIES}
         self._closed = False
         # -- update awareness (repro.maintenance). With a tracker the
         # server memoizes serialized responses in a ResultCache and
@@ -415,6 +438,22 @@ class ViewServer:
 
     # -- request API ---------------------------------------------------------
 
+    def admission_limit(self, priority: str) -> Optional[int]:
+        """Max in-flight requests before ``priority`` traffic is shed.
+
+        ``None`` means unbounded (no resilience policy or no
+        ``queue_limit``). Interactive requests keep the full
+        ``workers + queue_limit`` budget — the pre-priority behaviour —
+        while batch and background get progressively smaller slices of
+        the queue headroom (:data:`PRIORITY_ADMISSION_FRACTIONS`), so
+        they are shed first under overload.
+        """
+        policy = self.resilience
+        if policy is None or policy.queue_limit is None:
+            return None
+        fraction = PRIORITY_ADMISSION_FRACTIONS[priority]
+        return self.workers + int(policy.queue_limit * fraction)
+
     def submit(self, request: PublishRequest) -> "Future[RequestTrace]":
         """Enqueue a request; returns a future resolving to its trace.
 
@@ -423,7 +462,11 @@ class ViewServer:
         be in flight (queued or executing). Excess requests are *shed*
         — the future resolves immediately to a trace with
         ``outcome="rejected"`` (the 503 analogue) instead of piling
-        onto a saturated executor.
+        onto a saturated executor. Shedding is priority-aware: the
+        request's :attr:`~PublishRequest.priority` class picks its
+        admission limit (:meth:`admission_limit`), so ``background``
+        traffic sheds first and ``interactive`` is never shed before
+        the hard limit.
         """
         if self._closed:
             raise RuntimeError("server is closed")
@@ -432,18 +475,21 @@ class ViewServer:
                 f"unknown strategy {request.strategy!r} "
                 f"(expected one of {', '.join(STRATEGIES)})"
             )
-        policy = self.resilience
+        if request.priority not in PRIORITIES:
+            raise ReproError(
+                f"unknown priority {request.priority!r} "
+                f"(expected one of {', '.join(PRIORITIES)})"
+            )
+        limit = self.admission_limit(request.priority)
         with self._lock:
             request_id = self._next_request_id
             self._next_request_id += 1
-            if (
-                policy is not None
-                and policy.queue_limit is not None
-                and self._inflight >= self.workers + policy.queue_limit
-            ):
+            if limit is not None and self._inflight >= limit:
                 self._shed_requests += 1
+                self._priority_shed[request.priority] += 1
                 self.requests_served += 1
                 self._outcome_counts["rejected"] += 1
+                self._priority_outcomes[request.priority]["rejected"] += 1
                 self._freshness_counts["bypass"] += 1
                 trace = RequestTrace(
                     request_id=request_id,
@@ -451,12 +497,13 @@ class ViewServer:
                     strategy=request.strategy,
                     cache_hit=False,
                     plan_key="",
+                    priority=request.priority,
                     outcome="rejected",
                     error=str(
                         RequestRejected(
                             f"request shed: {self._inflight} in flight >= "
-                            f"{self.workers} workers + "
-                            f"{policy.queue_limit} queued"
+                            f"limit {limit} for priority "
+                            f"{request.priority}"
                         )
                     ),
                 )
@@ -746,15 +793,20 @@ class ViewServer:
         """Enforce ``deadline`` on one borrowed session.
 
         Cooperative: the engine's ``cancel_check`` hook raises
-        :class:`DeadlineExceeded` at the next query boundary. Hard: a
+        :class:`DeadlineExceeded` (or
+        :class:`~repro.errors.RequestCancelled` when the deadline
+        carries a cancelled token) at the next query boundary. Hard: a
         timer calls ``connection.interrupt()`` when the budget expires
-        mid-statement, surfacing as a (transient-classified)
-        ``interrupted`` error that the retry loop converts back into a
-        deadline failure via the expired-budget check. The timer is
-        disarmed before the session returns to the pool so it can never
-        interrupt the next borrower.
+        mid-statement — and a cancel-token callback does the same the
+        moment the token fires — surfacing as a (transient-classified)
+        ``interrupted`` error that the retry loop converts back into
+        the real failure via the expired-budget / cancelled-token
+        check. Timer and callback are disarmed before the session
+        returns to the pool so they can never interrupt the next
+        borrower.
         """
-        if deadline.budget_ms is None:
+        token = deadline.token
+        if deadline.budget_ms is None and token is None:
             yield
             return
         db.cancel_check = deadline.check
@@ -768,16 +820,23 @@ class ViewServer:
                 except Exception:
                     pass
 
-        timer = threading.Timer(
-            (deadline.remaining_ms() or 0.0) / 1000.0, hard_cutoff
-        )
-        timer.daemon = True
-        timer.start()
+        timer = None
+        if deadline.budget_ms is not None:
+            timer = threading.Timer(
+                (deadline.remaining_ms() or 0.0) / 1000.0, hard_cutoff
+            )
+            timer.daemon = True
+            timer.start()
+        if token is not None:
+            token.on_cancel(hard_cutoff)
         try:
             yield
         finally:
             armed.pop("connection", None)
-            timer.cancel()
+            if timer is not None:
+                timer.cancel()
+            if token is not None:
+                token.remove_callback(hard_cutoff)
             db.cancel_check = None
 
     def _serialize_response(
@@ -883,11 +942,13 @@ class ViewServer:
             strategy=request.strategy,
             cache_hit=False,
             plan_key="",
+            priority=request.priority,
             worker=threading.current_thread().name,
         )
         policy = self.resilience
         deadline = Deadline.start(
-            policy.deadline_ms if policy is not None else None
+            policy.deadline_ms if policy is not None else None,
+            token=request.cancel,
         )
         result_key = ""
         try:
@@ -906,6 +967,7 @@ class ViewServer:
             self.requests_served += 1
             self._freshness_counts[trace.freshness] += 1
             self._outcome_counts[trace.outcome] += 1
+            self._priority_outcomes[trace.priority][trace.outcome] += 1
             self._inflight -= 1
         return trace
 
@@ -918,6 +980,11 @@ class ViewServer:
         started: float,
         deadline: Deadline,
     ) -> None:
+        if request.cancel is not None:
+            # A request cancelled while still queued (a hedged loser
+            # whose sibling already answered) must not burn a worker
+            # on plan or cache work it will throw away.
+            request.cancel.check()
         breaker = self.plan_cache.breaker
         # Gate compilation: an open breaker must not trigger a compile
         # storm for a plan that keeps failing. Resident plans skip this
@@ -1030,12 +1097,15 @@ class ViewServer:
                     deadline,
                 )
             except Exception as exc:
-                if breaker is not None and not isinstance(exc, CircuitOpen):
+                if breaker is not None and not isinstance(
+                    exc, (CircuitOpen, RequestCancelled)
+                ):
                     breaker.record_failure(key)
-                # An interrupt fired by the deadline timer surfaces as a
-                # transient 'interrupted' error; the expired budget is
-                # the real failure, so re-raise it as such.
-                if not isinstance(exc, DeadlineExceeded):
+                # An interrupt fired by the deadline timer (or a cancel
+                # token) surfaces as a transient 'interrupted' error;
+                # the expired budget / cancellation is the real
+                # failure, so re-raise it as such.
+                if not isinstance(exc, (DeadlineExceeded, RequestCancelled)):
                     deadline.check()
                 kind = classify_error(exc)
                 budget = policy.retries if policy is not None else 0
@@ -1067,10 +1137,11 @@ class ViewServer:
         deadline: Deadline,
     ) -> None:
         """One full-plan evaluation attempt (the pre-resilience path)."""
-        if use_result_cache:
-            # Recomputation must read data at least as fresh
-            # as the version stamp it publishes.
-            self._sync()
+        # Recomputation must read data at least as fresh as the version
+        # stamp it publishes — and a bypass_cache request promises live
+        # data outright, so the pool syncs on every full execution (a
+        # clock comparison when nothing changed).
+        self._sync()
         capture: Optional[dict] = (
             {}
             if use_result_cache and self.maintenance in ("delta", "fragment")
@@ -1159,6 +1230,15 @@ class ViewServer:
     ) -> None:
         """Classify a request failure and degrade or record the error."""
         kind = classify_error(exc)
+        if kind == "cancelled":
+            # Intentional abandonment (hedged loser): no degraded
+            # fallback — the winning attempt serves the response — and
+            # no error count; the trace records why it stopped.
+            trace.outcome = "cancelled"
+            trace.error = str(exc)
+            with self._lock:
+                self._cancelled_requests += 1
+            return
         if kind == "deadline":
             trace.outcome = "deadline"
             with self._lock:
@@ -1217,6 +1297,12 @@ class ViewServer:
             deadline_hits = self._deadline_hits
             shed_requests = self._shed_requests
             degraded_serves = self._degraded_serves
+            cancelled_requests = self._cancelled_requests
+            priority_outcomes = {
+                priority: dict(counts)
+                for priority, counts in self._priority_outcomes.items()
+            }
+            priority_shed = dict(self._priority_shed)
         metrics = {
             "requests_served": requests_served,
             "errors": errors,
@@ -1224,6 +1310,15 @@ class ViewServer:
             "cache": self.plan_cache.stats(),
             "freshness": freshness,
             "outcomes": outcomes,
+            "cancelled": cancelled_requests,
+            "priority": {
+                priority: {
+                    "outcomes": priority_outcomes[priority],
+                    "shed": priority_shed[priority],
+                    "admission_limit": self.admission_limit(priority),
+                }
+                for priority in PRIORITIES
+            },
             "queries_executed": aggregate.queries_executed,
             "rows_fetched": aggregate.rows_fetched,
         }

@@ -300,6 +300,19 @@ class ShardRouter:
             self._next_request_id += 1
         return self._executor.submit(self._serve, request, request_id)
 
+    async def submit_async(self, request: PublishRequest) -> RouterTrace:
+        """Awaitable scatter entry point for the asyncio front end.
+
+        Bridges the scatter executor's future onto the running event
+        loop; the caller's coroutine suspends while the fleet serves.
+        (The HTTP tier normally goes through
+        :class:`~repro.frontend.facade.AsyncViewServer`, which adds
+        hedging on top of this same bridge.)
+        """
+        import asyncio
+
+        return await asyncio.wrap_future(self.submit(request))
+
     def render(
         self,
         view: SchemaTreeQuery,

@@ -1,0 +1,182 @@
+"""HedgePolicy / RollingLatency / HedgeController unit tests.
+
+The controller is the loop-agnostic half of hedging: it owns the
+rolling per-plan latency windows, the trigger arithmetic, and the
+global fire budget. The facade trusts it completely, so the boundaries
+— min_samples, floor/cap clamping, and the atomic budget claim — are
+pinned here.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ReproError
+from repro.frontend import HedgeController, HedgePolicy, RollingLatency
+
+
+class TestHedgePolicy:
+    def test_defaults_are_valid(self):
+        policy = HedgePolicy()
+        assert policy.threshold_percentile == 95.0
+        assert policy.priorities == ("interactive", "batch", "background")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"threshold_percentile": 0.0},
+            {"threshold_percentile": 101.0},
+            {"min_samples": 0},
+            {"window": 4, "min_samples": 8},
+            {"delay_floor_ms": -1.0},
+            {"delay_cap_ms": 0.0},
+            {"delay_multiplier": 0.0},
+            {"budget_fraction": 1.5},
+            {"budget_fraction": -0.1},
+            {"priorities": ()},
+            {"priorities": ("interactive", "urgent")},
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ReproError):
+            HedgePolicy(**kwargs)
+
+    def test_describe_mentions_the_knobs(self):
+        text = HedgePolicy(budget_fraction=0.25).describe()
+        assert "p95" in text
+        assert "0.25" in text
+
+
+class TestRollingLatency:
+    def test_no_estimate_below_min_samples(self):
+        window = RollingLatency(window=8)
+        for value in (1.0, 2.0, 3.0):
+            window.record(value)
+        assert window.estimate(95.0, min_samples=4) is None
+        window.record(4.0)
+        assert window.estimate(95.0, min_samples=4) is not None
+
+    def test_window_evicts_oldest(self):
+        window = RollingLatency(window=4)
+        for value in (100.0, 100.0, 100.0, 100.0):
+            window.record(value)
+        # Four fresh fast samples push every slow one out.
+        for value in (1.0, 1.0, 1.0, 1.0):
+            window.record(value)
+        assert window.estimate(95.0, min_samples=4) == pytest.approx(1.0)
+
+    def test_median_is_robust_to_tail_pollution(self):
+        window = RollingLatency(window=20)
+        for _ in range(16):
+            window.record(2.0)
+        for _ in range(4):  # 20% stall pollution
+            window.record(40.0)
+        assert window.estimate(50.0, min_samples=8) == pytest.approx(2.0)
+
+
+class TestHedgeController:
+    def policy(self, **kwargs):
+        defaults = dict(
+            threshold_percentile=50.0,
+            min_samples=2,
+            window=8,
+            budget_fraction=0.5,
+            delay_floor_ms=1.0,
+            delay_cap_ms=100.0,
+        )
+        defaults.update(kwargs)
+        return HedgePolicy(**defaults)
+
+    def test_no_estimate_counts_and_returns_none(self):
+        controller = HedgeController(self.policy())
+        assert controller.delay_ms("plan") is None
+        assert controller.stats()["no_estimate"] == 1
+        assert controller.stats()["requests_seen"] == 1
+
+    def test_delay_clamped_to_floor_and_cap(self):
+        controller = HedgeController(
+            self.policy(delay_floor_ms=10.0, delay_cap_ms=20.0)
+        )
+        for latency in (1.0, 1.0):
+            controller.record_latency("fast", latency)
+        assert controller.delay_ms("fast") == pytest.approx(10.0)
+        for latency in (500.0, 500.0):
+            controller.record_latency("slow", latency)
+        assert controller.delay_ms("slow") == pytest.approx(20.0)
+
+    def test_delay_scales_with_multiplier(self):
+        controller = HedgeController(self.policy(delay_multiplier=3.0))
+        for latency in (4.0, 4.0, 4.0):
+            controller.record_latency("plan", latency)
+        assert controller.delay_ms("plan") == pytest.approx(12.0)
+
+    def test_estimators_are_per_key(self):
+        controller = HedgeController(self.policy())
+        for latency in (2.0, 2.0):
+            controller.record_latency("a", latency)
+        assert controller.delay_ms("a") is not None
+        assert controller.delay_ms("b") is None
+        assert controller.stats()["tracked_plans"] == 2
+
+    def test_try_fire_budget_boundary_is_exact(self):
+        # budget 0.5 of 4 seen requests = 2 hedges, not 3.
+        controller = HedgeController(self.policy(budget_fraction=0.5))
+        for latency in (2.0, 2.0):
+            controller.record_latency("plan", latency)
+        for _ in range(4):
+            controller.delay_ms("plan")
+        assert controller.try_fire()
+        assert controller.try_fire()
+        assert not controller.try_fire()
+        stats = controller.stats()
+        assert stats["fired"] == 2
+        assert stats["budget_denials"] == 1
+        assert stats["fire_rate"] == pytest.approx(0.5)
+
+    def test_zero_budget_never_fires(self):
+        controller = HedgeController(self.policy(budget_fraction=0.0))
+        controller.delay_ms("plan")
+        assert not controller.try_fire()
+
+    def test_try_fire_is_atomic_under_contention(self):
+        # 32 threads race for a budget of exactly 8; the check and the
+        # increment happen in one critical section, so exactly 8 win.
+        controller = HedgeController(self.policy(budget_fraction=0.25))
+        for latency in (2.0, 2.0):
+            controller.record_latency("plan", latency)
+        for _ in range(32):
+            controller.delay_ms("plan")
+        start = threading.Barrier(32)
+        results = []
+
+        def racer():
+            start.wait()
+            results.append(controller.try_fire())
+
+        threads = [threading.Thread(target=racer) for _ in range(32)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sum(results) == 8
+        assert controller.stats()["fired"] == 8
+        assert controller.stats()["budget_denials"] == 24
+
+    def test_stats_rates(self):
+        controller = HedgeController(self.policy())
+        for latency in (2.0, 2.0):
+            controller.record_latency("plan", latency)
+        for _ in range(4):
+            controller.delay_ms("plan")
+        assert controller.try_fire()
+        controller.record_won()
+        assert controller.try_fire()
+        controller.record_cancelled()
+        stats = controller.stats()
+        assert stats["fired"] == 2
+        assert stats["won"] == 1
+        assert stats["cancelled"] == 1
+        assert stats["fire_rate"] == pytest.approx(0.5)
+        assert stats["win_rate"] == pytest.approx(0.5)

@@ -1,0 +1,297 @@
+"""FrontendServer behaviors over real loopback sockets.
+
+Every test speaks actual HTTP/1.1 bytes through asyncio streams —
+no test client shims — because the parser, the keep-alive loop, and
+the drain path ARE the subject under test.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.frontend import build_hotel_app, serve_app
+
+
+@pytest.fixture(scope="module")
+def app_env():
+    app = build_hotel_app(scale=1, workers=2)
+    yield app
+    asyncio.run(app.close())
+
+
+def http_exchange(scenario):
+    """Run an async scenario(server) against a fresh listener.
+
+    Tears the listener down with ``drain`` (not ``close``) so the
+    module-scoped app survives for the next test.
+    """
+
+    async def main(app):
+        server = await serve_app(app)
+        try:
+            return await scenario(server)
+        finally:
+            await server.drain(timeout=5.0)
+
+    return main
+
+
+async def raw_request(server, payload: bytes) -> bytes:
+    """One connection, one raw byte exchange, read to EOF."""
+    host, port = server.address
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(payload)
+    await writer.drain()
+    writer.write_eof()
+    response = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    return response
+
+
+def request_bytes(
+    method: str,
+    path: str,
+    body: bytes = b"",
+    close: bool = False,
+    extra_headers: tuple = (),
+) -> bytes:
+    headers = [f"{method} {path} HTTP/1.1", "Host: test"]
+    if body:
+        headers.append(f"Content-Length: {len(body)}")
+    if close:
+        headers.append("Connection: close")
+    headers.extend(extra_headers)
+    return ("\r\n".join(headers) + "\r\n\r\n").encode() + body
+
+
+def publish_body(view="figure4", **kwargs) -> bytes:
+    payload = {"view": view, "strategy": "nested-loop"}
+    payload.update(kwargs)
+    return json.dumps(payload).encode()
+
+
+def split_response(raw: bytes) -> tuple[int, dict, bytes]:
+    head, _, body = raw.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split(" ")[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(": ")
+        headers[name.lower()] = value
+    return status, headers, body
+
+
+class TestPublish:
+    def test_publish_returns_the_view_bytes(self, app_env):
+        async def scenario(server):
+            raw = await raw_request(
+                server,
+                request_bytes(
+                    "POST", "/publish", publish_body(), close=True
+                ),
+            )
+            status, headers, body = split_response(raw)
+            assert status == 200
+            assert headers["content-type"] == "application/xml"
+            assert headers["x-repro-outcome"] == "success"
+            assert body.lstrip().startswith(b"<")
+            return body
+
+        app = app_env
+        served = asyncio.run(http_exchange(scenario)(app))
+        # byte-identical to an in-process serve of the same request
+        async def direct(app):
+            trace = await app.facade.submit(
+                app.request_for("figure4", "nested-loop", "interactive")
+            )
+            return trace.xml.encode("utf-8")
+
+        assert served == asyncio.run(direct(app))
+
+    def test_unknown_view_is_a_400(self, app_env):
+        async def scenario(server):
+            raw = await raw_request(
+                server,
+                request_bytes(
+                    "POST",
+                    "/publish",
+                    publish_body(view="figure99"),
+                    close=True,
+                ),
+            )
+            status, _, body = split_response(raw)
+            assert status == 400
+            assert b"figure99" in body
+
+        asyncio.run(http_exchange(scenario)(app_env))
+
+    def test_bad_json_is_a_400(self, app_env):
+        async def scenario(server):
+            raw = await raw_request(
+                server,
+                request_bytes(
+                    "POST", "/publish", b"{not json", close=True
+                ),
+            )
+            status, _, _ = split_response(raw)
+            assert status == 400
+
+        asyncio.run(http_exchange(scenario)(app_env))
+
+
+class TestProtocol:
+    def test_keep_alive_serves_many_on_one_connection(self, app_env):
+        async def scenario(server):
+            host, port = server.address
+            reader, writer = await asyncio.open_connection(host, port)
+            for _ in range(3):
+                writer.write(
+                    request_bytes("GET", "/healthz")
+                )
+                await writer.drain()
+                head = await reader.readuntil(b"\r\n\r\n")
+                status, headers, _ = split_response(head)
+                assert status == 200
+                assert headers["connection"] == "keep-alive"
+                body = await reader.readexactly(
+                    int(headers["content-length"])
+                )
+                assert json.loads(body)["status"] == "ok"
+            assert server.open_connections == 1
+            writer.close()
+            await writer.wait_closed()
+
+        asyncio.run(http_exchange(scenario)(app_env))
+
+    def test_connection_close_is_honored(self, app_env):
+        async def scenario(server):
+            raw = await raw_request(
+                server, request_bytes("GET", "/healthz", close=True)
+            )
+            _, headers, _ = split_response(raw)
+            assert headers["connection"] == "close"
+
+        asyncio.run(http_exchange(scenario)(app_env))
+
+    def test_unknown_path_404_and_wrong_method_405(self, app_env):
+        async def scenario(server):
+            raw = await raw_request(
+                server, request_bytes("GET", "/nope", close=True)
+            )
+            assert split_response(raw)[0] == 404
+            raw = await raw_request(
+                server, request_bytes("GET", "/publish", close=True)
+            )
+            assert split_response(raw)[0] == 405
+
+        asyncio.run(http_exchange(scenario)(app_env))
+
+    def test_malformed_request_line_is_a_400(self, app_env):
+        async def scenario(server):
+            raw = await raw_request(server, b"NONSENSE\r\n\r\n")
+            assert split_response(raw)[0] == 400
+            assert server.protocol_errors >= 1
+
+        asyncio.run(http_exchange(scenario)(app_env))
+
+    def test_chunked_bodies_are_rejected(self, app_env):
+        async def scenario(server):
+            payload = (
+                b"POST /publish HTTP/1.1\r\nHost: t\r\n"
+                b"Transfer-Encoding: chunked\r\n\r\n"
+                b"0\r\n\r\n"
+            )
+            raw = await raw_request(server, payload)
+            assert split_response(raw)[0] == 400
+
+        asyncio.run(http_exchange(scenario)(app_env))
+
+    def test_oversized_body_is_a_413(self, app_env):
+        async def scenario(server):
+            payload = (
+                b"POST /publish HTTP/1.1\r\nHost: t\r\n"
+                b"Content-Length: 99999999\r\n\r\n"
+            )
+            raw = await raw_request(server, payload)
+            assert split_response(raw)[0] == 413
+
+        asyncio.run(http_exchange(scenario)(app_env))
+
+
+class TestLifecycle:
+    async def _roundtrip(self, reader, writer):
+        writer.write(request_bytes("GET", "/healthz"))
+        await writer.drain()
+        head = await reader.readuntil(b"\r\n\r\n")
+        status, headers, _ = split_response(head)
+        body = await reader.readexactly(int(headers["content-length"]))
+        return status, json.loads(body)
+
+    def test_draining_connections_get_503_and_close(self, app_env):
+        async def scenario(server):
+            host, port = server.address
+            reader, writer = await asyncio.open_connection(host, port)
+            status, health = await self._roundtrip(reader, writer)
+            assert status == 200 and health["status"] == "ok"
+            # Flip the drain flag without tearing sockets down yet: a
+            # parked keep-alive connection that speaks mid-drain must
+            # be refused with 503 and closed.
+            server._draining = True
+            writer.write(request_bytes("GET", "/healthz"))
+            await writer.drain()
+            rest = await reader.read()  # to EOF: server closed it
+            assert split_response(rest)[0] == 503
+            writer.close()
+            await writer.wait_closed()
+
+        asyncio.run(http_exchange(scenario)(app_env))
+
+    def test_drain_zeroes_sockets_and_stops_accepting(self, app_env):
+        async def scenario(server):
+            host, port = server.address
+            # Park a keep-alive connection, then drain under it.
+            reader, writer = await asyncio.open_connection(host, port)
+            status, _ = await self._roundtrip(reader, writer)
+            assert status == 200
+            assert server.open_connections == 1
+            assert await server.drain(timeout=5.0)
+            # The parked socket is force-closed by the drain.
+            assert await reader.read() == b""
+            writer.close()
+            await writer.wait_closed()
+            for _ in range(100):
+                if server.open_connections == 0:
+                    break
+                await asyncio.sleep(0.01)
+            assert server.open_connections == 0
+            # And the listener no longer accepts new connections.
+            with pytest.raises(OSError):
+                await asyncio.open_connection(host, port)
+
+        asyncio.run(http_exchange(scenario)(app_env))
+
+    def test_metrics_exposes_hedging_and_priority_sections(self):
+        from repro.frontend import HedgePolicy
+
+        async def scenario(server):
+            raw = await raw_request(
+                server, request_bytes("GET", "/metrics", close=True)
+            )
+            status, _, body = split_response(raw)
+            assert status == 200
+            report = json.loads(body)
+            assert "hedging" in report
+            assert report["hedging"]["policy"]
+            assert "priority" in report
+            for cls in ("interactive", "batch", "background"):
+                assert "shed" in report["priority"][cls]
+
+        app = build_hotel_app(scale=1, workers=2, hedge=HedgePolicy())
+        try:
+            asyncio.run(http_exchange(scenario)(app))
+        finally:
+            asyncio.run(app.close())

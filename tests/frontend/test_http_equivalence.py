@@ -1,0 +1,156 @@
+"""HTTP front-door differential suite.
+
+The contract under test: bytes served over the socket by ``POST
+/publish`` are identical to what an independently-built in-process
+:class:`ViewServer` produces for the same view, strategy, maintenance
+mode, and write history. The app side ages its caches through the HTTP
+``/write`` hook and serves between writes (so delta/fragment
+maintenance actually runs); the reference side replays the same writes
+on its own database and recomputes. Any divergence — in the HTTP
+parsing, the JSON→request translation, the facade bridging, or the
+maintenance machinery — shows up as a byte mismatch.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.frontend import build_hotel_app, serve_app
+from repro.maintenance import MAINTENANCE_MODES, WriteTracker
+from repro.maintenance.workload import hotel_write
+from repro.schema_tree.evaluator import STRATEGIES
+from repro.serving import PublishRequest, ViewServer
+from repro.workloads.hotel import HotelDataSpec, build_hotel_database
+from repro.workloads.paper import (
+    figure1_view,
+    figure4_stylesheet,
+    figure17_stylesheet,
+)
+
+VIEWS = ("figure1", "figure4", "figure17")
+
+
+class Reference:
+    """The in-process half: same data, same writes, own ViewServer."""
+
+    def __init__(self, maintenance: str):
+        self.db = build_hotel_database(
+            HotelDataSpec().scaled(1), cross_thread=True
+        )
+        tracker = WriteTracker()
+        self.db.attach_tracker(tracker, auto=True)
+        self.server = ViewServer(
+            self.db.catalog,
+            source=self.db,
+            workers=2,
+            keep_xml=True,
+            tracker=tracker,
+            staleness="strict",
+            maintenance=maintenance,
+        )
+        view = figure1_view(self.db.catalog)
+        self.entries = {
+            "figure1": (view, None),
+            "figure4": (view, figure4_stylesheet()),
+            "figure17": (view, figure17_stylesheet()),
+        }
+        self.writes = 0
+
+    def serve(self, name: str, strategy: str) -> bytes:
+        view, stylesheet = self.entries[name]
+        request = PublishRequest(
+            view, stylesheet, strategy=strategy, label=f"ref/{name}"
+        )
+        trace = self.server.submit(request).result()
+        assert trace.outcome == "success", trace.error
+        return trace.xml.encode("utf-8")
+
+    def write(self) -> None:
+        hotel_write(self.db, self.writes)
+        self.writes += 1
+
+    def close(self) -> None:
+        self.server.close()
+        self.db.close()
+
+
+async def _post(reader, writer, path: str, payload: dict) -> bytes:
+    body = json.dumps(payload).encode()
+    head = (
+        f"POST {path} HTTP/1.1\r\nHost: t\r\n"
+        f"Content-Length: {len(body)}\r\n\r\n"
+    ).encode()
+    writer.write(head + body)
+    await writer.drain()
+    raw = await reader.readuntil(b"\r\n\r\n")
+    lines = raw.decode("latin-1").split("\r\n")
+    status = int(lines[0].split(" ")[1])
+    length = 0
+    for line in lines[1:]:
+        if line.lower().startswith("content-length:"):
+            length = int(line.split(":", 1)[1])
+    response = await reader.readexactly(length)
+    assert status == 200, response
+    return response
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    strategy=st.sampled_from(STRATEGIES),
+    maintenance=st.sampled_from(MAINTENANCE_MODES),
+    n_writes=st.integers(0, 3),
+    bypass_cache=st.booleans(),
+)
+def test_http_bytes_match_in_process_bytes(
+    strategy, maintenance, n_writes, bypass_cache
+):
+    app = build_hotel_app(
+        scale=1, workers=2, staleness="strict", maintenance=maintenance
+    )
+    reference = Reference(maintenance)
+
+    async def scenario():
+        server = await serve_app(app)
+        try:
+            host, port = server.address
+            reader, writer = await asyncio.open_connection(host, port)
+            # Serve every view between writes on one keep-alive
+            # connection, so maintenance runs against warm caches.
+            for round_index in range(n_writes + 1):
+                for name in VIEWS:
+                    served = await _post(
+                        reader,
+                        writer,
+                        "/publish",
+                        {
+                            "view": name,
+                            "strategy": strategy,
+                            "bypass_cache": bypass_cache,
+                        },
+                    )
+                    expected = reference.serve(name, strategy)
+                    assert served == expected, (
+                        f"byte mismatch for {name}/{strategy} "
+                        f"({maintenance}, round {round_index})"
+                    )
+                if round_index < n_writes:
+                    await _post(reader, writer, "/write", {})
+                    reference.write()
+            writer.close()
+            await writer.wait_closed()
+        finally:
+            await server.drain(timeout=5.0)
+
+    try:
+        asyncio.run(scenario())
+    finally:
+        asyncio.run(app.close())
+        reference.close()

@@ -111,3 +111,54 @@ def test_stats_histogram_covers_all_states(breaker, clock):
     histogram = breaker.stats()["states"]
     assert set(histogram) == set(BREAKER_STATES)
     assert histogram == {"closed": 1, "open": 1, "half-open": 1}
+
+
+def test_half_open_trial_budget_boundary(clock):
+    # A budget of 3 concurrent probes: exactly 3 allow() calls pass
+    # after the cooldown, the 4th short-circuits until one resolves.
+    breaker = CircuitBreaker(
+        threshold=2, cooldown_ms=100.0, half_open_max=3, clock=clock
+    )
+    breaker.record_failure("k")
+    breaker.record_failure("k")
+    clock.advance(0.2)
+    for _ in range(3):
+        assert breaker.allow("k")
+    assert breaker.state("k") == "half-open"
+    assert breaker.stats()["half_open_trials"] == 3
+    before = breaker.stats()["short_circuits"]
+    assert not breaker.allow("k")  # budget spent
+    assert breaker.stats()["short_circuits"] == before + 1
+    # One probe succeeding closes the circuit and frees everything.
+    breaker.record_success("k")
+    assert breaker.state("k") == "closed"
+    assert breaker.stats()["half_open_trials"] == 0
+    assert breaker.allow("k")
+
+
+def test_half_open_probe_completion_refills_the_budget(clock):
+    # With half_open_max=2, a probe that fails both re-opens the
+    # circuit AND releases its trial slot — after the next cooldown the
+    # full budget is available again (no slot leak across re-opens).
+    breaker = CircuitBreaker(
+        threshold=1, cooldown_ms=100.0, half_open_max=2, clock=clock
+    )
+    breaker.record_failure("k")
+    clock.advance(0.2)
+    assert breaker.allow("k")
+    assert breaker.allow("k")
+    assert not breaker.allow("k")
+    breaker.record_failure("k")  # one probe fails: straight back to open
+    assert breaker.state("k") == "open"
+    assert not breaker.allow("k")
+    clock.advance(0.2)
+    assert breaker.allow("k")  # fresh cooldown, fresh budget
+    assert breaker.allow("k")
+    assert not breaker.allow("k")
+    assert breaker.stats()["half_open_trials"] == 2
+
+
+def test_half_open_max_validation():
+    with pytest.raises(ValueError):
+        CircuitBreaker(threshold=1, half_open_max=0)
+    assert CircuitBreaker(threshold=1, half_open_max=1).half_open_max == 1
