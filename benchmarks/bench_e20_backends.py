@@ -1,0 +1,53 @@
+"""E20: engine backends — the same publish, engine swapped underneath.
+
+Times the full publish path (materialize + serialize) for the Figure 1
+raw view and the Figure 4 composition on every registered backend,
+through the same :class:`~repro.relational.driver.EngineDriver` seam
+the serving stack uses. Backends whose module is not installed skip.
+The update-aware sweep with byte gates lives in
+``python -m repro.harness --e20-json`` — here the database is static
+and the numbers isolate per-engine query cost.
+"""
+
+import pytest
+
+from repro.core.compose import compose
+from repro.core.optimize import prune_stylesheet_view
+from repro.errors import DriverUnavailableError
+from repro.relational.driver import BACKEND_NAMES, resolve_driver
+from repro.schema_tree.evaluator import materialize
+from repro.workloads.hotel import HotelDataSpec, build_hotel_database
+from repro.workloads.paper import figure1_view, figure4_stylesheet
+from repro.xmlcore.serializer import serialize
+
+
+@pytest.fixture(scope="module", params=list(BACKEND_NAMES))
+def backend_db(request):
+    try:
+        driver = resolve_driver(request.param)
+    except DriverUnavailableError as exc:
+        pytest.skip(str(exc))
+    db = build_hotel_database(
+        HotelDataSpec().scaled(4), seed=2003, driver=driver,
+    )
+    yield db
+    db.close()
+
+
+def test_e20_figure1_publish(benchmark, backend_db):
+    view = figure1_view(backend_db.catalog)
+    benchmark.group = "E20 backends: figure1 publish"
+    xml = benchmark(lambda: serialize(materialize(view, backend_db)))
+    assert xml.startswith("<")
+
+
+def test_e20_figure4_publish(benchmark, backend_db):
+    composed = compose(
+        figure1_view(backend_db.catalog),
+        figure4_stylesheet(),
+        backend_db.catalog,
+    )
+    prune_stylesheet_view(composed, backend_db.catalog)
+    benchmark.group = "E20 backends: figure4 publish"
+    xml = benchmark(lambda: serialize(materialize(composed, backend_db)))
+    assert xml.startswith("<")

@@ -41,7 +41,8 @@ from repro.core.ctg import build_ctg
 from repro.core.hybrid import HybridExecutor
 from repro.core.optimize import prune_stylesheet_view
 from repro.core.tvq import build_tvq
-from repro.errors import ReproError
+from repro.errors import DriverUnavailableError, ReproError
+from repro.relational.driver import BACKEND_NAMES, resolve_driver
 from repro.relational.engine import Database
 from repro.schema_tree.bulk_evaluator import BulkViewEvaluator
 from repro.schema_tree.evaluator import STRATEGIES, ViewEvaluator
@@ -286,15 +287,22 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         )
     strategies = list(STRATEGIES) if args.strategy == "all" else [args.strategy]
     sharded = args.shards > 1 or args.replicas > 0
+    try:
+        driver = resolve_driver(getattr(args, "backend", None))
+    except DriverUnavailableError as exc:
+        print(f"serve-bench: {exc}", file=sys.stderr)
+        return 2
     db = build_hotel_database(
-        HotelDataSpec().scaled(args.scale), cross_thread=update_aware
+        HotelDataSpec().scaled(args.scale), cross_thread=update_aware,
+        driver=driver,
     )
     tracker = None
+    auto_capture = driver.supports_auto_capture
     if update_aware and not sharded:
         from repro.maintenance import WriteTracker
 
         tracker = WriteTracker()
-        db.attach_tracker(tracker, auto=True)
+        db.attach_tracker(tracker, auto=auto_capture)
     view = figure1_view(db.catalog)
     stylesheets = [
         ("figure4", figure4_stylesheet()),
@@ -367,8 +375,10 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
                         source, writes_issued[0], tracker=shard_tracker
                     )
                 )
-            else:
+            elif auto_capture:
                 hotel_write(db, writes_issued[0])  # auto capture records it
+            else:
+                hotel_write(db, writes_issued[0], tracker=tracker)
             writes_issued[0] += 1
 
     writer = None
@@ -438,7 +448,8 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     p99 = percentile(latencies_ms, 99)
     print(
         f"serve-bench: scale={args.scale} workers={args.workers} "
-        f"requests={len(traces)} strategy={args.strategy}"
+        f"backend={driver.name} requests={len(traces)} "
+        f"strategy={args.strategy}"
     )
     if sharded:
         router_stats = metrics["router"]
@@ -582,6 +593,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
             "config": {
                 "scale": args.scale,
                 "workers": args.workers,
+                "backend": driver.name,
                 "requests": args.requests,
                 "strategy": args.strategy,
                 "shards": args.shards,
@@ -717,6 +729,7 @@ def _frontend_app_from_args(args: argparse.Namespace):
         hedge=hedge,
         shards=args.shards,
         replicas=args.replicas,
+        backend=getattr(args, "backend", None),
     )
 
 
@@ -726,6 +739,10 @@ def _add_frontend_build_args(parser: argparse.ArgumentParser) -> None:
                         help="hotel workload scale factor (default: 2)")
     parser.add_argument("--workers", type=int, default=4,
                         help="worker threads / pooled connections")
+    parser.add_argument(
+        "--backend", default="sqlite", choices=list(BACKEND_NAMES),
+        help="storage engine the workload runs on (default: sqlite)",
+    )
     parser.add_argument(
         "--staleness", metavar="POLICY",
         help="result-cache staleness policy: strict, manual, or bounded:N",
@@ -1089,6 +1106,10 @@ def build_parser() -> argparse.ArgumentParser:
                               help="hotel workload scale factor (default: 2)")
     serve_parser.add_argument("--workers", type=int, default=4,
                               help="worker threads / pooled connections")
+    serve_parser.add_argument(
+        "--backend", default="sqlite", choices=list(BACKEND_NAMES),
+        help="storage engine the workload runs on (default: sqlite)",
+    )
     serve_parser.add_argument("--requests", type=int, default=100,
                               help="total requests to serve")
     serve_parser.add_argument(

@@ -139,6 +139,7 @@ def build_hotel_app(
     hedge: Optional[HedgePolicy] = None,
     shards: int = 1,
     replicas: int = 0,
+    backend: Optional[str] = None,
 ) -> PublishingApp:
     """The paper's hotel workload as a servable application.
 
@@ -146,9 +147,12 @@ def build_hotel_app(
     cache when ``staleness`` is set, a sharded fleet when ``shards > 1``
     or ``replicas > 0`` (fault plan armed on shard 0's primary only,
     replicas as the failover path), a single :class:`ViewServer`
-    otherwise.
+    otherwise. ``backend`` picks the storage engine (``"sqlite"`` /
+    ``"duckdb"``); on backends without write hooks, tracked writes are
+    recorded explicitly instead of through auto capture.
     """
     from repro.maintenance import WriteTracker, hotel_write
+    from repro.relational.driver import resolve_driver
     from repro.workloads.hotel import HotelDataSpec, build_hotel_database
     from repro.workloads.paper import (
         figure1_view,
@@ -156,21 +160,23 @@ def build_hotel_app(
         figure17_stylesheet,
     )
 
+    driver = resolve_driver(backend)
     update_aware = staleness is not None
     sharded = shards > 1 or replicas > 0
     db = build_hotel_database(
-        HotelDataSpec().scaled(scale), cross_thread=True
+        HotelDataSpec().scaled(scale), cross_thread=True, driver=driver
     )
     tracker = None
+    auto_capture = driver.supports_auto_capture
     if update_aware and not sharded:
         tracker = WriteTracker()
-        db.attach_tracker(tracker, auto=True)
+        db.attach_tracker(tracker, auto=auto_capture)
 
     if sharded:
         from repro.sharding import ShardRouter
         from repro.workloads.hotel import hotel_partition_scheme
 
-        backend = ShardRouter.build(
+        server = ShardRouter.build(
             db.catalog,
             db,
             hotel_partition_scheme(),
@@ -190,14 +196,14 @@ def build_hotel_app(
         )
 
         def write_fn(index: int) -> None:
-            backend.route_write(
+            server.route_write(
                 lambda source, shard_tracker: hotel_write(
                     source, index, tracker=shard_tracker
                 )
             )
 
     else:
-        backend = ViewServer(
+        server = ViewServer(
             db.catalog,
             source=db,
             workers=workers,
@@ -211,7 +217,10 @@ def build_hotel_app(
         )
 
         def write_fn(index: int) -> None:
-            hotel_write(db, index)  # auto capture records it
+            if auto_capture:
+                hotel_write(db, index)  # auto capture records it
+            else:
+                hotel_write(db, index, tracker=tracker)
 
     view = figure1_view(db.catalog)
     registry = {
@@ -220,5 +229,5 @@ def build_hotel_app(
         "figure17": RegisteredView("figure17", view, figure17_stylesheet()),
     }
     return PublishingApp(
-        registry, backend, db, hedge=hedge, write_fn=write_fn
+        registry, server, db, hedge=hedge, write_fn=write_fn
     )

@@ -56,6 +56,13 @@ def main() -> None:
         "throughput ratio + merge-equivalence mismatch count)",
     )
     parser.add_argument(
+        "--e20-json", metavar="PATH",
+        help="run only E20 (backend drivers: sqlite vs DuckDB) and "
+        "record its raw numbers as JSON (per-backend runs + byte-gate "
+        "mismatch counts + duckdb/sqlite throughput ratio; backends "
+        "whose module is absent are recorded as unavailable)",
+    )
+    parser.add_argument(
         "--e19-json", metavar="PATH",
         help="run only E19 (async HTTP front end over real sockets) and "
         "record its raw numbers as JSON (hedge on/off x fault rate "
@@ -63,6 +70,18 @@ def main() -> None:
         "run, with per-class latency/availability and leak checks)",
     )
     args = parser.parse_args()
+    if args.e20_json:
+        from repro.harness.experiments import e20_backends
+
+        if args.quick:
+            result = e20_backends(
+                scale=2, rounds=4, repeats=2, json_path=args.e20_json,
+            )
+        else:
+            result = e20_backends(json_path=args.e20_json)
+        print(result.to_console())
+        print(f"wrote {args.e20_json}")
+        return
     if args.e19_json:
         from repro.harness.experiments import e19_frontend
 

@@ -2323,6 +2323,219 @@ def e19_frontend(
     return result
 
 
+def e20_backends(
+    scale: int = 4,
+    rounds: int = 8,
+    repeats: int = 4,
+    writes_per_round: int = 2,
+    backends: list[str] | None = None,
+    json_path: str | None = None,
+) -> ExperimentResult:
+    """E20: engine backends compared on the Figure 1 workload.
+
+    One update-aware :class:`~repro.serving.server.ViewServer` per
+    registered backend (sqlite, DuckDB), each over a same-seed hotel
+    database built through its
+    :class:`~repro.relational.driver.EngineDriver`. Every run serves
+    ``rounds`` rounds of (apply ``writes_per_round`` standard hotel
+    writes, serve one serial batch of ``repeats`` x {Figure 1 raw view,
+    Figure 4 composition} bulk requests). Writes are recorded
+    explicitly on every backend — the one capture mode all drivers
+    share — so the served request stream is identical across engines.
+
+    Two byte gates, both must be zero:
+
+    * **within-backend mismatches** — every response is verified
+      byte-identical to an uncached serial materialization of that
+      backend's live database (outside the timed window);
+    * **cross-backend mismatches** — every response is compared against
+      the same round/request response from the first available backend
+      (sqlite): the published bytes must not change when the engine
+      does.
+
+    A backend whose module is not installed is recorded as
+    ``available: false`` rather than failing the sweep. Leaked pooled
+    connections are checked per backend (gate: 0). With ``json_path``
+    the raw numbers land in ``BENCH_e20.json``, including the
+    duckdb-over-sqlite throughput ratio when both ran.
+    """
+    import json
+    import statistics
+
+    from repro.core.optimize import prune_stylesheet_view
+    from repro.maintenance import WriteTracker, hotel_write
+    from repro.relational.driver import (
+        BACKEND_NAMES,
+        backend_available,
+        resolve_driver,
+    )
+    from repro.schema_tree.evaluator import materialize
+    from repro.serving import PublishRequest, ViewServer, percentile
+    from repro.xmlcore.serializer import serialize
+
+    backends = backends if backends is not None else list(BACKEND_NAMES)
+    result = ExperimentResult(
+        "E20",
+        f"Backend drivers (scale-{scale} hotel): sqlite vs DuckDB on the "
+        "Figure 1 workload, byte-checked within and across engines",
+        ["backend", "requests", "req/s", "p50 ms", "hit/miss",
+         "mismatches", "cross mismatches", "leaked"],
+        notes=[
+            f"Each available backend: {rounds} rounds of "
+            f"({writes_per_round} hotel-mix writes recorded explicitly, "
+            f"one serial batch of {repeats} x {{raw view, figure4}} bulk "
+            "requests). Every response is byte-checked against an "
+            "uncached serial materialization of the same backend AND "
+            "against the first backend's response for the same "
+            "round/request; both mismatch counts must be 0.",
+        ],
+    )
+    runs: list[dict] = []
+    #: (round, request index) -> response bytes of the first backend.
+    reference_bytes: dict[tuple[int, int], str] = {}
+
+    def run_backend(name: str) -> dict:
+        driver = resolve_driver(name)
+        db = build_hotel_database(
+            HotelDataSpec().scaled(scale), cross_thread=True, seed=2003,
+            driver=driver,
+        )
+        view = figure1_view(db.catalog)
+        stylesheet = figure4_stylesheet()
+        composed = compose(view, stylesheet, db.catalog)
+        prune_stylesheet_view(composed, db.catalog)
+        targets = [view, composed]
+        tracker = WriteTracker()
+        db.attach_tracker(tracker)  # explicit capture on every backend
+        server = ViewServer(
+            db.catalog,
+            source=db,
+            workers=2,
+            tracker=tracker,
+            staleness="strict",
+            maintenance="full",
+        )
+        batch = [
+            PublishRequest(
+                view,
+                stylesheet if which else None,
+                strategy="bulk",
+                label=f"{name}/{'figure4' if which else 'figure1'}",
+            )
+            for _ in range(repeats)
+            for which in (0, 1)
+        ]
+        latencies: list[float] = []
+        round_times: list[float] = []
+        mismatches = 0
+        cross_mismatches = 0
+        step = 0
+        first_backend = not reference_bytes
+        try:
+            server.render_many(batch)  # untimed warmup
+            for round_index in range(rounds):
+                for _ in range(writes_per_round):
+                    hotel_write(db, step, tracker)
+                    step += 1
+                started = time.perf_counter()
+                traces = [
+                    server.submit(request).result() for request in batch
+                ]
+                round_times.append(time.perf_counter() - started)
+                references = [
+                    serialize(materialize(target, db)) for target in targets
+                ]
+                for index, trace in enumerate(traces):
+                    latencies.append(trace.total_seconds)
+                    if trace.xml != references[index % 2]:
+                        mismatches += 1
+                    key = (round_index, index)
+                    if first_backend:
+                        reference_bytes[key] = trace.xml
+                    elif trace.xml != reference_bytes.get(key):
+                        cross_mismatches += 1
+            metrics = server.metrics()
+            leaked = server.pool.outstanding()
+        finally:
+            server.close()
+            db.close()
+        median_round = statistics.median(round_times)
+        rps = len(batch) / median_round if median_round else 0.0
+        total = rounds * len(batch)
+        cache = metrics["result_cache"]
+        result.add_row(
+            name, total, rps, percentile(latencies, 50) * 1000,
+            f"{cache['hits']}/{cache['misses']}",
+            mismatches,
+            "-" if first_backend else cross_mismatches,
+            leaked,
+        )
+        return {
+            "backend": name,
+            "available": True,
+            "requests": total,
+            "median_round_ms": round(median_round * 1000, 4),
+            "throughput_rps": round(rps, 2),
+            **latency_summary_ms([v * 1000 for v in latencies]),
+            "result_cache": cache,
+            "mismatches": mismatches,
+            "cross_mismatches": None if first_backend else cross_mismatches,
+            "leaked_connections": leaked,
+            "contract": driver.contract(),
+        }
+
+    for name in backends:
+        if not backend_available(name):
+            result.add_row(name, 0, 0.0, 0.0, "-", "-", "-", "-")
+            runs.append({"backend": name, "available": False})
+            continue
+        runs.append(run_backend(name))
+    available = [run for run in runs if run["available"]]
+    total_mismatches = sum(run["mismatches"] for run in available)
+    total_cross = sum(run["cross_mismatches"] or 0 for run in available)
+    total_leaked = sum(run["leaked_connections"] for run in available)
+    by_backend = {
+        run["backend"]: run["throughput_rps"] for run in available
+    }
+    duckdb_over_sqlite = (
+        round(by_backend["duckdb"] / by_backend["sqlite"], 3)
+        if "sqlite" in by_backend and "duckdb" in by_backend
+        and by_backend["sqlite"]
+        else None
+    )
+    result.notes.append(
+        f"backends run: {sorted(by_backend)}; total mismatches "
+        f"{total_mismatches}, cross-backend mismatches {total_cross}, "
+        f"leaked connections {total_leaked} (gates: all 0)."
+        + (
+            f" duckdb over sqlite throughput: {duckdb_over_sqlite:.2f}x."
+            if duckdb_over_sqlite is not None
+            else " duckdb not installed here: sqlite-only sweep."
+        )
+    )
+    if json_path:
+        with open(json_path, "w") as handle:
+            json.dump(
+                {
+                    "scale": scale,
+                    "rounds": rounds,
+                    "repeats": repeats,
+                    "writes_per_round": writes_per_round,
+                    "backends": backends,
+                    "runs": runs,
+                    "mismatches": total_mismatches,
+                    "cross_backend_mismatches": total_cross,
+                    "leaked_connections": total_leaked,
+                    "duckdb_over_sqlite_throughput": duckdb_over_sqlite,
+                },
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+            handle.write("\n")
+    return result
+
+
 def run_all(quick: bool = False) -> list[ExperimentResult]:
     """Run every experiment; ``quick`` shrinks the sweeps."""
     if quick:
@@ -2358,6 +2571,7 @@ def run_all(quick: bool = False) -> list[ExperimentResult]:
             e19_frontend(
                 scale=1, requests=120, warmup=24, fault_rates=[0.0, 0.1],
             ),
+            e20_backends(scale=2, rounds=4, repeats=2),
         ]
     return [
         e1_end_to_end(),
@@ -2379,4 +2593,5 @@ def run_all(quick: bool = False) -> list[ExperimentResult]:
         e17_fragments(),
         e18_sharding(replicas=1, fault_rates=[0.2]),
         e19_frontend(),
+        e20_backends(),
     ]

@@ -11,64 +11,35 @@ Two capture modes, freely combined per database:
 * **explicit** — callers (or :meth:`Database.insert_rows
   <repro.relational.engine.Database.insert_rows>` on a tracked engine)
   call :meth:`WriteTracker.record_write` with the table name;
-* **auto** — :meth:`WriteTracker.attach` installs sqlite hooks on a
-  writable connection so any INSERT/UPDATE/DELETE executed through it is
-  captured without caller cooperation. The stdlib ``sqlite3`` module
-  exposes no ``update_hook``, so auto mode combines two hooks:
-
-  - the **trace callback** fires on *every* statement execution —
-    including re-executions served from sqlite3's prepared-statement
-    cache, which never re-prepare — and receives the (expanded) SQL
-    text, from which the DML target table is parsed directly;
-  - the **authorizer** fires at statement *prepare* time and names
-    every written table, catching indirect writes the statement text
-    does not mention (trigger bodies, cascading deletes). Those extras
-    are bumped at the statement's first execution.
+* **auto** — :meth:`WriteTracker.attach` asks the engine's *driver* to
+  install write-capture hooks on a writable connection so any
+  INSERT/UPDATE/DELETE executed through it is captured without caller
+  cooperation. For sqlite that is the authorizer + trace-callback pair
+  (see :meth:`repro.relational.driver.SqliteDriver.install_change_capture`
+  for the two-hook rationale); drivers without write hooks (DuckDB)
+  raise :class:`~repro.errors.DriverCapabilityError` — auto capture
+  **degrades loudly, never silently**, because silently capturing
+  nothing would serve stale bytes under the strict policy. Engines on
+  such backends record through the explicit path instead.
 
 Auto capture is deliberately conservative: a statement that prepares
 but fails mid-execution still bumps (over-invalidation is safe; missed
-writes are not). The one known gap is an *indirect* write re-executed
-from the statement cache (the authorizer does not re-fire and the text
-names only the direct table) — this engine's SQL never uses triggers,
-and the direct table still bumps every time.
+writes are not). The one known sqlite gap is an *indirect* write
+re-executed from the statement cache (the authorizer does not re-fire
+and the text names only the direct table) — this engine's SQL never
+uses triggers, and the direct table still bumps every time.
 """
 
 from __future__ import annotations
 
-import re
-import sqlite3
 import threading
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Mapping, Optional
 
-#: Authorizer action codes that modify a table.
-_WRITE_ACTIONS = (
-    sqlite3.SQLITE_INSERT,
-    sqlite3.SQLITE_UPDATE,
-    sqlite3.SQLITE_DELETE,
-)
-
-#: Target table of a DML statement, tolerant of conflict clauses,
-#: schema qualification, and quoted identifiers.
-_WRITE_SQL_RE = re.compile(
-    r"^\s*(?:INSERT\s+(?:OR\s+\w+\s+)?INTO|REPLACE\s+INTO"
-    r"|UPDATE(?:\s+OR\s+\w+)?|DELETE\s+FROM)\s+"
-    r"[\"'`\[]?(\w+(?:[\"'`\]]?\s*\.\s*[\"'`\[]?\w+)?)",
-    re.IGNORECASE,
-)
-
-
-def _write_target(sql_text: str) -> Optional[str]:
-    """The table a DML statement writes, or ``None`` for non-DML."""
-    match = _WRITE_SQL_RE.match(sql_text)
-    if match is None:
-        return None
-    name = match.group(1)
-    # Strip a schema qualifier ("main"."hotel" -> hotel) and any
-    # trailing quote characters the loose identifier match kept.
-    name = re.split(r"[\"'`\]]?\s*\.\s*[\"'`\[]?", name)[-1]
-    return name.strip("\"'`[]")
+# Re-exported for compatibility: the DML-target parser moved into the
+# driver layer with the rest of the capture machinery.
+from repro.relational.driver import _write_target  # noqa: F401
 
 
 @dataclass(frozen=True)
@@ -248,45 +219,17 @@ class WriteTracker:
     def attach(self, db) -> None:
         """Install auto change capture on a writable engine.
 
-        ``db`` is a :class:`~repro.relational.engine.Database` (anything
-        with a ``.connection``); its sqlite authorizer and trace-callback
-        slots are taken over. See the module docstring for why both
-        hooks are needed.
+        ``db`` is a :class:`~repro.relational.engine.Database`; capture
+        is delegated to its driver's ``install_change_capture``, which
+        arranges for :meth:`record_write` to run for every DML target.
+        Drivers without write hooks (``supports_auto_capture`` false)
+        raise :class:`~repro.errors.DriverCapabilityError` — loudly, so
+        a backend that cannot observe writes is never mistaken for one
+        with no writes.
         """
-        connection = db.connection
-        # Tables named by the authorizer since the last trace callback.
-        # sqlite3 serializes callbacks with statement execution on the
-        # owning connection, so this needs no lock of its own.
-        pending: set[str] = set()
-
-        def authorizer(action, arg1, _arg2, _dbname, _trigger) -> int:
-            if action in _WRITE_ACTIONS and arg1:
-                pending.add(arg1)
-            return sqlite3.SQLITE_OK
-
-        def trace(sql_text: str) -> None:
-            # The direct target parses out of the executed text, so it
-            # is captured on every execution — cached statements
-            # included. The authorizer's extras (trigger/cascade
-            # targets the text does not mention) bump at the first
-            # execution only. Non-DML traces (the implicit BEGIN sqlite
-            # runs before a write, SELECTs) leave ``pending`` untouched:
-            # it belongs to the DML statement whose prepare filled it.
-            direct = _write_target(sql_text)
-            if direct is None:
-                return
-            if pending:
-                extras = pending - {direct}
-                pending.clear()
-                for table in sorted(extras):
-                    self.record_write(table)
-            self.record_write(direct)
-
-        connection.set_authorizer(authorizer)
-        connection.set_trace_callback(trace)
+        db.driver.install_change_capture(db.connection, self.record_write)
 
     @staticmethod
     def detach(db) -> None:
         """Remove auto-capture hooks installed by :meth:`attach`."""
-        db.connection.set_authorizer(None)
-        db.connection.set_trace_callback(None)
+        db.driver.remove_change_capture(db.connection)

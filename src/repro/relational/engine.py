@@ -1,10 +1,15 @@
-"""sqlite-backed execution engine for tag queries.
+"""Driver-backed execution engine for tag queries.
 
-:class:`Database` owns a sqlite connection created from a
-:class:`~repro.relational.schema.Catalog`. Tag queries (SQL ASTs with
-``$var.column`` parameters) execute through :meth:`Database.run_query`
-against a *binding environment*: a mapping from binding-variable name to
-the parent tuple (a ``dict``) it currently ranges over — exactly the
+:class:`Database` owns one backend connection created from a
+:class:`~repro.relational.schema.Catalog` through an
+:class:`~repro.relational.driver.EngineDriver` (sqlite by default;
+DuckDB via ``driver="duckdb"``). Every backend-specific decision —
+connection setup, placeholder style, type mapping, read-only
+enforcement, statement cancel — goes through the driver, so the engine
+itself is backend-neutral. Tag queries (SQL ASTs with ``$var.column``
+parameters) execute through :meth:`Database.run_query` against a
+*binding environment*: a mapping from binding-variable name to the
+parent tuple (a ``dict``) it currently ranges over — exactly the
 evaluation model of schema-tree queries in Section 2.1.
 
 The engine counts queries and rows so benchmarks can report the work each
@@ -36,13 +41,17 @@ mutable state across requests. Concretely:
 
 from __future__ import annotations
 
-import sqlite3
 import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Optional
 
 from repro.errors import ViewEvaluationError
+from repro.relational.driver import (
+    EngineDriver,
+    resolve_driver,
+    _write_target,
+)
 from repro.relational.schema import Catalog
 from repro.sql.ast import Select
 from repro.sql.params import collect_params, placeholder_name
@@ -111,7 +120,12 @@ class QueryStats:
 
 
 class Database:
-    """A sqlite database (in-memory by default) described by a catalog."""
+    """A database (in-memory sqlite by default) described by a catalog.
+
+    ``driver`` picks the backend: an
+    :class:`~repro.relational.driver.EngineDriver` instance or a
+    registry name (``"sqlite"``, ``"duckdb"``); ``None`` means sqlite.
+    """
 
     def __init__(
         self,
@@ -119,11 +133,13 @@ class Database:
         create: bool = True,
         path: Optional[str] = None,
         stats: Optional[QueryStats] = None,
-        connection: Optional[sqlite3.Connection] = None,
+        connection=None,
         read_only: bool = False,
         cross_thread: bool = False,
+        driver: "EngineDriver | str | None" = None,
     ):
         self.catalog = catalog
+        self.driver = resolve_driver(driver)
         if connection is not None:
             self.connection = connection
         else:
@@ -132,10 +148,10 @@ class Database:
             # this database while a server worker snapshots it (the
             # hand-off is serialized by the server's sync lock — see the
             # threading contract above).
-            self.connection = sqlite3.connect(
-                path or ":memory:", check_same_thread=not cross_thread
+            self.connection = self.driver.connect(
+                path, cross_thread=cross_thread
             )
-        self.connection.row_factory = sqlite3.Row
+        self.driver.configure(self.connection)
         self.stats = stats if stats is not None else QueryStats()
         self.read_only = read_only
         self.tracker = None
@@ -144,7 +160,7 @@ class Database:
         # is invoked at the top of every run_query — a query/row
         # boundary — and may raise (e.g. DeadlineExceeded) to abandon
         # the evaluation between statements. Hard mid-statement cutoff
-        # is the caller's job via ``connection.interrupt()``.
+        # is the caller's job via ``driver.cancel(connection)``.
         self.cancel_check: Optional[Callable[[], None]] = None
         self._sql_cache: dict[int, tuple[str, list, Select]] = {}
         if create:
@@ -157,45 +173,51 @@ class Database:
         path: str,
         read_only: bool = True,
         stats: Optional[QueryStats] = None,
+        driver: "EngineDriver | str | None" = None,
     ) -> "Database":
         """Open an existing database file without creating tables.
 
-        By default the connection is **read-only** (URI ``mode=ro`` plus
-        ``PRAGMA query_only=ON``) and created with
-        ``check_same_thread=False`` so a pool may hand it to worker
-        threads — see the module docstring for the threading contract.
-        Pass ``read_only=False`` for a plain writable connection.
+        By default the connection is **read-only** (for sqlite: URI
+        ``mode=ro`` plus ``PRAGMA query_only=ON``) and safe for pooled
+        hand-off to worker threads — see the module docstring for the
+        threading contract. Pass ``read_only=False`` for a plain
+        writable connection.
         """
+        engine_driver = resolve_driver(driver)
         if not read_only:
-            return cls(catalog, create=False, path=path, stats=stats)
-        connection = sqlite3.connect(
-            f"file:{path}?mode=ro", uri=True, check_same_thread=False
-        )
+            return cls(
+                catalog, create=False, path=path, stats=stats,
+                driver=engine_driver,
+            )
+        connection = engine_driver.open_read_only(path)
         db = cls(
             catalog,
             create=False,
             connection=connection,
             stats=stats,
             read_only=True,
+            driver=engine_driver,
         )
-        db.connection.execute("PRAGMA query_only=ON")
+        engine_driver.enforce_read_only(db.connection)
         return db
 
     @classmethod
     def from_connection(
         cls,
         catalog: Catalog,
-        connection: sqlite3.Connection,
+        connection,
         stats: Optional[QueryStats] = None,
         read_only: bool = False,
+        driver: "EngineDriver | str | None" = None,
     ) -> "Database":
-        """Wrap an existing sqlite connection (used by the serving pool)."""
+        """Wrap an existing backend connection (used by the serving pool)."""
         return cls(
             catalog,
             create=False,
             connection=connection,
             stats=stats,
             read_only=read_only,
+            driver=driver,
         )
 
     # -- change capture ------------------------------------------------------
@@ -208,15 +230,23 @@ class Database:
         **explicit** mode only the engine's own write API
         (:meth:`insert_rows`) records; raw :meth:`run_sql` writes are the
         caller's responsibility. With ``auto=True`` the tracker installs
-        sqlite authorizer/trace hooks on this connection so *every*
+        the driver's write-capture hooks on this connection so *every*
         INSERT/UPDATE/DELETE is captured, including raw SQL — and the
-        explicit path stands down to avoid double counting.
+        explicit path stands down to avoid double counting. Drivers
+        without write hooks raise
+        :class:`~repro.errors.DriverCapabilityError` before any state
+        changes (auto capture degrades loudly, never silently).
         """
         self._check_writable("attach a write tracker")
+        if auto:
+            # Hooks first: on a driver without write hooks this raises
+            # DriverCapabilityError *before* any tracker state is set,
+            # so a failed auto attach can never leave the engine
+            # half-attached (tracker set, hooks absent, explicit path
+            # standing down — which would undercount silently).
+            tracker.attach(self)
         self.tracker = tracker
         self._tracker_auto = auto
-        if auto:
-            tracker.attach(self)
 
     def record_write(self, table: str, rows: int = 1) -> None:
         """Explicitly record a write against ``table`` (no-op untracked)."""
@@ -226,33 +256,31 @@ class Database:
     # -- schema / data -------------------------------------------------------
 
     def create_all(self) -> None:
-        """Create every table in the catalog."""
+        """Create every table in the catalog (driver type mapping applied)."""
         self._check_writable("create tables")
-        cursor = self.connection.cursor()
-        for ddl in self.catalog.ddl_statements():
-            cursor.execute(ddl)
-        self.connection.commit()
+        for ddl in self.catalog.ddl_statements(self.driver.type_map):
+            self.driver.execute(self.connection, ddl)
+        self.driver.commit(self.connection)
 
     def insert_rows(self, table: str, rows: Iterable[Mapping[str, Any]]) -> int:
         """Insert dict rows into ``table``; returns the number inserted."""
         self._check_writable(f"insert into {table}")
         declared = self.catalog.table(table)
         columns = declared.column_names()
-        placeholders = ", ".join(f":{c}" for c in columns)
-        sql = f"INSERT INTO {table} ({', '.join(columns)}) VALUES ({placeholders})"
-        payload: list[dict[str, Any]] = []
+        sql, as_params = self.driver.insert_statement(table, columns)
+        payload: list[Any] = []
         for row in rows:
             missing = [c for c in columns if c not in row]
             if missing:
                 raise ViewEvaluationError(
                     f"insert into {table}: row missing columns {missing}"
                 )
-            payload.append({c: row[c] for c in columns})
+            payload.append(as_params({c: row[c] for c in columns}))
         if payload:
-            self.connection.cursor().executemany(sql, payload)
-        self.connection.commit()
-        # Auto-tracked engines capture the INSERT through the sqlite
-        # hooks; recording here too would double-bump the version.
+            self.driver.executemany(self.connection, sql, payload)
+        self.driver.commit(self.connection)
+        # Auto-tracked engines capture the INSERT through the driver's
+        # write hooks; recording here too would double-bump the version.
         if payload and self.tracker is not None and not self._tracker_auto:
             self.tracker.record_write(table, rows=len(payload))
         return len(payload)
@@ -264,19 +292,22 @@ class Database:
             )
 
     def analyze(self) -> None:
-        """Refresh sqlite's planner statistics (``ANALYZE``).
+        """Refresh the backend's planner statistics where it needs telling.
 
-        Worth calling after bulk-loading: with stats the planner picks
-        selective indexes instead of guessing, which matters for the
-        decorrelated bulk queries and correlated point queries alike.
+        Worth calling after bulk-loading on sqlite: with stats the
+        planner picks selective indexes instead of guessing, which
+        matters for the decorrelated bulk queries and correlated point
+        queries alike. Backends with automatic statistics (DuckDB)
+        no-op.
         """
         self._check_writable("ANALYZE")
-        self.connection.execute("ANALYZE")
-        self.connection.commit()
+        self.driver.analyze(self.connection)
 
     def table_count(self, table: str) -> int:
         """Row count of a base table."""
-        cursor = self.connection.execute(f"SELECT COUNT(*) FROM {table}")
+        cursor = self.driver.execute(
+            self.connection, f"SELECT COUNT(*) FROM {table}"
+        )
         return int(cursor.fetchone()[0])
 
     # -- query execution ----------------------------------------------------------
@@ -302,7 +333,7 @@ class Database:
         key = id(query)
         cached = self._sql_cache.get(key)
         if cached is None or cached[2] is not query:
-            sql = print_select(query, placeholders=True)
+            sql = print_select(query, placeholders=self.driver.placeholder)
             params = collect_params(query)
             self._sql_cache[key] = (sql, params, query)
         else:
@@ -322,9 +353,11 @@ class Database:
             bindings[placeholder_name(param)] = parent_row[param.column]
         started = time.perf_counter()
         try:
-            cursor = self.connection.execute(sql, bindings)
-        except sqlite3.Error as exc:
-            raise ViewEvaluationError(f"sqlite error: {exc}; SQL: {sql}") from exc
+            cursor = self.driver.execute(self.connection, sql, bindings)
+        except self.driver.errors as exc:
+            raise ViewEvaluationError(
+                f"{self.driver.name} error: {exc}; SQL: {sql}"
+            ) from exc
         names = [d[0] for d in cursor.description]
         if len(set(names)) == len(names):
             # Fast path: unique column names, one dict(zip) per row.
@@ -345,17 +378,34 @@ class Database:
         return rows
 
     def run_sql(self, sql: str, bindings: Optional[Mapping[str, Any]] = None) -> list[Row]:
-        """Execute raw SQL (used by tests and the harness)."""
-        cursor = self.connection.execute(sql, dict(bindings or {}))
-        if cursor.description is None:
-            self.connection.commit()
+        """Execute raw SQL (used by tests and the harness).
+
+        Raw SQL is written in sqlite's ``:name`` placeholder style; the
+        driver rewrites it for other backends
+        (:meth:`~repro.relational.driver.EngineDriver.rewrite_sql`).
+        On backends without engine-level read-only enforcement, DML
+        against a read-only session is rejected here — the wrapper
+        guard that stands in for sqlite's ``PRAGMA query_only``.
+        """
+        if self.read_only and not self.driver.supports_engine_read_only:
+            target = _write_target(sql)
+            if target is not None:
+                raise ViewEvaluationError(
+                    f"cannot write {target}: connection is read-only"
+                )
+        cursor = self.driver.execute(
+            self.connection, self.driver.rewrite_sql(sql), dict(bindings or {})
+        )
+        description = getattr(cursor, "description", None)
+        if description is None:
+            self.driver.commit(self.connection)
             return []
-        names = [d[0] for d in cursor.description]
+        names = [d[0] for d in description]
         return [dict(zip(names, raw)) for raw in cursor.fetchall()]
 
     def close(self) -> None:
-        """Close the underlying sqlite connection."""
-        self.connection.close()
+        """Close the underlying backend connection."""
+        self.driver.close(self.connection)
 
     def __enter__(self) -> "Database":
         return self

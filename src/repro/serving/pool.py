@@ -1,49 +1,50 @@
-"""Read-only sqlite connection pool for concurrent materialization.
+"""Read-only connection pool for concurrent materialization.
 
 Each worker thread of a :class:`~repro.serving.server.ViewServer` needs
-its own sqlite connection (sqlite connections are not safe for
+its own database session (embedded-engine connections are not safe for
 concurrent use) and its own
 :class:`~repro.relational.engine.QueryStats` (so per-request counters
 are never shared mutable state). :class:`ConnectionPool` provides both:
 a fixed set of :class:`~repro.relational.engine.Database` sessions,
 every one read-only, handed to one borrower at a time through a queue.
 
+Everything engine-specific — how a snapshot is taken, how a released
+session is sanitized, which exceptions mean "replace this connection" —
+goes through the pool's :class:`~repro.relational.driver.EngineDriver`.
+
 Two source modes:
 
 * **file** — ``ConnectionPool(catalog, path=...)`` opens ``size``
-  independent read-only connections (URI ``mode=ro``) to the database
-  file; sqlite readers never block each other.
+  independent read-only connections to the database file via
+  ``driver.open_read_only``.
 * **clone** — ``ConnectionPool(catalog, source=db)`` snapshots an
-  existing (typically in-memory) database into a process-private
-  shared-cache in-memory database via sqlite's backup API, then opens
-  ``size`` connections to the clone with ``PRAGMA query_only=ON``.
-  Tests and benchmarks use this to serve a generated workload without
-  touching disk; the source database is left untouched and later writes
-  to it are *not* visible to the pool (snapshot semantics) until
-  :meth:`ConnectionPool.refresh` re-snapshots it — the update-aware
-  serving path (:mod:`repro.maintenance`) does exactly that when a
-  tracked write makes the snapshot stale.
+  existing (typically in-memory) database through
+  ``driver.snapshot(source)`` (sqlite: the backup API into a
+  shared-cache memory clone; DuckDB: a row copy into a private root
+  connection served through cursors), then opens ``size`` sessions onto
+  the snapshot with read-only enforcement. Tests and benchmarks use
+  this to serve a generated workload without touching disk; the source
+  database is left untouched and later writes to it are *not* visible
+  to the pool (snapshot semantics) until :meth:`ConnectionPool.refresh`
+  re-snapshots it — the update-aware serving path
+  (:mod:`repro.maintenance`) does exactly that when a tracked write
+  makes the snapshot stale.
 
-All pooled connections are created with ``check_same_thread=False``;
-the pool's queue serializes hand-off so each connection is used by one
-thread at a time — the contract documented in
-:mod:`repro.relational.engine`.
+All pooled connections allow cross-thread hand-off; the pool's queue
+serializes borrowing so each connection is used by one thread at a
+time — the contract documented in :mod:`repro.relational.engine`.
 """
 
 from __future__ import annotations
 
-import itertools
 import queue
-import sqlite3
 import threading
 from contextlib import contextmanager
 from typing import Iterator, Optional
 
+from repro.relational.driver import EngineSnapshot, resolve_driver
 from repro.relational.engine import Database, QueryStats
 from repro.relational.schema import Catalog
-
-#: Process-unique suffixes for shared-cache in-memory clone databases.
-_CLONE_IDS = itertools.count(1)
 
 
 class ConnectionPool:
@@ -52,7 +53,9 @@ class ConnectionPool:
     Exactly one of ``path`` (database file) or ``source`` (live
     :class:`Database` to snapshot) must be given. ``size`` connections
     are opened eagerly so serving never pays connection setup on the
-    request path.
+    request path. ``driver`` defaults to the source database's driver
+    in clone mode (a pool always speaks its source's backend) and to
+    sqlite in file mode.
     """
 
     def __init__(
@@ -63,6 +66,7 @@ class ConnectionPool:
         size: int = 4,
         keep_sql: bool = False,
         fault_plan=None,
+        driver=None,
     ):
         if (path is None) == (source is None):
             raise ValueError("ConnectionPool needs exactly one of path/source")
@@ -72,6 +76,9 @@ class ConnectionPool:
         self.size = size
         self._path = path
         self._keep_sql = keep_sql
+        if driver is None and source is not None:
+            driver = source.driver
+        self.driver = resolve_driver(driver)
         # Optional repro.resilience.FaultPlan: every session is wrapped
         # in a FaultyEngine so evaluators running on pooled connections
         # exercise injected faults transparently.
@@ -80,19 +87,9 @@ class ConnectionPool:
         self._close_lock = threading.Lock()
         self._refresh_lock = threading.Lock()
         self._source = source
-        self._anchor: Optional[sqlite3.Connection] = None
-        self._clone_uri: Optional[str] = None
+        self._snapshot: Optional[EngineSnapshot] = None
         if source is not None:
-            # Snapshot the source into a named shared-cache in-memory
-            # database. The anchor connection keeps the clone alive for
-            # the pool's lifetime.
-            self._clone_uri = (
-                f"file:repro-pool-{next(_CLONE_IDS)}?mode=memory&cache=shared"
-            )
-            self._anchor = sqlite3.connect(
-                self._clone_uri, uri=True, check_same_thread=False
-            )
-            source.connection.backup(self._anchor)
+            self._snapshot = self.driver.snapshot(source)
         self._sessions: list[Database] = [
             self._open_session(path, keep_sql) for _ in range(size)
         ]
@@ -103,16 +100,16 @@ class ConnectionPool:
     def _open_session(self, path: Optional[str], keep_sql: bool) -> Database:
         stats = QueryStats(keep_sql=keep_sql)
         if path is not None:
-            db = Database.open(self.catalog, path, stats=stats)
+            db = Database.open(self.catalog, path, stats=stats,
+                               driver=self.driver)
         else:
-            assert self._clone_uri is not None
-            connection = sqlite3.connect(
-                self._clone_uri, uri=True, check_same_thread=False
-            )
+            assert self._snapshot is not None
+            connection = self._snapshot.connect()
             db = Database.from_connection(
-                self.catalog, connection, stats=stats, read_only=True
+                self.catalog, connection, stats=stats, read_only=True,
+                driver=self.driver,
             )
-            db.connection.execute("PRAGMA query_only=ON")
+            self.driver.enforce_read_only(db.connection)
         if self._fault_plan is not None:
             from repro.resilience.faults import FaultyEngine
 
@@ -135,27 +132,24 @@ class ConnectionPool:
         """Return a borrowed session to the idle queue, clean or replaced.
 
         A borrower may release after an exception mid-evaluation — an
-        injected fault, a deadline ``interrupt()``, a genuine sqlite
-        error — so the session is sanitized before anyone else can
-        borrow it: any lingering ``cancel_check`` hook is cleared, and
-        an open read transaction (sqlite keeps one after an interrupted
-        statement) is rolled back. A session whose connection proves
-        unusable is *replaced* by a freshly opened one rather than
-        re-queued, so the pool never shrinks and never hands out a
+        injected fault, a deadline cancel, a genuine engine error — so
+        the session is sanitized before anyone else can borrow it: any
+        lingering ``cancel_check`` hook is cleared, and
+        ``driver.sanitize`` rolls back whatever transaction state an
+        interrupted statement left behind. A session whose connection
+        proves unusable is *replaced* by a freshly opened one rather
+        than re-queued, so the pool never shrinks and never hands out a
         poisoned connection. Releasing into a closed pool closes the
         session instead of queueing it.
         """
         if self._closed:
             try:
                 session.close()
-            except sqlite3.Error:
+            except self.driver.errors:
                 pass
             return
         session.cancel_check = None
-        try:
-            if session.connection.in_transaction:
-                session.connection.rollback()
-        except sqlite3.Error:
+        if not self.driver.sanitize(session.connection):
             session = self._replace(session)
         self._idle.put(session)
 
@@ -163,7 +157,7 @@ class ConnectionPool:
         """Swap a broken session for a fresh one (same stats identity)."""
         try:
             session.close()
-        except sqlite3.Error:
+        except self.driver.errors:
             pass
         replacement = self._open_session(self._path, self._keep_sql)
         # Keep aggregate_stats() seeing exactly ``size`` sessions.
@@ -180,7 +174,7 @@ class ConnectionPool:
         """Borrow a session for the duration of a ``with`` block.
 
         The ``finally`` release guarantees a mid-evaluation exception —
-        evaluator bugs, injected faults, deadline interrupts — can never
+        evaluator bugs, injected faults, deadline cancels — can never
         leak the connection: it always flows through :meth:`release`'s
         sanitization.
         """
@@ -208,10 +202,11 @@ class ConnectionPool:
         writes land on the source, the maintenance layer calls this to
         bring the snapshot forward. Every session is drained from the
         idle queue first — a barrier that waits for in-flight requests
-        to finish and blocks new borrows — then the source is backed up
-        into the clone and the sessions are returned. Returns ``False``
-        for file-mode pools, where read-only connections already see
-        each committed write at their next statement.
+        to finish and blocks new borrows — then the snapshot is
+        refreshed from the source and the sessions are returned.
+        Returns ``False`` for file-mode pools, where read-only
+        connections already see each committed write at their next
+        statement.
 
         The caller's thread must be allowed to touch the source
         connection (open it with ``cross_thread=True`` when writers and
@@ -219,14 +214,14 @@ class ConnectionPool:
         serialized; callers must not hold a borrowed session, or the
         drain would deadlock.
         """
-        if self._source is None:
+        if self._source is None or self._snapshot is None:
             return False
         if self._closed:
             raise RuntimeError("pool is closed")
         with self._refresh_lock:
             borrowed = [self._idle.get() for _ in range(self.size)]
             try:
-                self._source.connection.backup(self._anchor)
+                self._snapshot.refresh(self._source)
             finally:
                 for session in borrowed:
                     self._idle.put(session)
@@ -247,15 +242,15 @@ class ConnectionPool:
             session.stats.reset()
 
     def close(self) -> None:
-        """Close every pooled connection (and the clone anchor)."""
+        """Close every pooled session (and the snapshot's anchor)."""
         with self._close_lock:
             if self._closed:
                 return
             self._closed = True
         for session in self._sessions:
             session.close()
-        if self._anchor is not None:
-            self._anchor.close()
+        if self._snapshot is not None:
+            self._snapshot.close()
 
     def __enter__(self) -> "ConnectionPool":
         return self

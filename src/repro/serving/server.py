@@ -796,29 +796,28 @@ class ViewServer:
         :class:`DeadlineExceeded` (or
         :class:`~repro.errors.RequestCancelled` when the deadline
         carries a cancelled token) at the next query boundary. Hard: a
-        timer calls ``connection.interrupt()`` when the budget expires
-        mid-statement — and a cancel-token callback does the same the
-        moment the token fires — surfacing as a (transient-classified)
-        ``interrupted`` error that the retry loop converts back into
-        the real failure via the expired-budget / cancelled-token
-        check. Timer and callback are disarmed before the session
-        returns to the pool so they can never interrupt the next
-        borrower.
+        timer calls the engine driver's ``cancel`` when the budget
+        expires mid-statement — and a cancel-token callback does the
+        same the moment the token fires — surfacing as a
+        (transient-classified) interrupt error that the retry loop
+        converts back into the real failure via the expired-budget /
+        cancelled-token check. Timer and callback are disarmed before
+        the session returns to the pool so they can never interrupt the
+        next borrower.
         """
         token = deadline.token
         if deadline.budget_ms is None and token is None:
             yield
             return
         db.cancel_check = deadline.check
+        # FaultyEngine wrappers delegate .driver/.connection through.
         armed: dict = {"connection": db.connection}
+        driver = db.driver
 
         def hard_cutoff() -> None:
             target = armed.get("connection")
             if target is not None:
-                try:
-                    target.interrupt()
-                except Exception:
-                    pass
+                driver.cancel(target)
 
         timer = None
         if deadline.budget_ms is not None:

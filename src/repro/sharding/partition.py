@@ -234,7 +234,8 @@ def partition_database(
     """
     scheme.validate(source.catalog)
     shards = [
-        Database(source.catalog, cross_thread=cross_thread)
+        Database(source.catalog, cross_thread=cross_thread,
+                 driver=source.driver)
         for _ in range(partitioner.shards)
     ]
     for declared in source.catalog:

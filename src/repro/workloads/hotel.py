@@ -289,17 +289,20 @@ def build_hotel_database(
     spec: HotelDataSpec | None = None,
     cross_thread: bool = False,
     seed: int | None = None,
+    driver=None,
 ) -> Database:
     """Create and populate a hotel database in one call.
 
-    ``cross_thread=True`` opens the connection without sqlite's
+    ``cross_thread=True`` opens the connection without the engine's
     same-thread check — required when the database is the live source
     behind an update-aware :class:`~repro.serving.server.ViewServer`
     (a writer thread mutates it while server workers re-snapshot it).
     ``seed`` overrides the spec's generation seed (see
-    :func:`populate_hotel_database`).
+    :func:`populate_hotel_database`); ``driver`` picks the storage
+    backend (a name like ``"duckdb"`` or an
+    :class:`~repro.relational.driver.EngineDriver`; default sqlite).
     """
-    db = Database(hotel_catalog(), cross_thread=cross_thread)
+    db = Database(hotel_catalog(), cross_thread=cross_thread, driver=driver)
     populate_hotel_database(db, spec or HotelDataSpec(), seed=seed)
     db.analyze()
     return db

@@ -1,0 +1,102 @@
+"""Regression tests: WriteTracker on drivers without write hooks.
+
+The DuckDB path: ``WriteTracker.attach`` must degrade *loudly* (raise
+:class:`~repro.errors.DriverCapabilityError`, leave the engine
+untouched), never silently capture nothing — and the explicit
+``record_write`` path must keep versioning correctly on such a driver.
+A stub hookless driver pins the behavior without needing duckdb
+installed; a real-duckdb variant runs when the module is present.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DriverCapabilityError, DriverUnavailableError
+from repro.maintenance.tracker import WriteTracker
+from repro.relational.driver import SqliteDriver, resolve_driver
+from repro.relational.engine import Database
+from repro.relational.schema import Catalog, table
+
+
+class HookslessDriver(SqliteDriver):
+    """sqlite semantics, but no write hooks — the DuckDB capability
+    shape on an engine that is installed everywhere."""
+
+    name = "hooksless"
+    supports_auto_capture = False
+
+    def install_change_capture(self, connection, record) -> None:
+        """Declared unsupported: raise, never silently no-op."""
+        raise DriverCapabilityError(self.name, "auto change capture")
+
+
+def _catalog() -> Catalog:
+    return Catalog([
+        table("t", ("id", "INTEGER"), ("v", "TEXT"), primary_key="id"),
+    ])
+
+
+@pytest.fixture()
+def hookless_db():
+    db = Database(_catalog(), driver=HookslessDriver())
+    yield db
+    db.close()
+
+
+def test_auto_attach_degrades_loudly(hookless_db):
+    tracker = WriteTracker()
+    with pytest.raises(DriverCapabilityError):
+        hookless_db.attach_tracker(tracker, auto=True)
+
+
+def test_failed_auto_attach_leaves_engine_untracked(hookless_db):
+    """The raise must happen before any tracker state lands: a
+    half-attached engine (tracker set, hooks absent, explicit path
+    standing down) would undercount silently — the worst outcome."""
+    tracker = WriteTracker()
+    with pytest.raises(DriverCapabilityError):
+        hookless_db.attach_tracker(tracker, auto=True)
+    assert hookless_db.tracker is None
+    # Inserts after the failed attach record nothing on the tracker
+    # (the engine is untracked) rather than half-recording.
+    hookless_db.insert_rows("t", [{"id": 1, "v": "a"}])
+    assert tracker.version("t") == 0
+    # And a subsequent *explicit* attach works normally.
+    hookless_db.attach_tracker(tracker, auto=False)
+    hookless_db.insert_rows("t", [{"id": 2, "v": "b"}])
+    assert tracker.version("t") == 1
+
+
+def test_explicit_recording_versions_correctly(hookless_db):
+    tracker = WriteTracker()
+    hookless_db.attach_tracker(tracker, auto=False)
+    hookless_db.insert_rows("t", [{"id": n, "v": "x"} for n in range(5)])
+    assert tracker.version("t") == 1  # one bulk insert = one event
+    assert tracker.rows_written == 5
+    hookless_db.run_sql("UPDATE t SET v = 'y' WHERE id = 0")
+    # Raw SQL is the caller's responsibility on the explicit path.
+    assert tracker.version("t") == 1
+    hookless_db.record_write("t")
+    assert tracker.version("t") == 2
+
+
+def test_detach_is_safe_on_hookless_driver(hookless_db):
+    """Base remove_change_capture is a no-op, so detach never raises."""
+    WriteTracker.detach(hookless_db)
+
+
+def test_duckdb_attach_matches_stub_behavior():
+    """The real DuckDB driver behaves exactly like the stub."""
+    try:
+        driver = resolve_driver("duckdb")
+    except DriverUnavailableError as exc:
+        pytest.skip(str(exc))
+    tracker = WriteTracker()
+    with Database(_catalog(), driver=driver) as db:
+        with pytest.raises(DriverCapabilityError):
+            db.attach_tracker(tracker, auto=True)
+        assert db.tracker is None
+        db.attach_tracker(tracker, auto=False)
+        db.insert_rows("t", [{"id": 1, "v": "a"}])
+        assert tracker.version("t") == 1

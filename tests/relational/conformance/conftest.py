@@ -1,0 +1,24 @@
+"""Backend parametrization for the driver conformance kit.
+
+Every test in this package takes the ``driver`` fixture and therefore
+runs once per registered backend. A backend whose module is not
+installed (DuckDB on a bare-stdlib box) skips with the driver's own
+unavailability message rather than failing — the CI duckdb leg installs
+the module and turns those skips into real runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DriverUnavailableError
+from repro.relational.driver import BACKEND_NAMES, resolve_driver
+
+
+@pytest.fixture(params=list(BACKEND_NAMES))
+def driver(request):
+    """One EngineDriver instance per registered backend (skip-if-absent)."""
+    try:
+        return resolve_driver(request.param)
+    except DriverUnavailableError as exc:
+        pytest.skip(str(exc))
