@@ -1,0 +1,122 @@
+"""E21: replica-aware fleet resilience.
+
+Measures the request path of a replicated fleet on the shared scale-8
+hotel database: a steady all-hit batch over a 1-shard/2-replica set
+(reads rotate across caught-up members), the same batch with
+replica-crash windows armed (the router's fault gate skips crashed
+replicas and the pool admission hook refuses stragglers), and the raw
+replica catch-up primitive (primary write events replayed into a
+replica's tracker lineage). The fault-kind x replica-count sweep and
+the availability / byte / anti-affinity gates live in
+``python -m repro.harness --e21-json``.
+"""
+
+import pytest
+
+from repro.maintenance.tracker import WriteTracker
+from repro.maintenance.workload import hotel_metro_write
+from repro.resilience import FleetFaultPlan, FleetFaultSpec
+from repro.sharding import ReplicaApplier, ShardRouter
+from repro.workloads.hotel import hotel_partition_scheme
+from repro.workloads.paper import figure1_view
+
+REQUESTS = 6
+REPLICAS = 2
+
+
+def _request(view):
+    from repro.serving import PublishRequest
+
+    return PublishRequest(view, strategy="bulk")
+
+
+@pytest.fixture(scope="module")
+def replica_fleet(serving_db):
+    """A 1-shard, 2-replica set over the shared scale-8 database."""
+    router = ShardRouter.build(
+        serving_db.catalog,
+        serving_db,
+        hotel_partition_scheme(),
+        1,
+        replicas=REPLICAS,
+        workers=2,
+        staleness="strict",
+        maintenance="full",
+    )
+    yield serving_db, router
+    router.close()
+
+
+@pytest.fixture(scope="module")
+def crashing_fleet(serving_db):
+    """The same replica set with replica-crash windows armed."""
+    plan = FleetFaultPlan(
+        FleetFaultSpec(crash_rate=0.5, window=4), seed=21
+    )
+    router = ShardRouter.build(
+        serving_db.catalog,
+        serving_db,
+        hotel_partition_scheme(),
+        1,
+        replicas=REPLICAS,
+        workers=2,
+        staleness="strict",
+        maintenance="full",
+        fleet_faults=plan,
+    )
+    yield serving_db, router
+    router.close()
+
+
+def test_e21_replicated_all_hit_batch(benchmark, replica_fleet):
+    """Steady state: reads rotate across three caught-up members,
+    every one serving from its result cache."""
+    db, router = replica_fleet
+    view = figure1_view(db.catalog)
+    benchmark.group = "E21 replicated serving (6-request batch)"
+    router.render(view, strategy="bulk")  # prime caches on all members
+    benchmark(
+        lambda: router.render_many([_request(view) for _ in range(REQUESTS)])
+    )
+
+
+def test_e21_replica_crash_batch(benchmark, crashing_fleet):
+    """The same batch under crash windows: the candidate gate skips
+    crashed replicas, survivors absorb the traffic."""
+    db, router = crashing_fleet
+    view = figure1_view(db.catalog)
+    benchmark.group = "E21 replicated serving (6-request batch)"
+    router.render(view, strategy="bulk")
+    benchmark(
+        lambda: router.render_many([_request(view) for _ in range(REQUESTS)])
+    )
+
+
+def test_e21_replica_catch_up(benchmark, serving_db):
+    """The raw catch-up primitive: a burst of metro-local writes on the
+    primary tracker, replayed event-for-event into the replica's own
+    lineage by the (synchronous, zero-delay) applier."""
+    domain = [
+        row["metroid"]
+        for row in serving_db.run_sql(
+            "SELECT metroid FROM metroarea ORDER BY metroid", {}
+        )
+    ]
+    step = [0]
+
+    def write_burst():
+        primary = WriteTracker()
+        replica = WriteTracker()
+        applier = ReplicaApplier(primary, replica, delay_ms=0.0)
+        try:
+            for _ in range(32):
+                hotel_metro_write(
+                    serving_db, step[0], tracker=primary, domain=domain
+                )
+                step[0] += 1
+            assert applier.lag() == 0
+        finally:
+            applier.close()
+
+    benchmark.group = "E21 replica catch-up (32 writes)"
+    benchmark(write_burst)

@@ -44,6 +44,7 @@ from repro.core.tvq import build_tvq
 from repro.errors import DriverUnavailableError, ReproError
 from repro.relational.driver import BACKEND_NAMES, resolve_driver
 from repro.relational.engine import Database
+from repro.resilience.faults import FLEET_FAULT_KINDS
 from repro.schema_tree.bulk_evaluator import BulkViewEvaluator
 from repro.schema_tree.evaluator import STRATEGIES, ViewEvaluator
 from repro.schema_tree.io import (
@@ -287,6 +288,23 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         )
     strategies = list(STRATEGIES) if args.strategy == "all" else [args.strategy]
     sharded = args.shards > 1 or args.replicas > 0
+    fleet_faults = None
+    if args.fault_kind != "none":
+        if not sharded:
+            print(
+                "serve-bench: --fault-kind needs a fleet "
+                "(--shards > 1 or --replicas > 0)",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.resilience import FleetFaultPlan
+
+        fleet_faults = FleetFaultPlan.for_kind(
+            args.fault_kind,
+            rate=args.fleet_fault_rate,
+            seed=args.fault_seed,
+            window=args.fleet_fault_window,
+        )
     try:
         driver = resolve_driver(getattr(args, "backend", None))
     except DriverUnavailableError as exc:
@@ -343,6 +361,8 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
                 if faults is not None
                 else None
             ),
+            fleet_faults=fleet_faults,
+            replica_lag_ms=args.replica_lag_ms,
             keep_xml=False,
         )
     else:
@@ -392,6 +412,8 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
             # has a last-known-good entry to fall back to.
             if faults is not None:
                 faults.disarm()
+            if fleet_faults is not None:
+                fleet_faults.disarm()
             server.render_many(
                 PublishRequest(
                     view,
@@ -403,6 +425,8 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
             )
             if faults is not None:
                 faults.arm()
+            if fleet_faults is not None:
+                fleet_faults.arm()
         started = _time.perf_counter()
         traces = server.render_many(requests)
         wall_seconds = _time.perf_counter() - started
@@ -458,6 +482,26 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
             f"failovers={router_stats['failovers']} "
             f"key_ranges={router_stats.get('key_ranges', '')}"
         )
+        fleet = router_stats.get("fleet")
+        if fleet is not None:
+            skips = fleet["skips"]
+            rate = fleet["anti_affinity"]["rate"]
+            print(
+                f"fleet stale_serves={fleet['stale_serves']} "
+                f"max_member_lag_served={fleet['max_member_lag_served']} "
+                f"no_candidates={fleet['no_candidates']} "
+                "skips "
+                + " ".join(f"{k}={v}" for k, v in sorted(skips.items()))
+                + " anti_affinity_rate="
+                + (f"{rate:.3f}" if rate is not None else "n/a")
+            )
+            if fleet_faults is not None:
+                stats = fleet["fleet_faults"]
+                print(
+                    f"fleet_faults kind={args.fault_kind} "
+                    f"seed={stats['seed']} checks={stats['checks']} "
+                    f"injected={stats['injected']}"
+                )
     print(
         f"throughput_rps={throughput:.1f} wall_seconds={wall_seconds:.4f} "
         f"errors={len(errors)}"
@@ -598,6 +642,10 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
                 "strategy": args.strategy,
                 "shards": args.shards,
                 "replicas": args.replicas,
+                "replica_lag_ms": args.replica_lag_ms,
+                "fault_kind": (
+                    args.fault_kind if fleet_faults is not None else None
+                ),
                 "writes_per_sec": args.writes_per_sec,
                 "staleness": args.staleness,
                 "maintenance": args.maintenance,
@@ -655,7 +703,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
             json.dump(report, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote {args.json}")
-    if faults is not None:
+    if faults is not None or fleet_faults is not None:
         # Chaos runs *expect* injected failures; CI gates on the JSON
         # availability/leak fields instead of the exit code.
         return 0
@@ -718,6 +766,20 @@ def _frontend_app_from_args(args: argparse.Namespace):
                 p.strip() for p in args.hedge_priorities.split(",") if p.strip()
             ),
         )
+    fleet_faults = None
+    if args.fault_kind != "none":
+        if not (args.shards > 1 or args.replicas > 0):
+            raise ReproError(
+                "--fault-kind needs a fleet (--shards > 1 or --replicas > 0)"
+            )
+        from repro.resilience import FleetFaultPlan
+
+        fleet_faults = FleetFaultPlan.for_kind(
+            args.fault_kind,
+            rate=args.fleet_fault_rate,
+            seed=args.fault_seed,
+            window=args.fleet_fault_window,
+        )
     return build_hotel_app(
         scale=args.scale,
         workers=args.workers,
@@ -729,6 +791,8 @@ def _frontend_app_from_args(args: argparse.Namespace):
         hedge=hedge,
         shards=args.shards,
         replicas=args.replicas,
+        replica_lag_ms=args.replica_lag_ms,
+        fleet_faults=fleet_faults,
         backend=getattr(args, "backend", None),
     )
 
@@ -763,6 +827,25 @@ def _add_frontend_build_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--replicas", type=int, default=0, metavar="M",
         help="read replicas per shard (default: 0)",
+    )
+    parser.add_argument(
+        "--replica-lag-ms", type=float, default=0.0, metavar="MS",
+        help="delay each replica's catch-up apply loop by MS "
+        "(default: 0 = apply writes inline)",
+    )
+    parser.add_argument(
+        "--fault-kind", default="none",
+        choices=["none"] + list(FLEET_FAULT_KINDS),
+        help="fleet-scoped fault to inject (default: none)",
+    )
+    parser.add_argument(
+        "--fleet-fault-rate", type=float, default=0.5, metavar="RATE",
+        help="fraction of fault-site windows the fleet fault is active "
+        "in (default: 0.5)",
+    )
+    parser.add_argument(
+        "--fleet-fault-window", type=int, default=8, metavar="N",
+        help="checks per fleet-fault window (default: 8)",
     )
     parser.add_argument(
         "--faults", type=float, default=0.0, metavar="RATE",
@@ -1148,6 +1231,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--replicas", type=int, default=0, metavar="M",
         help="read replicas per shard (snapshot clones balanced "
         "round-robin with failover; implies router mode; default: 0)",
+    )
+    serve_parser.add_argument(
+        "--replica-lag-ms", type=float, default=0.0, metavar="MS",
+        help="delay each replica's catch-up apply loop by MS so "
+        "replicas genuinely lag the primary (default: 0 = apply "
+        "writes inline)",
+    )
+    serve_parser.add_argument(
+        "--fault-kind", default="none",
+        choices=["none"] + list(FLEET_FAULT_KINDS),
+        help="fleet-scoped fault to inject: replica-crash (a replica's "
+        "pool refuses new sessions), apply-stall (a replica's catch-up "
+        "loop freezes), or partition (the primary stays writable but "
+        "unreadable); default: none",
+    )
+    serve_parser.add_argument(
+        "--fleet-fault-rate", type=float, default=0.5, metavar="RATE",
+        help="fraction of fault-site windows the fleet fault is active "
+        "in (default: 0.5)",
+    )
+    serve_parser.add_argument(
+        "--fleet-fault-window", type=int, default=8, metavar="N",
+        help="checks per fleet-fault window; a whole window is faulted "
+        "or clean together (default: 8)",
     )
     serve_parser.add_argument(
         "--view-only", action="store_true",

@@ -139,6 +139,8 @@ def build_hotel_app(
     hedge: Optional[HedgePolicy] = None,
     shards: int = 1,
     replicas: int = 0,
+    replica_lag_ms: float = 0.0,
+    fleet_faults=None,
     backend: Optional[str] = None,
 ) -> PublishingApp:
     """The paper's hotel workload as a servable application.
@@ -192,6 +194,8 @@ def build_hotel_app(
                 if faults is not None
                 else None
             ),
+            fleet_faults=fleet_faults,
+            replica_lag_ms=replica_lag_ms,
             keep_xml=True,  # the HTTP layer serves trace.xml
         )
 

@@ -138,6 +138,14 @@ class AsyncViewServer:
         key = self.hedge_key(request)
         delay_ms = controller.delay_ms(key)
 
+        if isinstance(self.backend, ShardRouter) and request.placement is None:
+            # Replica anti-affinity: both attempts share one placement
+            # group, so if the hedge fires the router can route it to a
+            # member the primary attempt did not use.
+            from repro.sharding.replica import PlacementGroup
+
+            request = dataclasses.replace(request, placement=PlacementGroup())
+
         primary_token = CancelToken()
         primary = asyncio.ensure_future(self._attempt(request, primary_token))
         if delay_ms is None:
@@ -199,12 +207,16 @@ class AsyncViewServer:
         reaper.add_done_callback(self._reapers.discard)
         return trace
 
-    @staticmethod
-    async def _reap(loser: asyncio.Task) -> None:
+    async def _reap(self, loser: asyncio.Task) -> None:
         try:
             await loser
         except Exception:
-            pass  # the loser's fate is not the request's fate
+            # The loser's fate is not the request's fate — but a healthy
+            # loser resolves as a cancelled trace, so an exception here
+            # means the cancellation path broke. Count it (the E19 gate
+            # asserts 0) instead of swallowing it silently.
+            if self.hedges is not None:
+                self.hedges.record_reap_error()
 
     # -- lifecycle and reporting ---------------------------------------------
 

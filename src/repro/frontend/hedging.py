@@ -149,6 +149,7 @@ class HedgeController:
         self.hedges_fired = 0
         self.hedges_won = 0
         self.hedges_cancelled = 0
+        self.hedge_reap_errors = 0
         self.budget_denials = 0
         self.no_estimate = 0
 
@@ -222,6 +223,18 @@ class HedgeController:
         with self._lock:
             self.hedges_cancelled += 1
 
+    def record_reap_error(self) -> None:
+        """Reaping a cancelled loser raised instead of resolving.
+
+        A healthy loser resolves to a trace with ``outcome="cancelled"``
+        — an *exception* out of the reap means the cancellation path
+        itself is broken (a leaked future, a backend that raised from
+        ``submit``). Surfaced as a counter (asserted 0 by the E19 smoke
+        gate) instead of being swallowed silently.
+        """
+        with self._lock:
+            self.hedge_reap_errors += 1
+
     # -- reporting -----------------------------------------------------------
 
     def stats(self) -> dict:
@@ -236,6 +249,7 @@ class HedgeController:
                 "fired": fired,
                 "won": won,
                 "cancelled": self.hedges_cancelled,
+                "reap_errors": self.hedge_reap_errors,
                 "budget_denials": self.budget_denials,
                 "no_estimate": self.no_estimate,
                 "fire_rate": round(fired / seen, 6) if seen else 0.0,

@@ -63,6 +63,13 @@ def main() -> None:
         "whose module is absent are recorded as unavailable)",
     )
     parser.add_argument(
+        "--e21-json", metavar="PATH",
+        help="run only E21 (replica-aware fleet resilience) and record "
+        "its raw numbers as JSON (fault-kind x replica-count strict "
+        "sweep with byte checks, the bounded-staleness partition run, "
+        "and the hedge anti-affinity phase, with leak checks)",
+    )
+    parser.add_argument(
         "--e19-json", metavar="PATH",
         help="run only E19 (async HTTP front end over real sockets) and "
         "record its raw numbers as JSON (hedge on/off x fault rate "
@@ -70,6 +77,22 @@ def main() -> None:
         "run, with per-class latency/availability and leak checks)",
     )
     args = parser.parse_args()
+    if args.e21_json:
+        from repro.harness.experiments import e21_fleet
+
+        if args.quick:
+            # The sweep keeps the 3-replica replica-crash cell: the CI
+            # availability gate reads it. Only rounds/batch sizes and
+            # the 2-replica middle column are reduced.
+            result = e21_fleet(
+                scale=4, rounds=4, repeats=3, replica_counts=[1, 3],
+                hedge_requests=40, json_path=args.e21_json,
+            )
+        else:
+            result = e21_fleet(json_path=args.e21_json)
+        print(result.to_console())
+        print(f"wrote {args.e21_json}")
+        return
     if args.e20_json:
         from repro.harness.experiments import e20_backends
 

@@ -2295,6 +2295,13 @@ def e19_frontend(
         f"{overload_run['priority']['interactive']['availability']:.4f} "
         f"with shed by class {overload_run['shed_by_class']}."
     )
+    # Hedge-loser reaping must never raise: an exception out of the
+    # reaper means the cancellation path itself broke (gate: 0).
+    reap_errors = sum(
+        run["hedging"]["reap_errors"]
+        for run in runs + [priority_run]
+        if run["hedging"] is not None
+    )
     if json_path:
         with open(json_path, "w") as handle:
             json.dump(
@@ -2311,6 +2318,7 @@ def e19_frontend(
                     "p99_unhedged_at_max_rate": p99_unhedged,
                     "p99_hedged_at_max_rate": p99_hedged,
                     "hedge_fire_rate_at_max_rate": fire_rate,
+                    "reap_errors": reap_errors,
                     "availability_at_max_rate": hedged["overall"][
                         "availability"
                     ],
@@ -2536,6 +2544,410 @@ def e20_backends(
     return result
 
 
+def e21_fleet(
+    scale: int = 8,
+    rounds: int = 10,
+    repeats: int = 6,
+    shards: int = 2,
+    replica_counts: list[int] | None = None,
+    fault_kinds: list[str] | None = None,
+    fault_rate: float = 0.5,
+    fault_window: int = 4,
+    writes_per_round: int = 1,
+    lag_budget: int = 16,
+    replica_lag_ms: float = 25.0,
+    hedge_requests: int = 60,
+    json_path: str | None = None,
+) -> ExperimentResult:
+    """E21: replica-aware fleet resilience under whole-member faults.
+
+    Where E18 injects per-query faults into one primary, E21 afflicts
+    whole *members* for windows at a time
+    (:class:`~repro.resilience.faults.FleetFaultPlan`): a replica's pool
+    refuses new sessions (``replica-crash``), a replica's catch-up
+    apply loop freezes so its version lag grows (``apply-stall``), or
+    the primary stays writable but unreadable (``partition``). Three
+    phases, one JSON report:
+
+    * **strict sweep** — (fault kind x replica count) fleets under the
+      E18 write/serve/verify loop: metro-local writes mirrored onto an
+      unpartitioned reference, serial batches, and every *successful*
+      response byte-checked against the reference's uncached serial
+      materialization. Strict routing must never serve a lagging member,
+      so ``mismatches`` must be 0 across every kind; under
+      ``replica-crash`` with >= 2 replicas the surviving members keep
+      availability >= 0.99 (the CI gate reads the 3-replica cell).
+      ``apply-stall`` runs additionally record the stalled repliers'
+      lag watermark — the lag has to *actually grow* for the strict
+      exclusion to be tested.
+    * **partition** — a bounded:``lag_budget`` fleet with
+      ``replica_lag_ms`` of genuine apply delay and read-partition
+      windows on the primaries: reads fail over to replicas *within the
+      version budget*, so the gate is ``max_member_lag_served <=
+      lag_budget`` while writes keep landing on the (writable) primary.
+    * **anti-affinity** — an :class:`~repro.frontend.facade.
+      AsyncViewServer` over a 1-shard/2-replica set with a latency
+      fault plan on the primary and an aggressive hedge policy: every
+      hedge shares a :class:`~repro.sharding.replica.PlacementGroup`
+      with its primary attempt, so the router routes it to a member the
+      first attempt did not use. Gates: anti-affinity rate >= 0.9,
+      hedge-loser reap errors == 0.
+
+    Leak accounting after every fleet: zero borrowed sessions, zero
+    surviving ``viewserver``/``shardrouter`` threads.
+    """
+    import asyncio
+    import json
+    import statistics
+    import threading
+
+    from repro.frontend import AsyncViewServer, HedgePolicy
+    from repro.maintenance.workload import hotel_metro_write
+    from repro.resilience import (
+        FaultPlan,
+        FaultSpec,
+        FleetFaultPlan,
+    )
+    from repro.schema_tree.evaluator import materialize
+    from repro.serving import PublishRequest, percentile
+    from repro.sharding import ShardRouter
+    from repro.workloads.hotel import hotel_partition_scheme
+    from repro.xmlcore.serializer import serialize
+
+    replica_counts = (
+        replica_counts if replica_counts is not None else [1, 2, 3]
+    )
+    fault_kinds = (
+        fault_kinds
+        if fault_kinds is not None
+        else ["none", "replica-crash", "apply-stall"]
+    )
+    result = ExperimentResult(
+        "E21",
+        f"Fleet resilience (scale-{scale} hotel, {shards} shards): "
+        "whole-member faults vs health-tracked replica sets",
+        ["run", "replicas", "requests", "avail", "failovers",
+         "skips c/p/l", "max lag srv", "mismatches"],
+        notes=[
+            f"{rounds} rounds of ({writes_per_round} metro-local writes, "
+            f"one serial batch of {repeats} requests) per fleet; fleet "
+            f"faults drawn per {fault_window}-check window at rate "
+            f"{fault_rate:g}, seed 21, warmup disarmed. Strict responses "
+            "are byte-checked against a mirrored unpartitioned reference "
+            "(mismatches must be 0); the partition phase runs "
+            f"bounded:{lag_budget} with {replica_lag_ms:g}ms of real "
+            "apply delay instead (stale bytes are in-contract there, so "
+            "the gate is the served lag bound).",
+        ],
+    )
+    leaked_connections_total = 0
+
+    def leaked_threads_now() -> int:
+        return sum(
+            1
+            for thread in threading.enumerate()
+            if thread.name.startswith(("viewserver", "shardrouter"))
+        )
+
+    def run_fleet(
+        kind: str,
+        fleet_replicas: int,
+        staleness: str = "strict",
+        lag_ms: float = 0.0,
+        byte_check: bool = True,
+    ) -> dict:
+        """One fleet's write/serve/verify sweep under one fault kind."""
+        nonlocal leaked_connections_total
+        db = build_hotel_database(
+            HotelDataSpec().scaled(scale), cross_thread=True
+        )
+        view = figure1_view(db.catalog)
+        domain = [
+            row["metroid"]
+            for row in db.run_sql(
+                "SELECT metroid FROM metroarea ORDER BY metroid", {}
+            )
+        ]
+        plan = None
+        if kind != "none":
+            plan = FleetFaultPlan.for_kind(
+                kind, rate=fault_rate, seed=21, window=fault_window
+            )
+            plan.disarm()  # warmup runs clean
+        router = ShardRouter.build(
+            db.catalog,
+            db,
+            hotel_partition_scheme(),
+            shards,
+            replicas=fleet_replicas,
+            workers=2,
+            staleness=staleness,
+            maintenance="full",
+            fleet_faults=plan,
+            replica_lag_ms=lag_ms,
+        )
+        batch = [
+            PublishRequest(view, strategy="bulk", label=f"e21-{kind}")
+            for _ in range(repeats)
+        ]
+        latencies: list[float] = []
+        round_times: list[float] = []
+        mismatches = 0
+        unavailable = 0
+        step = 0
+        try:
+            router.render_many(batch)  # untimed warmup, plan disarmed
+            if plan is not None:
+                plan.arm()
+            for _ in range(rounds):
+                for _ in range(writes_per_round):
+                    this = step
+                    router.route_write(
+                        lambda source, tracker: hotel_metro_write(
+                            source, this, tracker=tracker, domain=domain
+                        )
+                    )
+                    hotel_metro_write(db, this)
+                    step += 1
+                started = time.perf_counter()
+                traces = [
+                    router.submit(request).result() for request in batch
+                ]
+                round_times.append(time.perf_counter() - started)
+                reference = (
+                    serialize(materialize(view, db)) if byte_check else None
+                )
+                for trace in traces:
+                    latencies.append(trace.total_seconds)
+                    if trace.outcome not in ("success", "degraded"):
+                        unavailable += 1
+                    elif byte_check and trace.xml != reference:
+                        mismatches += 1
+            metrics = router.metrics()
+            leaked = router.outstanding()
+        finally:
+            router.close()
+            db.close()
+        leaked_connections_total += leaked
+        fleet = metrics["fleet"]
+        skips = fleet["skips"]
+        health = fleet["replica_health"]
+        stall_lag = max(
+            (
+                member["max_lag"]
+                for shard_block in health
+                for member in shard_block["members"].values()
+            ),
+            default=0,
+        )
+        stalled_checks = sum(
+            member["stalled_checks"] or 0
+            for shard_block in health
+            for member in shard_block["members"].values()
+        )
+        total = rounds * len(batch)
+        availability = (total - unavailable) / total if total else 0.0
+        median_round = statistics.median(round_times)
+        result.add_row(
+            kind if staleness == "strict" else f"{kind} ({staleness})",
+            fleet_replicas, total, availability,
+            metrics["failovers"],
+            f"{skips['crash']}/{skips['partition']}/{skips['lagging']}",
+            fleet["max_member_lag_served"],
+            mismatches if byte_check else "-",
+        )
+        return {
+            "kind": kind,
+            "replicas": fleet_replicas,
+            "staleness": staleness,
+            "replica_lag_ms": lag_ms,
+            "requests": total,
+            "median_round_ms": round(median_round * 1000, 4),
+            **latency_summary_ms([v * 1000 for v in latencies]),
+            "availability": round(availability, 6),
+            "byte_checked": byte_check,
+            "mismatches": mismatches if byte_check else None,
+            "failovers": metrics["failovers"],
+            "outcomes": metrics["outcomes"],
+            "skips": skips,
+            "no_candidates": fleet["no_candidates"],
+            "stale_serves": fleet["stale_serves"],
+            "max_member_lag_served": fleet["max_member_lag_served"],
+            "lag_budget": fleet["lag_budget"],
+            "stall_max_lag": stall_lag,
+            "stalled_checks": stalled_checks,
+            "fleet_faults": fleet.get("fleet_faults"),
+            "leaked_connections": leaked,
+        }
+
+    runs: list[dict] = []
+    for kind in fault_kinds:
+        for fleet_replicas in replica_counts:
+            runs.append(run_fleet(kind, fleet_replicas))
+
+    partition_run = run_fleet(
+        "partition",
+        max(max(replica_counts), 1),
+        staleness=f"bounded:{lag_budget}",
+        lag_ms=replica_lag_ms,
+        byte_check=False,
+    )
+
+    def anti_affinity_phase() -> dict:
+        """Hedged requests over a replica set: the hedge lands elsewhere.
+
+        A total-latency fault plan on the 1-shard fleet's primary makes
+        every attempt routed there stall, so its hedge fires — and the
+        shared placement group steers the hedge onto a replica the
+        first attempt did not use. Replicas are clean, so hedge wins
+        come back fast and the loser cancels without error.
+        """
+        db = build_hotel_database(
+            HotelDataSpec().scaled(max(scale // 4, 1)), cross_thread=True
+        )
+        view = figure1_view(db.catalog)
+        faults = FaultPlan(
+            FaultSpec(latency_rate=1.0, latency_ms=5.0),
+            seed=21,
+            enabled=False,  # armed after the estimator warmup
+        )
+        router = ShardRouter.build(
+            db.catalog,
+            db,
+            hotel_partition_scheme(),
+            1,
+            replicas=2,
+            workers=4,
+            staleness="strict",
+            faults=[faults],
+            keep_xml=True,
+        )
+        facade = AsyncViewServer(
+            router,
+            hedge=HedgePolicy(
+                threshold_percentile=50.0,
+                min_samples=4,
+                window=32,
+                budget_fraction=1.0,
+                delay_floor_ms=1.0,
+                delay_multiplier=1.0,
+            ),
+        )
+
+        async def drive() -> bool:
+            for _ in range(8):  # clean warmup seeds the rolling median
+                await facade.submit(
+                    PublishRequest(
+                        view, strategy="bulk", label="e21-hedge",
+                        bypass_cache=True,
+                    )
+                )
+            faults.arm()
+            for _ in range(hedge_requests):
+                await facade.submit(
+                    PublishRequest(
+                        view, strategy="bulk", label="e21-hedge",
+                        bypass_cache=True,
+                    )
+                )
+            return await facade.drain(10.0)
+
+        try:
+            drained = asyncio.run(drive())
+            affinity = router.fleet_metrics()["anti_affinity"]
+            hedging = facade.hedges.stats()
+            leaked = router.outstanding()
+        finally:
+            router.close()
+            db.close()
+        nonlocal leaked_connections_total
+        leaked_connections_total += leaked
+        return {
+            "requests": hedge_requests,
+            "drained": drained,
+            "hits": affinity["hits"],
+            "misses": affinity["misses"],
+            "rate": affinity["rate"],
+            "hedges_fired": hedging["fired"],
+            "hedges_won": hedging["won"],
+            "reap_errors": hedging["reap_errors"],
+            "leaked_connections": leaked,
+        }
+
+    affinity_run = anti_affinity_phase()
+    leaked_threads = leaked_threads_now()
+
+    strict_mismatches = sum(run["mismatches"] or 0 for run in runs)
+    crash_availability = {
+        str(run["replicas"]): run["availability"]
+        for run in runs
+        if run["kind"] == "replica-crash"
+    }
+    multi_replica = [
+        run["availability"]
+        for run in runs
+        if run["kind"] == "replica-crash" and run["replicas"] >= 2
+    ]
+    stall_max_lag = max(
+        (run["stall_max_lag"] for run in runs if run["kind"] == "apply-stall"),
+        default=0,
+    )
+    result.notes.append(
+        f"strict mismatches {strict_mismatches} (gate 0); replica-crash "
+        f"availability by replica count {crash_availability} (gate >= "
+        "0.99 at >= 2 replicas); apply-stall lag watermark "
+        f"{stall_max_lag} (must grow > 0); partition served-lag bound "
+        f"{partition_run['max_member_lag_served']} <= "
+        f"{lag_budget}."
+    )
+    rate = affinity_run["rate"]
+    result.notes.append(
+        f"hedge anti-affinity: {affinity_run['hits']} hits / "
+        f"{affinity_run['misses']} misses over "
+        f"{affinity_run['hedges_fired']} hedges "
+        + (f"(rate {rate:.3f}, gate >= 0.9)" if rate is not None
+           else "(no hedges fired)")
+        + f", reap errors {affinity_run['reap_errors']} (gate 0); leaks: "
+        f"{leaked_connections_total} connections, "
+        f"{leaked_threads} threads (gate 0)."
+    )
+    if json_path:
+        with open(json_path, "w") as handle:
+            json.dump(
+                {
+                    "scale": scale,
+                    "rounds": rounds,
+                    "repeats": repeats,
+                    "shards": shards,
+                    "replica_counts": replica_counts,
+                    "fault_kinds": fault_kinds,
+                    "fault_rate": fault_rate,
+                    "fault_window": fault_window,
+                    "lag_budget": lag_budget,
+                    "replica_lag_ms": replica_lag_ms,
+                    "runs": runs,
+                    "partition_run": partition_run,
+                    "anti_affinity": affinity_run,
+                    "strict_mismatches": strict_mismatches,
+                    "crash_availability": crash_availability,
+                    "min_crash_availability_multi_replica": (
+                        min(multi_replica) if multi_replica else None
+                    ),
+                    "stall_max_lag": stall_max_lag,
+                    "partition_max_member_lag_served": partition_run[
+                        "max_member_lag_served"
+                    ],
+                    "leaked_connections": leaked_connections_total,
+                    "leaked_threads": leaked_threads,
+                },
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+            handle.write("\n")
+    return result
+
+
 def run_all(quick: bool = False) -> list[ExperimentResult]:
     """Run every experiment; ``quick`` shrinks the sweeps."""
     if quick:
@@ -2572,6 +2984,10 @@ def run_all(quick: bool = False) -> list[ExperimentResult]:
                 scale=1, requests=120, warmup=24, fault_rates=[0.0, 0.1],
             ),
             e20_backends(scale=2, rounds=4, repeats=2),
+            e21_fleet(
+                scale=4, rounds=4, repeats=3, replica_counts=[1, 3],
+                hedge_requests=40,
+            ),
         ]
     return [
         e1_end_to_end(),
@@ -2594,4 +3010,5 @@ def run_all(quick: bool = False) -> list[ExperimentResult]:
         e18_sharding(replicas=1, fault_rates=[0.2]),
         e19_frontend(),
         e20_backends(),
+        e21_fleet(),
     ]

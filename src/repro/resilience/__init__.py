@@ -30,10 +30,13 @@ and gates on availability (success + degraded).
 
 from repro.resilience.breaker import BREAKER_STATES, CircuitBreaker
 from repro.resilience.faults import (
+    FLEET_FAULT_KINDS,
     TRANSIENT_MESSAGES,
     FaultPlan,
     FaultSpec,
     FaultyEngine,
+    FleetFaultPlan,
+    FleetFaultSpec,
 )
 from repro.resilience.policy import CancelToken, Deadline, ResiliencePolicy
 
@@ -42,9 +45,12 @@ __all__ = [
     "CancelToken",
     "CircuitBreaker",
     "Deadline",
+    "FLEET_FAULT_KINDS",
     "FaultPlan",
     "FaultSpec",
     "FaultyEngine",
+    "FleetFaultPlan",
+    "FleetFaultSpec",
     "ResiliencePolicy",
     "TRANSIENT_MESSAGES",
 ]

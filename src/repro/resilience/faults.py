@@ -208,6 +208,144 @@ class FaultPlan:
             }
 
 
+#: Fleet-scoped fault kinds a :class:`FleetFaultPlan` can schedule.
+#: ``replica-crash`` makes a replica's pool refuse new sessions,
+#: ``apply-stall`` freezes a replica's catch-up loop so its lag grows,
+#: ``partition`` makes the primary writable but unreadable from the
+#: router (asymmetric partition).
+FLEET_FAULT_KINDS = ("replica-crash", "apply-stall", "partition")
+
+
+@dataclass(frozen=True)
+class FleetFaultSpec:
+    """Rates and granularity of fleet-scoped (whole-member) faults.
+
+    Unlike :class:`FaultSpec`, whose faults are per query, fleet faults
+    afflict a *member* for a stretch of time: decisions are drawn per
+    ``window`` consecutive checks at a site, so a crashed replica stays
+    crashed for a whole window rather than flickering per call. Kinds
+    are member-role aware by construction: crash and stall only ever
+    hit replicas, partition only ever hits the primary.
+    """
+
+    #: Probability a replica's window is a crash window (pool refuses).
+    crash_rate: float = 0.0
+    #: Probability a replica's window is an apply-stall window.
+    stall_rate: float = 0.0
+    #: Probability a primary's window is a read-partition window.
+    partition_rate: float = 0.0
+    #: Consecutive checks per site that share one fault decision.
+    window: int = 8
+
+    def __post_init__(self) -> None:
+        for name in ("crash_rate", "stall_rate", "partition_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+
+    def rate_for(self, kind: str) -> float:
+        """The configured window rate for ``kind`` (ValueError if unknown)."""
+        if kind == "replica-crash":
+            return self.crash_rate
+        if kind == "apply-stall":
+            return self.stall_rate
+        if kind == "partition":
+            return self.partition_rate
+        raise ValueError(f"unknown fleet fault kind {kind!r}")
+
+
+class FleetFaultPlan:
+    """Seeded, member-addressed schedule of whole-member faults.
+
+    Mirrors :class:`FaultPlan`'s determinism contract: each check at a
+    ``(shard, member, kind)`` site advances a per-site counter, the
+    counter's window index is hashed through blake2s with the seed, and
+    the draw decides whether the *whole window* is faulted. Same seed +
+    same per-site call sequence ⇒ same crash/stall/partition schedule,
+    regardless of thread interleaving between sites.
+    """
+
+    def __init__(self, spec: FleetFaultSpec, seed: int = 0,
+                 enabled: bool = True):
+        self.spec = spec
+        self.seed = seed
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._site_calls: dict[str, int] = {}
+        self._injected = {kind: 0 for kind in FLEET_FAULT_KINDS}
+
+    @classmethod
+    def for_kind(cls, kind: str, rate: float = 0.5, seed: int = 0,
+                 window: int = 8) -> "FleetFaultPlan":
+        """A plan injecting only ``kind`` at ``rate`` (CLI convenience)."""
+        if kind not in FLEET_FAULT_KINDS:
+            raise ValueError(
+                f"unknown fleet fault kind {kind!r}; "
+                f"expected one of {FLEET_FAULT_KINDS}"
+            )
+        rates = {
+            "replica-crash": {"crash_rate": rate},
+            "apply-stall": {"stall_rate": rate},
+            "partition": {"partition_rate": rate},
+        }[kind]
+        return cls(FleetFaultSpec(window=window, **rates), seed=seed)
+
+    def arm(self) -> None:
+        """Enable injection (counters keep running either way)."""
+        self.enabled = True
+
+    def disarm(self) -> None:
+        """Disable injection; checks still advance the per-site counters."""
+        self.enabled = False
+
+    def active(self, kind: str, shard: int, member: str) -> bool:
+        """One check: is ``kind`` afflicting ``member`` of ``shard`` now?
+
+        Role targeting is structural: crash/stall checks on the primary
+        and partition checks on replicas are always ``False`` (and do
+        not advance counters) — the fault sites the tentpole names are
+        replica crash, replica apply-stall, and primary read-partition.
+        """
+        if kind not in FLEET_FAULT_KINDS:
+            raise ValueError(f"unknown fleet fault kind {kind!r}")
+        is_primary = member == "primary"
+        if kind == "partition":
+            if not is_primary:
+                return False
+        elif is_primary:
+            return False
+        site = f"shard{shard}:{member}:{kind}"
+        with self._lock:
+            index = self._site_calls.get(site, 0)
+            self._site_calls[site] = index + 1
+        if not self.enabled:
+            return False
+        rate = self.spec.rate_for(kind)
+        if not rate:
+            return False
+        window = index // self.spec.window
+        digest = hashlib.blake2s(
+            f"{self.seed}:{site}:{window}:{kind}".encode(), digest_size=8
+        ).digest()
+        hit = int.from_bytes(digest, "big") / float(1 << 64) < rate
+        if hit:
+            with self._lock:
+                self._injected[kind] += 1
+        return hit
+
+    def stats(self) -> dict:
+        """Injection counters plus total site checks (one snapshot)."""
+        with self._lock:
+            return {
+                "seed": self.seed,
+                "enabled": self.enabled,
+                "checks": sum(self._site_calls.values()),
+                "injected": dict(self._injected),
+            }
+
+
 @dataclass
 class _SiteMemo:
     """Per-engine memo from query identity to its fault site name."""

@@ -40,7 +40,7 @@ from __future__ import annotations
 import queue
 import threading
 from contextlib import contextmanager
-from typing import Iterator, Optional
+from typing import Callable, Iterator, Optional
 
 from repro.relational.driver import EngineSnapshot, resolve_driver
 from repro.relational.engine import Database, QueryStats
@@ -67,6 +67,7 @@ class ConnectionPool:
         keep_sql: bool = False,
         fault_plan=None,
         driver=None,
+        admission: Optional[Callable[[], None]] = None,
     ):
         if (path is None) == (source is None):
             raise ValueError("ConnectionPool needs exactly one of path/source")
@@ -83,6 +84,11 @@ class ConnectionPool:
         # in a FaultyEngine so evaluators running on pooled connections
         # exercise injected faults transparently.
         self._fault_plan = fault_plan
+        # Optional gate consulted before every borrow; raising (e.g.
+        # repro.errors.ReplicaUnavailable during an injected crash
+        # window) makes the pool refuse new sessions without touching
+        # the ones already out.
+        self._admission = admission
         self._closed = False
         self._close_lock = threading.Lock()
         self._refresh_lock = threading.Lock()
@@ -121,11 +127,14 @@ class ConnectionPool:
     def acquire(self, timeout: Optional[float] = None) -> Database:
         """Borrow a session; blocks until one is idle.
 
-        Raises :class:`RuntimeError` on a closed pool and
-        :class:`queue.Empty` if ``timeout`` elapses.
+        Raises :class:`RuntimeError` on a closed pool,
+        :class:`queue.Empty` if ``timeout`` elapses, and whatever the
+        ``admission`` gate raises when it refuses new sessions.
         """
         if self._closed:
             raise RuntimeError("pool is closed")
+        if self._admission is not None:
+            self._admission()
         return self._idle.get(timeout=timeout)
 
     def release(self, session: Database) -> None:

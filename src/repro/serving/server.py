@@ -196,6 +196,13 @@ class PublishRequest:
     #: end cancels hedged-request losers through it; cancelled requests
     #: resolve with ``outcome="cancelled"``.
     cancel: Optional[object] = None
+    #: Replica anti-affinity handle
+    #: (:class:`~repro.sharding.replica.PlacementGroup`). Both attempts
+    #: of a hedged request share one group; the shard router claims the
+    #: member each attempt lands on so the hedge can prefer a replica
+    #: the first attempt did not use. ``None`` (the default) routes
+    #: without affinity constraints; single-box servers ignore it.
+    placement: Optional[object] = None
 
 
 @dataclass
@@ -343,6 +350,7 @@ class ViewServer:
         fragment_policy: "FragmentPolicy | str | None" = None,
         resilience: Optional[ResiliencePolicy] = None,
         faults: Optional[FaultPlan] = None,
+        pool_admission=None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -373,7 +381,8 @@ class ViewServer:
             )
         self.plan_cache = PlanCache(cache_capacity, breaker=breaker)
         self.pool = ConnectionPool(
-            catalog, path=path, source=source, size=workers, fault_plan=faults
+            catalog, path=path, source=source, size=workers,
+            fault_plan=faults, admission=pool_admission,
         )
         self._executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="viewserver"

@@ -28,6 +28,12 @@ from repro.sharding.partition import (
     partition_database,
     partition_keys,
 )
+from repro.sharding.replica import (
+    REPLICA_STATES,
+    PlacementGroup,
+    ReplicaApplier,
+    ReplicaHealth,
+)
 from repro.sharding.router import RouterTrace, ShardRouter
 
 __all__ = [
@@ -35,6 +41,10 @@ __all__ = [
     "KeyRangePartitioner",
     "MergePlan",
     "PartitionScheme",
+    "PlacementGroup",
+    "REPLICA_STATES",
+    "ReplicaApplier",
+    "ReplicaHealth",
     "RouterTrace",
     "ShardMergeUnsupported",
     "ShardRouter",

@@ -10,12 +10,32 @@ one server per shard, the per-shard documents merging under the schema
 tree's spine (:mod:`repro.sharding.merge`) into a single response that
 is byte-identical to a single-box run over the unpartitioned data.
 
-Reads balance round-robin across each shard's ring of servers; a server
-whose trace comes back failed (breaker open, deadline, fault) fails
-over to the next server in the ring, and when no server on a shard can
-compute, the shard serves its degraded-stale fallback if any server
-has one — the router-level outcome then degrades rather than erroring,
-mirroring the single-box resilience semantics per shard.
+Each shard is a *replica set*: the primary owns the shard's
+:class:`~repro.maintenance.tracker.WriteTracker`, and every replica has
+its **own tracker lineage** fed by a
+:class:`~repro.sharding.replica.ReplicaApplier` that replays the
+primary's write events with an injectable delay — so replicas genuinely
+lag, and reads route **lag-aware**: strict reads pin to the primary or
+a caught-up replica, bounded-staleness reads accept replicas within the
+policy's version budget, and the manual policy ignores lag entirely.
+Member eligibility is further gated by a per-member
+:class:`~repro.sharding.replica.ReplicaHealth` machine (fed by request
+outcomes and probe latencies; dead members readmit through half-open
+probes in the E16 breaker shape) and by fleet-scoped fault injection
+(:class:`~repro.resilience.faults.FleetFaultPlan`): a crashed replica
+is skipped (and its pool refuses new sessions for in-flight work), a
+partitioned primary stays writable but unreadable from the router.
+
+Within the eligible members, reads balance round-robin across the
+caught-up healthy set; a member whose trace comes back failed (breaker
+open, deadline, fault) fails over to the next candidate, and when no
+member on a shard can compute, the shard serves its degraded-stale
+fallback if any member has one — the router-level outcome then
+degrades rather than erroring, mirroring the single-box resilience
+semantics per shard. Hedged requests carry a
+:class:`~repro.sharding.replica.PlacementGroup`; the second attempt
+prefers a member the first attempt did not use (anti-affinity),
+falling back to the same pool only on 1-member shards.
 
 Writes route through :meth:`ShardRouter.route_write`: the write
 function runs once per shard against ``(shard source, shard tracker)``,
@@ -32,11 +52,12 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, Sequence
 
-from repro.errors import ReproError
+from repro.errors import ReplicaUnavailable, ReproError
+from repro.maintenance.policy import StalenessPolicy
 from repro.maintenance.tracker import WriteTracker
 from repro.relational.engine import Database
 from repro.relational.schema import Catalog
-from repro.resilience.faults import FaultPlan
+from repro.resilience.faults import FaultPlan, FleetFaultPlan
 from repro.resilience.policy import ResiliencePolicy
 from repro.schema_tree.model import SchemaTreeQuery
 from repro.serving.fingerprint import fingerprint_catalog, plan_key
@@ -47,6 +68,7 @@ from repro.serving.server import (
     ViewServer,
 )
 from repro.sharding.merge import MergePlan, merge_documents, plan_merge
+from repro.sharding.replica import ReplicaApplier, ReplicaHealth
 from repro.sharding.partition import (
     KeyRangePartitioner,
     PartitionScheme,
@@ -116,29 +138,62 @@ class RouterTrace:
         return record
 
 
+class _Member:
+    """One member of a shard's replica set: server + lineage + health."""
+
+    __slots__ = ("name", "role", "server", "tracker", "health", "applier")
+
+    def __init__(
+        self,
+        name: str,
+        role: int,
+        server: ViewServer,
+        tracker: WriteTracker,
+        health: ReplicaHealth,
+        applier: Optional[ReplicaApplier],
+    ):
+        self.name = name
+        self.role = role  # 0 = primary
+        self.server = server
+        self.tracker = tracker
+        self.health = health
+        self.applier = applier
+
+    def lag(self, shard: "_Shard") -> int:
+        """Write events on the shard the member has not yet applied."""
+        if self.role == 0:
+            return 0
+        return max(0, shard.tracker.clock() - self.tracker.clock())
+
+
 class _Shard:
-    """One shard's serving stack: source, tracker, and server ring."""
+    """One shard's serving stack: source, primary tracker, replica set."""
 
     def __init__(
         self,
         index: int,
         source: Database,
         tracker: Optional[WriteTracker],
-        servers: Sequence[tuple[str, ViewServer]],
+        members: Sequence[_Member],
     ):
         self.index = index
         self.source = source
         self.tracker = tracker
-        self.servers = list(servers)
+        self.members = list(members)
         self._rr = 0
         self._lock = threading.Lock()
 
-    def ring(self) -> list[tuple[str, ViewServer]]:
-        """The server ring rotated to this read's balanced starting point."""
+    @property
+    def servers(self) -> list[tuple[str, ViewServer]]:
+        """Members as ``(name, server)`` pairs (metrics/lifecycle paths)."""
+        return [(member.name, member.server) for member in self.members]
+
+    def rotation(self) -> int:
+        """The round-robin cursor for this read's balanced starting point."""
         with self._lock:
-            start = self._rr % len(self.servers)
+            start = self._rr
             self._rr += 1
-        return self.servers[start:] + self.servers[:start]
+        return start
 
 
 class ShardRouter:
@@ -153,7 +208,12 @@ class ShardRouter:
     ``faults``, when given, is a per-shard sequence of
     :class:`FaultPlan` (or ``None``) applied to that shard's **primary
     only** — replicas stay clean, making them the failover target the
-    fault tests exercise.
+    fault tests exercise. ``fleet_faults`` is a single
+    :class:`FleetFaultPlan` scheduling whole-member faults (replica
+    crash, apply-stall, primary read-partition) across every shard.
+    ``replica_lag_ms`` is the injectable apply delay: 0 keeps
+    propagation synchronous, > 0 makes replicas genuinely lag by that
+    long per event.
     """
 
     def __init__(
@@ -169,6 +229,9 @@ class ShardRouter:
         fragment_policy=None,
         resilience: Optional[ResiliencePolicy] = None,
         faults: Optional[Sequence[Optional[FaultPlan]]] = None,
+        fleet_faults: Optional[FleetFaultPlan] = None,
+        replica_lag_ms: float = 0.0,
+        health_factory: Optional[Callable[[], ReplicaHealth]] = None,
         keep_xml: bool = True,
         cache_capacity: int = 64,
         result_cache_capacity: int = 128,
@@ -194,6 +257,21 @@ class ShardRouter:
         self.keep_xml = keep_xml
         self.scheme = scheme
         self.partitioner = partitioner
+        self.fleet_faults = fleet_faults
+        self.replica_lag_ms = replica_lag_ms
+        # Version budget the routing layer holds reads to: 0 (strict),
+        # N (bounded:N), or None (manual — lag never gates).
+        policy = (
+            StalenessPolicy.parse(staleness)
+            if isinstance(staleness, str)
+            else staleness
+        )
+        if policy.kind == "strict":
+            self._lag_budget: Optional[int] = 0
+        elif policy.kind == "bounded":
+            self._lag_budget = policy.max_lag
+        else:
+            self._lag_budget = None
         self._owns_sources = owns_sources
         self._catalog_fingerprint = fingerprint_catalog(catalog)
         self._merge_plans: dict[str, MergePlan] = {}
@@ -228,35 +306,73 @@ class ShardRouter:
         self.errors = 0
         self._failovers_total = 0
         self._outcome_counts = {outcome: 0 for outcome in OUTCOMES}
+        # Fleet-routing counters: reads served from a member that was
+        # behind the primary (and the worst such lag), members skipped
+        # by crash/partition/lag/health gates, shards left with no
+        # eligible member, and hedge anti-affinity placement outcomes.
+        self._stale_serves = 0
+        self._max_member_lag_served = 0
+        self._max_served_lag = 0
+        self._crash_skips = 0
+        self._partition_skips = 0
+        self._lag_skips = 0
+        self._dead_skips = 0
+        self._no_candidates = 0
+        self._anti_affinity_hits = 0
+        self._anti_affinity_misses = 0
         self._closed = False
+        if health_factory is None:
+            health_factory = ReplicaHealth
         self.shards: list[_Shard] = []
         for index, source in enumerate(sources):
             tracker = trackers[index] if trackers is not None else WriteTracker()
             shard_faults = faults[index] if faults is not None else None
-            servers: list[tuple[str, ViewServer]] = []
+            members: list[_Member] = []
             for role in range(replicas + 1):
                 name = "primary" if role == 0 else f"replica-{role}"
-                servers.append(
-                    (
-                        name,
-                        ViewServer(
-                            catalog,
-                            source=source,
-                            workers=workers,
-                            cache_capacity=cache_capacity,
-                            keep_xml=True,
-                            keep_documents=True,
-                            tracker=tracker,
-                            staleness=staleness,
-                            result_cache_capacity=result_cache_capacity,
-                            maintenance=maintenance,
-                            fragment_policy=fragment_policy,
-                            resilience=resilience,
-                            faults=shard_faults if role == 0 else None,
-                        ),
+                if role == 0:
+                    member_tracker = tracker
+                    applier = None
+                else:
+                    # Split lineage: the replica's own tracker advances
+                    # only as the applier replays the primary's events,
+                    # so replica-side version_lag is real, not 0 by
+                    # aliasing.
+                    member_tracker = WriteTracker()
+                    applier = ReplicaApplier(
+                        tracker,
+                        member_tracker,
+                        delay_ms=replica_lag_ms,
+                        faults=fleet_faults,
+                        shard=index,
+                        member=name,
+                    )
+                admission = None
+                if fleet_faults is not None and role > 0:
+                    admission = self._pool_gate(index, name)
+                server = ViewServer(
+                    catalog,
+                    source=source,
+                    workers=workers,
+                    cache_capacity=cache_capacity,
+                    keep_xml=True,
+                    keep_documents=True,
+                    tracker=member_tracker,
+                    staleness=staleness,
+                    result_cache_capacity=result_cache_capacity,
+                    maintenance=maintenance,
+                    fragment_policy=fragment_policy,
+                    resilience=resilience,
+                    faults=shard_faults if role == 0 else None,
+                    pool_admission=admission,
+                )
+                members.append(
+                    _Member(
+                        name, role, server, member_tracker,
+                        health_factory(), applier,
                     )
                 )
-            self.shards.append(_Shard(index, source, tracker, servers))
+            self.shards.append(_Shard(index, source, tracker, members))
         self._executor = ThreadPoolExecutor(
             max_workers=router_workers or max(4, 2 * len(self.shards)),
             thread_name_prefix="shardrouter",
@@ -358,6 +474,127 @@ class ShardRouter:
 
     # -- serving -------------------------------------------------------------
 
+    def _pool_gate(self, shard: int, member: str) -> Callable[[], None]:
+        """The pool admission hook enforcing replica-crash windows.
+
+        Installed on replica pools when a fleet fault plan is present:
+        while the crash fault is active at this member's site, every
+        ``acquire`` raises :class:`~repro.errors.ReplicaUnavailable`
+        (classified transient) — the pool refuses new sessions, so even
+        a request already routed here before the window opened fails
+        fast instead of computing on a "crashed" member.
+        """
+        plan = self.fleet_faults
+
+        def gate() -> None:
+            if plan.active("replica-crash", shard, member):
+                raise ReplicaUnavailable(f"shard{shard}:{member}")
+
+        return gate
+
+    def _candidates(
+        self, shard: _Shard, request: PublishRequest
+    ) -> list[tuple[_Member, int]]:
+        """Eligible members for one read, best candidate first.
+
+        Eligibility gates, in order: fleet faults (a crashed replica or
+        a read-partitioned primary is out), the health machine (a dead
+        member is out unless its cooldown elapsed and it wins a
+        half-open probe slot), then the staleness budget (a member
+        lagging past the policy's version budget is out — strict pins
+        to lag 0, manual never gates). Ordering: caught-up non-suspect
+        members rotate round-robin (load balancing), then the rest by
+        (suspect, lag). A hedged request's :class:`PlacementGroup`
+        reorders unclaimed members first so the hedge lands on a
+        different member than the first attempt whenever one exists.
+
+        Returns ``(member, lag-at-pick)`` pairs; the pick-time lag is
+        what routing guaranteed, so accounting uses it rather than
+        re-reading the clocks after the serve.
+        """
+        fleet = self.fleet_faults
+        crash_skips = partition_skips = lag_skips = dead_skips = 0
+        eligible: list[tuple[int, int, _Member]] = []
+        for member in shard.members:
+            lag = member.lag(shard)
+            member.health.observe_lag(lag)
+            if fleet is not None:
+                if member.role == 0:
+                    if fleet.active("partition", shard.index, member.name):
+                        partition_skips += 1
+                        continue
+                elif fleet.active("replica-crash", shard.index, member.name):
+                    crash_skips += 1
+                    continue
+            state = member.health.state()
+            if state == "dead":
+                if not member.health.admit():
+                    dead_skips += 1
+                    continue
+                # Half-open probe granted: this request is the trial.
+            if self._lag_budget is not None and lag > self._lag_budget:
+                lag_skips += 1
+                continue
+            suspect = 0 if state == "healthy" else 1
+            eligible.append((suspect, lag, member))
+        if crash_skips or partition_skips or lag_skips or dead_skips:
+            with self._lock:
+                self._crash_skips += crash_skips
+                self._partition_skips += partition_skips
+                self._lag_skips += lag_skips
+                self._dead_skips += dead_skips
+        if not eligible:
+            return []
+        front = [
+            (member, lag)
+            for suspect, lag, member in eligible
+            if suspect == 0 and lag == 0
+        ]
+        rest = sorted(
+            (
+                (suspect, lag, member)
+                for suspect, lag, member in eligible
+                if not (suspect == 0 and lag == 0)
+            ),
+            key=lambda entry: (entry[0], entry[1]),
+        )
+        if len(front) > 1:
+            start = shard.rotation() % len(front)
+            front = front[start:] + front[:start]
+        ordered = front + [(member, lag) for _, lag, member in rest]
+        placement = request.placement
+        if placement is not None:
+            already = placement.claimed(shard.index)
+            if already:
+                unclaimed = [
+                    entry for entry in ordered if entry[0].name not in already
+                ]
+                with self._lock:
+                    if unclaimed:
+                        self._anti_affinity_hits += 1
+                    else:
+                        self._anti_affinity_misses += 1
+                if unclaimed:
+                    ordered = unclaimed + [
+                        entry for entry in ordered if entry[0].name in already
+                    ]
+            placement.claim(shard.index, ordered[0][0].name)
+        return ordered
+
+    def _feed_health(self, member: _Member, shard_trace: RequestTrace) -> None:
+        """Turn one member's trace outcome into a health signal.
+
+        ``cancelled`` (a hedge loser) and ``rejected`` (admission shed)
+        are intentional, not member failures — the same categories
+        :func:`~repro.errors.classify_error` exempts. ``degraded``
+        counts as a failure: the member served stale bytes because its
+        computation failed.
+        """
+        if shard_trace.outcome == "success":
+            member.health.record_success(shard_trace.total_seconds * 1000.0)
+        elif shard_trace.outcome not in ("cancelled", "rejected"):
+            member.health.record_failure()
+
     def _merge_plan(self, request: PublishRequest) -> tuple[str, MergePlan]:
         """The merge plan for this request's *composed* view, cached.
 
@@ -406,36 +643,54 @@ class ShardRouter:
     def _resolve_shard(
         self,
         shard: _Shard,
-        ring: Sequence[tuple[str, ViewServer]],
+        candidates: Sequence[tuple[_Member, int]],
         future: "Future[RequestTrace]",
         request: PublishRequest,
-    ) -> tuple[str, RequestTrace, int]:
-        """Wait out one shard's answer, failing over along the ring.
+    ) -> tuple[str, int, RequestTrace, int]:
+        """Wait out one shard's answer, failing over along the candidates.
 
-        Returns ``(server_name, trace, failovers)``. Policy: take the
-        first ``success``; remember the first ``degraded`` trace and
-        serve it only after every server has been tried; otherwise the
-        last failure stands.
+        Returns ``(member_name, member_lag, trace, failovers)``. Policy:
+        take the first ``success``; remember the first ``degraded``
+        trace and serve it only after every candidate has been tried;
+        otherwise the last failure stands. Every attempted member's
+        outcome feeds its health machine.
         """
-        degraded: Optional[tuple[str, RequestTrace]] = None
+        degraded: Optional[tuple[str, int, RequestTrace]] = None
         attempt = 0
-        name, _ = ring[0]
+        member, lag = candidates[0]
         trace = future.result()
         failovers = 0
         while True:
+            self._feed_health(member, trace)
             if trace.outcome == "success":
-                return name, trace, failovers
+                return member.name, lag, trace, failovers
             if trace.outcome == "degraded" and degraded is None:
-                degraded = (name, trace)
+                degraded = (member.name, lag, trace)
             attempt += 1
-            if attempt >= len(ring):
+            if attempt >= len(candidates):
                 break
             failovers += 1
-            name, server = ring[attempt]
-            trace = server.submit(request).result()
+            member, lag = candidates[attempt]
+            try:
+                trace = member.server.submit(request).result()
+            except Exception as exc:
+                trace = self._failed_trace(request, str(exc))
         if degraded is not None:
-            return degraded[0], degraded[1], failovers
-        return name, trace, failovers
+            return degraded[0], degraded[1], degraded[2], failovers
+        return member.name, lag, trace, failovers
+
+    @staticmethod
+    def _failed_trace(request: PublishRequest, error: str) -> RequestTrace:
+        """A synthetic error trace for a member that could not be asked."""
+        return RequestTrace(
+            request_id=0,
+            label=request.label,
+            strategy=request.strategy,
+            cache_hit=False,
+            plan_key="",
+            outcome="error",
+            error=error,
+        )
 
     def _document(self, trace: RequestTrace):
         """The shard's response document, parsing bytes when not kept.
@@ -519,26 +774,69 @@ class ShardRouter:
 
     def _serve_inner(self, request: PublishRequest, trace: RouterTrace) -> None:
         merge_key, plan = self._merge_plan(request)
-        # Scatter: one balanced server pick per shard, all in flight at
-        # once; failover (if any) happens while other shards compute.
+        # Scatter: one balanced candidate pick per shard, all in flight
+        # at once; failover (if any) happens while other shards compute.
+        # A shard with no eligible member (everything crashed /
+        # partitioned / lagging past budget) resolves to a synthetic
+        # failure without being asked.
         scattered = []
         for shard in self.shards:
-            ring = shard.ring()
-            scattered.append((shard, ring, ring[0][1].submit(request)))
-        resolved: list[tuple[str, RequestTrace, int]] = []
-        for shard, ring, future in scattered:
-            resolved.append(self._resolve_shard(shard, ring, future, request))
+            candidates = self._candidates(shard, request)
+            if not candidates:
+                with self._lock:
+                    self._no_candidates += 1
+                scattered.append((shard, candidates, None))
+                continue
+            try:
+                future = candidates[0][0].server.submit(request)
+            except Exception as exc:
+                done: "Future[RequestTrace]" = Future()
+                done.set_result(self._failed_trace(request, str(exc)))
+                future = done
+            scattered.append((shard, candidates, future))
+        resolved: list[tuple[str, int, RequestTrace, int]] = []
+        for shard, candidates, future in scattered:
+            if future is None:
+                resolved.append(
+                    (
+                        "none",
+                        0,
+                        self._failed_trace(
+                            request,
+                            f"no eligible member on shard {shard.index} "
+                            "(crashed, partitioned, or lagging past the "
+                            "staleness budget)",
+                        ),
+                        0,
+                    )
+                )
+                continue
+            resolved.append(
+                self._resolve_shard(shard, candidates, future, request)
+            )
         freshness_seen = set()
         failed: Optional[RequestTrace] = None
         any_degraded = False
-        for (name, shard_trace, failovers), shard in zip(resolved, self.shards):
+        stale_served = False
+        max_member_lag = 0
+        for (name, member_lag, shard_trace, failovers), shard in zip(
+            resolved, self.shards
+        ):
             trace.failovers += failovers
             trace.queries_executed += shard_trace.queries_executed
             trace.rows_fetched += shard_trace.rows_fetched
             trace.execute_seconds = max(
                 trace.execute_seconds, shard_trace.total_seconds
             )
-            trace.version_lag = max(trace.version_lag, shard_trace.version_lag)
+            # The served staleness is the member's catch-up lag at pick
+            # time plus however stale the member's own cached entry was
+            # under its tracker.
+            served_lag = member_lag + shard_trace.version_lag
+            trace.version_lag = max(trace.version_lag, served_lag)
+            if shard_trace.outcome in ("success", "degraded"):
+                max_member_lag = max(max_member_lag, member_lag)
+                if served_lag > 0:
+                    stale_served = True
             freshness_seen.add(shard_trace.freshness)
             trace.shards.append(
                 {
@@ -546,6 +844,7 @@ class ShardRouter:
                     "server": name,
                     "outcome": shard_trace.outcome,
                     "freshness": shard_trace.freshness,
+                    "lag": member_lag,
                     "total_seconds": round(shard_trace.total_seconds, 6),
                     "failovers": failovers,
                 }
@@ -554,6 +853,16 @@ class ShardRouter:
                 any_degraded = True
             elif shard_trace.outcome != "success" and failed is None:
                 failed = shard_trace
+        if failed is None:
+            with self._lock:
+                if stale_served:
+                    self._stale_serves += 1
+                self._max_member_lag_served = max(
+                    self._max_member_lag_served, max_member_lag
+                )
+                self._max_served_lag = max(
+                    self._max_served_lag, trace.version_lag
+                )
         if failed is not None:
             trace.outcome = failed.outcome
             trace.error = failed.error
@@ -568,7 +877,7 @@ class ShardRouter:
             freshness_seen.pop() if len(freshness_seen) == 1 else "mixed"
         )
         shard_xmls = tuple(
-            shard_trace.xml for _, shard_trace, _ in resolved
+            shard_trace.xml for _, _, shard_trace, _ in resolved
         )
         cache_key: Optional[tuple] = None
         if not request.bypass_cache and all(
@@ -581,7 +890,7 @@ class ShardRouter:
                     trace.xml = cached
                 return
         documents = [
-            self._document(shard_trace) for _, shard_trace, _ in resolved
+            self._document(shard_trace) for _, _, shard_trace, _ in resolved
         ]
         merge_started = time.perf_counter()
         merged = merge_documents(plan, documents)
@@ -596,6 +905,66 @@ class ShardRouter:
 
     # -- metrics / lifecycle -------------------------------------------------
 
+    def fleet_metrics(self) -> dict:
+        """Replica-resilience counters: routing gates, lag, anti-affinity.
+
+        ``replica_health`` lists every member's health-machine stats
+        (plus its live lag and applier progress); ``anti_affinity``
+        summarizes hedge placement — ``hits`` are hedge attempts routed
+        to a member no earlier attempt of the same request used,
+        ``misses`` fell back to an already-used member (1-member
+        shards), ``rate`` = hits / (hits + misses).
+        """
+        with self._lock:
+            hits = self._anti_affinity_hits
+            misses = self._anti_affinity_misses
+            summary = {
+                "stale_serves": self._stale_serves,
+                "max_member_lag_served": self._max_member_lag_served,
+                "max_served_lag": self._max_served_lag,
+                "lag_budget": self._lag_budget,
+                "skips": {
+                    "crash": self._crash_skips,
+                    "partition": self._partition_skips,
+                    "lagging": self._lag_skips,
+                    "dead": self._dead_skips,
+                },
+                "no_candidates": self._no_candidates,
+                "anti_affinity": {
+                    "hits": hits,
+                    "misses": misses,
+                    "rate": (
+                        hits / (hits + misses) if hits + misses else None
+                    ),
+                },
+            }
+        summary["replica_health"] = [
+            {
+                "shard": shard.index,
+                "members": {
+                    member.name: {
+                        **member.health.stats(),
+                        "lag": member.lag(shard),
+                        "applied": (
+                            member.applier.applied
+                            if member.applier is not None
+                            else None
+                        ),
+                        "stalled_checks": (
+                            member.applier.stalled_checks
+                            if member.applier is not None
+                            else None
+                        ),
+                    }
+                    for member in shard.members
+                },
+            }
+            for shard in self.shards
+        ]
+        if self.fleet_faults is not None:
+            summary["fleet_faults"] = self.fleet_faults.stats()
+        return summary
+
     def metrics(self) -> dict:
         """Router-lifetime counters plus every shard server's metrics."""
         with self._lock:
@@ -605,6 +974,7 @@ class ShardRouter:
                 "failovers": self._failovers_total,
                 "outcomes": dict(self._outcome_counts),
             }
+        summary["fleet"] = self.fleet_metrics()
         with self._merge_lock:
             summary["merged_cache"] = {
                 "hits": self._merged_hits,
@@ -663,6 +1033,7 @@ class ShardRouter:
                 "shard_count": len(self.shards),
                 "replicas": self.replicas,
             }
+        router["fleet"] = self.fleet_metrics()
         with self._merge_lock:
             router["merged_cache"] = {
                 "hits": self._merged_hits,
@@ -758,14 +1129,22 @@ class ShardRouter:
         )
 
     def close(self) -> None:
-        """Shut every shard server down; close owned shard databases."""
+        """Shut every shard server down; close owned shard databases.
+
+        Appliers stop first so no replay lands on a tracker whose
+        server is mid-shutdown; the thread-name leak scans then see no
+        surviving ``shardrouter``-prefixed threads.
+        """
         if self._closed:
             return
         self._closed = True
         self._executor.shutdown(wait=True)
         for shard in self.shards:
-            for _, server in shard.servers:
-                server.close()
+            for member in shard.members:
+                if member.applier is not None:
+                    member.applier.close()
+            for member in shard.members:
+                member.server.close()
             if self._owns_sources:
                 shard.source.close()
 

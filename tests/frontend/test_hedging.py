@@ -180,3 +180,10 @@ class TestHedgeController:
         assert stats["cancelled"] == 1
         assert stats["fire_rate"] == pytest.approx(0.5)
         assert stats["win_rate"] == pytest.approx(0.5)
+
+    def test_reap_errors_start_zero_and_count(self):
+        controller = HedgeController(self.policy())
+        assert controller.stats()["reap_errors"] == 0
+        controller.record_reap_error()
+        controller.record_reap_error()
+        assert controller.stats()["reap_errors"] == 2

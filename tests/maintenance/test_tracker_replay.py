@@ -1,0 +1,85 @@
+"""WriteTracker.replay_events: stamped replay with trim-gap synthesis."""
+
+from __future__ import annotations
+
+from repro.maintenance import WriteTracker
+
+
+def test_replay_from_zero_yields_every_event_in_arrival_order():
+    tracker = WriteTracker()
+    tracker.record_write("hotel", keys=[1], columns=["name"])
+    tracker.record_write("room", keys=[7], columns=["price"])
+    tracker.record_write("hotel", keys=[2], columns=["pool"])
+    events = tracker.replay_events({})
+    assert [(e[0], e[1]) for e in events] == [
+        ("hotel", 1), ("room", 1), ("hotel", 2),
+    ]
+    assert events[0][2] == frozenset({1})
+    assert events[0][3] == frozenset({"name"})
+    # Arrival timestamps are monotonic non-decreasing.
+    stamps = [e[4] for e in events]
+    assert stamps == sorted(stamps)
+
+
+def test_replay_respects_the_stamped_vector():
+    tracker = WriteTracker()
+    for _ in range(3):
+        tracker.record_write("hotel")
+    tracker.record_write("room")
+    events = tracker.replay_events({"hotel": 2})
+    assert [(e[0], e[1]) for e in events] == [("hotel", 3), ("room", 1)]
+    assert tracker.replay_events({"hotel": 3, "room": 1}) == []
+
+
+def test_replay_synthesizes_untraceable_events_for_trimmed_versions():
+    """Versions that fell off the bounded key log still replay — as
+    key-less events stamped with the oldest surviving arrival time —
+    so a replica's clock never silently skips observed history."""
+    tracker = WriteTracker(key_log_limit=2)
+    tracker.record_write("hotel", keys=[1], columns=["a"])
+    tracker.record_write("hotel", keys=[2], columns=["b"])
+    tracker.record_write("hotel", keys=[3], columns=["c"])  # trims v1
+    events = tracker.replay_events({})
+    assert [(e[0], e[1]) for e in events] == [
+        ("hotel", 1), ("hotel", 2), ("hotel", 3),
+    ]
+    synthetic = events[0]
+    assert synthetic[2] is None and synthetic[3] is None
+    # The gap borrows the oldest surviving event's timestamp, so it
+    # sorts (and becomes due on a delayed applier) no later than it.
+    assert synthetic[4] == events[1][4]
+    surviving = events[1]
+    assert surviving[2] == frozenset({2})
+
+
+def test_replaying_into_a_second_tracker_restores_version_parity():
+    primary = WriteTracker()
+    replica = WriteTracker()
+    primary.record_write("hotel", keys=[1], columns=["name"])
+    primary.record_write("availability", keys=[(1, 2)], columns=["price"])
+    primary.record_write("hotel", keys=[4])
+    for table, _version, keys, columns, _ts in primary.replay_events(
+        replica.snapshot()
+    ):
+        replica.record_write(table, rows=0, keys=keys, columns=columns)
+    assert replica.snapshot() == primary.snapshot()
+    assert replica.clock() == primary.clock()
+    # A second replay from the caught-up stamp is a no-op.
+    assert primary.replay_events(replica.snapshot()) == []
+
+
+def test_replayed_events_preserve_changes_since_detail():
+    """The replica's own changes_since must answer like the primary's
+    for the replayed range — split lineage, same delta answers."""
+    primary = WriteTracker()
+    replica = WriteTracker()
+    stamp = {"hotel": 0}
+    primary.record_write("hotel", keys=[1, 2], columns=["pool"])
+    primary.record_write("hotel", keys=[3], columns=["name"])
+    for table, _v, keys, columns, _ts in primary.replay_events({}):
+        replica.record_write(table, rows=0, keys=keys, columns=columns)
+    theirs = primary.changes_since(stamp, ["hotel"])["hotel"]
+    ours = replica.changes_since(stamp, ["hotel"])["hotel"]
+    assert ours.events == theirs.events == 2
+    assert ours.keys == theirs.keys == frozenset({1, 2, 3})
+    assert ours.columns == theirs.columns == frozenset({"pool", "name"})

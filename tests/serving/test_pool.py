@@ -197,3 +197,30 @@ def test_release_into_closed_pool_closes_the_session(small_hotel_db):
     pool.release(held)  # must not raise, must not queue
     with pytest.raises(sqlite3.ProgrammingError):
         held.connection.execute("SELECT 1")
+
+
+def test_admission_gate_refuses_acquire_without_consuming_a_session(
+    small_hotel_db,
+):
+    """The fleet's crash windows ride this hook: while the gate raises,
+    ``acquire`` fails fast and no idle session is consumed, so the pool
+    serves at full strength the moment the window closes."""
+    from repro.errors import ReplicaUnavailable
+
+    refusing = [True]
+
+    def gate():
+        if refusing[0]:
+            raise ReplicaUnavailable("shard0:replica-1")
+
+    with ConnectionPool(
+        small_hotel_db.catalog, source=small_hotel_db, size=1,
+        admission=gate,
+    ) as pool:
+        with pytest.raises(ReplicaUnavailable):
+            pool.acquire()
+        assert pool.outstanding() == 0
+        refusing[0] = False
+        session = pool.acquire()
+        assert session.table_count("metroarea") == 2
+        pool.release(session)
