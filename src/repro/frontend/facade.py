@@ -210,6 +210,22 @@ class AsyncViewServer:
     async def _reap(self, loser: asyncio.Task) -> None:
         try:
             await loser
+        except asyncio.CancelledError:
+            # CancelledError is a BaseException: without this clause an
+            # asyncio-level cancel of the loser (event-loop shutdown, an
+            # external task.cancel) would escape the reaper uncounted. A
+            # healthy loser resolves as a cancelled *trace* through its
+            # CancelToken, never this path. The same exception surfaces
+            # when the *reaper* is the one being cancelled — re-raise so
+            # its own cancellation propagates; otherwise it was the
+            # loser, so count it like any other broken cancellation.
+            current = asyncio.current_task()
+            if current is not None and getattr(
+                current, "cancelling", lambda: 0
+            )():
+                raise
+            if self.hedges is not None:
+                self.hedges.record_reap_error()
         except Exception:
             # The loser's fate is not the request's fate — but a healthy
             # loser resolves as a cancelled trace, so an exception here

@@ -105,6 +105,23 @@ class ReplicaHealth:
 
     # -- admission -----------------------------------------------------------
 
+    def probe_ready(self) -> bool:
+        """Read-only: could :meth:`admit` grant a request right now?
+
+        The enumeration-time check. Candidate selection must not consume
+        a probe slot for a member it may never attempt — a granted slot
+        is only released by the attempt's outcome, so an unattempted
+        grant would leak the slot and lock the member out of readmission
+        forever. Enumeration asks this instead; the slot itself is taken
+        by :meth:`admit` at dispatch time, when an attempt is certain.
+        """
+        with self._lock:
+            if self._state != "dead":
+                return True
+            if (self._clock() - self._died_at) * 1000.0 < self.cooldown_ms:
+                return False
+            return self._probes_inflight < self.probe_max
+
     def admit(self) -> bool:
         """May this member receive a request right now?
 
@@ -113,7 +130,8 @@ class ReplicaHealth:
         ``cooldown_ms`` has elapsed since it died, then grants at most
         ``probe_max`` concurrent half-open trials — the trial's
         :meth:`record_success` / :meth:`record_failure` settles whether
-        it comes back.
+        it comes back. Call only when the request will actually be
+        dispatched to this member (see :meth:`probe_ready`).
         """
         with self._lock:
             if self._state != "dead":

@@ -498,15 +498,21 @@ class ShardRouter:
         """Eligible members for one read, best candidate first.
 
         Eligibility gates, in order: fleet faults (a crashed replica or
-        a read-partitioned primary is out), the health machine (a dead
-        member is out unless its cooldown elapsed and it wins a
-        half-open probe slot), then the staleness budget (a member
-        lagging past the policy's version budget is out — strict pins
-        to lag 0, manual never gates). Ordering: caught-up non-suspect
-        members rotate round-robin (load balancing), then the rest by
-        (suspect, lag). A hedged request's :class:`PlacementGroup`
-        reorders unclaimed members first so the hedge lands on a
-        different member than the first attempt whenever one exists.
+        a read-partitioned primary is out), the staleness budget (a
+        member lagging past the policy's version budget is out — strict
+        pins to lag 0, manual never gates), then the health machine (a
+        dead member is out unless its cooldown elapsed and a half-open
+        probe slot is free). The lag gate runs first so a dead *and*
+        lagging member is lag-skipped without ever looking probe-ready.
+        Enumeration never consumes the probe slot — that happens in
+        :meth:`_dispatch`, against an actual attempt — so a candidate
+        that is enumerated but never tried cannot leak it. Ordering:
+        caught-up non-suspect members rotate round-robin (load
+        balancing), then the rest by (suspect, lag). A hedged request's
+        :class:`PlacementGroup` reorders unclaimed members first so the
+        hedge lands on a different member than the first attempt
+        whenever one exists; claims are recorded at dispatch time, not
+        here.
 
         Returns ``(member, lag-at-pick)`` pairs; the pick-time lag is
         what routing guaranteed, so accounting uses it rather than
@@ -526,14 +532,12 @@ class ShardRouter:
                 elif fleet.active("replica-crash", shard.index, member.name):
                     crash_skips += 1
                     continue
-            state = member.health.state()
-            if state == "dead":
-                if not member.health.admit():
-                    dead_skips += 1
-                    continue
-                # Half-open probe granted: this request is the trial.
             if self._lag_budget is not None and lag > self._lag_budget:
                 lag_skips += 1
+                continue
+            state = member.health.state()
+            if state == "dead" and not member.health.probe_ready():
+                dead_skips += 1
                 continue
             suspect = 0 if state == "healthy" else 1
             eligible.append((suspect, lag, member))
@@ -578,8 +582,50 @@ class ShardRouter:
                     ordered = unclaimed + [
                         entry for entry in ordered if entry[0].name in already
                     ]
-            placement.claim(shard.index, ordered[0][0].name)
         return ordered
+
+    def _dispatch(
+        self,
+        shard: _Shard,
+        candidates: Sequence[tuple[_Member, int]],
+        request: PublishRequest,
+        start: int = 0,
+    ) -> tuple[Optional[int], Optional["Future[RequestTrace]"]]:
+        """Admit, claim, and submit the first dispatchable candidate.
+
+        This is where a dead member's half-open probe slot is consumed
+        (:meth:`ReplicaHealth.admit`) — never during enumeration — so
+        every granted slot is attached to an attempt whose outcome
+        (``record_success`` / ``record_failure``, including the
+        synthetic failed trace when ``submit`` itself raises) releases
+        it. A candidate whose slot was raced away since enumeration is
+        skipped like any other dead member. The hedge placement claim
+        is recorded here too, against the member actually attempted.
+        Returns ``(index, future)``, or ``(None, None)`` when no
+        candidate from ``start`` on admits.
+        """
+        denied = 0
+        dispatched: tuple[Optional[int], Optional["Future[RequestTrace]"]]
+        dispatched = (None, None)
+        for idx in range(start, len(candidates)):
+            member = candidates[idx][0]
+            if not member.health.admit():
+                denied += 1
+                continue
+            if request.placement is not None:
+                request.placement.claim(shard.index, member.name)
+            try:
+                future = member.server.submit(request)
+            except Exception as exc:
+                failed: "Future[RequestTrace]" = Future()
+                failed.set_result(self._failed_trace(request, str(exc)))
+                future = failed
+            dispatched = (idx, future)
+            break
+        if denied:
+            with self._lock:
+                self._dead_skips += denied
+        return dispatched
 
     def _feed_health(self, member: _Member, shard_trace: RequestTrace) -> None:
         """Turn one member's trace outcome into a health signal.
@@ -653,7 +699,10 @@ class ShardRouter:
         take the first ``success``; remember the first ``degraded``
         trace and serve it only after every candidate has been tried;
         otherwise the last failure stands. Every attempted member's
-        outcome feeds its health machine.
+        outcome feeds its health machine. Failover attempts go through
+        :meth:`_dispatch`, so each one admits (consuming a dead
+        member's probe slot only when actually tried) and records its
+        own placement claim.
         """
         degraded: Optional[tuple[str, int, RequestTrace]] = None
         attempt = 0
@@ -666,15 +715,17 @@ class ShardRouter:
                 return member.name, lag, trace, failovers
             if trace.outcome == "degraded" and degraded is None:
                 degraded = (member.name, lag, trace)
-            attempt += 1
-            if attempt >= len(candidates):
+            if attempt + 1 >= len(candidates):
                 break
+            next_idx, next_future = self._dispatch(
+                shard, candidates, request, start=attempt + 1
+            )
+            if next_future is None:
+                break
+            attempt = next_idx
             failovers += 1
             member, lag = candidates[attempt]
-            try:
-                trace = member.server.submit(request).result()
-            except Exception as exc:
-                trace = self._failed_trace(request, str(exc))
+            trace = next_future.result()
         if degraded is not None:
             return degraded[0], degraded[1], degraded[2], failovers
         return member.name, lag, trace, failovers
@@ -782,18 +833,21 @@ class ShardRouter:
         scattered = []
         for shard in self.shards:
             candidates = self._candidates(shard, request)
-            if not candidates:
+            idx: Optional[int] = None
+            future: Optional["Future[RequestTrace]"] = None
+            if candidates:
+                idx, future = self._dispatch(shard, candidates, request)
+            if future is None:
+                # Nothing eligible, or every eligible member lost its
+                # probe slot to a concurrent request between enumeration
+                # and dispatch.
                 with self._lock:
                     self._no_candidates += 1
-                scattered.append((shard, candidates, None))
+                scattered.append((shard, [], None))
                 continue
-            try:
-                future = candidates[0][0].server.submit(request)
-            except Exception as exc:
-                done: "Future[RequestTrace]" = Future()
-                done.set_result(self._failed_trace(request, str(exc)))
-                future = done
-            scattered.append((shard, candidates, future))
+            # Trim so the dispatched member leads: _resolve_shard treats
+            # candidates[0] as the attempt already in flight.
+            scattered.append((shard, candidates[idx:], future))
         resolved: list[tuple[str, int, RequestTrace, int]] = []
         for shard, candidates, future in scattered:
             if future is None:

@@ -76,6 +76,31 @@ def test_dead_member_refuses_until_cooldown_then_probes():
     assert health.admit()
 
 
+def test_probe_ready_is_read_only():
+    """Regression: enumeration-time eligibility checks must not consume
+    the probe slot — only a dispatch-time admit() may, since only an
+    actual attempt's outcome releases it."""
+    clock = FakeClock()
+    health = ReplicaHealth(
+        suspect_after=1, dead_after=2, cooldown_ms=500.0, probe_max=1,
+        clock=clock,
+    )
+    assert health.probe_ready()  # healthy: always
+    health.record_failure()
+    health.record_failure()
+    assert health.state() == "dead"
+    assert not health.probe_ready()  # cooling down
+    clock.advance(0.6)
+    for _ in range(5):
+        assert health.probe_ready()  # repeated checks grant nothing
+    assert health.stats()["probes_fired"] == 0
+    assert health.stats()["probe_denials"] == 0
+    assert health.admit()  # the one real grant
+    assert not health.probe_ready()  # slot held by the trial
+    health.record_success(2.0)
+    assert health.probe_ready()  # released by the outcome
+
+
 def test_failed_probe_restarts_the_cooldown():
     clock = FakeClock()
     health = ReplicaHealth(

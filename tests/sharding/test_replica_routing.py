@@ -9,7 +9,7 @@ the per-shard failover tests in test_router_faults.py do not reach.
 from __future__ import annotations
 
 from repro.maintenance.workload import hotel_metro_write
-from repro.resilience import FleetFaultPlan
+from repro.resilience import FaultPlan, FaultSpec, FleetFaultPlan
 from repro.schema_tree.evaluator import materialize
 from repro.serving import PublishRequest
 from repro.sharding import PlacementGroup, ShardRouter
@@ -173,6 +173,120 @@ def test_partition_skips_primary_reads_but_writes_still_land():
         assert trace.xml == reference
         fleet = router.fleet_metrics()
         assert fleet["skips"]["partition"] >= 1
+        assert router.outstanding() == 0
+    finally:
+        router.close()
+        db.close()
+
+
+def test_failover_claims_the_member_actually_served():
+    """Regression: placement claims are recorded per *attempted* member
+    at dispatch time, not for the predicted first candidate — after a
+    failover both the failed primary and the serving replica are
+    claimed, so a later attempt in the same group avoids them both."""
+    db = build_hotel_database(SPEC, cross_thread=True, seed=SEED)
+    view = figure1_view(db.catalog)
+    faults = [FaultPlan(FaultSpec(every_n=1), seed=0)]
+    router = ShardRouter.build(
+        db.catalog, db, hotel_partition_scheme(), 1,
+        replicas=2, workers=1, faults=faults,
+    )
+    try:
+        group = PlacementGroup()
+        trace, = router.render_many([
+            PublishRequest(
+                view, strategy="bulk", bypass_cache=True, placement=group
+            )
+        ])
+        assert trace.outcome == "success"
+        served = trace.shards[0]["server"]
+        assert served != "primary"  # the faulted primary failed over
+        assert trace.failovers >= 1
+        assert group.claimed(0) >= {"primary", served}
+        trace2, = router.render_many([
+            PublishRequest(
+                view, strategy="bulk", bypass_cache=True, placement=group
+            )
+        ])
+        assert trace2.outcome == "success"
+        assert trace2.shards[0]["server"] not in ("primary", served)
+        assert router.outstanding() == 0
+    finally:
+        router.close()
+        db.close()
+
+
+def test_unattempted_dead_member_keeps_its_probe_slot():
+    """Regression: enumerating a probe-eligible dead replica must not
+    consume its half-open slot. Dead members sort behind the healthy
+    front, so the granted probe was typically never dispatched — and
+    since only an attempt's outcome releases the slot, one death locked
+    the member out of readmission forever. The slot is now taken at
+    dispatch time, so an unattempted candidate leaks nothing and the
+    probe genuinely fires once the member is actually needed."""
+    db = build_hotel_database(SPEC, cross_thread=True, seed=SEED)
+    view = figure1_view(db.catalog)
+    router = _fleet(db, shards=1, replicas=1)
+    try:
+        primary, replica = router.shards[0].members
+        for _ in range(replica.health.dead_after):
+            replica.health.record_failure()
+        assert replica.health.state() == "dead"
+        replica.health.cooldown_ms = 0.0  # probe-eligible immediately
+        for _ in range(4):
+            trace = router.render(view, strategy="bulk", bypass_cache=True)
+            assert trace.outcome == "success"
+            assert trace.shards[0]["server"] == "primary"
+        stats = replica.health.stats()
+        assert stats["state"] == "dead"
+        assert stats["probes_fired"] == 0  # enumerated, never granted
+        assert stats["probe_denials"] == 0
+        assert replica.health.probe_ready()  # the slot did not leak
+        # Take the primary out (fresh death, huge cooldown keeps it out)
+        # and the replica's probe must actually fire, win, and readmit.
+        primary.health.cooldown_ms = 600_000.0
+        for _ in range(primary.health.dead_after):
+            primary.health.record_failure()
+        assert primary.health.state() == "dead"
+        trace = router.render(view, strategy="bulk", bypass_cache=True)
+        assert trace.outcome == "success"
+        assert trace.shards[0]["server"] == "replica-1"
+        stats = replica.health.stats()
+        assert stats["state"] == "healthy"
+        assert stats["probes_fired"] == 1
+        assert stats["readmissions"] == 1
+        assert router.outstanding() == 0
+    finally:
+        router.close()
+        db.close()
+
+
+def test_lag_skipped_dead_member_does_not_burn_its_probe():
+    """Regression: the lag-budget gate runs before the probe check, so
+    a dead replica that is also lagging past the strict budget is
+    lag-skipped without its probe slot ever being granted — once the
+    applier catches up it is still probe-eligible."""
+    db = build_hotel_database(SPEC, cross_thread=True, seed=SEED)
+    view = figure1_view(db.catalog)
+    domain = _metro_domain(db)
+    router = _fleet(db, replicas=1, replica_lag_ms=120_000.0)
+    try:
+        # One write per metro: every shard's replica falls behind.
+        for step in range(SPEC.metros):
+            _mirrored_write(router, db, step, domain)
+        replica = router.shards[0].members[1]
+        for _ in range(replica.health.dead_after):
+            replica.health.record_failure()
+        replica.health.cooldown_ms = 0.0  # past cooldown, but lagging
+        for _ in range(3):
+            trace = router.render(view, strategy="bulk", bypass_cache=True)
+            assert trace.outcome == "success"
+        stats = replica.health.stats()
+        assert stats["probes_fired"] == 0
+        assert stats["probe_denials"] == 0
+        assert replica.health.probe_ready()
+        fleet = router.fleet_metrics()
+        assert fleet["skips"]["lagging"] >= 1
         assert router.outstanding() == 0
     finally:
         router.close()
